@@ -1,0 +1,97 @@
+// E11 — end-to-end ad hoc querying (the paper's §1 motivation): the
+// intro's queries over simulated clinic logs, swept over the number of
+// workflow instances. Expected shape: per-instance partitioning makes full
+// evaluation linear in the instance count for a fixed pattern; exists()
+// returns in near-constant time once any early instance matches.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& clinic_sized(std::size_t n) {
+  static std::map<std::size_t, Log> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, workload::clinic(n, 0xE2E)).first;
+  }
+  return it->second;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    LogIndex index(log);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["records"] = static_cast<double>(log.size());
+}
+
+void BM_QueryUpdateBeforeReimburse(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  const QueryEngine engine(log);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+    total = r.total();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["incidents"] = static_cast<double>(total);
+}
+
+void BM_QueryFraudSignature(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("GetReimburse -> UpdateRefer");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_QueryHighBalanceByPredicate(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("GetRefer[out.balance > 5000]");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_QueryThreeWaySequential(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r =
+        engine.run("SeeDoctor -> (UpdateRefer -> GetReimburse)");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_ExistsEarlyExit(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.exists("UpdateRefer -> GetReimburse"));
+  }
+}
+
+void instance_sweep(benchmark::internal::Benchmark* b) {
+  for (int n : {100, 1000, 10000}) {
+    b->Arg(n);
+  }
+}
+
+BENCHMARK(BM_IndexBuild)->Apply(instance_sweep);
+BENCHMARK(BM_QueryUpdateBeforeReimburse)->Apply(instance_sweep);
+BENCHMARK(BM_QueryFraudSignature)->Apply(instance_sweep);
+BENCHMARK(BM_QueryHighBalanceByPredicate)->Apply(instance_sweep);
+BENCHMARK(BM_QueryThreeWaySequential)->Apply(instance_sweep);
+BENCHMARK(BM_ExistsEarlyExit)->Apply(instance_sweep);
+
+}  // namespace

@@ -1,0 +1,94 @@
+// E12 — Algorithm 2's index claim: "an index structure for each workflow
+// id and activity is used to generate log records for an activity node in
+// constant time". Compares indexed occurrence lookup against the linear
+// scan it replaces, over alphabet size (selectivity) and log size.
+// Expected shape: indexed lookup ~O(matches); scan ~O(instance length)
+// regardless of selectivity.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& chain_log(std::size_t alphabet) {
+  static std::map<std::size_t, Log> cache;
+  auto it = cache.find(alphabet);
+  if (it == cache.end()) {
+    // 200 instances, each the alphabet repeated 8 times.
+    it = cache.emplace(alphabet, workload::chain(200, alphabet, 8)).first;
+  }
+  return it->second;
+}
+
+void BM_AtomViaIndex(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const Log& log = chain_log(alphabet);
+  const LogIndex index(log);
+  const Symbol sym = log.activity_symbol("A0");
+  std::size_t matches = 0;
+  for (auto _ : state) {
+    for (Wid wid : index.wids()) {
+      const auto& occ = index.occurrences(wid, sym);
+      matches += occ.size();
+      benchmark::DoNotOptimize(occ);
+    }
+  }
+  state.counters["alphabet"] = static_cast<double>(alphabet);
+}
+
+void BM_AtomViaScan(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const Log& log = chain_log(alphabet);
+  const Symbol sym = log.activity_symbol("A0");
+  for (auto _ : state) {
+    std::vector<IsLsn> occ;
+    for (const LogRecord& l : log) {
+      if (l.activity == sym) occ.push_back(l.is_lsn);
+    }
+    benchmark::DoNotOptimize(occ);
+  }
+}
+
+void BM_AtomPatternEvaluation(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const Log& log = chain_log(alphabet);
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parse_pattern("A0");
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_NegatedAtomEvaluation(benchmark::State& state) {
+  const auto alphabet = static_cast<std::size_t>(state.range(0));
+  const Log& log = chain_log(alphabet);
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parse_pattern("!A0");
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void alphabet_sweep(benchmark::internal::Benchmark* b) {
+  for (int a : {2, 8, 32}) {
+    b->Arg(a);
+  }
+}
+
+BENCHMARK(BM_AtomViaIndex)->Apply(alphabet_sweep);
+BENCHMARK(BM_AtomViaScan)->Apply(alphabet_sweep);
+BENCHMARK(BM_AtomPatternEvaluation)->Apply(alphabet_sweep);
+BENCHMARK(BM_NegatedAtomEvaluation)->Apply(alphabet_sweep);
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Extension bench — variables & where clauses (core/bindings.h,
+// core/join.h): the cost of binding derivation and existential
+// where-filtering on top of plain pattern evaluation. Expected shape:
+// the where clause adds work proportional to the number of incidents ×
+// assignments per incident; chains have one assignment (cheap), ⊕ patterns
+// enumerate bipartitions (bounded, costlier).
+
+#include <benchmark/benchmark.h>
+
+#include "core/bindings.h"
+#include "core/engine.h"
+#include "workflow/procurement.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& p2p() {
+  static const Log log = procurement_log(300, 0x107);
+  return log;
+}
+
+void BM_PatternOnly(benchmark::State& state) {
+  const Log& log = p2p();
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("p:Pay -> q:Pay");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_PatternPlusWhere(benchmark::State& state) {
+  const Log& log = p2p();
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run(
+        "p:Pay -> q:Pay where p.out.paidAmount = q.out.paidAmount");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_WhereOnParallelPattern(benchmark::State& state) {
+  const Log& log = p2p();
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run(
+        "g:ReceiveGoods & i:ReceiveInvoice "
+        "where g.out.goodsValue = i.out.invoiceAmount");
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_DeriveBindingsChain(benchmark::State& state) {
+  const Log& log = p2p();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p =
+      parse_pattern("c:CreatePO -> m:MatchThreeWay -> y:Pay");
+  const IncidentList incidents = ev.evaluate(*p).flatten();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto b = derive_bindings(*p, incidents[i % incidents.size()], index);
+    benchmark::DoNotOptimize(b);
+    ++i;
+  }
+  state.counters["incidents"] = static_cast<double>(incidents.size());
+}
+
+void BM_DeriveAllBindingsParallel(benchmark::State& state) {
+  const Log& log = p2p();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parse_pattern("g:ReceiveGoods & i:ReceiveInvoice");
+  const IncidentList incidents = ev.evaluate(*p).flatten();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto all =
+        derive_all_bindings(*p, incidents[i % incidents.size()], index);
+    benchmark::DoNotOptimize(all);
+    ++i;
+  }
+}
+
+BENCHMARK(BM_PatternOnly);
+BENCHMARK(BM_PatternPlusWhere);
+BENCHMARK(BM_WhereOnParallelPattern);
+BENCHMARK(BM_DeriveBindingsChain);
+BENCHMARK(BM_DeriveAllBindingsParallel);
+
+}  // namespace

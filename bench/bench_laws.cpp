@@ -1,0 +1,89 @@
+// E9 — Theorems 2-5 as optimizations: each law's two sides are
+// semantically equal (property-tested in tests/laws_test.cpp) but can cost
+// very different amounts; these benches time both sides on a clinic
+// workload. Expected shape: the factored/reassociated side wins wherever
+// the law removes a repeated sub-evaluation or shrinks intermediates, and
+// the winner's identity (not its absolute time) is the reproducible claim.
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& clinic_log_instance() {
+  static const Log log = workload::clinic(400, 0x90D);
+  return log;
+}
+
+void run_query(benchmark::State& state, const char* text) {
+  const Log& log = clinic_log_instance();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parse_pattern(text);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    total = out.total();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["incidents"] = static_cast<double>(total);
+}
+
+// Theorem 2 (associativity of ≫): join order against a selective tail.
+void BM_T2_LeftDeep(benchmark::State& state) {
+  run_query(state, "(SeeDoctor -> SeeDoctor) -> TerminateRefer");
+}
+void BM_T2_RightDeep(benchmark::State& state) {
+  run_query(state, "SeeDoctor -> (SeeDoctor -> TerminateRefer)");
+}
+
+// Theorem 3 (commutativity of ⊕): operand order of parallel.
+void BM_T3_RareFirst(benchmark::State& state) {
+  run_query(state, "UpdateRefer & SeeDoctor");
+}
+void BM_T3_CommonFirst(benchmark::State& state) {
+  run_query(state, "SeeDoctor & UpdateRefer");
+}
+
+// Theorem 4 (⊙/≫ interchange): grouping of a mixed temporal chain.
+void BM_T4_ConsecutiveFirst(benchmark::State& state) {
+  run_query(state, "(GetRefer . CheckIn) -> GetReimburse");
+}
+void BM_T4_SequentialLast(benchmark::State& state) {
+  run_query(state, "GetRefer . (CheckIn -> GetReimburse)");
+}
+
+// Theorem 5 (distributivity): factored vs distributed forms.
+void BM_T5_Distributed(benchmark::State& state) {
+  run_query(state,
+            "(SeeDoctor -> CompleteRefer) | (SeeDoctor -> TerminateRefer)");
+}
+void BM_T5_Factored(benchmark::State& state) {
+  run_query(state, "SeeDoctor -> (CompleteRefer | TerminateRefer)");
+}
+
+void BM_T5_DistributedParallel(benchmark::State& state) {
+  run_query(state,
+            "(PayTreatment & CompleteRefer) | (PayTreatment & TerminateRefer)");
+}
+void BM_T5_FactoredParallel(benchmark::State& state) {
+  run_query(state, "PayTreatment & (CompleteRefer | TerminateRefer)");
+}
+
+BENCHMARK(BM_T2_LeftDeep);
+BENCHMARK(BM_T2_RightDeep);
+BENCHMARK(BM_T3_RareFirst);
+BENCHMARK(BM_T3_CommonFirst);
+BENCHMARK(BM_T4_ConsecutiveFirst);
+BENCHMARK(BM_T4_SequentialLast);
+BENCHMARK(BM_T5_Distributed);
+BENCHMARK(BM_T5_Factored);
+BENCHMARK(BM_T5_DistributedParallel);
+BENCHMARK(BM_T5_FactoredParallel);
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Extension bench — continuous monitoring (core/monitor.h): event
+// throughput as a function of registered-query count and pattern shape,
+// and the latency comparison the module exists for: incremental delta
+// propagation vs re-running batch evaluation after every record.
+// Expected shape: per-event cost grows with query count; incremental
+// processing of a whole log costs about one batch evaluation, while
+// re-evaluate-per-record costs ~records × batch.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/engine.h"
+#include "core/monitor.h"
+#include "workflow/clinic.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& feed_log() {
+  static const Log log = clinic_log(100, 0x707);
+  return log;
+}
+
+/// Replays `log` through a monitor carrying `nqueries` rules.
+void replay(LogMonitor& monitor, const Log& log) {
+  std::map<Wid, Wid> wid_map;
+  for (const LogRecord& l : log) {
+    if (l.activity == log.start_symbol()) {
+      wid_map[l.wid] = monitor.begin_instance();
+    } else if (l.activity == log.end_symbol()) {
+      monitor.end_instance(wid_map.at(l.wid));
+    } else {
+      monitor.record(wid_map.at(l.wid), log.activity_name(l.activity));
+    }
+  }
+}
+
+const char* kRules[] = {
+    "GetReimburse -> UpdateRefer",
+    "GetReimburse -> GetReimburse",
+    "UpdateRefer . GetReimburse",
+    "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+    "(CompleteRefer | TerminateRefer)",
+    "GetRefer . CheckIn",
+    "PayTreatment -> TakeTreatment",
+    "SeeDoctor & UpdateRefer",
+};
+
+void BM_MonitorReplay(benchmark::State& state) {
+  const auto nqueries = static_cast<std::size_t>(state.range(0));
+  const Log& log = feed_log();
+  for (auto _ : state) {
+    MonitorOptions opts;
+    opts.keep_records = false;
+    LogMonitor monitor(opts);
+    for (std::size_t i = 0; i < nqueries; ++i) {
+      monitor.add_query(kRules[i % std::size(kRules)]);
+    }
+    replay(monitor, log);
+    benchmark::DoNotOptimize(monitor.drain());
+  }
+  state.counters["events"] = static_cast<double>(log.size());
+  state.counters["queries"] = static_cast<double>(nqueries);
+}
+
+// Honest per-record re-evaluation on a small feed (quadratic by design).
+void BM_ReevaluatePerRecordSmall(benchmark::State& state) {
+  const Log small = clinic_log(10, 0x70);
+  const PatternPtr p = parse_pattern("GetReimburse -> UpdateRefer");
+  for (auto _ : state) {
+    std::vector<LogRecord> records;
+    Interner interner = small.interner();
+    std::size_t matches = 0;
+    for (const LogRecord& l : small) {
+      records.push_back(l);
+      Log snapshot = Log::from_records_unchecked(records, interner);
+      const LogIndex index(snapshot);
+      const Evaluator ev(index);
+      matches = ev.count(*p);
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+}
+
+// Incremental equivalent of the small variant, for the head-to-head.
+void BM_MonitorSmall(benchmark::State& state) {
+  const Log small = clinic_log(10, 0x70);
+  for (auto _ : state) {
+    MonitorOptions opts;
+    opts.keep_records = false;
+    LogMonitor monitor(opts);
+    monitor.add_query("GetReimburse -> UpdateRefer");
+    replay(monitor, small);
+    benchmark::DoNotOptimize(monitor.drain());
+  }
+}
+
+BENCHMARK(BM_MonitorReplay)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_ReevaluatePerRecordSmall);
+BENCHMARK(BM_MonitorSmall);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// E10 — the optimization layers the paper leaves as future work:
+//   (a) naive Algorithm 1 operators vs the optimized operator algorithms,
+//       end-to-end through the tree evaluator;
+//   (b) the cost-based rewriter: planning overhead and net win
+//       (optimize+evaluate vs evaluate-as-written).
+// Expected shape: optimized operators dominate naive on selective queries;
+// rewriting pays for itself on queries with shared subpatterns and is a
+// small constant overhead elsewhere.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& clinic400() {
+  static const Log log = workload::clinic(400, 0xBEEF);
+  return log;
+}
+
+const char* kQueries[] = {
+    "UpdateRefer -> GetReimburse",
+    "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+    "(SeeDoctor -> CompleteRefer) | (SeeDoctor -> TerminateRefer)",
+    "(SeeDoctor . PayTreatment) & UpdateRefer",
+};
+
+void BM_EvalNaiveOperators(benchmark::State& state) {
+  const Log& log = clinic400();
+  const LogIndex index(log);
+  EvalOptions opts;
+  opts.use_optimized_operators = false;
+  const Evaluator ev(index, opts);
+  const PatternPtr p =
+      parse_pattern(kQueries[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(kQueries[static_cast<std::size_t>(state.range(0))]);
+}
+
+void BM_EvalOptimizedOperators(benchmark::State& state) {
+  const Log& log = clinic400();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p =
+      parse_pattern(kQueries[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(kQueries[static_cast<std::size_t>(state.range(0))]);
+}
+
+void BM_PlanOnly(benchmark::State& state) {
+  const Log& log = clinic400();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const PatternPtr p =
+      parse_pattern(kQueries[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    const OptimizeResult r = optimize(p, model);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(kQueries[static_cast<std::size_t>(state.range(0))]);
+}
+
+void BM_PlanPlusEval(benchmark::State& state) {
+  const Log& log = clinic400();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const Evaluator ev(index);
+  const PatternPtr p =
+      parse_pattern(kQueries[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    const OptimizeResult r = optimize(p, model);
+    const IncidentSet out = ev.evaluate(*r.pattern);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(kQueries[static_cast<std::size_t>(state.range(0))]);
+}
+
+void BM_EvalAsWritten(benchmark::State& state) {
+  const Log& log = clinic400();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p =
+      parse_pattern(kQueries[static_cast<std::size_t>(state.range(0))]);
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(kQueries[static_cast<std::size_t>(state.range(0))]);
+}
+
+BENCHMARK(BM_EvalNaiveOperators)->DenseRange(0, 3);
+BENCHMARK(BM_EvalOptimizedOperators)->DenseRange(0, 3);
+BENCHMARK(BM_PlanOnly)->DenseRange(0, 3);
+BENCHMARK(BM_PlanPlusEval)->DenseRange(0, 3);
+BENCHMARK(BM_EvalAsWritten)->DenseRange(0, 3);
+
+}  // namespace

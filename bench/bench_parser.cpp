@@ -1,0 +1,71 @@
+// Parser throughput: the shunting-yard construction of Algorithm 3 over
+// growing pattern sizes (k operators), plus predicate parsing. Expected
+// shape: linear in pattern length.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/parser.h"
+#include "core/printer.h"
+
+namespace {
+
+using namespace wflog;
+
+std::string chain_pattern(std::size_t k) {
+  std::string text = "A0";
+  const char* ops[] = {" -> ", " . ", " | ", " & "};
+  for (std::size_t i = 1; i <= k; ++i) {
+    text += ops[i % 4];
+    text += "A" + std::to_string(i % 7);
+  }
+  return text;
+}
+
+void BM_ParseOperatorChain(benchmark::State& state) {
+  const std::string text = chain_pattern(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const PatternPtr p = parse_pattern(text);
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * text.size()));
+}
+
+void BM_ParseNestedParens(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  std::string text;
+  for (std::size_t i = 0; i < depth; ++i) text += "(a -> ";
+  text += "b";
+  for (std::size_t i = 0; i < depth; ++i) text += ")";
+  for (auto _ : state) {
+    const PatternPtr p = parse_pattern(text);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void BM_ParseWithPredicates(benchmark::State& state) {
+  const std::string text =
+      "GetRefer[out.balance > 5000 && in.state = \"start\"] -> "
+      "GetReimburse[exists out.amount || !(in.balance < 100)]";
+  for (auto _ : state) {
+    const PatternPtr p = parse_pattern(text);
+    benchmark::DoNotOptimize(p);
+  }
+}
+
+void BM_PrintRoundTrip(benchmark::State& state) {
+  const PatternPtr p = parse_pattern(chain_pattern(64));
+  for (auto _ : state) {
+    const std::string text = to_text(*p);
+    benchmark::DoNotOptimize(text);
+  }
+}
+
+BENCHMARK(BM_ParseOperatorChain)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_ParseNestedParens)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_ParseWithPredicates);
+BENCHMARK(BM_PrintRoundTrip);
+
+}  // namespace

@@ -1,0 +1,30 @@
+#pragma once
+
+// Shared fixtures for the benchmark harness. Each bench binary regenerates
+// one experiment of DESIGN.md §5; workload parameters live here so the
+// binaries stay declarative.
+
+#include <benchmark/benchmark.h>
+
+#include "core/synthetic.h"
+
+namespace wflog::bench {
+
+/// Operand lists for the operator micro-benches (E4–E7): n incidents of k
+/// records each inside an instance of length `len`.
+inline std::pair<IncidentList, IncidentList> operand_lists(std::size_t n,
+                                                           std::size_t k,
+                                                           std::size_t len) {
+  SyntheticIncidentOptions a{n, k, len, 1, 0xAAAA};
+  SyntheticIncidentOptions b{n, k, len, 1, 0xBBBB};
+  return {synthetic_incidents(a), synthetic_incidents(b)};
+}
+
+/// Standard n sweep (Lemma 1 scaling): 2^6 .. 2^12.
+inline void lemma1_args(benchmark::internal::Benchmark* b) {
+  for (int n = 64; n <= 4096; n *= 4) {
+    b->Args({n});
+  }
+}
+
+}  // namespace wflog::bench

@@ -1,0 +1,77 @@
+// E8 — Theorem 1: worst-case evaluation is O(m^k).
+//
+// The paper's adversarial input: pattern ((t ⊕ t) ⊕ t) ⊕ ... (a left-deep
+// chain of k parallel operators) over a single-instance log of m records
+// all named t. Every leaf matches m records and the j-th ⊕ multiplies the
+// intermediate size, so both time and output grow geometrically in k.
+// Expected shape: for fixed k, polynomial in m of degree k+1-ish; for
+// fixed m, geometric in k. Counters report the incident count actually
+// produced (C(m, k+1) under set semantics).
+
+#include <benchmark/benchmark.h>
+
+#include "core/evaluator.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+PatternPtr parallel_chain(std::size_t k) {
+  PatternPtr p = Pattern::atom("t");
+  for (std::size_t i = 0; i < k; ++i) {
+    p = Pattern::parallel(p, Pattern::atom("t"));
+  }
+  return p;
+}
+
+void BM_WorstCaseParallelChain(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const Log log = workload::worstcase(m);
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parallel_chain(k);
+  std::size_t produced = 0;
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    produced = out.total();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["m"] = static_cast<double>(m);
+  state.counters["k"] = static_cast<double>(k);
+  state.counters["incidents"] = static_cast<double>(produced);
+}
+
+// Contrast: the same chain with the sequential operator stays polynomially
+// bounded by ordering constraints, showing the blow-up is ⊕-specific.
+void BM_WorstCaseSequentialChain(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const Log log = workload::worstcase(m);
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  PatternPtr p = Pattern::atom("t");
+  for (std::size_t i = 0; i < k; ++i) {
+    p = Pattern::sequential(p, Pattern::atom("t"));
+  }
+  for (auto _ : state) {
+    const IncidentSet out = ev.evaluate(*p);
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void worstcase_args(benchmark::internal::Benchmark* b) {
+  for (int m : {8, 16, 32}) {
+    for (int k : {1, 2, 3}) {
+      b->Args({m, k});
+    }
+  }
+  b->Args({64, 1});
+  b->Args({64, 2});
+}
+
+BENCHMARK(BM_WorstCaseParallelChain)->Apply(worstcase_args);
+BENCHMARK(BM_WorstCaseSequentialChain)->Apply(worstcase_args);
+
+}  // namespace

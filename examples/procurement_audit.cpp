@@ -1,0 +1,100 @@
+// procurement_audit: internal-controls testing for a procure-to-pay
+// process — the second domain workload. Where clinic_audit is about
+// sequential anomalies, this one leans on the parallel operator ⊕: goods
+// receipt and invoice receipt run concurrently, and the three-way match
+// must only happen after both. Classic P2P control violations (maverick
+// payment, duplicate payment, pay-before-match) are hunted with incident
+// patterns and cross-checked with the compliance rule templates.
+//
+// Run:  ./build/examples/procurement_audit [instances] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/aggregate.h"
+#include "core/compliance.h"
+#include "core/engine.h"
+#include "core/printer.h"
+#include "log/stats.h"
+#include "workflow/dot.h"
+#include "workflow/procurement.h"
+
+int main(int argc, char** argv) {
+  using namespace wflog;
+
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 400;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 0xBEEF;
+
+  const Log log = procurement_log(n, seed);
+  std::cout << "=== procure-to-pay workload ===\n"
+            << compute_stats(log).to_string() << "\n";
+
+  QueryEngine engine(log);
+
+  // Concurrency checks with the parallel operator.
+  std::cout << "=== concurrency (the ⊕ operator at work) ===\n";
+  std::cout << "goods & invoice handled concurrently in "
+            << instances_with_match(
+                   engine.run("ReceiveGoods & ReceiveInvoice").incidents)
+            << " instance(s)\n";
+  std::cout << "goods arrived before invoice in "
+            << instances_with_match(
+                   engine.run("ReceiveGoods -> ReceiveInvoice").incidents)
+            << ", invoice first in "
+            << instances_with_match(
+                   engine.run("ReceiveInvoice -> ReceiveGoods").incidents)
+            << "\n\n";
+
+  struct Control {
+    const char* name;
+    const char* pattern;
+  };
+  const Control controls[] = {
+      {"maverick payment (no approval, straight from match)",
+       "MatchThreeWay . Pay"},
+      {"duplicate payment", "Pay . Pay"},
+      {"payment before any match", "Pay -> MatchThreeWay"},
+      {"dispute settled and re-matched", "Dispute -> MatchThreeWay"},
+      {"large PO disputed", "CreatePO[out.poAmount > 7500] -> Dispute"},
+  };
+  std::cout << "=== control battery (incident patterns) ===\n";
+  for (const Control& c : controls) {
+    const QueryResult r = engine.run(c.pattern);
+    std::cout << c.name << ": " << r.total() << " incident(s) in "
+              << instances_with_match(r.incidents) << " instance(s)\n";
+  }
+
+  // Vendor breakdown of maverick payments.
+  const QueryResult maverick = engine.run("MatchThreeWay . Pay");
+  const auto by_vendor = group_by_attribute(
+      maverick.incidents, engine.index(),
+      GroupKey{"CreatePO", MapSel::kOut, "vendor"});
+  std::cout << "\n=== maverick payments by vendor ===\n"
+            << render_groups(by_vendor);
+
+  // Declarative control set.
+  const LogIndex& index = engine.index();
+  const ComplianceReport report = check_compliance(
+      {
+          Rule::init("CreatePO"),
+          Rule::exactly("CreatePO", 1),
+          Rule::precedence("ApprovePO", "ReceiveGoods"),
+          Rule::precedence("ApprovePO", "ReceiveInvoice"),
+          Rule::precedence("ReceiveGoods", "MatchThreeWay"),
+          Rule::precedence("ReceiveInvoice", "MatchThreeWay"),
+          Rule::precedence("ApprovePayment", "Pay"),
+          Rule::absence("Pay", 2),
+          Rule::response("Dispute", "MatchThreeWay"),
+      },
+      index);
+  std::cout << "\n=== compliance report ===\n" << report.to_string();
+
+  // Render the underlying process for documentation.
+  std::cout << "\n(model DOT available via: wfq discover <log>; "
+            << procurement_model().num_nodes()
+            << "-node reference model built in-process)\n";
+
+  return report.compliant() ? 0 : 1;
+}

@@ -1,0 +1,273 @@
+// wfq: a command-line workflow-log query tool over CSV/JSONL logs — the
+// "Log Queries" box of the paper's Figure 2 as a utility.
+//
+// Usage:
+//   wfq stats  <log.{csv,jsonl}>
+//   wfq query  <log.{csv,jsonl}> '<pattern>'  [--limit N] [--no-optimize]
+//   wfq exists <log.{csv,jsonl}> '<pattern>'
+//   wfq count  <log.{csv,jsonl}> '<pattern>'
+//   wfq explain <log.{csv,jsonl}> '<pattern>'
+//   wfq tree   '<pattern>'
+//   wfq footprint <log>                  direct-succession matrix
+//   wfq discover  <log> [out.dot]        mine a model, print/export DOT
+//   wfq audit     <log>                  built-in clinic compliance rules
+//   wfq gen    clinic|procurement|random <instances> <seed> <out.{csv,jsonl,xes}>
+//
+// Logs may be .csv, .jsonl, or .xes (IEEE 1849) — format by extension.
+//
+// Pattern syntax: activity names; operators . (consecutive), -> (sequential),
+// | (choice), & (parallel); ! negation; [attr op value] predicates.
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/error.h"
+#include "common/text.h"
+#include "core/engine.h"
+#include "core/compliance.h"
+#include "core/explain.h"
+#include "core/printer.h"
+#include "log/io_csv.h"
+#include "log/io_jsonl.h"
+#include "log/io_xes.h"
+#include "log/stats.h"
+#include "workflow/discovery.h"
+#include "workflow/dot.h"
+#include "workflow/clinic.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage:\n"
+         "  wfq stats  <log.{csv,jsonl}>\n"
+         "  wfq query  <log> '<pattern>' [--limit N] [--no-optimize]\n"
+         "  wfq exists <log> '<pattern>'\n"
+         "  wfq count  <log> '<pattern>'\n"
+         "  wfq explain <log> '<pattern>'\n"
+         "  wfq tree   '<pattern>'\n"
+         "  wfq footprint <log>\n"
+         "  wfq discover  <log> [out.dot]\n"
+         "  wfq audit     <log>\n"
+         "  wfq repl      <log>\n"
+         "  wfq gen    clinic|procurement|random <instances> <seed> "
+         "<out.{csv,jsonl,xes}>\n";
+  std::exit(2);
+}
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Log load_log(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  if (has_suffix(path, ".jsonl")) return read_jsonl(in);
+  if (has_suffix(path, ".csv")) return read_csv(in);
+  if (has_suffix(path, ".xes")) return read_xes(in);
+  throw IoError("unknown log format (expect .csv/.jsonl/.xes): " + path);
+}
+
+void save_log(const Log& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  if (has_suffix(path, ".jsonl")) {
+    write_jsonl(log, out);
+  } else if (has_suffix(path, ".csv")) {
+    write_csv(log, out);
+  } else if (has_suffix(path, ".xes")) {
+    write_xes(log, out);
+  } else {
+    throw IoError("unknown output format (expect .csv/.jsonl/.xes): " +
+                  path);
+  }
+}
+
+int cmd_stats(const std::string& path) {
+  std::cout << compute_stats(load_log(path)).to_string();
+  return 0;
+}
+
+int cmd_query(const std::string& path, const std::string& pattern,
+              std::size_t limit, bool optimize) {
+  const Log log = load_log(path);
+  QueryOptions opts;
+  opts.optimize = optimize;
+  QueryEngine engine(log, opts);
+  const QueryResult r = engine.run(pattern);
+  std::cout << "pattern:   " << to_text(*r.parsed) << "\n";
+  if (!r.executed->structurally_equal(*r.parsed)) {
+    std::cout << "optimized: " << to_text(*r.executed) << " (est. cost "
+              << r.estimated_cost_before << " -> " << r.estimated_cost_after
+              << ")\n";
+  }
+  std::cout << "time: parse " << r.parse_us << " us, optimize "
+            << r.optimize_us << " us, eval " << r.eval_us << " us\n"
+            << render_incident_set(r.incidents, engine.index(), limit);
+  return r.any() ? 0 : 1;
+}
+
+int cmd_exists(const std::string& path, const std::string& pattern) {
+  const Log log = load_log(path);
+  QueryEngine engine(log);
+  const bool found = engine.exists(pattern);
+  std::cout << (found ? "yes" : "no") << "\n";
+  return found ? 0 : 1;
+}
+
+int cmd_count(const std::string& path, const std::string& pattern) {
+  const Log log = load_log(path);
+  QueryEngine engine(log);
+  std::cout << engine.count(pattern) << "\n";
+  return 0;
+}
+
+int cmd_explain(const std::string& path, const std::string& pattern) {
+  const Log log = load_log(path);
+  const LogIndex index(log);
+  const CostModel model(index);
+  std::cout << explain(*parse_pattern(pattern), index, model).to_string();
+  return 0;
+}
+
+int cmd_tree(const std::string& pattern) {
+  std::cout << to_tree_string(*parse_pattern(pattern));
+  return 0;
+}
+
+int cmd_footprint(const std::string& path) {
+  const Log log = load_log(path);
+  std::cout << discover_footprint(LogIndex(log)).to_string();
+  return 0;
+}
+
+int cmd_discover(const std::string& path, const std::string& dot_out) {
+  const Log log = load_log(path);
+  const WorkflowModel model = discover_model(LogIndex(log));
+  const std::string dot = to_dot(model);
+  if (dot_out.empty()) {
+    std::cout << dot;
+  } else {
+    std::ofstream out(dot_out);
+    if (!out) throw IoError("cannot open '" + dot_out + "' for writing");
+    out << dot;
+    std::cout << "wrote " << model.num_nodes() << "-node model to "
+              << dot_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_audit(const std::string& path) {
+  const Log log = load_log(path);
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {
+          Rule::init("GetRefer"),
+          Rule::exactly("GetRefer", 1),
+          Rule::exactly("CheckIn", 1),
+          Rule::precedence("CheckIn", "SeeDoctor"),
+          Rule::precedence("PayTreatment", "GetReimburse"),
+          Rule::not_succession("GetReimburse", "UpdateRefer"),
+          Rule::absence("GetReimburse", 2),
+      },
+      index);
+  std::cout << report.to_string();
+  return report.compliant() ? 0 : 1;
+}
+
+int cmd_repl(const std::string& path) {
+  const Log log = load_log(path);
+  QueryEngine engine(log);
+  std::cout << "loaded " << log.size() << " records, "
+            << log.wids().size()
+            << " instances. Enter patterns (:q quits, :stats, :explain "
+               "<pattern>).\n";
+  std::string line;
+  while (std::cout << "wfq> " && std::getline(std::cin, line)) {
+    const std::string text{trim(line)};
+    if (text.empty()) continue;
+    if (text == ":q" || text == ":quit") break;
+    try {
+      if (text == ":stats") {
+        std::cout << compute_stats(log).to_string();
+        continue;
+      }
+      if (text.starts_with(":explain ")) {
+        const CostModel model(engine.index());
+        std::cout << explain(*parse_pattern(text.substr(9)), engine.index(),
+                             model)
+                         .to_string();
+        continue;
+      }
+      const QueryResult r = engine.run(text);
+      std::cout << render_incident_set(r.incidents, engine.index(), 10);
+    } catch (const Error& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_gen(const std::string& kind, std::size_t instances,
+            std::uint64_t seed, const std::string& out) {
+  Log log =
+      kind == "clinic"        ? workload::clinic(instances, seed)
+      : kind == "procurement" ? workload::procurement(instances, seed)
+      : kind == "random"      ? workload::random_process(instances, seed)
+                              : throw IoError("unknown generator: " + kind);
+  save_log(log, out);
+  std::cout << "wrote " << log.size() << " records ("
+            << log.wids().size() << " instances) to " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "stats" && argc == 3) return cmd_stats(argv[2]);
+    if (cmd == "query" && argc >= 4) {
+      std::size_t limit = 20;
+      bool optimize = true;
+      for (int i = 4; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--no-optimize") {
+          optimize = false;
+        } else if (flag == "--limit" && i + 1 < argc) {
+          limit = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+          usage();
+        }
+      }
+      return cmd_query(argv[2], argv[3], limit, optimize);
+    }
+    if (cmd == "exists" && argc == 4) return cmd_exists(argv[2], argv[3]);
+    if (cmd == "count" && argc == 4) return cmd_count(argv[2], argv[3]);
+    if (cmd == "explain" && argc == 4) return cmd_explain(argv[2], argv[3]);
+    if (cmd == "tree" && argc == 3) return cmd_tree(argv[2]);
+    if (cmd == "footprint" && argc == 3) return cmd_footprint(argv[2]);
+    if (cmd == "discover" && (argc == 3 || argc == 4)) {
+      return cmd_discover(argv[2], argc == 4 ? argv[3] : "");
+    }
+    if (cmd == "audit" && argc == 3) return cmd_audit(argv[2]);
+    if (cmd == "repl" && argc == 3) return cmd_repl(argv[2]);
+    if (cmd == "gen" && argc == 6) {
+      return cmd_gen(argv[2],
+                     static_cast<std::size_t>(std::atoll(argv[3])),
+                     static_cast<std::uint64_t>(std::atoll(argv[4])),
+                     argv[5]);
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 3;
+  }
+  usage();
+}

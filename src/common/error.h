@@ -1,0 +1,52 @@
+#pragma once
+
+// Error taxonomy for the library. All failures that a caller can
+// meaningfully react to are reported as exceptions derived from Error
+// (Core Guidelines E.2: throw an exception to signal that a function can't
+// perform its assigned task).
+
+#include <stdexcept>
+#include <string>
+
+namespace wflog {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A pattern expression could not be parsed. Carries a byte offset into the
+/// source text for diagnostics.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : Error(what + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A log violates one of the well-formedness conditions of Definition 2.
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A serialization / deserialization failure (CSV, JSONL).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A query was malformed at the semantic level (e.g. predicate on an
+/// unknown attribute, variable reused across operands).
+class QueryError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace wflog

@@ -1,0 +1,18 @@
+#include "common/interner.h"
+
+namespace wflog {
+
+Symbol Interner::intern(std::string_view name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  const Symbol sym = static_cast<Symbol>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), sym);
+  return sym;
+}
+
+Symbol Interner::find(std::string_view name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+}  // namespace wflog

@@ -1,0 +1,60 @@
+#pragma once
+
+// String interning for activity and attribute names.
+//
+// Patterns and logs compare activity names constantly (every atomic-pattern
+// match, every choice-dedup, every parallel disjointness check touches
+// them); interning turns those comparisons into integer compares and keeps
+// log records small. Symbols are indices into an append-only table, so a
+// Symbol obtained from an Interner stays valid for the Interner's lifetime.
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace wflog {
+
+/// Append-only bidirectional string <-> Symbol table. Not thread-safe; each
+/// Log owns one and query evaluation only reads it.
+class Interner {
+ public:
+  Interner() = default;
+  Interner(const Interner& other) { copy_from(other); }
+  Interner& operator=(const Interner& other) {
+    if (this != &other) {
+      names_.clear();
+      index_.clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Returns the symbol for `name`, creating it if unseen.
+  Symbol intern(std::string_view name);
+
+  /// Returns the symbol for `name`, or kNoSymbol when never interned.
+  /// Useful for query-side lookups: an activity name that was never logged
+  /// can't match any record.
+  Symbol find(std::string_view name) const;
+
+  /// Precondition: `sym` was returned by intern() on this Interner.
+  std::string_view name(Symbol sym) const { return names_.at(sym); }
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  void copy_from(const Interner& other) {
+    for (const std::string& n : other.names_) intern(n);
+  }
+
+  // deque: stable addresses so the map's string_view keys stay valid.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Symbol> index_;
+};
+
+}  // namespace wflog

@@ -1,0 +1,111 @@
+#include "common/text.h"
+
+#include <cctype>
+
+namespace wflog {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_quoted(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == delim && !in_quotes)) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    } else if (s[i] == '"') {
+      in_quotes = !in_quotes;
+    } else if (s[i] == '\\' && in_quotes) {
+      ++i;  // skip escaped character
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string csv_escape(std::string_view field) {
+  const bool needs = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::string> csv_parse_line(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(s[0])) == 0 && s[0] != '_') {
+    return false;
+  }
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wflog

@@ -1,0 +1,35 @@
+#pragma once
+
+// Small text utilities shared by the parsers and serializers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wflog {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Split on a delimiter respecting double-quoted segments (used by the
+/// attribute-map syntax `a=1, b="x, y"`).
+std::vector<std::string_view> split_quoted(std::string_view s, char delim);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// CSV field escaping per RFC 4180: quote when the field contains a comma,
+/// quote, or newline; double embedded quotes.
+std::string csv_escape(std::string_view field);
+
+/// Parse one CSV line into fields (RFC 4180 quoting).
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool is_identifier(std::string_view s);
+
+}  // namespace wflog

@@ -1,0 +1,33 @@
+#pragma once
+
+// Fundamental scalar types shared across the library.
+//
+// The paper ("Querying Workflow Logs", Definition 1) identifies three
+// numbering domains for a log record: the global log sequence number (lsn),
+// the workflow instance id (wid), and the instance-specific log sequence
+// number (is-lsn). We keep them as distinct aliases so signatures document
+// which domain a value belongs to.
+
+#include <cstdint>
+
+namespace wflog {
+
+/// Global log sequence number. 1-based: a well-formed log's lsns form a
+/// bijection with 1..|L| (Definition 2, condition 1).
+using Lsn = std::uint64_t;
+
+/// Workflow instance (enactment) identifier.
+using Wid = std::uint64_t;
+
+/// Instance-specific log sequence number. 1-based and consecutive within
+/// each workflow instance (Definition 2, condition 3).
+using IsLsn = std::uint32_t;
+
+/// Interned string handle (activity or attribute name). See
+/// common/interner.h.
+using Symbol = std::uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr Symbol kNoSymbol = 0xFFFFFFFFu;
+
+}  // namespace wflog

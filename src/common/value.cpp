@@ -1,0 +1,171 @@
+#include "common/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <functional>
+
+namespace wflog {
+namespace {
+
+// Rank used to order values of different kinds deterministically.
+int kind_rank(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kInt:
+    case ValueKind::kDouble:
+      return 1;  // numerics share a rank and compare numerically
+    case ValueKind::kBool:
+      return 2;
+    case ValueKind::kString:
+      return 3;
+  }
+  return 4;
+}
+
+bool needs_quoting(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-' && c != '.' && c != ' ') {
+      return true;
+    }
+  }
+  // Avoid ambiguity with scalar literals.
+  return s == "true" || s == "false" || s == "null";
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+      return as_int() == other.as_int();
+    }
+    return numeric() == other.numeric();
+  }
+  return rep_ == other.rep_;
+}
+
+int Value::compare(const Value& other) const {
+  const int ra = kind_rank(kind());
+  const int rb = kind_rank(other.kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kInt:
+    case ValueKind::kDouble: {
+      if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+        const auto a = as_int();
+        const auto b = other.as_int();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      const double a = numeric();
+      const double b = other.numeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueKind::kBool:
+      return static_cast<int>(as_bool()) - static_cast<int>(other.as_bool());
+    case ValueKind::kString:
+      return as_string().compare(other.as_string()) < 0
+                 ? -1
+                 : (as_string() == other.as_string() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::size_t Value::hash() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueKind::kInt:
+      return std::hash<std::int64_t>{}(as_int());
+    case ValueKind::kDouble: {
+      // Hash integral doubles as their int counterpart so 5 == 5.0 hash
+      // equal, matching operator==.
+      const double d = as_double();
+      if (std::nearbyint(d) == d &&
+          std::abs(d) < 9.2e18) {  // fits in int64
+        return std::hash<std::int64_t>{}(static_cast<std::int64_t>(d));
+      }
+      return std::hash<double>{}(d);
+    }
+    case ValueKind::kBool:
+      return std::hash<bool>{}(as_bool());
+    case ValueKind::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(as_int());
+    case ValueKind::kDouble: {
+      std::string s(32, '\0');
+      auto [end, ec] =
+          std::to_chars(s.data(), s.data() + s.size(), as_double());
+      s.resize(static_cast<std::size_t>(end - s.data()));
+      // Keep doubles visually distinct from ints.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueKind::kBool:
+      return as_bool() ? "true" : "false";
+    case ValueKind::kString: {
+      const std::string& s = as_string();
+      if (!needs_quoting(s)) return s;
+      std::string out;
+      out.reserve(s.size() + 2);
+      out += '"';
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "null";
+}
+
+Value Value::parse(std::string_view text) {
+  if (text.empty() || text == "null" || text == "\xe2\x8a\xa5" /* ⊥ */) {
+    return Value{};
+  }
+  if (text == "true") return Value{true};
+  if (text == "false") return Value{false};
+
+  // Quoted string: strip quotes, unescape.
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    std::string out;
+    out.reserve(text.size() - 2);
+    for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+      if (text[i] == '\\' && i + 2 < text.size()) ++i;
+      out += text[i];
+    }
+    return Value{std::move(out)};
+  }
+
+  std::int64_t i = 0;
+  auto [ip, iec] = std::from_chars(text.data(), text.data() + text.size(), i);
+  if (iec == std::errc{} && ip == text.data() + text.size()) return Value{i};
+
+  double d = 0;
+  auto [dp, dec] = std::from_chars(text.data(), text.data() + text.size(), d);
+  if (dec == std::errc{} && dp == text.data() + text.size()) return Value{d};
+
+  return Value{std::string(text)};
+}
+
+}  // namespace wflog

@@ -1,0 +1,72 @@
+#pragma once
+
+// Attribute values. The paper's domain D of values is uninterpreted; logs in
+// practice carry integers ("balance=1000"), decimals, booleans, and strings
+// ("hospital=Public Hospital"), so Value is a small tagged union over those,
+// plus the "undefined" bottom value the paper writes as ⊥.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace wflog {
+
+enum class ValueKind : std::uint8_t { kNull, kInt, kDouble, kBool, kString };
+
+/// A single attribute value; regular value type (copyable, comparable,
+/// hashable via Value::hash).
+class Value {
+ public:
+  Value() = default;  // null / ⊥
+  explicit Value(std::int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(std::string_view v) : rep_(std::string(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+
+  ValueKind kind() const noexcept {
+    return static_cast<ValueKind>(rep_.index());
+  }
+  bool is_null() const noexcept { return kind() == ValueKind::kNull; }
+  bool is_numeric() const noexcept {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+
+  /// Preconditions: kind() matches. Checked with std::get (throws
+  /// std::bad_variant_access on misuse).
+  std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  double as_double() const { return std::get<double>(rep_); }
+  bool as_bool() const { return std::get<bool>(rep_); }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view: int promoted to double. Precondition: is_numeric().
+  double numeric() const {
+    return kind() == ValueKind::kInt ? static_cast<double>(as_int())
+                                     : as_double();
+  }
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way ordering used by predicates: null < numerics < bool < string;
+  /// ints and doubles compare numerically with each other.
+  int compare(const Value& other) const;
+  bool operator<(const Value& other) const { return compare(other) < 0; }
+
+  std::size_t hash() const;
+
+  /// Render in the paper's "attr=value" style (strings unquoted when they
+  /// contain no reserved characters, else double-quoted with escapes).
+  std::string to_string() const;
+
+  /// Inverse of to_string for scalars: tries int, double, bool literals
+  /// (true/false), null (⊥ or "null"), else keeps the text as a string.
+  static Value parse(std::string_view text);
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, bool, std::string> rep_;
+};
+
+}  // namespace wflog

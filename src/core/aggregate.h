@@ -1,0 +1,52 @@
+#pragma once
+
+// Aggregation over incident sets — the reporting layer behind questions
+// like "How many students every year get referrals with balance > $5,000?"
+// (paper §1). Patterns produce incident sets; these functions fold them
+// into per-instance counts and group-bys keyed on attribute values.
+
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+#include "core/predicate.h"
+#include "log/index.h"
+
+namespace wflog {
+
+struct InstanceCount {
+  Wid wid = 0;
+  std::size_t incidents = 0;
+};
+
+/// Incidents per matching workflow instance, ascending wid.
+std::vector<InstanceCount> incidents_per_instance(const IncidentSet& set);
+
+/// Number of instances with at least one incident.
+std::size_t instances_with_match(const IncidentSet& set);
+
+/// Group-by key: "the value of attribute `attr` in map `sel` of the first
+/// `activity` record of the instance". E.g. {activity="GetRefer",
+/// sel=kOut, attr="hospital"} groups matching instances by hospital.
+struct GroupKey {
+  std::string activity;
+  MapSel sel = MapSel::kAny;
+  std::string attr;
+};
+
+struct GroupCount {
+  Value key;  // null groups instances lacking the attribute/activity
+  std::size_t instances = 0;
+  std::size_t incidents = 0;
+};
+
+/// Groups the matching instances of `set` by the key attribute, counting
+/// instances and incidents per distinct value. Sorted ascending by key.
+std::vector<GroupCount> group_by_attribute(const IncidentSet& set,
+                                           const LogIndex& index,
+                                           const GroupKey& key);
+
+/// Renders a group-by result as an aligned two-column table.
+std::string render_groups(const std::vector<GroupCount>& groups);
+
+}  // namespace wflog

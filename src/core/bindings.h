@@ -1,0 +1,67 @@
+#pragma once
+
+// Variable bindings — recovering "which record matched which atom".
+//
+// The conference version of the paper defines incidents through variable
+// assignments ("x : t" atoms mapped to log records by a qualified
+// assignment σ); the journal version drops the variables but loses the
+// ability to say WHY a set of records is an incident. This module restores
+// that: atoms may carry a variable name (`x:GetRefer` in the text syntax),
+// and derive_bindings() reconstructs, for a given incident, a satisfying
+// assignment of incident positions to the pattern's atoms.
+//
+// The derivation is a small exact-cover search (the paper's σ): for ⊙/≫
+// the sorted position vector splits into a prefix and a suffix; for ⊗ one
+// side must cover everything; for ⊕ every disjoint bipartition is tried.
+// Incidents are small (one position per contributing atom), so the search
+// is cheap in practice; patterns with more than kMaxParallelPositions
+// positions under a ⊕ node are rejected rather than risking a blow-up.
+//
+// When a pattern is ambiguous (several assignments produce the same record
+// set), the derivation returns the first assignment in a deterministic
+// left-to-right order.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+#include "core/pattern.h"
+#include "log/index.h"
+
+namespace wflog {
+
+struct Binding {
+  std::string variable;
+  IsLsn position = 0;
+
+  bool operator==(const Binding& other) const {
+    return variable == other.variable && position == other.position;
+  }
+};
+
+using BindingMap = std::vector<Binding>;  // in atom (left-to-right) order
+
+/// Limit on positions entering the exponential ⊕ bipartition search.
+inline constexpr std::size_t kMaxParallelPositions = 20;
+
+/// Reconstructs a satisfying assignment of `incident`'s positions to the
+/// atoms of `p`, returning the named atoms' bindings. std::nullopt when
+/// `incident` is not an incident of `p` (or exceeds the ⊕ search limit).
+std::optional<BindingMap> derive_bindings(const Pattern& p,
+                                          const Incident& incident,
+                                          const LogIndex& index);
+
+/// ALL satisfying assignments, in deterministic left-to-right search order
+/// (at most `limit`). Used by the `where`-clause filter (core/join.h),
+/// whose existential semantics must consider every assignment.
+std::vector<BindingMap> derive_all_bindings(const Pattern& p,
+                                            const Incident& incident,
+                                            const LogIndex& index,
+                                            std::size_t limit = 64);
+
+/// "x = l14 UpdateRefer, y = l20 GetReimburse".
+std::string render_bindings(const BindingMap& bindings, Wid wid,
+                            const LogIndex& index);
+
+}  // namespace wflog

@@ -1,0 +1,110 @@
+#pragma once
+
+// Compliance rule templates — the fraud/anomaly application of the paper's
+// conclusion ("constructing queries from business principles"), packaged as
+// the DECLARE-style constraint templates used throughout the BPM
+// literature. Each rule is checked per workflow instance against the
+// LogIndex; where a rule's violation is expressible as an incident pattern
+// (e.g. NotSuccession(a,b) is violated exactly when `a -> b` has an
+// incident) the implementation uses the pattern machinery, and the others
+// use occurrence-list scans.
+//
+// Rule semantics (per instance; a, b are activity names):
+//   Existence(a, n)        a occurs at least n times
+//   Absence(a, n)          a occurs fewer than n times
+//   Exactly(a, n)          a occurs exactly n times
+//   Init(a)                the first activity (after START) is a
+//   Last(a)                the final activity (before END) is a
+//                          (checked on completed instances only)
+//   Response(a, b)         every a is eventually followed by some b
+//   AlternateResponse(a,b) every a is followed by a b before the next a
+//   ChainResponse(a, b)    every a is immediately followed by a b
+//   Precedence(a, b)       every b is preceded by some a
+//   ChainPrecedence(a, b)  every b is immediately preceded by an a
+//   NotSuccession(a, b)    no b ever follows an a
+
+#include <string>
+#include <vector>
+
+#include "log/index.h"
+
+namespace wflog {
+
+enum class RuleKind : std::uint8_t {
+  kExistence,
+  kAbsence,
+  kExactly,
+  kInit,
+  kLast,
+  kResponse,
+  kAlternateResponse,
+  kChainResponse,
+  kPrecedence,
+  kChainPrecedence,
+  kNotSuccession,
+};
+
+std::string_view to_string(RuleKind kind);
+
+struct Rule {
+  RuleKind kind = RuleKind::kExistence;
+  std::string a;
+  std::string b;        // binary templates only
+  std::size_t n = 1;    // counting templates only
+
+  // ----- factory helpers -------------------------------------------------
+  static Rule existence(std::string a, std::size_t n = 1);
+  static Rule absence(std::string a, std::size_t n = 1);
+  static Rule exactly(std::string a, std::size_t n);
+  static Rule init(std::string a);
+  static Rule last(std::string a);
+  static Rule response(std::string a, std::string b);
+  static Rule alternate_response(std::string a, std::string b);
+  static Rule chain_response(std::string a, std::string b);
+  static Rule precedence(std::string a, std::string b);
+  static Rule chain_precedence(std::string a, std::string b);
+  static Rule not_succession(std::string a, std::string b);
+
+  /// "Response(SeeDoctor, PayTreatment)" — stable display form.
+  std::string name() const;
+};
+
+/// One instance that breaks a rule, with the witnessing position (the
+/// unanswered a, the unpreceded b, the offending pair's second record, ...).
+struct Violation {
+  Wid wid = 0;
+  IsLsn position = 0;
+};
+
+struct RuleResult {
+  Rule rule;
+  std::size_t instances_checked = 0;
+  std::size_t instances_violating = 0;
+  std::vector<Violation> samples;  // capped by ComplianceOptions
+
+  bool compliant() const noexcept { return instances_violating == 0; }
+};
+
+struct ComplianceOptions {
+  std::size_t max_samples_per_rule = 10;
+  /// Last(a) and (optionally) Response-style rules only make sense once an
+  /// instance has finished; when true, incomplete instances are skipped for
+  /// kLast and counted for everything else.
+  bool skip_incomplete_for_last = true;
+};
+
+struct ComplianceReport {
+  std::vector<RuleResult> results;
+
+  bool compliant() const noexcept;
+  std::size_t total_violations() const noexcept;
+  /// Aligned rule/checked/violations table.
+  std::string to_string() const;
+};
+
+/// Checks every rule against every instance of the indexed log.
+ComplianceReport check_compliance(const std::vector<Rule>& rules,
+                                  const LogIndex& index,
+                                  const ComplianceOptions& options = {});
+
+}  // namespace wflog

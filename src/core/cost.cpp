@@ -1,0 +1,96 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wflog {
+namespace {
+
+// Work units: one pair-check or one emitted record position ~ 1.
+constexpr double kPredicateSelectivity = 0.5;  // no value statistics kept
+
+double log2_safe(double x) { return std::log2(std::max(2.0, x)); }
+
+}  // namespace
+
+CostModel::CostModel(const LogIndex& index) : index_(&index) {
+  const Log& log = index.log();
+  num_instances_ = std::max<std::size_t>(1, log.wids().size());
+  avg_len_ = static_cast<double>(log.size()) / num_instances_;
+  default_atom_card_ = 1.0;
+}
+
+CostModel::CostModel(double avg_instance_len, double default_atom_card)
+    : avg_len_(std::max(1.0, avg_instance_len)),
+      default_atom_card_(default_atom_card) {}
+
+double CostModel::atom_cardinality(const Pattern& atom) const {
+  double n;
+  if (index_ != nullptr) {
+    const Symbol sym = index_->log().activity_symbol(atom.activity());
+    const double total =
+        sym == kNoSymbol
+            ? 0.0
+            : static_cast<double>(index_->total_count(sym));
+    const double per_instance = total / num_instances_;
+    n = atom.negated() ? avg_len_ - per_instance : per_instance;
+  } else {
+    n = atom.negated() ? avg_len_ - default_atom_card_ : default_atom_card_;
+  }
+  if (atom.predicate() != nullptr) n *= kPredicateSelectivity;
+  return std::max(0.0, n);
+}
+
+Estimate CostModel::estimate(const Pattern& p) const {
+  if (p.is_atom()) {
+    Estimate e;
+    e.cardinality = atom_cardinality(p);
+    // Index lookup + emission of the matches (+ a scan when negated, since
+    // ¬t walks the instance).
+    e.cost = e.cardinality + (p.negated() ? avg_len_ : 1.0);
+    return e;
+  }
+
+  const Estimate l = estimate(*p.left());
+  const Estimate r = estimate(*p.right());
+  const double n1 = l.cardinality;
+  const double n2 = r.cardinality;
+  const double k1 = static_cast<double>(p.left()->num_atoms());
+  const double k2 = static_cast<double>(p.right()->num_atoms());
+
+  Estimate e;
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      break;  // unreachable
+    case PatternOp::kConsecutive: {
+      // P[last(o1)+1 == first(o2)] ~ 1/L.
+      e.cardinality = n1 * n2 / avg_len_;
+      // Optimized: binary search per o1 + emission (k1+k2 positions each).
+      e.cost = n1 * log2_safe(n2) + e.cardinality * (k1 + k2);
+      break;
+    }
+    case PatternOp::kSequential: {
+      // P[last(o1) < first(o2)] ~ 1/2.
+      e.cardinality = n1 * n2 / 2.0;
+      e.cost = n1 * log2_safe(n2) + e.cardinality * (k1 + k2);
+      break;
+    }
+    case PatternOp::kChoice: {
+      const bool dedup = needs_choice_dedup(*p.left(), *p.right());
+      e.cardinality = dedup ? std::max(n1, n2) : n1 + n2;
+      e.cost = dedup ? (n1 + n2) * std::min(k1, k2) : n1 + n2;
+      break;
+    }
+    case PatternOp::kParallel: {
+      // Pairs sharing a record are rare when operand alphabets differ; keep
+      // Lemma 1's bound as the expectation.
+      e.cardinality = n1 * n2;
+      e.cost = n1 * n2 + e.cardinality * (k1 + k2);
+      break;
+    }
+  }
+  e.cost += l.cost + r.cost;
+  return e;
+}
+
+}  // namespace wflog

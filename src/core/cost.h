@@ -1,0 +1,51 @@
+#pragma once
+
+// Cardinality and cost estimation for incident patterns.
+//
+// Lemma 1 gives worst-case bounds (output of every binary operator is at
+// most n1·n2); a useful optimizer needs *expected* sizes, so the model
+// refines the bounds with per-activity selectivities taken from the
+// LogIndex and a positional-independence assumption: within an instance of
+// length L, a random operand-incident pair satisfies
+//     last(o1) + 1 = first(o2)   with probability ~ 1/L   (consecutive)
+//     last(o1)     < first(o2)   with probability ~ 1/2   (sequential)
+// Costs charge the operator algorithms actually used (the optimized set by
+// default) plus the size of the produced output, and are summed bottom-up.
+// All figures are per *average* instance; the per-log factor (number of
+// instances) is common to every candidate and cancels in comparisons.
+
+#include "core/pattern.h"
+#include "log/index.h"
+
+namespace wflog {
+
+struct Estimate {
+  double cardinality = 0;  // expected |inc(p)| per instance
+  double cost = 0;         // expected work to produce it
+};
+
+class CostModel {
+ public:
+  /// Calibrates selectivities from the log behind `index`; the index must
+  /// outlive the model.
+  explicit CostModel(const LogIndex& index);
+
+  /// For unit tests / synthetic studies: a model with explicit parameters
+  /// instead of a log (mean instance length, mean per-activity match count).
+  CostModel(double avg_instance_len, double default_atom_card);
+
+  Estimate estimate(const Pattern& p) const;
+  double cost(const Pattern& p) const { return estimate(p).cost; }
+
+  double avg_instance_len() const noexcept { return avg_len_; }
+
+ private:
+  double atom_cardinality(const Pattern& atom) const;
+
+  const LogIndex* index_ = nullptr;  // null for the synthetic constructor
+  double avg_len_ = 1;
+  double default_atom_card_ = 1;
+  double num_instances_ = 1;
+};
+
+}  // namespace wflog

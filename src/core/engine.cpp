@@ -1,0 +1,78 @@
+#include "core/engine.h"
+
+namespace wflog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const Log& log, QueryOptions options)
+    : log_(&log),
+      options_(options),
+      index_(log),
+      cost_model_(index_),
+      evaluator_(index_, options.eval) {}
+
+QueryResult QueryEngine::run(std::string_view query_text) const {
+  const auto t0 = Clock::now();
+  ParsedQuery parsed = parse_query(query_text);
+  const double parse_us = us_since(t0);
+  QueryResult r = run(std::move(parsed.pattern), std::move(parsed.where));
+  r.parse_us = parse_us;
+  return r;
+}
+
+QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
+  QueryResult r;
+  r.parsed = pattern;
+  r.where = std::move(where);
+  r.estimated_cost_before = cost_model_.cost(*pattern);
+
+  if (options_.optimize) {
+    const auto t0 = Clock::now();
+    OptimizeResult opt =
+        optimize(std::move(pattern), cost_model_, options_.optimizer);
+    r.optimize_us = us_since(t0);
+    r.executed = std::move(opt.pattern);
+    r.estimated_cost_after = opt.final_cost;
+  } else {
+    r.executed = std::move(pattern);
+    r.estimated_cost_after = r.estimated_cost_before;
+  }
+
+  const auto t1 = Clock::now();
+  r.incidents = evaluator_.evaluate(*r.executed);
+  if (r.where != nullptr) {
+    // Existential where semantics over assignments; derivation runs
+    // against the PARSED pattern (its variables), not the optimized tree
+    // (rewrites preserve incidents but may reshape the atom layout).
+    r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+  }
+  r.eval_us = us_since(t1);
+  return r;
+}
+
+bool QueryEngine::exists(std::string_view query_text) const {
+  ParsedQuery parsed = parse_query(query_text);
+  if (parsed.where == nullptr) {
+    return evaluator_.exists(*parsed.pattern);
+  }
+  // where clauses need materialized incidents + binding derivation.
+  return run(std::move(parsed.pattern), std::move(parsed.where)).any();
+}
+
+std::size_t QueryEngine::count(std::string_view query_text) const {
+  ParsedQuery parsed = parse_query(query_text);
+  if (parsed.where == nullptr) {
+    return evaluator_.count(*parsed.pattern);
+  }
+  return run(std::move(parsed.pattern), std::move(parsed.where)).total();
+}
+
+}  // namespace wflog

@@ -1,0 +1,77 @@
+#pragma once
+
+// QueryEngine — the public facade: parse -> optimize -> evaluate.
+//
+//   Log log = read_csv(...);
+//   QueryEngine engine(log);
+//   QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+//   if (!r.incidents.empty()) { ... }
+//
+// The engine owns the LogIndex and CostModel for its log; the Log itself
+// is borrowed and must outlive the engine.
+
+#include <chrono>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/join.h"
+#include "core/optimizer.h"
+#include "core/parser.h"
+
+namespace wflog {
+
+struct QueryOptions {
+  /// Rewrite the pattern with the cost-based optimizer before evaluating.
+  bool optimize = true;
+  EvalOptions eval;
+  OptimizerOptions optimizer;
+};
+
+struct QueryResult {
+  PatternPtr parsed;    // as written
+  PatternPtr executed;  // after optimization (== parsed when disabled)
+  JoinExprPtr where;    // the query's where clause, when present
+  IncidentSet incidents;
+  double parse_us = 0;
+  double optimize_us = 0;
+  double eval_us = 0;
+  double estimated_cost_before = 0;
+  double estimated_cost_after = 0;
+
+  std::size_t total() const { return incidents.total(); }
+  bool any() const { return !incidents.empty(); }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Log& log, QueryOptions options = {});
+  /// The engine borrows the log; a temporary would dangle immediately.
+  explicit QueryEngine(Log&& log, QueryOptions options = {}) = delete;
+
+  /// Parse, optimize, evaluate. The text form accepts a full query —
+  /// "PATTERN [where JOIN-EXPR]" (core/join.h); incidents failing the
+  /// where clause are filtered out. Throws ParseError / QueryError.
+  QueryResult run(std::string_view query_text) const;
+  QueryResult run(PatternPtr pattern, JoinExprPtr where = nullptr) const;
+
+  /// Cheap existence / counting entry points ("are there any students
+  /// who ...?"). exists() early-exits on the first matching instance;
+  /// both accept full queries (where clauses force materialization).
+  bool exists(std::string_view query_text) const;
+  std::size_t count(std::string_view query_text) const;
+
+  const Log& log() const noexcept { return *log_; }
+  const LogIndex& index() const noexcept { return index_; }
+  const Evaluator& evaluator() const noexcept { return evaluator_; }
+  const CostModel& cost_model() const noexcept { return cost_model_; }
+  const QueryOptions& options() const noexcept { return options_; }
+
+ private:
+  const Log* log_;
+  QueryOptions options_;
+  LogIndex index_;
+  CostModel cost_model_;
+  Evaluator evaluator_;
+};
+
+}  // namespace wflog

@@ -1,0 +1,129 @@
+#include "core/evaluator.h"
+
+#include "core/linear.h"
+#include "core/operators.h"
+#include "core/operators_opt.h"
+
+namespace wflog {
+
+Evaluator::Evaluator(const LogIndex& index, EvalOptions opts)
+    : index_(&index), opts_(opts) {}
+
+IncidentList Evaluator::eval_atom(const Pattern& p, Wid wid) const {
+  const Log& log = index_->log();
+  const Symbol sym = log.activity_symbol(p.activity());
+  IncidentList out;
+
+  auto matches_predicate = [&](IsLsn n) {
+    if (p.predicate() == nullptr) return true;
+    const LogRecord* l = index_->find(wid, n);
+    return l != nullptr && p.predicate()->eval(*l, log.interner());
+  };
+
+  if (!p.negated()) {
+    // An activity name never interned can't occur in the log.
+    if (sym == kNoSymbol) return out;
+    for (IsLsn n : index_->occurrences(wid, sym)) {
+      if (matches_predicate(n)) out.push_back(Incident::singleton(wid, n));
+    }
+    return out;
+  }
+
+  for (IsLsn n : index_->non_occurrences(wid, sym)) {
+    if (!opts_.negation_matches_sentinels) {
+      const LogRecord* l = index_->find(wid, n);
+      if (l->activity == log.start_symbol() ||
+          l->activity == log.end_symbol()) {
+        continue;
+      }
+    }
+    if (matches_predicate(n)) out.push_back(Incident::singleton(wid, n));
+  }
+  return out;
+}
+
+IncidentList Evaluator::eval_node(const Pattern& p, Wid wid) const {
+  if (p.is_atom()) return eval_atom(p, wid);
+
+  const IncidentList left = eval_node(*p.left(), wid);
+  const IncidentList right = eval_node(*p.right(), wid);
+  ++counters_.operator_nodes_evaluated;
+
+  IncidentList out;
+  const bool opt = opts_.use_optimized_operators;
+  switch (p.op()) {
+    case PatternOp::kAtom:
+      break;  // unreachable
+    case PatternOp::kConsecutive:
+      counters_.pairs_examined += left.size() * right.size();
+      out = opt ? eval_consecutive_opt(left, right)
+                : eval_consecutive_naive(left, right);
+      break;
+    case PatternOp::kSequential:
+      counters_.pairs_examined += left.size() * right.size();
+      out = opt ? eval_sequential_opt(left, right)
+                : eval_sequential_naive(left, right);
+      break;
+    case PatternOp::kChoice: {
+      const bool dedup = needs_choice_dedup(*p.left(), *p.right());
+      counters_.pairs_examined +=
+          dedup ? left.size() * right.size() : left.size() + right.size();
+      out = opt ? eval_choice_opt(left, right, dedup)
+                : eval_choice_naive(left, right, dedup);
+      break;
+    }
+    case PatternOp::kParallel:
+      counters_.pairs_examined += left.size() * right.size();
+      out = opt ? eval_parallel_opt(left, right)
+                : eval_parallel_naive(left, right);
+      break;
+  }
+  if (opts_.max_span != 0) {
+    // Span only grows upward through the tree, so pruning here is sound.
+    std::erase_if(out, [this](const Incident& o) {
+      return o.last() - o.first() >= opts_.max_span;
+    });
+  }
+  counters_.incidents_emitted += out.size();
+  return out;
+}
+
+IncidentList Evaluator::evaluate_instance(const Pattern& p, Wid wid) const {
+  return eval_node(p, wid);
+}
+
+IncidentSet Evaluator::evaluate(const Pattern& p) const {
+  IncidentSet result;
+  for (Wid wid : index_->wids()) {
+    IncidentList incidents = eval_node(p, wid);
+    if (!incidents.empty()) result.add_group(wid, std::move(incidents));
+  }
+  return result;
+}
+
+bool Evaluator::exists(const Pattern& p) const {
+  if (opts_.use_linear_fast_path && opts_.max_span == 0) {
+    if (const auto chain = as_linear_chain(p)) {
+      return exists_linear(*chain, *index_);
+    }
+  }
+  for (Wid wid : index_->wids()) {
+    if (!eval_node(p, wid).empty()) return true;
+  }
+  return false;
+}
+
+std::size_t Evaluator::count(const Pattern& p) const {
+  if (opts_.use_linear_fast_path && opts_.max_span == 0) {
+    if (const auto chain = as_linear_chain(p)) {
+      return count_linear(*chain, *index_);
+    }
+  }
+  std::size_t n = 0;
+  for (Wid wid : index_->wids()) {
+    n += eval_node(p, wid).size();
+  }
+  return n;
+}
+
+}  // namespace wflog

@@ -1,0 +1,85 @@
+#pragma once
+
+// Incident-tree evaluation (the paper's Algorithm 2).
+//
+// Evaluation partitions the log by workflow instance (the paper's
+// LogRecordsDict / widSet), then post-order-evaluates the pattern tree per
+// instance: leaves pull their match lists from the LogIndex ("an index
+// structure for each workflow id and activity is used to generate log
+// records for an activity node in constant time"), internal nodes combine
+// their children's incident lists with the operator algorithms of
+// Algorithm 1 (or their optimized counterparts).
+
+#include <cstdint>
+
+#include "core/incident.h"
+#include "core/pattern.h"
+#include "log/index.h"
+
+namespace wflog {
+
+struct EvalOptions {
+  /// false = the paper's Algorithm 1 operator routines; true = the
+  /// optimized ones (core/operators_opt.h). Both yield identical results.
+  bool use_optimized_operators = true;
+
+  /// Whether a negative atom ¬t may match the START/END sentinel records.
+  /// Definition 4 excludes nothing ("activity name other than t"), so the
+  /// faithful default is true; analysts usually want false.
+  bool negation_matches_sentinels = true;
+
+  /// Answer count()/exists() for linear patterns (⊙/≫ chains of positive
+  /// atoms) with the DP of core/linear.h instead of materializing
+  /// incidents. Identical answers, often asymptotically faster.
+  bool use_linear_fast_path = true;
+
+  /// CEP-style span window: keep only incidents whose records all fall
+  /// within `max_span` consecutive positions (last - first < max_span).
+  /// 0 disables. Because merging records can only widen an incident's
+  /// span, the evaluator prunes at every operator, not just at the root —
+  /// a large constant-factor win for selective windows.
+  IsLsn max_span = 0;
+};
+
+/// Tallies of work done, for the benches and the cost-model calibration.
+struct EvalCounters {
+  std::uint64_t operator_nodes_evaluated = 0;
+  std::uint64_t pairs_examined = 0;   // operand pairs inspected by ⊙/≫/⊕
+  std::uint64_t incidents_emitted = 0;  // before cross-node canonicalization
+};
+
+class Evaluator {
+ public:
+  /// The index (and the log it refers to) must outlive the Evaluator.
+  explicit Evaluator(const LogIndex& index, EvalOptions opts = {});
+
+  /// inc_L(p): all incidents of p in the log, grouped by instance.
+  IncidentSet evaluate(const Pattern& p) const;
+
+  /// Incidents of p within one workflow instance.
+  IncidentList evaluate_instance(const Pattern& p, Wid wid) const;
+
+  /// True iff inc_L(p) is nonempty. Stops at the first instance with a
+  /// match — the cheap mode for "are there any ...?" questions.
+  bool exists(const Pattern& p) const;
+
+  /// |inc_L(p)|.
+  std::size_t count(const Pattern& p) const;
+
+  const LogIndex& index() const noexcept { return *index_; }
+  const EvalOptions& options() const noexcept { return opts_; }
+
+  /// Counters accumulated since construction or the last reset.
+  const EvalCounters& counters() const noexcept { return counters_; }
+  void reset_counters() const noexcept { counters_ = EvalCounters{}; }
+
+ private:
+  IncidentList eval_node(const Pattern& p, Wid wid) const;
+  IncidentList eval_atom(const Pattern& p, Wid wid) const;
+
+  const LogIndex* index_;
+  EvalOptions opts_;
+  mutable EvalCounters counters_;
+};
+
+}  // namespace wflog

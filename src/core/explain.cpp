@@ -1,0 +1,158 @@
+#include "core/explain.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/operators.h"
+#include "core/operators_opt.h"
+
+namespace wflog {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Pre-order node table mirroring the pattern tree.
+void build_profiles(const Pattern& p, const CostModel& model,
+                    std::size_t instances, std::size_t depth,
+                    std::vector<NodeProfile>& out) {
+  NodeProfile profile;
+  profile.depth = depth;
+  profile.op = p.op();
+  if (p.is_atom()) {
+    profile.label = (p.negated() ? "!" : "") + p.activity();
+    if (p.predicate() != nullptr) {
+      profile.label += "[" + p.predicate()->to_string() + "]";
+    }
+  } else {
+    profile.label = "[" + std::string(op_token(p.op())) + "]";
+  }
+  const Estimate est = model.estimate(p);
+  profile.estimated_incidents =
+      est.cardinality * static_cast<double>(instances);
+  profile.estimated_cost = est.cost;
+  out.push_back(std::move(profile));
+  if (!p.is_atom()) {
+    build_profiles(*p.left(), model, instances, depth + 1, out);
+    build_profiles(*p.right(), model, instances, depth + 1, out);
+  }
+}
+
+/// Evaluates the node rooted at profile index `at` for one instance,
+/// charging stats to the profile table. Returns the incident list and the
+/// next profile index after this subtree.
+struct ProfilingEvaluator {
+  const LogIndex& index;
+  const Evaluator& atom_eval;  // reuse atom semantics (negation options)
+  std::vector<NodeProfile>& profiles;
+
+  std::pair<IncidentList, std::size_t> eval(const Pattern& p, std::size_t at,
+                                            Wid wid) {
+    if (p.is_atom()) {
+      const auto t0 = Clock::now();
+      IncidentList out = atom_eval.evaluate_instance(p, wid);
+      profiles[at].actual_us +=
+          std::chrono::duration<double, std::micro>(Clock::now() - t0)
+              .count();
+      profiles[at].actual_incidents += out.size();
+      return {std::move(out), at + 1};
+    }
+    auto [left, after_left] = eval(*p.left(), at + 1, wid);
+    auto [right, after_right] = eval(*p.right(), after_left, wid);
+
+    const auto t0 = Clock::now();
+    IncidentList out;
+    switch (p.op()) {
+      case PatternOp::kAtom:
+        break;
+      case PatternOp::kConsecutive:
+        out = eval_consecutive_opt(left, right);
+        break;
+      case PatternOp::kSequential:
+        out = eval_sequential_opt(left, right);
+        break;
+      case PatternOp::kChoice:
+        out = eval_choice_opt(left, right,
+                              needs_choice_dedup(*p.left(), *p.right()));
+        break;
+      case PatternOp::kParallel:
+        out = eval_parallel_opt(left, right);
+        break;
+    }
+    profiles[at].actual_us +=
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+    profiles[at].actual_incidents += out.size();
+    profiles[at].pairs_examined +=
+        static_cast<std::uint64_t>(left.size()) * right.size();
+    return {std::move(out), after_right};
+  }
+};
+
+}  // namespace
+
+ExplainResult explain(const Pattern& p, const LogIndex& index,
+                      const CostModel& model, const EvalOptions& opts) {
+  ExplainResult result;
+  build_profiles(p, model, index.wids().size(), 0, result.nodes);
+
+  const Evaluator atom_eval(index, opts);
+  ProfilingEvaluator prof{index, atom_eval, result.nodes};
+
+  const auto t0 = Clock::now();
+  for (Wid wid : index.wids()) {
+    auto [incidents, next] = prof.eval(p, 0, wid);
+    (void)next;
+    if (!incidents.empty()) {
+      result.incidents.add_group(wid, std::move(incidents));
+    }
+  }
+  result.total_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  return result;
+}
+
+std::string ExplainResult::to_string() const {
+  std::ostringstream os;
+  std::size_t label_width = 4;
+  for (const NodeProfile& n : nodes) {
+    label_width = std::max(label_width, n.label.size() + 2 * n.depth);
+  }
+  auto pad = [&os](const std::string& s, std::size_t width) {
+    os << s;
+    for (std::size_t i = s.size(); i < width + 2; ++i) os << ' ';
+  };
+  pad("node", label_width);
+  pad("actual", 10);
+  pad("estimated", 10);
+  pad("self-us", 10);
+  os << "pairs\n";
+  for (const NodeProfile& n : nodes) {
+    pad(std::string(2 * n.depth, ' ') + n.label, label_width);
+    pad(std::to_string(n.actual_incidents), 10);
+    {
+      std::ostringstream tmp;
+      tmp.precision(1);
+      tmp << std::fixed << n.estimated_incidents;
+      pad(tmp.str(), 10);
+    }
+    {
+      std::ostringstream tmp;
+      tmp.precision(1);
+      tmp << std::fixed << n.actual_us;
+      pad(tmp.str(), 10);
+    }
+    if (n.op == PatternOp::kAtom) {
+      os << "-";
+    } else {
+      os << n.pairs_examined;
+    }
+    os << "\n";
+  }
+  std::ostringstream total;
+  total.precision(1);
+  total << std::fixed << total_us;
+  os << "total: " << incidents.total() << " incident(s) in " << total.str()
+     << " us\n";
+  return os.str();
+}
+
+}  // namespace wflog

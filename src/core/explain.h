@@ -1,0 +1,48 @@
+#pragma once
+
+// EXPLAIN / EXPLAIN ANALYZE for incident patterns.
+//
+// explain() evaluates a pattern while profiling every node of the incident
+// tree: actual output cardinality, wall time, operand pairs examined, and
+// the cost model's estimates side by side. The rendered report is the tool
+// for understanding *why* a query is slow and whether the optimizer's
+// cardinality model tracks reality (it is also how EXPERIMENTS.md calibrates
+// the model).
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/evaluator.h"
+
+namespace wflog {
+
+struct NodeProfile {
+  std::string label;          // "SeeDoctor", "[->]", ...
+  std::size_t depth = 0;      // for rendering
+  PatternOp op = PatternOp::kAtom;
+  std::size_t actual_incidents = 0;   // summed over instances
+  double actual_us = 0;               // self time (children excluded)
+  std::uint64_t pairs_examined = 0;
+  double estimated_incidents = 0;     // cost-model cardinality x instances
+  double estimated_cost = 0;          // cost-model units, self only
+};
+
+struct ExplainResult {
+  std::vector<NodeProfile> nodes;  // pre-order
+  IncidentSet incidents;
+  double total_us = 0;
+
+  /// Aligned, tree-indented report:
+  ///   node                 actual   est     time     pairs
+  ///   [->]                 1        2.3     12.1us   8
+  ///     SeeDoctor          4        4.0     1.0us    -
+  ///     ...
+  std::string to_string() const;
+};
+
+/// Profiles `p` over the whole log behind `index`.
+ExplainResult explain(const Pattern& p, const LogIndex& index,
+                      const CostModel& model, const EvalOptions& opts = {});
+
+}  // namespace wflog

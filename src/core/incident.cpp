@@ -1,0 +1,97 @@
+#include "core/incident.h"
+
+#include <algorithm>
+
+namespace wflog {
+
+Incident Incident::merged(const Incident& a, const Incident& b) {
+  Incident out;
+  out.wid_ = a.wid_;
+  out.positions_.reserve(a.positions_.size() + b.positions_.size());
+  std::set_union(a.positions_.begin(), a.positions_.end(),
+                 b.positions_.begin(), b.positions_.end(),
+                 std::back_inserter(out.positions_));
+  return out;
+}
+
+bool Incident::disjoint(const Incident& a, const Incident& b) noexcept {
+  // Cheap interval reject first: non-overlapping spans cannot share records.
+  if (a.empty() || b.empty()) return true;
+  if (a.last() < b.first() || b.last() < a.first()) return true;
+  auto i = a.positions_.begin();
+  auto j = b.positions_.begin();
+  while (i != a.positions_.end() && j != b.positions_.end()) {
+    if (*i == *j) return false;
+    if (*i < *j) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return true;
+}
+
+std::size_t Incident::hash() const noexcept {
+  std::size_t h = static_cast<std::size_t>(wid_) * 0x9e3779b97f4a7c15ULL;
+  for (IsLsn p : positions_) {
+    h = h * 0x100000001b3ULL + p;
+  }
+  return h;
+}
+
+std::string Incident::to_string() const {
+  std::string out = "{wid=" + std::to_string(wid_) + ":";
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    out += i == 0 ? " " : ", ";
+    out += std::to_string(positions_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+void canonicalize(IncidentList& list) {
+  std::sort(list.begin(), list.end());
+  list.erase(std::unique(list.begin(), list.end()), list.end());
+}
+
+bool is_canonical(const IncidentList& list) noexcept {
+  for (std::size_t i = 1; i < list.size(); ++i) {
+    if (!(list[i - 1] < list[i])) return false;
+  }
+  return true;
+}
+
+void IncidentSet::add_group(Wid wid, IncidentList incidents) {
+  groups_.push_back(Group{wid, std::move(incidents)});
+}
+
+std::size_t IncidentSet::total() const noexcept {
+  std::size_t n = 0;
+  for (const Group& g : groups_) n += g.incidents.size();
+  return n;
+}
+
+const IncidentList* IncidentSet::find(Wid wid) const noexcept {
+  for (const Group& g : groups_) {
+    if (g.wid == wid) return &g.incidents;
+  }
+  return nullptr;
+}
+
+IncidentList IncidentSet::flatten() const {
+  IncidentList all;
+  all.reserve(total());
+  for (const Group& g : groups_) {
+    all.insert(all.end(), g.incidents.begin(), g.incidents.end());
+  }
+  canonicalize(all);
+  return all;
+}
+
+bool IncidentSet::operator==(const IncidentSet& other) const {
+  // Compare as sets of incidents: groups may be split differently (e.g. one
+  // side omits empty groups), so flatten.
+  return flatten() == other.flatten();
+}
+
+}  // namespace wflog

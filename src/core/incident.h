@@ -1,0 +1,120 @@
+#pragma once
+
+// Incident instances (Definition 4): an incident o of pattern p in log L is
+// a set of records of one workflow instance, with first(o), last(o), wid(o).
+//
+// Representation: the owning wid plus the sorted vector of the member
+// records' is-lsns. Since is-lsn identifies a record within an instance,
+// (wid, {is-lsns}) identifies the record set exactly; actual LogRecords are
+// recovered through LogIndex::find. first()/last() are O(1) (front/back of
+// the sorted vector), union and disjointness are linear sorted merges —
+// matching the complexity accounting of Lemma 1.
+//
+// Definition 4 makes inc_L(p) a SET of incidents. Evaluators therefore keep
+// incident lists in canonical order (lexicographic on the position vector,
+// which also orders by first()) and deduplicated; see canonicalize().
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace wflog {
+
+class Incident {
+ public:
+  Incident() = default;
+
+  /// Singleton incident of an atomic pattern: one record.
+  static Incident singleton(Wid wid, IsLsn pos) {
+    Incident o;
+    o.wid_ = wid;
+    o.positions_.push_back(pos);
+    return o;
+  }
+
+  /// Union o = o1 ∪ o2 used by ⊙ / ≫ / ⊕.
+  /// Precondition: a.wid() == b.wid(). Shared positions collapse (sets).
+  static Incident merged(const Incident& a, const Incident& b);
+
+  /// True when the incidents share no log record (the ⊕ side condition).
+  /// Linear sorted merge.
+  static bool disjoint(const Incident& a, const Incident& b) noexcept;
+
+  Wid wid() const noexcept { return wid_; }
+  /// Paper's first(o): smallest member is-lsn. Precondition: !empty().
+  IsLsn first() const noexcept { return positions_.front(); }
+  /// Paper's last(o): largest member is-lsn. Precondition: !empty().
+  IsLsn last() const noexcept { return positions_.back(); }
+
+  std::size_t size() const noexcept { return positions_.size(); }
+  bool empty() const noexcept { return positions_.empty(); }
+  const std::vector<IsLsn>& positions() const noexcept { return positions_; }
+
+  bool operator==(const Incident& other) const noexcept {
+    return wid_ == other.wid_ && positions_ == other.positions_;
+  }
+
+  /// Canonical order: by wid, then lexicographically on positions (which in
+  /// particular sorts by first()). Total, strict weak ordering.
+  bool operator<(const Incident& other) const noexcept {
+    if (wid_ != other.wid_) return wid_ < other.wid_;
+    return positions_ < other.positions_;
+  }
+
+  std::size_t hash() const noexcept;
+
+  /// "{wid=2: 5, 8, 9}" — diagnostic form; the engine renders richer views.
+  std::string to_string() const;
+
+ private:
+  Wid wid_ = 0;
+  std::vector<IsLsn> positions_;
+};
+
+/// Incidents of one workflow instance. Invariant (maintained by the
+/// evaluators): canonically sorted and duplicate-free.
+using IncidentList = std::vector<Incident>;
+
+/// Sorts canonically and removes duplicates, establishing the IncidentList
+/// invariant (inc_L(p) is a set).
+void canonicalize(IncidentList& list);
+
+/// True when the list is canonically sorted and duplicate-free.
+bool is_canonical(const IncidentList& list) noexcept;
+
+/// Incidents grouped by workflow instance; the result of evaluating a
+/// pattern over a whole log. Groups appear in ascending wid order.
+class IncidentSet {
+ public:
+  IncidentSet() = default;
+
+  /// Adds a group. Precondition: wid greater than any existing group's.
+  void add_group(Wid wid, IncidentList incidents);
+
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+
+  /// Total number of incidents across all instances.
+  std::size_t total() const noexcept;
+
+  bool empty() const noexcept { return total() == 0; }
+
+  const IncidentList* find(Wid wid) const noexcept;
+
+  struct Group {
+    Wid wid = 0;
+    IncidentList incidents;
+  };
+  const std::vector<Group>& groups() const noexcept { return groups_; }
+
+  /// All incidents in one flat canonical list.
+  IncidentList flatten() const;
+
+  bool operator==(const IncidentSet& other) const;
+
+ private:
+  std::vector<Group> groups_;
+};
+
+}  // namespace wflog

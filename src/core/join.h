@@ -1,0 +1,105 @@
+#pragma once
+
+// Cross-record join predicates — `where` clauses over bound variables.
+//
+// Atom-level predicates (core/predicate.h) constrain one record at a time;
+// the paper's data-centric motivation also needs constraints BETWEEN the
+// records of an incident ("the receipt reimbursed is the receipt paid",
+// "the balance grew between update and reimbursement"). With variables on
+// atoms (core/bindings.h) this becomes expressible:
+//
+//   u:UpdateRefer -> r:GetReimburse where u.out.balance > r.in.balance
+//   p:Pay . q:Pay where p.out.paidAmount = q.out.paidAmount
+//   c:CreatePO -> d:Dispute where c.out.poAmount > 5000
+//
+// Semantics: an incident qualifies iff SOME satisfying assignment of its
+// positions to the pattern's atoms (Definition 4's σ) satisfies the join
+// expression. References resolve through the assignment: `x.out.attr`
+// reads αout of the record bound to x (`x.attr` checks αout then αin);
+// a missing variable, record, or attribute fails the comparison.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bindings.h"
+#include "core/incident.h"
+#include "core/pattern.h"
+#include "core/predicate.h"  // CmpOp, MapSel
+#include "log/index.h"
+
+namespace wflog {
+
+/// `variable.sel.attr` — a value reference through a binding.
+struct VarRef {
+  std::string variable;
+  MapSel sel = MapSel::kAny;
+  std::string attr;
+
+  std::string to_string() const;
+};
+
+class JoinExpr;
+using JoinExprPtr = std::shared_ptr<const JoinExpr>;
+
+class JoinExpr {
+ public:
+  enum class Kind : std::uint8_t {
+    kCmpLiteral,  // ref op literal
+    kCmpRef,      // ref op ref
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  static JoinExprPtr compare(VarRef lhs, CmpOp op, Value literal);
+  static JoinExprPtr compare_refs(VarRef lhs, CmpOp op, VarRef rhs);
+  static JoinExprPtr logical_and(JoinExprPtr a, JoinExprPtr b);
+  static JoinExprPtr logical_or(JoinExprPtr a, JoinExprPtr b);
+  static JoinExprPtr logical_not(JoinExprPtr a);
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Evaluates under one assignment. Unresolvable references make the
+  /// enclosing comparison false (SQL-style).
+  bool eval(const BindingMap& bindings, Wid wid,
+            const LogIndex& index) const;
+
+  /// Parseable text form (matches the `where` grammar).
+  std::string to_string() const;
+
+  /// Variables this expression mentions (sorted, unique) — used to verify
+  /// the pattern actually binds them.
+  std::vector<std::string> variables() const;
+
+ private:
+  JoinExpr() = default;
+
+  Kind kind_ = Kind::kCmpLiteral;
+  VarRef lhs_;
+  VarRef rhs_ref_;
+  CmpOp cmp_ = CmpOp::kEq;
+  Value literal_;
+  JoinExprPtr left_;
+  JoinExprPtr right_;
+};
+
+/// Parses a standalone `where` expression. Throws ParseError.
+JoinExprPtr parse_join_expr(std::string_view text);
+
+/// A full query: pattern plus optional where clause. Produced by
+/// parse_query ("PATTERN where EXPR"; `where` is a reserved word at the
+/// top level of a query). Throws QueryError if the where clause mentions a
+/// variable the pattern never binds.
+struct ParsedQuery {
+  PatternPtr pattern;
+  JoinExprPtr where;  // null when absent
+};
+
+ParsedQuery parse_query(std::string_view text);
+
+/// Keeps the incidents with at least one assignment satisfying `expr`.
+IncidentSet filter_where(const IncidentSet& incidents, const Pattern& p,
+                         const JoinExpr& expr, const LogIndex& index);
+
+}  // namespace wflog

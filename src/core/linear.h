@@ -1,0 +1,55 @@
+#pragma once
+
+// Fast path for LINEAR patterns: chains of ⊙/≫ over positive,
+// predicate-free atoms — by far the most common ad hoc query shape
+// ("UpdateRefer ≫ GetReimburse", "GetRefer ⊙ CheckIn ≫ GetReimburse", ...).
+//
+// For a linear pattern, every incident is a strictly increasing assignment
+// of positions to atoms, and distinct assignments produce distinct record
+// sets — so counting and existence checking do not require materializing
+// incidents at all:
+//
+//  * count:  dynamic programming over the atoms' occurrence lists with
+//            suffix sums — O(sum of occurrence-list lengths) per instance
+//            instead of the evaluator's output-bound O(|inc|·k);
+//  * exists: greedy earliest-match scan — O(chain length · log occ).
+//
+// This realises the paper's closing remark that the naive evaluation "can
+// be augmented with more advanced optimization techniques" for the
+// aggregate query modes its introduction motivates ("how many students
+// every year ...").
+
+#include <optional>
+#include <vector>
+
+#include "core/pattern.h"
+#include "log/index.h"
+
+namespace wflog {
+
+/// One atom of a linear chain and how it attaches to its predecessor.
+struct LinearStep {
+  std::string activity;
+  bool consecutive = false;  // true: is-lsn must be predecessor's + 1
+};
+
+/// A flattened temporal chain (first element's `consecutive` is unused).
+using LinearChain = std::vector<LinearStep>;
+
+/// Returns the chain if `p` is linear: only ⊙/≫ operators and positive
+/// atoms without predicates. Any tree shape qualifies (Theorems 2/4 make
+/// all groupings of a temporal chain equivalent); std::nullopt otherwise.
+std::optional<LinearChain> as_linear_chain(const Pattern& p);
+
+/// Number of incidents of the chain within one instance.
+std::size_t count_linear(const LinearChain& chain, const LogIndex& index,
+                         Wid wid);
+
+/// Number of incidents across the whole log.
+std::size_t count_linear(const LinearChain& chain, const LogIndex& index);
+
+/// Whether the chain has at least one incident in the instance / log.
+bool exists_linear(const LinearChain& chain, const LogIndex& index, Wid wid);
+bool exists_linear(const LinearChain& chain, const LogIndex& index);
+
+}  // namespace wflog

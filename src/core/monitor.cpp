@@ -1,0 +1,256 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/parser.h"
+
+namespace wflog {
+namespace {
+
+/// Inserts `o` into the canonical list `list` if absent; true if inserted.
+bool insert_unique(IncidentList& list, Incident o) {
+  auto it = std::lower_bound(list.begin(), list.end(), o);
+  if (it != list.end() && *it == o) return false;
+  list.insert(it, std::move(o));
+  return true;
+}
+
+}  // namespace
+
+LogMonitor::LogMonitor(MonitorOptions options) : options_(options) {
+  start_sym_ = interner_.intern(kStartActivity);
+  end_sym_ = interner_.intern(kEndActivity);
+}
+
+std::size_t LogMonitor::compile_node(const Pattern& p, CompiledQuery& q) {
+  CompiledNode node;
+  node.op = p.op();
+  if (p.is_atom()) {
+    node.activity = interner_.intern(p.activity());
+    node.negated = p.negated();
+    node.predicate = p.predicate();
+  } else {
+    node.left = compile_node(*p.left(), q);
+    node.right = compile_node(*p.right(), q);
+  }
+  q.nodes.push_back(std::move(node));
+  return q.nodes.size() - 1;
+}
+
+LogMonitor::QueryId LogMonitor::add_query(std::string_view pattern_text) {
+  return add_query(parse_pattern(pattern_text));
+}
+
+LogMonitor::QueryId LogMonitor::add_query(PatternPtr pattern) {
+  CompiledQuery q;
+  q.id = next_query_id_++;
+  q.pattern = std::move(pattern);
+  compile_node(*q.pattern, q);
+  queries_.push_back(std::move(q));
+  match_totals_.emplace(queries_.back().id, 0);
+  backfill(queries_.back());
+  return queries_.back().id;
+}
+
+void LogMonitor::remove_query(QueryId id) {
+  queries_.erase(std::remove_if(queries_.begin(), queries_.end(),
+                                [id](const CompiledQuery& q) {
+                                  return q.id == id;
+                                }),
+                 queries_.end());
+  state_.erase(id);
+}
+
+void LogMonitor::backfill(CompiledQuery& q) {
+  if (num_records_ == 0) return;
+  if (!options_.keep_records) {
+    throw Error(
+        "LogMonitor: adding a query after events requires keep_records");
+  }
+  // Replay retained history so the new query's results are indistinguishable
+  // from having been registered up front (its historical matches are
+  // reported now, in log order).
+  for (const LogRecord& l : records_) feed(q, l);
+  // Completed instances produce no further matches; drop their state.
+  auto& per_wid = state_[q.id];
+  for (auto it = per_wid.begin(); it != per_wid.end();) {
+    const auto open = next_is_lsn_.find(it->first);
+    const bool is_open = open != next_is_lsn_.end() && open->second != 0;
+    it = is_open ? std::next(it) : per_wid.erase(it);
+  }
+}
+
+Wid LogMonitor::begin_instance() {
+  // next_is_lsn_ entries: absent = never used, 0 = completed, >= 1 = open.
+  while (next_is_lsn_.contains(next_wid_)) ++next_wid_;
+  const Wid wid = next_wid_;
+  next_is_lsn_.emplace(wid, 1);
+  append_record(wid, start_sym_, {}, {});
+  return wid;
+}
+
+void LogMonitor::record(Wid wid, std::string_view activity,
+                        const NamedAttrs& in, const NamedAttrs& out) {
+  const auto open = next_is_lsn_.find(wid);
+  if (open == next_is_lsn_.end() || open->second == 0) {
+    throw Error("LogMonitor: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  if (activity == kStartActivity || activity == kEndActivity) {
+    throw Error("LogMonitor: activity name '" + std::string(activity) +
+                "' is reserved");
+  }
+  AttrMap in_map;
+  for (const auto& [name, value] : in) {
+    in_map.set(interner_.intern(name), value);
+  }
+  AttrMap out_map;
+  for (const auto& [name, value] : out) {
+    out_map.set(interner_.intern(name), value);
+  }
+  append_record(wid, interner_.intern(activity), std::move(in_map),
+                std::move(out_map));
+}
+
+void LogMonitor::end_instance(Wid wid) {
+  auto it = next_is_lsn_.find(wid);
+  if (it == next_is_lsn_.end() || it->second == 0) {
+    throw Error("LogMonitor: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  append_record(wid, end_sym_, {}, {});
+  it->second = 0;  // completed
+  // A completed instance can produce no further matches: drop its state.
+  for (auto& [query_id, per_wid] : state_) {
+    per_wid.erase(wid);
+  }
+}
+
+void LogMonitor::append_record(Wid wid, Symbol activity, AttrMap in,
+                               AttrMap out) {
+  LogRecord l;
+  l.lsn = static_cast<Lsn>(num_records_ + 1);
+  l.wid = wid;
+  l.is_lsn = next_is_lsn_.at(wid)++;
+  l.activity = activity;
+  l.in = std::move(in);
+  l.out = std::move(out);
+  ++num_records_;
+
+  for (CompiledQuery& q : queries_) {
+    feed(q, l);
+  }
+  if (options_.keep_records) records_.push_back(std::move(l));
+}
+
+void LogMonitor::feed(CompiledQuery& q, const LogRecord& l) {
+  InstanceState& st = state_[q.id][l.wid];
+  if (st.full.empty()) st.full.resize(q.nodes.size());
+
+  // Per-node delta lists for this record; all new incidents end at l.is_lsn.
+  std::vector<IncidentList> delta(q.nodes.size());
+
+  for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+    const CompiledNode& node = q.nodes[i];
+    IncidentList& d = delta[i];
+
+    switch (node.op) {
+      case PatternOp::kAtom: {
+        bool hit = node.negated ? l.activity != node.activity
+                                : l.activity == node.activity;
+        if (hit && node.negated && !options_.negation_matches_sentinels) {
+          hit = l.activity != start_sym_ && l.activity != end_sym_;
+        }
+        if (hit && node.predicate != nullptr) {
+          hit = node.predicate->eval(l, interner_);
+        }
+        if (hit) d.push_back(Incident::singleton(l.wid, l.is_lsn));
+        break;
+      }
+      case PatternOp::kConsecutive:
+      case PatternOp::kSequential: {
+        // New right incidents (ending at n) joined with ALL left incidents
+        // known so far (old ∪ delta-left: a delta-left incident also ends
+        // at n and can never precede a right incident ending at n, so only
+        // the old ones matter).
+        const bool cons = node.op == PatternOp::kConsecutive;
+        for (const Incident& r : delta[node.right]) {
+          for (const Incident& lft : st.full[node.left]) {
+            const bool ok = cons ? lft.last() + 1 == r.first()
+                                 : lft.last() < r.first();
+            if (ok) d.push_back(Incident::merged(lft, r));
+          }
+        }
+        canonicalize(d);
+        break;
+      }
+      case PatternOp::kChoice: {
+        // Every delta incident contains the brand-new position, so deltas
+        // can never duplicate history (whose incidents end earlier); only
+        // the two sides' deltas can coincide, which canonicalize removes.
+        d = delta[node.left];
+        d.insert(d.end(), delta[node.right].begin(),
+                 delta[node.right].end());
+        canonicalize(d);
+        break;
+      }
+      case PatternOp::kParallel: {
+        for (const Incident& a : delta[node.left]) {
+          for (const Incident& b : st.full[node.right]) {
+            if (Incident::disjoint(a, b)) {
+              d.push_back(Incident::merged(a, b));
+            }
+          }
+        }
+        for (const Incident& b : delta[node.right]) {
+          for (const Incident& a : st.full[node.left]) {
+            if (Incident::disjoint(a, b)) {
+              d.push_back(Incident::merged(a, b));
+            }
+          }
+          for (const Incident& a : delta[node.left]) {
+            if (Incident::disjoint(a, b)) {
+              d.push_back(Incident::merged(a, b));
+            }
+          }
+        }
+        canonicalize(d);
+        break;
+      }
+    }
+  }
+
+  // Commit deltas to node state and report root matches, suppressing any
+  // duplicate the root may have produced before (set semantics).
+  const std::size_t root = q.nodes.size() - 1;
+  for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+    for (Incident& o : delta[i]) {
+      const bool fresh = insert_unique(st.full[i], o);
+      if (fresh && i == root) {
+        matches_.push_back(Match{q.id, o});
+        ++match_totals_[q.id];
+      }
+    }
+  }
+}
+
+std::vector<LogMonitor::Match> LogMonitor::drain() {
+  std::vector<Match> out;
+  out.swap(matches_);
+  return out;
+}
+
+std::size_t LogMonitor::total_matches(QueryId id) const {
+  auto it = match_totals_.find(id);
+  return it == match_totals_.end() ? 0 : it->second;
+}
+
+Log LogMonitor::snapshot() const {
+  if (!options_.keep_records) {
+    throw Error("LogMonitor: snapshot requires keep_records");
+  }
+  return Log::from_records(records_, interner_);
+}
+
+}  // namespace wflog

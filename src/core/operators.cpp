@@ -1,0 +1,80 @@
+#include "core/operators.h"
+
+#include <algorithm>
+
+namespace wflog {
+
+IncidentList eval_consecutive_naive(const IncidentList& inc1,
+                                    const IncidentList& inc2) {
+  IncidentList out;
+  for (const Incident& o1 : inc1) {
+    for (const Incident& o2 : inc2) {
+      if (o1.last() + 1 == o2.first()) {
+        out.push_back(Incident::merged(o1, o2));
+      }
+    }
+  }
+  canonicalize(out);
+  return out;
+}
+
+IncidentList eval_sequential_naive(const IncidentList& inc1,
+                                   const IncidentList& inc2) {
+  IncidentList out;
+  for (const Incident& o1 : inc1) {
+    for (const Incident& o2 : inc2) {
+      if (o1.last() < o2.first()) {
+        out.push_back(Incident::merged(o1, o2));
+      }
+    }
+  }
+  canonicalize(out);
+  return out;
+}
+
+IncidentList eval_choice_naive(const IncidentList& inc1,
+                               const IncidentList& inc2, bool dedup) {
+  IncidentList out;
+  out.reserve(inc1.size() + inc2.size());
+  out.insert(out.end(), inc1.begin(), inc1.end());
+  if (!dedup) {
+    // Precondition (Lemma 1's refinement): the incident sets are disjoint,
+    // so a sort without duplicate elimination restores canonical order.
+    out.insert(out.end(), inc2.begin(), inc2.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  {
+    // Algorithm 1's pairwise duplicate scan: append o2 only when it equals
+    // no incident of inc1 (element-by-element comparison, the min(k1,k2)
+    // factor of Lemma 1).
+    for (const Incident& o2 : inc2) {
+      bool duplicated = false;
+      for (const Incident& o1 : inc1) {
+        if (o1 == o2) {
+          duplicated = true;
+          break;
+        }
+      }
+      if (!duplicated) out.push_back(o2);
+    }
+  }
+  canonicalize(out);
+  return out;
+}
+
+IncidentList eval_parallel_naive(const IncidentList& inc1,
+                                 const IncidentList& inc2) {
+  IncidentList out;
+  for (const Incident& o1 : inc1) {
+    for (const Incident& o2 : inc2) {
+      if (Incident::disjoint(o1, o2)) {
+        out.push_back(Incident::merged(o1, o2));
+      }
+    }
+  }
+  canonicalize(out);
+  return out;
+}
+
+}  // namespace wflog

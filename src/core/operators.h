@@ -1,0 +1,43 @@
+#pragma once
+
+// Naive operator evaluation — a faithful implementation of the paper's
+// Algorithm 1 ("Composite pattern operator evaluation algorithms").
+//
+// Each function combines the incident lists of two sub-patterns evaluated
+// over ONE workflow instance (Algorithm 1's simplifying assumption; the
+// tree evaluator handles the per-wid partitioning). Inputs are assumed
+// canonical (sorted by first(), the ordering the paper stipulates);
+// outputs are canonicalized, realising Definition 4's set semantics — the
+// one place we deliberately go beyond the printed pseudo-code, which can
+// emit duplicate unions (see DESIGN.md §6).
+//
+// Complexities follow Lemma 1:
+//   consecutive  O(n1·n2)
+//   sequential   O(n1·n2)
+//   choice       O(n1·n2·min(k1,k2)) when operand activity multisets are
+//                equal (dedup needed), O(n1+n2) otherwise
+//   parallel     O(n1·n2·(k1+k2))
+
+#include "core/incident.h"
+
+namespace wflog {
+
+/// p1 ⊙ p2: pairs with last(o1) + 1 = first(o2).
+IncidentList eval_consecutive_naive(const IncidentList& inc1,
+                                    const IncidentList& inc2);
+
+/// p1 ≫ p2: pairs with last(o1) < first(o2).
+IncidentList eval_sequential_naive(const IncidentList& inc1,
+                                   const IncidentList& inc2);
+
+/// p1 ⊗ p2: set union. `dedup` should be true iff the operands' activity
+/// multisets are equal (Lemma 1's refinement); when false the two lists are
+/// disjoint by construction and are simply merged.
+IncidentList eval_choice_naive(const IncidentList& inc1,
+                               const IncidentList& inc2, bool dedup);
+
+/// p1 ⊕ p2: unions of record-disjoint pairs.
+IncidentList eval_parallel_naive(const IncidentList& inc1,
+                                 const IncidentList& inc2);
+
+}  // namespace wflog

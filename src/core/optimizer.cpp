@@ -1,0 +1,37 @@
+#include "core/optimizer.h"
+
+namespace wflog {
+
+OptimizeResult optimize(PatternPtr p, const CostModel& model,
+                        const OptimizerOptions& options) {
+  OptimizeResult result;
+  result.initial_cost = model.cost(*p);
+
+  double current_cost = result.initial_cost;
+  while (result.steps < options.max_steps) {
+    std::vector<rewrite::Step> moves = rewrite::neighbors(p);
+    result.candidates_examined += moves.size();
+
+    const rewrite::Step* best = nullptr;
+    double best_cost = current_cost;
+    for (const rewrite::Step& s : moves) {
+      const double c = model.cost(*s.result);
+      if (c < best_cost) {
+        best_cost = c;
+        best = &s;
+      }
+    }
+    if (best == nullptr) break;  // local optimum
+
+    p = best->result;
+    current_cost = best_cost;
+    ++result.steps;
+    if (options.trace) result.trace.push_back(best->rule);
+  }
+
+  result.pattern = std::move(p);
+  result.final_cost = current_cost;
+  return result;
+}
+
+}  // namespace wflog

@@ -1,0 +1,39 @@
+#pragma once
+
+// Cost-based query optimization — the paper's "immediate task" for future
+// work (§6), built on the algebraic laws of Theorems 2–5.
+//
+// The optimizer performs greedy local search: from the current pattern it
+// enumerates every tree reachable by one law application (rewrite::
+// neighbors), estimates each with the CostModel, and moves to the cheapest
+// strict improvement, stopping at a local optimum or the step limit.
+// Soundness is inherited from the theorems — every move preserves inc_L —
+// and is additionally property-tested (tests/optimizer_test.cpp).
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/rewriter.h"
+
+namespace wflog {
+
+struct OptimizerOptions {
+  std::size_t max_steps = 64;
+  /// Record the rule applied at each step (for EXPLAIN-style output).
+  bool trace = false;
+};
+
+struct OptimizeResult {
+  PatternPtr pattern;  // the chosen plan
+  double initial_cost = 0;
+  double final_cost = 0;
+  std::size_t steps = 0;
+  std::size_t candidates_examined = 0;
+  std::vector<std::string> trace;  // rule labels, when options.trace
+};
+
+OptimizeResult optimize(PatternPtr p, const CostModel& model,
+                        const OptimizerOptions& options = {});
+
+}  // namespace wflog

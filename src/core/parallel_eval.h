@@ -1,0 +1,33 @@
+#pragma once
+
+// Multi-threaded whole-log evaluation.
+//
+// Incidents never span workflow instances (Definition 4 requires one wid),
+// so evaluation is embarrassingly parallel across instances: the log is
+// partitioned by wid and each worker runs the ordinary per-instance
+// evaluator over its share. Results are assembled in wid order, making the
+// output bit-identical to the serial evaluator (property-tested).
+//
+// The LogIndex is shared read-only; each worker owns its Evaluator (whose
+// counters are thread-local by construction).
+
+#include "core/evaluator.h"
+
+namespace wflog {
+
+struct ParallelOptions {
+  /// Worker count; 0 = std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  EvalOptions eval;
+};
+
+/// Parallel inc_L(p). Falls back to the serial evaluator for tiny logs
+/// (fewer instances than workers).
+IncidentSet evaluate_parallel(const Pattern& p, const LogIndex& index,
+                              const ParallelOptions& options = {});
+
+/// Parallel |inc_L(p)| (uses the linear fast path per worker when legal).
+std::size_t count_parallel(const Pattern& p, const LogIndex& index,
+                           const ParallelOptions& options = {});
+
+}  // namespace wflog

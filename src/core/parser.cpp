@@ -1,0 +1,464 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/text.h"
+
+namespace wflog {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pattern lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kOp,      // one of the four binary operators (payload: PatternOp)
+  kBang,    // negation prefix
+  kColon,   // binding separator in "x:Activity"
+  kLParen,
+  kRParen,
+  kPredicate,  // the raw text between [ and ]
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  PatternOp op = PatternOp::kAtom;
+  std::string_view text;  // ident payload or predicate body
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws();
+    Token t;
+    t.offset = pos_;
+    if (pos_ >= text_.size()) return t;  // kEnd
+
+    const char c = text_[pos_];
+
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = text_.substr(start, pos_ - start);
+      return t;
+    }
+
+    auto op_token = [&](PatternOp op, std::size_t len) {
+      t.kind = TokKind::kOp;
+      t.op = op;
+      pos_ += len;
+      return t;
+    };
+
+    switch (c) {
+      case '(':
+        ++pos_;
+        t.kind = TokKind::kLParen;
+        return t;
+      case ')':
+        ++pos_;
+        t.kind = TokKind::kRParen;
+        return t;
+      case '!':
+      case '~':
+        ++pos_;
+        t.kind = TokKind::kBang;
+        return t;
+      case ':':
+        ++pos_;
+        t.kind = TokKind::kColon;
+        return t;
+      case '.':
+        return op_token(PatternOp::kConsecutive, 1);
+      case '|':
+        return op_token(PatternOp::kChoice, 1);
+      case '&':
+        return op_token(PatternOp::kParallel, 1);
+      case '-':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          return op_token(PatternOp::kSequential, 2);
+        }
+        throw ParseError("expected '->'", pos_);
+      case '>':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          return op_token(PatternOp::kSequential, 2);
+        }
+        throw ParseError("expected '>>'", pos_);
+      case '[': {
+        // Scan to the matching ']' (predicates contain no nested brackets,
+        // but strings inside may contain ']').
+        const std::size_t start = pos_ + 1;
+        bool in_str = false;
+        for (std::size_t i = start; i < text_.size(); ++i) {
+          const char k = text_[i];
+          if (in_str) {
+            if (k == '\\') {
+              ++i;
+            } else if (k == '"') {
+              in_str = false;
+            }
+          } else if (k == '"') {
+            in_str = true;
+          } else if (k == ']') {
+            t.kind = TokKind::kPredicate;
+            t.text = text_.substr(start, i - start);
+            pos_ = i + 1;
+            return t;
+          }
+        }
+        throw ParseError("unterminated predicate '['", t.offset);
+      }
+      default:
+        break;
+    }
+
+    // UTF-8 aliases for the paper's glyphs.
+    struct Alias {
+      std::string_view glyph;
+      TokKind kind;
+      PatternOp op;
+    };
+    static constexpr Alias kAliases[] = {
+        {"\xe2\x8a\x99", TokKind::kOp, PatternOp::kConsecutive},  // ⊙
+        {"\xe2\x89\xab", TokKind::kOp, PatternOp::kSequential},   // ≫
+        {"\xe2\x8a\x97", TokKind::kOp, PatternOp::kChoice},       // ⊗
+        {"\xe2\x8a\x95", TokKind::kOp, PatternOp::kParallel},     // ⊕
+        {"\xc2\xac", TokKind::kBang, PatternOp::kAtom},           // ¬
+    };
+    for (const Alias& a : kAliases) {
+      if (text_.substr(pos_).starts_with(a.glyph)) {
+        t.kind = a.kind;
+        t.op = a.op;
+        pos_ += a.glyph.size();
+        return t;
+      }
+    }
+
+    throw ParseError("unexpected character '" + std::string(1, c) + "'",
+                     pos_);
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+int precedence(PatternOp op) {
+  switch (op) {
+    case PatternOp::kChoice:
+      return 1;
+    case PatternOp::kParallel:
+      return 2;
+    case PatternOp::kConsecutive:
+    case PatternOp::kSequential:
+      return 3;  // equal level — Theorem 4
+    case PatternOp::kAtom:
+      break;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------
+// Predicate parser (recursive descent over the text between [ ])
+// ---------------------------------------------------------------------
+
+class PredicateParser {
+ public:
+  PredicateParser(std::string_view text, std::size_t base_offset)
+      : text_(text), base_(base_offset) {}
+
+  PredicatePtr parse() {
+    PredicatePtr p = parse_or();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content in predicate");
+    return p;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(msg, base_ + pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool eat(std::string_view word) {
+    skip_ws();
+    if (text_.substr(pos_).starts_with(word)) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::string_view ident() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  PredicatePtr parse_or() {
+    PredicatePtr p = parse_and();
+    while (eat("||")) p = Predicate::logical_or(p, parse_and());
+    return p;
+  }
+
+  PredicatePtr parse_and() {
+    PredicatePtr p = parse_factor();
+    while (eat("&&")) p = Predicate::logical_and(p, parse_factor());
+    return p;
+  }
+
+  std::pair<MapSel, std::string> parse_ref() {
+    const std::string_view first = ident();
+    if ((first == "in" || first == "out") && peek() == '.') {
+      ++pos_;  // consume '.'
+      const MapSel sel = first == "in" ? MapSel::kIn : MapSel::kOut;
+      return {sel, std::string(ident())};
+    }
+    return {MapSel::kAny, std::string(first)};
+  }
+
+  PredicatePtr parse_factor() {
+    skip_ws();
+    if (eat("!")) return Predicate::logical_not(parse_factor());
+    if (peek() == '(') {
+      ++pos_;
+      PredicatePtr p = parse_or();
+      skip_ws();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+      return p;
+    }
+    // 'exists' must be followed by a reference; a bare attribute called
+    // "exists" can be written as in.exists / out.exists.
+    {
+      const std::size_t save = pos_;
+      skip_ws();
+      if (text_.substr(pos_).starts_with("exists") &&
+          (pos_ + 6 == text_.size() ||
+           std::isalnum(static_cast<unsigned char>(text_[pos_ + 6])) == 0)) {
+        pos_ += 6;
+        auto [sel, attr] = parse_ref();
+        return Predicate::exists(sel, std::move(attr));
+      }
+      pos_ = save;
+    }
+
+    auto [sel, attr] = parse_ref();
+    const CmpOp op = parse_cmp();
+    Value lit = parse_literal();
+    return Predicate::compare(sel, std::move(attr), op, std::move(lit));
+  }
+
+  CmpOp parse_cmp() {
+    skip_ws();
+    if (eat("==") || eat("=")) return CmpOp::kEq;
+    if (eat("!=")) return CmpOp::kNe;
+    if (eat("<=")) return CmpOp::kLe;
+    if (eat("<")) return CmpOp::kLt;
+    if (eat(">=")) return CmpOp::kGe;
+    if (eat(">")) return CmpOp::kGt;
+    fail("expected comparison operator");
+  }
+
+  Value parse_literal() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("expected literal");
+    if (text_[pos_] == '"') {
+      const std::size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\') ++pos_;
+        ++pos_;
+      }
+      if (pos_ >= text_.size()) fail("unterminated string literal");
+      ++pos_;
+      return Value::parse(text_.substr(start, pos_ - start));
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+' ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected literal");
+    return Value::parse(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t base_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PredicatePtr parse_predicate(std::string_view text) {
+  return PredicateParser(text, 0).parse();
+}
+
+// ---------------------------------------------------------------------
+// Shunting-yard pattern parser (Algorithm 3)
+// ---------------------------------------------------------------------
+
+PatternPtr parse_pattern(std::string_view text) {
+  Lexer lexer(text);
+
+  std::vector<PatternPtr> operands;
+  struct StackOp {
+    PatternOp op;
+    bool paren;  // open-paren marker
+    std::size_t offset;
+  };
+  std::vector<StackOp> ops;
+
+  auto reduce_one = [&](std::size_t offset) {
+    if (operands.size() < 2) {
+      throw ParseError("operator missing an operand", offset);
+    }
+    PatternPtr right = std::move(operands.back());
+    operands.pop_back();
+    PatternPtr left = std::move(operands.back());
+    operands.pop_back();
+    operands.push_back(
+        Pattern::combine(ops.back().op, std::move(left), std::move(right)));
+    ops.pop_back();
+  };
+
+  bool expect_operand = true;
+  for (Token t = lexer.next();; t = lexer.next()) {
+    switch (t.kind) {
+      case TokKind::kBang:
+      case TokKind::kIdent: {
+        if (!expect_operand) {
+          throw ParseError("expected operator before operand", t.offset);
+        }
+        // Optional variable binding: "x : Activity".
+        std::string binding;
+        if (t.kind == TokKind::kIdent) {
+          Lexer peek_lexer = lexer;
+          const Token nxt = peek_lexer.next();
+          if (nxt.kind == TokKind::kColon) {
+            binding = std::string(t.text);
+            lexer = peek_lexer;
+            t = lexer.next();
+            if (t.kind != TokKind::kIdent && t.kind != TokKind::kBang) {
+              throw ParseError("expected activity name after binding ':'",
+                               t.offset);
+            }
+          }
+        }
+        bool negated = false;
+        if (t.kind == TokKind::kBang) {
+          negated = true;
+          t = lexer.next();
+          if (t.kind != TokKind::kIdent) {
+            throw ParseError(
+                "negation '!' applies to an activity name "
+                "(Definition 3 allows only atomic negation)",
+                t.offset);
+          }
+        }
+        std::string name(t.text);
+        // Optional predicate suffix.
+        PredicatePtr pred;
+        Lexer peek_lexer = lexer;  // cheap copy: offsets only
+        Token nxt = peek_lexer.next();
+        if (nxt.kind == TokKind::kPredicate) {
+          pred = PredicateParser(nxt.text, nxt.offset + 1).parse();
+          lexer = peek_lexer;
+        }
+        operands.push_back(Pattern::bound_atom(std::move(binding),
+                                               std::move(name), negated,
+                                               pred));
+        expect_operand = false;
+        break;
+      }
+      case TokKind::kOp: {
+        if (expect_operand) {
+          throw ParseError("operator without left operand", t.offset);
+        }
+        while (!ops.empty() && !ops.back().paren &&
+               precedence(ops.back().op) >= precedence(t.op)) {
+          reduce_one(t.offset);  // left-associative
+        }
+        ops.push_back(StackOp{t.op, false, t.offset});
+        expect_operand = true;
+        break;
+      }
+      case TokKind::kLParen:
+        if (!expect_operand) {
+          throw ParseError("expected operator before '('", t.offset);
+        }
+        ops.push_back(StackOp{PatternOp::kAtom, true, t.offset});
+        break;
+      case TokKind::kRParen: {
+        if (expect_operand) {
+          throw ParseError("expected operand before ')'", t.offset);
+        }
+        while (!ops.empty() && !ops.back().paren) reduce_one(t.offset);
+        if (ops.empty()) throw ParseError("unbalanced ')'", t.offset);
+        ops.pop_back();  // discard the open paren
+        break;
+      }
+      case TokKind::kColon:
+        throw ParseError("':' must follow a variable name", t.offset);
+      case TokKind::kPredicate:
+        throw ParseError("predicate '[' must follow an activity name",
+                         t.offset);
+      case TokKind::kEnd: {
+        if (expect_operand) {
+          throw ParseError("empty pattern or trailing operator", t.offset);
+        }
+        while (!ops.empty()) {
+          if (ops.back().paren) {
+            throw ParseError("unbalanced '('", ops.back().offset);
+          }
+          reduce_one(t.offset);
+        }
+        if (operands.size() != 1) {
+          throw ParseError("malformed pattern", t.offset);
+        }
+        return operands.front();
+      }
+    }
+  }
+}
+
+}  // namespace wflog

@@ -1,0 +1,43 @@
+#pragma once
+
+// Text syntax for incident patterns, parsed with the stack-based
+// shunting-yard algorithm the paper prescribes (Algorithm 3 builds the
+// incident tree from the operator expression; Dijkstra 1961).
+//
+// Grammar (ASCII tokens, with the paper's glyphs accepted as aliases):
+//
+//   pattern  := pattern OP pattern | '(' pattern ')' | atom
+//   atom     := ['!'] IDENT [ '[' predicate ']' ]
+//   OP       := '.'   consecutive   (alias: ⊙)
+//             | '->'  sequential    (alias: ≫, '>>')
+//             | '|'   choice        (alias: ⊗)
+//             | '&'   parallel      (alias: ⊕)
+//   '!' negation (alias: ¬, '~')
+//
+// Precedence (high to low): { . -> } > & > | — all left-associative.
+// Consecutive and sequential share one precedence level, which Theorem 4
+// licenses: any grouping of a ⊙/≫ chain denotes the same incident set.
+//
+// Predicate sub-language (between [ ]): see core/predicate.h.
+//
+// Examples:
+//   UpdateRefer -> GetReimburse
+//   SeeDoctor -> (UpdateRefer -> GetReimburse)
+//   GetRefer[out.balance > 5000] . CheckIn
+//   (PayTreatment | UpdateRefer) & SeeDoctor
+//   !CheckIn -> END
+
+#include <string_view>
+
+#include "core/pattern.h"
+
+namespace wflog {
+
+/// Parses a pattern expression. Throws ParseError (with byte offset) on
+/// malformed input.
+PatternPtr parse_pattern(std::string_view text);
+
+/// Parses a standalone predicate expression (the text between [ ]).
+PredicatePtr parse_predicate(std::string_view text);
+
+}  // namespace wflog

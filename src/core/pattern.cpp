@@ -1,0 +1,158 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/error.h"
+#include "common/text.h"
+
+namespace wflog {
+
+std::string_view op_token(PatternOp op) {
+  switch (op) {
+    case PatternOp::kAtom:
+      return "";
+    case PatternOp::kConsecutive:
+      return ".";
+    case PatternOp::kSequential:
+      return "->";
+    case PatternOp::kChoice:
+      return "|";
+    case PatternOp::kParallel:
+      return "&";
+  }
+  return "?";
+}
+
+std::string_view op_name(PatternOp op) {
+  switch (op) {
+    case PatternOp::kAtom:
+      return "atom";
+    case PatternOp::kConsecutive:
+      return "consecutive";
+    case PatternOp::kSequential:
+      return "sequential";
+    case PatternOp::kChoice:
+      return "choice";
+    case PatternOp::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t mix(std::size_t h, std::size_t v) {
+  return h * 0x9e3779b97f4a7c15ULL + v + 0x165667b19e3779f9ULL;
+}
+
+}  // namespace
+
+PatternPtr Pattern::atom(std::string activity, bool negated,
+                         PredicatePtr predicate) {
+  return bound_atom({}, std::move(activity), negated, std::move(predicate));
+}
+
+PatternPtr Pattern::bound_atom(std::string binding, std::string activity,
+                               bool negated, PredicatePtr predicate) {
+  if (!is_identifier(activity)) {
+    throw QueryError("invalid activity name in pattern: '" + activity + "'");
+  }
+  if (!binding.empty() && !is_identifier(binding)) {
+    throw QueryError("invalid variable name in pattern: '" + binding + "'");
+  }
+  auto p = std::shared_ptr<Pattern>(new Pattern());
+  p->op_ = PatternOp::kAtom;
+  p->activity_ = std::move(activity);
+  p->binding_ = std::move(binding);
+  p->negated_ = negated;
+  p->predicate_ = std::move(predicate);
+  p->has_negation_ = negated;
+  p->has_predicate_ = p->predicate_ != nullptr;
+  std::size_t h = mix(0, std::hash<std::string>{}(p->activity_));
+  h = mix(h, negated ? 1 : 2);
+  if (!p->binding_.empty()) {
+    h = mix(h, std::hash<std::string>{}(p->binding_));
+  }
+  if (p->predicate_ != nullptr) h = mix(h, p->predicate_->hash());
+  p->hash_ = h;
+  return p;
+}
+
+PatternPtr Pattern::combine(PatternOp op, PatternPtr left, PatternPtr right) {
+  if (op == PatternOp::kAtom) {
+    throw QueryError("Pattern::combine requires a binary operator");
+  }
+  if (left == nullptr || right == nullptr) {
+    throw QueryError("Pattern::combine: null operand");
+  }
+  auto p = std::shared_ptr<Pattern>(new Pattern());
+  p->op_ = op;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  p->num_operators_ = p->left_->num_operators_ + p->right_->num_operators_ + 1;
+  p->num_atoms_ = p->left_->num_atoms_ + p->right_->num_atoms_;
+  p->height_ = 1 + std::max(p->left_->height_, p->right_->height_);
+  if (op == PatternOp::kChoice) {
+    p->min_size_ = std::min(p->left_->min_size_, p->right_->min_size_);
+    p->max_size_ = std::max(p->left_->max_size_, p->right_->max_size_);
+  } else {
+    p->min_size_ = p->left_->min_size_ + p->right_->min_size_;
+    p->max_size_ = p->left_->max_size_ + p->right_->max_size_;
+  }
+  p->has_negation_ = p->left_->has_negation_ || p->right_->has_negation_;
+  p->has_choice_ = op == PatternOp::kChoice || p->left_->has_choice_ ||
+                   p->right_->has_choice_;
+  p->has_predicate_ = p->left_->has_predicate_ || p->right_->has_predicate_;
+  std::size_t h = mix(static_cast<std::size_t>(op) + 100, p->left_->hash_);
+  p->hash_ = mix(h, p->right_->hash_);
+  return p;
+}
+
+bool needs_choice_dedup(const Pattern& p1, const Pattern& p2) {
+  // Incidents of different sizes are never equal; ⊙/≫/⊕ force operand
+  // sizes to add, so size ranges bound incident sizes exactly.
+  if (p1.max_incident_size() < p2.min_incident_size() ||
+      p2.max_incident_size() < p1.min_incident_size()) {
+    return false;
+  }
+  const bool analyzable = !p1.has_negation() && !p2.has_negation() &&
+                          !p1.has_choice() && !p2.has_choice();
+  if (!analyzable) return true;  // conservative
+  return p1.activity_multiset() == p2.activity_multiset();
+}
+
+std::vector<std::string> Pattern::activity_multiset() const {
+  std::vector<std::string> names;
+  names.reserve(num_atoms_);
+  std::function<void(const Pattern&)> walk = [&](const Pattern& p) {
+    if (p.is_atom()) {
+      names.push_back((p.negated_ ? "!" : "") + p.activity_);
+    } else {
+      walk(*p.left_);
+      walk(*p.right_);
+    }
+  };
+  walk(*this);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool Pattern::structurally_equal(const Pattern& other) const {
+  if (this == &other) return true;
+  if (op_ != other.op_ || hash_ != other.hash_) return false;
+  if (is_atom()) {
+    if (activity_ != other.activity_ || negated_ != other.negated_ ||
+        binding_ != other.binding_) {
+      return false;
+    }
+    if ((predicate_ == nullptr) != (other.predicate_ == nullptr)) {
+      return false;
+    }
+    return predicate_ == nullptr || predicate_->equals(*other.predicate_);
+  }
+  return left_->structurally_equal(*other.left_) &&
+         right_->structurally_equal(*other.right_);
+}
+
+}  // namespace wflog

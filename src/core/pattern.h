@@ -1,0 +1,174 @@
+#pragma once
+
+// Incident patterns (Definition 3): the query expressions of the language.
+//
+//   atomic       t, ¬t          an activity (positive / negative)
+//   consecutive  p1 . p2        p1 immediately followed by p2
+//   sequential   p1 -> p2       p1 somewhere before p2
+//   choice       p1 | p2        one of p1, p2
+//   parallel     p1 & p2        both, interleaved, sharing no records
+//
+// Pattern nodes are immutable and shared (shared_ptr<const Pattern>), so
+// rewriting (core/rewriter.h) builds new trees over existing subtrees with
+// no copying. The "incident tree" of Definition 6 is exactly this AST.
+//
+// Atoms optionally carry an attribute predicate (core/predicate.h), an
+// extension documented in DESIGN.md §7.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predicate.h"
+
+namespace wflog {
+
+enum class PatternOp : std::uint8_t {
+  kAtom,
+  kConsecutive,  // paper: p1 ⊙ p2 (Algorithm 1 "CONS")
+  kSequential,   // paper: p1 ≫ p2 ("SEQU")
+  kChoice,       // paper: p1 ⊗ p2 ("CHOICE")
+  kParallel,     // paper: p1 ⊕ p2 ("PARA")
+};
+
+/// Operator glyph in the library's text syntax (".", "->", "|", "&").
+std::string_view op_token(PatternOp op);
+/// Operator name ("consecutive", ...).
+std::string_view op_name(PatternOp op);
+
+class Pattern;
+using PatternPtr = std::shared_ptr<const Pattern>;
+
+class Pattern {
+ public:
+  // ----- construction ------------------------------------------------
+  static PatternPtr atom(std::string activity, bool negated = false,
+                         PredicatePtr predicate = nullptr);
+
+  /// Atom carrying a variable name ("x" in the conference version's
+  /// "x : t" incidents). Bindings are recovered per incident with
+  /// derive_bindings (core/bindings.h); they do not affect semantics.
+  static PatternPtr bound_atom(std::string binding, std::string activity,
+                               bool negated = false,
+                               PredicatePtr predicate = nullptr);
+  static PatternPtr combine(PatternOp op, PatternPtr left, PatternPtr right);
+  static PatternPtr consecutive(PatternPtr l, PatternPtr r) {
+    return combine(PatternOp::kConsecutive, std::move(l), std::move(r));
+  }
+  static PatternPtr sequential(PatternPtr l, PatternPtr r) {
+    return combine(PatternOp::kSequential, std::move(l), std::move(r));
+  }
+  static PatternPtr choice(PatternPtr l, PatternPtr r) {
+    return combine(PatternOp::kChoice, std::move(l), std::move(r));
+  }
+  static PatternPtr parallel(PatternPtr l, PatternPtr r) {
+    return combine(PatternOp::kParallel, std::move(l), std::move(r));
+  }
+
+  // ----- shape -------------------------------------------------------
+  PatternOp op() const noexcept { return op_; }
+  bool is_atom() const noexcept { return op_ == PatternOp::kAtom; }
+
+  /// Atom accessors. Precondition: is_atom().
+  const std::string& activity() const noexcept { return activity_; }
+  bool negated() const noexcept { return negated_; }
+  const PredicatePtr& predicate() const noexcept { return predicate_; }
+  /// Variable name bound to this atom's matched record; empty = unnamed.
+  const std::string& binding() const noexcept { return binding_; }
+
+  /// Composite accessors. Precondition: !is_atom().
+  const PatternPtr& left() const noexcept { return left_; }
+  const PatternPtr& right() const noexcept { return right_; }
+
+  // ----- structural measures ------------------------------------------
+  /// Number of operator nodes (the k of Theorem 1).
+  std::size_t num_operators() const noexcept { return num_operators_; }
+  /// Number of atoms ("number of activity names", the k_i of Lemma 1).
+  std::size_t num_atoms() const noexcept { return num_atoms_; }
+  /// Tree height (atoms have height 1).
+  std::size_t height() const noexcept { return height_; }
+
+  /// The multiset of activity names occurring in the pattern, as a sorted
+  /// vector (negative atoms prefixed with "!"). Lemma 1's refinement of
+  /// choice: dedup is only needed when the operands' multisets are equal.
+  std::vector<std::string> activity_multiset() const;
+
+  /// Minimal / maximal number of records in any incident of this pattern.
+  /// Choice makes the two differ; for every other operator they add up.
+  std::size_t min_incident_size() const noexcept { return min_size_; }
+  std::size_t max_incident_size() const noexcept { return max_size_; }
+
+  /// Structure flags used to decide whether choice needs duplicate
+  /// elimination (see needs_choice_dedup below).
+  bool has_negation() const noexcept { return has_negation_; }
+  bool has_choice() const noexcept { return has_choice_; }
+  bool has_predicate() const noexcept { return has_predicate_; }
+
+  // ----- identity -----------------------------------------------------
+  bool structurally_equal(const Pattern& other) const;
+  std::size_t hash() const noexcept { return hash_; }
+
+ private:
+  Pattern() = default;
+
+  PatternOp op_ = PatternOp::kAtom;
+  // atom state
+  std::string activity_;
+  std::string binding_;
+  bool negated_ = false;
+  PredicatePtr predicate_;
+  // composite state
+  PatternPtr left_;
+  PatternPtr right_;
+  // cached measures
+  std::size_t num_operators_ = 0;
+  std::size_t num_atoms_ = 1;
+  std::size_t height_ = 1;
+  std::size_t min_size_ = 1;
+  std::size_t max_size_ = 1;
+  bool has_negation_ = false;
+  bool has_choice_ = false;
+  bool has_predicate_ = false;
+  std::size_t hash_ = 0;
+};
+
+/// Whether evaluating `p1 ⊗ p2` requires duplicate elimination.
+///
+/// Lemma 1's refinement — dedup only when the operands' activity multisets
+/// are equal — is stated for positive, choice-free operands: there, every
+/// incident's record-activity multiset equals the pattern's, so distinct
+/// multisets guarantee disjoint incident sets. A negated atom can match any
+/// activity and a nested choice makes the multiset ambiguous, so in those
+/// cases we answer conservatively (true). A disjoint incident-size range is
+/// always a sound reason to skip dedup.
+bool needs_choice_dedup(const Pattern& p1, const Pattern& p2);
+
+/// Convenience literals for building patterns in C++:
+///   using namespace wflog::dsl;
+///   auto p = A("SeeDoctor") >> (A("UpdateRefer") >> A("GetReimburse"));
+namespace dsl {
+
+inline PatternPtr A(std::string name) { return Pattern::atom(std::move(name)); }
+inline PatternPtr N(std::string name) {
+  return Pattern::atom(std::move(name), /*negated=*/true);
+}
+
+/// consecutive
+inline PatternPtr operator+(PatternPtr l, PatternPtr r) {
+  return Pattern::consecutive(std::move(l), std::move(r));
+}
+/// sequential
+inline PatternPtr operator>>(PatternPtr l, PatternPtr r) {
+  return Pattern::sequential(std::move(l), std::move(r));
+}
+/// choice
+inline PatternPtr operator|(PatternPtr l, PatternPtr r) {
+  return Pattern::choice(std::move(l), std::move(r));
+}
+/// parallel
+inline PatternPtr operator&(PatternPtr l, PatternPtr r) {
+  return Pattern::parallel(std::move(l), std::move(r));
+}
+
+}  // namespace dsl
+}  // namespace wflog

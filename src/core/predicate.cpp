@@ -1,0 +1,204 @@
+#include "core/predicate.h"
+
+#include <functional>
+
+namespace wflog {
+
+std::string_view to_string(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view to_string(MapSel sel) {
+  switch (sel) {
+    case MapSel::kIn:
+      return "in";
+    case MapSel::kOut:
+      return "out";
+    case MapSel::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+PredicatePtr Predicate::compare(MapSel sel, std::string attr, CmpOp op,
+                                Value literal) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCompare;
+  p->sel_ = sel;
+  p->attr_ = std::move(attr);
+  p->cmp_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+PredicatePtr Predicate::exists(MapSel sel, std::string attr) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kExists;
+  p->sel_ = sel;
+  p->attr_ = std::move(attr);
+  return p;
+}
+
+PredicatePtr Predicate::logical_and(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::logical_or(PredicatePtr a, PredicatePtr b) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->left_ = std::move(a);
+  p->right_ = std::move(b);
+  return p;
+}
+
+PredicatePtr Predicate::logical_not(PredicatePtr a) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->left_ = std::move(a);
+  return p;
+}
+
+namespace {
+
+const Value* lookup(const LogRecord& record, MapSel sel, Symbol attr) {
+  if (attr == kNoSymbol) return nullptr;
+  switch (sel) {
+    case MapSel::kIn:
+      return record.in.get(attr);
+    case MapSel::kOut:
+      return record.out.get(attr);
+    case MapSel::kAny: {
+      const Value* v = record.out.get(attr);
+      return v != nullptr ? v : record.in.get(attr);
+    }
+  }
+  return nullptr;
+}
+
+bool compare_values(const Value& a, CmpOp op, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a.compare(b) < 0;
+    case CmpOp::kLe:
+      return a.compare(b) <= 0;
+    case CmpOp::kGt:
+      return a.compare(b) > 0;
+    case CmpOp::kGe:
+      return a.compare(b) >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Predicate::eval(const LogRecord& record, const Interner& interner) const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      const Value* v = lookup(record, sel_, interner.find(attr_));
+      return v != nullptr && compare_values(*v, cmp_, literal_);
+    }
+    case Kind::kExists:
+      return lookup(record, sel_, interner.find(attr_)) != nullptr;
+    case Kind::kAnd:
+      return left_->eval(record, interner) && right_->eval(record, interner);
+    case Kind::kOr:
+      return left_->eval(record, interner) || right_->eval(record, interner);
+    case Kind::kNot:
+      return !left_->eval(record, interner);
+  }
+  return false;
+}
+
+std::string Predicate::to_string() const {
+  switch (kind_) {
+    case Kind::kCompare: {
+      std::string prefix = sel_ == MapSel::kAny
+                               ? std::string{}
+                               : std::string(wflog::to_string(sel_)) + ".";
+      return prefix + attr_ + " " + std::string(wflog::to_string(cmp_)) +
+             " " + literal_.to_string();
+    }
+    case Kind::kExists: {
+      std::string prefix = sel_ == MapSel::kAny
+                               ? std::string{}
+                               : std::string(wflog::to_string(sel_)) + ".";
+      return "exists " + prefix + attr_;
+    }
+    case Kind::kAnd:
+      return "(" + left_->to_string() + " && " + right_->to_string() + ")";
+    case Kind::kOr:
+      return "(" + left_->to_string() + " || " + right_->to_string() + ")";
+    case Kind::kNot:
+      return "!(" + left_->to_string() + ")";
+  }
+  return "";
+}
+
+bool Predicate::equals(const Predicate& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kCompare:
+      return sel_ == other.sel_ && attr_ == other.attr_ &&
+             cmp_ == other.cmp_ && literal_ == other.literal_;
+    case Kind::kExists:
+      return sel_ == other.sel_ && attr_ == other.attr_;
+    case Kind::kAnd:
+    case Kind::kOr:
+      return left_->equals(*other.left_) && right_->equals(*other.right_);
+    case Kind::kNot:
+      return left_->equals(*other.left_);
+  }
+  return false;
+}
+
+std::size_t Predicate::hash() const {
+  auto mix = [](std::size_t h, std::size_t v) {
+    return h * 0x9e3779b97f4a7c15ULL + v + 0x7f4a7c15ULL;
+  };
+  std::size_t h = static_cast<std::size_t>(kind_);
+  switch (kind_) {
+    case Kind::kCompare:
+      h = mix(h, static_cast<std::size_t>(sel_));
+      h = mix(h, std::hash<std::string>{}(attr_));
+      h = mix(h, static_cast<std::size_t>(cmp_));
+      h = mix(h, literal_.hash());
+      break;
+    case Kind::kExists:
+      h = mix(h, static_cast<std::size_t>(sel_));
+      h = mix(h, std::hash<std::string>{}(attr_));
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+      h = mix(h, left_->hash());
+      h = mix(h, right_->hash());
+      break;
+    case Kind::kNot:
+      h = mix(h, left_->hash());
+      break;
+  }
+  return h;
+}
+
+}  // namespace wflog

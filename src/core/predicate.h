@@ -1,0 +1,83 @@
+#pragma once
+
+// Attribute predicates — an EXTENSION beyond the paper's Definition 3.
+//
+// The paper's motivating queries ("How many students every year get
+// referrals with balance > $5,000?") inspect attribute values, yet the
+// formal pattern language only constrains activity names and temporal
+// order. We close that gap with an optional predicate attached to an atomic
+// pattern; a record matches the atom only if the predicate holds on its
+// input/output maps. Predicates never affect the semantics of patterns that
+// do not use them, so every theorem of the paper is preserved verbatim.
+//
+// Text syntax (inside [ ] after an activity name):
+//   GetRefer[out.balance > 5000]
+//   PayTreatment[in.referState = "active" && out.receipt1 >= 100]
+//   UpdateRefer[exists out.balance]
+// `in.` / `out.` select αin / αout; a bare attribute name checks both maps
+// (αout first, matching "the value the activity observed or produced").
+
+#include <memory>
+#include <string>
+
+#include "common/interner.h"
+#include "common/value.h"
+#include "log/record.h"
+
+namespace wflog {
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class MapSel : std::uint8_t { kIn, kOut, kAny };
+
+std::string_view to_string(CmpOp op);
+std::string_view to_string(MapSel sel);
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+/// Immutable predicate AST node.
+class Predicate {
+ public:
+  enum class Kind : std::uint8_t { kCompare, kExists, kAnd, kOr, kNot };
+
+  static PredicatePtr compare(MapSel sel, std::string attr, CmpOp op,
+                              Value literal);
+  static PredicatePtr exists(MapSel sel, std::string attr);
+  static PredicatePtr logical_and(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr logical_or(PredicatePtr a, PredicatePtr b);
+  static PredicatePtr logical_not(PredicatePtr a);
+
+  Kind kind() const noexcept { return kind_; }
+
+  /// Evaluates on a record. An attribute absent from the selected map(s)
+  /// fails every comparison (three-valued logic collapsed to false, the
+  /// usual SQL-WHERE behaviour).
+  bool eval(const LogRecord& record, const Interner& interner) const;
+
+  /// Parseable text form (no surrounding brackets).
+  std::string to_string() const;
+
+  bool equals(const Predicate& other) const;
+  std::size_t hash() const;
+
+  // Leaf accessors (precondition: matching kind).
+  MapSel sel() const noexcept { return sel_; }
+  const std::string& attr() const noexcept { return attr_; }
+  CmpOp cmp() const noexcept { return cmp_; }
+  const Value& literal() const noexcept { return literal_; }
+  const PredicatePtr& left() const noexcept { return left_; }
+  const PredicatePtr& right() const noexcept { return right_; }
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kCompare;
+  MapSel sel_ = MapSel::kAny;
+  std::string attr_;
+  CmpOp cmp_ = CmpOp::kEq;
+  Value literal_;
+  PredicatePtr left_;
+  PredicatePtr right_;
+};
+
+}  // namespace wflog

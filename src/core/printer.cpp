@@ -1,0 +1,133 @@
+#include "core/printer.h"
+
+#include <functional>
+
+namespace wflog {
+namespace {
+
+int print_precedence(PatternOp op) {
+  switch (op) {
+    case PatternOp::kChoice:
+      return 1;
+    case PatternOp::kParallel:
+      return 2;
+    case PatternOp::kConsecutive:
+    case PatternOp::kSequential:
+      return 3;
+    case PatternOp::kAtom:
+      return 4;
+  }
+  return 4;
+}
+
+void print_atom(std::string& out, const Pattern& p) {
+  if (!p.binding().empty()) {
+    out += p.binding();
+    out += ':';
+  }
+  if (p.negated()) out += '!';
+  out += p.activity();
+  if (p.predicate() != nullptr) {
+    out += '[';
+    out += p.predicate()->to_string();
+    out += ']';
+  }
+}
+
+void print_rec(std::string& out, const Pattern& p, int parent_prec,
+               bool is_right_child) {
+  if (p.is_atom()) {
+    print_atom(out, p);
+    return;
+  }
+  const int prec = print_precedence(p.op());
+  // The grammar is left-associative, so a right child at the same
+  // precedence level must keep its parentheses to round-trip the tree
+  // shape exactly (the denoted incident set would be unchanged by
+  // Theorem 2/4, but we preserve structure).
+  const bool parens =
+      prec < parent_prec || (prec == parent_prec && is_right_child);
+  if (parens) out += '(';
+  print_rec(out, *p.left(), prec, false);
+  out += ' ';
+  out += op_token(p.op());
+  out += ' ';
+  print_rec(out, *p.right(), prec, true);
+  if (parens) out += ')';
+}
+
+}  // namespace
+
+std::string to_text(const Pattern& p) {
+  std::string out;
+  print_rec(out, p, 0, false);
+  return out;
+}
+
+std::string to_tree_string(const Pattern& p) {
+  std::string out;
+  std::function<void(const Pattern&, const std::string&, const char*)> walk =
+      [&](const Pattern& node, const std::string& prefix,
+          const char* connector) {
+        out += prefix;
+        out += connector;
+        if (node.is_atom()) {
+          print_atom(out, node);
+          out += '\n';
+          return;
+        }
+        out += '[';
+        out += op_token(node.op());
+        out += "]\n";
+        std::string child_prefix = prefix;
+        if (connector[0] != '\0') {
+          // Extend the rail: a `|--` parent keeps a vertical bar, a `` `-- ``
+          // parent leaves blank space.
+          child_prefix += connector[0] == '`' ? "    " : "|   ";
+        }
+        walk(*node.left(), child_prefix, "|-- ");
+        walk(*node.right(), child_prefix, "`-- ");
+      };
+  walk(p, "", "");
+  return out;
+}
+
+std::string render_incident(const Incident& o, const LogIndex& index) {
+  std::string out = "wid=" + std::to_string(o.wid()) + " {";
+  bool first = true;
+  for (IsLsn n : o.positions()) {
+    if (!first) out += ", ";
+    first = false;
+    const LogRecord* l = index.find(o.wid(), n);
+    if (l == nullptr) {
+      out += "?" + std::to_string(n);
+    } else {
+      out += "l" + std::to_string(l->lsn) + " " +
+             std::string(index.log().activity_name(l->activity));
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_incident_set(const IncidentSet& set, const LogIndex& index,
+                                std::size_t limit) {
+  std::string out;
+  out += std::to_string(set.total()) + " incident(s) in " +
+         std::to_string(set.num_groups()) + " instance(s)\n";
+  for (const IncidentSet::Group& g : set.groups()) {
+    std::size_t shown = 0;
+    for (const Incident& o : g.incidents) {
+      if (limit != 0 && shown == limit) {
+        out += "  ... (" + std::to_string(g.incidents.size() - shown) +
+               " more in wid=" + std::to_string(g.wid) + ")\n";
+        break;
+      }
+      out += "  " + render_incident(o, index) + "\n";
+      ++shown;
+    }
+  }
+  return out;
+}
+
+}  // namespace wflog

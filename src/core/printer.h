@@ -1,0 +1,40 @@
+#pragma once
+
+// Rendering of patterns and results.
+//
+//  * to_text       — parseable text, minimal parentheses; exact round trip:
+//                    parse_pattern(to_text(p)) is structurally equal to p.
+//  * to_tree_string— the "incident tree" view (the paper's Figure 4) as
+//                    box-drawing ASCII art.
+//  * render_*      — human-readable incident listings resolved against the
+//                    log (activity names, lsns).
+
+#include <string>
+
+#include "core/incident.h"
+#include "core/pattern.h"
+#include "log/index.h"
+
+namespace wflog {
+
+std::string to_text(const Pattern& p);
+
+/// Multi-line tree rendering, e.g. for
+/// SeeDoctor -> (UpdateRefer -> GetReimburse):
+///
+///   [->]
+///    |-- SeeDoctor
+///    `-- [->]
+///         |-- UpdateRefer
+///         `-- GetReimburse
+std::string to_tree_string(const Pattern& p);
+
+/// One incident with its records: "wid=2 {l14 UpdateRefer, l20 GetReimburse}".
+std::string render_incident(const Incident& o, const LogIndex& index);
+
+/// Full incident-set listing grouped by instance; `limit` truncates long
+/// groups (0 = no limit).
+std::string render_incident_set(const IncidentSet& set, const LogIndex& index,
+                                std::size_t limit = 0);
+
+}  // namespace wflog

@@ -1,0 +1,156 @@
+#include "core/rewriter.h"
+
+#include <unordered_set>
+
+namespace wflog {
+namespace rewrite {
+namespace {
+
+bool is_temporal(PatternOp op) {
+  return op == PatternOp::kConsecutive || op == PatternOp::kSequential;
+}
+
+/// Whether ops X (outer-left) and Y may reassociate: Theorem 2 (X == Y) or
+/// Theorem 4 (both temporal).
+bool reassociable(PatternOp x, PatternOp y) {
+  if (x == y && x != PatternOp::kAtom) return true;
+  return is_temporal(x) && is_temporal(y);
+}
+
+}  // namespace
+
+PatternPtr rotate_left(const Pattern& p) {
+  // a X (b Y c) -> (a X b) Y c
+  if (p.is_atom() || p.right()->is_atom()) return nullptr;
+  const PatternOp x = p.op();
+  const PatternOp y = p.right()->op();
+  if (!reassociable(x, y)) return nullptr;
+  return Pattern::combine(
+      y, Pattern::combine(x, p.left(), p.right()->left()),
+      p.right()->right());
+}
+
+PatternPtr rotate_right(const Pattern& p) {
+  // (a X b) Y c -> a X (b Y c)
+  if (p.is_atom() || p.left()->is_atom()) return nullptr;
+  const PatternOp x = p.left()->op();
+  const PatternOp y = p.op();
+  if (!reassociable(x, y)) return nullptr;
+  return Pattern::combine(
+      x, p.left()->left(),
+      Pattern::combine(y, p.left()->right(), p.right()));
+}
+
+PatternPtr commute(const Pattern& p) {
+  if (p.op() != PatternOp::kChoice && p.op() != PatternOp::kParallel) {
+    return nullptr;
+  }
+  return Pattern::combine(p.op(), p.right(), p.left());
+}
+
+PatternPtr distribute_left(const Pattern& p) {
+  // a θ (b ⊗ c) -> (a θ b) ⊗ (a θ c)
+  if (p.is_atom() || p.op() == PatternOp::kChoice) return nullptr;
+  if (p.right()->is_atom() || p.right()->op() != PatternOp::kChoice) {
+    return nullptr;
+  }
+  const PatternPtr& a = p.left();
+  const PatternPtr& b = p.right()->left();
+  const PatternPtr& c = p.right()->right();
+  return Pattern::choice(Pattern::combine(p.op(), a, b),
+                         Pattern::combine(p.op(), a, c));
+}
+
+PatternPtr distribute_right(const Pattern& p) {
+  // (a ⊗ b) θ c -> (a θ c) ⊗ (b θ c)
+  if (p.is_atom() || p.op() == PatternOp::kChoice) return nullptr;
+  if (p.left()->is_atom() || p.left()->op() != PatternOp::kChoice) {
+    return nullptr;
+  }
+  const PatternPtr& a = p.left()->left();
+  const PatternPtr& b = p.left()->right();
+  const PatternPtr& c = p.right();
+  return Pattern::choice(Pattern::combine(p.op(), a, c),
+                         Pattern::combine(p.op(), b, c));
+}
+
+PatternPtr factor(const Pattern& p) {
+  if (p.is_atom() || p.op() != PatternOp::kChoice) return nullptr;
+  if (p.left()->is_atom() || p.right()->is_atom()) return nullptr;
+  const Pattern& l = *p.left();
+  const Pattern& r = *p.right();
+  if (l.op() != r.op() || l.op() == PatternOp::kChoice) return nullptr;
+  // (a θ b) ⊗ (a θ c) -> a θ (b ⊗ c)
+  if (l.left()->structurally_equal(*r.left())) {
+    return Pattern::combine(l.op(), l.left(),
+                            Pattern::choice(l.right(), r.right()));
+  }
+  // (a θ c) ⊗ (b θ c) -> (a ⊗ b) θ c
+  if (l.right()->structurally_equal(*r.right())) {
+    return Pattern::combine(l.op(), Pattern::choice(l.left(), r.left()),
+                            l.right());
+  }
+  return nullptr;
+}
+
+namespace {
+
+using RootRule = PatternPtr (*)(const Pattern&);
+
+struct NamedRule {
+  RootRule fn;
+  const char* name;
+};
+
+constexpr NamedRule kRules[] = {
+    {&rotate_left, "rotate_left"},
+    {&rotate_right, "rotate_right"},
+    {&commute, "commute"},
+    {&distribute_left, "distribute_left"},
+    {&distribute_right, "distribute_right"},
+    {&factor, "factor"},
+};
+
+void collect(const PatternPtr& p, const std::string& site,
+             std::vector<Step>& out) {
+  for (const NamedRule& rule : kRules) {
+    if (PatternPtr q = rule.fn(*p)) {
+      out.push_back(Step{std::move(q), std::string(rule.name) + "@" + site});
+    }
+  }
+  if (p->is_atom()) return;
+  // Rewrites inside the left subtree, re-wrapped at this node.
+  std::vector<Step> left_steps;
+  collect(p->left(), site + ".L", left_steps);
+  for (Step& s : left_steps) {
+    out.push_back(Step{Pattern::combine(p->op(), s.result, p->right()),
+                       std::move(s.rule)});
+  }
+  std::vector<Step> right_steps;
+  collect(p->right(), site + ".R", right_steps);
+  for (Step& s : right_steps) {
+    out.push_back(Step{Pattern::combine(p->op(), p->left(), s.result),
+                       std::move(s.rule)});
+  }
+}
+
+}  // namespace
+
+std::vector<Step> neighbors(const PatternPtr& p) {
+  std::vector<Step> all;
+  collect(p, "root", all);
+  // Deduplicate structurally (distinct rule paths can reach one tree).
+  std::vector<Step> unique;
+  for (Step& s : all) {
+    bool dup = s.result->structurally_equal(*p);
+    for (const Step& u : unique) {
+      if (dup) break;
+      dup = u.result->structurally_equal(*s.result);
+    }
+    if (!dup) unique.push_back(std::move(s));
+  }
+  return unique;
+}
+
+}  // namespace rewrite
+}  // namespace wflog

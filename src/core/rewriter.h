@@ -1,0 +1,58 @@
+#pragma once
+
+// Algebraic rewriting — Theorems 2–5 of the paper as executable rules.
+//
+//   Theorem 2 (associativity)   (p1 θ p2) θ p3 ≡ p1 θ (p2 θ p3), all θ
+//   Theorem 3 (commutativity)   p1 ⊗ p2 ≡ p2 ⊗ p1,  p1 ⊕ p2 ≡ p2 ⊕ p1
+//   Theorem 4 (⊙/≫ mixing)      (p1 ⊙ p2) ≫ p3 ≡ p1 ⊙ (p2 ≫ p3) and the
+//                               ≫/⊙ mirror — the two temporal operators
+//                               reassociate freely across each other
+//   Theorem 5 (distributivity)  p1 θ (p2 ⊗ p3) ≡ (p1 θ p2) ⊗ (p1 θ p3)
+//                               and the right-hand mirror, all θ
+//
+// Each function applies one law at the ROOT of the pattern and returns the
+// rewritten tree, or nullptr when the law does not apply there. neighbors()
+// enumerates every pattern reachable by one application of any law at any
+// node — the move set of the cost-based optimizer (core/optimizer.h).
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace wflog {
+namespace rewrite {
+
+/// a X (b Y c) -> (a X b) Y c. Applies when X == Y (Theorem 2) or when
+/// {X, Y} ⊆ {⊙, ≫} (Theorem 4).
+PatternPtr rotate_left(const Pattern& p);
+
+/// (a X b) Y c -> a X (b Y c). Same applicability as rotate_left.
+PatternPtr rotate_right(const Pattern& p);
+
+/// a ⊗ b -> b ⊗ a and a ⊕ b -> b ⊕ a (Theorem 3).
+PatternPtr commute(const Pattern& p);
+
+/// a θ (b ⊗ c) -> (a θ b) ⊗ (a θ c) (Theorem 5, left-distributive).
+PatternPtr distribute_left(const Pattern& p);
+
+/// (a ⊗ b) θ c -> (a θ c) ⊗ (b θ c) (Theorem 5, right-distributive).
+PatternPtr distribute_right(const Pattern& p);
+
+/// The inverse of distribution — the optimization direction:
+/// (a θ b) ⊗ (a θ c) -> a θ (b ⊗ c)  when the two left operands are
+/// structurally equal (and the mirror for shared right operands).
+PatternPtr factor(const Pattern& p);
+
+/// One rewrite step, labelled for explainability.
+struct Step {
+  PatternPtr result;
+  std::string rule;  // e.g. "rotate_right@root", "factor@left.right"
+};
+
+/// All distinct patterns reachable by one application of any law at any
+/// node. Duplicates (by structural equality) are removed.
+std::vector<Step> neighbors(const PatternPtr& p);
+
+}  // namespace rewrite
+}  // namespace wflog

@@ -1,0 +1,46 @@
+#include "core/synthetic.h"
+
+#include <algorithm>
+
+namespace wflog {
+
+Incident random_incident(Rng& rng, Wid wid, std::size_t records,
+                         std::size_t instance_len) {
+  records = std::min(records, instance_len);
+  std::vector<IsLsn> positions;
+  positions.reserve(records);
+  while (positions.size() < records) {
+    const IsLsn p = static_cast<IsLsn>(
+        rng.uniform(1, static_cast<std::uint64_t>(instance_len)));
+    if (std::find(positions.begin(), positions.end(), p) ==
+        positions.end()) {
+      positions.push_back(p);
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  Incident o = Incident::singleton(wid, positions.front());
+  for (std::size_t i = 1; i < positions.size(); ++i) {
+    o = Incident::merged(o, Incident::singleton(wid, positions[i]));
+  }
+  return o;
+}
+
+IncidentList synthetic_incidents(const SyntheticIncidentOptions& options) {
+  Rng rng(options.seed);
+  IncidentList list;
+  list.reserve(options.count);
+  // Draw in rounds, deduplicating per round; give up after a bounded number
+  // of rounds so a saturated position space terminates.
+  for (std::size_t round = 0; round < 16 && list.size() < options.count;
+       ++round) {
+    const std::size_t missing = options.count - list.size();
+    for (std::size_t i = 0; i < missing; ++i) {
+      list.push_back(random_incident(rng, options.wid, options.records_each,
+                                     options.instance_len));
+    }
+    canonicalize(list);
+  }
+  return list;
+}
+
+}  // namespace wflog

@@ -1,0 +1,30 @@
+#pragma once
+
+// Synthetic incident-list generation — drives the operator micro-benches
+// (experiments E4–E7) and the randomized property tests without paying for
+// full log construction.
+
+#include "common/rng.h"
+#include "core/incident.h"
+
+namespace wflog {
+
+struct SyntheticIncidentOptions {
+  std::size_t count = 100;         // number of incidents (n of Lemma 1)
+  std::size_t records_each = 1;    // records per incident (k of Lemma 1)
+  std::size_t instance_len = 1000; // positions drawn from [1, instance_len]
+  Wid wid = 1;
+  std::uint64_t seed = 7;
+};
+
+/// Generates a canonical IncidentList of `count` distinct incidents, each
+/// `records_each` distinct positions drawn uniformly from the instance.
+/// The returned list may be smaller than `count` when the position space
+/// is too small to supply distinct incidents.
+IncidentList synthetic_incidents(const SyntheticIncidentOptions& options);
+
+/// A random incident within the given instance (not deduplicated).
+Incident random_incident(Rng& rng, Wid wid, std::size_t records,
+                         std::size_t instance_len);
+
+}  // namespace wflog

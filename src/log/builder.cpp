@@ -1,0 +1,79 @@
+#include "log/builder.h"
+
+#include "common/error.h"
+
+namespace wflog {
+
+AttrMap LogBuilder::make_map(const NamedAttrs& attrs) {
+  AttrMap map;
+  for (const auto& [name, value] : attrs) {
+    map.set(interner_.intern(name), value);
+  }
+  return map;
+}
+
+void LogBuilder::emit(Wid wid, Symbol activity, AttrMap in, AttrMap out) {
+  LogRecord l;
+  l.lsn = static_cast<Lsn>(records_.size() + 1);
+  l.wid = wid;
+  l.is_lsn = next_is_lsn_.at(wid);
+  l.activity = activity;
+  l.in = std::move(in);
+  l.out = std::move(out);
+  records_.push_back(std::move(l));
+  ++next_is_lsn_.at(wid);
+}
+
+Wid LogBuilder::begin_instance() {
+  while (next_is_lsn_.contains(next_wid_)) ++next_wid_;
+  return begin_instance(next_wid_);
+}
+
+Wid LogBuilder::begin_instance(Wid wid) {
+  auto [it, inserted] = next_is_lsn_.emplace(wid, 1);
+  if (!inserted) {
+    throw Error("LogBuilder: instance " + std::to_string(wid) +
+                " already exists");
+  }
+  emit(wid, interner_.intern(kStartActivity), {}, {});
+  return wid;
+}
+
+void LogBuilder::append(Wid wid, std::string_view activity,
+                        const NamedAttrs& in, const NamedAttrs& out) {
+  auto it = next_is_lsn_.find(wid);
+  if (it == next_is_lsn_.end() || it->second == 0) {
+    throw Error("LogBuilder: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  if (activity == kStartActivity || activity == kEndActivity) {
+    throw Error("LogBuilder: activity name '" + std::string(activity) +
+                "' is reserved; use begin_instance/end_instance");
+  }
+  emit(wid, interner_.intern(activity), make_map(in), make_map(out));
+}
+
+void LogBuilder::end_instance(Wid wid) {
+  auto it = next_is_lsn_.find(wid);
+  if (it == next_is_lsn_.end() || it->second == 0) {
+    throw Error("LogBuilder: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  emit(wid, interner_.intern(kEndActivity), {}, {});
+  it->second = 0;  // mark ended
+}
+
+Log LogBuilder::build() {
+  Log log = Log::from_records(std::move(records_), std::move(interner_));
+  *this = LogBuilder{};
+  return log;
+}
+
+Log LogBuilder::build_unchecked() {
+  Log log =
+      Log::from_records_unchecked(std::move(records_), std::move(interner_));
+  *this = LogBuilder{};
+  return log;
+}
+
+}  // namespace wflog

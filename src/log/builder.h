@@ -1,0 +1,71 @@
+#pragma once
+
+// LogBuilder: the ergonomic way to assemble a well-formed log by hand or
+// from a workflow engine. The builder assigns lsns in call order, tracks
+// per-instance is-lsns, and inserts the START/END sentinel records, so the
+// resulting log satisfies Definition 2 by construction (build() still
+// validates as a safety net).
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "log/log.h"
+
+namespace wflog {
+
+/// Attribute bindings by name, convenient for call sites:
+/// {{"balance", Value{1000}}, {"referState", Value{"start"}}}.
+using NamedAttrs = std::vector<std::pair<std::string_view, Value>>;
+
+class LogBuilder {
+ public:
+  LogBuilder() = default;
+
+  /// Starts a new workflow instance: emits its START record and returns the
+  /// fresh wid (1, 2, 3, ... in begin order).
+  Wid begin_instance();
+
+  /// Starts an instance with a caller-chosen wid (must be unused). Useful
+  /// when reconstructing a published log verbatim.
+  Wid begin_instance(Wid wid);
+
+  /// Emits one activity record for an open instance.
+  /// Precondition: `wid` was returned by begin_instance and end_instance
+  /// has not been called for it.
+  void append(Wid wid, std::string_view activity, const NamedAttrs& in = {},
+              const NamedAttrs& out = {});
+
+  /// Emits the END record and closes the instance. Instances left open are
+  /// legal (Definition 2 allows incomplete instances).
+  void end_instance(Wid wid);
+
+  bool is_open(Wid wid) const {
+    auto it = next_is_lsn_.find(wid);
+    return it != next_is_lsn_.end() && it->second != 0;
+  }
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  /// Finalizes into a validated Log. The builder is left empty.
+  Log build();
+
+  /// Finalizes without re-validating (the builder maintains Definition 2 by
+  /// construction; use in hot workload-generation paths).
+  Log build_unchecked();
+
+  /// Access to the interner while building, e.g. to pre-intern an alphabet.
+  Interner& interner() noexcept { return interner_; }
+
+ private:
+  AttrMap make_map(const NamedAttrs& attrs);
+  void emit(Wid wid, Symbol activity, AttrMap in, AttrMap out);
+
+  Interner interner_;
+  std::vector<LogRecord> records_;
+  std::unordered_map<Wid, IsLsn> next_is_lsn_;  // 0 = instance ended
+  Wid next_wid_ = 1;
+};
+
+}  // namespace wflog

@@ -1,0 +1,59 @@
+#include "log/index.h"
+
+#include <algorithm>
+
+namespace wflog {
+namespace {
+
+const std::vector<const LogRecord*> kEmptyInstance;
+const std::vector<IsLsn> kEmptyOccurrences;
+
+}  // namespace
+
+LogIndex::LogIndex(const Log& log) : log_(&log) {
+  for (const LogRecord& l : log) {
+    InstanceData& inst = instances_[l.wid];
+    // Records arrive in lsn order; within an instance that is also is-lsn
+    // order (Definition 2, condition 3), so push_back keeps both arrays
+    // sorted.
+    inst.records.push_back(&l);
+    inst.by_activity[l.activity].push_back(l.is_lsn);
+    auto [it, inserted] = counts_.emplace(l.activity, 1);
+    if (!inserted) {
+      ++it->second;
+    } else {
+      activities_.push_back(l.activity);
+    }
+  }
+  std::sort(activities_.begin(), activities_.end());
+}
+
+const std::vector<const LogRecord*>& LogIndex::instance(Wid wid) const {
+  auto it = instances_.find(wid);
+  return it == instances_.end() ? kEmptyInstance : it->second.records;
+}
+
+const std::vector<IsLsn>& LogIndex::occurrences(Wid wid,
+                                                Symbol activity) const {
+  auto it = instances_.find(wid);
+  if (it == instances_.end()) return kEmptyOccurrences;
+  auto jt = it->second.by_activity.find(activity);
+  return jt == it->second.by_activity.end() ? kEmptyOccurrences : jt->second;
+}
+
+std::vector<IsLsn> LogIndex::non_occurrences(Wid wid, Symbol activity) const {
+  std::vector<IsLsn> out;
+  const auto& recs = instance(wid);
+  out.reserve(recs.size());
+  for (const LogRecord* l : recs) {
+    if (l->activity != activity) out.push_back(l->is_lsn);
+  }
+  return out;
+}
+
+std::size_t LogIndex::total_count(Symbol activity) const {
+  auto it = counts_.find(activity);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace wflog

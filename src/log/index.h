@@ -1,0 +1,81 @@
+#pragma once
+
+// LogIndex: the access structures query evaluation relies on.
+//
+// Algorithm 2 of the paper assumes "an index structure for each workflow id
+// and activity ... used to generate log records for an activity node in
+// constant time". LogIndex provides exactly that:
+//   * per-instance record arrays in is-lsn order (O(1) (wid, is-lsn) lookup),
+//   * per-instance, per-activity occurrence lists (sorted by is-lsn), and
+//   * global per-activity counts, which the cost model uses as selectivity
+//     estimates.
+//
+// A LogIndex references the Log it was built from; the Log must outlive it.
+
+#include <unordered_map>
+#include <vector>
+
+#include "log/log.h"
+
+namespace wflog {
+
+class LogIndex {
+ public:
+  explicit LogIndex(const Log& log);
+  /// The index borrows the log; a temporary would dangle immediately.
+  explicit LogIndex(Log&& log) = delete;
+
+  LogIndex(const LogIndex&) = delete;
+  LogIndex& operator=(const LogIndex&) = delete;
+  LogIndex(LogIndex&&) = default;
+  LogIndex& operator=(LogIndex&&) = default;
+
+  const Log& log() const noexcept { return *log_; }
+
+  const std::vector<Wid>& wids() const noexcept { return log_->wids(); }
+
+  /// Records of one instance in is-lsn order (element i has is-lsn i+1).
+  const std::vector<const LogRecord*>& instance(Wid wid) const;
+
+  /// Number of records of the instance (0 for unknown wids).
+  std::size_t instance_length(Wid wid) const {
+    return instance(wid).size();
+  }
+
+  /// O(1) record lookup; nullptr when the instance has no such position.
+  const LogRecord* find(Wid wid, IsLsn n) const {
+    const auto& recs = instance(wid);
+    if (n == 0 || n > recs.size()) return nullptr;
+    return recs[n - 1];
+  }
+
+  /// is-lsns (sorted ascending) at which `activity` occurs in instance
+  /// `wid`; empty list when it never occurs.
+  const std::vector<IsLsn>& occurrences(Wid wid, Symbol activity) const;
+
+  /// is-lsns (sorted) of records of instance `wid` whose activity is NOT
+  /// `activity` — the match set of a negative atomic pattern ¬t. Computed
+  /// on demand (it is usually large, so it is not worth caching).
+  std::vector<IsLsn> non_occurrences(Wid wid, Symbol activity) const;
+
+  /// Total occurrences of `activity` across the whole log.
+  std::size_t total_count(Symbol activity) const;
+
+  /// Distinct activity symbols present in the log.
+  const std::vector<Symbol>& activities() const noexcept {
+    return activities_;
+  }
+
+ private:
+  struct InstanceData {
+    std::vector<const LogRecord*> records;  // by is-lsn
+    std::unordered_map<Symbol, std::vector<IsLsn>> by_activity;
+  };
+
+  const Log* log_;
+  std::unordered_map<Wid, InstanceData> instances_;
+  std::unordered_map<Symbol, std::size_t> counts_;
+  std::vector<Symbol> activities_;
+};
+
+}  // namespace wflog

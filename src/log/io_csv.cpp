@@ -1,0 +1,120 @@
+#include "log/io_csv.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/text.h"
+
+namespace wflog {
+namespace {
+
+std::uint64_t parse_u64(std::string_view s, std::string_view what) {
+  std::uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw IoError("CSV: invalid " + std::string(what) + ": '" +
+                  std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string attr_map_to_string(const AttrMap& map, const Interner& interner) {
+  std::string out;
+  bool first = true;
+  for (const AttrEntry& e : map) {
+    if (!first) out += "; ";
+    first = false;
+    out += interner.name(e.attr);
+    out += '=';
+    out += e.value.to_string();
+  }
+  return out;
+}
+
+AttrMap parse_attr_map(std::string_view text, Interner& interner) {
+  AttrMap map;
+  text = trim(text);
+  if (text.empty() || text == "-") return map;
+  for (std::string_view entry : split_quoted(text, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw IoError("attribute map entry missing '=': '" +
+                    std::string(entry) + "'");
+    }
+    const std::string_view name = trim(entry.substr(0, eq));
+    if (!is_identifier(name)) {
+      throw IoError("invalid attribute name: '" + std::string(name) + "'");
+    }
+    map.set(interner.intern(name), Value::parse(trim(entry.substr(eq + 1))));
+  }
+  return map;
+}
+
+void write_csv(const Log& log, std::ostream& out) {
+  out << "lsn,wid,is_lsn,activity,input,output\n";
+  const Interner& in = log.interner();
+  for (const LogRecord& l : log) {
+    out << l.lsn << ',' << l.wid << ',' << l.is_lsn << ','
+        << csv_escape(in.name(l.activity)) << ','
+        << csv_escape(attr_map_to_string(l.in, in)) << ','
+        << csv_escape(attr_map_to_string(l.out, in)) << '\n';
+  }
+}
+
+std::string to_csv(const Log& log) {
+  std::ostringstream os;
+  write_csv(log, os);
+  return os.str();
+}
+
+Log read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) throw IoError("CSV: empty input");
+  // Tolerate a UTF-8 BOM and validate the header.
+  if (line.starts_with("\xef\xbb\xbf")) line.erase(0, 3);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != "lsn,wid,is_lsn,activity,input,output") {
+    throw IoError("CSV: unexpected header: '" + line + "'");
+  }
+
+  Interner interner;
+  std::vector<LogRecord> records;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (trim(line).empty()) continue;
+    std::vector<std::string> fields = csv_parse_line(line);
+    if (fields.size() != 6) {
+      throw IoError("CSV line " + std::to_string(lineno) + ": expected 6 " +
+                    "fields, got " + std::to_string(fields.size()));
+    }
+    LogRecord l;
+    l.lsn = parse_u64(fields[0], "lsn");
+    l.wid = parse_u64(fields[1], "wid");
+    l.is_lsn = static_cast<IsLsn>(parse_u64(fields[2], "is_lsn"));
+    if (!is_identifier(fields[3])) {
+      throw IoError("CSV line " + std::to_string(lineno) +
+                    ": invalid activity name '" + fields[3] + "'");
+    }
+    l.activity = interner.intern(fields[3]);
+    l.in = parse_attr_map(fields[4], interner);
+    l.out = parse_attr_map(fields[5], interner);
+    records.push_back(std::move(l));
+  }
+  return Log::from_records(std::move(records), std::move(interner));
+}
+
+Log csv_to_log(const std::string& text) {
+  std::istringstream is(text);
+  return read_csv(is);
+}
+
+}  // namespace wflog

@@ -1,0 +1,31 @@
+#pragma once
+
+// CSV serialization of logs.
+//
+// Column layout mirrors the paper's Figure 3 table:
+//   lsn,wid,is_lsn,activity,input,output
+// where input/output encode an attribute map as `a=1; b="x"` (entries
+// joined by "; ", values rendered/parsed by Value). The whole map field is
+// RFC 4180-escaped.
+
+#include <iosfwd>
+#include <string>
+
+#include "log/log.h"
+
+namespace wflog {
+
+/// Writes `log` as CSV with a header row.
+void write_csv(const Log& log, std::ostream& out);
+std::string to_csv(const Log& log);
+
+/// Reads a CSV log (header row required) and validates it (Definition 2).
+/// Throws IoError on malformed input, ValidationError on a bad log.
+Log read_csv(std::istream& in);
+Log csv_to_log(const std::string& text);
+
+/// Attribute-map helpers shared with the JSONL codec and the CLI.
+std::string attr_map_to_string(const AttrMap& map, const Interner& interner);
+AttrMap parse_attr_map(std::string_view text, Interner& interner);
+
+}  // namespace wflog

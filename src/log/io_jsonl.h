@@ -1,0 +1,32 @@
+#pragma once
+
+// JSON Lines serialization: one JSON object per log record, e.g.
+//   {"lsn":4,"wid":1,"is_lsn":3,"activity":"CheckIn",
+//    "in":{"referId":"034d1","balance":1000},"out":{"referState":"active"}}
+//
+// Values are typed JSON scalars (null / number / bool / string). This is the
+// interchange format for feeding logs to external tooling; the parser
+// accepts any key order and skips unknown keys.
+
+#include <iosfwd>
+#include <string>
+
+#include "log/log.h"
+
+namespace wflog {
+
+void write_jsonl(const Log& log, std::ostream& out);
+std::string to_jsonl(const Log& log);
+
+/// Single-record framing, used by the streaming LogStore: writes one JSON
+/// object (newline-terminated) / parses one line. parse throws IoError.
+void write_jsonl_record(std::ostream& out, const LogRecord& record,
+                        const Interner& interner);
+LogRecord parse_jsonl_record(std::string_view line, Interner& interner);
+
+/// Parses JSONL and validates the resulting log. Throws IoError /
+/// ValidationError.
+Log read_jsonl(std::istream& in);
+Log jsonl_to_log(const std::string& text);
+
+}  // namespace wflog

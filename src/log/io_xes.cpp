@@ -1,0 +1,498 @@
+#include "log/io_xes.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/text.h"
+
+namespace wflog {
+namespace {
+
+// ----------------------------------------------------------------------
+// Writing
+// ----------------------------------------------------------------------
+
+void write_xml_escaped(std::ostream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out << "&amp;";
+        break;
+      case '<':
+        out << "&lt;";
+        break;
+      case '>':
+        out << "&gt;";
+        break;
+      case '"':
+        out << "&quot;";
+        break;
+      case '\'':
+        out << "&apos;";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+void write_attribute(std::ostream& out, int indent, std::string_view key,
+                     const Value& v) {
+  for (int i = 0; i < indent; ++i) out << ' ';
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      out << "<string key=\"";
+      write_xml_escaped(out, key);
+      out << "\" value=\"\"/>\n";
+      return;
+    case ValueKind::kInt:
+      out << "<int key=\"";
+      write_xml_escaped(out, key);
+      out << "\" value=\"" << v.as_int() << "\"/>\n";
+      return;
+    case ValueKind::kDouble:
+      out << "<float key=\"";
+      write_xml_escaped(out, key);
+      out << "\" value=\"" << v.as_double() << "\"/>\n";
+      return;
+    case ValueKind::kBool:
+      out << "<boolean key=\"";
+      write_xml_escaped(out, key);
+      out << "\" value=\"" << (v.as_bool() ? "true" : "false") << "\"/>\n";
+      return;
+    case ValueKind::kString:
+      out << "<string key=\"";
+      write_xml_escaped(out, key);
+      out << "\" value=\"";
+      write_xml_escaped(out, v.as_string());
+      out << "\"/>\n";
+      return;
+  }
+}
+
+// ----------------------------------------------------------------------
+// Parsing: a minimal XML pull scanner sufficient for XES
+// ----------------------------------------------------------------------
+
+struct XmlTag {
+  std::string name;
+  std::map<std::string, std::string> attrs;
+  bool closing = false;       // </name>
+  bool self_closing = false;  // <name ... />
+};
+
+class XmlScanner {
+ public:
+  explicit XmlScanner(std::string_view text) : text_(text) {}
+
+  /// Returns the next tag, skipping text content, comments, processing
+  /// instructions and declarations. False at end of input.
+  bool next(XmlTag& tag) {
+    while (true) {
+      const std::size_t lt = text_.find('<', pos_);
+      if (lt == std::string_view::npos) return false;
+      pos_ = lt + 1;
+      if (text_.compare(pos_, 3, "!--") == 0) {
+        const std::size_t end = text_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (pos_ < text_.size() && (text_[pos_] == '?' || text_[pos_] == '!')) {
+        const std::size_t end = text_.find('>', pos_);
+        if (end == std::string_view::npos) fail("unterminated declaration");
+        pos_ = end + 1;
+        continue;
+      }
+      return parse_tag(tag);
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw IoError("XES: " + msg + " (byte " + std::to_string(pos_) + ")");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string name_token() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == ':' || text_[pos_] == '.' || text_[pos_] == '-' ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] != '&') {
+        out += s[i];
+        continue;
+      }
+      const std::size_t semi = s.find(';', i);
+      if (semi == std::string_view::npos) fail("bad entity");
+      const std::string_view ent = s.substr(i + 1, semi - i - 1);
+      if (ent == "amp") {
+        out += '&';
+      } else if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else {
+        fail("unknown entity '&" + std::string(ent) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  bool parse_tag(XmlTag& tag) {
+    tag = XmlTag{};
+    if (pos_ < text_.size() && text_[pos_] == '/') {
+      tag.closing = true;
+      ++pos_;
+    }
+    tag.name = name_token();
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size()) fail("unterminated tag");
+      if (text_[pos_] == '>') {
+        ++pos_;
+        return true;
+      }
+      if (text_[pos_] == '/') {
+        ++pos_;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != '>') fail("expected '>'");
+        ++pos_;
+        tag.self_closing = true;
+        return true;
+      }
+      const std::string key = name_token();
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '=') fail("expected '='");
+      ++pos_;
+      skip_ws();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        fail("expected quoted attribute value");
+      }
+      const char quote = text_[pos_++];
+      const std::size_t end = text_.find(quote, pos_);
+      if (end == std::string_view::npos) fail("unterminated attribute");
+      tag.attrs[key] = unescape(text_.substr(pos_, end - pos_));
+      pos_ = end + 1;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value typed_value(const std::string& element, const std::string& raw) {
+  if (element == "int") {
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (ec != std::errc{} || p != raw.data() + raw.size()) {
+      throw IoError("XES: invalid int value '" + raw + "'");
+    }
+    return Value{v};
+  }
+  if (element == "float") {
+    double v = 0;
+    auto [p, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (ec != std::errc{} || p != raw.data() + raw.size()) {
+      throw IoError("XES: invalid float value '" + raw + "'");
+    }
+    return Value{v};
+  }
+  if (element == "boolean") {
+    if (raw == "true") return Value{true};
+    if (raw == "false") return Value{false};
+    throw IoError("XES: invalid boolean value '" + raw + "'");
+  }
+  // string / date / id / unknown typed tags: keep as string (empty = null).
+  if (raw.empty()) return Value{};
+  return Value{raw};
+}
+
+}  // namespace
+
+void write_xes(const Log& log, std::ostream& out) {
+  // Group records per instance, preserving is-lsn order.
+  std::map<Wid, std::vector<const LogRecord*>> traces;
+  std::map<Wid, Lsn> start_lsns;
+  std::map<Wid, Lsn> end_lsns;
+  for (const LogRecord& l : log) {
+    if (l.activity == log.start_symbol()) {
+      traces[l.wid];  // ensure the trace exists even if empty
+      start_lsns[l.wid] = l.lsn;
+      continue;
+    }
+    if (l.activity == log.end_symbol()) {
+      end_lsns[l.wid] = l.lsn;
+      continue;
+    }
+    traces[l.wid].push_back(&l);
+  }
+
+  const Interner& interner = log.interner();
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<log xes.version=\"1.0\" xmlns=\"http://www.xes-standard.org/\">\n"
+      << "  <extension name=\"Concept\" prefix=\"concept\" "
+         "uri=\"http://www.xes-standard.org/concept.xesext\"/>\n";
+  for (const auto& [wid, records] : traces) {
+    out << "  <trace>\n";
+    out << "    <string key=\"concept:name\" value=\"" << wid << "\"/>\n";
+    out << "    <boolean key=\"wflog:completed\" value=\""
+        << (end_lsns.contains(wid) ? "true" : "false") << "\"/>\n";
+    out << "    <int key=\"wflog:start_lsn\" value=\"" << start_lsns[wid]
+        << "\"/>\n";
+    if (end_lsns.contains(wid)) {
+      out << "    <int key=\"wflog:end_lsn\" value=\"" << end_lsns[wid]
+          << "\"/>\n";
+    }
+    for (const LogRecord* l : records) {
+      out << "    <event>\n";
+      out << "      <string key=\"concept:name\" value=\"";
+      write_xml_escaped(out, interner.name(l->activity));
+      out << "\"/>\n";
+      out << "      <int key=\"wflog:lsn\" value=\"" << l->lsn << "\"/>\n";
+      for (const AttrEntry& e : l->in) {
+        write_attribute(out, 6,
+                        "wflog:in:" + std::string(interner.name(e.attr)),
+                        e.value);
+      }
+      for (const AttrEntry& e : l->out) {
+        write_attribute(out, 6,
+                        "wflog:out:" + std::string(interner.name(e.attr)),
+                        e.value);
+      }
+      out << "    </event>\n";
+    }
+    out << "  </trace>\n";
+  }
+  out << "</log>\n";
+}
+
+std::string to_xes(const Log& log) {
+  std::ostringstream os;
+  write_xes(log, os);
+  return os.str();
+}
+
+Log read_xes(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return xes_to_log(buffer.str());
+}
+
+Log xes_to_log(const std::string& text) {
+  XmlScanner scanner(text);
+
+  struct PendingEvent {
+    std::string activity;
+    Lsn lsn = 0;  // 0 = no wflog:lsn hint
+    AttrMap in;
+    AttrMap out;
+  };
+  struct PendingTrace {
+    std::string name;
+    bool completed = false;
+    Lsn start_lsn = 0;
+    Lsn end_lsn = 0;
+    std::vector<PendingEvent> events;
+  };
+
+  Interner interner;
+  std::vector<PendingTrace> traces;
+  PendingTrace* trace = nullptr;
+  PendingEvent* event = nullptr;
+  bool saw_log = false;
+
+  XmlTag tag;
+  while (scanner.next(tag)) {
+    if (tag.name == "log" && !tag.closing) {
+      saw_log = true;
+    } else if (tag.name == "trace") {
+      if (tag.closing) {
+        trace = nullptr;
+      } else {
+        traces.emplace_back();
+        trace = &traces.back();
+      }
+    } else if (tag.name == "event") {
+      if (trace == nullptr && !tag.closing) {
+        throw IoError("XES: <event> outside <trace>");
+      }
+      if (tag.closing) {
+        event = nullptr;
+      } else {
+        trace->events.emplace_back();
+        event = &trace->events.back();
+        if (tag.self_closing) event = nullptr;
+      }
+    } else if (tag.name == "string" || tag.name == "int" ||
+               tag.name == "float" || tag.name == "boolean" ||
+               tag.name == "date" || tag.name == "id") {
+      if (tag.closing) continue;
+      auto key_it = tag.attrs.find("key");
+      auto value_it = tag.attrs.find("value");
+      if (key_it == tag.attrs.end() || value_it == tag.attrs.end()) continue;
+      const std::string& key = key_it->second;
+      const std::string& raw = value_it->second;
+      if (event != nullptr) {
+        if (key == "concept:name") {
+          event->activity = raw;
+        } else if (key == "wflog:lsn") {
+          event->lsn = static_cast<Lsn>(std::stoull(raw));
+        } else if (key.starts_with("wflog:in:")) {
+          event->in.set(interner.intern(key.substr(9)),
+                        typed_value(tag.name, raw));
+        } else if (key.starts_with("wflog:out:")) {
+          event->out.set(interner.intern(key.substr(10)),
+                         typed_value(tag.name, raw));
+        }
+        // other event attributes (timestamps, resources): ignored
+      } else if (trace != nullptr) {
+        if (key == "concept:name") {
+          trace->name = raw;
+        } else if (key == "wflog:completed") {
+          trace->completed = raw == "true";
+        } else if (key == "wflog:start_lsn") {
+          trace->start_lsn = static_cast<Lsn>(std::stoull(raw));
+        } else if (key == "wflog:end_lsn") {
+          trace->end_lsn = static_cast<Lsn>(std::stoull(raw));
+        }
+      }
+    }
+    // all other elements (extension, global, classifier): ignored
+  }
+  if (!saw_log) throw IoError("XES: no <log> element");
+  if (traces.empty()) throw IoError("XES: no traces");
+
+  // Assign wids: numeric concept:name when available and unique, else
+  // sequential.
+  std::vector<Wid> wids(traces.size());
+  {
+    bool numeric = true;
+    std::vector<Wid> parsed(traces.size());
+    for (std::size_t i = 0; i < traces.size() && numeric; ++i) {
+      const std::string& name = traces[i].name;
+      Wid w = 0;
+      auto [p, ec] =
+          std::from_chars(name.data(), name.data() + name.size(), w);
+      numeric = !name.empty() && ec == std::errc{} &&
+                p == name.data() + name.size();
+      parsed[i] = w;
+    }
+    if (numeric) {
+      std::vector<Wid> sorted = parsed;
+      std::sort(sorted.begin(), sorted.end());
+      numeric = std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end();
+    }
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      wids[i] = numeric ? 0 : static_cast<Wid>(i + 1);
+    }
+    if (numeric) {
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        std::from_chars(traces[i].name.data(),
+                        traces[i].name.data() + traces[i].name.size(),
+                        wids[i]);
+      }
+    }
+  }
+
+  // Emit records: START, the events, END (when completed). Global order
+  // follows the wflog:lsn hints when every event has one, else traces are
+  // concatenated.
+  const Symbol start_sym = interner.intern(kStartActivity);
+  const Symbol end_sym = interner.intern(kEndActivity);
+
+  struct Keyed {
+    Lsn hint;       // original-order key
+    LogRecord record;
+  };
+  std::vector<Keyed> keyed;
+  bool all_hinted = true;
+  for (const PendingTrace& t : traces) {
+    for (const PendingEvent& e : t.events) {
+      all_hinted = all_hinted && e.lsn != 0;
+    }
+  }
+
+  Lsn synthetic = 0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const PendingTrace& t = traces[i];
+    IsLsn next = 1;
+    // START placement: its exported lsn when present, else just before the
+    // first event (stable sort keeps it in front on key ties).
+    Lsn first_key = all_hinted
+                        ? (t.start_lsn != 0
+                               ? t.start_lsn
+                               : (t.events.empty() ? ++synthetic
+                                                   : t.events.front().lsn))
+                        : ++synthetic;
+    keyed.push_back(
+        Keyed{first_key, LogRecord{0, wids[i], next++, start_sym, {}, {}}});
+    Lsn last_key = first_key;
+    for (const PendingEvent& e : t.events) {
+      if (e.activity.empty()) {
+        throw IoError("XES: event without concept:name in trace '" +
+                      t.name + "'");
+      }
+      const Lsn key = all_hinted ? e.lsn : ++synthetic;
+      LogRecord l;
+      l.wid = wids[i];
+      l.is_lsn = next++;
+      l.activity = interner.intern(e.activity);
+      l.in = e.in;
+      l.out = e.out;
+      keyed.push_back(Keyed{key, std::move(l)});
+      last_key = key;
+    }
+    if (t.completed) {
+      const Lsn end_key =
+          all_hinted && t.end_lsn != 0 ? t.end_lsn : last_key;
+      keyed.push_back(Keyed{end_key, LogRecord{0, wids[i], next++, end_sym,
+                                               {}, {}}});
+    }
+  }
+
+  // Stable sort by key: START (same key as first event) stays before it,
+  // END (same key as last event) after it.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.hint < b.hint;
+                   });
+  std::vector<LogRecord> records;
+  records.reserve(keyed.size());
+  for (Keyed& k : keyed) {
+    k.record.lsn = static_cast<Lsn>(records.size() + 1);
+    records.push_back(std::move(k.record));
+  }
+  return Log::from_records(std::move(records), std::move(interner));
+}
+
+}  // namespace wflog

@@ -1,0 +1,38 @@
+#pragma once
+
+// XES (IEEE 1849) import/export — the interchange format of the process-
+// mining ecosystem (ProM, Disco, PM4Py, ...). Supporting it lets this
+// engine query logs exported by standard tooling and feed its simulated
+// workloads to that tooling.
+//
+// Mapping. XES organises a log as <trace> elements (one per case/workflow
+// instance) containing <event> elements. We map:
+//   trace  "concept:name"               <-> wid (stringified)
+//   event  "concept:name"               <-> activity name
+//   event  "wflog:in:<attr>"            <-> αin bindings
+//   event  "wflog:out:<attr>"           <-> αout bindings
+// Values use the typed XES attribute tags (<string>, <int>, <float>,
+// <boolean>). START/END sentinel records are not exported (XES has no
+// such convention); they are re-synthesized on import, so a round trip
+// reproduces the original log exactly for completed instances and
+// instances are considered complete iff the trace carried a
+// "wflog:completed" marker (written on export).
+//
+// The parser covers the XES subset this exporter emits plus the common
+// output of other tools (unknown attributes are ignored; events lacking
+// concept:name are rejected).
+
+#include <iosfwd>
+#include <string>
+
+#include "log/log.h"
+
+namespace wflog {
+
+void write_xes(const Log& log, std::ostream& out);
+std::string to_xes(const Log& log);
+
+Log read_xes(std::istream& in);
+Log xes_to_log(const std::string& text);
+
+}  // namespace wflog

@@ -1,0 +1,76 @@
+#pragma once
+
+// The Log type (Definition 2): a finite set of log records whose lsns form
+// a bijection with 1..|L|, where every instance starts with START, has
+// consecutive is-lsns, and ends (if completed) with END.
+//
+// A Log owns its records in ascending lsn order (so records_[i].lsn == i+1)
+// together with the Interner that maps activity/attribute names to the
+// Symbols stored in records. Logs are immutable after construction: build
+// them with LogBuilder or the deserializers, both of which validate.
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.h"
+#include "log/record.h"
+
+namespace wflog {
+
+class Log {
+ public:
+  /// Validates `records` against Definition 2 and constructs the log.
+  /// Records may arrive in any order; they are sorted by lsn. Throws
+  /// ValidationError on any violation.
+  static Log from_records(std::vector<LogRecord> records, Interner interner);
+
+  /// Constructs without validation. For internal use by generators that
+  /// emit well-formed logs by construction (the simulator) and by benches
+  /// that must not pay validation cost; callers assert conformance.
+  static Log from_records_unchecked(std::vector<LogRecord> records,
+                                    Interner interner);
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Record with global sequence number `n` (1-based, Definition 2 cond 1).
+  /// Precondition: 1 <= n <= size().
+  const LogRecord& record(Lsn n) const { return records_.at(n - 1); }
+
+  std::span<const LogRecord> records() const noexcept { return records_; }
+  auto begin() const noexcept { return records_.begin(); }
+  auto end() const noexcept { return records_.end(); }
+
+  const Interner& interner() const noexcept { return *interner_; }
+
+  /// Interner access for building patterns against this log's alphabet.
+  /// Returns kNoSymbol for names never seen in the log.
+  Symbol activity_symbol(std::string_view name) const {
+    return interner_->find(name);
+  }
+  std::string_view activity_name(Symbol sym) const {
+    return interner_->name(sym);
+  }
+
+  /// Symbols of the START / END sentinels (kNoSymbol if absent, e.g. in an
+  /// empty log — impossible for well-formed logs, which contain >= 1 START).
+  Symbol start_symbol() const noexcept { return start_sym_; }
+  Symbol end_symbol() const noexcept { return end_sym_; }
+
+  /// Distinct workflow instance ids in order of first appearance.
+  const std::vector<Wid>& wids() const noexcept { return wids_; }
+
+ private:
+  Log(std::vector<LogRecord> records, Interner interner);
+
+  std::vector<LogRecord> records_;
+  // unique_ptr keeps Symbols' string_views stable across Log moves.
+  std::unique_ptr<Interner> interner_;
+  std::vector<Wid> wids_;
+  Symbol start_sym_ = kNoSymbol;
+  Symbol end_sym_ = kNoSymbol;
+};
+
+}  // namespace wflog

@@ -1,0 +1,22 @@
+#include "log/record.h"
+
+namespace wflog {
+
+void AttrMap::set(Symbol attr, Value value) {
+  for (AttrEntry& e : entries_) {
+    if (e.attr == attr) {
+      e.value = std::move(value);
+      return;
+    }
+  }
+  entries_.push_back(AttrEntry{attr, std::move(value)});
+}
+
+const Value* AttrMap::get(Symbol attr) const noexcept {
+  for (const AttrEntry& e : entries_) {
+    if (e.attr == attr) return &e.value;
+  }
+  return nullptr;
+}
+
+}  // namespace wflog

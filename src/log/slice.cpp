@@ -1,0 +1,78 @@
+#include "log/slice.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace wflog {
+namespace {
+
+/// Copies the selected records (a per-instance-prefix-closed subset, in
+/// lsn order), renumbers lsns, and validates.
+Log project(const Log& log, const std::function<bool(const LogRecord&)>& keep) {
+  std::vector<LogRecord> records;
+  for (const LogRecord& l : log) {
+    if (!keep(l)) continue;
+    LogRecord copy = l;
+    copy.lsn = static_cast<Lsn>(records.size() + 1);
+    records.push_back(std::move(copy));
+  }
+  if (records.empty()) {
+    throw ValidationError("projection selected no records (a log is "
+                          "nonempty by Definition 2)");
+  }
+  return Log::from_records(std::move(records), log.interner());
+}
+
+}  // namespace
+
+Log filter_instances(const Log& log, const std::function<bool(Wid)>& keep) {
+  // Evaluate the predicate once per wid, not per record.
+  std::unordered_map<Wid, bool> decision;
+  for (Wid wid : log.wids()) decision.emplace(wid, keep(wid));
+  return project(log, [&decision](const LogRecord& l) {
+    return decision.at(l.wid);
+  });
+}
+
+Log keep_instances(const Log& log, std::span<const Wid> wids) {
+  const std::unordered_set<Wid> wanted(wids.begin(), wids.end());
+  return filter_instances(
+      log, [&wanted](Wid wid) { return wanted.contains(wid); });
+}
+
+Log sample_instances(const Log& log, double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<Wid> chosen;
+  for (Wid wid : log.wids()) {
+    if (rng.bernoulli(fraction)) chosen.insert(wid);
+  }
+  if (chosen.empty() && !log.wids().empty()) {
+    // Guarantee nonemptiness: keep one instance.
+    chosen.insert(log.wids()[rng.index(log.wids().size())]);
+  }
+  return filter_instances(
+      log, [&chosen](Wid wid) { return chosen.contains(wid); });
+}
+
+Log truncate_at(const Log& log, Lsn max_lsn) {
+  if (max_lsn == 0) {
+    throw ValidationError("truncate_at: max_lsn must be >= 1");
+  }
+  return project(log,
+                 [max_lsn](const LogRecord& l) { return l.lsn <= max_lsn; });
+}
+
+Log filter_by_length(const Log& log, std::size_t min_len,
+                     std::size_t max_len) {
+  std::unordered_map<Wid, std::size_t> lengths;
+  for (const LogRecord& l : log) ++lengths[l.wid];
+  return filter_instances(log, [&lengths, min_len, max_len](Wid wid) {
+    const std::size_t len = lengths.at(wid);
+    return len >= min_len && len <= max_len;
+  });
+}
+
+}  // namespace wflog

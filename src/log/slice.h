@@ -1,0 +1,43 @@
+#pragma once
+
+// Sub-log projection. Analysts rarely query a whole multi-year log; these
+// utilities carve Definition-2-conformant sub-logs out of a larger one:
+//
+//  * instance filtering   — keep whole workflow instances (wid predicate,
+//                           explicit id set, or random sample);
+//  * prefix truncation    — "the log as of lsn N", keeping each instance's
+//                           record prefix (how a log looks mid-execution).
+//
+// All functions renumber lsns to 1..|L'| (restoring condition 1 of
+// Definition 2) while preserving wid and is-lsn values, and return
+// validated logs.
+
+#include <functional>
+#include <span>
+
+#include "log/log.h"
+
+namespace wflog {
+
+/// Keeps exactly the instances for which `keep(wid)` is true.
+/// Throws ValidationError if the result would be empty (logs are nonempty).
+Log filter_instances(const Log& log, const std::function<bool(Wid)>& keep);
+
+/// Keeps the listed instances (order/duplicates ignored).
+Log keep_instances(const Log& log, std::span<const Wid> wids);
+
+/// Keeps a random `fraction` of instances (at least one), seeded.
+Log sample_instances(const Log& log, double fraction, std::uint64_t seed);
+
+/// The log "as of" global sequence number `max_lsn`: all records with
+/// lsn <= max_lsn. Every instance keeps a prefix of its records, so the
+/// result is well-formed (instances whose END falls beyond the cut simply
+/// become incomplete). Precondition: 1 <= max_lsn.
+Log truncate_at(const Log& log, Lsn max_lsn);
+
+/// Keeps instances whose record count (including sentinels) lies in
+/// [min_len, max_len].
+Log filter_by_length(const Log& log, std::size_t min_len,
+                     std::size_t max_len);
+
+}  // namespace wflog

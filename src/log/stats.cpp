@@ -1,0 +1,62 @@
+#include "log/stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace wflog {
+
+LogStats compute_stats(const Log& log) {
+  LogStats s;
+  s.num_records = log.size();
+
+  std::unordered_map<Wid, std::size_t> lengths;
+  std::unordered_map<Symbol, std::size_t> counts;
+  for (const LogRecord& l : log) {
+    ++lengths[l.wid];
+    ++counts[l.activity];
+    if (l.activity == log.end_symbol()) ++s.num_completed;
+  }
+
+  s.num_instances = lengths.size();
+  s.num_activities = counts.size();
+  if (!lengths.empty()) {
+    s.min_instance_len = SIZE_MAX;
+    std::size_t total = 0;
+    for (const auto& [wid, len] : lengths) {
+      s.min_instance_len = std::min(s.min_instance_len, len);
+      s.max_instance_len = std::max(s.max_instance_len, len);
+      total += len;
+    }
+    s.mean_instance_len =
+        static_cast<double>(total) / static_cast<double>(lengths.size());
+  }
+
+  s.histogram.reserve(counts.size());
+  for (const auto& [sym, count] : counts) {
+    s.histogram.push_back(
+        ActivityCount{std::string(log.activity_name(sym)), count});
+  }
+  std::sort(s.histogram.begin(), s.histogram.end(),
+            [](const ActivityCount& a, const ActivityCount& b) {
+              return a.count != b.count ? a.count > b.count : a.name < b.name;
+            });
+  return s;
+}
+
+std::string LogStats::to_string() const {
+  std::ostringstream os;
+  os << "records: " << num_records << "\n"
+     << "instances: " << num_instances << " (" << num_completed
+     << " completed)\n"
+     << "distinct activities: " << num_activities << "\n"
+     << "instance length: min " << min_instance_len << ", mean "
+     << mean_instance_len << ", max " << max_instance_len << "\n"
+     << "activity histogram:\n";
+  for (const ActivityCount& ac : histogram) {
+    os << "  " << ac.name << ": " << ac.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wflog

@@ -1,0 +1,34 @@
+#pragma once
+
+// Descriptive statistics of a log: what the analyst sees first in the CLI
+// and what the benches print to characterise their workloads.
+
+#include <string>
+#include <vector>
+
+#include "log/log.h"
+
+namespace wflog {
+
+struct ActivityCount {
+  std::string name;
+  std::size_t count = 0;
+};
+
+struct LogStats {
+  std::size_t num_records = 0;
+  std::size_t num_instances = 0;
+  std::size_t num_completed = 0;   // instances with an END record
+  std::size_t num_activities = 0;  // distinct names incl. sentinels
+  std::size_t min_instance_len = 0;
+  std::size_t max_instance_len = 0;
+  double mean_instance_len = 0.0;
+  std::vector<ActivityCount> histogram;  // descending by count
+
+  /// Multi-line human-readable summary.
+  std::string to_string() const;
+};
+
+LogStats compute_stats(const Log& log);
+
+}  // namespace wflog

@@ -1,0 +1,228 @@
+#include "log/store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/text.h"
+#include "log/io_jsonl.h"
+
+namespace wflog {
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kMagic = "wflog-store v1";
+
+std::string segment_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06zu.jsonl", index);
+  return buf;
+}
+
+}  // namespace
+
+std::filesystem::path LogStore::segment_path(std::size_t index) const {
+  return dir_ / segments_.at(index);
+}
+
+void LogStore::write_manifest() const {
+  // Write-then-rename keeps the manifest atomic against crashes.
+  const std::filesystem::path tmp = dir_ / "MANIFEST.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw IoError("LogStore: cannot write manifest in " + dir_.string());
+    }
+    out << kMagic << "\n";
+    out << "records_per_segment=" << options_.records_per_segment << "\n";
+    for (const std::string& seg : segments_) out << seg << "\n";
+  }
+  std::filesystem::rename(tmp, dir_ / kManifestName);
+}
+
+void LogStore::roll_segment() {
+  segments_.push_back(segment_name(segments_.size() + 1));
+  write_manifest();
+  tail_.close();
+  tail_.open(segment_path(segments_.size() - 1), std::ios::app);
+  if (!tail_) {
+    throw IoError("LogStore: cannot open segment " + segments_.back());
+  }
+  tail_records_ = 0;
+}
+
+LogStore LogStore::create(const std::filesystem::path& dir) {
+  return create(dir, Options{});
+}
+
+LogStore LogStore::create(const std::filesystem::path& dir,
+                          Options options) {
+  std::filesystem::create_directories(dir);
+  if (std::filesystem::exists(dir / kManifestName)) {
+    throw IoError("LogStore: store already exists in " + dir.string());
+  }
+  LogStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+  if (store.options_.records_per_segment == 0) {
+    store.options_.records_per_segment = 1;
+  }
+  store.roll_segment();
+  return store;
+}
+
+LogStore LogStore::open(const std::filesystem::path& dir) {
+  std::ifstream manifest(dir / kManifestName);
+  if (!manifest) {
+    throw IoError("LogStore: no store in " + dir.string());
+  }
+  std::string line;
+  if (!std::getline(manifest, line) || trim(line) != kMagic) {
+    throw IoError("LogStore: bad manifest magic in " + dir.string());
+  }
+
+  LogStore store;
+  store.dir_ = dir;
+  if (!std::getline(manifest, line) ||
+      !trim(line).starts_with("records_per_segment=")) {
+    throw IoError("LogStore: manifest missing records_per_segment");
+  }
+  store.options_.records_per_segment = static_cast<std::size_t>(
+      std::stoull(std::string(trim(line).substr(20))));
+  while (std::getline(manifest, line)) {
+    const std::string name{trim(line)};
+    if (!name.empty()) store.segments_.push_back(name);
+  }
+  if (store.segments_.empty()) {
+    throw IoError("LogStore: manifest lists no segments");
+  }
+
+  // Recover writer state by streaming every segment. A torn final line
+  // (crash mid-append) parses as an error and is dropped; torn lines can
+  // only be last in the final segment.
+  Interner scratch;
+  std::size_t max_tail_records = 0;
+  for (std::size_t s = 0; s < store.segments_.size(); ++s) {
+    std::ifstream seg(store.segment_path(s));
+    if (!seg) {
+      throw IoError("LogStore: missing segment " + store.segments_[s]);
+    }
+    std::size_t records_in_segment = 0;
+    while (std::getline(seg, line)) {
+      if (trim(line).empty()) continue;
+      LogRecord l;
+      try {
+        l = parse_jsonl_record(line, scratch);
+      } catch (const IoError&) {
+        if (s + 1 == store.segments_.size() && seg.peek() == EOF) {
+          break;  // torn tail line: drop
+        }
+        throw;
+      }
+      ++records_in_segment;
+      ++store.num_records_;
+      const bool ended = scratch.name(l.activity) == kEndActivity;
+      store.next_is_lsn_[l.wid] = ended ? 0 : l.is_lsn + 1;
+    }
+    max_tail_records = records_in_segment;
+  }
+  store.tail_records_ = max_tail_records;
+  store.options_.records_per_segment =
+      std::max<std::size_t>(store.options_.records_per_segment, 1);
+
+  store.tail_.open(store.segment_path(store.segments_.size() - 1),
+                   std::ios::app);
+  if (!store.tail_) {
+    throw IoError("LogStore: cannot reopen tail segment");
+  }
+  return store;
+}
+
+Wid LogStore::begin_instance() {
+  while (next_is_lsn_.contains(next_wid_)) ++next_wid_;
+  const Wid wid = next_wid_;
+  next_is_lsn_.emplace(wid, 1);
+  Interner scratch;
+  append_record(wid, kStartActivity, {}, {}, scratch);
+  return wid;
+}
+
+void LogStore::record(Wid wid, std::string_view activity,
+                      const NamedAttrs& in, const NamedAttrs& out) {
+  const auto it = next_is_lsn_.find(wid);
+  if (it == next_is_lsn_.end() || it->second == 0) {
+    throw Error("LogStore: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  if (activity == kStartActivity || activity == kEndActivity) {
+    throw Error("LogStore: activity name '" + std::string(activity) +
+                "' is reserved");
+  }
+  Interner scratch;
+  AttrMap in_map;
+  for (const auto& [name, value] : in) {
+    in_map.set(scratch.intern(name), value);
+  }
+  AttrMap out_map;
+  for (const auto& [name, value] : out) {
+    out_map.set(scratch.intern(name), value);
+  }
+  append_record(wid, activity, in_map, out_map, scratch);
+}
+
+void LogStore::end_instance(Wid wid) {
+  const auto it = next_is_lsn_.find(wid);
+  if (it == next_is_lsn_.end() || it->second == 0) {
+    throw Error("LogStore: instance " + std::to_string(wid) +
+                " is not open");
+  }
+  Interner scratch;
+  append_record(wid, kEndActivity, {}, {}, scratch);
+  next_is_lsn_[wid] = 0;
+}
+
+void LogStore::append_record(Wid wid, std::string_view activity,
+                             const AttrMap& in, const AttrMap& out,
+                             Interner& interner) {
+  if (tail_records_ >= options_.records_per_segment) roll_segment();
+
+  LogRecord l;
+  l.lsn = static_cast<Lsn>(num_records_ + 1);
+  l.wid = wid;
+  l.is_lsn = next_is_lsn_.at(wid);
+  l.activity = interner.intern(activity);
+  l.in = in;
+  l.out = out;
+
+  write_jsonl_record(tail_, l, interner);
+  tail_.flush();
+  if (!tail_) throw IoError("LogStore: append failed (disk full?)");
+
+  ++next_is_lsn_.at(wid);
+  ++tail_records_;
+  ++num_records_;
+}
+
+Log LogStore::load() const {
+  Interner interner;
+  std::vector<LogRecord> records;
+  records.reserve(num_records_);
+  std::string line;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    std::ifstream seg(segment_path(s));
+    if (!seg) {
+      throw IoError("LogStore: missing segment " + segments_[s]);
+    }
+    while (std::getline(seg, line)) {
+      if (trim(line).empty()) continue;
+      try {
+        records.push_back(parse_jsonl_record(line, interner));
+      } catch (const IoError&) {
+        if (s + 1 == segments_.size() && seg.peek() == EOF) break;
+        throw;
+      }
+    }
+  }
+  return Log::from_records(std::move(records), std::move(interner));
+}
+
+}  // namespace wflog

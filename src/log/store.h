@@ -1,0 +1,82 @@
+#pragma once
+
+// LogStore: a minimal durable, append-only store for workflow logs — the
+// persistent "workflow log" box of the paper's Figure 2, sitting between
+// the execution engine (writer) and the query engine (reader).
+//
+// Layout: a directory containing
+//   MANIFEST            first line "wflog-store v1", then one segment
+//                       file name per line, in order
+//   seg-000001.jsonl    JSONL records (log/io_jsonl.h framing), bounded
+//   seg-000002.jsonl    by Options::records_per_segment each
+//
+// Writes append to the tail segment and are flushed per append (a store
+// survives process exit after any append; a torn final line left by a
+// crash is detected and dropped on open). Reopening recovers the per-
+// instance state (next is-lsn, completed set) by streaming the segments,
+// so writing can resume exactly where it stopped.
+//
+// The reader side materializes the whole validated Log — the store bounds
+// file sizes and gives durability, not out-of-core querying.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+#include "log/builder.h"
+#include "log/log.h"
+
+namespace wflog {
+
+class LogStore {
+ public:
+  struct Options {
+    std::size_t records_per_segment = 10'000;
+  };
+
+  /// Creates a new store in `dir` (created if missing; must not already
+  /// contain a store). Throws IoError on filesystem failures.
+  static LogStore create(const std::filesystem::path& dir);
+  static LogStore create(const std::filesystem::path& dir, Options options);
+
+  /// Opens an existing store, recovering writer state from the segments.
+  static LogStore open(const std::filesystem::path& dir);
+
+  LogStore(LogStore&&) = default;
+  LogStore& operator=(LogStore&&) = default;
+
+  // ----- writing ---------------------------------------------------------
+  Wid begin_instance();
+  void record(Wid wid, std::string_view activity, const NamedAttrs& in = {},
+              const NamedAttrs& out = {});
+  void end_instance(Wid wid);
+
+  // ----- reading ---------------------------------------------------------
+  /// Materializes everything appended so far as a validated Log.
+  Log load() const;
+
+  std::size_t num_records() const noexcept { return num_records_; }
+  std::size_t num_segments() const noexcept { return segments_.size(); }
+  const std::filesystem::path& directory() const noexcept { return dir_; }
+
+ private:
+  LogStore() = default;
+
+  void append_record(Wid wid, std::string_view activity, const AttrMap& in,
+                     const AttrMap& out, Interner& interner);
+  void roll_segment();
+  void write_manifest() const;
+  std::filesystem::path segment_path(std::size_t index) const;
+
+  std::filesystem::path dir_;
+  Options options_;
+  std::vector<std::string> segments_;  // file names, in MANIFEST order
+  std::ofstream tail_;
+  std::size_t tail_records_ = 0;  // records in the open tail segment
+  std::size_t num_records_ = 0;
+  std::unordered_map<Wid, IsLsn> next_is_lsn_;  // 0 = completed
+  Wid next_wid_ = 1;
+};
+
+}  // namespace wflog

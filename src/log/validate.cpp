@@ -1,0 +1,95 @@
+#include "log/validate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/text.h"
+
+namespace wflog {
+
+std::vector<std::string> check_well_formed(
+    const std::vector<LogRecord>& records, const Interner& interner) {
+  std::vector<std::string> violations;
+  auto violate = [&violations](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  if (records.empty()) {
+    violate("Definition 2: a log is a NONEMPTY finite set of log records");
+    return violations;
+  }
+
+  const Symbol start_sym = interner.find(kStartActivity);
+  const Symbol end_sym = interner.find(kEndActivity);
+
+  // Condition (1): lsns are exactly 1..|L| (records arrive sorted by lsn,
+  // so the bijection holds iff record i carries lsn i+1).
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].lsn != static_cast<Lsn>(i + 1)) {
+      violate("condition 1: lsns are not a bijection with 1.." +
+              std::to_string(records.size()) + " (position " +
+              std::to_string(i) + " has lsn " +
+              std::to_string(records[i].lsn) + ")");
+      break;  // everything downstream would repeat the same message
+    }
+  }
+
+  // Conditions (2)-(4) per instance, walking in lsn order.
+  struct InstanceState {
+    IsLsn next_is_lsn = 1;
+    bool ended = false;
+  };
+  std::unordered_map<Wid, InstanceState> instances;
+
+  for (const LogRecord& l : records) {
+    InstanceState& st = instances[l.wid];
+
+    if (st.ended) {
+      violate("condition 4: instance " + std::to_string(l.wid) +
+              " has record lsn=" + std::to_string(l.lsn) +
+              " after its END record");
+      continue;
+    }
+
+    const bool is_start = l.activity == start_sym && start_sym != kNoSymbol;
+    if ((l.is_lsn == 1) != is_start) {
+      violate("condition 2: record lsn=" + std::to_string(l.lsn) +
+              " violates 'is-lsn = 1 iff activity = START' (is-lsn=" +
+              std::to_string(l.is_lsn) + ", activity=" +
+              std::string(interner.name(l.activity)) + ")");
+    }
+
+    if (l.is_lsn != st.next_is_lsn) {
+      violate("condition 3: instance " + std::to_string(l.wid) +
+              " record lsn=" + std::to_string(l.lsn) + " has is-lsn " +
+              std::to_string(l.is_lsn) + ", expected " +
+              std::to_string(st.next_is_lsn));
+      // Resynchronise so one gap doesn't cascade into many messages.
+      st.next_is_lsn = l.is_lsn;
+    }
+    ++st.next_is_lsn;
+
+    const bool is_end = l.activity == end_sym && end_sym != kNoSymbol;
+    if (is_end) st.ended = true;
+
+    if ((is_start || is_end) && (!l.in.empty() || !l.out.empty())) {
+      violate("START/END record lsn=" + std::to_string(l.lsn) +
+              " must have empty input and output maps");
+    }
+  }
+
+  return violations;
+}
+
+void validate_well_formed(const std::vector<LogRecord>& records,
+                          const Interner& interner) {
+  std::vector<std::string> violations = check_well_formed(records, interner);
+  if (!violations.empty()) {
+    throw ValidationError("log is not well-formed:\n  " +
+                          join(violations, "\n  "));
+  }
+}
+
+}  // namespace wflog

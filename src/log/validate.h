@@ -1,0 +1,32 @@
+#pragma once
+
+// Definition 2 well-formedness checks, exposed independently of Log
+// construction so tools (the CLI, tests, the simulator's self-checks) can
+// report *all* violations of a candidate record set rather than failing on
+// the first.
+
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+#include "log/record.h"
+
+namespace wflog {
+
+/// Returns a human-readable message per violated condition of Definition 2
+/// (empty means well-formed). `records` must be sorted by lsn ascending.
+///
+/// Checked conditions:
+///   (1) lsns form a bijection with 1..|L|;
+///   (2) is-lsn(l) = 1  iff  act(l) = START;
+///   (3) per-instance is-lsns are consecutive from 1, in lsn order;
+///   (4) an END record is the last record of its instance;
+///   (+) START/END records carry empty attribute maps (Definition 1 text).
+std::vector<std::string> check_well_formed(
+    const std::vector<LogRecord>& records, const Interner& interner);
+
+/// Throws ValidationError listing every violation; no-op when well-formed.
+void validate_well_formed(const std::vector<LogRecord>& records,
+                          const Interner& interner);
+
+}  // namespace wflog

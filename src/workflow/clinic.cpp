@@ -1,0 +1,273 @@
+#include "workflow/clinic.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace wflog {
+namespace {
+
+std::int64_t int_attr(const AttrStore& store, const std::string& name,
+                      std::int64_t fallback = 0) {
+  auto it = store.find(name);
+  return it != store.end() && it->second.kind() == ValueKind::kInt
+             ? it->second.as_int()
+             : fallback;
+}
+
+std::string make_refer_id(Rng& rng) {
+  static constexpr char kHex[] = "0123456789abcdefsd";
+  std::string id(5, '0');
+  for (char& c : id) c = kHex[rng.index(sizeof(kHex) - 1)];
+  return id;
+}
+
+}  // namespace
+
+WorkflowModel clinic_model(const ClinicOptions& options) {
+  WorkflowModel m("clinic-referral");
+
+  static const std::array<std::string_view, 4> kHospitals = {
+      "Public Hospital", "People Hospital", "Union Hospital",
+      "Provincial Hospital"};
+  static const std::array<std::int64_t, 5> kBudgets = {500, 1000, 2000, 5000,
+                                                       8000};
+
+  const auto get_refer = m.add_task(
+      "GetRefer", {}, [](Rng& rng, const AttrStore&) -> AttrWrites {
+        return {
+            {"hospital",
+             Value{std::string(kHospitals[rng.index(kHospitals.size())])}},
+            {"referId", Value{make_refer_id(rng)}},
+            {"referState", Value{"start"}},
+            {"balance", Value{kBudgets[rng.index(kBudgets.size())]}},
+            {"year", Value{static_cast<std::int64_t>(
+                         2014 + static_cast<std::int64_t>(rng.index(4)))}},
+        };
+      });
+
+  const auto check_in =
+      m.add_task("CheckIn", {"referId", "referState", "balance"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"referState", Value{"active"}}};
+                 });
+
+  const auto see_doctor =
+      m.add_task("SeeDoctor", {"referId", "referState"}, nullptr);
+
+  const auto pay_treatment = m.add_task(
+      "PayTreatment", {"referId", "referState"},
+      [](Rng& rng, const AttrStore& store) -> AttrWrites {
+        const std::int64_t k = int_attr(store, "receiptCount") + 1;
+        const std::string receipt = "receipt" + std::to_string(k);
+        const auto cost =
+            static_cast<std::int64_t>(rng.uniform(4, 80)) * 10;
+        return {{receipt, Value{cost}},
+                {receipt + "State", Value{"active"}},
+                {"receiptCount", Value{k}},
+                {"spent", Value{int_attr(store, "spent") + cost}}};
+      });
+
+  const auto take_treatment =
+      m.add_task("TakeTreatment", {"referId"}, nullptr);
+
+  const auto update_refer = m.add_task(
+      "UpdateRefer", {"referId", "referState", "balance"},
+      [](Rng& rng, const AttrStore& store) -> AttrWrites {
+        const std::int64_t old_balance = int_attr(store, "balance", 1000);
+        const auto bump = static_cast<std::int64_t>(rng.uniform(1, 6)) * 1000;
+        return {{"balance", Value{old_balance + bump}}};
+      });
+
+  const auto get_reimburse = m.add_task(
+      "GetReimburse",
+      {"referState", "balance", "spent"},
+      [](Rng&, const AttrStore& store) -> AttrWrites {
+        const std::int64_t balance = int_attr(store, "balance", 0);
+        const std::int64_t spent = int_attr(store, "spent", 0);
+        const std::int64_t reimburse = std::min(balance, spent);
+        AttrWrites writes = {{"amount", Value{spent}},
+                             {"reimburse", Value{reimburse}},
+                             {"balance", Value{balance - reimburse}}};
+        const std::int64_t receipts = int_attr(store, "receiptCount");
+        for (std::int64_t k = 1; k <= receipts; ++k) {
+          writes.emplace_back("receipt" + std::to_string(k) + "State",
+                              Value{"complete"});
+        }
+        return writes;
+      });
+
+  const auto complete_refer =
+      m.add_task("CompleteRefer", {"referState", "balance"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"referState", Value{"complete"}}};
+                 });
+
+  const auto terminate_refer =
+      m.add_task("TerminateRefer", {"referId", "referState"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"referState", Value{"terminated"}}};
+                 });
+
+  const auto finish = m.add_terminal();
+
+  // Anomalous tail: a referral updated AFTER reimbursement, then reimbursed
+  // again — the fraud signature of the paper's motivating query.
+  const auto fraud_update = m.add_task(
+      "UpdateRefer", {"referId", "referState", "balance"},
+      [](Rng& rng, const AttrStore& store) -> AttrWrites {
+        const std::int64_t old_balance = int_attr(store, "balance", 0);
+        const auto bump = static_cast<std::int64_t>(rng.uniform(2, 9)) * 1000;
+        return {{"balance", Value{old_balance + bump}}};
+      });
+  const auto fraud_reimburse = m.add_task(
+      "GetReimburse", {"referState", "balance"},
+      [](Rng&, const AttrStore& store) -> AttrWrites {
+        const std::int64_t balance = int_attr(store, "balance", 0);
+        return {{"reimburse", Value{balance}},
+                {"balance", Value{std::int64_t{0}}}};
+      });
+
+  // Wiring. Visit loop: SeeDoctor -> {PayTreatment, back, onward}.
+  const double visit_again = 1.0 - 1.0 / std::max(1.0, options.mean_visits);
+  m.set_entry(get_refer);
+  m.connect(get_refer, check_in);
+  m.connect(check_in, see_doctor);
+
+  m.connect(see_doctor, pay_treatment, 0.8);
+  m.connect(see_doctor, see_doctor, 0.1);
+  m.connect(see_doctor, get_reimburse, 0.1,
+            [](const AttrStore& s) { return s.contains("spent"); });
+
+  m.connect(pay_treatment, take_treatment, 0.5);
+  m.connect(pay_treatment, see_doctor, visit_again);
+  m.connect(pay_treatment, update_refer, options.update_rate);
+  m.connect(pay_treatment, get_reimburse,
+            std::max(0.05, 1.0 - visit_again));
+
+  m.connect(take_treatment, see_doctor, visit_again);
+  m.connect(take_treatment, update_refer, options.update_rate);
+  m.connect(take_treatment, get_reimburse,
+            std::max(0.05, 1.0 - visit_again));
+
+  m.connect(update_refer, see_doctor, 0.6);
+  m.connect(update_refer, get_reimburse, 0.4);
+
+  m.connect(get_reimburse, complete_refer,
+            std::max(0.0, 1.0 - options.terminate_rate - options.fraud_rate));
+  m.connect(get_reimburse, terminate_refer, options.terminate_rate);
+  if (options.fraud_rate > 0) {
+    m.connect(get_reimburse, fraud_update, options.fraud_rate);
+    m.connect(fraud_update, fraud_reimburse);
+    m.connect(fraud_reimburse, complete_refer);
+  }
+
+  m.connect(complete_refer, finish);
+  m.connect(terminate_refer, finish);
+  return m;
+}
+
+Log clinic_log(std::size_t num_instances, std::uint64_t seed,
+               const ClinicOptions& options) {
+  SimOptions sim;
+  sim.num_instances = num_instances;
+  sim.seed = seed;
+  sim.abandon_probability = 0.05;
+  return simulate(clinic_model(options), sim);
+}
+
+Log figure3_log() {
+  LogBuilder b;
+  const Wid w1 = b.begin_instance(1);  // lsn 1
+  const Wid w2 = b.begin_instance(2);  // lsn 2
+
+  b.append(w1, "GetRefer", {},
+           {{"hospital", Value{"Public Hospital"}},
+            {"referId", Value{"034d1"}},
+            {"referState", Value{"start"}},
+            {"balance", Value{std::int64_t{1000}}}});  // lsn 3
+  b.append(w1, "CheckIn",
+           {{"referId", Value{"034d1"}},
+            {"referState", Value{"start"}},
+            {"balance", Value{std::int64_t{1000}}}},
+           {{"referState", Value{"active"}}});  // lsn 4
+  b.append(w2, "GetRefer", {},
+           {{"hospital", Value{"People Hospital"}},
+            {"referId", Value{"022f3"}},
+            {"referState", Value{"start"}},
+            {"balance", Value{std::int64_t{2000}}}});  // lsn 5
+
+  const Wid w3 = b.begin_instance(3);  // lsn 6
+  b.append(w3, "GetRefer", {},
+           {{"hospital", Value{"Public Hospital"}},
+            {"referId", Value{"048s1"}},
+            {"referState", Value{"start"}},
+            {"balance", Value{std::int64_t{500}}}});  // lsn 7
+  b.append(w2, "CheckIn",
+           {{"referId", Value{"022f3"}},
+            {"referState", Value{"start"}},
+            {"balance", Value{std::int64_t{2000}}}},
+           {{"referState", Value{"active"}}});  // lsn 8
+  b.append(w1, "SeeDoctor",
+           {{"referId", Value{"034d1"}}, {"referState", Value{"active"}}},
+           {});  // lsn 9
+  b.append(w1, "PayTreatment",
+           {{"referId", Value{"034d1"}}, {"referState", Value{"active"}}},
+           {{"receipt1", Value{std::int64_t{560}}},
+            {"receipt1State", Value{"active"}}});  // lsn 10
+  b.append(w1, "SeeDoctor",
+           {{"referId", Value{"034d1"}}, {"referState", Value{"active"}}},
+           {});  // lsn 11
+  b.append(w1, "PayTreatment",
+           {{"referId", Value{"034d1"}}, {"referState", Value{"active"}}},
+           {{"receipt2", Value{std::int64_t{460}}},
+            {"receipt2State", Value{"active"}}});  // lsn 12
+  b.append(w2, "SeeDoctor",
+           {{"referId", Value{"022f3"}}, {"referState", Value{"active"}}},
+           {});  // lsn 13
+  b.append(w2, "UpdateRefer",
+           {{"referId", Value{"022f3"}},
+            {"referState", Value{"active"}},
+            {"balance", Value{std::int64_t{2000}}}},
+           {{"balance", Value{std::int64_t{5000}}}});  // lsn 14
+  b.append(w1, "GetReimburse",
+           {{"referState", Value{"active"}},
+            {"balance", Value{std::int64_t{1000}}},
+            {"receipt1", Value{std::int64_t{560}}},
+            {"receipt1State", Value{"active"}},
+            {"receipt2", Value{std::int64_t{460}}},
+            {"receipt2State", Value{"active"}}},
+           {{"amount", Value{std::int64_t{1020}}},
+            {"balance", Value{std::int64_t{0}}},
+            {"reimburse", Value{std::int64_t{1000}}},
+            {"receipt1State", Value{"complete"}},
+            {"receipt2State", Value{"complete"}}});  // lsn 15
+  b.append(w1, "CompleteRefer",
+           {{"referState", Value{"active"}},
+            {"balance", Value{std::int64_t{0}}}},
+           {{"referState", Value{"complete"}}});  // lsn 16
+  b.append(w2, "SeeDoctor",
+           {{"referId", Value{"022f3"}}, {"referState", Value{"active"}}},
+           {});  // lsn 17
+  b.append(w2, "PayTreatment",
+           {{"referId", Value{"022f3"}}, {"referState", Value{"active"}}},
+           {{"receipt1", Value{std::int64_t{4560}}},
+            {"receipt1State", Value{"active"}}});  // lsn 18
+  b.append(w2, "TakeTreatment",
+           {{"referId", Value{"022f3"}},
+            {"receipt1", Value{std::int64_t{4560}}}},
+           {});  // lsn 19
+  b.append(w2, "GetReimburse",
+           {{"referState", Value{"active"}},
+            {"balance", Value{std::int64_t{5000}}},
+            {"receipt1", Value{std::int64_t{6560}}},
+            {"receipt1State", Value{"active"}}},
+           {{"amount", Value{std::int64_t{6560}}},
+            {"balance", Value{std::int64_t{0}}},
+            {"reimburse", Value{std::int64_t{5000}}},
+            {"receipt1State", Value{"complete"}}});  // lsn 20
+
+  return b.build();
+}
+
+}  // namespace wflog

@@ -1,0 +1,49 @@
+#pragma once
+
+// The medical-clinic referral process of the paper's Example 2, as a
+// WorkflowModel, plus the exact 20-record log of Figure 3.
+//
+// Process (paper, Example 2): a student gets a referral at the college
+// clinic (GetRefer: budget/balance fixed per condition), checks in at the
+// referred hospital (CheckIn), sees doctors and pays for treatments
+// (SeeDoctor / PayTreatment / TakeTreatment, possibly repeatedly), may have
+// the referral — including the balance — updated when diagnoses change
+// (UpdateRefer), requests reimbursement (GetReimburse), and completes or
+// terminates the referral (CompleteRefer / TerminateRefer).
+//
+// The model deliberately includes low-probability *anomalous* paths the
+// paper's motivating queries hunt for — UpdateRefer occurring after
+// GetReimburse (the fraud pattern of Example 3) — so analytics examples
+// have something to find. Rates are configurable.
+
+#include "workflow/model.h"
+#include "workflow/simulator.h"
+
+namespace wflog {
+
+struct ClinicOptions {
+  /// Probability that a referral is updated during treatment (legitimate).
+  double update_rate = 0.25;
+  /// Probability of the anomalous UpdateRefer-after-GetReimburse path.
+  double fraud_rate = 0.05;
+  /// Probability a student terminates instead of completing.
+  double terminate_rate = 0.1;
+  /// Expected number of SeeDoctor visits per referral (geometric).
+  double mean_visits = 2.0;
+};
+
+/// Builds the referral workflow model.
+WorkflowModel clinic_model(const ClinicOptions& options = {});
+
+/// Simulates `num_instances` referrals. Convenience wrapper around
+/// simulate(clinic_model(), ...).
+Log clinic_log(std::size_t num_instances, std::uint64_t seed = 0x5eed,
+               const ClinicOptions& options = {});
+
+/// The paper's Figure 3 — the first 20 records of the referral log,
+/// reconstructed verbatim (with the paper's "GetReimberse" typo normalized
+/// to GetReimburse). Instances 1–3 are all incomplete (no END), as in the
+/// figure.
+Log figure3_log();
+
+}  // namespace wflog

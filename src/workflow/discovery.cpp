@@ -1,0 +1,157 @@
+#include "workflow/discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace wflog {
+
+FootprintRelation Footprint::relation(std::size_t i, std::size_t j) const {
+  const bool ab = successions(i, j) > 0;
+  const bool ba = successions(j, i) > 0;
+  if (ab && ba) return FootprintRelation::kParallel;
+  if (ab) return FootprintRelation::kCausal;
+  if (ba) return FootprintRelation::kInverse;
+  return FootprintRelation::kUnrelated;
+}
+
+std::size_t Footprint::index_of(std::string_view name) const {
+  const auto it = std::find(activities_.begin(), activities_.end(), name);
+  return it == activities_.end()
+             ? SIZE_MAX
+             : static_cast<std::size_t>(it - activities_.begin());
+}
+
+std::string Footprint::to_string() const {
+  std::size_t width = 2;
+  for (const std::string& a : activities_) {
+    width = std::max(width, a.size());
+  }
+  width += 1;
+  std::ostringstream os;
+  auto pad = [&os, width](std::string_view s) {
+    os << s;
+    for (std::size_t i = s.size(); i < width; ++i) os << ' ';
+  };
+  pad("");
+  for (const std::string& a : activities_) pad(a);
+  os << "\n";
+  for (std::size_t i = 0; i < activities_.size(); ++i) {
+    pad(activities_[i]);
+    for (std::size_t j = 0; j < activities_.size(); ++j) {
+      switch (relation(i, j)) {
+        case FootprintRelation::kUnrelated:
+          pad("#");
+          break;
+        case FootprintRelation::kCausal:
+          pad("->");
+          break;
+        case FootprintRelation::kInverse:
+          pad("<-");
+          break;
+        case FootprintRelation::kParallel:
+          pad("||");
+          break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Footprint discover_footprint(const LogIndex& index) {
+  const Log& log = index.log();
+  Footprint fp;
+
+  // Activity alphabet, sentinels excluded, sorted by name.
+  for (Symbol sym : index.activities()) {
+    if (sym == log.start_symbol() || sym == log.end_symbol()) continue;
+    fp.activities_.emplace_back(log.activity_name(sym));
+  }
+  std::sort(fp.activities_.begin(), fp.activities_.end());
+  const std::size_t n = fp.activities_.size();
+  fp.counts_.assign(n * n, 0);
+
+  std::unordered_map<Symbol, std::size_t> by_symbol;
+  for (std::size_t i = 0; i < n; ++i) {
+    by_symbol[log.activity_symbol(fp.activities_[i])] = i;
+  }
+
+  for (Wid wid : index.wids()) {
+    const auto& records = index.instance(wid);
+    for (std::size_t k = 0; k + 1 < records.size(); ++k) {
+      const auto a = by_symbol.find(records[k]->activity);
+      const auto b = by_symbol.find(records[k + 1]->activity);
+      if (a != by_symbol.end() && b != by_symbol.end()) {
+        ++fp.counts_[a->second * n + b->second];
+      }
+    }
+  }
+  return fp;
+}
+
+WorkflowModel discover_model(const LogIndex& index,
+                             const DiscoveryOptions& options) {
+  const Log& log = index.log();
+  const Footprint fp = discover_footprint(index);
+  const std::size_t n = fp.size();
+
+  WorkflowModel model("discovered");
+  std::vector<WorkflowModel::NodeId> tasks(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks[i] = model.add_task(fp.activities()[i]);
+  }
+  const auto terminal = model.add_terminal();
+
+  // Initial/terminal statistics: which activities directly follow START /
+  // directly precede END or the end of an incomplete instance.
+  std::map<std::size_t, std::size_t> initial_counts;
+  std::map<std::size_t, std::size_t> final_counts;
+  for (Wid wid : index.wids()) {
+    const auto& records = index.instance(wid);
+    if (records.size() >= 2) {
+      const std::size_t first = fp.index_of(
+          log.activity_name(records[1]->activity));
+      if (first != SIZE_MAX) ++initial_counts[first];
+      // Walk back over END to the last business activity.
+      std::size_t last_pos = records.size() - 1;
+      if (records[last_pos]->activity == log.end_symbol() && last_pos > 1) {
+        --last_pos;
+      }
+      const std::size_t last = fp.index_of(
+          log.activity_name(records[last_pos]->activity));
+      if (last != SIZE_MAX) ++final_counts[last];
+    }
+  }
+
+  // Entry: single initial activity connects directly; several go through a
+  // silent XOR split with observed weights.
+  if (initial_counts.size() == 1) {
+    model.set_entry(tasks[initial_counts.begin()->first]);
+  } else if (!initial_counts.empty()) {
+    const auto entry = model.add_xor_split();
+    for (const auto& [idx, count] : initial_counts) {
+      model.connect(entry, tasks[idx], static_cast<double>(count));
+    }
+    model.set_entry(entry);
+  }
+
+  // Transitions: every direct succession above the support threshold,
+  // weighted by its frequency; final activities also connect to the
+  // terminal, weighted by how often they closed an instance.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t support = fp.successions(i, j);
+      if (support >= std::max<std::size_t>(1, options.min_edge_support)) {
+        model.connect(tasks[i], tasks[j], static_cast<double>(support));
+      }
+    }
+  }
+  for (const auto& [idx, count] : final_counts) {
+    model.connect(tasks[idx], terminal, static_cast<double>(count));
+  }
+  return model;
+}
+
+}  // namespace wflog

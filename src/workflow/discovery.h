@@ -1,0 +1,77 @@
+#pragma once
+
+// Process discovery: reconstructing a workflow model from its log — the
+// inverse of the simulator, and the classic first consumer of the
+// direct-succession statistics that incident patterns compute (count(a . b)
+// for all a, b).
+//
+// Two artifacts:
+//  * Footprint — the alpha-algorithm relation matrix over activities:
+//      a → b   (causal: a directly precedes b, never the reverse)
+//      a ∥ b   (parallel: both directions observed)
+//      a # b   (unrelated: neither direction observed)
+//  * discover_model() — a heuristic-miner-style WorkflowModel: one task per
+//    activity, transitions for every direct succession above a noise
+//    threshold (weighted by observed frequency), a silent XOR entry for
+//    instances with several initial activities, and a terminal fed by the
+//    activities observed last. Simulating the discovered model yields logs
+//    whose direct-succession relation is a subset of the original's
+//    (property-tested).
+
+#include <string>
+#include <vector>
+
+#include "log/index.h"
+#include "workflow/model.h"
+
+namespace wflog {
+
+enum class FootprintRelation : std::uint8_t {
+  kUnrelated,  // a # b
+  kCausal,     // a -> b
+  kInverse,    // b -> a
+  kParallel,   // a || b
+};
+
+class Footprint {
+ public:
+  /// Activity names in matrix order (sentinels excluded), sorted.
+  const std::vector<std::string>& activities() const noexcept {
+    return activities_;
+  }
+
+  std::size_t size() const noexcept { return activities_.size(); }
+
+  /// Direct-succession count: how often activities()[i] is immediately
+  /// followed by activities()[j] within one instance.
+  std::size_t successions(std::size_t i, std::size_t j) const {
+    return counts_.at(i * activities_.size() + j);
+  }
+
+  FootprintRelation relation(std::size_t i, std::size_t j) const;
+
+  /// Index of an activity name; SIZE_MAX when absent.
+  std::size_t index_of(std::string_view name) const;
+
+  /// The classic footprint matrix rendering (#, ->, <-, ||).
+  std::string to_string() const;
+
+ private:
+  friend Footprint discover_footprint(const LogIndex& index);
+
+  std::vector<std::string> activities_;
+  std::vector<std::size_t> counts_;  // row-major successions
+};
+
+Footprint discover_footprint(const LogIndex& index);
+
+struct DiscoveryOptions {
+  /// Drop direct-succession edges observed fewer than this many times
+  /// (noise filtering, as in the heuristic miner).
+  std::size_t min_edge_support = 1;
+};
+
+WorkflowModel discover_model(const LogIndex& index,
+                             const DiscoveryOptions& options = {});
+
+}  // namespace wflog

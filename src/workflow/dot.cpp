@@ -1,0 +1,63 @@
+#include "workflow/dot.h"
+
+#include <sstream>
+
+namespace wflog {
+
+std::string to_dot(const WorkflowModel& model) {
+  using NodeKind = WorkflowModel::NodeKind;
+  std::ostringstream os;
+  os << "digraph \"" << model.name() << "\" {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"Helvetica\"];\n"
+     << "  entry [shape=circle, label=\"\", style=filled, fillcolor=black, "
+        "width=0.2];\n";
+
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    const WorkflowModel::Node& n = model.node(i);
+    os << "  n" << i << " ";
+    switch (n.kind) {
+      case NodeKind::kTask:
+        os << "[shape=box, style=rounded, label=\"" << n.activity << "\"]";
+        break;
+      case NodeKind::kXorSplit:
+        os << "[shape=diamond, label=\"x\"]";
+        break;
+      case NodeKind::kAndSplit:
+        os << "[shape=diamond, label=\"+\"]";
+        break;
+      case NodeKind::kAndJoin:
+        os << "[shape=diamond, label=\"+join(" << n.join_arity << ")\"]";
+        break;
+      case NodeKind::kTerminal:
+        os << "[shape=doublecircle, label=\"\", width=0.2]";
+        break;
+    }
+    os << ";\n";
+  }
+
+  os << "  entry -> n" << model.entry() << ";\n";
+  for (std::size_t i = 0; i < model.num_nodes(); ++i) {
+    const WorkflowModel::Node& n = model.node(i);
+    for (const WorkflowModel::Transition& t : n.out) {
+      os << "  n" << i << " -> n" << t.target;
+      std::string label;
+      if ((n.kind == NodeKind::kTask || n.kind == NodeKind::kXorSplit) &&
+          n.out.size() > 1) {
+        std::ostringstream w;
+        w.precision(2);
+        w << t.weight;
+        label = w.str();
+      }
+      if (t.guard != nullptr) {
+        label += label.empty() ? "[guarded]" : " [guarded]";
+      }
+      if (!label.empty()) os << " [label=\"" << label << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wflog

@@ -1,0 +1,16 @@
+#pragma once
+
+// Graphviz (DOT) export of workflow models — the visual the paper's BPMN
+// heritage implies. Task nodes render as boxes, AND gateways as diamonds,
+// terminals as double circles; XOR edge weights and guard presence are
+// annotated on the edges.
+
+#include <string>
+
+#include "workflow/model.h"
+
+namespace wflog {
+
+std::string to_dot(const WorkflowModel& model);
+
+}  // namespace wflog

@@ -1,0 +1,71 @@
+#include "workflow/model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wflog {
+
+WorkflowModel::NodeId WorkflowModel::add_task(std::string activity,
+                                              std::vector<std::string> reads,
+                                              ActivityBody body) {
+  Node n;
+  n.kind = NodeKind::kTask;
+  n.activity = std::move(activity);
+  n.reads = std::move(reads);
+  n.body = std::move(body);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+WorkflowModel::NodeId WorkflowModel::add_xor_split() {
+  Node n;
+  n.kind = NodeKind::kXorSplit;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+WorkflowModel::NodeId WorkflowModel::add_and_split() {
+  Node n;
+  n.kind = NodeKind::kAndSplit;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+WorkflowModel::NodeId WorkflowModel::add_and_join(std::size_t arity) {
+  Node n;
+  n.kind = NodeKind::kAndJoin;
+  n.join_arity = arity;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+WorkflowModel::NodeId WorkflowModel::add_terminal() {
+  Node n;
+  n.kind = NodeKind::kTerminal;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+void WorkflowModel::connect(NodeId from, NodeId to, double weight,
+                            Guard guard) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    throw Error("WorkflowModel::connect: node id out of range");
+  }
+  if (weight <= 0) {
+    throw Error("WorkflowModel::connect: weight must be positive");
+  }
+  nodes_[from].out.push_back(Transition{to, weight, std::move(guard)});
+}
+
+std::vector<std::string> WorkflowModel::activities() const {
+  std::vector<std::string> names;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::kTask) names.push_back(n.activity);
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace wflog

@@ -1,0 +1,99 @@
+#pragma once
+
+// A data-centric workflow model — the substrate that generates logs.
+//
+// The paper's logs come from a production workflow engine; we reconstruct
+// the workload (DESIGN.md §2) with a small BPMN-flavoured process model:
+// task nodes execute an activity (reading/writing instance attributes,
+// which become the record's αin/αout), XOR choices pick one outgoing
+// transition by guarded weights, AND splits fork concurrent tokens whose
+// interleaving the simulator randomises, AND joins synchronise them, and
+// terminal nodes complete the instance.
+//
+// Activities' effects are plain functions over the instance's attribute
+// store, so models express data behaviour directly (see workflow/clinic.cpp
+// for the paper's referral process).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace wflog {
+
+/// Per-instance attribute state. Ordered map: deterministic αin ordering.
+using AttrStore = std::map<std::string, Value>;
+
+/// Named attribute writes produced by executing an activity (αout).
+using AttrWrites = std::vector<std::pair<std::string, Value>>;
+
+/// The behaviour of one activity: given the RNG and the current store,
+/// produce the writes. The simulator applies them to the store afterwards.
+using ActivityBody = std::function<AttrWrites(Rng&, const AttrStore&)>;
+
+/// Guard on a transition; nullptr = always enabled.
+using Guard = std::function<bool(const AttrStore&)>;
+
+class WorkflowModel {
+ public:
+  using NodeId = std::size_t;
+  static constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+  enum class NodeKind : std::uint8_t {
+    kTask,      // executes an activity, then one outgoing transition
+    kXorSplit,  // silent exclusive gateway: picks one outgoing transition
+    kAndSplit,  // silently forks a token onto every outgoing transition
+    kAndJoin,   // waits for `join_arity` tokens, then proceeds
+    kTerminal,  // token dies; instance completes when all tokens died
+  };
+
+  struct Transition {
+    NodeId target = kNoNode;
+    double weight = 1.0;
+    Guard guard;  // evaluated against the instance store
+  };
+
+  struct Node {
+    NodeKind kind = NodeKind::kTask;
+    std::string activity;        // task nodes only
+    std::vector<std::string> reads;  // attributes captured into αin
+    ActivityBody body;           // may be null (no writes)
+    std::vector<Transition> out;
+    std::size_t join_arity = 2;  // AND-join only
+  };
+
+  explicit WorkflowModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  NodeId add_task(std::string activity, std::vector<std::string> reads = {},
+                  ActivityBody body = nullptr);
+  NodeId add_xor_split();
+  NodeId add_and_split();
+  NodeId add_and_join(std::size_t arity);
+  NodeId add_terminal();
+
+  /// Adds an XOR-weighted (optionally guarded) transition.
+  void connect(NodeId from, NodeId to, double weight = 1.0,
+               Guard guard = nullptr);
+
+  /// Entry node executed right after the START record. Defaults to node 0.
+  void set_entry(NodeId entry) { entry_ = entry; }
+  NodeId entry() const noexcept { return entry_; }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+
+  /// Distinct activity names used by task nodes.
+  std::vector<std::string> activities() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  NodeId entry_ = 0;
+};
+
+}  // namespace wflog

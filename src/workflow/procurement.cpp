@@ -1,0 +1,158 @@
+#include "workflow/procurement.h"
+
+#include <array>
+#include <string_view>
+
+namespace wflog {
+namespace {
+
+std::int64_t int_attr(const AttrStore& store, const std::string& name,
+                      std::int64_t fallback = 0) {
+  auto it = store.find(name);
+  return it != store.end() && it->second.kind() == ValueKind::kInt
+             ? it->second.as_int()
+             : fallback;
+}
+
+}  // namespace
+
+WorkflowModel procurement_model(const ProcurementOptions& options) {
+  WorkflowModel m("procure-to-pay");
+
+  static const std::array<std::string_view, 4> kVendors = {
+      "Acme Supplies", "Globex", "Initech", "Umbrella Corp"};
+
+  const auto create_po = m.add_task(
+      "CreatePO", {}, [](Rng& rng, const AttrStore&) -> AttrWrites {
+        const auto amount =
+            static_cast<std::int64_t>(rng.uniform(1, 200)) * 50;
+        return {
+            {"vendor",
+             Value{std::string(kVendors[rng.index(kVendors.size())])}},
+            {"poAmount", Value{amount}},
+            {"poState", Value{"created"}},
+        };
+      });
+
+  const auto approve_po =
+      m.add_task("ApprovePO", {"vendor", "poAmount"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"poState", Value{"approved"}}};
+                 });
+
+  // AND block: goods handling and invoice handling proceed concurrently.
+  const auto split = m.add_and_split();
+  const double short_ship = options.dispute_rate * 0.6;
+  const auto receive_goods = m.add_task(
+      "ReceiveGoods", {"poAmount"},
+      [short_ship](Rng& rng, const AttrStore& store) -> AttrWrites {
+        // Occasionally short-shipped: received value below PO amount.
+        const std::int64_t po = int_attr(store, "poAmount");
+        const std::int64_t received =
+            rng.bernoulli(short_ship)
+                ? po - static_cast<std::int64_t>(rng.uniform(1, 5)) * 50
+                : po;
+        return {{"goodsValue", Value{received}}};
+      });
+  const auto inspect_goods =
+      m.add_task("InspectGoods", {"goodsValue"}, nullptr);
+  const double overbill = options.dispute_rate * 0.5;
+  const auto receive_invoice = m.add_task(
+      "ReceiveInvoice", {"poAmount"},
+      [overbill](Rng& rng, const AttrStore& store) -> AttrWrites {
+        const std::int64_t po = int_attr(store, "poAmount");
+        const std::int64_t billed =
+            rng.bernoulli(overbill)
+                ? po + static_cast<std::int64_t>(rng.uniform(1, 4)) * 50
+                : po;
+        return {{"invoiceAmount", Value{billed}}};
+      });
+  const auto verify_invoice =
+      m.add_task("VerifyInvoice", {"invoiceAmount"}, nullptr);
+  const auto join = m.add_and_join(2);
+
+  const auto match = m.add_task(
+      "MatchThreeWay", {"poAmount", "goodsValue", "invoiceAmount"},
+      [](Rng&, const AttrStore& store) -> AttrWrites {
+        const bool ok =
+            int_attr(store, "poAmount") == int_attr(store, "goodsValue") &&
+            int_attr(store, "poAmount") ==
+                int_attr(store, "invoiceAmount");
+        return {{"matched", Value{ok}}};
+      });
+
+  const auto dispute = m.add_task(
+      "Dispute", {"poAmount", "invoiceAmount"},
+      [](Rng&, const AttrStore& store) -> AttrWrites {
+        // Settlement: invoice corrected to the PO amount.
+        return {{"invoiceAmount", Value{int_attr(store, "poAmount")}},
+                {"goodsValue", Value{int_attr(store, "poAmount")}}};
+      });
+
+  const auto approve_payment =
+      m.add_task("ApprovePayment", {"poAmount", "matched"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"paymentApproved", Value{true}}};
+                 });
+
+  const auto pay = m.add_task(
+      "Pay", {"poAmount", "paymentApproved"},
+      [](Rng&, const AttrStore& store) -> AttrWrites {
+        const std::int64_t n = int_attr(store, "payments") + 1;
+        return {{"payments", Value{n}},
+                {"paidAmount", Value{int_attr(store, "poAmount")}}};
+      });
+
+  const auto close_order =
+      m.add_task("CloseOrder", {"payments"},
+                 [](Rng&, const AttrStore&) -> AttrWrites {
+                   return {{"poState", Value{"closed"}}};
+                 });
+  const auto finish = m.add_terminal();
+
+  m.set_entry(create_po);
+  m.connect(create_po, approve_po);
+  m.connect(approve_po, split);
+  m.connect(split, receive_goods);
+  m.connect(split, receive_invoice);
+  m.connect(receive_goods, inspect_goods);
+  m.connect(inspect_goods, join);
+  m.connect(receive_invoice, verify_invoice);
+  m.connect(verify_invoice, join);
+  m.connect(join, match);
+
+  // A failed match always goes to dispute (the dispute probability is
+  // carried by the short-ship/overbill data rates above); a successful one
+  // proceeds to approval — or, rarely, straight to Pay (maverick path).
+  auto matched_is = [](bool want) {
+    return [want](const AttrStore& s) {
+      auto it = s.find("matched");
+      return it != s.end() && it->second == Value{want};
+    };
+  };
+  m.connect(match, dispute, 1.0, matched_is(false));
+  m.connect(match, approve_payment,
+            std::max(0.001, 1.0 - options.maverick_rate), matched_is(true));
+  // Maverick path: straight to Pay, skipping approval.
+  m.connect(match, pay, std::max(0.001, options.maverick_rate),
+            matched_is(true));
+  m.connect(dispute, match);
+
+  m.connect(approve_payment, pay);
+  m.connect(pay, close_order, 1.0 - options.duplicate_pay_rate);
+  m.connect(pay, pay, std::max(0.001, options.duplicate_pay_rate));
+  m.connect(close_order, finish);
+  return m;
+}
+
+Log procurement_log(std::size_t num_instances, std::uint64_t seed,
+                    const ProcurementOptions& options) {
+  SimOptions sim;
+  sim.num_instances = num_instances;
+  sim.seed = seed;
+  sim.interleaving = 0.75;
+  sim.abandon_probability = 0.03;
+  return simulate(procurement_model(options), sim);
+}
+
+}  // namespace wflog

@@ -1,0 +1,41 @@
+#pragma once
+
+// A second realistic workload: procure-to-pay with a three-way match.
+//
+// Where the clinic referral process (workflow/clinic.h) is mostly
+// sequential with loops, procurement is the canonical *parallel* process:
+// after a purchase order is placed, goods receipt and invoice receipt
+// happen concurrently (an AND block), then converge on the three-way match
+// (PO = goods = invoice) before payment. This makes the ⊕ operator and the
+// AND-gateway machinery first-class citizens of a realistic log, and its
+// classic fraud patterns differ from the clinic's:
+//
+//   * maverick payment  — Pay without a prior ApprovePayment
+//   * duplicate payment — two Pay records for one order
+//   * pay-before-match  — Pay preceding MatchThreeWay
+//
+// Activities: CreatePO, ApprovePO, ReceiveGoods, InspectGoods,
+// ReceiveInvoice, VerifyInvoice, MatchThreeWay, ApprovePayment, Dispute,
+// Pay, CloseOrder.
+
+#include "workflow/model.h"
+#include "workflow/simulator.h"
+
+namespace wflog {
+
+struct ProcurementOptions {
+  /// Probability the three-way match initially fails and goes to Dispute
+  /// (after which the invoice is re-verified and matched again).
+  double dispute_rate = 0.15;
+  /// Probability of the maverick path (Pay skipping ApprovePayment).
+  double maverick_rate = 0.04;
+  /// Probability of a duplicate Pay after a legitimate one.
+  double duplicate_pay_rate = 0.03;
+};
+
+WorkflowModel procurement_model(const ProcurementOptions& options = {});
+
+Log procurement_log(std::size_t num_instances, std::uint64_t seed = 0xBEEF,
+                    const ProcurementOptions& options = {});
+
+}  // namespace wflog

@@ -1,0 +1,72 @@
+#include "workflow/random_model.h"
+
+namespace wflog {
+
+WorkflowModel random_model(const RandomModelOptions& options) {
+  Rng rng(options.seed);
+  WorkflowModel m("random-" + std::to_string(options.seed));
+
+  auto activity_name = [&options, &rng]() {
+    return "A" + std::to_string(rng.index(std::max<std::size_t>(
+                     1, options.alphabet_size)));
+  };
+
+  ActivityBody body = nullptr;
+  if (options.with_attributes) {
+    body = [](Rng& r, const AttrStore&) -> AttrWrites {
+      return {{"payload",
+               Value{static_cast<std::int64_t>(r.uniform(0, 9999))}},
+              {"flag", Value{r.bernoulli(0.5)}}};
+    };
+  }
+
+  // Main chain.
+  std::vector<WorkflowModel::NodeId> chain;
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, options.chain_length);
+       ++i) {
+    chain.push_back(m.add_task(activity_name(), {}, body));
+  }
+  const auto finish = m.add_terminal();
+  m.set_entry(chain.front());
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const auto next = i + 1 < chain.size() ? chain[i + 1] : finish;
+
+    if (i + 1 < chain.size() && rng.bernoulli(options.parallel_probability)) {
+      // AND block: chain[i] -> split -> {B1, B2} -> join -> next.
+      const auto split = m.add_and_split();
+      const auto b1 = m.add_task(activity_name(), {}, body);
+      const auto b2 = m.add_task(activity_name(), {}, body);
+      const auto join = m.add_and_join(2);
+      m.connect(chain[i], split);
+      m.connect(split, b1);
+      m.connect(split, b2);
+      m.connect(b1, join);
+      m.connect(b2, join);
+      m.connect(join, next);
+      continue;
+    }
+
+    m.connect(chain[i], next);
+
+    if (rng.bernoulli(options.branch_probability)) {
+      // XOR side branch: chain[i] -> S -> next.
+      const auto side = m.add_task(activity_name(), {}, body);
+      m.connect(chain[i], side, 0.5);
+      m.connect(side, next);
+    }
+    if (i > 0 && rng.bernoulli(options.loop_probability)) {
+      // Back edge with a modest weight so instances stay finite in
+      // expectation.
+      m.connect(chain[i], chain[rng.index(i)], 0.25);
+    }
+  }
+  return m;
+}
+
+Log random_log(const RandomModelOptions& model_options,
+               const SimOptions& sim_options) {
+  return simulate(random_model(model_options), sim_options);
+}
+
+}  // namespace wflog

@@ -1,0 +1,33 @@
+#pragma once
+
+// Random workflow model generation, for property-based testing and
+// parameterized benchmarks over a space of process shapes.
+//
+// A generated model is a main chain of task nodes seasoned with XOR
+// branches (choice), back edges (loops), AND blocks (parallelism), and
+// optional attribute traffic — i.e. the structural repertoire the four
+// pattern operators were designed to query.
+
+#include "workflow/model.h"
+#include "workflow/simulator.h"
+
+namespace wflog {
+
+struct RandomModelOptions {
+  std::size_t alphabet_size = 12;   // distinct activity names A0..A{n-1}
+  std::size_t chain_length = 8;     // tasks on the main path
+  double branch_probability = 0.3;  // XOR side-branch after a chain task
+  double loop_probability = 0.2;    // back edge after a chain task
+  double parallel_probability = 0.2;  // AND block inserted in the chain
+  bool with_attributes = true;      // tasks write a numeric payload
+  std::uint64_t seed = 42;
+};
+
+/// Generates a model; the same options yield the same model.
+WorkflowModel random_model(const RandomModelOptions& options);
+
+/// random_model + simulate in one call.
+Log random_log(const RandomModelOptions& model_options,
+               const SimOptions& sim_options);
+
+}  // namespace wflog

@@ -1,0 +1,179 @@
+#include "workflow/simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace wflog {
+namespace {
+
+using NodeId = WorkflowModel::NodeId;
+using NodeKind = WorkflowModel::NodeKind;
+
+/// One running enactment: its attribute store and the set of live tokens.
+struct Enactment {
+  Wid wid = 0;
+  bool started = false;  // START record emitted lazily on first advance
+  AttrStore store;
+  std::vector<NodeId> tokens;           // node each token sits at
+  std::map<NodeId, std::size_t> joins;  // tokens arrived per AND-join
+  std::size_t records = 0;
+  bool abandoned = false;
+
+  bool done() const noexcept { return tokens.empty(); }
+};
+
+class Simulation {
+ public:
+  Simulation(const WorkflowModel& model, const SimOptions& opts)
+      : model_(model), opts_(opts), rng_(opts.seed) {}
+
+  Log run() {
+    // Instances are registered up front but their START records are
+    // emitted lazily on first advance, so launches stagger naturally with
+    // the random advancement order.
+    std::vector<Enactment> active;
+    active.reserve(opts_.num_instances);
+    for (std::size_t i = 0; i < opts_.num_instances; ++i) {
+      Enactment e;
+      e.tokens.push_back(model_.entry());
+      e.abandoned = rng_.bernoulli(opts_.abandon_probability);
+      active.push_back(std::move(e));
+    }
+
+    std::size_t current = 0;
+    while (!active.empty()) {
+      // Pick which instance advances: stay on the same one with
+      // probability 1 - interleaving.
+      if (current >= active.size() || rng_.bernoulli(opts_.interleaving)) {
+        current = rng_.index(active.size());
+      }
+      Enactment& e = active[current];
+      step(e);
+      if (e.done()) {
+        if (!e.abandoned) builder_.end_instance(e.wid);
+        active.erase(active.begin() +
+                     static_cast<std::ptrdiff_t>(current));
+      }
+    }
+    return opts_.validate ? builder_.build() : builder_.build_unchecked();
+  }
+
+ private:
+  /// Advances one token of the enactment by one node.
+  void step(Enactment& e) {
+    if (!e.started) {
+      e.wid = builder_.begin_instance();
+      e.started = true;
+    }
+    const std::size_t which = rng_.index(e.tokens.size());
+    const NodeId at = e.tokens[which];
+    const WorkflowModel::Node& node = model_.node(at);
+
+    switch (node.kind) {
+      case NodeKind::kTask: {
+        execute_task(e, node);
+        advance_token(e, which, pick_transition(e, node));
+        break;
+      }
+      case NodeKind::kXorSplit: {
+        advance_token(e, which, pick_transition(e, node));
+        break;
+      }
+      case NodeKind::kAndSplit: {
+        // Replace this token by one per outgoing transition.
+        if (node.out.empty()) {
+          throw Error("simulator: AND-split with no outgoing transitions");
+        }
+        e.tokens.erase(e.tokens.begin() +
+                       static_cast<std::ptrdiff_t>(which));
+        for (const WorkflowModel::Transition& t : node.out) {
+          e.tokens.push_back(t.target);
+        }
+        break;
+      }
+      case NodeKind::kAndJoin: {
+        std::size_t& arrived = e.joins[at];
+        ++arrived;
+        e.tokens.erase(e.tokens.begin() +
+                       static_cast<std::ptrdiff_t>(which));
+        if (arrived >= node.join_arity) {
+          arrived = 0;
+          const NodeId next = pick_transition(e, node);
+          if (next != WorkflowModel::kNoNode) e.tokens.push_back(next);
+        }
+        break;
+      }
+      case NodeKind::kTerminal: {
+        e.tokens.erase(e.tokens.begin() +
+                       static_cast<std::ptrdiff_t>(which));
+        break;
+      }
+    }
+
+    // Loop safety: runaway instances are force-abandoned (never completed,
+    // which Definition 2 allows).
+    if (e.records >= opts_.max_records_per_instance) {
+      e.tokens.clear();
+      e.abandoned = true;
+    }
+  }
+
+  void execute_task(Enactment& e, const WorkflowModel::Node& node) {
+    NamedAttrs in;
+    for (const std::string& attr : node.reads) {
+      auto it = e.store.find(attr);
+      if (it != e.store.end()) in.emplace_back(attr, it->second);
+    }
+    NamedAttrs out;
+    if (node.body != nullptr) {
+      for (auto& [attr, value] : node.body(rng_, e.store)) {
+        e.store[attr] = value;
+        out.emplace_back(attr, std::move(value));
+      }
+    }
+    builder_.append(e.wid, node.activity, in, out);
+    ++e.records;
+  }
+
+  /// Weighted XOR choice among enabled transitions. A node with no enabled
+  /// transition ends the token's path (treated as terminal).
+  NodeId pick_transition(Enactment& e, const WorkflowModel::Node& node) {
+    double total = 0;
+    for (const WorkflowModel::Transition& t : node.out) {
+      if (t.guard == nullptr || t.guard(e.store)) total += t.weight;
+    }
+    if (total <= 0) return WorkflowModel::kNoNode;
+    double roll = rng_.real01() * total;
+    for (const WorkflowModel::Transition& t : node.out) {
+      if (t.guard != nullptr && !t.guard(e.store)) continue;
+      roll -= t.weight;
+      if (roll <= 0) return t.target;
+    }
+    return node.out.back().target;
+  }
+
+  void advance_token(Enactment& e, std::size_t which, NodeId to) {
+    if (to == WorkflowModel::kNoNode) {
+      e.tokens.erase(e.tokens.begin() + static_cast<std::ptrdiff_t>(which));
+    } else {
+      e.tokens[which] = to;
+    }
+  }
+
+  const WorkflowModel& model_;
+  const SimOptions& opts_;
+  Rng rng_;
+  LogBuilder builder_;
+};
+
+}  // namespace
+
+Log simulate(const WorkflowModel& model, const SimOptions& options) {
+  if (options.num_instances == 0) {
+    throw Error("simulate: num_instances must be >= 1 (logs are nonempty)");
+  }
+  return Simulation(model, options).run();
+}
+
+}  // namespace wflog

@@ -1,0 +1,55 @@
+#include "workflow/workload.h"
+
+#include "workflow/clinic.h"
+#include "workflow/procurement.h"
+#include "workflow/random_model.h"
+
+namespace wflog {
+namespace workload {
+
+Log figure3() { return figure3_log(); }
+
+Log clinic(std::size_t num_instances, std::uint64_t seed) {
+  return clinic_log(num_instances, seed);
+}
+
+Log procurement(std::size_t num_instances, std::uint64_t seed) {
+  return procurement_log(num_instances, seed);
+}
+
+Log random_process(std::size_t num_instances, std::uint64_t seed) {
+  RandomModelOptions model;
+  model.seed = seed;
+  SimOptions sim;
+  sim.num_instances = num_instances;
+  sim.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  return simulate(random_model(model), sim);
+}
+
+Log chain(std::size_t num_instances, std::size_t alphabet,
+          std::size_t repeats) {
+  LogBuilder b;
+  for (std::size_t i = 0; i < num_instances; ++i) {
+    const Wid wid = b.begin_instance();
+    for (std::size_t r = 0; r < repeats; ++r) {
+      for (std::size_t a = 0; a < alphabet; ++a) {
+        b.append(wid, "A" + std::to_string(a));
+      }
+    }
+    b.end_instance(wid);
+  }
+  return b.build();
+}
+
+Log worstcase(std::size_t m) {
+  LogBuilder b;
+  const Wid wid = b.begin_instance();
+  for (std::size_t i = 0; i < m; ++i) {
+    b.append(wid, "t");
+  }
+  b.end_instance(wid);
+  return b.build();
+}
+
+}  // namespace workload
+}  // namespace wflog

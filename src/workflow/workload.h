@@ -1,0 +1,40 @@
+#pragma once
+
+// Workload presets — the named log-generation recipes the experiment index
+// of DESIGN.md §5 refers to. Each bench/test names a preset instead of
+// re-deriving parameters, so every experiment is reproducible from its id.
+
+#include <string>
+#include <vector>
+
+#include "log/log.h"
+
+namespace wflog {
+namespace workload {
+
+/// E1: the paper's Figure 3 log (re-exported from workflow/clinic.h).
+Log figure3();
+
+/// E11: clinic referral log with the default anomaly rates.
+Log clinic(std::size_t num_instances, std::uint64_t seed = 0x5eed);
+
+/// Procure-to-pay log (AND-parallel three-way match) with default anomaly
+/// rates.
+Log procurement(std::size_t num_instances, std::uint64_t seed = 0xBEEF);
+
+/// Generic random-process log: `scale` instances of a 12-activity process
+/// with branches, loops and AND blocks.
+Log random_process(std::size_t num_instances, std::uint64_t seed = 42);
+
+/// A log of `num_instances` instances, each the same strict chain
+/// A0 A1 ... A{k-1} repeated `repeats` times — used where benches need
+/// precisely known match counts.
+Log chain(std::size_t num_instances, std::size_t alphabet,
+          std::size_t repeats);
+
+/// Worst-case log for Theorem 1 (E8): one instance of `m` records, all the
+/// same activity "t" — every atom match set has size m (minus sentinels).
+Log worstcase(std::size_t m);
+
+}  // namespace workload
+}  // namespace wflog

@@ -1,0 +1,105 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+
+namespace wflog {
+namespace {
+
+using testing::inc;
+using testing::make_log;
+
+IncidentSet sample_set() {
+  IncidentSet set;
+  set.add_group(1, {inc(1, {2}), inc(1, {3})});
+  set.add_group(3, {inc(3, {2})});
+  return set;
+}
+
+TEST(AggregateTest, IncidentsPerInstance) {
+  const auto counts = incidents_per_instance(sample_set());
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].wid, 1u);
+  EXPECT_EQ(counts[0].incidents, 2u);
+  EXPECT_EQ(counts[1].wid, 3u);
+  EXPECT_EQ(counts[1].incidents, 1u);
+}
+
+TEST(AggregateTest, InstancesWithMatch) {
+  EXPECT_EQ(instances_with_match(sample_set()), 2u);
+  EXPECT_EQ(instances_with_match(IncidentSet{}), 0u);
+}
+
+TEST(AggregateTest, GroupByAttributeOnFigure3) {
+  // Group GetRefer incidents by the hospital that issued the referral.
+  const Log log = figure3_log();
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("GetRefer");
+  const auto groups = group_by_attribute(
+      r.incidents, engine.index(),
+      GroupKey{"GetRefer", MapSel::kOut, "hospital"});
+  ASSERT_EQ(groups.size(), 2u);  // sorted by key value
+  EXPECT_EQ(groups[0].key, Value{"People Hospital"});
+  EXPECT_EQ(groups[0].instances, 1u);
+  EXPECT_EQ(groups[1].key, Value{"Public Hospital"});
+  EXPECT_EQ(groups[1].instances, 2u);
+}
+
+TEST(AggregateTest, GroupByMissingAttributeFallsToNull) {
+  const Log log = make_log("a b ; a");
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("a");
+  const auto groups = group_by_attribute(
+      r.incidents, engine.index(), GroupKey{"a", MapSel::kOut, "ghost"});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_TRUE(groups[0].key.is_null());
+  EXPECT_EQ(groups[0].instances, 2u);
+}
+
+TEST(AggregateTest, GroupByCountsIncidentsAndInstances) {
+  const Log log = clinic_log(100, 3);
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("SeeDoctor");
+  const auto groups = group_by_attribute(
+      r.incidents, engine.index(), GroupKey{"GetRefer", MapSel::kOut, "year"});
+  std::size_t instances = 0;
+  std::size_t incidents = 0;
+  for (const GroupCount& g : groups) {
+    instances += g.instances;
+    incidents += g.incidents;
+    EXPECT_FALSE(g.key.is_null());
+  }
+  EXPECT_EQ(instances, instances_with_match(r.incidents));
+  EXPECT_EQ(incidents, r.incidents.total());
+  EXPECT_GE(groups.size(), 2u);  // 4 possible years; 100 draws
+}
+
+TEST(AggregateTest, PaperMotivatingQueryStudentsPerYearHighBalance) {
+  // "How many students every year get referrals with balance > $5,000?"
+  const Log log = clinic_log(300, 17);
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("GetRefer[out.balance > 5000]");
+  const auto groups = group_by_attribute(
+      r.incidents, engine.index(), GroupKey{"GetRefer", MapSel::kOut, "year"});
+  // 8000-budget referrals exist (1/5 of draws), spread over years.
+  EXPECT_GT(r.incidents.total(), 0u);
+  for (const GroupCount& g : groups) {
+    EXPECT_GE(g.key.as_int(), 2014);
+    EXPECT_LE(g.key.as_int(), 2017);
+  }
+}
+
+TEST(AggregateTest, RenderGroupsAligned) {
+  std::vector<GroupCount> groups{{Value{std::int64_t{2014}}, 3, 7},
+                                 {Value{std::int64_t{2015}}, 11, 30}};
+  const std::string table = render_groups(groups);
+  EXPECT_NE(table.find("group"), std::string::npos);
+  EXPECT_NE(table.find("2014"), std::string::npos);
+  EXPECT_NE(table.find("30"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,199 @@
+#include "core/bindings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+
+namespace wflog {
+namespace {
+
+using testing::inc;
+using testing::make_log;
+
+// ----- syntax -------------------------------------------------------------
+
+TEST(BindingSyntaxTest, ParserAcceptsBindings) {
+  const PatternPtr p = parse_pattern("x:GetRefer -> y:GetReimburse");
+  EXPECT_EQ(p->left()->binding(), "x");
+  EXPECT_EQ(p->left()->activity(), "GetRefer");
+  EXPECT_EQ(p->right()->binding(), "y");
+}
+
+TEST(BindingSyntaxTest, BindingWithNegationAndPredicate) {
+  const PatternPtr p = parse_pattern("v:!CheckIn[out.balance > 5]");
+  EXPECT_EQ(p->binding(), "v");
+  EXPECT_TRUE(p->negated());
+  EXPECT_NE(p->predicate(), nullptr);
+}
+
+TEST(BindingSyntaxTest, UnnamedAtomsHaveEmptyBinding) {
+  EXPECT_TRUE(parse_pattern("GetRefer")->binding().empty());
+}
+
+TEST(BindingSyntaxTest, PrintRoundTrip) {
+  const char* sources[] = {"x:a -> y:b", "v:!c", "x:a[balance > 1] . b",
+                           "(x:a | y:b) & z:c"};
+  for (const char* src : sources) {
+    const PatternPtr p = parse_pattern(src);
+    const PatternPtr q = parse_pattern(to_text(*p));
+    EXPECT_TRUE(p->structurally_equal(*q)) << src;
+  }
+}
+
+TEST(BindingSyntaxTest, Errors) {
+  EXPECT_THROW(parse_pattern("x:"), ParseError);
+  EXPECT_THROW(parse_pattern(":a"), ParseError);
+  EXPECT_THROW(parse_pattern("x:(a -> b)"), ParseError);
+}
+
+TEST(BindingSyntaxTest, BindingsDistinguishPatterns) {
+  EXPECT_FALSE(parse_pattern("x:a")->structurally_equal(
+      *parse_pattern("y:a")));
+  EXPECT_FALSE(parse_pattern("x:a")->structurally_equal(
+      *parse_pattern("a")));
+}
+
+TEST(BindingSyntaxTest, BindingsDoNotAffectSemantics) {
+  const Log log = make_log("a b a b");
+  EXPECT_EQ(testing::eval(log, "x:a -> y:b"), testing::eval(log, "a -> b"));
+}
+
+// ----- derivation -----------------------------------------------------------
+
+std::optional<BindingMap> derive(const Log& log, const char* pattern,
+                                 const Incident& o) {
+  const LogIndex index(log);
+  return derive_bindings(*parse_pattern(pattern), o, index);
+}
+
+TEST(BindingDerivationTest, SequentialChain) {
+  const Log log = make_log("a x b");
+  const auto b = derive(log, "p:a -> q:b", inc(1, {2, 4}));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->size(), 2u);
+  EXPECT_EQ((*b)[0], (Binding{"p", 2}));
+  EXPECT_EQ((*b)[1], (Binding{"q", 4}));
+}
+
+TEST(BindingDerivationTest, OnlyNamedAtomsReported) {
+  const Log log = make_log("a b c");
+  const auto b = derive(log, "a -> q:b -> c", inc(1, {2, 3, 4}));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_EQ((*b)[0], (Binding{"q", 3}));
+}
+
+TEST(BindingDerivationTest, RejectsNonIncidents) {
+  const Log log = make_log("a b");
+  // Wrong order for b -> a.
+  EXPECT_FALSE(derive(log, "x:b -> y:a", inc(1, {2, 3})).has_value());
+  // Wrong size.
+  EXPECT_FALSE(derive(log, "x:a -> y:b", inc(1, {2})).has_value());
+  // Wrong activity.
+  EXPECT_FALSE(derive(log, "x:a -> y:zzz", inc(1, {2, 3})).has_value());
+}
+
+TEST(BindingDerivationTest, ConsecutiveRequiresAdjacency) {
+  const Log log = make_log("a x b a b");
+  EXPECT_FALSE(derive(log, "x:a . y:b", inc(1, {2, 4})).has_value());
+  const auto b = derive(log, "x:a . y:b", inc(1, {5, 6}));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0].position, 5u);
+}
+
+TEST(BindingDerivationTest, ChoicePicksMatchingSide) {
+  const Log log = make_log("a b");
+  const auto b = derive(log, "x:a | y:b", inc(1, {3}));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_EQ((*b)[0], (Binding{"y", 3}));
+}
+
+TEST(BindingDerivationTest, ParallelPartition) {
+  // (a -> c) & b matched by {2,3,5}: a=2, c=5, b=3.
+  const Log log = make_log("a b x c");
+  const auto b = derive(log, "(x:a -> y:c) & z:b", inc(1, {2, 3, 5}));
+  ASSERT_TRUE(b.has_value());
+  ASSERT_EQ(b->size(), 3u);
+  EXPECT_EQ((*b)[0], (Binding{"x", 2}));
+  EXPECT_EQ((*b)[1], (Binding{"y", 5}));
+  EXPECT_EQ((*b)[2], (Binding{"z", 3}));
+}
+
+TEST(BindingDerivationTest, NegatedAtomBinds) {
+  const Log log = make_log("a b");
+  const auto b = derive(log, "x:!a", inc(1, {3}));
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ((*b)[0], (Binding{"x", 3}));
+  EXPECT_FALSE(derive(log, "x:!a", inc(1, {2})).has_value());
+}
+
+TEST(BindingDerivationTest, PredicateChecked) {
+  LogBuilder builder;
+  const Wid w = builder.begin_instance();
+  builder.append(w, "pay", {}, {{"amount", Value{std::int64_t{50}}}});
+  builder.append(w, "pay", {}, {{"amount", Value{std::int64_t{500}}}});
+  builder.end_instance(w);
+  const Log log = builder.build();
+  EXPECT_FALSE(
+      derive(log, "x:pay[out.amount > 100]", inc(1, {2})).has_value());
+  EXPECT_TRUE(
+      derive(log, "x:pay[out.amount > 100]", inc(1, {3})).has_value());
+}
+
+TEST(BindingDerivationTest, EveryEvaluatedIncidentDerives) {
+  // Property: derive_bindings succeeds on every incident the evaluator
+  // produces, across pattern shapes.
+  const Log log = clinic_log(30, 42);
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const char* queries[] = {
+      "u:UpdateRefer -> r:GetReimburse",
+      "s:SeeDoctor -> (u:UpdateRefer -> r:GetReimburse)",
+      "(p:PayTreatment | u:UpdateRefer) & s:SeeDoctor",
+      "g:GetRefer . c:CheckIn",
+  };
+  for (const char* q : queries) {
+    const PatternPtr p = parse_pattern(q);
+    for (const Incident& o : ev.evaluate(*p).flatten()) {
+      const auto bindings = derive_bindings(*p, o, index);
+      ASSERT_TRUE(bindings.has_value()) << q << " " << o.to_string();
+      // Every reported position belongs to the incident.
+      for (const Binding& b : *bindings) {
+        EXPECT_TRUE(std::find(o.positions().begin(), o.positions().end(),
+                              b.position) != o.positions().end());
+      }
+    }
+  }
+}
+
+TEST(BindingDerivationTest, PaperExample3WithVariables) {
+  // The conference version's incident "x:UpdateRefer ≫ y:GetReimburse" on
+  // Figure 3: x = l14, y = l20.
+  const Log log = figure3_log();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  const PatternPtr p = parse_pattern("x:UpdateRefer -> y:GetReimburse");
+  const IncidentList out = ev.evaluate(*p).flatten();
+  ASSERT_EQ(out.size(), 1u);
+  const auto bindings = derive_bindings(*p, out[0], index);
+  ASSERT_TRUE(bindings.has_value());
+  const std::string text = render_bindings(*bindings, out[0].wid(), index);
+  EXPECT_EQ(text, "x = l14 UpdateRefer, y = l20 GetReimburse");
+}
+
+TEST(BindingRenderTest, HandlesUnknownPositions) {
+  const Log log = make_log("a");
+  const LogIndex index(log);
+  const std::string text =
+      render_bindings({Binding{"x", 99}}, 1, index);
+  EXPECT_NE(text.find("?99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wflog

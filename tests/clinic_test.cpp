@@ -1,0 +1,131 @@
+#include "workflow/clinic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "log/stats.h"
+#include "log/validate.h"
+
+namespace wflog {
+namespace {
+
+TEST(Figure3LogTest, Exactly20Records3Instances) {
+  const Log log = figure3_log();
+  EXPECT_EQ(log.size(), 20u);
+  EXPECT_EQ(log.wids(), (std::vector<Wid>{1, 2, 3}));
+}
+
+TEST(Figure3LogTest, WellFormed) {
+  const Log log = figure3_log();
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+}
+
+TEST(Figure3LogTest, RecordDetailsMatchPaperRows) {
+  const Log log = figure3_log();
+  const Interner& in = log.interner();
+  struct Row {
+    Lsn lsn;
+    Wid wid;
+    IsLsn is_lsn;
+    const char* activity;
+  };
+  const Row rows[] = {
+      {1, 1, 1, "START"},        {2, 2, 1, "START"},
+      {3, 1, 2, "GetRefer"},     {4, 1, 3, "CheckIn"},
+      {5, 2, 2, "GetRefer"},     {6, 3, 1, "START"},
+      {7, 3, 2, "GetRefer"},     {8, 2, 3, "CheckIn"},
+      {9, 1, 4, "SeeDoctor"},    {10, 1, 5, "PayTreatment"},
+      {11, 1, 6, "SeeDoctor"},   {12, 1, 7, "PayTreatment"},
+      {13, 2, 4, "SeeDoctor"},   {14, 2, 5, "UpdateRefer"},
+      {15, 1, 8, "GetReimburse"}, {16, 1, 9, "CompleteRefer"},
+      {17, 2, 6, "SeeDoctor"},   {18, 2, 7, "PayTreatment"},
+      {19, 2, 8, "TakeTreatment"}, {20, 2, 9, "GetReimburse"},
+  };
+  for (const Row& r : rows) {
+    const LogRecord& l = log.record(r.lsn);
+    EXPECT_EQ(l.wid, r.wid) << "lsn " << r.lsn;
+    EXPECT_EQ(l.is_lsn, r.is_lsn) << "lsn " << r.lsn;
+    EXPECT_EQ(log.activity_name(l.activity), r.activity) << "lsn " << r.lsn;
+  }
+  // Spot-check attribute data of l14 (the balance update to 5000).
+  const LogRecord& l14 = log.record(14);
+  EXPECT_EQ(*l14.in.get(in.find("balance")), Value{std::int64_t{2000}});
+  EXPECT_EQ(*l14.out.get(in.find("balance")), Value{std::int64_t{5000}});
+}
+
+TEST(ClinicModelTest, SimulatesToValidLog) {
+  const Log log = clinic_log(100, 7);
+  EXPECT_EQ(log.wids().size(), 100u);
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+}
+
+TEST(ClinicModelTest, EveryReferralStartsWithGetReferCheckIn) {
+  const Log log = clinic_log(50, 21);
+  const LogIndex index(log);
+  const Symbol get_refer = log.activity_symbol("GetRefer");
+  const Symbol check_in = log.activity_symbol("CheckIn");
+  for (Wid wid : log.wids()) {
+    const auto& gr = index.occurrences(wid, get_refer);
+    const auto& ci = index.occurrences(wid, check_in);
+    ASSERT_EQ(gr.size(), 1u);
+    ASSERT_EQ(ci.size(), 1u);
+    EXPECT_EQ(gr[0], 2u);
+    EXPECT_EQ(ci[0], 3u);
+  }
+}
+
+TEST(ClinicModelTest, BalancesArePositiveBudgets) {
+  const Log log = clinic_log(50, 33);
+  const Interner& in = log.interner();
+  const Symbol balance = in.find("balance");
+  const Symbol get_refer = log.activity_symbol("GetRefer");
+  for (const LogRecord& l : log) {
+    if (l.activity != get_refer) continue;
+    const Value* v = l.out.get(balance);
+    ASSERT_NE(v, nullptr);
+    EXPECT_GT(v->as_int(), 0);
+  }
+}
+
+TEST(ClinicModelTest, FraudPathPresentAtConfiguredRate) {
+  ClinicOptions opts;
+  opts.fraud_rate = 0.5;  // exaggerate to make the signal deterministic
+  const Log log = clinic_log(200, 13, opts);
+  QueryEngine engine(log);
+  // Reimbursement followed by a later referral update: the anomaly.
+  EXPECT_TRUE(engine.exists("GetReimburse -> UpdateRefer"));
+}
+
+TEST(ClinicModelTest, FraudPathAbsentWhenDisabled) {
+  ClinicOptions opts;
+  opts.fraud_rate = 0.0;
+  const Log log = clinic_log(200, 13, opts);
+  QueryEngine engine(log);
+  EXPECT_FALSE(engine.exists("GetReimburse -> UpdateRefer"));
+}
+
+TEST(ClinicModelTest, ReimburseRequiresPriorCheckIn) {
+  const Log log = clinic_log(100, 5);
+  QueryEngine engine(log);
+  const std::size_t reimburses = engine.count("GetReimburse");
+  const std::size_t ordered = engine.count("CheckIn -> GetReimburse");
+  EXPECT_EQ(reimburses, ordered);
+}
+
+TEST(ClinicModelTest, ActivityAlphabetMatchesExample2) {
+  const WorkflowModel m = clinic_model();
+  const auto names = m.activities();
+  const char* expected[] = {"CheckIn",      "CompleteRefer", "GetRefer",
+                            "GetReimburse", "PayTreatment",  "SeeDoctor",
+                            "TakeTreatment", "TerminateRefer",
+                            "UpdateRefer"};
+  ASSERT_EQ(names.size(), std::size(expected));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,194 @@
+#include "core/compliance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/engine.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+RuleResult check_one(const Log& log, Rule rule,
+                     const ComplianceOptions& options = {}) {
+  const LogIndex index(log);
+  return check_compliance({std::move(rule)}, index, options).results.at(0);
+}
+
+TEST(ComplianceTest, Existence) {
+  const Log log = make_log("a b ; b");
+  const RuleResult r = check_one(log, Rule::existence("a"));
+  EXPECT_EQ(r.instances_checked, 2u);
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+}
+
+TEST(ComplianceTest, ExistenceWithCount) {
+  const Log log = make_log("a a ; a");
+  EXPECT_EQ(check_one(log, Rule::existence("a", 2)).instances_violating, 1u);
+  EXPECT_EQ(check_one(log, Rule::existence("a", 1)).instances_violating, 0u);
+}
+
+TEST(ComplianceTest, Absence) {
+  const Log log = make_log("a a a ; a");
+  const RuleResult r = check_one(log, Rule::absence("a", 2));
+  EXPECT_EQ(r.instances_violating, 1u);
+  // Witness: the second occurrence (position of the n-th a).
+  EXPECT_EQ(r.samples.at(0).position, 3u);
+}
+
+TEST(ComplianceTest, Exactly) {
+  const Log log = make_log("a a ; a ; a a a");
+  const RuleResult r = check_one(log, Rule::exactly("a", 2));
+  EXPECT_EQ(r.instances_violating, 2u);  // instance 2 (too few), 3 (too many)
+}
+
+TEST(ComplianceTest, Init) {
+  const Log log = make_log("a b ; b a");
+  const RuleResult r = check_one(log, Rule::init("a"));
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+  EXPECT_EQ(r.samples.at(0).position, 2u);
+}
+
+TEST(ComplianceTest, LastChecksCompletedOnly) {
+  const Log log = make_log("a b ; a ... ; b a");
+  RuleResult r = check_one(log, Rule::last("b"));
+  EXPECT_EQ(r.instances_checked, 2u);  // incomplete instance 2 skipped
+  EXPECT_EQ(r.instances_violating, 1u);  // instance 3 ends with a
+
+  ComplianceOptions strict;
+  strict.skip_incomplete_for_last = false;
+  r = check_one(log, Rule::last("b"), strict);
+  EXPECT_EQ(r.instances_checked, 3u);
+  EXPECT_EQ(r.instances_violating, 2u);
+}
+
+TEST(ComplianceTest, Response) {
+  // Every a must be followed by some b.
+  const Log log = make_log("a b ; a b a ; b");
+  const RuleResult r = check_one(log, Rule::response("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);  // instance 2: trailing a unanswered
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+  EXPECT_EQ(r.samples.at(0).position, 4u);  // the offending a
+}
+
+TEST(ComplianceTest, AlternateResponse) {
+  // Between two a's there must be a b.
+  const Log log = make_log("a b a b ; a a b");
+  const RuleResult r = check_one(log, Rule::alternate_response("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+  EXPECT_EQ(r.samples.at(0).position, 2u);  // first a repeats before any b
+}
+
+TEST(ComplianceTest, ChainResponse) {
+  const Log log = make_log("a b ; a x b");
+  const RuleResult r = check_one(log, Rule::chain_response("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+}
+
+TEST(ComplianceTest, Precedence) {
+  const Log log = make_log("a b ; b a");
+  const RuleResult r = check_one(log, Rule::precedence("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+  EXPECT_EQ(r.samples.at(0).position, 2u);  // the unpreceded b
+}
+
+TEST(ComplianceTest, ChainPrecedence) {
+  const Log log = make_log("a b ; a x b");
+  const RuleResult r = check_one(log, Rule::chain_precedence("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);
+}
+
+TEST(ComplianceTest, NotSuccession) {
+  const Log log = make_log("b a ; a b");
+  const RuleResult r = check_one(log, Rule::not_succession("a", "b"));
+  EXPECT_EQ(r.instances_violating, 1u);
+  EXPECT_EQ(r.samples.at(0).wid, 2u);
+}
+
+TEST(ComplianceTest, NotSuccessionAgreesWithPatternQuery) {
+  // NotSuccession(a,b) is violated exactly where `a -> b` has an incident.
+  const Log log = clinic_log(80, 19);
+  const LogIndex index(log);
+  const RuleResult r = check_one(
+      log, Rule::not_succession("GetReimburse", "UpdateRefer"));
+  QueryEngine engine(log);
+  const QueryResult q = engine.run("GetReimburse -> UpdateRefer");
+  EXPECT_EQ(r.instances_violating, instances_with_match(q.incidents));
+}
+
+TEST(ComplianceTest, UnknownActivitiesBehaveVacuously) {
+  const Log log = make_log("a");
+  EXPECT_EQ(check_one(log, Rule::response("zzz", "a")).instances_violating,
+            0u);
+  EXPECT_EQ(check_one(log, Rule::existence("zzz")).instances_violating, 1u);
+  EXPECT_EQ(check_one(log, Rule::not_succession("zzz", "a"))
+                .instances_violating,
+            0u);
+}
+
+TEST(ComplianceTest, SampleCapRespected) {
+  const Log log = make_log("b ; b ; b ; b ; b");
+  ComplianceOptions options;
+  options.max_samples_per_rule = 2;
+  const RuleResult r = check_one(log, Rule::existence("a"), options);
+  EXPECT_EQ(r.instances_violating, 5u);
+  EXPECT_EQ(r.samples.size(), 2u);
+}
+
+TEST(ComplianceTest, ReportAggregation) {
+  const Log log = make_log("a b ; b");
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {Rule::existence("a"), Rule::init("a"), Rule::response("a", "b")},
+      index);
+  EXPECT_FALSE(report.compliant());
+  EXPECT_EQ(report.total_violations(), 2u);  // existence + init on wid 2
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("Existence(a, 1)"), std::string::npos);
+  EXPECT_NE(text.find("Response(a, b)"), std::string::npos);
+  EXPECT_NE(text.find("violations"), std::string::npos);
+}
+
+TEST(ComplianceTest, RuleNames) {
+  EXPECT_EQ(Rule::existence("a", 2).name(), "Existence(a, 2)");
+  EXPECT_EQ(Rule::response("a", "b").name(), "Response(a, b)");
+  EXPECT_EQ(Rule::init("a").name(), "Init(a)");
+  EXPECT_EQ(Rule::chain_precedence("x", "y").name(),
+            "ChainPrecedence(x, y)");
+}
+
+TEST(ComplianceTest, ClinicProcessObeysItsInvariants) {
+  const Log log = clinic_log(100, 77, ClinicOptions{.fraud_rate = 0.0});
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {
+          Rule::init("GetRefer"),
+          Rule::exactly("GetRefer", 1),
+          Rule::exactly("CheckIn", 1),
+          Rule::precedence("CheckIn", "SeeDoctor"),
+          Rule::precedence("PayTreatment", "GetReimburse"),
+          Rule::not_succession("GetReimburse", "UpdateRefer"),
+          Rule::chain_precedence("GetRefer", "CheckIn"),
+      },
+      index);
+  EXPECT_TRUE(report.compliant()) << report.to_string();
+}
+
+TEST(ComplianceTest, ClinicFraudIsDetected) {
+  const Log log = clinic_log(150, 5, ClinicOptions{.fraud_rate = 0.3});
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {Rule::not_succession("GetReimburse", "UpdateRefer")}, index);
+  EXPECT_FALSE(report.compliant());
+}
+
+}  // namespace
+}  // namespace wflog

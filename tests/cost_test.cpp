@@ -1,0 +1,115 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(CostModelTest, AtomCardinalityFromIndex) {
+  // 3 instances; "a" occurs 6 times -> 2 per instance.
+  const Log log = make_log("a a b ; a a ; a a b");
+  LogIndex index(log);
+  const CostModel model(index);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("a")).cardinality, 2.0);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("b")).cardinality,
+                   2.0 / 3.0);
+}
+
+TEST(CostModelTest, UnknownActivityZeroCardinality) {
+  const Log log = make_log("a");
+  LogIndex index(log);
+  const CostModel model(index);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("zzz")).cardinality, 0.0);
+}
+
+TEST(CostModelTest, NegatedAtomComplement) {
+  const Log log = make_log("a a b");  // one instance of 5 records
+  LogIndex index(log);
+  const CostModel model(index);
+  // avg_len 5, count(a)=2 -> ¬a ~ 3.
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("!a")).cardinality, 3.0);
+}
+
+TEST(CostModelTest, PredicateHalvesCardinality) {
+  const Log log = make_log("a a a a");
+  LogIndex index(log);
+  const CostModel model(index);
+  const double bare = model.estimate(*parse_pattern("a")).cardinality;
+  const double with_pred =
+      model.estimate(*parse_pattern("a[x > 0]")).cardinality;
+  EXPECT_DOUBLE_EQ(with_pred, bare / 2.0);
+}
+
+TEST(CostModelTest, SyntheticConstructor) {
+  const CostModel model(/*avg_instance_len=*/100, /*default_atom_card=*/5);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("anything")).cardinality,
+                   5.0);
+  EXPECT_DOUBLE_EQ(model.avg_instance_len(), 100.0);
+}
+
+TEST(CostModelTest, SequentialCardinalityHalvesCross) {
+  const CostModel model(100, 10);
+  // 10 * 10 / 2.
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("a -> b")).cardinality,
+                   50.0);
+}
+
+TEST(CostModelTest, ConsecutiveCardinalityDividesByLength) {
+  const CostModel model(100, 10);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("a . b")).cardinality,
+                   1.0);
+}
+
+TEST(CostModelTest, ChoiceCardinalityAdds) {
+  const CostModel model(100, 10);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("a | b")).cardinality,
+                   20.0);
+}
+
+TEST(CostModelTest, ParallelCardinalityIsCross) {
+  const CostModel model(100, 10);
+  EXPECT_DOUBLE_EQ(model.estimate(*parse_pattern("a & b")).cardinality,
+                   100.0);
+}
+
+TEST(CostModelTest, CostAccumulatesBottomUp) {
+  const CostModel model(100, 10);
+  const double leaf = model.cost(*parse_pattern("a"));
+  const double composite = model.cost(*parse_pattern("a -> b"));
+  EXPECT_GT(composite, 2 * leaf);
+}
+
+TEST(CostModelTest, CostMonotoneInOperators) {
+  const CostModel model(50, 8);
+  EXPECT_LT(model.cost(*parse_pattern("a -> b")),
+            model.cost(*parse_pattern("(a -> b) & c")));
+}
+
+TEST(CostModelTest, SelectiveJoinFirstIsCheaper) {
+  // On a log where "rare" occurs once per many instances and "common"
+  // floods, joining rare first should cost less: the model must reflect
+  // the asymmetry between ((rare -> rare) -> common) and
+  // ((common -> common) -> rare) ... using distinct shapes with the same
+  // answer via associativity.
+  const Log log = make_log(
+      "common common common common common rare ; "
+      "common common common common common common ; "
+      "common common common rare common common");
+  LogIndex index(log);
+  const CostModel model(index);
+  const double left_heavy =
+      model.cost(*parse_pattern("(common -> common) -> rare"));
+  const double right_heavy =
+      model.cost(*parse_pattern("common -> (common -> rare)"));
+  // Both orderings estimate the same *output* but different intermediate
+  // sizes; the reassociation that joins with `rare` earlier wins.
+  EXPECT_NE(left_heavy, right_heavy);
+}
+
+}  // namespace
+}  // namespace wflog

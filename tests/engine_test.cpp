@@ -1,0 +1,102 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/printer.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(QueryEngineTest, RunParsesOptimizesEvaluates) {
+  const Log log = figure3_log();
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+  EXPECT_EQ(r.total(), 1u);
+  EXPECT_TRUE(r.any());
+  ASSERT_NE(r.parsed, nullptr);
+  ASSERT_NE(r.executed, nullptr);
+  EXPECT_GE(r.parse_us, 0.0);
+}
+
+TEST(QueryEngineTest, OptimizeTogglePreservesResults) {
+  const Log log = clinic_log(50, 2);
+  QueryOptions with;
+  with.optimize = true;
+  QueryOptions without;
+  without.optimize = false;
+  QueryEngine opt(log, with);
+  QueryEngine raw(log, without);
+  const char* queries[] = {
+      "SeeDoctor -> (UpdateRefer -> GetReimburse)",
+      "(GetRefer -> GetReimburse) | (GetRefer -> TerminateRefer)",
+      "(SeeDoctor . PayTreatment) & UpdateRefer",
+  };
+  for (const char* q : queries) {
+    EXPECT_EQ(opt.run(q).incidents, raw.run(q).incidents) << q;
+  }
+}
+
+TEST(QueryEngineTest, OptimizedPatternRecordedSeparately) {
+  const Log log = clinic_log(30, 4);
+  QueryEngine engine(log);
+  const QueryResult r =
+      engine.run("(GetRefer -> SeeDoctor) | (GetRefer -> UpdateRefer)");
+  EXPECT_TRUE(r.parsed->structurally_equal(
+      *parse_pattern("(GetRefer -> SeeDoctor) | (GetRefer -> UpdateRefer)")));
+  EXPECT_LE(r.estimated_cost_after, r.estimated_cost_before);
+}
+
+TEST(QueryEngineTest, ExistsEarlyExit) {
+  const Log log = figure3_log();
+  QueryEngine engine(log);
+  EXPECT_TRUE(engine.exists("SeeDoctor"));
+  EXPECT_FALSE(engine.exists("TerminateRefer"));
+}
+
+TEST(QueryEngineTest, Count) {
+  const Log log = figure3_log();
+  QueryEngine engine(log);
+  EXPECT_EQ(engine.count("PayTreatment"), 3u);
+  EXPECT_EQ(engine.count("SeeDoctor . PayTreatment"), 3u);
+}
+
+TEST(QueryEngineTest, ParseErrorsPropagate) {
+  const Log log = make_log("a");
+  QueryEngine engine(log);
+  EXPECT_THROW(engine.run("a ->"), ParseError);
+  EXPECT_THROW(engine.exists("(a"), ParseError);
+}
+
+TEST(QueryEngineTest, RunPrebuiltPattern) {
+  using namespace dsl;
+  const Log log = make_log("a b");
+  QueryEngine engine(log);
+  const QueryResult r = engine.run(A("a") >> A("b"));
+  EXPECT_EQ(r.total(), 1u);
+  EXPECT_EQ(r.parse_us, 0.0);  // nothing parsed
+}
+
+TEST(QueryEngineTest, EvalOptionsFlowThrough) {
+  QueryOptions opts;
+  opts.eval.negation_matches_sentinels = false;
+  const Log log = make_log("a b");
+  QueryEngine engine(log, opts);
+  // !a with sentinels excluded: only "b".
+  EXPECT_EQ(engine.run("!a").total(), 1u);
+}
+
+TEST(QueryEngineTest, TimingFieldsPopulated) {
+  const Log log = clinic_log(20, 9);
+  QueryEngine engine(log);
+  const QueryResult r = engine.run("GetRefer -> GetReimburse");
+  EXPECT_GT(r.parse_us, 0.0);
+  EXPECT_GT(r.eval_us, 0.0);
+}
+
+}  // namespace
+}  // namespace wflog

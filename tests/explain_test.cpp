@@ -1,0 +1,133 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+#include "workflow/dot.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(ExplainTest, ProfilesEveryNode) {
+  const Log log = figure3_log();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const PatternPtr p =
+      parse_pattern("SeeDoctor -> (UpdateRefer -> GetReimburse)");
+  const ExplainResult r = explain(*p, index, model);
+  ASSERT_EQ(r.nodes.size(), 5u);  // 2 operators + 3 atoms
+  EXPECT_EQ(r.nodes[0].label, "[->]");
+  EXPECT_EQ(r.nodes[1].label, "SeeDoctor");
+  EXPECT_EQ(r.nodes[1].depth, 1u);
+  EXPECT_EQ(r.nodes[2].label, "[->]");
+  EXPECT_EQ(r.nodes[3].label, "UpdateRefer");
+  EXPECT_EQ(r.nodes[4].label, "GetReimburse");
+}
+
+TEST(ExplainTest, ActualCardinalitiesMatchEvaluation) {
+  const Log log = figure3_log();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const ExplainResult r = explain(
+      *parse_pattern("SeeDoctor -> (UpdateRefer -> GetReimburse)"), index,
+      model);
+  EXPECT_EQ(r.nodes[0].actual_incidents, 1u);  // root: the single incident
+  EXPECT_EQ(r.nodes[1].actual_incidents, 4u);  // SeeDoctor occurrences
+  EXPECT_EQ(r.nodes[2].actual_incidents, 1u);  // inner sequential
+  EXPECT_EQ(r.nodes[3].actual_incidents, 1u);  // UpdateRefer
+  EXPECT_EQ(r.nodes[4].actual_incidents, 2u);  // GetReimburse
+  EXPECT_EQ(r.incidents.total(), 1u);
+}
+
+TEST(ExplainTest, ResultMatchesPlainEvaluation) {
+  const Log log = clinic_log(40, 5);
+  const LogIndex index(log);
+  const CostModel model(index);
+  const Evaluator ev(index);
+  const char* queries[] = {"UpdateRefer -> GetReimburse",
+                           "(SeeDoctor . PayTreatment) | UpdateRefer",
+                           "GetRefer & SeeDoctor"};
+  for (const char* q : queries) {
+    const PatternPtr p = parse_pattern(q);
+    const ExplainResult r = explain(*p, index, model);
+    EXPECT_EQ(r.incidents, ev.evaluate(*p)) << q;
+  }
+}
+
+TEST(ExplainTest, PredicateLabelRendered) {
+  const Log log = make_log("a");
+  const LogIndex index(log);
+  const CostModel model(index);
+  const ExplainResult r =
+      explain(*parse_pattern("a[out.x > 5]"), index, model);
+  EXPECT_EQ(r.nodes[0].label, "a[out.x > 5]");
+}
+
+TEST(ExplainTest, ReportContainsTableAndTotal) {
+  const Log log = figure3_log();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const std::string report =
+      explain(*parse_pattern("UpdateRefer -> GetReimburse"), index, model)
+          .to_string();
+  EXPECT_NE(report.find("node"), std::string::npos);
+  EXPECT_NE(report.find("actual"), std::string::npos);
+  EXPECT_NE(report.find("UpdateRefer"), std::string::npos);
+  EXPECT_NE(report.find("total: 1 incident(s)"), std::string::npos);
+}
+
+TEST(ExplainTest, PairsCountedOnOperatorsOnly) {
+  const Log log = figure3_log();
+  const LogIndex index(log);
+  const CostModel model(index);
+  const ExplainResult r =
+      explain(*parse_pattern("SeeDoctor -> GetReimburse"), index, model);
+  EXPECT_GT(r.nodes[0].pairs_examined, 0u);
+  EXPECT_EQ(r.nodes[1].pairs_examined, 0u);
+}
+
+// ----- DOT exports (model) -----------------------------------------------
+
+TEST(DotTest, ClinicModelExports) {
+  const std::string dot = to_dot(clinic_model());
+  EXPECT_NE(dot.find("digraph \"clinic-referral\""), std::string::npos);
+  EXPECT_NE(dot.find("GetRefer"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  // Weighted XOR edges are labelled.
+  EXPECT_NE(dot.find("label="), std::string::npos);
+}
+
+TEST(DotTest, GatewaysRendered) {
+  WorkflowModel m("gw");
+  const auto split = m.add_and_split();
+  const auto a = m.add_task("a");
+  const auto b = m.add_task("b");
+  const auto join = m.add_and_join(2);
+  const auto t = m.add_terminal();
+  m.connect(split, a);
+  m.connect(split, b);
+  m.connect(a, join);
+  m.connect(b, join);
+  m.connect(join, t);
+  const std::string dot = to_dot(m);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("+join(2)"), std::string::npos);
+  EXPECT_NE(dot.find("entry -> n0"), std::string::npos);
+}
+
+TEST(DotTest, GuardedEdgesAnnotated) {
+  WorkflowModel m("g");
+  const auto a = m.add_task("a");
+  const auto b = m.add_task("b");
+  m.connect(a, b, 1.0, [](const AttrStore&) { return true; });
+  const std::string dot = to_dot(m);
+  EXPECT_NE(dot.find("[guarded]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,128 @@
+#include "core/incident.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::inc;
+
+TEST(IncidentTest, SingletonBasics) {
+  const Incident o = Incident::singleton(3, 7);
+  EXPECT_EQ(o.wid(), 3u);
+  EXPECT_EQ(o.first(), 7u);
+  EXPECT_EQ(o.last(), 7u);
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_FALSE(o.empty());
+}
+
+TEST(IncidentTest, MergedKeepsSortedUnion) {
+  const Incident a = inc(1, {2, 5});
+  const Incident b = inc(1, {3, 9});
+  const Incident m = Incident::merged(a, b);
+  EXPECT_EQ(m.positions(), (std::vector<IsLsn>{2, 3, 5, 9}));
+  EXPECT_EQ(m.first(), 2u);
+  EXPECT_EQ(m.last(), 9u);
+  EXPECT_EQ(m.wid(), 1u);
+}
+
+TEST(IncidentTest, MergedCollapsesSharedPositions) {
+  const Incident a = inc(1, {2, 5});
+  const Incident b = inc(1, {5, 9});
+  const Incident m = Incident::merged(a, b);
+  EXPECT_EQ(m.positions(), (std::vector<IsLsn>{2, 5, 9}));
+}
+
+TEST(IncidentTest, DisjointTrueWhenNoSharing) {
+  EXPECT_TRUE(Incident::disjoint(inc(1, {1, 3}), inc(1, {2, 4})));
+  EXPECT_TRUE(Incident::disjoint(inc(1, {1, 2}), inc(1, {3, 4})));
+}
+
+TEST(IncidentTest, DisjointFalseOnSharedRecord) {
+  EXPECT_FALSE(Incident::disjoint(inc(1, {1, 3}), inc(1, {3, 4})));
+  EXPECT_FALSE(Incident::disjoint(inc(1, {5}), inc(1, {5})));
+}
+
+TEST(IncidentTest, DisjointIntervalFastPath) {
+  // Non-overlapping spans short-circuit; result must match a full scan.
+  EXPECT_TRUE(Incident::disjoint(inc(1, {1, 2, 3}), inc(1, {10, 11})));
+  EXPECT_TRUE(Incident::disjoint(inc(1, {10, 11}), inc(1, {1, 2, 3})));
+}
+
+TEST(IncidentTest, EqualityAndOrdering) {
+  EXPECT_EQ(inc(1, {2, 4}), inc(1, {2, 4}));
+  EXPECT_FALSE(inc(1, {2, 4}) == inc(1, {2, 5}));
+  EXPECT_FALSE(inc(1, {2, 4}) == inc(2, {2, 4}));
+  EXPECT_LT(inc(1, {2, 4}), inc(1, {2, 5}));
+  EXPECT_LT(inc(1, {2}), inc(1, {2, 5}));  // prefix sorts first
+  EXPECT_LT(inc(1, {9}), inc(2, {1}));     // wid dominates
+}
+
+TEST(IncidentTest, HashConsistentWithEquality) {
+  EXPECT_EQ(inc(1, {2, 4}).hash(), inc(1, {2, 4}).hash());
+  EXPECT_NE(inc(1, {2, 4}).hash(), inc(1, {2, 5}).hash());
+}
+
+TEST(IncidentTest, ToString) {
+  EXPECT_EQ(inc(2, {5, 8}).to_string(), "{wid=2: 5, 8}");
+}
+
+TEST(IncidentListTest, CanonicalizeSortsAndDedups) {
+  IncidentList list{inc(1, {4}), inc(1, {2}), inc(1, {4}), inc(1, {2, 3})};
+  canonicalize(list);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], inc(1, {2}));
+  EXPECT_EQ(list[1], inc(1, {2, 3}));
+  EXPECT_EQ(list[2], inc(1, {4}));
+  EXPECT_TRUE(is_canonical(list));
+}
+
+TEST(IncidentListTest, IsCanonicalDetectsDisorder) {
+  IncidentList list{inc(1, {4}), inc(1, {2})};
+  EXPECT_FALSE(is_canonical(list));
+  IncidentList dup{inc(1, {2}), inc(1, {2})};
+  EXPECT_FALSE(is_canonical(dup));
+  EXPECT_TRUE(is_canonical(IncidentList{}));
+}
+
+TEST(IncidentSetTest, TotalsAndLookup) {
+  IncidentSet set;
+  set.add_group(1, {inc(1, {2}), inc(1, {3})});
+  set.add_group(4, {inc(4, {2})});
+  EXPECT_EQ(set.num_groups(), 2u);
+  EXPECT_EQ(set.total(), 3u);
+  EXPECT_FALSE(set.empty());
+  ASSERT_NE(set.find(4), nullptr);
+  EXPECT_EQ(set.find(4)->size(), 1u);
+  EXPECT_EQ(set.find(9), nullptr);
+}
+
+TEST(IncidentSetTest, FlattenIsCanonical) {
+  IncidentSet set;
+  set.add_group(1, {inc(1, {2})});
+  set.add_group(2, {inc(2, {1}), inc(2, {5})});
+  const IncidentList flat = set.flatten();
+  EXPECT_EQ(flat.size(), 3u);
+  EXPECT_TRUE(is_canonical(flat));
+}
+
+TEST(IncidentSetTest, EqualityIgnoresEmptyGroups) {
+  IncidentSet a;
+  a.add_group(1, {inc(1, {2})});
+  IncidentSet b;
+  b.add_group(1, {inc(1, {2})});
+  b.add_group(2, {});
+  EXPECT_TRUE(a == b);
+}
+
+TEST(IncidentSetTest, EmptySet) {
+  IncidentSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.total(), 0u);
+  EXPECT_TRUE(set.flatten().empty());
+}
+
+}  // namespace
+}  // namespace wflog

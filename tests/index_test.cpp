@@ -1,0 +1,86 @@
+#include "log/index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(LogIndexTest, InstanceRecordsInIsLsnOrder) {
+  const Log log = make_log("a b ; c");
+  const LogIndex index(log);
+  const auto& recs = index.instance(1);
+  ASSERT_EQ(recs.size(), 4u);  // START a b END
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    EXPECT_EQ(recs[i]->is_lsn, i + 1);
+  }
+}
+
+TEST(LogIndexTest, UnknownWidIsEmpty) {
+  const Log log = make_log("a");
+  const LogIndex index(log);
+  EXPECT_TRUE(index.instance(99).empty());
+  EXPECT_EQ(index.instance_length(99), 0u);
+}
+
+TEST(LogIndexTest, FindByPosition) {
+  const Log log = make_log("a b c");
+  const LogIndex index(log);
+  const LogRecord* l = index.find(1, 3);  // third record = "b"
+  ASSERT_NE(l, nullptr);
+  EXPECT_EQ(log.activity_name(l->activity), "b");
+  EXPECT_EQ(index.find(1, 0), nullptr);
+  EXPECT_EQ(index.find(1, 99), nullptr);
+}
+
+TEST(LogIndexTest, OccurrencesSortedPerInstance) {
+  const Log log = make_log("a b a b a ; b a");
+  const LogIndex index(log);
+  const Symbol a = log.activity_symbol("a");
+  EXPECT_EQ(index.occurrences(1, a), (std::vector<IsLsn>{2, 4, 6}));
+  EXPECT_EQ(index.occurrences(2, a), (std::vector<IsLsn>{3}));
+}
+
+TEST(LogIndexTest, OccurrencesOfAbsentActivity) {
+  const Log log = make_log("a");
+  const LogIndex index(log);
+  EXPECT_TRUE(index.occurrences(1, kNoSymbol).empty());
+  const Symbol a = log.activity_symbol("a");
+  EXPECT_TRUE(index.occurrences(2, a).empty());
+}
+
+TEST(LogIndexTest, NonOccurrencesComplement) {
+  const Log log = make_log("a b a");
+  const LogIndex index(log);
+  const Symbol a = log.activity_symbol("a");
+  // Instance: START a b a END -> non-"a" at 1 (START), 3 (b), 5 (END).
+  EXPECT_EQ(index.non_occurrences(1, a), (std::vector<IsLsn>{1, 3, 5}));
+}
+
+TEST(LogIndexTest, TotalCounts) {
+  const Log log = make_log("a b a ; a");
+  const LogIndex index(log);
+  EXPECT_EQ(index.total_count(log.activity_symbol("a")), 3u);
+  EXPECT_EQ(index.total_count(log.activity_symbol("b")), 1u);
+  EXPECT_EQ(index.total_count(log.start_symbol()), 2u);
+  EXPECT_EQ(index.total_count(kNoSymbol), 0u);
+}
+
+TEST(LogIndexTest, ActivitiesListsDistinctSymbols) {
+  const Log log = make_log("a b a b");
+  const LogIndex index(log);
+  // START, END, a, b.
+  EXPECT_EQ(index.activities().size(), 4u);
+}
+
+TEST(LogIndexTest, WidsMatchLog) {
+  const Log log = make_log("a ; b ; c");
+  const LogIndex index(log);
+  EXPECT_EQ(index.wids().size(), 3u);
+}
+
+}  // namespace
+}  // namespace wflog

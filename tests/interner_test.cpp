@@ -1,0 +1,69 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wflog {
+namespace {
+
+TEST(InternerTest, InternIsIdempotent) {
+  Interner in;
+  const Symbol a = in.intern("GetRefer");
+  EXPECT_EQ(in.intern("GetRefer"), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(InternerTest, DistinctNamesDistinctSymbols) {
+  Interner in;
+  EXPECT_NE(in.intern("a"), in.intern("b"));
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, NameRoundTrip) {
+  Interner in;
+  const Symbol s = in.intern("CheckIn");
+  EXPECT_EQ(in.name(s), "CheckIn");
+}
+
+TEST(InternerTest, FindReturnsNoSymbolForUnknown) {
+  Interner in;
+  in.intern("a");
+  EXPECT_EQ(in.find("b"), kNoSymbol);
+  EXPECT_NE(in.find("a"), kNoSymbol);
+}
+
+TEST(InternerTest, ManySymbolsStaySable) {
+  Interner in;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) {
+    syms.push_back(in.intern("act" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.name(syms[static_cast<std::size_t>(i)]),
+              "act" + std::to_string(i));
+  }
+}
+
+TEST(InternerTest, CopyPreservesMapping) {
+  Interner in;
+  const Symbol a = in.intern("a");
+  const Symbol b = in.intern("b");
+  Interner copy = in;  // deep copy rebuilt
+  EXPECT_EQ(copy.find("a"), a);
+  EXPECT_EQ(copy.find("b"), b);
+  EXPECT_EQ(copy.name(a), "a");
+  // New interning in the copy does not affect the original.
+  copy.intern("c");
+  EXPECT_EQ(in.find("c"), kNoSymbol);
+}
+
+TEST(InternerTest, MoveKeepsViewsValid) {
+  Interner in;
+  const Symbol a = in.intern("stable");
+  Interner moved = std::move(in);
+  EXPECT_EQ(moved.name(a), "stable");
+}
+
+}  // namespace
+}  // namespace wflog

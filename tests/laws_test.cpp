@@ -1,0 +1,153 @@
+// Property tests for the algebraic laws (Theorems 2-5): each law's two
+// sides are evaluated on randomized logs and must produce identical
+// incident sets. Parameterized over seeds per the paper's four operators.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "log/builder.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+constexpr PatternOp kAllOps[] = {PatternOp::kConsecutive,
+                                 PatternOp::kSequential, PatternOp::kChoice,
+                                 PatternOp::kParallel};
+
+/// Random log over a 3-letter alphabet: several short instances, some
+/// incomplete. Small sizes keep ⊕ outputs tractable while still exercising
+/// duplicates and interleavings.
+Log random_small_log(std::uint64_t seed) {
+  Rng rng(seed);
+  LogBuilder b;
+  const std::size_t instances = 2 + rng.index(3);
+  for (std::size_t i = 0; i < instances; ++i) {
+    const Wid w = b.begin_instance();
+    const std::size_t len = 3 + rng.index(5);
+    for (std::size_t j = 0; j < len; ++j) {
+      const char c = static_cast<char>('a' + rng.index(3));
+      b.append(w, std::string(1, c));
+    }
+    if (rng.bernoulli(0.8)) b.end_instance(w);
+  }
+  return b.build();
+}
+
+/// Random pattern of bounded depth over {a, b, c} with occasional negation.
+PatternPtr random_pattern(Rng& rng, std::size_t depth) {
+  if (depth == 0 || rng.bernoulli(0.4)) {
+    const std::string name(1, static_cast<char>('a' + rng.index(3)));
+    return Pattern::atom(name, rng.bernoulli(0.15));
+  }
+  const PatternOp op = kAllOps[rng.index(4)];
+  return Pattern::combine(op, random_pattern(rng, depth - 1),
+                          random_pattern(rng, depth - 1));
+}
+
+IncidentList eval_on(const Log& log, const PatternPtr& p) {
+  LogIndex index(log);
+  Evaluator ev(index);
+  return ev.evaluate(*p).flatten();
+}
+
+class LawsTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void expect_equivalent(const Log& log, const PatternPtr& lhs,
+                         const PatternPtr& rhs, const char* law) {
+    EXPECT_EQ(eval_on(log, lhs), eval_on(log, rhs))
+        << law << " failed on seed " << GetParam();
+  }
+};
+
+TEST_P(LawsTest, Theorem2Associativity) {
+  Rng rng(GetParam());
+  const Log log = random_small_log(GetParam());
+  for (PatternOp op : kAllOps) {
+    const PatternPtr p1 = random_pattern(rng, 1);
+    const PatternPtr p2 = random_pattern(rng, 1);
+    const PatternPtr p3 = random_pattern(rng, 1);
+    const PatternPtr lhs = Pattern::combine(
+        op, Pattern::combine(op, p1, p2), p3);
+    const PatternPtr rhs = Pattern::combine(
+        op, p1, Pattern::combine(op, p2, p3));
+    expect_equivalent(log, lhs, rhs, "associativity");
+  }
+}
+
+TEST_P(LawsTest, Theorem3Commutativity) {
+  Rng rng(GetParam() ^ 0x1111);
+  const Log log = random_small_log(GetParam());
+  for (PatternOp op : {PatternOp::kChoice, PatternOp::kParallel}) {
+    const PatternPtr p1 = random_pattern(rng, 1);
+    const PatternPtr p2 = random_pattern(rng, 1);
+    expect_equivalent(log, Pattern::combine(op, p1, p2),
+                      Pattern::combine(op, p2, p1), "commutativity");
+  }
+}
+
+TEST_P(LawsTest, Theorem4MixedTemporalReassociation) {
+  Rng rng(GetParam() ^ 0x2222);
+  const Log log = random_small_log(GetParam());
+  const PatternPtr p1 = random_pattern(rng, 1);
+  const PatternPtr p2 = random_pattern(rng, 1);
+  const PatternPtr p3 = random_pattern(rng, 1);
+  // Part 1: p1 . (p2 -> p3) == (p1 . p2) -> p3.
+  expect_equivalent(
+      log,
+      Pattern::consecutive(p1, Pattern::sequential(p2, p3)),
+      Pattern::sequential(Pattern::consecutive(p1, p2), p3),
+      "Theorem 4 part 1");
+  // Part 2: p1 -> (p2 . p3) == (p1 -> p2) . p3.
+  expect_equivalent(
+      log,
+      Pattern::sequential(p1, Pattern::consecutive(p2, p3)),
+      Pattern::consecutive(Pattern::sequential(p1, p2), p3),
+      "Theorem 4 part 2");
+}
+
+TEST_P(LawsTest, Theorem5LeftDistributivity) {
+  Rng rng(GetParam() ^ 0x3333);
+  const Log log = random_small_log(GetParam());
+  for (PatternOp op : kAllOps) {
+    const PatternPtr p1 = random_pattern(rng, 1);
+    const PatternPtr p2 = random_pattern(rng, 1);
+    const PatternPtr p3 = random_pattern(rng, 1);
+    const PatternPtr lhs =
+        Pattern::combine(op, p1, Pattern::choice(p2, p3));
+    const PatternPtr rhs = Pattern::choice(Pattern::combine(op, p1, p2),
+                                           Pattern::combine(op, p1, p3));
+    expect_equivalent(log, lhs, rhs, "left distributivity");
+  }
+}
+
+TEST_P(LawsTest, Theorem5RightDistributivity) {
+  Rng rng(GetParam() ^ 0x4444);
+  const Log log = random_small_log(GetParam());
+  for (PatternOp op : kAllOps) {
+    const PatternPtr p1 = random_pattern(rng, 1);
+    const PatternPtr p2 = random_pattern(rng, 1);
+    const PatternPtr p3 = random_pattern(rng, 1);
+    const PatternPtr lhs =
+        Pattern::combine(op, Pattern::choice(p1, p2), p3);
+    const PatternPtr rhs = Pattern::choice(Pattern::combine(op, p1, p3),
+                                           Pattern::combine(op, p2, p3));
+    expect_equivalent(log, lhs, rhs, "right distributivity");
+  }
+}
+
+TEST_P(LawsTest, NonCommutativityOfTemporalOpsWitnessed) {
+  // The paper notes ⊙ and ≫ are NOT commutative. Exhibit a witness log
+  // where swapping operands changes the result.
+  const Log log = testing::make_log("a b");
+  using namespace dsl;
+  EXPECT_NE(eval_on(log, A("a") >> A("b")), eval_on(log, A("b") >> A("a")));
+  EXPECT_NE(eval_on(log, A("a") + A("b")), eval_on(log, A("b") + A("a")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LawsTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace wflog

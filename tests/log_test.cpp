@@ -1,0 +1,243 @@
+#include "log/log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "log/builder.h"
+#include "log/validate.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+// ----- LogBuilder ------------------------------------------------------
+
+TEST(LogBuilderTest, EmitsStartAndEnd) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.append(w, "GetRefer");
+  b.end_instance(w);
+  const Log log = b.build();
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.record(1).activity, log.start_symbol());
+  EXPECT_EQ(log.activity_name(log.record(2).activity), "GetRefer");
+  EXPECT_EQ(log.record(3).activity, log.end_symbol());
+}
+
+TEST(LogBuilderTest, AssignsConsecutiveIsLsn) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.append(w, "a");
+  b.append(w, "b");
+  b.end_instance(w);
+  const Log log = b.build();
+  for (std::size_t i = 1; i <= log.size(); ++i) {
+    EXPECT_EQ(log.record(i).is_lsn, i);
+  }
+}
+
+TEST(LogBuilderTest, InterleavedInstances) {
+  LogBuilder b;
+  const Wid w1 = b.begin_instance();
+  const Wid w2 = b.begin_instance();
+  b.append(w1, "a");
+  b.append(w2, "a");
+  b.append(w1, "b");
+  b.end_instance(w2);
+  const Log log = b.build();
+  EXPECT_EQ(log.size(), 6u);
+  EXPECT_EQ(log.wids(), (std::vector<Wid>{w1, w2}));
+}
+
+TEST(LogBuilderTest, ExplicitWid) {
+  LogBuilder b;
+  EXPECT_EQ(b.begin_instance(42), 42u);
+  EXPECT_THROW(b.begin_instance(42), Error);
+}
+
+TEST(LogBuilderTest, AutoWidSkipsTakenIds) {
+  LogBuilder b;
+  b.begin_instance(1);
+  b.begin_instance(2);
+  const Wid w = b.begin_instance();
+  EXPECT_EQ(w, 3u);
+}
+
+TEST(LogBuilderTest, AppendToUnknownInstanceThrows) {
+  LogBuilder b;
+  EXPECT_THROW(b.append(9, "a"), Error);
+}
+
+TEST(LogBuilderTest, AppendAfterEndThrows) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.end_instance(w);
+  EXPECT_THROW(b.append(w, "a"), Error);
+  EXPECT_THROW(b.end_instance(w), Error);
+}
+
+TEST(LogBuilderTest, ReservedActivityNamesRejected) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  EXPECT_THROW(b.append(w, "START"), Error);
+  EXPECT_THROW(b.append(w, "END"), Error);
+}
+
+TEST(LogBuilderTest, OpenInstanceAllowed) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.append(w, "a");
+  const Log log = b.build();  // no END: Definition 2 permits this
+  EXPECT_EQ(log.size(), 2u);
+}
+
+// ----- Definition 2 validation ----------------------------------------
+
+std::vector<LogRecord> records_of(const Log& log) {
+  return {log.begin(), log.end()};
+}
+
+TEST(ValidateTest, WellFormedLogPasses) {
+  const Log log = make_log("a b c ; a c");
+  EXPECT_TRUE(check_well_formed(records_of(log), log.interner()).empty());
+}
+
+TEST(ValidateTest, EmptyLogFails) {
+  Interner in;
+  const auto violations = check_well_formed({}, in);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("NONEMPTY"), std::string::npos);
+}
+
+TEST(ValidateTest, Condition1LsnGap) {
+  const Log log = make_log("a b");
+  auto records = records_of(log);
+  records[1].lsn = 99;  // break the bijection
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  const auto violations = check_well_formed(records, log.interner());
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("condition 1"), std::string::npos);
+}
+
+TEST(ValidateTest, Condition2FirstRecordMustBeStart) {
+  const Log log = make_log("a");
+  auto records = records_of(log);
+  records[0].activity = records[1].activity;  // START -> a
+  const auto violations = check_well_formed(records, log.interner());
+  EXPECT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("condition 2"), std::string::npos);
+}
+
+TEST(ValidateTest, Condition2StartOnlyAtIsLsn1) {
+  // A START record in the middle of an instance violates condition 2.
+  Interner in;
+  const Symbol start = in.intern("START");
+  const Symbol a = in.intern("a");
+  std::vector<LogRecord> records(3);
+  records[0] = LogRecord{1, 1, 1, start, {}, {}};
+  records[1] = LogRecord{2, 1, 2, a, {}, {}};
+  records[2] = LogRecord{3, 1, 3, start, {}, {}};
+  const auto violations = check_well_formed(records, in);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("condition 2"), std::string::npos);
+}
+
+TEST(ValidateTest, Condition3IsLsnGap) {
+  Interner in;
+  const Symbol start = in.intern("START");
+  const Symbol a = in.intern("a");
+  std::vector<LogRecord> records(2);
+  records[0] = LogRecord{1, 1, 1, start, {}, {}};
+  records[1] = LogRecord{2, 1, 3, a, {}, {}};  // skips is-lsn 2
+  const auto violations = check_well_formed(records, in);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("condition 3"), std::string::npos);
+}
+
+TEST(ValidateTest, Condition4RecordAfterEnd) {
+  Interner in;
+  const Symbol start = in.intern("START");
+  const Symbol end = in.intern("END");
+  const Symbol a = in.intern("a");
+  std::vector<LogRecord> records(3);
+  records[0] = LogRecord{1, 1, 1, start, {}, {}};
+  records[1] = LogRecord{2, 1, 2, end, {}, {}};
+  records[2] = LogRecord{3, 1, 3, a, {}, {}};
+  const auto violations = check_well_formed(records, in);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("condition 4"), std::string::npos);
+}
+
+TEST(ValidateTest, SentinelWithAttributesRejected) {
+  Interner in;
+  const Symbol start = in.intern("START");
+  std::vector<LogRecord> records(1);
+  records[0] = LogRecord{1, 1, 1, start, {}, {}};
+  records[0].out.set(in.intern("x"), Value{std::int64_t{1}});
+  const auto violations = check_well_formed(records, in);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations[0].find("empty input and output"), std::string::npos);
+}
+
+TEST(ValidateTest, ValidateThrowsWithAllViolations) {
+  Interner in;
+  const Symbol a = in.intern("a");
+  std::vector<LogRecord> records(1);
+  records[0] = LogRecord{1, 1, 1, a, {}, {}};  // is-lsn 1 but not START
+  EXPECT_THROW(validate_well_formed(records, in), ValidationError);
+}
+
+// ----- Log -------------------------------------------------------------
+
+TEST(LogTest, FromRecordsSortsAndValidates) {
+  Interner in;
+  const Symbol start = in.intern("START");
+  const Symbol a = in.intern("a");
+  // Records deliberately out of order.
+  std::vector<LogRecord> records(2);
+  records[0] = LogRecord{2, 1, 2, a, {}, {}};
+  records[1] = LogRecord{1, 1, 1, start, {}, {}};
+  const Log log = Log::from_records(std::move(records), std::move(in));
+  EXPECT_EQ(log.record(1).is_lsn, 1u);
+  EXPECT_EQ(log.record(2).is_lsn, 2u);
+}
+
+TEST(LogTest, FromRecordsRejectsBadLog) {
+  Interner in;
+  const Symbol a = in.intern("a");
+  std::vector<LogRecord> records(1);
+  records[0] = LogRecord{1, 1, 2, a, {}, {}};
+  EXPECT_THROW(Log::from_records(std::move(records), std::move(in)),
+               ValidationError);
+}
+
+TEST(LogTest, WidsInFirstAppearanceOrder) {
+  LogBuilder b;
+  b.begin_instance(7);
+  b.begin_instance(3);
+  b.begin_instance(5);
+  const Log log = b.build();
+  EXPECT_EQ(log.wids(), (std::vector<Wid>{7, 3, 5}));
+}
+
+TEST(LogTest, ActivitySymbolLookup) {
+  const Log log = make_log("GetRefer CheckIn");
+  EXPECT_NE(log.activity_symbol("GetRefer"), kNoSymbol);
+  EXPECT_EQ(log.activity_symbol("Nonexistent"), kNoSymbol);
+}
+
+TEST(LogTest, MoveKeepsInternerStable) {
+  Log log = make_log("alpha beta");
+  const Symbol a = log.activity_symbol("alpha");
+  Log moved = std::move(log);
+  EXPECT_EQ(moved.activity_name(a), "alpha");
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,249 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/parser.h"
+#include "log/validate.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::inc;
+
+TEST(MonitorTest, ReportsMatchOnCompletingRecord) {
+  LogMonitor mon;
+  const auto q = mon.add_query("a -> b");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  EXPECT_TRUE(mon.matches().empty());
+  mon.record(w, "b");
+  ASSERT_EQ(mon.matches().size(), 1u);
+  EXPECT_EQ(mon.matches()[0].query, q);
+  EXPECT_EQ(mon.matches()[0].incident, inc(w, {2, 3}));
+}
+
+TEST(MonitorTest, EachIncidentReportedExactlyOnce) {
+  LogMonitor mon;
+  mon.add_query("a -> b");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "b");  // {2,3}
+  mon.record(w, "b");  // {2,4}
+  mon.record(w, "a");
+  mon.record(w, "b");  // {2,6}, {5,6}
+  EXPECT_EQ(mon.matches().size(), 4u);
+  EXPECT_EQ(mon.total_matches(1), 4u);
+}
+
+TEST(MonitorTest, ConsecutiveRequiresAdjacency) {
+  LogMonitor mon;
+  mon.add_query("a . b");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "x");
+  mon.record(w, "b");  // not adjacent to a
+  EXPECT_TRUE(mon.matches().empty());
+  mon.record(w, "a");
+  mon.record(w, "b");
+  EXPECT_EQ(mon.matches().size(), 1u);
+}
+
+TEST(MonitorTest, ChoiceAndParallel) {
+  LogMonitor mon;
+  const auto q_choice = mon.add_query("a | b");
+  const auto q_par = mon.add_query("a & b");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "b");
+  std::size_t choice_hits = 0;
+  std::size_t par_hits = 0;
+  for (const auto& m : mon.matches()) {
+    if (m.query == q_choice) ++choice_hits;
+    if (m.query == q_par) ++par_hits;
+  }
+  EXPECT_EQ(choice_hits, 2u);  // each record alone
+  EXPECT_EQ(par_hits, 1u);     // the pair
+}
+
+TEST(MonitorTest, InstancesAreIsolated) {
+  LogMonitor mon;
+  mon.add_query("a -> b");
+  const Wid w1 = mon.begin_instance();
+  const Wid w2 = mon.begin_instance();
+  mon.record(w1, "a");
+  mon.record(w2, "b");  // different instance: no match
+  EXPECT_TRUE(mon.matches().empty());
+  mon.record(w1, "b");
+  EXPECT_EQ(mon.matches().size(), 1u);
+  EXPECT_EQ(mon.matches()[0].incident.wid(), w1);
+}
+
+TEST(MonitorTest, EndInstanceEmitsEndRecordAndDropsState) {
+  LogMonitor mon;
+  mon.add_query("a -> END");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.end_instance(w);
+  EXPECT_EQ(mon.matches().size(), 1u);
+  EXPECT_THROW(mon.record(w, "a"), Error);
+  EXPECT_THROW(mon.end_instance(w), Error);
+}
+
+TEST(MonitorTest, NegationAndPredicates) {
+  LogMonitor mon;
+  mon.add_query("!a");
+  mon.add_query("pay[out.amount > 100]");
+  const Wid w = mon.begin_instance();  // START matches !a
+  mon.record(w, "a");                  // no
+  mon.record(w, "pay", {}, {{"amount", Value{std::int64_t{50}}}});   // !a only
+  mon.record(w, "pay", {}, {{"amount", Value{std::int64_t{500}}}});  // both
+  std::size_t neg = 0;
+  std::size_t pred = 0;
+  for (const auto& m : mon.matches()) {
+    (m.query == 1 ? neg : pred) += 1;
+  }
+  EXPECT_EQ(neg, 3u);  // START, pay, pay
+  EXPECT_EQ(pred, 1u);
+}
+
+TEST(MonitorTest, NegationSentinelOptionRespected) {
+  MonitorOptions opts;
+  opts.negation_matches_sentinels = false;
+  LogMonitor mon(opts);
+  mon.add_query("!a");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "b");
+  mon.end_instance(w);
+  EXPECT_EQ(mon.matches().size(), 1u);  // only "b"
+}
+
+TEST(MonitorTest, DrainClearsButKeepsTotals) {
+  LogMonitor mon;
+  const auto q = mon.add_query("a");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  const auto drained = mon.drain();
+  EXPECT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(mon.matches().empty());
+  mon.record(w, "a");
+  EXPECT_EQ(mon.matches().size(), 1u);
+  EXPECT_EQ(mon.total_matches(q), 2u);
+}
+
+TEST(MonitorTest, SnapshotIsWellFormedLog) {
+  LogMonitor mon;
+  const Wid w1 = mon.begin_instance();
+  const Wid w2 = mon.begin_instance();
+  mon.record(w1, "a", {{"x", Value{std::int64_t{1}}}}, {});
+  mon.record(w2, "b");
+  mon.end_instance(w1);
+  const Log log = mon.snapshot();
+  EXPECT_EQ(log.size(), 5u);
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+}
+
+TEST(MonitorTest, LateQueryReplaysHistory) {
+  LogMonitor mon;
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "b");
+  const auto q = mon.add_query("a -> b");
+  EXPECT_EQ(mon.total_matches(q), 1u);  // found in replayed history
+  mon.record(w, "b");
+  EXPECT_EQ(mon.total_matches(q), 2u);  // live matching continues
+}
+
+TEST(MonitorTest, LateQueryWithoutRetentionThrows) {
+  MonitorOptions opts;
+  opts.keep_records = false;
+  LogMonitor mon(opts);
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  EXPECT_THROW(mon.add_query("a"), Error);
+  EXPECT_THROW(mon.snapshot(), Error);
+}
+
+TEST(MonitorTest, RemoveQueryStopsReporting) {
+  LogMonitor mon;
+  const auto q = mon.add_query("a");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.remove_query(q);
+  mon.record(w, "a");
+  EXPECT_EQ(mon.total_matches(q), 1u);
+  EXPECT_EQ(mon.num_queries(), 0u);
+}
+
+TEST(MonitorTest, ReservedActivityNamesRejected) {
+  LogMonitor mon;
+  const Wid w = mon.begin_instance();
+  EXPECT_THROW(mon.record(w, "START"), Error);
+  EXPECT_THROW(mon.record(w, "END"), Error);
+}
+
+// ----- the headline property: incremental == batch -----------------------
+
+class MonitorBatchEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonitorBatchEquivalenceTest, MatchesBatchEvaluationExactly) {
+  Rng rng(GetParam());
+  const char* queries[] = {
+      "a -> b", "a . b",          "a | !b",       "a & b",
+      "(a -> b) & c", "a -> (b | c)", "!c . a",  "(a & b) | (a . c)",
+  };
+
+  LogMonitor mon;
+  std::vector<LogMonitor::QueryId> ids;
+  for (const char* q : queries) ids.push_back(mon.add_query(q));
+
+  // Drive a random interleaved workload through the monitor.
+  std::vector<Wid> open;
+  for (int event = 0; event < 120; ++event) {
+    const int action = static_cast<int>(rng.uniform(0, 9));
+    if (open.empty() || action == 0) {
+      open.push_back(mon.begin_instance());
+    } else if (action == 1 && open.size() > 1) {
+      const std::size_t i = rng.index(open.size());
+      mon.end_instance(open[i]);
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      const Wid w = open[rng.index(open.size())];
+      mon.record(w, std::string(1, static_cast<char>('a' + rng.index(3))));
+    }
+  }
+
+  // Batch-evaluate the same queries on the snapshot.
+  const Log log = mon.snapshot();
+  const LogIndex index(log);
+  const Evaluator ev(index);
+  for (std::size_t i = 0; i < std::size(queries); ++i) {
+    const IncidentSet batch = ev.evaluate(*parse_pattern(queries[i]));
+    EXPECT_EQ(mon.total_matches(ids[i]), batch.total())
+        << queries[i] << " seed " << GetParam();
+  }
+
+  // And the reported incidents are exactly the batch incident sets.
+  std::vector<IncidentList> reported(std::size(queries));
+  for (const auto& m : mon.matches()) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == m.query) reported[i].push_back(m.incident);
+    }
+  }
+  for (std::size_t i = 0; i < std::size(queries); ++i) {
+    canonicalize(reported[i]);
+    EXPECT_EQ(reported[i],
+              ev.evaluate(*parse_pattern(queries[i])).flatten())
+        << queries[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorBatchEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace wflog

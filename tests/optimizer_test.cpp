@@ -1,0 +1,115 @@
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "test_util.h"
+#include "workflow/workload.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(OptimizerTest, NeverIncreasesEstimatedCost) {
+  const Log log = workload::random_process(20, 9);
+  LogIndex index(log);
+  const CostModel model(index);
+  const char* queries[] = {
+      "A0 -> A1",
+      "(A0 -> A1) -> A2",
+      "(A0 -> A1) | (A0 -> A2)",
+      "(A0 & A1) -> (A2 | A3)",
+      "A0 . (A1 . (A2 . A3))",
+  };
+  for (const char* q : queries) {
+    const PatternPtr p = parse_pattern(q);
+    const OptimizeResult r = optimize(p, model);
+    EXPECT_LE(r.final_cost, r.initial_cost) << q;
+    if (p->num_operators() >= 2) {
+      // Multi-operator patterns always have at least one legal rewrite.
+      EXPECT_GT(r.candidates_examined, 0u) << q;
+    }
+  }
+}
+
+TEST(OptimizerTest, PreservesSemantics) {
+  const Log log = workload::random_process(15, 4);
+  LogIndex index(log);
+  const CostModel model(index);
+  Evaluator ev(index);
+  const char* queries[] = {
+      "(A0 -> A1) -> A2",
+      "(A0 -> A2) | (A1 -> A2)",
+      "(A0 | A1) & A2",
+      "A0 -> (A1 | A2)",
+      "(A0 . A1) -> (A2 | !A3)",
+  };
+  for (const char* q : queries) {
+    const PatternPtr p = parse_pattern(q);
+    const OptimizeResult r = optimize(p, model);
+    EXPECT_EQ(ev.evaluate(*p).flatten(), ev.evaluate(*r.pattern).flatten())
+        << q << " optimized to " << to_text(*r.pattern);
+  }
+}
+
+TEST(OptimizerTest, FactorsSharedSubpattern) {
+  // (rare -> a) | (rare -> b) evaluates `rare` twice; factoring shares it.
+  const Log log = make_log("rare x a b ; x x a b ; x a x b");
+  LogIndex index(log);
+  const CostModel model(index);
+  const OptimizeResult r =
+      optimize(parse_pattern("(x -> a) | (x -> b)"), model);
+  EXPECT_LT(r.final_cost, r.initial_cost);
+  EXPECT_EQ(to_text(*r.pattern), "x -> (a | b)");
+}
+
+TEST(OptimizerTest, ReassociatesTowardSelectiveJoin) {
+  // common -> (common -> rare): with a selective tail, some grouping is
+  // strictly cheaper; the optimizer must find a no-worse tree.
+  const Log log = make_log(
+      "c c c c c r ; c c c c c c ; c c c r c c ; c c c c c c");
+  LogIndex index(log);
+  const CostModel model(index);
+  const PatternPtr p = parse_pattern("(c -> c) -> r");
+  const OptimizeResult r = optimize(p, model);
+  EXPECT_LE(r.final_cost, r.initial_cost);
+  Evaluator ev(index);
+  EXPECT_EQ(ev.evaluate(*p).flatten(), ev.evaluate(*r.pattern).flatten());
+}
+
+TEST(OptimizerTest, AtomIsFixpoint) {
+  const CostModel model(10, 2);
+  const OptimizeResult r = optimize(parse_pattern("a"), model);
+  EXPECT_EQ(r.steps, 0u);
+  EXPECT_DOUBLE_EQ(r.final_cost, r.initial_cost);
+  EXPECT_TRUE(r.pattern->is_atom());
+}
+
+TEST(OptimizerTest, RespectsMaxSteps) {
+  const CostModel model(1000, 100);
+  OptimizerOptions opts;
+  opts.max_steps = 1;
+  const OptimizeResult r = optimize(
+      parse_pattern("(a -> b) | (a -> c) | (a -> d)"), model, opts);
+  EXPECT_LE(r.steps, 1u);
+}
+
+TEST(OptimizerTest, TraceRecordsRules) {
+  const Log log = make_log("x a b ; x a b");
+  LogIndex index(log);
+  const CostModel model(index);
+  OptimizerOptions opts;
+  opts.trace = true;
+  const OptimizeResult r =
+      optimize(parse_pattern("(x -> a) | (x -> b)"), model, opts);
+  EXPECT_EQ(r.trace.size(), r.steps);
+  if (!r.trace.empty()) {
+    EXPECT_NE(r.trace[0].find("factor"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,215 @@
+#include "core/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/printer.h"
+
+namespace wflog {
+namespace {
+
+TEST(ParserTest, SingleAtom) {
+  const PatternPtr p = parse_pattern("GetRefer");
+  EXPECT_TRUE(p->is_atom());
+  EXPECT_EQ(p->activity(), "GetRefer");
+}
+
+TEST(ParserTest, NegatedAtom) {
+  for (const char* src : {"!CheckIn", "~CheckIn", "\xc2\xac" "CheckIn"}) {
+    const PatternPtr p = parse_pattern(src);
+    EXPECT_TRUE(p->is_atom()) << src;
+    EXPECT_TRUE(p->negated()) << src;
+    EXPECT_EQ(p->activity(), "CheckIn") << src;
+  }
+}
+
+TEST(ParserTest, EachOperator) {
+  EXPECT_EQ(parse_pattern("a . b")->op(), PatternOp::kConsecutive);
+  EXPECT_EQ(parse_pattern("a -> b")->op(), PatternOp::kSequential);
+  EXPECT_EQ(parse_pattern("a >> b")->op(), PatternOp::kSequential);
+  EXPECT_EQ(parse_pattern("a | b")->op(), PatternOp::kChoice);
+  EXPECT_EQ(parse_pattern("a & b")->op(), PatternOp::kParallel);
+}
+
+TEST(ParserTest, PaperGlyphAliases) {
+  EXPECT_EQ(parse_pattern("a \xe2\x8a\x99 b")->op(),
+            PatternOp::kConsecutive);  // ⊙
+  EXPECT_EQ(parse_pattern("a \xe2\x89\xab b")->op(),
+            PatternOp::kSequential);  // ≫
+  EXPECT_EQ(parse_pattern("a \xe2\x8a\x97 b")->op(),
+            PatternOp::kChoice);  // ⊗
+  EXPECT_EQ(parse_pattern("a \xe2\x8a\x95 b")->op(),
+            PatternOp::kParallel);  // ⊕
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  const PatternPtr p = parse_pattern("a -> b -> c");
+  // ((a -> b) -> c)
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  EXPECT_FALSE(p->left()->is_atom());
+  EXPECT_TRUE(p->right()->is_atom());
+  EXPECT_EQ(p->right()->activity(), "c");
+}
+
+TEST(ParserTest, ConsecutiveAndSequentialShareLevel) {
+  // Theorem 4: '.'/'->' mix at one level, left-assoc: ((a . b) -> c).
+  const PatternPtr p = parse_pattern("a . b -> c");
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  EXPECT_EQ(p->left()->op(), PatternOp::kConsecutive);
+}
+
+TEST(ParserTest, PrecedenceChoiceLowest) {
+  // a | b & c -> d   ==   a | (b & (c -> d))
+  const PatternPtr p = parse_pattern("a | b & c -> d");
+  EXPECT_EQ(p->op(), PatternOp::kChoice);
+  EXPECT_EQ(p->right()->op(), PatternOp::kParallel);
+  EXPECT_EQ(p->right()->right()->op(), PatternOp::kSequential);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const PatternPtr p = parse_pattern("(a | b) & c");
+  EXPECT_EQ(p->op(), PatternOp::kParallel);
+  EXPECT_EQ(p->left()->op(), PatternOp::kChoice);
+}
+
+TEST(ParserTest, RightGroupingByParens) {
+  const PatternPtr p =
+      parse_pattern("SeeDoctor -> (UpdateRefer -> GetReimburse)");
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  EXPECT_TRUE(p->left()->is_atom());
+  EXPECT_EQ(p->right()->op(), PatternOp::kSequential);
+}
+
+TEST(ParserTest, NestedParens) {
+  const PatternPtr p = parse_pattern("((a))");
+  EXPECT_TRUE(p->is_atom());
+}
+
+TEST(ParserTest, PredicateOnAtom) {
+  const PatternPtr p = parse_pattern("GetRefer[out.balance > 5000]");
+  ASSERT_TRUE(p->is_atom());
+  ASSERT_NE(p->predicate(), nullptr);
+  EXPECT_EQ(p->predicate()->kind(), Predicate::Kind::kCompare);
+  EXPECT_EQ(p->predicate()->sel(), MapSel::kOut);
+  EXPECT_EQ(p->predicate()->attr(), "balance");
+  EXPECT_EQ(p->predicate()->cmp(), CmpOp::kGt);
+  EXPECT_EQ(p->predicate()->literal(), Value{std::int64_t{5000}});
+}
+
+TEST(ParserTest, PredicateWithStringContainingBracket) {
+  const PatternPtr p = parse_pattern("a[note = \"odd ] bracket\"] -> b");
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  ASSERT_NE(p->left()->predicate(), nullptr);
+}
+
+TEST(ParserTest, PredicateOnNegatedAtom) {
+  const PatternPtr p = parse_pattern("!a[exists out.x]");
+  EXPECT_TRUE(p->negated());
+  EXPECT_NE(p->predicate(), nullptr);
+}
+
+TEST(ParserTest, ComplexQueryFromPaper) {
+  const PatternPtr p = parse_pattern("UpdateRefer -> GetReimburse");
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  EXPECT_EQ(p->left()->activity(), "UpdateRefer");
+  EXPECT_EQ(p->right()->activity(), "GetReimburse");
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  const PatternPtr a = parse_pattern("a->b|c");
+  const PatternPtr b = parse_pattern("  a  ->  b  |  c  ");
+  EXPECT_TRUE(a->structurally_equal(*b));
+}
+
+// ----- errors -----------------------------------------------------------
+
+TEST(ParserErrorTest, EmptyInput) {
+  EXPECT_THROW(parse_pattern(""), ParseError);
+  EXPECT_THROW(parse_pattern("   "), ParseError);
+}
+
+TEST(ParserErrorTest, TrailingOperator) {
+  EXPECT_THROW(parse_pattern("a ->"), ParseError);
+  EXPECT_THROW(parse_pattern("a |"), ParseError);
+}
+
+TEST(ParserErrorTest, LeadingOperator) {
+  EXPECT_THROW(parse_pattern("-> a"), ParseError);
+}
+
+TEST(ParserErrorTest, DoubleOperator) {
+  EXPECT_THROW(parse_pattern("a -> -> b"), ParseError);
+  EXPECT_THROW(parse_pattern("a | | b"), ParseError);
+}
+
+TEST(ParserErrorTest, AdjacentOperands) {
+  EXPECT_THROW(parse_pattern("a b"), ParseError);
+}
+
+TEST(ParserErrorTest, UnbalancedParens) {
+  EXPECT_THROW(parse_pattern("(a -> b"), ParseError);
+  EXPECT_THROW(parse_pattern("a -> b)"), ParseError);
+  EXPECT_THROW(parse_pattern("()"), ParseError);
+}
+
+TEST(ParserErrorTest, NegationOfParenthesizedPattern) {
+  // Definition 3 allows only atomic negation.
+  EXPECT_THROW(parse_pattern("!(a -> b)"), ParseError);
+}
+
+TEST(ParserErrorTest, UnterminatedPredicate) {
+  EXPECT_THROW(parse_pattern("a[x > 5"), ParseError);
+}
+
+TEST(ParserErrorTest, DanglingPredicate) {
+  EXPECT_THROW(parse_pattern("[x > 5]"), ParseError);
+}
+
+TEST(ParserErrorTest, BadPredicateContent) {
+  EXPECT_THROW(parse_pattern("a[>>]"), ParseError);
+  EXPECT_THROW(parse_pattern("a[x >]"), ParseError);
+  EXPECT_THROW(parse_pattern("a[x 5]"), ParseError);
+}
+
+TEST(ParserErrorTest, UnknownCharacter) {
+  EXPECT_THROW(parse_pattern("a %% b"), ParseError);
+}
+
+TEST(ParserErrorTest, SingleDashIsError) {
+  EXPECT_THROW(parse_pattern("a - b"), ParseError);
+}
+
+TEST(ParserErrorTest, OffsetReported) {
+  try {
+    parse_pattern("abc $");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 4u);
+  }
+}
+
+// ----- round trip through printer --------------------------------------
+
+TEST(ParserRoundTripTest, TextFormsStable) {
+  const char* sources[] = {
+      "a",
+      "!a",
+      "a -> b",
+      "a . b . c",
+      "a -> (b -> c)",
+      "(a | b) & c",
+      "a | b | c & d",
+      "GetRefer[out.balance > 5000] -> GetReimburse",
+      "(a . b) -> (c | !d)",
+      "a & b & c",
+  };
+  for (const char* src : sources) {
+    const PatternPtr p = parse_pattern(src);
+    const std::string text = to_text(*p);
+    const PatternPtr q = parse_pattern(text);
+    EXPECT_TRUE(p->structurally_equal(*q)) << src << " -> " << text;
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,155 @@
+#include "core/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace wflog {
+namespace {
+
+using namespace dsl;
+
+TEST(PatternTest, AtomAccessors) {
+  const PatternPtr p = Pattern::atom("GetRefer");
+  EXPECT_TRUE(p->is_atom());
+  EXPECT_EQ(p->op(), PatternOp::kAtom);
+  EXPECT_EQ(p->activity(), "GetRefer");
+  EXPECT_FALSE(p->negated());
+  EXPECT_EQ(p->predicate(), nullptr);
+}
+
+TEST(PatternTest, NegatedAtom) {
+  const PatternPtr p = Pattern::atom("CheckIn", true);
+  EXPECT_TRUE(p->negated());
+  EXPECT_TRUE(p->has_negation());
+}
+
+TEST(PatternTest, InvalidActivityNameRejected) {
+  EXPECT_THROW(Pattern::atom(""), QueryError);
+  EXPECT_THROW(Pattern::atom("9abc"), QueryError);
+  EXPECT_THROW(Pattern::atom("a b"), QueryError);
+}
+
+TEST(PatternTest, CombineRejectsMisuse) {
+  const PatternPtr a = Pattern::atom("a");
+  EXPECT_THROW(Pattern::combine(PatternOp::kAtom, a, a), QueryError);
+  EXPECT_THROW(Pattern::combine(PatternOp::kChoice, a, nullptr), QueryError);
+}
+
+TEST(PatternTest, DslBuildsExpectedShape) {
+  const PatternPtr p = A("a") >> (A("b") | N("c"));
+  EXPECT_EQ(p->op(), PatternOp::kSequential);
+  EXPECT_EQ(p->left()->activity(), "a");
+  EXPECT_EQ(p->right()->op(), PatternOp::kChoice);
+  EXPECT_TRUE(p->right()->right()->negated());
+}
+
+TEST(PatternTest, MeasuresSingleAtom) {
+  const PatternPtr p = A("a");
+  EXPECT_EQ(p->num_operators(), 0u);
+  EXPECT_EQ(p->num_atoms(), 1u);
+  EXPECT_EQ(p->height(), 1u);
+  EXPECT_EQ(p->min_incident_size(), 1u);
+  EXPECT_EQ(p->max_incident_size(), 1u);
+}
+
+TEST(PatternTest, MeasuresComposite) {
+  // (a . b) -> (c | d): 3 operators, 4 atoms, height 3.
+  const PatternPtr p = (A("a") + A("b")) >> (A("c") | A("d"));
+  EXPECT_EQ(p->num_operators(), 3u);
+  EXPECT_EQ(p->num_atoms(), 4u);
+  EXPECT_EQ(p->height(), 3u);
+  // Sizes: a.b contributes 2, choice contributes 1 -> [3, 3].
+  EXPECT_EQ(p->min_incident_size(), 3u);
+  EXPECT_EQ(p->max_incident_size(), 3u);
+}
+
+TEST(PatternTest, ChoiceWidensSizeRange) {
+  const PatternPtr p = A("a") | (A("b") + A("c"));
+  EXPECT_EQ(p->min_incident_size(), 1u);
+  EXPECT_EQ(p->max_incident_size(), 2u);
+}
+
+TEST(PatternTest, ActivityMultisetSortedWithDuplicates) {
+  const PatternPtr p = (A("b") >> A("a")) & A("b");
+  EXPECT_EQ(p->activity_multiset(),
+            (std::vector<std::string>{"a", "b", "b"}));
+}
+
+TEST(PatternTest, ActivityMultisetMarksNegation) {
+  const PatternPtr p = N("a") >> A("a");
+  EXPECT_EQ(p->activity_multiset(), (std::vector<std::string>{"!a", "a"}));
+}
+
+TEST(PatternTest, StructuralEqualityIdentical) {
+  const PatternPtr p = A("a") >> (A("b") | A("c"));
+  const PatternPtr q = A("a") >> (A("b") | A("c"));
+  EXPECT_TRUE(p->structurally_equal(*q));
+  EXPECT_EQ(p->hash(), q->hash());
+}
+
+TEST(PatternTest, StructuralEqualityDistinguishesShape) {
+  const PatternPtr p = (A("a") >> A("b")) >> A("c");
+  const PatternPtr q = A("a") >> (A("b") >> A("c"));
+  EXPECT_FALSE(p->structurally_equal(*q));
+}
+
+TEST(PatternTest, StructuralEqualityDistinguishesOps) {
+  EXPECT_FALSE((A("a") >> A("b"))->structurally_equal(*(A("a") + A("b"))));
+  EXPECT_FALSE((A("a") | A("b"))->structurally_equal(*(A("a") & A("b"))));
+}
+
+TEST(PatternTest, StructuralEqualityDistinguishesNegation) {
+  EXPECT_FALSE(A("a")->structurally_equal(*N("a")));
+}
+
+TEST(PatternTest, StructuralEqualityDistinguishesPredicates) {
+  const PredicatePtr pred =
+      Predicate::compare(MapSel::kOut, "balance", CmpOp::kGt,
+                         Value{std::int64_t{5000}});
+  const PatternPtr with = Pattern::atom("a", false, pred);
+  const PatternPtr without = Pattern::atom("a");
+  EXPECT_FALSE(with->structurally_equal(*without));
+  EXPECT_TRUE(with->has_predicate());
+}
+
+TEST(PatternTest, FlagsPropagate) {
+  const PatternPtr p = (A("a") | A("b")) >> N("c");
+  EXPECT_TRUE(p->has_choice());
+  EXPECT_TRUE(p->has_negation());
+  EXPECT_FALSE(p->has_predicate());
+  EXPECT_FALSE((A("a") >> A("b"))->has_choice());
+}
+
+// ----- needs_choice_dedup ----------------------------------------------
+
+TEST(ChoiceDedupTest, EqualMultisetsNeedDedup) {
+  const PatternPtr l = A("a") >> A("b");
+  const PatternPtr r = A("b") >> A("a");
+  EXPECT_TRUE(needs_choice_dedup(*l, *r));
+}
+
+TEST(ChoiceDedupTest, DifferentMultisetsSkipDedup) {
+  EXPECT_FALSE(needs_choice_dedup(*A("a"), *A("b")));
+  EXPECT_FALSE(
+      needs_choice_dedup(*(A("a") >> A("b")), *(A("a") >> A("c"))));
+}
+
+TEST(ChoiceDedupTest, DisjointSizeRangesSkipDedup) {
+  EXPECT_FALSE(needs_choice_dedup(*A("a"), *(A("a") >> A("a"))));
+}
+
+TEST(ChoiceDedupTest, NegationForcesConservativeDedup) {
+  // ¬b can match an "a" record, so "a" and "¬b" may share incidents even
+  // though their multisets differ.
+  EXPECT_TRUE(needs_choice_dedup(*A("a"), *N("b")));
+}
+
+TEST(ChoiceDedupTest, NestedChoiceForcesConservativeDedup) {
+  const PatternPtr l = A("a") >> (A("b") | A("c"));
+  const PatternPtr r = A("a") >> A("b");
+  EXPECT_TRUE(needs_choice_dedup(*l, *r));
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,143 @@
+#include "core/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+
+namespace wflog {
+namespace {
+
+/// One record with configurable maps, plus the interner to resolve names.
+struct Fixture {
+  Interner interner;
+  LogRecord record;
+
+  Fixture() {
+    record.activity = interner.intern("PayTreatment");
+    record.in.set(interner.intern("referState"), Value{"active"});
+    record.in.set(interner.intern("balance"), Value{std::int64_t{1000}});
+    record.out.set(interner.intern("receipt1"), Value{std::int64_t{560}});
+    record.out.set(interner.intern("balance"), Value{std::int64_t{440}});
+    record.out.set(interner.intern("flag"), Value{true});
+  }
+
+  bool eval(const PredicatePtr& p) const {
+    return p->eval(record, interner);
+  }
+};
+
+TEST(PredicateTest, CompareOnInputMap) {
+  Fixture f;
+  EXPECT_TRUE(f.eval(Predicate::compare(MapSel::kIn, "referState", CmpOp::kEq,
+                                        Value{"active"})));
+  EXPECT_FALSE(f.eval(Predicate::compare(MapSel::kIn, "referState",
+                                         CmpOp::kEq, Value{"start"})));
+}
+
+TEST(PredicateTest, CompareOnOutputMap) {
+  Fixture f;
+  EXPECT_TRUE(f.eval(Predicate::compare(MapSel::kOut, "receipt1", CmpOp::kGt,
+                                        Value{std::int64_t{500}})));
+  EXPECT_FALSE(f.eval(Predicate::compare(MapSel::kOut, "receipt1", CmpOp::kGt,
+                                         Value{std::int64_t{560}})));
+}
+
+TEST(PredicateTest, AnySelPrefersOutput) {
+  Fixture f;
+  // balance is 1000 in αin but 440 in αout; kAny reads αout first.
+  EXPECT_TRUE(f.eval(Predicate::compare(MapSel::kAny, "balance", CmpOp::kEq,
+                                        Value{std::int64_t{440}})));
+}
+
+TEST(PredicateTest, AnySelFallsBackToInput) {
+  Fixture f;
+  EXPECT_TRUE(f.eval(Predicate::compare(MapSel::kAny, "referState",
+                                        CmpOp::kEq, Value{"active"})));
+}
+
+TEST(PredicateTest, MissingAttributeFailsComparison) {
+  Fixture f;
+  EXPECT_FALSE(f.eval(Predicate::compare(MapSel::kIn, "nonexistent",
+                                         CmpOp::kEq, Value{std::int64_t{0}})));
+  EXPECT_FALSE(f.eval(Predicate::compare(MapSel::kOut, "referState",
+                                         CmpOp::kEq, Value{"active"})));
+}
+
+TEST(PredicateTest, AllComparisonOps) {
+  Fixture f;
+  auto cmp = [&](CmpOp op, std::int64_t lit) {
+    return f.eval(
+        Predicate::compare(MapSel::kOut, "receipt1", op, Value{lit}));
+  };
+  EXPECT_TRUE(cmp(CmpOp::kEq, 560));
+  EXPECT_TRUE(cmp(CmpOp::kNe, 561));
+  EXPECT_TRUE(cmp(CmpOp::kLt, 561));
+  EXPECT_TRUE(cmp(CmpOp::kLe, 560));
+  EXPECT_TRUE(cmp(CmpOp::kGt, 559));
+  EXPECT_TRUE(cmp(CmpOp::kGe, 560));
+  EXPECT_FALSE(cmp(CmpOp::kLt, 560));
+  EXPECT_FALSE(cmp(CmpOp::kGt, 560));
+}
+
+TEST(PredicateTest, NumericComparisonAcrossIntDouble) {
+  Fixture f;
+  EXPECT_TRUE(f.eval(
+      Predicate::compare(MapSel::kOut, "receipt1", CmpOp::kGt, Value{559.5})));
+}
+
+TEST(PredicateTest, Exists) {
+  Fixture f;
+  EXPECT_TRUE(f.eval(Predicate::exists(MapSel::kOut, "receipt1")));
+  EXPECT_FALSE(f.eval(Predicate::exists(MapSel::kIn, "receipt1")));
+  EXPECT_TRUE(f.eval(Predicate::exists(MapSel::kAny, "receipt1")));
+  EXPECT_FALSE(f.eval(Predicate::exists(MapSel::kAny, "ghost")));
+}
+
+TEST(PredicateTest, LogicalConnectives) {
+  Fixture f;
+  const PredicatePtr t = Predicate::exists(MapSel::kOut, "receipt1");
+  const PredicatePtr ff = Predicate::exists(MapSel::kOut, "ghost");
+  EXPECT_TRUE(f.eval(Predicate::logical_and(t, t)));
+  EXPECT_FALSE(f.eval(Predicate::logical_and(t, ff)));
+  EXPECT_TRUE(f.eval(Predicate::logical_or(ff, t)));
+  EXPECT_FALSE(f.eval(Predicate::logical_or(ff, ff)));
+  EXPECT_TRUE(f.eval(Predicate::logical_not(ff)));
+  EXPECT_FALSE(f.eval(Predicate::logical_not(t)));
+}
+
+TEST(PredicateTest, UnknownAttributeNameNeverInterned) {
+  // The interner has never seen "zzz"; lookups must not crash.
+  Fixture f;
+  EXPECT_FALSE(f.eval(Predicate::compare(MapSel::kAny, "zzz", CmpOp::kEq,
+                                         Value{std::int64_t{1}})));
+}
+
+TEST(PredicateTest, EqualsAndHash) {
+  const PredicatePtr a = Predicate::compare(MapSel::kOut, "balance",
+                                            CmpOp::kGt, Value{std::int64_t{5000}});
+  const PredicatePtr b = Predicate::compare(MapSel::kOut, "balance",
+                                            CmpOp::kGt, Value{std::int64_t{5000}});
+  const PredicatePtr c = Predicate::compare(MapSel::kIn, "balance",
+                                            CmpOp::kGt, Value{std::int64_t{5000}});
+  EXPECT_TRUE(a->equals(*b));
+  EXPECT_EQ(a->hash(), b->hash());
+  EXPECT_FALSE(a->equals(*c));
+}
+
+TEST(PredicateTest, ToStringRoundTripsThroughParser) {
+  const char* sources[] = {
+      "out.balance > 5000",
+      "in.referState = \"active\"",
+      "(out.flag = true && in.balance >= 1000)",
+      "(exists out.receipt1 || !(in.balance < 500))",
+      "amount != 3.5",
+  };
+  for (const char* src : sources) {
+    const PredicatePtr p = parse_predicate(src);
+    const PredicatePtr q = parse_predicate(p->to_string());
+    EXPECT_TRUE(p->equals(*q)) << src << " -> " << p->to_string();
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,104 @@
+#include "core/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using namespace dsl;
+
+Log small_log() { return testing::make_log("a b c"); }
+
+TEST(PrinterTest, AtomText) {
+  EXPECT_EQ(to_text(*A("GetRefer")), "GetRefer");
+  EXPECT_EQ(to_text(*N("CheckIn")), "!CheckIn");
+}
+
+TEST(PrinterTest, AtomWithPredicate) {
+  const PatternPtr p = parse_pattern("a[out.balance > 5000]");
+  EXPECT_EQ(to_text(*p), "a[out.balance > 5000]");
+}
+
+TEST(PrinterTest, FlatLeftAssociativeChainHasNoParens) {
+  const PatternPtr p = (A("a") >> A("b")) >> A("c");
+  EXPECT_EQ(to_text(*p), "a -> b -> c");
+}
+
+TEST(PrinterTest, RightNestingKeepsParens) {
+  const PatternPtr p = A("a") >> (A("b") >> A("c"));
+  EXPECT_EQ(to_text(*p), "a -> (b -> c)");
+}
+
+TEST(PrinterTest, PrecedenceParens) {
+  const PatternPtr p = (A("a") | A("b")) & A("c");
+  EXPECT_EQ(to_text(*p), "(a | b) & c");
+  // & binds tighter than |, so the right child needs no parentheses.
+  const PatternPtr q = A("a") | (A("b") & A("c"));
+  EXPECT_EQ(to_text(*q), "a | b & c");
+}
+
+TEST(PrinterTest, MixedTemporalOperatorsKeepStructure) {
+  const PatternPtr p = (A("a") + A("b")) >> A("c");
+  EXPECT_EQ(to_text(*p), "a . b -> c");
+  const PatternPtr q = A("a") + (A("b") >> A("c"));
+  EXPECT_EQ(to_text(*q), "a . (b -> c)");
+}
+
+TEST(PrinterTest, TreeStringMatchesFigure4Shape) {
+  // SeeDoctor -> (UpdateRefer -> GetReimburse): root sequential with
+  // SeeDoctor leaf and a sequential subtree — the paper's Figure 4.
+  const PatternPtr p =
+      parse_pattern("SeeDoctor -> (UpdateRefer -> GetReimburse)");
+  const std::string tree = to_tree_string(*p);
+  EXPECT_EQ(tree,
+            "[->]\n"
+            "|-- SeeDoctor\n"
+            "`-- [->]\n"
+            "    |-- UpdateRefer\n"
+            "    `-- GetReimburse\n");
+}
+
+TEST(PrinterTest, TreeStringDeepNesting) {
+  const PatternPtr p = parse_pattern("(a . b) | !c");
+  const std::string tree = to_tree_string(*p);
+  EXPECT_EQ(tree,
+            "[|]\n"
+            "|-- [.]\n"
+            "|   |-- a\n"
+            "|   `-- b\n"
+            "`-- !c\n");
+}
+
+TEST(PrinterTest, RenderIncidentResolvesRecords) {
+  const Log log = small_log();
+  const LogIndex index(log);
+  const Incident o = testing::inc(1, {2, 3});
+  const std::string s = render_incident(o, index);
+  EXPECT_NE(s.find("wid=1"), std::string::npos);
+  EXPECT_NE(s.find("l2"), std::string::npos);
+}
+
+TEST(PrinterTest, RenderIncidentSetSummaryLine) {
+  const Log log = small_log();
+  const LogIndex index(log);
+  IncidentSet set;
+  set.add_group(1, {testing::inc(1, {2})});
+  const std::string s = render_incident_set(set, index);
+  EXPECT_NE(s.find("1 incident(s) in 1 instance(s)"), std::string::npos);
+}
+
+TEST(PrinterTest, RenderIncidentSetHonorsLimit) {
+  const Log log = small_log();
+  const LogIndex index(log);
+  IncidentSet set;
+  set.add_group(1, {testing::inc(1, {1}), testing::inc(1, {2}),
+                    testing::inc(1, {3})});
+  const std::string s = render_incident_set(set, index, 1);
+  EXPECT_NE(s.find("... (2 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wflog

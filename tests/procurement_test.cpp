@@ -1,0 +1,119 @@
+#include "workflow/procurement.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compliance.h"
+#include "core/engine.h"
+#include "log/validate.h"
+
+namespace wflog {
+namespace {
+
+TEST(ProcurementTest, SimulatesToValidLog) {
+  const Log log = procurement_log(100, 11);
+  EXPECT_EQ(log.wids().size(), 100u);
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+}
+
+TEST(ProcurementTest, GoodsAndInvoiceBranchesRunConcurrently) {
+  const Log log = procurement_log(200, 7);
+  QueryEngine engine(log);
+  // Both orders occur across the log: the AND block interleaves freely.
+  EXPECT_TRUE(engine.exists("ReceiveGoods -> ReceiveInvoice"));
+  EXPECT_TRUE(engine.exists("ReceiveInvoice -> ReceiveGoods"));
+  // The ⊕ operator captures the concurrent pair per instance.
+  const std::size_t pairs = engine.count("ReceiveGoods & ReceiveInvoice");
+  EXPECT_GE(pairs, 190u);  // every non-abandoned instance has both
+}
+
+TEST(ProcurementTest, MatchWaitsForBothBranches) {
+  const Log log = procurement_log(150, 5);
+  QueryEngine engine(log);
+  // The first match of every instance directly follows the later of the
+  // two AND branches: the ⊙-with-⊕ pattern finds it.
+  EXPECT_TRUE(
+      engine.exists("(InspectGoods & VerifyInvoice) . MatchThreeWay"));
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {Rule::precedence("ReceiveGoods", "MatchThreeWay"),
+       Rule::precedence("ReceiveInvoice", "MatchThreeWay"),
+       Rule::precedence("ApprovePO", "ReceiveGoods"),
+       Rule::init("CreatePO")},
+      index);
+  EXPECT_TRUE(report.compliant()) << report.to_string();
+}
+
+TEST(ProcurementTest, DisputesRematch) {
+  ProcurementOptions opts;
+  opts.dispute_rate = 0.8;  // force plenty of disputes
+  const Log log = procurement_log(150, 23, opts);
+  QueryEngine engine(log);
+  EXPECT_TRUE(engine.exists("Dispute"));
+  // Every dispute is eventually followed by another match attempt.
+  const LogIndex index(log);
+  const ComplianceReport report = check_compliance(
+      {Rule::response("Dispute", "MatchThreeWay")}, index);
+  EXPECT_TRUE(report.compliant()) << report.to_string();
+}
+
+TEST(ProcurementTest, MaverickPaymentsDetectable) {
+  ProcurementOptions opts;
+  opts.maverick_rate = 0.5;
+  const Log log = procurement_log(200, 9, opts);
+  QueryEngine engine(log);
+  // Maverick = Pay immediately after MatchThreeWay (no ApprovePayment).
+  EXPECT_TRUE(engine.exists("MatchThreeWay . Pay"));
+  const LogIndex index(log);
+  const RuleResult precedence =
+      check_compliance({Rule::precedence("ApprovePayment", "Pay")}, index)
+          .results.at(0);
+  EXPECT_GT(precedence.instances_violating, 0u);
+
+  ProcurementOptions clean;
+  clean.maverick_rate = 0.0;
+  const Log clean_log = procurement_log(200, 9, clean);
+  const LogIndex clean_index(clean_log);
+  const RuleResult clean_precedence =
+      check_compliance({Rule::precedence("ApprovePayment", "Pay")},
+                       clean_index)
+          .results.at(0);
+  EXPECT_EQ(clean_precedence.instances_violating, 0u);
+}
+
+TEST(ProcurementTest, DuplicatePaymentsDetectable) {
+  ProcurementOptions opts;
+  opts.duplicate_pay_rate = 0.4;
+  const Log log = procurement_log(200, 31, opts);
+  QueryEngine engine(log);
+  EXPECT_TRUE(engine.exists("Pay . Pay"));
+  const LogIndex index(log);
+  const RuleResult absence =
+      check_compliance({Rule::absence("Pay", 2)}, index).results.at(0);
+  EXPECT_GT(absence.instances_violating, 0u);
+}
+
+TEST(ProcurementTest, PredicateQueriesOnAmounts) {
+  const Log log = procurement_log(150, 3);
+  QueryEngine engine(log);
+  // Large POs that ended up disputed.
+  const QueryResult r =
+      engine.run("CreatePO[out.poAmount > 5000] -> Dispute");
+  // Every incident's CreatePO really carries a large amount: re-verify via
+  // the unpredicated superset.
+  EXPECT_LE(r.total(), engine.count("CreatePO -> Dispute"));
+}
+
+TEST(ProcurementTest, DeterministicForSeed) {
+  const Log a = procurement_log(40, 77);
+  const Log b = procurement_log(40, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    EXPECT_EQ(a.record(i).wid, b.record(i).wid);
+    EXPECT_EQ(a.activity_name(a.record(i).activity),
+              b.activity_name(b.record(i).activity));
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,79 @@
+#include "log/record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+
+namespace wflog {
+namespace {
+
+TEST(AttrMapTest, EmptyByDefault) {
+  AttrMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.get(0), nullptr);
+}
+
+TEST(AttrMapTest, SetAndGet) {
+  AttrMap m;
+  m.set(1, Value{std::int64_t{1000}});
+  ASSERT_NE(m.get(1), nullptr);
+  EXPECT_EQ(*m.get(1), Value{std::int64_t{1000}});
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+}
+
+TEST(AttrMapTest, SetOverwrites) {
+  AttrMap m;
+  m.set(1, Value{"start"});
+  m.set(1, Value{"active"});
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.get(1), Value{"active"});
+}
+
+TEST(AttrMapTest, PreservesInsertionOrder) {
+  AttrMap m;
+  m.set(5, Value{std::int64_t{1}});
+  m.set(2, Value{std::int64_t{2}});
+  m.set(9, Value{std::int64_t{3}});
+  std::vector<Symbol> order;
+  for (const AttrEntry& e : m) order.push_back(e.attr);
+  EXPECT_EQ(order, (std::vector<Symbol>{5, 2, 9}));
+}
+
+TEST(AttrMapTest, Equality) {
+  AttrMap a;
+  a.set(1, Value{"x"});
+  AttrMap b;
+  b.set(1, Value{"x"});
+  EXPECT_EQ(a, b);
+  b.set(2, Value{"y"});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(LogRecordTest, PaperAccessorFunctions) {
+  Interner in;
+  LogRecord l;
+  l.lsn = 4;
+  l.wid = 1;
+  l.is_lsn = 3;
+  l.activity = in.intern("CheckIn");
+  l.in.set(in.intern("referId"), Value{"034d1"});
+  l.out.set(in.intern("referState"), Value{"active"});
+
+  // Example 1 of the paper.
+  EXPECT_EQ(lsn(l), 4u);
+  EXPECT_EQ(wid(l), 1u);
+  EXPECT_EQ(is_lsn(l), 3u);
+  EXPECT_EQ(act(l), in.find("CheckIn"));
+  EXPECT_EQ(*alpha_in(l).get(in.find("referId")), Value{"034d1"});
+  EXPECT_EQ(*alpha_out(l).get(in.find("referState")), Value{"active"});
+}
+
+TEST(LogRecordTest, SentinelNames) {
+  EXPECT_EQ(kStartActivity, "START");
+  EXPECT_EQ(kEndActivity, "END");
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,185 @@
+#include "core/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "log/builder.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using namespace dsl;
+
+PatternPtr P(const char* text) { return parse_pattern(text); }
+
+void expect_tree(const PatternPtr& p, const char* text) {
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(to_text(*p), text);
+}
+
+// ----- rotations ---------------------------------------------------------
+
+TEST(RewriterTest, RotateRightSameOperator) {
+  expect_tree(rewrite::rotate_right(*P("(a -> b) -> c")), "a -> (b -> c)");
+  expect_tree(rewrite::rotate_right(*P("(a | b) | c")), "a | (b | c)");
+  expect_tree(rewrite::rotate_right(*P("(a & b) & c")), "a & (b & c)");
+  expect_tree(rewrite::rotate_right(*P("(a . b) . c")), "a . (b . c)");
+}
+
+TEST(RewriterTest, RotateLeftSameOperator) {
+  expect_tree(rewrite::rotate_left(*P("a -> (b -> c)")), "a -> b -> c");
+}
+
+TEST(RewriterTest, RotateAcrossTemporalOperators) {
+  // Theorem 4: . and -> reassociate across each other, operators keeping
+  // their operand boundaries.
+  expect_tree(rewrite::rotate_right(*P("(a . b) -> c")), "a . (b -> c)");
+  expect_tree(rewrite::rotate_right(*P("(a -> b) . c")), "a -> (b . c)");
+  expect_tree(rewrite::rotate_left(*P("a . (b -> c)")), "a . b -> c");
+}
+
+TEST(RewriterTest, RotateRefusesMixedNonTemporal) {
+  EXPECT_EQ(rewrite::rotate_right(*P("(a | b) & c")), nullptr);
+  EXPECT_EQ(rewrite::rotate_right(*P("(a -> b) | c")), nullptr);
+  EXPECT_EQ(rewrite::rotate_left(*P("a & (b | c)")), nullptr);
+}
+
+TEST(RewriterTest, RotateRefusesAtomChild) {
+  EXPECT_EQ(rewrite::rotate_right(*P("a -> b")), nullptr);
+  EXPECT_EQ(rewrite::rotate_left(*P("a -> b")), nullptr);
+  EXPECT_EQ(rewrite::rotate_right(*P("a")), nullptr);
+}
+
+// ----- commute -----------------------------------------------------------
+
+TEST(RewriterTest, CommuteChoiceAndParallel) {
+  expect_tree(rewrite::commute(*P("a | b")), "b | a");
+  expect_tree(rewrite::commute(*P("a & b")), "b & a");
+}
+
+TEST(RewriterTest, CommuteRefusesTemporal) {
+  EXPECT_EQ(rewrite::commute(*P("a -> b")), nullptr);
+  EXPECT_EQ(rewrite::commute(*P("a . b")), nullptr);
+  EXPECT_EQ(rewrite::commute(*P("a")), nullptr);
+}
+
+// ----- distribute / factor ----------------------------------------------
+
+TEST(RewriterTest, DistributeLeft) {
+  // (-> and & bind tighter than |, so the printer needs no parentheses.)
+  expect_tree(rewrite::distribute_left(*P("a -> (b | c)")),
+              "a -> b | a -> c");
+  expect_tree(rewrite::distribute_left(*P("a & (b | c)")),
+              "a & b | a & c");
+  expect_tree(rewrite::distribute_left(*P("a . (b | c)")),
+              "a . b | a . c");
+}
+
+TEST(RewriterTest, DistributeRight) {
+  expect_tree(rewrite::distribute_right(*P("(a | b) -> c")),
+              "a -> c | b -> c");
+}
+
+TEST(RewriterTest, DistributeRefusesWithoutChoiceChild) {
+  EXPECT_EQ(rewrite::distribute_left(*P("a -> (b & c)")), nullptr);
+  EXPECT_EQ(rewrite::distribute_right(*P("(a & b) -> c")), nullptr);
+  EXPECT_EQ(rewrite::distribute_left(*P("a | (b | c)")), nullptr);
+}
+
+TEST(RewriterTest, FactorSharedLeftOperand) {
+  expect_tree(rewrite::factor(*P("(a -> b) | (a -> c)")), "a -> (b | c)");
+}
+
+TEST(RewriterTest, FactorSharedRightOperand) {
+  expect_tree(rewrite::factor(*P("(a -> c) | (b -> c)")), "(a | b) -> c");
+}
+
+TEST(RewriterTest, FactorRefusesMismatchedOperators) {
+  EXPECT_EQ(rewrite::factor(*P("(a -> b) | (a . c)")), nullptr);
+  EXPECT_EQ(rewrite::factor(*P("(a -> b) & (a -> c)")), nullptr);
+  EXPECT_EQ(rewrite::factor(*P("(a -> b) | (c -> d)")), nullptr);
+}
+
+TEST(RewriterTest, FactorIsInverseOfDistribute) {
+  const PatternPtr original = P("a -> (b | c)");
+  const PatternPtr distributed = rewrite::distribute_left(*original);
+  ASSERT_NE(distributed, nullptr);
+  const PatternPtr back = rewrite::factor(*distributed);
+  ASSERT_NE(back, nullptr);
+  EXPECT_TRUE(back->structurally_equal(*original));
+}
+
+// ----- neighbors ---------------------------------------------------------
+
+TEST(NeighborsTest, AtomHasNoNeighbors) {
+  EXPECT_TRUE(rewrite::neighbors(P("a")).empty());
+}
+
+TEST(NeighborsTest, FindsNestedSites) {
+  // (a -> b) -> (c | d): rotations at root, distribute at root,
+  // commute at right child...
+  const PatternPtr p = P("(a -> b) -> (c | d)");
+  const auto steps = rewrite::neighbors(p);
+  EXPECT_GE(steps.size(), 3u);
+  bool found_commute_inner = false;
+  for (const auto& s : steps) {
+    if (s.rule.find("commute@root.R") != std::string::npos) {
+      found_commute_inner = true;
+    }
+  }
+  EXPECT_TRUE(found_commute_inner);
+}
+
+TEST(NeighborsTest, ResultsAreDistinctAndNotSelf) {
+  const PatternPtr p = P("(a | a) | a");
+  const auto steps = rewrite::neighbors(p);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_FALSE(steps[i].result->structurally_equal(*p));
+    for (std::size_t j = i + 1; j < steps.size(); ++j) {
+      EXPECT_FALSE(steps[i].result->structurally_equal(*steps[j].result));
+    }
+  }
+}
+
+// Every neighbor must be semantically equivalent (the laws are sound) —
+// property-tested over random logs and a battery of patterns.
+class NeighborSoundnessTest : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(NeighborSoundnessTest, NeighborsPreserveIncidentSets) {
+  Rng rng(7);
+  LogBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    const Wid w = b.begin_instance();
+    const std::size_t len = 4 + rng.index(4);
+    for (std::size_t j = 0; j < len; ++j) {
+      b.append(w, std::string(1, static_cast<char>('a' + rng.index(4))));
+    }
+    b.end_instance(w);
+  }
+  const Log log = b.build();
+  LogIndex index(log);
+  Evaluator ev(index);
+
+  const PatternPtr p = parse_pattern(GetParam());
+  const IncidentList expected = ev.evaluate(*p).flatten();
+  for (const auto& step : rewrite::neighbors(p)) {
+    EXPECT_EQ(ev.evaluate(*step.result).flatten(), expected)
+        << GetParam() << " rewritten by " << step.rule << " to "
+        << to_text(*step.result);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, NeighborSoundnessTest,
+    ::testing::Values("(a -> b) -> c", "a -> (b | c)", "(a | b) & c",
+                      "(a . b) -> (c | d)", "(a -> b) | (a -> c)",
+                      "((a | b) | c) & d", "(a & b) & (c | !d)",
+                      "(a . b) . (c . d)", "(!a -> b) | (!a -> c)"));
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,282 @@
+#include "workflow/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "log/index.h"
+#include "log/stats.h"
+#include "log/validate.h"
+#include "workflow/random_model.h"
+
+namespace wflog {
+namespace {
+
+WorkflowModel linear_model() {
+  WorkflowModel m("linear");
+  const auto a = m.add_task("a");
+  const auto b = m.add_task("b");
+  const auto c = m.add_task("c");
+  const auto t = m.add_terminal();
+  m.connect(a, b);
+  m.connect(b, c);
+  m.connect(c, t);
+  return m;
+}
+
+std::vector<LogRecord> records_of(const Log& log) {
+  return {log.begin(), log.end()};
+}
+
+TEST(SimulatorTest, LinearModelProducesExpectedTrace) {
+  SimOptions o;
+  o.num_instances = 1;
+  const Log log = simulate(linear_model(), o);
+  ASSERT_EQ(log.size(), 5u);  // START a b c END
+  const char* expected[] = {"START", "a", "b", "c", "END"};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(log.activity_name(log.record(i + 1).activity), expected[i]);
+  }
+}
+
+TEST(SimulatorTest, ProducesWellFormedLogs) {
+  SimOptions o;
+  o.num_instances = 50;
+  o.interleaving = 0.9;
+  o.validate = false;  // validate explicitly below
+  const Log log = simulate(linear_model(), o);
+  EXPECT_TRUE(check_well_formed(records_of(log), log.interner()).empty());
+}
+
+TEST(SimulatorTest, InstanceCountHonored) {
+  SimOptions o;
+  o.num_instances = 17;
+  const Log log = simulate(linear_model(), o);
+  EXPECT_EQ(log.wids().size(), 17u);
+}
+
+TEST(SimulatorTest, DeterministicForSeed) {
+  SimOptions o;
+  o.num_instances = 10;
+  o.seed = 5;
+  const Log a = simulate(linear_model(), o);
+  const Log b = simulate(linear_model(), o);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    EXPECT_EQ(a.record(i).wid, b.record(i).wid);
+    EXPECT_EQ(a.activity_name(a.record(i).activity),
+              b.activity_name(b.record(i).activity));
+  }
+}
+
+TEST(SimulatorTest, ZeroInterleavingKeepsInstancesContiguous) {
+  SimOptions o;
+  o.num_instances = 5;
+  o.interleaving = 0.0;
+  const Log log = simulate(linear_model(), o);
+  // Instances must appear as contiguous record blocks.
+  Wid prev = 0;
+  std::set<Wid> finished;
+  for (const LogRecord& l : log) {
+    if (l.wid != prev) {
+      EXPECT_FALSE(finished.contains(l.wid));
+      if (prev != 0) finished.insert(prev);
+      prev = l.wid;
+    }
+  }
+}
+
+TEST(SimulatorTest, HighInterleavingMixesInstances) {
+  SimOptions o;
+  o.num_instances = 10;
+  o.interleaving = 1.0;
+  const Log log = simulate(linear_model(), o);
+  std::size_t switches = 0;
+  Wid prev = 0;
+  for (const LogRecord& l : log) {
+    if (prev != 0 && l.wid != prev) ++switches;
+    prev = l.wid;
+  }
+  EXPECT_GT(switches, 10u);
+}
+
+TEST(SimulatorTest, AbandonedInstancesLackEnd) {
+  SimOptions o;
+  o.num_instances = 100;
+  o.abandon_probability = 0.5;
+  o.seed = 3;
+  const Log log = simulate(linear_model(), o);
+  const LogStats s = compute_stats(log);
+  EXPECT_LT(s.num_completed, 80u);
+  EXPECT_GT(s.num_completed, 20u);
+  // Still well-formed.
+  EXPECT_TRUE(check_well_formed(records_of(log), log.interner()).empty());
+}
+
+TEST(SimulatorTest, AttributesFlowThroughStore) {
+  WorkflowModel m("attrs");
+  const auto set = m.add_task("Set", {}, [](Rng&, const AttrStore&) {
+    return AttrWrites{{"x", Value{std::int64_t{7}}}};
+  });
+  const auto get = m.add_task("Get", {"x"}, nullptr);
+  const auto t = m.add_terminal();
+  m.connect(set, get);
+  m.connect(get, t);
+  SimOptions o;
+  o.num_instances = 1;
+  const Log log = simulate(m, o);
+  const LogRecord& get_rec = log.record(3);
+  EXPECT_EQ(log.activity_name(get_rec.activity), "Get");
+  EXPECT_EQ(*get_rec.in.get(log.interner().find("x")),
+            Value{std::int64_t{7}});
+  // Set's own αin must not contain x (it was unset at read time).
+  EXPECT_TRUE(log.record(2).in.empty());
+}
+
+TEST(SimulatorTest, GuardsGateTransitions) {
+  WorkflowModel m("guarded");
+  const auto a = m.add_task("a", {}, [](Rng&, const AttrStore&) {
+    return AttrWrites{{"go", Value{false}}};
+  });
+  const auto yes = m.add_task("yes");
+  const auto no = m.add_task("no");
+  const auto t = m.add_terminal();
+  m.connect(a, yes, 1.0, [](const AttrStore& s) {
+    auto it = s.find("go");
+    return it != s.end() && it->second == Value{true};
+  });
+  m.connect(a, no, 1.0, [](const AttrStore& s) {
+    auto it = s.find("go");
+    return it != s.end() && it->second == Value{false};
+  });
+  m.connect(yes, t);
+  m.connect(no, t);
+  SimOptions o;
+  o.num_instances = 20;
+  const Log log = simulate(m, o);
+  const LogIndex index(log);
+  EXPECT_EQ(index.total_count(log.activity_symbol("no")), 20u);
+  EXPECT_EQ(index.total_count(log.activity_symbol("yes")), 0u);
+}
+
+TEST(SimulatorTest, AndBlockRunsBothBranches) {
+  WorkflowModel m("and");
+  const auto a = m.add_task("a");
+  const auto split = m.add_and_split();
+  const auto b1 = m.add_task("b1");
+  const auto b2 = m.add_task("b2");
+  const auto join = m.add_and_join(2);
+  const auto c = m.add_task("c");
+  const auto t = m.add_terminal();
+  m.connect(a, split);
+  m.connect(split, b1);
+  m.connect(split, b2);
+  m.connect(b1, join);
+  m.connect(b2, join);
+  m.connect(join, c);
+  m.connect(c, t);
+
+  SimOptions o;
+  o.num_instances = 30;
+  o.seed = 11;
+  const Log log = simulate(m, o);
+  const LogIndex index(log);
+  for (Wid wid : log.wids()) {
+    // Each instance: START a {b1,b2 in some order} c END.
+    EXPECT_EQ(index.instance_length(wid), 6u);
+    const auto& b1_occ = index.occurrences(wid, log.activity_symbol("b1"));
+    const auto& b2_occ = index.occurrences(wid, log.activity_symbol("b2"));
+    const auto& c_occ = index.occurrences(wid, log.activity_symbol("c"));
+    ASSERT_EQ(b1_occ.size(), 1u);
+    ASSERT_EQ(b2_occ.size(), 1u);
+    ASSERT_EQ(c_occ.size(), 1u);
+    EXPECT_GT(c_occ[0], b1_occ[0]);  // join waits for both branches
+    EXPECT_GT(c_occ[0], b2_occ[0]);
+  }
+}
+
+TEST(SimulatorTest, AndBranchesOrderVaries) {
+  // Over many instances both b1<b2 and b2<b1 interleavings must occur.
+  WorkflowModel m("and2");
+  const auto split = m.add_and_split();
+  const auto b1 = m.add_task("b1");
+  const auto b2 = m.add_task("b2");
+  const auto join = m.add_and_join(2);
+  const auto t = m.add_terminal();
+  m.connect(split, b1);
+  m.connect(split, b2);
+  m.connect(b1, join);
+  m.connect(b2, join);
+  m.connect(join, t);
+  m.set_entry(split);
+
+  SimOptions o;
+  o.num_instances = 50;
+  o.seed = 23;
+  const Log log = simulate(m, o);
+  const LogIndex index(log);
+  bool b1_first = false;
+  bool b2_first = false;
+  for (Wid wid : log.wids()) {
+    const auto& occ1 = index.occurrences(wid, log.activity_symbol("b1"));
+    const auto& occ2 = index.occurrences(wid, log.activity_symbol("b2"));
+    (occ1[0] < occ2[0] ? b1_first : b2_first) = true;
+  }
+  EXPECT_TRUE(b1_first);
+  EXPECT_TRUE(b2_first);
+}
+
+TEST(SimulatorTest, LoopSafetyBoundsRunaways) {
+  WorkflowModel m("loop");
+  const auto a = m.add_task("a");
+  m.connect(a, a);  // infinite loop
+  SimOptions o;
+  o.num_instances = 2;
+  o.max_records_per_instance = 50;
+  const Log log = simulate(m, o);
+  const LogIndex index(log);
+  for (Wid wid : log.wids()) {
+    EXPECT_LE(index.instance_length(wid), 52u);
+  }
+}
+
+TEST(SimulatorTest, ZeroInstancesRejected) {
+  SimOptions o;
+  o.num_instances = 0;
+  EXPECT_THROW(simulate(linear_model(), o), Error);
+}
+
+TEST(RandomModelTest, GeneratedModelsSimulateToValidLogs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomModelOptions mo;
+    mo.seed = seed;
+    SimOptions so;
+    so.num_instances = 20;
+    so.seed = seed;
+    so.validate = false;
+    const Log log = random_log(mo, so);
+    EXPECT_TRUE(check_well_formed(records_of(log), log.interner()).empty())
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomModelTest, DeterministicModelGeneration) {
+  RandomModelOptions mo;
+  mo.seed = 77;
+  const WorkflowModel a = random_model(mo);
+  const WorkflowModel b = random_model(mo);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.activities(), b.activities());
+}
+
+TEST(RandomModelTest, AlphabetBounded) {
+  RandomModelOptions mo;
+  mo.alphabet_size = 5;
+  mo.chain_length = 30;
+  const WorkflowModel m = random_model(mo);
+  EXPECT_LE(m.activities().size(), 5u);
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,106 @@
+#include "log/slice.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "log/validate.h"
+#include "test_util.h"
+#include "workflow/workload.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+bool well_formed(const Log& log) {
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  return check_well_formed(records, log.interner()).empty();
+}
+
+TEST(SliceTest, FilterInstancesKeepsWholeInstances) {
+  const Log log = make_log("a b ; c d ; e");
+  const Log sliced = filter_instances(log, [](Wid w) { return w != 2; });
+  EXPECT_EQ(sliced.wids(), (std::vector<Wid>{1, 3}));
+  EXPECT_TRUE(well_formed(sliced));
+  // lsns renumbered to 1..|L'|.
+  for (std::size_t i = 1; i <= sliced.size(); ++i) {
+    EXPECT_EQ(sliced.record(i).lsn, i);
+  }
+}
+
+TEST(SliceTest, FilterPreservesWidAndIsLsn) {
+  const Log log = make_log("a b ; c d");
+  const Log sliced = keep_instances(log, std::vector<Wid>{2});
+  EXPECT_EQ(sliced.wids(), (std::vector<Wid>{2}));
+  EXPECT_EQ(sliced.record(1).is_lsn, 1u);
+  EXPECT_EQ(sliced.record(2).is_lsn, 2u);
+}
+
+TEST(SliceTest, EmptySelectionRejected) {
+  const Log log = make_log("a");
+  EXPECT_THROW(filter_instances(log, [](Wid) { return false; }),
+               ValidationError);
+  EXPECT_THROW(keep_instances(log, std::vector<Wid>{99}), ValidationError);
+}
+
+TEST(SliceTest, SampleIsDeterministicAndNonEmpty) {
+  const Log log = workload::random_process(40, 6);
+  const Log a = sample_instances(log, 0.25, 9);
+  const Log b = sample_instances(log, 0.25, 9);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_GT(a.wids().size(), 0u);
+  EXPECT_LT(a.wids().size(), 40u);
+  EXPECT_TRUE(well_formed(a));
+}
+
+TEST(SliceTest, SampleZeroFractionStillKeepsOne) {
+  const Log log = make_log("a ; b ; c");
+  const Log sliced = sample_instances(log, 0.0, 3);
+  EXPECT_EQ(sliced.wids().size(), 1u);
+}
+
+TEST(SliceTest, TruncatePrefixKeepsValidity) {
+  // Interleaved instances cut mid-flight must stay well-formed.
+  const Log log = workload::clinic(20, 44);
+  for (Lsn cut : {Lsn{1}, Lsn{5}, log.size() / 2, log.size()}) {
+    const Log sliced = truncate_at(log, cut);
+    EXPECT_EQ(sliced.size(), std::min<std::size_t>(cut, log.size()));
+    EXPECT_TRUE(well_formed(sliced)) << "cut at " << cut;
+  }
+}
+
+TEST(SliceTest, TruncateMakesInstancesIncomplete) {
+  const Log log = make_log("a b c");
+  const Log sliced = truncate_at(log, 3);  // START a b
+  EXPECT_EQ(sliced.size(), 3u);
+  // No END any more.
+  for (const LogRecord& l : sliced) {
+    EXPECT_NE(l.activity, sliced.end_symbol());
+  }
+}
+
+TEST(SliceTest, TruncateZeroRejected) {
+  const Log log = make_log("a");
+  EXPECT_THROW(truncate_at(log, 0), ValidationError);
+}
+
+TEST(SliceTest, FilterByLength) {
+  const Log log = make_log("a ; a b ; a b c d");
+  // Lengths incl. sentinels: 3, 4, 6.
+  const Log sliced = filter_by_length(log, 4, 5);
+  EXPECT_EQ(sliced.wids(), (std::vector<Wid>{2}));
+}
+
+TEST(SliceTest, SliceThenQueryMatchesSubset) {
+  const Log log = make_log("a b ; b a ; a b");
+  const Log only_13 = keep_instances(log, std::vector<Wid>{1, 3});
+  // "a -> b" matches instances 1 and 3 but not 2.
+  const IncidentList full = testing::eval(log, "a -> b");
+  const IncidentList sub = testing::eval(only_13, "a -> b");
+  EXPECT_EQ(full.size(), 2u);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(full, sub);  // wid/is-lsn preserved -> identical incidents
+}
+
+}  // namespace
+}  // namespace wflog

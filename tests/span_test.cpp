@@ -1,0 +1,97 @@
+// Span-window evaluation (EvalOptions::max_span): CEP-style "within k
+// consecutive positions" constraints, pruned at every operator.
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/parser.h"
+#include "test_util.h"
+#include "workflow/workload.h"
+
+namespace wflog {
+namespace {
+
+using testing::brief;
+using testing::eval;
+using testing::make_log;
+
+TEST(SpanTest, SequentialFilteredBySpan) {
+  const Log log = make_log("a x x b a b");
+  // a at 2, 6; b at 5, 7. Pairs: (2,5) span 3, (2,7) span 5, (6,7) span 1.
+  EvalOptions w2;
+  w2.max_span = 2;
+  const IncidentList tight = eval(log, "a -> b", w2);
+  ASSERT_EQ(tight.size(), 1u);
+  EXPECT_EQ(brief(tight[0]), "w1:6,7");
+
+  EvalOptions w4;
+  w4.max_span = 4;
+  EXPECT_EQ(eval(log, "a -> b", w4).size(), 2u);
+
+  EXPECT_EQ(eval(log, "a -> b").size(), 3u);  // no window
+}
+
+TEST(SpanTest, WindowOfOneKeepsOnlySingletons) {
+  const Log log = make_log("a b");
+  EvalOptions w1;
+  w1.max_span = 1;
+  EXPECT_EQ(eval(log, "a", w1).size(), 1u);      // span 0 passes
+  EXPECT_TRUE(eval(log, "a -> b", w1).empty());  // any pair has span >= 1
+  EXPECT_TRUE(eval(log, "a . b", w1).empty());
+}
+
+TEST(SpanTest, ConsecutivePairsHaveSpanOne) {
+  const Log log = make_log("a b x a x b");
+  EvalOptions w2;
+  w2.max_span = 2;
+  // a.b: only the adjacent pair (2,3).
+  EXPECT_EQ(eval(log, "a . b", w2).size(), 1u);
+}
+
+TEST(SpanTest, AppliesToParallelAndChoice) {
+  const Log log = make_log("a x x x b ; b a");
+  EvalOptions w3;
+  w3.max_span = 3;
+  // Parallel {a,b}: instance 1 span 4 (pruned), instance 2 span 1 (kept).
+  const IncidentList par = eval(log, "a & b", w3);
+  ASSERT_EQ(par.size(), 1u);
+  EXPECT_EQ(par[0].wid(), 2u);
+  // Choice of singletons: spans 0, all kept.
+  EXPECT_EQ(eval(log, "a | b", w3).size(), 4u);
+}
+
+TEST(SpanTest, PruningMatchesPostFiltering) {
+  // Property: windowed evaluation == unwindowed evaluation followed by a
+  // span filter on the final incidents.
+  const Log log = workload::random_process(30, 17);
+  const LogIndex index(log);
+  const char* queries[] = {"A0 -> A1", "A0 -> (A1 | A2)", "(A0 & A1) -> A2",
+                           "A0 . A1 -> A2"};
+  for (IsLsn window : {IsLsn{2}, IsLsn{4}, IsLsn{8}}) {
+    EvalOptions windowed;
+    windowed.max_span = window;
+    for (const char* q : queries) {
+      IncidentList expected = eval(log, q);
+      std::erase_if(expected, [window](const Incident& o) {
+        return o.last() - o.first() >= window;
+      });
+      EXPECT_EQ(eval(log, q, windowed), expected)
+          << q << " window " << window;
+    }
+  }
+}
+
+TEST(SpanTest, CountAndExistsHonorWindow) {
+  const Log log = make_log("a x x b");
+  const LogIndex index(log);
+  EvalOptions w2;
+  w2.max_span = 2;
+  const Evaluator ev(index, w2);
+  // The only a->b pair has span 3: the (window-aware) slow path must be
+  // used instead of the linear DP and report nothing.
+  EXPECT_EQ(ev.count(*parse_pattern("a -> b")), 0u);
+  EXPECT_FALSE(ev.exists(*parse_pattern("a -> b")));
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,61 @@
+#include "log/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+TEST(StatsTest, CountsRecordsAndInstances) {
+  const Log log = make_log("a b ; a ; c d e");
+  const LogStats s = compute_stats(log);
+  EXPECT_EQ(s.num_records, log.size());
+  EXPECT_EQ(s.num_instances, 3u);
+  EXPECT_EQ(s.num_completed, 3u);
+}
+
+TEST(StatsTest, IncompleteInstancesCounted) {
+  const Log log = make_log("a b ; a ...");
+  const LogStats s = compute_stats(log);
+  EXPECT_EQ(s.num_instances, 2u);
+  EXPECT_EQ(s.num_completed, 1u);
+}
+
+TEST(StatsTest, InstanceLengths) {
+  const Log log = make_log("a ; a b c");  // lengths 3 and 5 (sentinels)
+  const LogStats s = compute_stats(log);
+  EXPECT_EQ(s.min_instance_len, 3u);
+  EXPECT_EQ(s.max_instance_len, 5u);
+  EXPECT_DOUBLE_EQ(s.mean_instance_len, 4.0);
+}
+
+TEST(StatsTest, HistogramSortedByCountDesc) {
+  const Log log = make_log("a a a b b c");
+  const LogStats s = compute_stats(log);
+  ASSERT_GE(s.histogram.size(), 3u);
+  for (std::size_t i = 1; i < s.histogram.size(); ++i) {
+    EXPECT_GE(s.histogram[i - 1].count, s.histogram[i].count);
+  }
+  EXPECT_EQ(s.histogram[0].name, "a");
+  EXPECT_EQ(s.histogram[0].count, 3u);
+}
+
+TEST(StatsTest, DistinctActivitiesIncludesSentinels) {
+  const Log log = make_log("a b");
+  const LogStats s = compute_stats(log);
+  EXPECT_EQ(s.num_activities, 4u);  // START END a b
+}
+
+TEST(StatsTest, ToStringMentionsKeyFigures) {
+  const Log log = make_log("a b c");
+  const std::string text = compute_stats(log).to_string();
+  EXPECT_NE(text.find("records: 5"), std::string::npos);
+  EXPECT_NE(text.find("instances: 1"), std::string::npos);
+  EXPECT_NE(text.find("activity histogram"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wflog

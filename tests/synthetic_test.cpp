@@ -1,0 +1,65 @@
+#include "core/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace wflog {
+namespace {
+
+TEST(SyntheticTest, ProducesRequestedCount) {
+  SyntheticIncidentOptions o;
+  o.count = 200;
+  o.records_each = 2;
+  o.instance_len = 1000;
+  const IncidentList list = synthetic_incidents(o);
+  EXPECT_EQ(list.size(), 200u);
+}
+
+TEST(SyntheticTest, CanonicalOutput) {
+  SyntheticIncidentOptions o;
+  o.count = 100;
+  o.records_each = 3;
+  o.instance_len = 100;
+  EXPECT_TRUE(is_canonical(synthetic_incidents(o)));
+}
+
+TEST(SyntheticTest, RespectsRecordCountAndBounds) {
+  SyntheticIncidentOptions o;
+  o.count = 50;
+  o.records_each = 4;
+  o.instance_len = 64;
+  for (const Incident& inc : synthetic_incidents(o)) {
+    EXPECT_EQ(inc.size(), 4u);
+    EXPECT_GE(inc.first(), 1u);
+    EXPECT_LE(inc.last(), 64u);
+    EXPECT_EQ(inc.wid(), o.wid);
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticIncidentOptions o;
+  o.count = 30;
+  o.seed = 99;
+  EXPECT_EQ(synthetic_incidents(o), synthetic_incidents(o));
+  SyntheticIncidentOptions o2 = o;
+  o2.seed = 100;
+  EXPECT_NE(synthetic_incidents(o), synthetic_incidents(o2));
+}
+
+TEST(SyntheticTest, SaturatedSpaceTerminatesWithMax) {
+  // Only 5 distinct singletons exist in a length-5 instance.
+  SyntheticIncidentOptions o;
+  o.count = 100;
+  o.records_each = 1;
+  o.instance_len = 5;
+  const IncidentList list = synthetic_incidents(o);
+  EXPECT_EQ(list.size(), 5u);
+}
+
+TEST(SyntheticTest, RecordsEachClampedToInstanceLen) {
+  Rng rng(1);
+  const Incident o = random_incident(rng, 1, 10, 4);
+  EXPECT_EQ(o.size(), 4u);
+}
+
+}  // namespace
+}  // namespace wflog

@@ -1,0 +1,89 @@
+#include "common/text.h"
+
+#include <gtest/gtest.h>
+
+namespace wflog {
+namespace {
+
+TEST(TextTest, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\tx\n"), "x");
+}
+
+TEST(TextTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(TextTest, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(TextTest, SplitQuotedRespectsQuotes) {
+  const auto parts = split_quoted("a=1; b=\"x; y\"; c=2", ';');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(trim(parts[1]), "b=\"x; y\"");
+}
+
+TEST(TextTest, SplitQuotedEscapedQuote) {
+  const auto parts = split_quoted("a=\"q\\\"; still\"; b=1", ';');
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(TextTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(TextTest, CsvEscapePlain) { EXPECT_EQ(csv_escape("abc"), "abc"); }
+
+TEST(TextTest, CsvEscapeSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(TextTest, CsvParseLineSimple) {
+  const auto fields = csv_parse_line("1,2,abc");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "abc");
+}
+
+TEST(TextTest, CsvParseLineQuoted) {
+  const auto fields = csv_parse_line("a,\"b,c\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(TextTest, CsvRoundTrip) {
+  const std::string inputs[] = {"plain", "a,b", "with \"quotes\"", "",
+                                "trailing,"};
+  for (const std::string& s : inputs) {
+    const auto fields = csv_parse_line(csv_escape(s));
+    ASSERT_EQ(fields.size(), 1u) << s;
+    EXPECT_EQ(fields[0], s);
+  }
+}
+
+TEST(TextTest, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc"));
+  EXPECT_TRUE(is_identifier("_x9"));
+  EXPECT_TRUE(is_identifier("GetRefer"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("9abc"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+}  // namespace
+}  // namespace wflog

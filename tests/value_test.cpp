@@ -1,0 +1,135 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace wflog {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v{std::int64_t{42}};
+  EXPECT_EQ(v.kind(), ValueKind::kInt);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.numeric(), 42.0);
+}
+
+TEST(ValueTest, DoubleAccessors) {
+  Value v{2.5};
+  EXPECT_EQ(v.kind(), ValueKind::kDouble);
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+}
+
+TEST(ValueTest, BoolAndString) {
+  EXPECT_TRUE(Value{true}.as_bool());
+  EXPECT_EQ(Value{"hi"}.as_string(), "hi");
+  EXPECT_EQ(Value{std::string("hi")}.kind(), ValueKind::kString);
+}
+
+TEST(ValueTest, WrongAccessorThrows) {
+  EXPECT_THROW(Value{std::int64_t{1}}.as_string(), std::bad_variant_access);
+  EXPECT_THROW(Value{"x"}.as_int(), std::bad_variant_access);
+}
+
+TEST(ValueTest, IntDoubleCrossKindEquality) {
+  EXPECT_EQ(Value{std::int64_t{5}}, Value{5.0});
+  EXPECT_NE(Value{std::int64_t{5}}, Value{5.5});
+  EXPECT_EQ(Value{std::int64_t{5}}.hash(), Value{5.0}.hash());
+}
+
+TEST(ValueTest, EqualityWithinKinds) {
+  EXPECT_EQ(Value{"a"}, Value{"a"});
+  EXPECT_NE(Value{"a"}, Value{"b"});
+  EXPECT_EQ(Value{}, Value{});
+  EXPECT_NE(Value{}, Value{std::int64_t{0}});
+  EXPECT_NE(Value{true}, Value{false});
+}
+
+TEST(ValueTest, CompareNumeric) {
+  EXPECT_LT(Value{std::int64_t{1}}.compare(Value{std::int64_t{2}}), 0);
+  EXPECT_GT(Value{2.5}.compare(Value{std::int64_t{2}}), 0);
+  EXPECT_EQ(Value{std::int64_t{2}}.compare(Value{2.0}), 0);
+}
+
+TEST(ValueTest, CompareAcrossKindsIsTotal) {
+  // null < numeric < bool < string.
+  EXPECT_LT(Value{}.compare(Value{std::int64_t{0}}), 0);
+  EXPECT_LT(Value{std::int64_t{999}}.compare(Value{false}), 0);
+  EXPECT_LT(Value{true}.compare(Value{""}), 0);
+  EXPECT_LT(Value{"a"}.compare(Value{"b"}), 0);
+}
+
+TEST(ValueTest, ToStringScalars) {
+  EXPECT_EQ(Value{}.to_string(), "null");
+  EXPECT_EQ(Value{std::int64_t{-7}}.to_string(), "-7");
+  EXPECT_EQ(Value{true}.to_string(), "true");
+  EXPECT_EQ(Value{false}.to_string(), "false");
+  EXPECT_EQ(Value{2.5}.to_string(), "2.5");
+}
+
+TEST(ValueTest, DoubleToStringKeepsDoubleMark) {
+  // Integral doubles round-trip as doubles, not ints.
+  EXPECT_EQ(Value{3.0}.to_string(), "3.0");
+}
+
+TEST(ValueTest, PlainStringUnquoted) {
+  EXPECT_EQ(Value{"active"}.to_string(), "active");
+  EXPECT_EQ(Value{"Public Hospital"}.to_string(), "Public Hospital");
+}
+
+TEST(ValueTest, ReservedStringsQuoted) {
+  EXPECT_EQ(Value{"a;b"}.to_string(), "\"a;b\"");
+  EXPECT_EQ(Value{"true"}.to_string(), "\"true\"");
+  EXPECT_EQ(Value{""}.to_string(), "\"\"");
+  EXPECT_EQ(Value{"say \"hi\""}.to_string(), "\"say \\\"hi\\\"\"");
+}
+
+TEST(ValueTest, ParseScalars) {
+  EXPECT_EQ(Value::parse("42"), Value{std::int64_t{42}});
+  EXPECT_EQ(Value::parse("-3"), Value{std::int64_t{-3}});
+  EXPECT_EQ(Value::parse("2.5"), Value{2.5});
+  EXPECT_EQ(Value::parse("true"), Value{true});
+  EXPECT_EQ(Value::parse("false"), Value{false});
+  EXPECT_EQ(Value::parse("null"), Value{});
+  EXPECT_EQ(Value::parse(""), Value{});
+}
+
+TEST(ValueTest, ParseStringsFallThrough) {
+  EXPECT_EQ(Value::parse("active"), Value{"active"});
+  // Partial numeric prefix is not a number.
+  EXPECT_EQ(Value::parse("034d1"), Value{"034d1"});
+  EXPECT_EQ(Value::parse("12abc"), Value{"12abc"});
+}
+
+TEST(ValueTest, ParseQuotedString) {
+  EXPECT_EQ(Value::parse("\"true\""), Value{"true"});
+  EXPECT_EQ(Value::parse("\"a;b\""), Value{"a;b"});
+  EXPECT_EQ(Value::parse("\"say \\\"hi\\\"\""), Value{"say \"hi\""});
+}
+
+TEST(ValueTest, RoundTripPrintParse) {
+  const Value samples[] = {
+      Value{},          Value{std::int64_t{0}}, Value{std::int64_t{-99}},
+      Value{3.25},      Value{3.0},             Value{true},
+      Value{false},     Value{"plain"},         Value{"with space"},
+      Value{"a=b;c,d"}, Value{"true"},          Value{""},
+  };
+  for (const Value& v : samples) {
+    EXPECT_EQ(Value::parse(v.to_string()), v) << v.to_string();
+  }
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  EXPECT_NE(Value{}.hash(), Value{std::int64_t{0}}.hash());
+  EXPECT_NE(Value{"1"}.hash(), Value{std::int64_t{1}}.hash());
+}
+
+}  // namespace
+}  // namespace wflog

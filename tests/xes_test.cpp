@@ -1,0 +1,170 @@
+#include "log/io_xes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/engine.h"
+#include "log/validate.h"
+#include "test_util.h"
+#include "workflow/clinic.h"
+#include "workflow/workload.h"
+
+namespace wflog {
+namespace {
+
+using testing::make_log;
+
+bool logs_equivalent(const Log& a, const Log& b) {
+  if (a.size() != b.size() || a.wids() != b.wids()) return false;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const LogRecord& x = a.record(i);
+    const LogRecord& y = b.record(i);
+    if (x.wid != y.wid || x.is_lsn != y.is_lsn) return false;
+    if (a.activity_name(x.activity) != b.activity_name(y.activity)) {
+      return false;
+    }
+    auto maps_equal = [&](const AttrMap& m, const AttrMap& n) {
+      if (m.size() != n.size()) return false;
+      for (const AttrEntry& e : m) {
+        const Symbol sym = b.interner().find(a.interner().name(e.attr));
+        if (sym == kNoSymbol) return false;
+        const Value* v = n.get(sym);
+        if (v == nullptr || !(*v == e.value)) return false;
+      }
+      return true;
+    };
+    if (!maps_equal(x.in, y.in) || !maps_equal(x.out, y.out)) return false;
+  }
+  return true;
+}
+
+TEST(XesTest, RoundTripSimple) {
+  const Log log = make_log("a b ; c");
+  const Log back = xes_to_log(to_xes(log));
+  EXPECT_TRUE(logs_equivalent(log, back));
+}
+
+TEST(XesTest, RoundTripFigure3Exactly) {
+  const Log log = figure3_log();
+  const Log back = xes_to_log(to_xes(log));
+  EXPECT_TRUE(logs_equivalent(log, back));
+}
+
+TEST(XesTest, RoundTripInterleavedClinic) {
+  const Log log = workload::clinic(30, 9);
+  const Log back = xes_to_log(to_xes(log));
+  EXPECT_TRUE(logs_equivalent(log, back));
+}
+
+TEST(XesTest, RoundTripIncompleteInstances) {
+  const Log log = make_log("a b ... ; c d");
+  const Log back = xes_to_log(to_xes(log));
+  EXPECT_TRUE(logs_equivalent(log, back));
+}
+
+TEST(XesTest, QueriesAgreeAfterRoundTrip) {
+  const Log log = workload::clinic(40, 21);
+  const Log back = xes_to_log(to_xes(log));
+  QueryEngine a(log);
+  QueryEngine b(back);
+  const char* queries[] = {"UpdateRefer -> GetReimburse",
+                           "SeeDoctor . PayTreatment",
+                           "GetRefer[out.balance >= 5000]"};
+  for (const char* q : queries) {
+    EXPECT_EQ(a.run(q).incidents, b.run(q).incidents) << q;
+  }
+}
+
+TEST(XesTest, EscapesSpecialCharacters) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.append(w, "a", {}, {{"note", Value{"x < y & \"z\" > 'w'"}}});
+  b.end_instance(w);
+  const Log log = b.build();
+  const std::string xes = to_xes(log);
+  EXPECT_EQ(xes.find("x < y"), std::string::npos);  // must be escaped
+  const Log back = xes_to_log(xes);
+  EXPECT_TRUE(logs_equivalent(log, back));
+}
+
+TEST(XesTest, ValueTypesPreserved) {
+  LogBuilder b;
+  const Wid w = b.begin_instance();
+  b.append(w, "a", {},
+           {{"i", Value{std::int64_t{42}}},
+            {"f", Value{2.5}},
+            {"t", Value{true}},
+            {"s", Value{"text"}},
+            {"n", Value{}}});
+  b.end_instance(w);
+  const Log back = xes_to_log(to_xes(b.build()));
+  const LogRecord& l = back.record(2);
+  const Interner& in = back.interner();
+  EXPECT_EQ(*l.out.get(in.find("i")), Value{std::int64_t{42}});
+  EXPECT_EQ(*l.out.get(in.find("f")), Value{2.5});
+  EXPECT_EQ(*l.out.get(in.find("t")), Value{true});
+  EXPECT_EQ(*l.out.get(in.find("s")), Value{"text"});
+  EXPECT_EQ(*l.out.get(in.find("n")), Value{});
+}
+
+TEST(XesTest, ImportsForeignXesWithoutHints) {
+  // A minimal trace exported by a third-party tool: no wflog:* keys.
+  const char* xes = R"(<?xml version="1.0"?>
+<log xes.version="1.0">
+  <trace>
+    <string key="concept:name" value="case-7"/>
+    <event><string key="concept:name" value="Register"/></event>
+    <event>
+      <string key="concept:name" value="Approve"/>
+      <string key="org:resource" value="alice"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="case-8"/>
+    <event><string key="concept:name" value="Register"/></event>
+  </trace>
+</log>)";
+  const Log log = xes_to_log(xes);
+  // Non-numeric names -> sequential wids; traces incomplete (no marker).
+  EXPECT_EQ(log.wids(), (std::vector<Wid>{1, 2}));
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+  QueryEngine engine(log);
+  EXPECT_EQ(engine.count("Register"), 2u);
+  EXPECT_EQ(engine.count("Register -> Approve"), 1u);
+  EXPECT_EQ(engine.count("END"), 0u);  // no completion marker
+}
+
+TEST(XesTest, NumericTraceNamesBecomeWids) {
+  const char* xes = R"(<log>
+  <trace>
+    <string key="concept:name" value="17"/>
+    <event><string key="concept:name" value="a"/></event>
+  </trace>
+</log>)";
+  const Log log = xes_to_log(xes);
+  EXPECT_EQ(log.wids(), (std::vector<Wid>{17}));
+}
+
+TEST(XesTest, RejectsGarbage) {
+  EXPECT_THROW(xes_to_log("not xml"), IoError);
+  EXPECT_THROW(xes_to_log("<log></log>"), IoError);  // no traces
+  EXPECT_THROW(xes_to_log("<trace><event/></trace>"), IoError);  // no <log>
+  EXPECT_THROW(
+      xes_to_log("<log><trace><event><string key=\"x\" value=\"y\"/>"
+                 "</event></trace></log>"),
+      IoError);  // event without concept:name
+}
+
+TEST(XesTest, SkipsCommentsAndDeclarations) {
+  const char* xes =
+      "<?xml version=\"1.0\"?><!-- exported -->\n"
+      "<log><!-- one trace --><trace>"
+      "<string key=\"concept:name\" value=\"1\"/>"
+      "<event><string key=\"concept:name\" value=\"a\"/></event>"
+      "</trace></log>";
+  EXPECT_EQ(xes_to_log(xes).size(), 2u);  // START + a
+}
+
+}  // namespace
+}  // namespace wflog
