@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_endtoend.dir/bench_endtoend.cpp.o"
+  "CMakeFiles/bench_endtoend.dir/bench_endtoend.cpp.o.d"
+  "bench_endtoend"
+  "bench_endtoend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join.dir/bench_join.cpp.o"
+  "CMakeFiles/bench_join.dir/bench_join.cpp.o.d"
+  "bench_join"
+  "bench_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

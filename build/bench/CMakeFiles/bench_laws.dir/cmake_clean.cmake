@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_laws.dir/bench_laws.cpp.o"
+  "CMakeFiles/bench_laws.dir/bench_laws.cpp.o.d"
+  "bench_laws"
+  "bench_laws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_laws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linear.dir/bench_linear.cpp.o"
+  "CMakeFiles/bench_linear.dir/bench_linear.cpp.o.d"
+  "bench_linear"
+  "bench_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_choice.dir/bench_op_choice.cpp.o"
+  "CMakeFiles/bench_op_choice.dir/bench_op_choice.cpp.o.d"
+  "bench_op_choice"
+  "bench_op_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

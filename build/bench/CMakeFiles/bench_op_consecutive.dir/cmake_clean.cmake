@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_consecutive.dir/bench_op_consecutive.cpp.o"
+  "CMakeFiles/bench_op_consecutive.dir/bench_op_consecutive.cpp.o.d"
+  "bench_op_consecutive"
+  "bench_op_consecutive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_consecutive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

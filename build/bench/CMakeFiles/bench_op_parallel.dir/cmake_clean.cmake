@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_parallel.dir/bench_op_parallel.cpp.o"
+  "CMakeFiles/bench_op_parallel.dir/bench_op_parallel.cpp.o.d"
+  "bench_op_parallel"
+  "bench_op_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

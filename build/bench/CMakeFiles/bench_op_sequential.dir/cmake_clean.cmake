@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_op_sequential.dir/bench_op_sequential.cpp.o"
+  "CMakeFiles/bench_op_sequential.dir/bench_op_sequential.cpp.o.d"
+  "bench_op_sequential"
+  "bench_op_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_op_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

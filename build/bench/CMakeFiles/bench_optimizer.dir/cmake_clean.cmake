@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer.dir/bench_optimizer.cpp.o"
+  "CMakeFiles/bench_optimizer.dir/bench_optimizer.cpp.o.d"
+  "bench_optimizer"
+  "bench_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parser.dir/bench_parser.cpp.o"
+  "CMakeFiles/bench_parser.dir/bench_parser.cpp.o.d"
+  "bench_parser"
+  "bench_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_worstcase.dir/bench_worstcase.cpp.o"
+  "CMakeFiles/bench_worstcase.dir/bench_worstcase.cpp.o.d"
+  "bench_worstcase"
+  "bench_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

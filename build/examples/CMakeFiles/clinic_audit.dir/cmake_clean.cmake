@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinic_audit.dir/clinic_audit.cpp.o"
+  "CMakeFiles/clinic_audit.dir/clinic_audit.cpp.o.d"
+  "clinic_audit"
+  "clinic_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinic_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

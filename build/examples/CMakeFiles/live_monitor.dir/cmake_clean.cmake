@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_monitor.dir/live_monitor.cpp.o"
+  "CMakeFiles/live_monitor.dir/live_monitor.cpp.o.d"
+  "live_monitor"
+  "live_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

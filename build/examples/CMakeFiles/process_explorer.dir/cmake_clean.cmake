@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_explorer.dir/process_explorer.cpp.o"
+  "CMakeFiles/process_explorer.dir/process_explorer.cpp.o.d"
+  "process_explorer"
+  "process_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

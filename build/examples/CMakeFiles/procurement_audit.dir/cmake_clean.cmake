@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement_audit.dir/procurement_audit.cpp.o"
+  "CMakeFiles/procurement_audit.dir/procurement_audit.cpp.o.d"
+  "procurement_audit"
+  "procurement_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfq.dir/wfq.cpp.o"
+  "CMakeFiles/wfq.dir/wfq.cpp.o.d"
+  "wfq"
+  "wfq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wflog_common.dir/common/interner.cpp.o"
+  "CMakeFiles/wflog_common.dir/common/interner.cpp.o.d"
+  "CMakeFiles/wflog_common.dir/common/text.cpp.o"
+  "CMakeFiles/wflog_common.dir/common/text.cpp.o.d"
+  "CMakeFiles/wflog_common.dir/common/value.cpp.o"
+  "CMakeFiles/wflog_common.dir/common/value.cpp.o.d"
+  "libwflog_common.a"
+  "libwflog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wflog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

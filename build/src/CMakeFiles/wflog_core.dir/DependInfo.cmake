@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/CMakeFiles/wflog_core.dir/core/aggregate.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/aggregate.cpp.o.d"
+  "/root/repo/src/core/bindings.cpp" "src/CMakeFiles/wflog_core.dir/core/bindings.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/bindings.cpp.o.d"
+  "/root/repo/src/core/compliance.cpp" "src/CMakeFiles/wflog_core.dir/core/compliance.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/compliance.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/wflog_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/wflog_core.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/wflog_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/CMakeFiles/wflog_core.dir/core/explain.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/explain.cpp.o.d"
+  "/root/repo/src/core/incident.cpp" "src/CMakeFiles/wflog_core.dir/core/incident.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/incident.cpp.o.d"
+  "/root/repo/src/core/join.cpp" "src/CMakeFiles/wflog_core.dir/core/join.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/join.cpp.o.d"
+  "/root/repo/src/core/linear.cpp" "src/CMakeFiles/wflog_core.dir/core/linear.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/linear.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/wflog_core.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/operators.cpp" "src/CMakeFiles/wflog_core.dir/core/operators.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/operators.cpp.o.d"
+  "/root/repo/src/core/operators_opt.cpp" "src/CMakeFiles/wflog_core.dir/core/operators_opt.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/operators_opt.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/CMakeFiles/wflog_core.dir/core/optimizer.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/parallel_eval.cpp" "src/CMakeFiles/wflog_core.dir/core/parallel_eval.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/parallel_eval.cpp.o.d"
+  "/root/repo/src/core/parser.cpp" "src/CMakeFiles/wflog_core.dir/core/parser.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/parser.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/CMakeFiles/wflog_core.dir/core/pattern.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/pattern.cpp.o.d"
+  "/root/repo/src/core/predicate.cpp" "src/CMakeFiles/wflog_core.dir/core/predicate.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/predicate.cpp.o.d"
+  "/root/repo/src/core/printer.cpp" "src/CMakeFiles/wflog_core.dir/core/printer.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/printer.cpp.o.d"
+  "/root/repo/src/core/rewriter.cpp" "src/CMakeFiles/wflog_core.dir/core/rewriter.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/rewriter.cpp.o.d"
+  "/root/repo/src/core/synthetic.cpp" "src/CMakeFiles/wflog_core.dir/core/synthetic.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wflog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wflog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

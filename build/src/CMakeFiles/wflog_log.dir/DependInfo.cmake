@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/builder.cpp" "src/CMakeFiles/wflog_log.dir/log/builder.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/builder.cpp.o.d"
+  "/root/repo/src/log/index.cpp" "src/CMakeFiles/wflog_log.dir/log/index.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/index.cpp.o.d"
+  "/root/repo/src/log/io_csv.cpp" "src/CMakeFiles/wflog_log.dir/log/io_csv.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/io_csv.cpp.o.d"
+  "/root/repo/src/log/io_jsonl.cpp" "src/CMakeFiles/wflog_log.dir/log/io_jsonl.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/io_jsonl.cpp.o.d"
+  "/root/repo/src/log/io_xes.cpp" "src/CMakeFiles/wflog_log.dir/log/io_xes.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/io_xes.cpp.o.d"
+  "/root/repo/src/log/log.cpp" "src/CMakeFiles/wflog_log.dir/log/log.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/log.cpp.o.d"
+  "/root/repo/src/log/record.cpp" "src/CMakeFiles/wflog_log.dir/log/record.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/record.cpp.o.d"
+  "/root/repo/src/log/slice.cpp" "src/CMakeFiles/wflog_log.dir/log/slice.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/slice.cpp.o.d"
+  "/root/repo/src/log/stats.cpp" "src/CMakeFiles/wflog_log.dir/log/stats.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/stats.cpp.o.d"
+  "/root/repo/src/log/store.cpp" "src/CMakeFiles/wflog_log.dir/log/store.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/store.cpp.o.d"
+  "/root/repo/src/log/validate.cpp" "src/CMakeFiles/wflog_log.dir/log/validate.cpp.o" "gcc" "src/CMakeFiles/wflog_log.dir/log/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wflog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wflog_log.dir/log/builder.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/builder.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/index.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/index.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/io_csv.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/io_csv.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/io_jsonl.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/io_jsonl.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/io_xes.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/io_xes.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/log.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/log.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/record.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/record.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/slice.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/slice.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/stats.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/stats.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/store.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/store.cpp.o.d"
+  "CMakeFiles/wflog_log.dir/log/validate.cpp.o"
+  "CMakeFiles/wflog_log.dir/log/validate.cpp.o.d"
+  "libwflog_log.a"
+  "libwflog_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wflog_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

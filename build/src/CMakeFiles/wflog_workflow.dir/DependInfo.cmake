@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflow/clinic.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/clinic.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/clinic.cpp.o.d"
+  "/root/repo/src/workflow/discovery.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/discovery.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/discovery.cpp.o.d"
+  "/root/repo/src/workflow/dot.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/dot.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/dot.cpp.o.d"
+  "/root/repo/src/workflow/model.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/model.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/model.cpp.o.d"
+  "/root/repo/src/workflow/procurement.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/procurement.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/procurement.cpp.o.d"
+  "/root/repo/src/workflow/random_model.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/random_model.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/random_model.cpp.o.d"
+  "/root/repo/src/workflow/simulator.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/simulator.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/simulator.cpp.o.d"
+  "/root/repo/src/workflow/workload.cpp" "src/CMakeFiles/wflog_workflow.dir/workflow/workload.cpp.o" "gcc" "src/CMakeFiles/wflog_workflow.dir/workflow/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wflog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wflog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

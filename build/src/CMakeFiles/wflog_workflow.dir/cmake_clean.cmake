@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wflog_workflow.dir/workflow/clinic.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/clinic.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/discovery.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/discovery.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/dot.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/dot.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/model.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/model.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/procurement.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/procurement.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/random_model.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/random_model.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/simulator.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/simulator.cpp.o.d"
+  "CMakeFiles/wflog_workflow.dir/workflow/workload.cpp.o"
+  "CMakeFiles/wflog_workflow.dir/workflow/workload.cpp.o.d"
+  "libwflog_workflow.a"
+  "libwflog_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wflog_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

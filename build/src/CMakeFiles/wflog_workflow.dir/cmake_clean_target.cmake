@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwflog_workflow.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bindings_test.dir/bindings_test.cpp.o"
+  "CMakeFiles/bindings_test.dir/bindings_test.cpp.o.d"
+  "bindings_test"
+  "bindings_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bindings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

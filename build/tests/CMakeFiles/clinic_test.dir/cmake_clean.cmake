@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinic_test.dir/clinic_test.cpp.o"
+  "CMakeFiles/clinic_test.dir/clinic_test.cpp.o.d"
+  "clinic_test"
+  "clinic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compliance_test.dir/compliance_test.cpp.o"
+  "CMakeFiles/compliance_test.dir/compliance_test.cpp.o.d"
+  "compliance_test"
+  "compliance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compliance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

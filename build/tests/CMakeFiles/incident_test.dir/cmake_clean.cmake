@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_test.dir/incident_test.cpp.o"
+  "CMakeFiles/incident_test.dir/incident_test.cpp.o.d"
+  "incident_test"
+  "incident_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

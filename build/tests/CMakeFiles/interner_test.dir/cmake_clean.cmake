@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interner_test.dir/interner_test.cpp.o"
+  "CMakeFiles/interner_test.dir/interner_test.cpp.o.d"
+  "interner_test"
+  "interner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

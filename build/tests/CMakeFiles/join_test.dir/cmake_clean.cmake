@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_test.dir/join_test.cpp.o"
+  "CMakeFiles/join_test.dir/join_test.cpp.o.d"
+  "join_test"
+  "join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

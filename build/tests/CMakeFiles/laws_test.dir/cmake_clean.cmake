@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laws_test.dir/laws_test.cpp.o"
+  "CMakeFiles/laws_test.dir/laws_test.cpp.o.d"
+  "laws_test"
+  "laws_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

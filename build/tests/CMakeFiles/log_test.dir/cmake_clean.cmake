@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_test.dir/log_test.cpp.o"
+  "CMakeFiles/log_test.dir/log_test.cpp.o.d"
+  "log_test"
+  "log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_test.dir/optimizer_test.cpp.o"
+  "CMakeFiles/optimizer_test.dir/optimizer_test.cpp.o.d"
+  "optimizer_test"
+  "optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_eval_test.dir/parallel_eval_test.cpp.o"
+  "CMakeFiles/parallel_eval_test.dir/parallel_eval_test.cpp.o.d"
+  "parallel_eval_test"
+  "parallel_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

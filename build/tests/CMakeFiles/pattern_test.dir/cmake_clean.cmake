@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_test.dir/pattern_test.cpp.o"
+  "CMakeFiles/pattern_test.dir/pattern_test.cpp.o.d"
+  "pattern_test"
+  "pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

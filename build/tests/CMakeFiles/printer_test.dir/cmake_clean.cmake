@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_test.dir/printer_test.cpp.o"
+  "CMakeFiles/printer_test.dir/printer_test.cpp.o.d"
+  "printer_test"
+  "printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procurement_test.dir/procurement_test.cpp.o"
+  "CMakeFiles/procurement_test.dir/procurement_test.cpp.o.d"
+  "procurement_test"
+  "procurement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

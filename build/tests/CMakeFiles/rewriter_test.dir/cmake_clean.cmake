@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_test.dir/rewriter_test.cpp.o"
+  "CMakeFiles/rewriter_test.dir/rewriter_test.cpp.o.d"
+  "rewriter_test"
+  "rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

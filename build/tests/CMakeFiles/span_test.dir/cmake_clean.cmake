@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/span_test.dir/span_test.cpp.o"
+  "CMakeFiles/span_test.dir/span_test.cpp.o.d"
+  "span_test"
+  "span_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/span_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

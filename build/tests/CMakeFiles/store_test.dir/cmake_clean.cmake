@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_test.dir/store_test.cpp.o"
+  "CMakeFiles/store_test.dir/store_test.cpp.o.d"
+  "store_test"
+  "store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_test.dir/value_test.cpp.o"
+  "CMakeFiles/value_test.dir/value_test.cpp.o.d"
+  "value_test"
+  "value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
