@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_batch.cpp" "bench/CMakeFiles/bench_batch.dir/bench_batch.cpp.o" "gcc" "bench/CMakeFiles/bench_batch.dir/bench_batch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wflog_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wflog_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wflog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wflog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch.dir/bench_batch.cpp.o"
+  "CMakeFiles/bench_batch.dir/bench_batch.cpp.o.d"
+  "bench_batch"
+  "bench_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/aggregate.cpp" "src/CMakeFiles/wflog_core.dir/core/aggregate.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/aggregate.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/CMakeFiles/wflog_core.dir/core/batch.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/batch.cpp.o.d"
   "/root/repo/src/core/bindings.cpp" "src/CMakeFiles/wflog_core.dir/core/bindings.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/bindings.cpp.o.d"
   "/root/repo/src/core/compliance.cpp" "src/CMakeFiles/wflog_core.dir/core/compliance.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/compliance.cpp.o.d"
   "/root/repo/src/core/cost.cpp" "src/CMakeFiles/wflog_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/wflog_core.dir/core/cost.cpp.o.d"

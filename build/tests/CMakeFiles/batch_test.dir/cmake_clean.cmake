@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_test.dir/batch_test.cpp.o"
+  "CMakeFiles/batch_test.dir/batch_test.cpp.o.d"
+  "batch_test"
+  "batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

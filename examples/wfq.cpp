@@ -4,6 +4,9 @@
 // Usage:
 //   wfq stats  <log.{csv,jsonl}>
 //   wfq query  <log.{csv,jsonl}> '<pattern>'  [--limit N] [--no-optimize]
+//   wfq batch  <log> <queries.txt> [--threads N] [--no-cache] [--compare]
+//              one query per line, '#' comments; evaluates all queries in
+//              one shared pass (core/batch.h)
 //   wfq exists <log.{csv,jsonl}> '<pattern>'
 //   wfq count  <log.{csv,jsonl}> '<pattern>'
 //   wfq explain <log.{csv,jsonl}> '<pattern>'
@@ -47,6 +50,8 @@ using namespace wflog;
       << "usage:\n"
          "  wfq stats  <log.{csv,jsonl}>\n"
          "  wfq query  <log> '<pattern>' [--limit N] [--no-optimize]\n"
+         "  wfq batch  <log> <queries.txt> [--threads N] [--no-cache] "
+         "[--compare]\n"
          "  wfq exists <log> '<pattern>'\n"
          "  wfq count  <log> '<pattern>'\n"
          "  wfq explain <log> '<pattern>'\n"
@@ -111,6 +116,57 @@ int cmd_query(const std::string& path, const std::string& pattern,
             << r.optimize_us << " us, eval " << r.eval_us << " us\n"
             << render_incident_set(r.incidents, engine.index(), limit);
   return r.any() ? 0 : 1;
+}
+
+int cmd_batch(const std::string& path, const std::string& queries_path,
+              std::size_t threads, bool use_cache, bool compare) {
+  std::ifstream in(queries_path);
+  if (!in) throw IoError("cannot open '" + queries_path + "'");
+  std::vector<std::string> texts;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string text{trim(line)};
+    if (!text.empty() && text[0] != '#') texts.push_back(text);
+  }
+  if (texts.empty()) throw IoError("no queries in '" + queries_path + "'");
+
+  const Log log = load_log(path);
+  QueryEngine engine(log);
+  const BatchResult batch = engine.run_batch(texts, threads, use_cache);
+
+  for (std::size_t q = 0; q < texts.size(); ++q) {
+    std::cout << "[" << q << "] " << texts[q] << "\n      "
+              << batch.results[q].total() << " incidents\n";
+  }
+  const BatchPlanStats& plan = batch.stats.plan;
+  std::cout << "batch: " << plan.num_queries << " queries, "
+            << plan.total_nodes << " pattern nodes -> "
+            << plan.distinct_slots << " shared slots ("
+            << plan.shared_nodes() << " deduplicated)\n"
+            << "cache: " << batch.cache_hits() << " hits, "
+            << batch.cache_misses() << " misses, " << batch.cache_bytes()
+            << " bytes retained\n"
+            << "eval:  " << batch.eval_us << " us on "
+            << batch.stats.threads_used << " thread(s)\n";
+
+  if (compare) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bool identical = true;
+    for (std::size_t q = 0; q < texts.size(); ++q) {
+      const QueryResult solo = engine.run(texts[q]);
+      identical =
+          identical && solo.incidents == batch.results[q].incidents;
+    }
+    const double solo_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    std::cout << "sequential: " << solo_us << " us ("
+              << (batch.eval_us > 0 ? solo_us / batch.eval_us : 0)
+              << "x batch eval), results "
+              << (identical ? "identical" : "DIFFER!") << "\n";
+    if (!identical) return 4;
+  }
+  return 0;
 }
 
 int cmd_exists(const std::string& path, const std::string& pattern) {
@@ -248,6 +304,24 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_query(argv[2], argv[3], limit, optimize);
+    }
+    if (cmd == "batch" && argc >= 4) {
+      std::size_t threads = 1;
+      bool use_cache = true;
+      bool compare = false;
+      for (int i = 4; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--no-cache") {
+          use_cache = false;
+        } else if (flag == "--compare") {
+          compare = true;
+        } else if (flag == "--threads" && i + 1 < argc) {
+          threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+          usage();
+        }
+      }
+      return cmd_batch(argv[2], argv[3], threads, use_cache, compare);
     }
     if (cmd == "exists" && argc == 4) return cmd_exists(argv[2], argv[3]);
     if (cmd == "count" && argc == 4) return cmd_count(argv[2], argv[3]);

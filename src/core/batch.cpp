@@ -1,0 +1,87 @@
+#include "core/batch.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "core/parallel_eval.h"
+
+namespace wflog {
+
+BatchPlan::BatchPlan(std::span<const PatternPtr> patterns)
+    : patterns_(patterns.begin(), patterns.end()) {
+  stats_.num_queries = patterns_.size();
+
+  // Post-order over every query tree. Shared_ptr sharing means a node can
+  // appear in several trees (or twice in one); visit each address once.
+  std::unordered_map<std::string, std::uint32_t> slot_of_key;
+  std::vector<const Pattern*> stack;
+  for (const PatternPtr& root : patterns_) {
+    if (root != nullptr) stack.push_back(root.get());
+  }
+  while (!stack.empty()) {
+    const Pattern* node = stack.back();
+    stack.pop_back();
+    if (slots_.contains(node)) continue;
+    ++stats_.total_nodes;
+    const auto [it, inserted] = slot_of_key.try_emplace(
+        canonical_key(*node),
+        static_cast<std::uint32_t>(slot_of_key.size()));
+    slots_.emplace(node, it->second);
+    if (!node->is_atom()) {
+      stack.push_back(node->left().get());
+      stack.push_back(node->right().get());
+    }
+  }
+  stats_.distinct_slots = slot_of_key.size();
+}
+
+std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
+                                        const LogIndex& index,
+                                        const BatchOptions& options,
+                                        BatchEvalStats* stats) {
+  const std::size_t num_queries = patterns.size();
+  const std::vector<Wid>& wids = index.wids();
+  const std::size_t threads =
+      resolve_worker_count(options.threads, wids.size());
+
+  const BatchPlan plan(patterns);
+
+  // per_wid[i][q] = incidents of query q in instance wids[i]. Workers
+  // write disjoint i's, so no synchronization is needed beyond the join.
+  std::vector<std::vector<IncidentList>> per_wid(wids.size());
+  std::vector<EvalCounters> per_wid_counters(wids.size());
+
+  parallel_for_instances(
+      wids.size(), threads, [&](std::size_t i) {
+        const Evaluator ev(index, options.eval);
+        SubpatternMemo memo = plan.make_memo();
+        SubpatternMemo* memo_ptr = options.use_cache ? &memo : nullptr;
+        std::vector<IncidentList>& lists = per_wid[i];
+        lists.resize(num_queries);
+        for (std::size_t q = 0; q < num_queries; ++q) {
+          lists[q] = ev.evaluate_instance(*patterns[q], wids[i], memo_ptr);
+        }
+        per_wid_counters[i] = ev.counters();
+      });
+
+  // Assemble per query in ascending wid order — the exact shape
+  // Evaluator::evaluate produces (empty groups dropped).
+  std::vector<IncidentSet> results(num_queries);
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    for (std::size_t i = 0; i < wids.size(); ++i) {
+      if (!per_wid[i][q].empty()) {
+        results[q].add_group(wids[i], std::move(per_wid[i][q]));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = BatchEvalStats{};
+    stats->plan = plan.stats();
+    stats->threads_used = threads;
+    for (const EvalCounters& c : per_wid_counters) stats->counters += c;
+  }
+  return results;
+}
+
+}  // namespace wflog

@@ -1,5 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace wflog {
 namespace {
 
@@ -56,6 +59,79 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
   }
   r.eval_us = us_since(t1);
   return r;
+}
+
+Query Query::parse(std::string_view text) {
+  ParsedQuery parsed = parse_query(text);
+  return Query(std::move(parsed.pattern), std::move(parsed.where));
+}
+
+std::size_t BatchResult::total() const {
+  std::size_t n = 0;
+  for (const QueryResult& r : results) n += r.total();
+  return n;
+}
+
+BatchResult QueryEngine::run_batch(std::span<const Query> queries,
+                                   std::size_t threads,
+                                   bool use_cache) const {
+  BatchResult batch;
+  batch.results.resize(queries.size());
+
+  // Per-query front end, identical to run(): cost estimate + optimize.
+  // Sharing happens downstream on the EXECUTED trees, where canonical
+  // keys absorb whatever commutations/rotations the optimizer chose.
+  std::vector<PatternPtr> executed;
+  executed.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    QueryResult& r = batch.results[q];
+    r.parsed = queries[q].pattern;
+    r.where = queries[q].where;
+    r.estimated_cost_before = cost_model_.cost(*r.parsed);
+    if (options_.optimize) {
+      const auto t0 = Clock::now();
+      OptimizeResult opt =
+          optimize(r.parsed, cost_model_, options_.optimizer);
+      r.optimize_us = us_since(t0);
+      r.executed = std::move(opt.pattern);
+      r.estimated_cost_after = opt.final_cost;
+    } else {
+      r.executed = r.parsed;
+      r.estimated_cost_after = r.estimated_cost_before;
+    }
+    executed.push_back(r.executed);
+  }
+
+  BatchOptions opts;
+  opts.threads = threads;
+  opts.use_cache = use_cache;
+  opts.eval = options_.eval;
+  const auto t1 = Clock::now();
+  std::vector<IncidentSet> sets =
+      evaluate_batch(executed, index_, opts, &batch.stats);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    QueryResult& r = batch.results[q];
+    r.incidents = std::move(sets[q]);
+    if (r.where != nullptr) {
+      r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+    }
+  }
+  batch.eval_us = us_since(t1);
+  for (QueryResult& r : batch.results) {
+    r.eval_us = batch.eval_us / std::max<std::size_t>(1, queries.size());
+  }
+  return batch;
+}
+
+BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
+                                   std::size_t threads,
+                                   bool use_cache) const {
+  std::vector<Query> queries;
+  queries.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    queries.push_back(Query::parse(text));
+  }
+  return run_batch(queries, threads, use_cache);
 }
 
 bool QueryEngine::exists(std::string_view query_text) const {

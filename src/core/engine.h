@@ -11,8 +11,10 @@
 // is borrowed and must outlive the engine.
 
 #include <chrono>
+#include <span>
 #include <string>
 
+#include "core/batch.h"
 #include "core/evaluator.h"
 #include "core/join.h"
 #include "core/optimizer.h"
@@ -42,6 +44,35 @@ struct QueryResult {
   bool any() const { return !incidents.empty(); }
 };
 
+/// One query of a batch: a pattern with an optional where clause,
+/// built programmatically or parsed from "PATTERN [where EXPR]" text.
+struct Query {
+  PatternPtr pattern;
+  JoinExprPtr where;  // null when absent
+
+  Query() = default;
+  Query(PatternPtr p, JoinExprPtr w = nullptr)
+      : pattern(std::move(p)), where(std::move(w)) {}
+
+  /// Parses a full query. Throws ParseError / QueryError.
+  static Query parse(std::string_view text);
+};
+
+/// Result of running a batch: per-query results (input order) plus the
+/// sharing tallies of the one shared evaluation pass.
+struct BatchResult {
+  std::vector<QueryResult> results;
+  BatchEvalStats stats;
+  double eval_us = 0;  // the shared pass (per-query eval_us is pro-rated)
+
+  std::size_t num_queries() const { return results.size(); }
+  /// Incidents across all queries.
+  std::size_t total() const;
+  std::uint64_t cache_hits() const { return stats.counters.cache_hits; }
+  std::uint64_t cache_misses() const { return stats.counters.cache_misses; }
+  std::uint64_t cache_bytes() const { return stats.counters.cache_bytes; }
+};
+
 class QueryEngine {
  public:
   explicit QueryEngine(const Log& log, QueryOptions options = {});
@@ -53,6 +84,21 @@ class QueryEngine {
   /// where clause are filtered out. Throws ParseError / QueryError.
   QueryResult run(std::string_view query_text) const;
   QueryResult run(PatternPtr pattern, JoinExprPtr where = nullptr) const;
+
+  /// Evaluates N queries in ONE shared pass over the log (core/batch.h):
+  /// each query is parsed/optimized exactly as run() would, then all
+  /// executed patterns are evaluated together, sharing every subtree with
+  /// an equal canonical key (Theorems 2-4) through a per-instance memo.
+  /// results[q] is bit-identical to run(queries[q]). `threads` partitions
+  /// instances across workers (1 = serial, 0 = hardware concurrency);
+  /// `use_cache` toggles the subpattern memo.
+  BatchResult run_batch(std::span<const Query> queries,
+                        std::size_t threads = 1,
+                        bool use_cache = true) const;
+  /// Convenience: parses each text with Query::parse first.
+  BatchResult run_batch(std::span<const std::string> query_texts,
+                        std::size_t threads = 1,
+                        bool use_cache = true) const;
 
   /// Cheap existence / counting entry points ("are there any students
   /// who ...?"). exists() early-exits on the first matching instance;

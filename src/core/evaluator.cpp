@@ -42,11 +42,43 @@ IncidentList Evaluator::eval_atom(const Pattern& p, Wid wid) const {
   return out;
 }
 
-IncidentList Evaluator::eval_node(const Pattern& p, Wid wid) const {
-  if (p.is_atom()) return eval_atom(p, wid);
+namespace {
 
-  const IncidentList left = eval_node(*p.left(), wid);
-  const IncidentList right = eval_node(*p.right(), wid);
+std::uint64_t incident_bytes(const IncidentList& list) {
+  std::uint64_t bytes = list.size() * sizeof(Incident);
+  for (const Incident& o : list) bytes += o.size() * sizeof(IsLsn);
+  return bytes;
+}
+
+}  // namespace
+
+IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
+                                  SubpatternMemo* memo) const {
+  // Memo check first: a hit replaces the whole subtree's evaluation,
+  // atoms included ("atomic occurrence lists are computed once").
+  std::uint32_t slot = SubpatternMemo::kNoSlot;
+  if (memo != nullptr) {
+    slot = memo->slot_of(p);
+    if (slot != SubpatternMemo::kNoSlot) {
+      if (const IncidentList* cached = memo->lookup(slot)) {
+        ++counters_.cache_hits;
+        return *cached;
+      }
+    }
+  }
+
+  if (p.is_atom()) {
+    IncidentList atoms = eval_atom(p, wid);
+    if (slot != SubpatternMemo::kNoSlot) {
+      ++counters_.cache_misses;
+      counters_.cache_bytes += incident_bytes(atoms);
+      memo->store(slot, atoms);
+    }
+    return atoms;
+  }
+
+  const IncidentList left = eval_node(*p.left(), wid, memo);
+  const IncidentList right = eval_node(*p.right(), wid, memo);
   ++counters_.operator_nodes_evaluated;
 
   IncidentList out;
@@ -85,17 +117,23 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid) const {
     });
   }
   counters_.incidents_emitted += out.size();
+  if (slot != SubpatternMemo::kNoSlot) {
+    ++counters_.cache_misses;
+    counters_.cache_bytes += incident_bytes(out);
+    memo->store(slot, out);
+  }
   return out;
 }
 
-IncidentList Evaluator::evaluate_instance(const Pattern& p, Wid wid) const {
-  return eval_node(p, wid);
+IncidentList Evaluator::evaluate_instance(const Pattern& p, Wid wid,
+                                          SubpatternMemo* memo) const {
+  return eval_node(p, wid, memo);
 }
 
 IncidentSet Evaluator::evaluate(const Pattern& p) const {
   IncidentSet result;
   for (Wid wid : index_->wids()) {
-    IncidentList incidents = eval_node(p, wid);
+    IncidentList incidents = eval_node(p, wid, nullptr);
     if (!incidents.empty()) result.add_group(wid, std::move(incidents));
   }
   return result;
@@ -108,7 +146,7 @@ bool Evaluator::exists(const Pattern& p) const {
     }
   }
   for (Wid wid : index_->wids()) {
-    if (!eval_node(p, wid).empty()) return true;
+    if (!eval_node(p, wid, nullptr).empty()) return true;
   }
   return false;
 }
@@ -121,7 +159,7 @@ std::size_t Evaluator::count(const Pattern& p) const {
   }
   std::size_t n = 0;
   for (Wid wid : index_->wids()) {
-    n += eval_node(p, wid).size();
+    n += eval_node(p, wid, nullptr).size();
   }
   return n;
 }

@@ -11,6 +11,9 @@
 // Algorithm 1 (or their optimized counterparts).
 
 #include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "core/incident.h"
 #include "core/pattern.h"
@@ -46,6 +49,61 @@ struct EvalCounters {
   std::uint64_t operator_nodes_evaluated = 0;
   std::uint64_t pairs_examined = 0;   // operand pairs inspected by ⊙/≫/⊕
   std::uint64_t incidents_emitted = 0;  // before cross-node canonicalization
+  // Subpattern-memo traffic (zero unless evaluating with a SubpatternMemo).
+  std::uint64_t cache_hits = 0;    // node evaluations answered from the memo
+  std::uint64_t cache_misses = 0;  // memoizable nodes computed and stored
+  std::uint64_t cache_bytes = 0;   // incident bytes retained in the memo
+
+  EvalCounters& operator+=(const EvalCounters& other) {
+    operator_nodes_evaluated += other.operator_nodes_evaluated;
+    pairs_examined += other.pairs_examined;
+    incidents_emitted += other.incidents_emitted;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_bytes += other.cache_bytes;
+    return *this;
+  }
+};
+
+/// Maps pattern nodes to canonical-key slots: nodes with equal
+/// canonical_key (core/pattern.h) share a slot, nodes absent from the map
+/// are evaluated without memoization. Built once per batch by BatchPlan
+/// (core/batch.h) over the nodes of every query tree.
+using SlotMap = std::unordered_map<const Pattern*, std::uint32_t>;
+
+/// Per-instance memo of subpattern incident lists, indexed by canonical
+/// slot. One memo serves every query of a batch within one workflow
+/// instance; reset() clears it before moving to the next instance.
+/// Results are only shareable while the log, the instance, and the
+/// EvalOptions stay fixed — the batch engine guarantees all three.
+class SubpatternMemo {
+ public:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  /// `slots` must outlive the memo (the BatchPlan owns it).
+  SubpatternMemo(const SlotMap* slots, std::size_t num_slots)
+      : slots_(slots), entries_(num_slots) {}
+
+  /// Forget every cached list (between instances).
+  void reset() {
+    for (auto& e : entries_) e.reset();
+  }
+
+  std::uint32_t slot_of(const Pattern& p) const {
+    const auto it = slots_->find(&p);
+    return it == slots_->end() ? kNoSlot : it->second;
+  }
+  const IncidentList* lookup(std::uint32_t slot) const {
+    const auto& e = entries_[slot];
+    return e.has_value() ? &*e : nullptr;
+  }
+  void store(std::uint32_t slot, IncidentList list) {
+    entries_[slot] = std::move(list);
+  }
+
+ private:
+  const SlotMap* slots_;
+  std::vector<std::optional<IncidentList>> entries_;
 };
 
 class Evaluator {
@@ -56,8 +114,12 @@ class Evaluator {
   /// inc_L(p): all incidents of p in the log, grouped by instance.
   IncidentSet evaluate(const Pattern& p) const;
 
-  /// Incidents of p within one workflow instance.
-  IncidentList evaluate_instance(const Pattern& p, Wid wid) const;
+  /// Incidents of p within one workflow instance. With a memo, every node
+  /// mapped by the memo's SlotMap is answered from / stored into the memo
+  /// — the batch engine's sharing hook. The caller owns the memo's
+  /// lifecycle (reset between instances).
+  IncidentList evaluate_instance(const Pattern& p, Wid wid,
+                                 SubpatternMemo* memo = nullptr) const;
 
   /// True iff inc_L(p) is nonempty. Stops at the first instance with a
   /// match — the cheap mode for "are there any ...?" questions.
@@ -74,7 +136,8 @@ class Evaluator {
   void reset_counters() const noexcept { counters_ = EvalCounters{}; }
 
  private:
-  IncidentList eval_node(const Pattern& p, Wid wid) const;
+  IncidentList eval_node(const Pattern& p, Wid wid,
+                         SubpatternMemo* memo) const;
   IncidentList eval_atom(const Pattern& p, Wid wid) const;
 
   const LogIndex* index_;

@@ -6,9 +6,9 @@
 #include "core/linear.h"
 
 namespace wflog {
-namespace {
 
-std::size_t resolve_threads(std::size_t requested, std::size_t instances) {
+std::size_t resolve_worker_count(std::size_t requested,
+                                 std::size_t instances) {
   std::size_t n = requested != 0
                       ? requested
                       : std::max<std::size_t>(
@@ -16,11 +16,8 @@ std::size_t resolve_threads(std::size_t requested, std::size_t instances) {
   return std::min(n, std::max<std::size_t>(1, instances));
 }
 
-/// Runs `work(wid_index)` over [0, count) with an atomic work-stealing
-/// cursor — instances vary wildly in cost, so static chunking would leave
-/// stragglers.
-template <typename Fn>
-void parallel_for(std::size_t count, std::size_t threads, Fn work) {
+void parallel_for_instances(std::size_t count, std::size_t threads,
+                            const std::function<void(std::size_t)>& work) {
   if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) work(i);
     return;
@@ -41,20 +38,20 @@ void parallel_for(std::size_t count, std::size_t threads, Fn work) {
   for (std::thread& th : pool) th.join();
 }
 
-}  // namespace
-
 IncidentSet evaluate_parallel(const Pattern& p, const LogIndex& index,
                               const ParallelOptions& options) {
   const std::vector<Wid>& wids = index.wids();
-  const std::size_t threads = resolve_threads(options.threads, wids.size());
+  const std::size_t threads =
+      resolve_worker_count(options.threads, wids.size());
 
   std::vector<IncidentList> per_wid(wids.size());
-  parallel_for(wids.size(), threads,
-               [&per_wid, &wids, &index, &options, &p](std::size_t i) {
-                 // One evaluator per task: counters stay race-free.
-                 const Evaluator ev(index, options.eval);
-                 per_wid[i] = ev.evaluate_instance(p, wids[i]);
-               });
+  parallel_for_instances(
+      wids.size(), threads,
+      [&per_wid, &wids, &index, &options, &p](std::size_t i) {
+        // One evaluator per task: counters stay race-free.
+        const Evaluator ev(index, options.eval);
+        per_wid[i] = ev.evaluate_instance(p, wids[i]);
+      });
 
   IncidentSet result;
   for (std::size_t i = 0; i < wids.size(); ++i) {
@@ -68,7 +65,8 @@ IncidentSet evaluate_parallel(const Pattern& p, const LogIndex& index,
 std::size_t count_parallel(const Pattern& p, const LogIndex& index,
                            const ParallelOptions& options) {
   const std::vector<Wid>& wids = index.wids();
-  const std::size_t threads = resolve_threads(options.threads, wids.size());
+  const std::size_t threads =
+      resolve_worker_count(options.threads, wids.size());
 
   const auto chain = options.eval.use_linear_fast_path &&
                              options.eval.max_span == 0
@@ -76,16 +74,16 @@ std::size_t count_parallel(const Pattern& p, const LogIndex& index,
                          : std::nullopt;
 
   std::vector<std::size_t> per_wid(wids.size(), 0);
-  parallel_for(wids.size(), threads,
-               [&per_wid, &wids, &index, &options, &p,
-                &chain](std::size_t i) {
-                 if (chain.has_value()) {
-                   per_wid[i] = count_linear(*chain, index, wids[i]);
-                 } else {
-                   const Evaluator ev(index, options.eval);
-                   per_wid[i] = ev.evaluate_instance(p, wids[i]).size();
-                 }
-               });
+  parallel_for_instances(
+      wids.size(), threads,
+      [&per_wid, &wids, &index, &options, &p, &chain](std::size_t i) {
+        if (chain.has_value()) {
+          per_wid[i] = count_linear(*chain, index, wids[i]);
+        } else {
+          const Evaluator ev(index, options.eval);
+          per_wid[i] = ev.evaluate_instance(p, wids[i]).size();
+        }
+      });
 
   std::size_t total = 0;
   for (std::size_t n : per_wid) total += n;

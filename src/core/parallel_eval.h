@@ -11,6 +11,8 @@
 // The LogIndex is shared read-only; each worker owns its Evaluator (whose
 // counters are thread-local by construction).
 
+#include <functional>
+
 #include "core/evaluator.h"
 
 namespace wflog {
@@ -20,6 +22,19 @@ struct ParallelOptions {
   std::size_t threads = 0;
   EvalOptions eval;
 };
+
+/// Effective worker count: `requested` (0 = hardware_concurrency) clamped
+/// to the number of work items — shared by the parallel evaluators and
+/// the batch engine (core/batch.h).
+std::size_t resolve_worker_count(std::size_t requested,
+                                 std::size_t instances);
+
+/// The instance-partitioning scheduler: runs work(i) for i in [0, count)
+/// on `threads` workers pulling from a shared work-stealing cursor
+/// (instances vary wildly in cost, so static chunking would leave
+/// stragglers). threads <= 1 runs inline on the caller's thread.
+void parallel_for_instances(std::size_t count, std::size_t threads,
+                            const std::function<void(std::size_t)>& work);
 
 /// Parallel inc_L(p). Falls back to the serial evaluator for tiny logs
 /// (fewer instances than workers).

@@ -109,6 +109,94 @@ PatternPtr Pattern::combine(PatternOp op, PatternPtr left, PatternPtr right) {
   return p;
 }
 
+namespace {
+
+bool is_temporal(PatternOp op) {
+  return op == PatternOp::kConsecutive || op == PatternOp::kSequential;
+}
+
+// Collects the maximal operator chain rooted at `p`: for ⊗ (resp. ⊕),
+// every operand reachable through same-op internal nodes (Theorem 2); for
+// ⊙/≫, operands reachable through ANY temporal internal node, with the
+// in-order operator sequence (Theorems 2 + 4). Operands land in `out` in
+// in-order (left-to-right) position; for temporal chains `ops[i]` is the
+// operator between out[i] and out[i+1]. `chain_op` is the ROOT's operator
+// — a nested chain of a different operator is an operand, not part of
+// this chain.
+void flatten_chain(const Pattern& p, PatternOp chain_op,
+                   std::vector<const Pattern*>& out,
+                   std::vector<PatternOp>& ops) {
+  const bool in_chain =
+      !p.is_atom() && (is_temporal(chain_op)
+                           ? is_temporal(p.op())
+                           : p.op() == chain_op);
+  if (in_chain) {
+    flatten_chain(*p.left(), chain_op, out, ops);
+    ops.push_back(p.op());
+    flatten_chain(*p.right(), chain_op, out, ops);
+  } else {
+    out.push_back(&p);
+  }
+}
+
+void append_key(const Pattern& p, std::string& out) {
+  if (p.is_atom()) {
+    out += p.negated() ? "n:" : "a:";
+    out += p.activity();
+    if (p.predicate() != nullptr) {
+      out += '[';
+      out += p.predicate()->to_string();
+      out += ']';
+    }
+    return;
+  }
+
+  std::vector<const Pattern*> operands;
+  std::vector<PatternOp> ops;
+  flatten_chain(p, p.op(), operands, ops);
+
+  if (is_temporal(p.op())) {
+    out += '(';
+    for (std::size_t i = 0; i < operands.size(); ++i) {
+      if (i != 0) out += op_token(ops[i - 1]);
+      append_key(*operands[i], out);
+    }
+    out += ')';
+    return;
+  }
+
+  // ⊗ / ⊕: operand order is irrelevant (Theorem 3) — sort operand keys.
+  std::vector<std::string> keys;
+  keys.reserve(operands.size());
+  for (const Pattern* q : operands) keys.push_back(canonical_key(*q));
+  std::sort(keys.begin(), keys.end());
+  const bool choice = p.op() == PatternOp::kChoice;
+  out += choice ? '{' : '<';
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) out += choice ? '|' : '&';
+    out += keys[i];
+  }
+  out += choice ? '}' : '>';
+}
+
+}  // namespace
+
+std::string canonical_key(const Pattern& p) {
+  std::string out;
+  append_key(p, out);
+  return out;
+}
+
+std::size_t canonical_hash(const Pattern& p) {
+  // FNV-1a over the canonical key.
+  std::size_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canonical_key(p)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 bool needs_choice_dedup(const Pattern& p1, const Pattern& p2) {
   // Incidents of different sizes are never equal; ⊙/≫/⊕ force operand
   // sizes to add, so size ranges bound incident sizes exactly.

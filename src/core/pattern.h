@@ -132,6 +132,32 @@ class Pattern {
   std::size_t hash_ = 0;
 };
 
+/// Canonical key of a pattern: a text form invariant under the rewrites
+/// the algebraic laws license without changing shape class —
+///
+///   Theorem 2: associativity of every operator (chains flatten),
+///   Theorem 3: commutativity of ⊗/⊕ (operand lists sort),
+///   Theorem 4: ⊙/≫ regrouping (mixed temporal chains flatten too; the
+///              in-order operator sequence is grouping-invariant).
+///
+/// Equal keys imply equal incident sets on every log (soundness); the
+/// converse does not hold — e.g. Theorem 5 distributions change the key.
+/// Binding names are ignored (they never affect semantics); negation and
+/// attribute predicates are part of the key. This is the sharing unit of
+/// the batch engine (core/batch.h): subtrees with equal keys are computed
+/// once per instance and reused across every query of a batch.
+///
+/// Grammar of the key (unambiguous by bracket kind):
+///   atom              a:NAME | n:NAME, then [pred-text] when present
+///   temporal chain    ( k1 op k2 op k3 ... )   op in { . , -> }
+///   choice chain      { k1 | k2 | ... }        operands sorted
+///   parallel chain    < k1 & k2 & ... >        operands sorted
+std::string canonical_key(const Pattern& p);
+
+/// FNV-style hash of canonical_key(p) — convenience for hash maps that
+/// want Theorem-2/3/4-invariant pattern identity.
+std::size_t canonical_hash(const Pattern& p);
+
 /// Whether evaluating `p1 ⊗ p2` requires duplicate elimination.
 ///
 /// Lemma 1's refinement — dedup only when the operands' activity multisets

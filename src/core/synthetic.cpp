@@ -25,6 +25,32 @@ Incident random_incident(Rng& rng, Wid wid, std::size_t records,
   return o;
 }
 
+PatternPtr random_pattern(Rng& rng, const RandomPatternOptions& options) {
+  static const std::vector<std::string> kDefaultAlphabet = {
+      "A0", "A1", "A2", "A3", "A4", "A5", "A6", "A7"};
+  const std::vector<std::string>& names =
+      options.alphabet.empty() ? kDefaultAlphabet : options.alphabet;
+
+  if (options.max_depth == 0 || rng.bernoulli(options.atom_probability)) {
+    PredicatePtr pred;
+    if (rng.bernoulli(options.predicate_probability)) {
+      pred = Predicate::compare(
+          rng.bernoulli(0.5) ? MapSel::kIn : MapSel::kOut, "attr",
+          CmpOp::kGt, Value{static_cast<std::int64_t>(rng.uniform(0, 99))});
+    }
+    return Pattern::atom(names[rng.index(names.size())],
+                         rng.bernoulli(options.negation_probability),
+                         std::move(pred));
+  }
+  static constexpr PatternOp kOps[] = {
+      PatternOp::kConsecutive, PatternOp::kSequential, PatternOp::kChoice,
+      PatternOp::kParallel};
+  RandomPatternOptions child = options;
+  child.max_depth = options.max_depth - 1;
+  return Pattern::combine(kOps[rng.index(4)], random_pattern(rng, child),
+                          random_pattern(rng, child));
+}
+
 IncidentList synthetic_incidents(const SyntheticIncidentOptions& options) {
   Rng rng(options.seed);
   IncidentList list;

@@ -4,8 +4,12 @@
 // (experiments E4–E7) and the randomized property tests without paying for
 // full log construction.
 
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/incident.h"
+#include "core/pattern.h"
 
 namespace wflog {
 
@@ -26,5 +30,22 @@ IncidentList synthetic_incidents(const SyntheticIncidentOptions& options);
 /// A random incident within the given instance (not deduplicated).
 Incident random_incident(Rng& rng, Wid wid, std::size_t records,
                          std::size_t instance_len);
+
+/// Knobs for random pattern trees — the query side of the randomized
+/// property tests (batch differential, canonical-key invariance, parser
+/// round trips).
+struct RandomPatternOptions {
+  std::size_t max_depth = 4;
+  /// Activity alphabet to draw atoms from; defaults to A0..A7, matching
+  /// workload::random_process's activity names so patterns actually hit.
+  std::vector<std::string> alphabet;
+  double atom_probability = 0.35;  // stop early and emit an atom
+  double negation_probability = 0.15;
+  double predicate_probability = 0.0;  // compare on attribute "attr"
+};
+
+/// A random pattern tree drawn from `rng`. Operators are uniform over
+/// {⊙, ≫, ⊗, ⊕}; the tree has height at most max_depth + 1.
+PatternPtr random_pattern(Rng& rng, const RandomPatternOptions& options = {});
 
 }  // namespace wflog

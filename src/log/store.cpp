@@ -101,31 +101,52 @@ LogStore LogStore::open(const std::filesystem::path& dir) {
   // only be last in the final segment.
   Interner scratch;
   std::size_t max_tail_records = 0;
+  bool torn_tail = false;
+  std::uintmax_t tail_good_bytes = 0;  // clean prefix of the final segment
   for (std::size_t s = 0; s < store.segments_.size(); ++s) {
     std::ifstream seg(store.segment_path(s));
     if (!seg) {
       throw IoError("LogStore: missing segment " + store.segments_[s]);
     }
+    const bool final_segment = s + 1 == store.segments_.size();
     std::size_t records_in_segment = 0;
+    std::uintmax_t good_bytes = 0;
     while (std::getline(seg, line)) {
-      if (trim(line).empty()) continue;
+      if (trim(line).empty()) {
+        good_bytes += line.size() + 1;
+        continue;
+      }
       LogRecord l;
       try {
         l = parse_jsonl_record(line, scratch);
       } catch (const IoError&) {
-        if (s + 1 == store.segments_.size() && seg.peek() == EOF) {
+        if (final_segment && seg.peek() == EOF) {
+          torn_tail = true;
           break;  // torn tail line: drop
         }
         throw;
       }
+      good_bytes += line.size() + 1;
       ++records_in_segment;
       ++store.num_records_;
       const bool ended = scratch.name(l.activity) == kEndActivity;
       store.next_is_lsn_[l.wid] = ended ? 0 : l.is_lsn + 1;
     }
     max_tail_records = records_in_segment;
+    if (final_segment) tail_good_bytes = good_bytes;
   }
   store.tail_records_ = max_tail_records;
+
+  // Physically drop the torn bytes so the next append starts on a clean
+  // line; without this the resumed record would glue onto the torn prefix
+  // and corrupt the segment for every future load.
+  if (torn_tail) {
+    const std::filesystem::path tail_path =
+        store.segment_path(store.segments_.size() - 1);
+    tail_good_bytes =
+        std::min(tail_good_bytes, std::filesystem::file_size(tail_path));
+    std::filesystem::resize_file(tail_path, tail_good_bytes);
+  }
   store.options_.records_per_segment =
       std::max<std::size_t>(store.options_.records_per_segment, 1);
 

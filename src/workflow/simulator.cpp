@@ -125,9 +125,13 @@ class Simulation {
       auto it = e.store.find(attr);
       if (it != e.store.end()) in.emplace_back(attr, it->second);
     }
+    // `out` holds string_views into `writes`, so `writes` must stay alive
+    // until append() has interned the names.
+    AttrWrites writes;
     NamedAttrs out;
     if (node.body != nullptr) {
-      for (auto& [attr, value] : node.body(rng_, e.store)) {
+      writes = node.body(rng_, e.store);
+      for (auto& [attr, value] : writes) {
         e.store[attr] = value;
         out.emplace_back(attr, std::move(value));
       }

@@ -151,5 +151,83 @@ TEST(ChoiceDedupTest, NestedChoiceForcesConservativeDedup) {
   EXPECT_TRUE(needs_choice_dedup(*l, *r));
 }
 
+// ----- canonical keys (Theorems 2-4 invariance) ---------------------------
+
+TEST(CanonicalKeyTest, AssociativityCollapses) {
+  // Theorem 2: any grouping of one operator chain gets one key.
+  for (const auto combine :
+       {&Pattern::consecutive, &Pattern::sequential, &Pattern::choice,
+        &Pattern::parallel}) {
+    const PatternPtr left_nested =
+        combine(combine(A("a"), A("b")), A("c"));
+    const PatternPtr right_nested =
+        combine(A("a"), combine(A("b"), A("c")));
+    EXPECT_EQ(canonical_key(*left_nested), canonical_key(*right_nested));
+    EXPECT_EQ(canonical_hash(*left_nested), canonical_hash(*right_nested));
+  }
+}
+
+TEST(CanonicalKeyTest, CommutativitySortsChoiceAndParallel) {
+  // Theorem 3: ⊗/⊕ operand order is immaterial.
+  EXPECT_EQ(canonical_key(*(A("a") | A("b"))),
+            canonical_key(*(A("b") | A("a"))));
+  EXPECT_EQ(canonical_key(*(A("a") & A("b"))),
+            canonical_key(*(A("b") & A("a"))));
+  EXPECT_EQ(canonical_key(*((A("a") | A("b")) | A("c"))),
+            canonical_key(*(A("c") | (A("b") | A("a")))));
+  // ⊙/≫ are NOT commutative.
+  EXPECT_NE(canonical_key(*(A("a") + A("b"))),
+            canonical_key(*(A("b") + A("a"))));
+  EXPECT_NE(canonical_key(*(A("a") >> A("b"))),
+            canonical_key(*(A("b") >> A("a"))));
+}
+
+TEST(CanonicalKeyTest, MixedTemporalChainsRegroupFreely) {
+  // Theorem 4: (a ⊙ b) ≫ c ≡ a ⊙ (b ≫ c) — one key; but swapping WHICH
+  // operator sits between which operands changes meaning and key.
+  EXPECT_EQ(canonical_key(*((A("a") + A("b")) >> A("c"))),
+            canonical_key(*(A("a") + (A("b") >> A("c")))));
+  EXPECT_EQ(canonical_key(*((A("a") >> A("b")) + A("c"))),
+            canonical_key(*(A("a") >> (A("b") + A("c")))));
+  EXPECT_NE(canonical_key(*((A("a") + A("b")) >> A("c"))),
+            canonical_key(*((A("a") >> A("b")) + A("c"))));
+}
+
+TEST(CanonicalKeyTest, InequivalentFixturesDoNotCollide) {
+  const PatternPtr fixtures[] = {
+      A("a"),
+      A("b"),
+      N("a"),  // negation is semantic
+      Pattern::atom("a", false,
+                    Predicate::compare(MapSel::kOut, "x", CmpOp::kGt,
+                                       Value{std::int64_t{5}})),
+      Pattern::atom("a", false,
+                    Predicate::compare(MapSel::kOut, "x", CmpOp::kGt,
+                                       Value{std::int64_t{6}})),
+      A("a") + A("b"),   // ⊙ vs ≫ differ
+      A("a") >> A("b"),
+      A("a") | A("b"),
+      A("a") & A("b"),
+      A("a") | (A("b") & A("c")),  // grouping across DIFFERENT ops matters
+      (A("a") | A("b")) & A("c"),
+      A("a") + (A("b") | A("c")),
+      (A("a") + A("b")) | A("c"),
+  };
+  for (std::size_t i = 0; i < std::size(fixtures); ++i) {
+    for (std::size_t j = i + 1; j < std::size(fixtures); ++j) {
+      EXPECT_NE(canonical_key(*fixtures[i]), canonical_key(*fixtures[j]))
+          << "i=" << i << " j=" << j << ": "
+          << canonical_key(*fixtures[i]);
+    }
+  }
+}
+
+TEST(CanonicalKeyTest, BindingNamesAreIgnored) {
+  // Bindings never affect incident semantics, so keys (the sharing unit)
+  // must not see them.
+  EXPECT_EQ(canonical_key(*Pattern::bound_atom("x", "a")),
+            canonical_key(*Pattern::atom("a")));
+}
+
 }  // namespace
 }  // namespace wflog

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Builds the test suite under AddressSanitizer + UBSan and runs it.
+# Usage: tests/run_sanitized.sh [ctest args...]
+# The sanitized tree lives in build-sanitize/ (separate from build/).
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+cmake --preset asan-ubsan -S "$repo"
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cd "$repo"
+ctest --preset asan-ubsan "$@"

@@ -143,21 +143,52 @@ TEST_F(StoreTest, TornTailLineDroppedOnOpen) {
   }
   LogStore store = LogStore::open(dir_);
   EXPECT_EQ(store.num_records(), 2u);  // torn line dropped
-  // And writing continues correctly.
+  // open() truncates the torn bytes, so writing continues on a clean line
+  // and load() sees exactly the recovered records plus the new one.
   store.record(1, "b");
-  // NOTE: the torn bytes are still in the file before the new record; load
-  // must tolerate... the torn line now has content after it, so the store
-  // is expected to have compacted or the line remains invalid — verify
-  // load() reflects the recovered state.
-  // (The appended record starts on the same line as the torn bytes, so we
-  // accept either a clean load or an IoError here — what must hold is that
-  // open() recovered and never duplicated lsns.)
-  try {
-    const Log log = store.load();
-    EXPECT_GE(log.size(), 2u);
-  } catch (const IoError&) {
-    SUCCEED();
+  const Log log = store.load();
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST_F(StoreTest, TornTailTruncatedMidRecordResumesAtCorrectIsLsn) {
+  // Crash simulation the hard way: chop a VALID record in half with
+  // resize_file, exactly what a half-flushed page leaves behind.
+  Wid w = 0;
+  fs::path tail;
+  std::uintmax_t full_size = 0;
+  {
+    LogStore::Options options;
+    options.records_per_segment = 3;  // the torn segment is not the first
+    LogStore store = LogStore::create(dir_, options);
+    w = store.begin_instance();
+    store.record(w, "a");  // is-lsn 2
+    store.record(w, "b");  // is-lsn 3
+    store.record(w, "c");  // is-lsn 4, torn below; rolled to segment 2
+    EXPECT_EQ(store.num_segments(), 2u);
+    tail = dir_ / "seg-000002.jsonl";
+    full_size = fs::file_size(tail);
   }
+  fs::resize_file(tail, full_size - 7);  // mid-record cut
+
+  LogStore store = LogStore::open(dir_);
+  EXPECT_EQ(store.num_records(), 3u);  // START, a, b — torn "c" dropped
+  EXPECT_EQ(fs::file_size(tail), 0u);  // torn bytes physically gone
+
+  // Appends resume exactly where the surviving prefix stopped.
+  store.record(w, "d");  // must claim is-lsn 4 again
+  store.end_instance(w);
+
+  const Log log = store.load();
+  EXPECT_EQ(log.size(), 5u);  // START a b d END
+  const std::vector<LogRecord> records(log.begin(), log.end());
+  EXPECT_TRUE(check_well_formed(records, log.interner()).empty());
+  const LogIndex index(log);
+  EXPECT_EQ(index.instance_length(w), 5u);
+  EXPECT_EQ(index.find(w, 4)->activity, log.activity_symbol("d"));
+
+  QueryEngine engine(log);
+  EXPECT_EQ(engine.count("b . d"), 1u);
+  EXPECT_FALSE(engine.exists("c"));
 }
 
 TEST_F(StoreTest, CorruptMiddleSegmentRejected) {
