@@ -1,0 +1,114 @@
+// E17 — telemetry overhead guard. Three regimes of the same end-to-end
+// query:
+//
+//   Off       — no Telemetry installed: every instrumentation site is one
+//               relaxed load + null check. The guarantee under guard: this
+//               must stay within noise (<2%) of the pre-telemetry engine
+//               (compare against BM_QueryUpdateBeforeReimburse in
+//               bench_endtoend, EXPERIMENTS.md E17).
+//   Installed — metrics + pipeline-stage spans recorded.
+//   TraceNodes— the explain()-grade firehose: a span per operator node per
+//               instance. Expected to cost real time; this is the detail
+//               level `wfq --trace` opts into.
+//
+// Also micro-benches the primitives (counter add, histogram observe, span
+// open/close) so regressions are attributable.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "obs/telemetry.h"
+#include "workflow/workload.h"
+
+namespace {
+
+using namespace wflog;
+
+const Log& clinic_log() {
+  static const Log log = workload::clinic(1000, 0xE2E);
+  return log;
+}
+
+void BM_QueryTelemetryOff(benchmark::State& state) {
+  const Log& log = clinic_log();
+  const QueryEngine engine(log);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_QueryTelemetryOff);
+
+void BM_QueryTelemetryInstalled(benchmark::State& state) {
+  const Log& log = clinic_log();
+  const QueryEngine engine(log);
+  obs::Telemetry telemetry;
+  obs::ScopedTelemetry installed(telemetry);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+    benchmark::DoNotOptimize(r);
+    // Keep the span buffers from growing without bound across iterations.
+    if (telemetry.tracer.num_spans() > 100000) telemetry.tracer.clear();
+  }
+  state.counters["spans"] =
+      static_cast<double>(telemetry.tracer.num_spans());
+}
+BENCHMARK(BM_QueryTelemetryInstalled);
+
+void BM_QueryTelemetryTraceNodes(benchmark::State& state) {
+  const Log& log = clinic_log();
+  const QueryEngine engine(log);
+  obs::Telemetry telemetry;
+  telemetry.trace_nodes = true;
+  obs::ScopedTelemetry installed(telemetry);
+  for (auto _ : state) {
+    const QueryResult r = engine.run("UpdateRefer -> GetReimburse");
+    benchmark::DoNotOptimize(r);
+    if (telemetry.tracer.num_spans() > 100000) telemetry.tracer.clear();
+  }
+}
+BENCHMARK(BM_QueryTelemetryTraceNodes);
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("bench_total");
+  for (auto _ : state) {
+    c->inc();
+  }
+  benchmark::DoNotOptimize(c->value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h =
+      registry.histogram("bench_seconds", obs::default_latency_bounds());
+  double v = 1e-7;
+  for (auto _ : state) {
+    h->observe(v);
+    v = v < 1.0 ? v * 1.5 : 1e-7;  // sweep the bucket ladder
+  }
+  benchmark::DoNotOptimize(h->count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanOpenClose(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::Tracer::Span span = tracer.span("bench");
+    benchmark::DoNotOptimize(span);
+    if (tracer.num_spans() > 1000000) tracer.clear();
+  }
+}
+BENCHMARK(BM_SpanOpenClose);
+
+void BM_InertSpan(benchmark::State& state) {
+  // What every WFLOG_SPAN site costs with no telemetry installed.
+  for (auto _ : state) {
+    WFLOG_SPAN(span, "bench");
+    benchmark::DoNotOptimize(span);
+  }
+}
+BENCHMARK(BM_InertSpan);
+
+}  // namespace

@@ -18,13 +18,22 @@
 //
 // Logs may be .csv, .jsonl, or .xes (IEEE 1849) — format by extension.
 //
+// Global telemetry flags (any command, stripped before dispatch):
+//   --trace <out.json>     record spans, write Chrome trace_event JSON
+//                          (load in chrome://tracing or ui.perfetto.dev);
+//                          also enables per-operator-node eval spans
+//   --metrics              print Prometheus text exposition on exit
+//   --metrics-json <file>  write the metrics snapshot as JSON
+//
 // Pattern syntax: activity names; operators . (consecutive), -> (sequential),
 // | (choice), & (parallel); ! negation; [attr op value] predicates.
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/text.h"
@@ -36,6 +45,7 @@
 #include "log/io_jsonl.h"
 #include "log/io_xes.h"
 #include "log/stats.h"
+#include "obs/telemetry.h"
 #include "workflow/discovery.h"
 #include "workflow/dot.h"
 #include "workflow/clinic.h"
@@ -61,7 +71,9 @@ using namespace wflog;
          "  wfq audit     <log>\n"
          "  wfq repl      <log>\n"
          "  wfq gen    clinic|procurement|random <instances> <seed> "
-         "<out.{csv,jsonl,xes}>\n";
+         "<out.{csv,jsonl,xes}>\n"
+         "global flags (any command): --trace <out.json>  --metrics  "
+         "--metrics-json <file>\n";
   std::exit(2);
 }
 
@@ -283,9 +295,7 @@ int cmd_gen(const std::string& kind, std::size_t instances,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
@@ -344,4 +354,70 @@ int main(int argc, char** argv) {
     return 3;
   }
   usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the global telemetry flags (position-independent) so each
+  // subcommand's own argument parsing never sees them.
+  std::string trace_path, metrics_json_path;
+  bool metrics = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (flag == "--metrics-json" && i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (flag == "--metrics") {
+      metrics = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  std::optional<obs::Telemetry> telemetry;
+  std::optional<obs::ScopedTelemetry> installed;
+  if (!trace_path.empty() || metrics || !metrics_json_path.empty()) {
+    telemetry.emplace();
+    // Traces get the explain()-grade detail: a span per operator node.
+    telemetry->trace_nodes = !trace_path.empty();
+    installed.emplace(*telemetry);
+    if (obs::telemetry() == nullptr) {
+      std::cerr << "note: telemetry flags ignored (built with "
+                   "-DWFLOG_OBS=OFF)\n";
+    }
+  }
+
+  const int rc = dispatch(static_cast<int>(args.size()), args.data());
+
+  if (telemetry.has_value() && obs::telemetry() != nullptr) {
+    if (!trace_path.empty()) {
+      const obs::SpanSnapshot snap = telemetry->tracer.snapshot();
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::cerr << "error: cannot write trace to '" << trace_path
+                  << "'\n";
+      } else {
+        out << obs::to_chrome_trace_json(snap);
+        std::cerr << "trace: " << snap.spans.size() << " span(s) -> "
+                  << trace_path << " (load in chrome://tracing)\n";
+      }
+    }
+    if (metrics) {
+      std::cout << obs::to_prometheus_text(telemetry->metrics.snapshot());
+    }
+    if (!metrics_json_path.empty()) {
+      std::ofstream out(metrics_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '" << metrics_json_path
+                  << "'\n";
+      } else {
+        out << obs::metrics_to_json(telemetry->metrics.snapshot()) << "\n";
+      }
+    }
+  }
+  return rc;
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/printer.h"
+#include "obs/telemetry.h"
+
 namespace wflog {
 namespace {
 
@@ -13,21 +16,53 @@ double us_since(Clock::time_point start) {
       .count();
 }
 
+/// Folds the evaluator-work delta of one run into the ambient registry.
+void fold_counters(obs::Telemetry* t, EvalCounters delta) {
+  t->eval_operator_nodes_total->add(delta.operator_nodes_evaluated);
+  t->eval_pairs_examined_total->add(delta.pairs_examined);
+  t->eval_incidents_emitted_total->add(delta.incidents_emitted);
+  t->eval_cache_hits_total->add(delta.cache_hits);
+  t->eval_cache_misses_total->add(delta.cache_misses);
+  t->eval_cache_bytes_total->add(delta.cache_bytes);
+}
+
+}  // namespace
+
+namespace {
+
+LogIndex build_index_instrumented(const Log& log) {
+  WFLOG_SPAN(span, "engine.index_build");
+  LogIndex index(log);
+  if (span.active()) {
+    span.arg("records", static_cast<std::uint64_t>(log.size()));
+    span.arg("instances", static_cast<std::uint64_t>(log.wids().size()));
+  }
+  return index;
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(const Log& log, QueryOptions options)
     : log_(&log),
       options_(options),
-      index_(log),
+      index_(build_index_instrumented(log)),
       cost_model_(index_),
       evaluator_(index_, options.eval) {}
 
 QueryResult QueryEngine::run(std::string_view query_text) const {
+  WFLOG_SPAN(span, "query");
+  if (span.active()) span.arg("query", std::string(query_text));
   const auto t0 = Clock::now();
-  ParsedQuery parsed = parse_query(query_text);
-  const double parse_us = us_since(t0);
-  QueryResult r = run(std::move(parsed.pattern), std::move(parsed.where));
-  r.parse_us = parse_us;
+  QueryResult r;
+  {
+    WFLOG_SPAN(parse_span, "query.parse");
+    ParsedQuery parsed = parse_query(query_text);
+    const double parse_us = us_since(t0);
+    parse_span.end();
+    r = run(std::move(parsed.pattern), std::move(parsed.where));
+    r.parse_us = parse_us;
+  }
+  WFLOG_TELEMETRY(t) { t->query_parse_seconds->observe(r.parse_us * 1e-6); }
   return r;
 }
 
@@ -38,26 +73,58 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
   r.estimated_cost_before = cost_model_.cost(*pattern);
 
   if (options_.optimize) {
+    WFLOG_SPAN(opt_span, "query.optimize");
     const auto t0 = Clock::now();
     OptimizeResult opt =
         optimize(std::move(pattern), cost_model_, options_.optimizer);
     r.optimize_us = us_since(t0);
     r.executed = std::move(opt.pattern);
     r.estimated_cost_after = opt.final_cost;
+    if (opt_span.active()) {
+      opt_span.arg("cost_before", r.estimated_cost_before);
+      opt_span.arg("cost_after", r.estimated_cost_after);
+    }
   } else {
     r.executed = std::move(pattern);
     r.estimated_cost_after = r.estimated_cost_before;
   }
 
+  obs::Telemetry* telemetry = obs::telemetry();
+  const EvalCounters before =
+      telemetry != nullptr ? evaluator_.counters() : EvalCounters{};
+
   const auto t1 = Clock::now();
-  r.incidents = evaluator_.evaluate(*r.executed);
+  {
+    WFLOG_SPAN(eval_span, "query.eval");
+    if (telemetry != nullptr && telemetry->trace_nodes) {
+      // explain()-grade detail: a span per operator node per instance.
+      const NodeTracer node_trace(telemetry->tracer, *r.executed);
+      r.incidents = evaluator_.evaluate(*r.executed, &node_trace);
+    } else {
+      r.incidents = evaluator_.evaluate(*r.executed);
+    }
+    if (eval_span.active()) {
+      eval_span.arg("incidents",
+                    static_cast<std::uint64_t>(r.incidents.total()));
+    }
+  }
   if (r.where != nullptr) {
     // Existential where semantics over assignments; derivation runs
     // against the PARSED pattern (its variables), not the optimized tree
     // (rewrites preserve incidents but may reshape the atom layout).
+    WFLOG_SPAN(where_span, "query.where");
     r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
   }
   r.eval_us = us_since(t1);
+
+  if (telemetry != nullptr) {
+    telemetry->queries_total->inc();
+    telemetry->query_optimize_seconds->observe(r.optimize_us * 1e-6);
+    telemetry->query_eval_seconds->observe(r.eval_us * 1e-6);
+    EvalCounters delta = evaluator_.counters();
+    delta -= before;
+    fold_counters(telemetry, delta);
+  }
   return r;
 }
 
@@ -75,6 +142,11 @@ std::size_t BatchResult::total() const {
 BatchResult QueryEngine::run_batch(std::span<const Query> queries,
                                    std::size_t threads,
                                    bool use_cache) const {
+  WFLOG_SPAN(span, "batch");
+  if (span.active()) {
+    span.arg("queries", static_cast<std::uint64_t>(queries.size()));
+    span.arg("threads", static_cast<std::uint64_t>(threads));
+  }
   BatchResult batch;
   batch.results.resize(queries.size());
 
@@ -83,23 +155,26 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
   // keys absorb whatever commutations/rotations the optimizer chose.
   std::vector<PatternPtr> executed;
   executed.reserve(queries.size());
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    QueryResult& r = batch.results[q];
-    r.parsed = queries[q].pattern;
-    r.where = queries[q].where;
-    r.estimated_cost_before = cost_model_.cost(*r.parsed);
-    if (options_.optimize) {
-      const auto t0 = Clock::now();
-      OptimizeResult opt =
-          optimize(r.parsed, cost_model_, options_.optimizer);
-      r.optimize_us = us_since(t0);
-      r.executed = std::move(opt.pattern);
-      r.estimated_cost_after = opt.final_cost;
-    } else {
-      r.executed = r.parsed;
-      r.estimated_cost_after = r.estimated_cost_before;
+  {
+    WFLOG_SPAN(opt_span, "batch.optimize");
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      QueryResult& r = batch.results[q];
+      r.parsed = queries[q].pattern;
+      r.where = queries[q].where;
+      r.estimated_cost_before = cost_model_.cost(*r.parsed);
+      if (options_.optimize) {
+        const auto t0 = Clock::now();
+        OptimizeResult opt =
+            optimize(r.parsed, cost_model_, options_.optimizer);
+        r.optimize_us = us_since(t0);
+        r.executed = std::move(opt.pattern);
+        r.estimated_cost_after = opt.final_cost;
+      } else {
+        r.executed = r.parsed;
+        r.estimated_cost_after = r.estimated_cost_before;
+      }
+      executed.push_back(r.executed);
     }
-    executed.push_back(r.executed);
   }
 
   BatchOptions opts;
@@ -107,18 +182,36 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
   opts.use_cache = use_cache;
   opts.eval = options_.eval;
   const auto t1 = Clock::now();
-  std::vector<IncidentSet> sets =
-      evaluate_batch(executed, index_, opts, &batch.stats);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    QueryResult& r = batch.results[q];
-    r.incidents = std::move(sets[q]);
-    if (r.where != nullptr) {
-      r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+  {
+    WFLOG_SPAN(eval_span, "batch.eval");
+    std::vector<IncidentSet> sets =
+        evaluate_batch(executed, index_, opts, &batch.stats);
+    if (eval_span.active()) {
+      eval_span.arg("slots",
+                    static_cast<std::uint64_t>(batch.stats.plan.distinct_slots));
+      eval_span.arg("cache_hits", batch.stats.counters.cache_hits);
+    }
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      QueryResult& r = batch.results[q];
+      r.incidents = std::move(sets[q]);
+      if (r.where != nullptr) {
+        r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+      }
     }
   }
   batch.eval_us = us_since(t1);
+  // Deterministic, documented attribution (engine.h): the pass is shared,
+  // so every query reports the full shared-pass wall time rather than an
+  // invented pro-rated share.
   for (QueryResult& r : batch.results) {
-    r.eval_us = batch.eval_us / std::max<std::size_t>(1, queries.size());
+    r.eval_us = batch.eval_us;
+  }
+
+  WFLOG_TELEMETRY(t) {
+    t->batches_total->inc();
+    t->batch_queries_total->add(queries.size());
+    t->batch_eval_seconds->observe(batch.eval_us * 1e-6);
+    fold_counters(t, batch.stats.counters);
   }
   return batch;
 }
@@ -135,8 +228,10 @@ BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
 }
 
 bool QueryEngine::exists(std::string_view query_text) const {
+  WFLOG_SPAN(span, "query.exists");
   ParsedQuery parsed = parse_query(query_text);
   if (parsed.where == nullptr) {
+    WFLOG_TELEMETRY(t) { t->queries_total->inc(); }
     return evaluator_.exists(*parsed.pattern);
   }
   // where clauses need materialized incidents + binding derivation.
@@ -144,8 +239,10 @@ bool QueryEngine::exists(std::string_view query_text) const {
 }
 
 std::size_t QueryEngine::count(std::string_view query_text) const {
+  WFLOG_SPAN(span, "query.count");
   ParsedQuery parsed = parse_query(query_text);
   if (parsed.where == nullptr) {
+    WFLOG_TELEMETRY(t) { t->queries_total->inc(); }
     return evaluator_.count(*parsed.pattern);
   }
   return run(std::move(parsed.pattern), std::move(parsed.where)).total();

@@ -60,10 +60,19 @@ struct Query {
 
 /// Result of running a batch: per-query results (input order) plus the
 /// sharing tallies of the one shared evaluation pass.
+///
+/// Timing attribution: evaluation is ONE pass shared by every query, so a
+/// per-query share of `eval_us` would be an invention. Deterministically,
+/// `eval_us` below is the shared pass's wall time and every
+/// `results[q].eval_us` reports that same figure — "this query's answer
+/// took the whole pass". Per-query `parse_us`/`optimize_us` are genuine
+/// (the front end runs per query). The shared figure is also exported as
+/// the `wflog_batch_eval_seconds` histogram when telemetry is installed
+/// (obs/telemetry.h).
 struct BatchResult {
   std::vector<QueryResult> results;
   BatchEvalStats stats;
-  double eval_us = 0;  // the shared pass (per-query eval_us is pro-rated)
+  double eval_us = 0;  // wall time of the one shared evaluation pass
 
   std::size_t num_queries() const { return results.size(); }
   /// Incidents across all queries.

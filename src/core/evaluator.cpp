@@ -5,6 +5,54 @@
 #include "core/operators_opt.h"
 
 namespace wflog {
+namespace {
+
+/// Render label shared by NodeTracer spans and explain() rows.
+std::string node_label(const Pattern& p) {
+  if (!p.is_atom()) return "[" + std::string(op_token(p.op())) + "]";
+  std::string label = (p.negated() ? "!" : "") + p.activity();
+  if (p.predicate() != nullptr) {
+    label += "[" + p.predicate()->to_string() + "]";
+  }
+  return label;
+}
+
+}  // namespace
+
+NodeTracer::NodeTracer(obs::Tracer& tracer, const Pattern& root)
+    : tracer_(&tracer) {
+  // Pre-order walk, matching explain()'s row order.
+  struct Frame {
+    const Pattern* node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{&root, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    preorder_.emplace(f.node,
+                      static_cast<std::uint32_t>(labels_.size()));
+    labels_.push_back(node_label(*f.node));
+    depths_.push_back(f.depth);
+    if (!f.node->is_atom()) {
+      // Right pushed first so left pops (and numbers) first.
+      stack.push_back({f.node->right().get(), f.depth + 1});
+      stack.push_back({f.node->left().get(), f.depth + 1});
+    }
+  }
+}
+
+obs::Tracer::Span NodeTracer::open(const Pattern& p) const {
+  const auto it = preorder_.find(&p);
+  if (it == preorder_.end()) {
+    // Not a node of the traced tree (e.g. a different query of the same
+    // batch): stay silent rather than mislabel.
+    return obs::Tracer::Span{};
+  }
+  obs::Tracer::Span span = tracer_->span(labels_[it->second]);
+  span.arg("node", static_cast<std::uint64_t>(it->second));
+  return span;
+}
 
 Evaluator::Evaluator(const LogIndex& index, EvalOptions opts)
     : index_(&index), opts_(opts) {}
@@ -53,7 +101,13 @@ std::uint64_t incident_bytes(const IncidentList& list) {
 }  // namespace
 
 IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
-                                  SubpatternMemo* memo) const {
+                                  SubpatternMemo* memo,
+                                  const NodeTracer* trace) const {
+  // Profiling span (inert unless a NodeTracer is threaded through): opened
+  // before the memo check so cache hits are visible in traces too.
+  obs::Tracer::Span span;
+  if (trace != nullptr) span = trace->open(p);
+
   // Memo check first: a hit replaces the whole subtree's evaluation,
   // atoms included ("atomic occurrence lists are computed once").
   std::uint32_t slot = SubpatternMemo::kNoSlot;
@@ -62,6 +116,10 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
     if (slot != SubpatternMemo::kNoSlot) {
       if (const IncidentList* cached = memo->lookup(slot)) {
         ++counters_.cache_hits;
+        if (span.active()) {
+          span.arg("cache_hit", std::uint64_t{1});
+          span.arg("incidents", static_cast<std::uint64_t>(cached->size()));
+        }
         return *cached;
       }
     }
@@ -74,42 +132,47 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
       counters_.cache_bytes += incident_bytes(atoms);
       memo->store(slot, atoms);
     }
+    if (span.active()) {
+      span.arg("incidents", static_cast<std::uint64_t>(atoms.size()));
+    }
     return atoms;
   }
 
-  const IncidentList left = eval_node(*p.left(), wid, memo);
-  const IncidentList right = eval_node(*p.right(), wid, memo);
+  const IncidentList left = eval_node(*p.left(), wid, memo, trace);
+  const IncidentList right = eval_node(*p.right(), wid, memo, trace);
   ++counters_.operator_nodes_evaluated;
 
   IncidentList out;
+  std::uint64_t pairs = 0;
   const bool opt = opts_.use_optimized_operators;
   switch (p.op()) {
     case PatternOp::kAtom:
       break;  // unreachable
     case PatternOp::kConsecutive:
-      counters_.pairs_examined += left.size() * right.size();
+      pairs = left.size() * right.size();
       out = opt ? eval_consecutive_opt(left, right)
                 : eval_consecutive_naive(left, right);
       break;
     case PatternOp::kSequential:
-      counters_.pairs_examined += left.size() * right.size();
+      pairs = left.size() * right.size();
       out = opt ? eval_sequential_opt(left, right)
                 : eval_sequential_naive(left, right);
       break;
     case PatternOp::kChoice: {
       const bool dedup = needs_choice_dedup(*p.left(), *p.right());
-      counters_.pairs_examined +=
-          dedup ? left.size() * right.size() : left.size() + right.size();
+      pairs = dedup ? left.size() * right.size()
+                    : left.size() + right.size();
       out = opt ? eval_choice_opt(left, right, dedup)
                 : eval_choice_naive(left, right, dedup);
       break;
     }
     case PatternOp::kParallel:
-      counters_.pairs_examined += left.size() * right.size();
+      pairs = left.size() * right.size();
       out = opt ? eval_parallel_opt(left, right)
                 : eval_parallel_naive(left, right);
       break;
   }
+  counters_.pairs_examined += pairs;
   if (opts_.max_span != 0) {
     // Span only grows upward through the tree, so pruning here is sound.
     std::erase_if(out, [this](const Incident& o) {
@@ -122,18 +185,24 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
     counters_.cache_bytes += incident_bytes(out);
     memo->store(slot, out);
   }
+  if (span.active()) {
+    span.arg("incidents", static_cast<std::uint64_t>(out.size()));
+    span.arg("pairs", pairs);
+  }
   return out;
 }
 
 IncidentList Evaluator::evaluate_instance(const Pattern& p, Wid wid,
-                                          SubpatternMemo* memo) const {
-  return eval_node(p, wid, memo);
+                                          SubpatternMemo* memo,
+                                          const NodeTracer* trace) const {
+  return eval_node(p, wid, memo, trace);
 }
 
-IncidentSet Evaluator::evaluate(const Pattern& p) const {
+IncidentSet Evaluator::evaluate(const Pattern& p,
+                                const NodeTracer* trace) const {
   IncidentSet result;
   for (Wid wid : index_->wids()) {
-    IncidentList incidents = eval_node(p, wid, nullptr);
+    IncidentList incidents = eval_node(p, wid, nullptr, trace);
     if (!incidents.empty()) result.add_group(wid, std::move(incidents));
   }
   return result;
@@ -146,7 +215,7 @@ bool Evaluator::exists(const Pattern& p) const {
     }
   }
   for (Wid wid : index_->wids()) {
-    if (!eval_node(p, wid, nullptr).empty()) return true;
+    if (!eval_node(p, wid, nullptr, nullptr).empty()) return true;
   }
   return false;
 }
@@ -159,7 +228,7 @@ std::size_t Evaluator::count(const Pattern& p) const {
   }
   std::size_t n = 0;
   for (Wid wid : index_->wids()) {
-    n += eval_node(p, wid, nullptr).size();
+    n += eval_node(p, wid, nullptr, nullptr).size();
   }
   return n;
 }

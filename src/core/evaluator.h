@@ -12,12 +12,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/incident.h"
 #include "core/pattern.h"
 #include "log/index.h"
+#include "obs/trace.h"
 
 namespace wflog {
 
@@ -63,6 +65,18 @@ struct EvalCounters {
     cache_bytes += other.cache_bytes;
     return *this;
   }
+
+  /// Delta since a snapshot — how the engine folds per-run work into the
+  /// telemetry registry (obs/telemetry.h) without resetting the evaluator.
+  EvalCounters& operator-=(const EvalCounters& other) {
+    operator_nodes_evaluated -= other.operator_nodes_evaluated;
+    pairs_examined -= other.pairs_examined;
+    incidents_emitted -= other.incidents_emitted;
+    cache_hits -= other.cache_hits;
+    cache_misses -= other.cache_misses;
+    cache_bytes -= other.cache_bytes;
+    return *this;
+  }
 };
 
 /// Maps pattern nodes to canonical-key slots: nodes with equal
@@ -106,20 +120,57 @@ class SubpatternMemo {
   std::vector<std::optional<IncidentList>> entries_;
 };
 
+/// Per-operator-node profiling hook: assigns every node of ONE pattern
+/// tree its pre-order index and render label, and makes the evaluator emit
+/// one tracer span per node evaluation (args: "node" = pre-order index,
+/// "incidents" = output size, "pairs" = operand pairs examined). Both
+/// explain() and deep `wfq --trace` runs are built on this — the single
+/// profiling code path. Evaluation without a NodeTracer costs one null
+/// check per node.
+///
+/// Caveat: nodes are keyed by address, so a tree that physically shares a
+/// subtree (possible after optimizer rewrites, never from the parser)
+/// charges both occurrences to one row.
+class NodeTracer {
+ public:
+  /// `tracer` and `root` must outlive the NodeTracer.
+  NodeTracer(obs::Tracer& tracer, const Pattern& root);
+
+  std::size_t num_nodes() const noexcept { return labels_.size(); }
+  /// Render label of pre-order node i: "SeeDoctor", "!a[x > 5]", "[->]".
+  const std::string& label(std::size_t i) const { return labels_[i]; }
+  /// Depth of pre-order node i (root = 0).
+  std::size_t depth(std::size_t i) const { return depths_[i]; }
+  obs::Tracer& tracer() const noexcept { return *tracer_; }
+
+ private:
+  friend class Evaluator;
+  /// Opens the span for one evaluation of `p` (with the "node" arg set).
+  obs::Tracer::Span open(const Pattern& p) const;
+
+  obs::Tracer* tracer_;
+  std::unordered_map<const Pattern*, std::uint32_t> preorder_;
+  std::vector<std::string> labels_;
+  std::vector<std::size_t> depths_;
+};
+
 class Evaluator {
  public:
   /// The index (and the log it refers to) must outlive the Evaluator.
   explicit Evaluator(const LogIndex& index, EvalOptions opts = {});
 
-  /// inc_L(p): all incidents of p in the log, grouped by instance.
-  IncidentSet evaluate(const Pattern& p) const;
+  /// inc_L(p): all incidents of p in the log, grouped by instance. With a
+  /// NodeTracer, every node evaluation emits a profiling span.
+  IncidentSet evaluate(const Pattern& p,
+                       const NodeTracer* trace = nullptr) const;
 
   /// Incidents of p within one workflow instance. With a memo, every node
   /// mapped by the memo's SlotMap is answered from / stored into the memo
   /// — the batch engine's sharing hook. The caller owns the memo's
   /// lifecycle (reset between instances).
   IncidentList evaluate_instance(const Pattern& p, Wid wid,
-                                 SubpatternMemo* memo = nullptr) const;
+                                 SubpatternMemo* memo = nullptr,
+                                 const NodeTracer* trace = nullptr) const;
 
   /// True iff inc_L(p) is nonempty. Stops at the first instance with a
   /// match — the cheap mode for "are there any ...?" questions.
@@ -136,8 +187,8 @@ class Evaluator {
   void reset_counters() const noexcept { counters_ = EvalCounters{}; }
 
  private:
-  IncidentList eval_node(const Pattern& p, Wid wid,
-                         SubpatternMemo* memo) const;
+  IncidentList eval_node(const Pattern& p, Wid wid, SubpatternMemo* memo,
+                         const NodeTracer* trace) const;
   IncidentList eval_atom(const Pattern& p, Wid wid) const;
 
   const LogIndex* index_;

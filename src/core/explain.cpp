@@ -3,110 +3,97 @@
 #include <chrono>
 #include <sstream>
 
-#include "core/operators.h"
-#include "core/operators_opt.h"
+#include "obs/trace.h"
 
 namespace wflog {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Pre-order node table mirroring the pattern tree.
-void build_profiles(const Pattern& p, const CostModel& model,
-                    std::size_t instances, std::size_t depth,
-                    std::vector<NodeProfile>& out) {
-  NodeProfile profile;
-  profile.depth = depth;
-  profile.op = p.op();
-  if (p.is_atom()) {
-    profile.label = (p.negated() ? "!" : "") + p.activity();
-    if (p.predicate() != nullptr) {
-      profile.label += "[" + p.predicate()->to_string() + "]";
-    }
-  } else {
-    profile.label = "[" + std::string(op_token(p.op())) + "]";
-  }
-  const Estimate est = model.estimate(p);
-  profile.estimated_incidents =
-      est.cardinality * static_cast<double>(instances);
-  profile.estimated_cost = est.cost;
-  out.push_back(std::move(profile));
-  if (!p.is_atom()) {
-    build_profiles(*p.left(), model, instances, depth + 1, out);
-    build_profiles(*p.right(), model, instances, depth + 1, out);
-  }
-}
-
-/// Evaluates the node rooted at profile index `at` for one instance,
-/// charging stats to the profile table. Returns the incident list and the
-/// next profile index after this subtree.
-struct ProfilingEvaluator {
-  const LogIndex& index;
-  const Evaluator& atom_eval;  // reuse atom semantics (negation options)
-  std::vector<NodeProfile>& profiles;
-
-  std::pair<IncidentList, std::size_t> eval(const Pattern& p, std::size_t at,
-                                            Wid wid) {
-    if (p.is_atom()) {
-      const auto t0 = Clock::now();
-      IncidentList out = atom_eval.evaluate_instance(p, wid);
-      profiles[at].actual_us +=
-          std::chrono::duration<double, std::micro>(Clock::now() - t0)
-              .count();
-      profiles[at].actual_incidents += out.size();
-      return {std::move(out), at + 1};
-    }
-    auto [left, after_left] = eval(*p.left(), at + 1, wid);
-    auto [right, after_right] = eval(*p.right(), after_left, wid);
-
-    const auto t0 = Clock::now();
-    IncidentList out;
-    switch (p.op()) {
-      case PatternOp::kAtom:
-        break;
-      case PatternOp::kConsecutive:
-        out = eval_consecutive_opt(left, right);
-        break;
-      case PatternOp::kSequential:
-        out = eval_sequential_opt(left, right);
-        break;
-      case PatternOp::kChoice:
-        out = eval_choice_opt(left, right,
-                              needs_choice_dedup(*p.left(), *p.right()));
-        break;
-      case PatternOp::kParallel:
-        out = eval_parallel_opt(left, right);
-        break;
-    }
-    profiles[at].actual_us +=
-        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-    profiles[at].actual_incidents += out.size();
-    profiles[at].pairs_examined +=
-        static_cast<std::uint64_t>(left.size()) * right.size();
-    return {std::move(out), after_right};
-  }
-};
-
 }  // namespace
 
 ExplainResult explain(const Pattern& p, const LogIndex& index,
                       const CostModel& model, const EvalOptions& opts) {
   ExplainResult result;
-  build_profiles(p, model, index.wids().size(), 0, result.nodes);
 
-  const Evaluator atom_eval(index, opts);
-  ProfilingEvaluator prof{index, atom_eval, result.nodes};
+  // One profiling code path: evaluation runs through the ordinary
+  // Evaluator with a NodeTracer emitting a span per node per instance
+  // (core/evaluator.h); the report below is an aggregation of those spans.
+  obs::Tracer tracer;
+  const NodeTracer node_trace(tracer, p);
 
+  // Row skeleton in NodeTracer's pre-order, with the cost model's view.
+  struct Walk {
+    const CostModel& model;
+    std::size_t instances;
+    std::vector<NodeProfile>& out;
+    void visit(const Pattern& node, std::size_t depth) {
+      NodeProfile profile;
+      profile.depth = depth;
+      profile.op = node.op();
+      const Estimate est = model.estimate(node);
+      profile.estimated_incidents =
+          est.cardinality * static_cast<double>(instances);
+      profile.estimated_cost = est.cost;
+      out.push_back(std::move(profile));
+      if (!node.is_atom()) {
+        visit(*node.left(), depth + 1);
+        visit(*node.right(), depth + 1);
+      }
+    }
+  };
+  Walk{model, index.wids().size(), result.nodes}.visit(p, 0);
+  for (std::size_t i = 0; i < result.nodes.size(); ++i) {
+    result.nodes[i].label = node_trace.label(i);
+  }
+
+  const Evaluator evaluator(index, opts);
   const auto t0 = Clock::now();
   for (Wid wid : index.wids()) {
-    auto [incidents, next] = prof.eval(p, 0, wid);
-    (void)next;
+    IncidentList incidents =
+        evaluator.evaluate_instance(p, wid, nullptr, &node_trace);
     if (!incidents.empty()) {
       result.incidents.add_group(wid, std::move(incidents));
     }
   }
   result.total_us =
       std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+
+  // Fold the spans into the per-node rows: self time (children excluded),
+  // output cardinality, and pairs examined, summed over instances.
+  const obs::SpanSnapshot snap = tracer.snapshot();
+  std::vector<std::uint64_t> child_ns(snap.spans.size(), 0);
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const obs::SpanRecord& span = snap.spans[i];
+    if (span.parent != obs::SpanRecord::kNoParent) {
+      child_ns[span.parent] += span.dur_ns;
+    }
+  }
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const obs::SpanRecord& span = snap.spans[i];
+    std::size_t node = result.nodes.size();
+    std::uint64_t incidents = 0, pairs = 0;
+    for (const obs::SpanArg& arg : span.args) {
+      const auto* v = std::get_if<std::uint64_t>(&arg.value);
+      if (v == nullptr) continue;
+      if (arg.key == "node") {
+        node = static_cast<std::size_t>(*v);
+      } else if (arg.key == "incidents") {
+        incidents = *v;
+      } else if (arg.key == "pairs") {
+        pairs = *v;
+      }
+    }
+    if (node >= result.nodes.size()) continue;
+    NodeProfile& row = result.nodes[node];
+    // Saturate: clock quantization can make nested child durations sum to
+    // a hair more than the parent's.
+    const std::uint64_t self_ns =
+        span.dur_ns > child_ns[i] ? span.dur_ns - child_ns[i] : 0;
+    row.actual_us += static_cast<double>(self_ns) / 1000.0;
+    row.actual_incidents += incidents;
+    row.pairs_examined += pairs;
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "core/parser.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 namespace {
@@ -43,6 +44,7 @@ LogMonitor::QueryId LogMonitor::add_query(std::string_view pattern_text) {
 }
 
 LogMonitor::QueryId LogMonitor::add_query(PatternPtr pattern) {
+  WFLOG_SPAN(span, "monitor.add_query");
   CompiledQuery q;
   q.id = next_query_id_++;
   q.pattern = std::move(pattern);
@@ -50,6 +52,12 @@ LogMonitor::QueryId LogMonitor::add_query(PatternPtr pattern) {
   queries_.push_back(std::move(q));
   match_totals_.emplace(queries_.back().id, 0);
   backfill(queries_.back());
+  WFLOG_TELEMETRY(t) {
+    t->monitor_queries->set(static_cast<double>(queries_.size()));
+  }
+  if (span.active()) {
+    span.arg("backfilled", static_cast<std::uint64_t>(num_records_));
+  }
   return queries_.back().id;
 }
 
@@ -60,6 +68,9 @@ void LogMonitor::remove_query(QueryId id) {
                                 }),
                  queries_.end());
   state_.erase(id);
+  WFLOG_TELEMETRY(t) {
+    t->monitor_queries->set(static_cast<double>(queries_.size()));
+  }
 }
 
 void LogMonitor::backfill(CompiledQuery& q) {
@@ -86,6 +97,7 @@ Wid LogMonitor::begin_instance() {
   while (next_is_lsn_.contains(next_wid_)) ++next_wid_;
   const Wid wid = next_wid_;
   next_is_lsn_.emplace(wid, 1);
+  WFLOG_TELEMETRY(t) { t->monitor_open_instances->add(1.0); }
   append_record(wid, start_sym_, {}, {});
   return wid;
 }
@@ -121,6 +133,7 @@ void LogMonitor::end_instance(Wid wid) {
   }
   append_record(wid, end_sym_, {}, {});
   it->second = 0;  // completed
+  WFLOG_TELEMETRY(t) { t->monitor_open_instances->add(-1.0); }
   // A completed instance can produce no further matches: drop its state.
   for (auto& [query_id, per_wid] : state_) {
     per_wid.erase(wid);
@@ -137,6 +150,7 @@ void LogMonitor::append_record(Wid wid, Symbol activity, AttrMap in,
   l.in = std::move(in);
   l.out = std::move(out);
   ++num_records_;
+  WFLOG_TELEMETRY(t) { t->monitor_records_total->inc(); }
 
   for (CompiledQuery& q : queries_) {
     feed(q, l);
@@ -230,6 +244,7 @@ void LogMonitor::feed(CompiledQuery& q, const LogRecord& l) {
       if (fresh && i == root) {
         matches_.push_back(Match{q.id, o});
         ++match_totals_[q.id];
+        WFLOG_TELEMETRY(t) { t->monitor_matches_total->inc(); }
       }
     }
   }

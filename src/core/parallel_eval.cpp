@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "core/linear.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 
@@ -22,16 +23,26 @@ void parallel_for_instances(std::size_t count, std::size_t threads,
     for (std::size_t i = 0; i < count; ++i) work(i);
     return;
   }
+  WFLOG_TELEMETRY(t) { t->parallel_workers_total->add(threads); }
   std::atomic<std::size_t> cursor{0};
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
-    pool.emplace_back([&cursor, count, &work] {
+    pool.emplace_back([&cursor, count, &work, t] {
+      // One span per worker: its lane in the trace shows the stealing
+      // cursor's actual load balance.
+      WFLOG_SPAN(span, "parallel.worker");
+      std::uint64_t items = 0;
       while (true) {
         const std::size_t i =
             cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
+        if (i >= count) break;
         work(i);
+        ++items;
+      }
+      if (span.active()) {
+        span.arg("worker", static_cast<std::uint64_t>(t));
+        span.arg("items", items);
       }
     });
   }

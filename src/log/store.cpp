@@ -1,10 +1,12 @@
 #include "log/store.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.h"
 #include "common/text.h"
 #include "log/io_jsonl.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 namespace {
@@ -40,6 +42,7 @@ void LogStore::write_manifest() const {
 }
 
 void LogStore::roll_segment() {
+  WFLOG_TELEMETRY(t) { t->store_segment_rolls_total->inc(); }
   segments_.push_back(segment_name(segments_.size() + 1));
   write_manifest();
   tail_.close();
@@ -71,6 +74,7 @@ LogStore LogStore::create(const std::filesystem::path& dir,
 }
 
 LogStore LogStore::open(const std::filesystem::path& dir) {
+  WFLOG_SPAN(span, "store.open");
   std::ifstream manifest(dir / kManifestName);
   if (!manifest) {
     throw IoError("LogStore: no store in " + dir.string());
@@ -146,6 +150,7 @@ LogStore LogStore::open(const std::filesystem::path& dir) {
     tail_good_bytes =
         std::min(tail_good_bytes, std::filesystem::file_size(tail_path));
     std::filesystem::resize_file(tail_path, tail_good_bytes);
+    WFLOG_TELEMETRY(t) { t->store_truncations_total->inc(); }
   }
   store.options_.records_per_segment =
       std::max<std::size_t>(store.options_.records_per_segment, 1);
@@ -154,6 +159,11 @@ LogStore LogStore::open(const std::filesystem::path& dir) {
                    std::ios::app);
   if (!store.tail_) {
     throw IoError("LogStore: cannot reopen tail segment");
+  }
+  if (span.active()) {
+    span.arg("segments", static_cast<std::uint64_t>(store.segments_.size()));
+    span.arg("records", static_cast<std::uint64_t>(store.num_records_));
+    span.arg("torn_tail", static_cast<std::uint64_t>(torn_tail ? 1 : 0));
   }
   return store;
 }
@@ -204,6 +214,11 @@ void LogStore::end_instance(Wid wid) {
 void LogStore::append_record(Wid wid, std::string_view activity,
                              const AttrMap& in, const AttrMap& out,
                              Interner& interner) {
+  obs::Telemetry* telemetry = obs::telemetry();
+  const auto t0 = telemetry != nullptr
+                      ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
+
   if (tail_records_ >= options_.records_per_segment) roll_segment();
 
   LogRecord l;
@@ -221,9 +236,22 @@ void LogStore::append_record(Wid wid, std::string_view activity,
   ++next_is_lsn_.at(wid);
   ++tail_records_;
   ++num_records_;
+
+  if (telemetry != nullptr) {
+    telemetry->store_appends_total->inc();
+    telemetry->store_flushes_total->inc();
+    telemetry->store_append_seconds->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
 }
 
 Log LogStore::load() const {
+  WFLOG_SPAN(span, "store.load");
+  if (span.active()) {
+    span.arg("segments", static_cast<std::uint64_t>(segments_.size()));
+    span.arg("records", static_cast<std::uint64_t>(num_records_));
+  }
   Interner interner;
   std::vector<LogRecord> records;
   records.reserve(num_records_);

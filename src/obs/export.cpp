@@ -1,0 +1,227 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace wflog::obs {
+namespace {
+
+/// Prometheus sample values: shortest round-trip double formatting.
+std::string fmt_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // Integral values print as plain integers ("10", not "1e+01").
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char ibuf[32];
+    std::snprintf(ibuf, sizeof ibuf, "%.0f", v);
+    return ibuf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Try shorter forms first for readability where they round-trip.
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  json_escape(os, s);
+  os << '"';
+}
+
+void json_arg_value(std::ostringstream& os, const SpanArg& arg) {
+  if (const auto* u = std::get_if<std::uint64_t>(&arg.value)) {
+    os << *u;
+  } else if (const auto* d = std::get_if<double>(&arg.value)) {
+    // JSON has no Inf/NaN; stringify those.
+    if (std::isfinite(*d)) {
+      os << fmt_double(*d);
+    } else {
+      json_string(os, fmt_double(*d));
+    }
+  } else {
+    json_string(os, std::get<std::string>(arg.value));
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  auto header = [&os](const std::string& name, const std::string& help,
+                      const char* type) {
+    if (!help.empty()) {
+      os << "# HELP " << name << ' ';
+      // Exposition format: escape backslash and newline in help text.
+      for (char c : help) {
+        if (c == '\\') {
+          os << "\\\\";
+        } else if (c == '\n') {
+          os << "\\n";
+        } else {
+          os << c;
+        }
+      }
+      os << '\n';
+    }
+    os << "# TYPE " << name << ' ' << type << '\n';
+  };
+
+  for (const auto& c : snap.counters) {
+    header(c.name, c.help, "counter");
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snap.gauges) {
+    header(g.name, g.help, "gauge");
+    os << g.name << ' ' << fmt_double(g.value) << '\n';
+  }
+  for (const auto& h : snap.histograms) {
+    header(h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.buckets[b];
+      os << h.name << "_bucket{le=\"" << fmt_double(h.bounds[b]) << "\"} "
+         << cumulative << '\n';
+    }
+    cumulative += h.buckets.back();
+    os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << h.name << "_sum " << fmt_double(h.sum) << '\n';
+    os << h.name << "_count " << h.count << '\n';
+  }
+  return os.str();
+}
+
+std::string metrics_to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) os << ',';
+    json_string(os, snap.counters[i].name);
+    os << ':' << snap.counters[i].value;
+  }
+  os << "},\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i != 0) os << ',';
+    json_string(os, snap.gauges[i].name);
+    os << ':'
+       << (std::isfinite(snap.gauges[i].value)
+               ? fmt_double(snap.gauges[i].value)
+               : "null");
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    if (i != 0) os << ',';
+    json_string(os, h.name);
+    os << ":{\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b != 0) os << ',';
+      os << "{\"le\":";
+      if (b < h.bounds.size()) {
+        os << fmt_double(h.bounds[b]);
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"count\":" << h.buckets[b] << '}';
+    }
+    os << "],\"sum\":" << (std::isfinite(h.sum) ? fmt_double(h.sum) : "0")
+       << ",\"count\":" << h.count << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string to_chrome_trace_json(const SpanSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : snap.spans) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":";
+    json_string(os, s.name);
+    os << ",\"cat\":\"wflog\",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.tid
+       << ",\"ts\":" << fmt_double(static_cast<double>(s.start_ns) / 1000.0)
+       << ",\"dur\":" << fmt_double(static_cast<double>(s.dur_ns) / 1000.0);
+    if (!s.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t a = 0; a < s.args.size(); ++a) {
+        if (a != 0) os << ',';
+        json_string(os, s.args[a].key);
+        os << ':';
+        json_arg_value(os, s.args[a]);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::string to_tree_string(const SpanSnapshot& snap) {
+  std::ostringstream os;
+  // Depth of each span from its parent chain (parents precede children).
+  std::vector<std::size_t> depth(snap.spans.size(), 0);
+  std::uint32_t num_lanes = 0;
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanRecord& s = snap.spans[i];
+    if (s.parent != SpanRecord::kNoParent) depth[i] = depth[s.parent] + 1;
+    num_lanes = std::max(num_lanes, s.tid + 1);
+  }
+  std::uint32_t lane = 0xffffffffu;
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    const SpanRecord& s = snap.spans[i];
+    if (num_lanes > 1 && s.tid != lane) {
+      lane = s.tid;
+      os << "thread " << lane << ":\n";
+    }
+    os << std::string(2 * (depth[i] + (num_lanes > 1 ? 1 : 0)), ' ')
+       << s.name << "  "
+       << fmt_double(static_cast<double>(s.dur_ns) / 1000.0) << " us";
+    for (const SpanArg& a : s.args) {
+      os << "  " << a.key << '=';
+      if (const auto* u = std::get_if<std::uint64_t>(&a.value)) {
+        os << *u;
+      } else if (const auto* d = std::get_if<double>(&a.value)) {
+        os << fmt_double(*d);
+      } else {
+        os << std::get<std::string>(a.value);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wflog::obs

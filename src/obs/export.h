@@ -1,0 +1,28 @@
+#pragma once
+
+// Exposition formats for telemetry:
+//
+//   to_prometheus_text  — Prometheus text exposition format 0.0.4
+//                         (# HELP / # TYPE / samples; histograms emit
+//                         cumulative _bucket{le=...}, _sum, _count)
+//   metrics_to_json     — the same snapshot as a JSON document, for
+//                         programmatic scrapes
+//   to_chrome_trace_json— Chrome trace_event "X" (complete) events;
+//                         load in chrome://tracing or ui.perfetto.dev
+//   to_tree_string      — indented human-readable span tree with
+//                         durations and args
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wflog::obs {
+
+std::string to_prometheus_text(const MetricsSnapshot& snap);
+std::string metrics_to_json(const MetricsSnapshot& snap);
+
+std::string to_chrome_trace_json(const SpanSnapshot& snap);
+std::string to_tree_string(const SpanSnapshot& snap);
+
+}  // namespace wflog::obs

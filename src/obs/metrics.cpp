@@ -1,0 +1,293 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace wflog::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Thread-local shard cache: (registry id -> shard). Keyed by the
+/// process-unique id, never the address, so a registry destroyed and
+/// another allocated at the same address cannot alias. Linear scan — a
+/// thread talks to one or two registries in practice.
+thread_local std::vector<std::pair<std::uint64_t, detail::Shard*>>
+    t_shard_cache;
+
+}  // namespace
+
+// ----- cells -------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry(std::size_t cell_capacity)
+    : cell_capacity_(std::max<std::size_t>(cell_capacity, 1)),
+      id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+detail::Shard* MetricsRegistry::local_shard() {
+  for (const auto& [id, shard] : t_shard_cache) {
+    if (id == id_) return shard;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<detail::Shard>(cell_capacity_));
+  detail::Shard* shard = shards_.back().get();
+  t_shard_cache.emplace_back(id_, shard);
+  return shard;
+}
+
+std::uint64_t MetricsRegistry::merged_cell(std::uint32_t cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cells[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint32_t MetricsRegistry::reserve_cells(std::uint32_t n) {
+  // Caller holds mu_.
+  if (cells_used_ + n > cell_capacity_) {
+    throw Error("MetricsRegistry: cell capacity exhausted (" +
+                std::to_string(cell_capacity_) + ")");
+  }
+  const std::uint32_t first = cells_used_;
+  cells_used_ += n;
+  return first;
+}
+
+// ----- Counter -----------------------------------------------------------
+
+void Counter::add(std::uint64_t v) {
+  // Single-writer shard cell: load+store (no RMW) is race-free because
+  // only the owning thread writes it; scrapers merely read.
+  std::atomic<std::uint64_t>& cell = owner_->local_shard()->cells[cell_];
+  cell.store(cell.load(std::memory_order_relaxed) + v,
+             std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const { return owner_->merged_cell(cell_); }
+
+// ----- Gauge -------------------------------------------------------------
+
+std::uint64_t Gauge::encode(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) { return std::bit_cast<double>(bits); }
+
+void Gauge::add(double delta) {
+  std::uint64_t old = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(old, encode(decode(old) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// ----- Histogram ---------------------------------------------------------
+
+void Histogram::observe(double v) {
+  detail::Shard* shard = owner_->local_shard();
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - bounds_.begin());  // +Inf = bounds_.size()
+  auto bump = [](std::atomic<std::uint64_t>& cell, std::uint64_t delta) {
+    cell.store(cell.load(std::memory_order_relaxed) + delta,
+               std::memory_order_relaxed);
+  };
+  bump(shard->cells[first_cell_ + bucket], 1);
+  // The sum cell holds a double in uint64 bits; same single-writer rule.
+  std::atomic<std::uint64_t>& sum_cell =
+      shard->cells[first_cell_ + bounds_.size() + 1];
+  const double sum =
+      std::bit_cast<double>(sum_cell.load(std::memory_order_relaxed)) + v;
+  sum_cell.store(std::bit_cast<std::uint64_t>(sum),
+                 std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = owner_->merged_cell(first_cell_ + static_cast<std::uint32_t>(b));
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(owner_->mu_);
+  double total = 0;
+  const std::uint32_t cell =
+      first_cell_ + static_cast<std::uint32_t>(bounds_.size()) + 1;
+  for (const auto& shard : owner_->shards_) {
+    total += std::bit_cast<double>(
+        shard->cells[cell].load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+// ----- registration ------------------------------------------------------
+
+Counter* MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  if (!valid_metric_name(name)) {
+    throw Error("MetricsRegistry: invalid metric name '" +
+                std::string(name) + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != Entry::Kind::kCounter) {
+        throw Error("MetricsRegistry: '" + std::string(name) +
+                    "' already registered with a different kind");
+      }
+      return e.counter.get();
+    }
+  }
+  const std::uint32_t cell = reserve_cells(1);
+  Entry e;
+  e.kind = Entry::Kind::kCounter;
+  e.name = std::string(name);
+  e.help = std::string(help);
+  e.counter.reset(new Counter(this, cell));
+  entries_.push_back(std::move(e));
+  return entries_.back().counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  if (!valid_metric_name(name)) {
+    throw Error("MetricsRegistry: invalid metric name '" +
+                std::string(name) + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != Entry::Kind::kGauge) {
+        throw Error("MetricsRegistry: '" + std::string(name) +
+                    "' already registered with a different kind");
+      }
+      return e.gauge.get();
+    }
+  }
+  Entry e;
+  e.kind = Entry::Kind::kGauge;
+  e.name = std::string(name);
+  e.help = std::string(help);
+  e.gauge.reset(new Gauge());
+  entries_.push_back(std::move(e));
+  return entries_.back().gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help) {
+  if (!valid_metric_name(name)) {
+    throw Error("MetricsRegistry: invalid metric name '" +
+                std::string(name) + "'");
+  }
+  if (bounds.empty()) {
+    throw Error("MetricsRegistry: histogram needs at least one bound");
+  }
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (!std::isfinite(bounds[i]) ||
+        (i > 0 && bounds[i] <= bounds[i - 1])) {
+      throw Error("MetricsRegistry: histogram bounds must be finite and "
+                  "strictly ascending");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.name == name) {
+      if (e.kind != Entry::Kind::kHistogram ||
+          e.histogram->bounds() != bounds) {
+        throw Error("MetricsRegistry: '" + std::string(name) +
+                    "' already registered with a different kind or bounds");
+      }
+      return e.histogram.get();
+    }
+  }
+  // bounds.size()+1 buckets (incl. +Inf) plus one sum cell.
+  const std::uint32_t first =
+      reserve_cells(static_cast<std::uint32_t>(bounds.size()) + 2);
+  Entry e;
+  e.kind = Entry::Kind::kHistogram;
+  e.name = std::string(name);
+  e.help = std::string(help);
+  e.histogram.reset(new Histogram(this, first, std::move(bounds)));
+  entries_.push_back(std::move(e));
+  return entries_.back().histogram.get();
+}
+
+std::size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Copy the handle list first (handles are heap-allocated and stable;
+  // the Entry vector itself may reallocate once the lock drops). Value
+  // reads then re-lock per cell, which is fine on the cold scrape path.
+  struct Row {
+    Entry::Kind kind;
+    std::string name, help;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      rows.push_back({e.kind, e.name, e.help, e.counter.get(),
+                      e.gauge.get(), e.histogram.get()});
+    }
+  }
+  MetricsSnapshot snap;
+  for (const Row& r : rows) {
+    switch (r.kind) {
+      case Entry::Kind::kCounter:
+        snap.counters.push_back({r.name, r.help, r.counter->value()});
+        break;
+      case Entry::Kind::kGauge:
+        snap.gauges.push_back({r.name, r.help, r.gauge->value()});
+        break;
+      case Entry::Kind::kHistogram: {
+        MetricsSnapshot::HistogramSample h;
+        h.name = r.name;
+        h.help = r.help;
+        h.bounds = r.histogram->bounds();
+        h.buckets = r.histogram->bucket_counts();
+        h.sum = r.histogram->sum();
+        for (std::uint64_t c : h.buckets) h.count += c;
+        snap.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::vector<double> default_latency_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0};
+}
+
+}  // namespace wflog::obs

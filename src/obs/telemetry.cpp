@@ -1,0 +1,94 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+
+namespace wflog::obs {
+
+Telemetry::Telemetry() {
+  auto lat = [] { return default_latency_bounds(); };
+
+  queries_total =
+      metrics.counter("wflog_queries_total",
+                      "Queries executed via QueryEngine::run/exists/count");
+  batches_total =
+      metrics.counter("wflog_batches_total", "run_batch calls executed");
+  batch_queries_total = metrics.counter(
+      "wflog_batch_queries_total", "Queries evaluated inside batch passes");
+  query_parse_seconds = metrics.histogram(
+      "wflog_query_parse_seconds", lat(), "Query text parse latency");
+  query_optimize_seconds =
+      metrics.histogram("wflog_query_optimize_seconds", lat(),
+                        "Cost-based optimizer latency per query");
+  query_eval_seconds = metrics.histogram(
+      "wflog_query_eval_seconds", lat(),
+      "Evaluation latency per query (incl. where-clause filtering)");
+  batch_eval_seconds = metrics.histogram(
+      "wflog_batch_eval_seconds", lat(),
+      "Shared-pass evaluation latency per run_batch call");
+
+  eval_operator_nodes_total =
+      metrics.counter("wflog_eval_operator_nodes_total",
+                      "Operator nodes evaluated (per instance)");
+  eval_pairs_examined_total =
+      metrics.counter("wflog_eval_pairs_examined_total",
+                      "Operand pairs inspected by the operator algorithms");
+  eval_incidents_emitted_total =
+      metrics.counter("wflog_eval_incidents_emitted_total",
+                      "Incidents emitted by operator nodes");
+  eval_cache_hits_total =
+      metrics.counter("wflog_eval_cache_hits_total",
+                      "Subpattern-memo hits (batch shared evaluation)");
+  eval_cache_misses_total =
+      metrics.counter("wflog_eval_cache_misses_total",
+                      "Subpattern-memo misses (computed and stored)");
+  eval_cache_bytes_total =
+      metrics.counter("wflog_eval_cache_bytes_total",
+                      "Incident bytes retained in subpattern memos");
+
+  parallel_workers_total =
+      metrics.counter("wflog_parallel_workers_total",
+                      "Worker threads spawned by the instance scheduler");
+
+  store_appends_total = metrics.counter(
+      "wflog_store_appends_total", "Records appended to the durable store");
+  store_flushes_total = metrics.counter(
+      "wflog_store_flushes_total", "Tail-segment flushes (one per append)");
+  store_segment_rolls_total = metrics.counter(
+      "wflog_store_segment_rolls_total", "Segment files opened");
+  store_truncations_total =
+      metrics.counter("wflog_store_truncations_total",
+                      "Torn tail lines physically truncated on open");
+  store_append_seconds =
+      metrics.histogram("wflog_store_append_seconds", lat(),
+                        "Durable append latency (serialize + flush)");
+
+  monitor_records_total = metrics.counter(
+      "wflog_monitor_records_total", "Events fed to the live monitor");
+  monitor_matches_total = metrics.counter(
+      "wflog_monitor_matches_total", "Incidents reported by the monitor");
+  monitor_open_instances = metrics.gauge(
+      "wflog_monitor_open_instances", "Workflow instances currently open");
+  monitor_queries =
+      metrics.gauge("wflog_monitor_queries", "Patterns currently registered");
+
+  sim_instances_total = metrics.counter(
+      "wflog_sim_instances_total", "Workflow instances simulated");
+  sim_records_total = metrics.counter("wflog_sim_records_total",
+                                      "Records emitted by the simulator");
+}
+
+#if WFLOG_OBS_ENABLED
+namespace {
+std::atomic<Telemetry*> g_telemetry{nullptr};
+}  // namespace
+
+Telemetry* telemetry() noexcept {
+  return g_telemetry.load(std::memory_order_acquire);
+}
+
+void install_telemetry(Telemetry* t) noexcept {
+  g_telemetry.store(t, std::memory_order_release);
+}
+#endif
+
+}  // namespace wflog::obs

@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace wflog::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{1};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+struct Tracer::ThreadBuf {
+  mutable std::mutex mu;  // owner thread vs. snapshot()
+  std::vector<SpanRecord> spans;        // local parent indices
+  std::vector<std::uint32_t> open;      // stack of open span indices
+  std::uint32_t tid = 0;
+};
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(now_ns()) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuf* Tracer::local_buf() {
+  // Thread-local cache keyed by tracer id (ids are never reused, so a
+  // destroyed tracer's entries can never alias a new tracer).
+  thread_local std::vector<std::pair<std::uint64_t, ThreadBuf*>> cache;
+  for (const auto& [id, buf] : cache) {
+    if (id == id_) return buf;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  bufs_.push_back(std::make_unique<ThreadBuf>());
+  ThreadBuf* buf = bufs_.back().get();
+  buf->tid = static_cast<std::uint32_t>(bufs_.size() - 1);
+  cache.emplace_back(id_, buf);
+  return buf;
+}
+
+Tracer::Span Tracer::span(std::string_view name) {
+  ThreadBuf* buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  SpanRecord rec;
+  rec.name = std::string(name);
+  rec.start_ns = now_ns() - epoch_ns_;
+  rec.tid = buf->tid;
+  rec.parent = buf->open.empty() ? SpanRecord::kNoParent : buf->open.back();
+  const std::uint32_t idx = static_cast<std::uint32_t>(buf->spans.size());
+  buf->spans.push_back(std::move(rec));
+  buf->open.push_back(idx);
+  return Span(this, buf, idx);
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    buf_ = other.buf_;
+    idx_ = other.idx_;
+    other.tracer_ = nullptr;
+    other.buf_ = nullptr;
+  }
+  return *this;
+}
+
+void Tracer::Span::end() {
+  if (tracer_ == nullptr) return;
+  auto* buf = static_cast<Tracer::ThreadBuf*>(buf_);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  SpanRecord& rec = buf->spans[idx_];
+  rec.dur_ns = now_ns() - tracer_->epoch_ns_ - rec.start_ns;
+  // Pop this span (and anything erroneously left open above it).
+  while (!buf->open.empty() && buf->open.back() >= idx_) buf->open.pop_back();
+  tracer_ = nullptr;
+  buf_ = nullptr;
+}
+
+void Tracer::Span::arg(std::string_view key, std::uint64_t value) {
+  if (tracer_ == nullptr) return;
+  auto* buf = static_cast<Tracer::ThreadBuf*>(buf_);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->spans[idx_].args.push_back({std::string(key), value});
+}
+
+void Tracer::Span::arg(std::string_view key, double value) {
+  if (tracer_ == nullptr) return;
+  auto* buf = static_cast<Tracer::ThreadBuf*>(buf_);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->spans[idx_].args.push_back({std::string(key), value});
+}
+
+void Tracer::Span::arg(std::string_view key, std::string value) {
+  if (tracer_ == nullptr) return;
+  auto* buf = static_cast<Tracer::ThreadBuf*>(buf_);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->spans[idx_].args.push_back({std::string(key), std::move(value)});
+}
+
+SpanSnapshot Tracer::snapshot() const {
+  SpanSnapshot snap;
+  const std::uint64_t now = now_ns() - epoch_ns_;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Lanes are appended in tid order; within a lane spans are already in
+  // start order (records are created at open time). Local parent indices
+  // are rebased by the lane's offset into the flat vector.
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    const std::uint32_t offset = static_cast<std::uint32_t>(snap.spans.size());
+    for (const SpanRecord& rec : buf->spans) {
+      SpanRecord copy = rec;
+      if (copy.parent != SpanRecord::kNoParent) copy.parent += offset;
+      // A span still open at snapshot time reports its elapsed time so far.
+      if (copy.dur_ns == 0 && copy.start_ns <= now) {
+        bool is_open = false;
+        for (std::uint32_t open_idx : buf->open) {
+          if (&buf->spans[open_idx] == &rec) {
+            is_open = true;
+            break;
+          }
+        }
+        if (is_open) copy.dur_ns = now - copy.start_ns;
+      }
+      snap.spans.push_back(std::move(copy));
+    }
+  }
+  return snap;
+}
+
+std::size_t Tracer::num_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->spans.size();
+  }
+  return n;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : bufs_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    // Keep open spans so their Span handles stay valid; drop closed ones.
+    // Simplest correct policy: only clear when nothing is open.
+    if (buf->open.empty()) buf->spans.clear();
+  }
+}
+
+}  // namespace wflog::obs

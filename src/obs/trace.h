@@ -1,0 +1,107 @@
+#pragma once
+
+// Tracer — hierarchical wall-clock spans for the query pipeline.
+//
+// A span brackets one stage of work ("query.parse", "query.eval", an
+// operator node, a batch pass, a store recovery). Spans nest per thread:
+// opening a span while another is open on the same thread links it as a
+// child, which is exactly the call structure of the engine (query ->
+// parse/optimize/eval -> per-operator nodes; batch -> workers). Records
+// accumulate in per-thread buffers guarded by a tiny per-buffer mutex
+// (uncontended in steady state: every thread locks only its own buffer,
+// except during snapshot()).
+//
+// Exporters live in obs/export.h: Chrome trace_event JSON (load the file
+// in chrome://tracing or https://ui.perfetto.dev) and an indented
+// human-readable tree.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace wflog::obs {
+
+/// One key/value annotation on a span ("pairs" = 132, "query" = "a -> b").
+struct SpanArg {
+  std::string key;
+  std::variant<std::uint64_t, double, std::string> value;
+};
+
+struct SpanRecord {
+  static constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+  std::string name;
+  std::uint64_t start_ns = 0;  // since the tracer's epoch
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;     // logical thread lane (0 = first seen)
+  std::uint32_t parent = kNoParent;  // index into SpanSnapshot::spans
+  std::vector<SpanArg> args;
+};
+
+/// Point-in-time copy of every recorded span. Spans are grouped by thread
+/// lane and ordered by start time within a lane; `parent` indexes into
+/// `spans` (parents always precede children within a lane).
+struct SpanSnapshot {
+  std::vector<SpanRecord> spans;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// RAII handle: closes (stamps the duration of) its span on destruction
+  /// or at end(). A default-constructed Span is inert — every operation is
+  /// a no-op — which is how disabled telemetry costs one branch.
+  class Span {
+   public:
+    Span() noexcept = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    ~Span() { end(); }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    void arg(std::string_view key, std::uint64_t value);
+    void arg(std::string_view key, double value);
+    void arg(std::string_view key, std::string value);
+    /// Closes the span now (idempotent).
+    void end();
+    bool active() const noexcept { return tracer_ != nullptr; }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, void* buf, std::uint32_t idx) noexcept
+        : tracer_(tracer), buf_(buf), idx_(idx) {}
+    Tracer* tracer_ = nullptr;
+    void* buf_ = nullptr;  // ThreadBuf*, opaque to keep the header light
+    std::uint32_t idx_ = 0;
+  };
+
+  /// Opens a span on the calling thread, nested under the thread's
+  /// innermost open span.
+  Span span(std::string_view name);
+
+  SpanSnapshot snapshot() const;
+  std::size_t num_spans() const;
+  /// Drops every recorded span (open spans keep working).
+  void clear();
+
+ private:
+  struct ThreadBuf;
+  ThreadBuf* local_buf();
+
+  const std::uint64_t id_;  // process-unique, keys the thread-local cache
+  std::uint64_t epoch_ns_;  // steady-clock origin for start_ns
+  mutable std::mutex mu_;   // guards bufs_
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+}  // namespace wflog::obs

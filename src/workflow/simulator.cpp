@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 namespace {
@@ -177,7 +178,18 @@ Log simulate(const WorkflowModel& model, const SimOptions& options) {
   if (options.num_instances == 0) {
     throw Error("simulate: num_instances must be >= 1 (logs are nonempty)");
   }
-  return Simulation(model, options).run();
+  WFLOG_SPAN(span, "simulate");
+  Log log = Simulation(model, options).run();
+  WFLOG_TELEMETRY(t) {
+    t->sim_instances_total->add(log.wids().size());
+    t->sim_records_total->add(log.size());
+  }
+  if (span.active()) {
+    span.arg("instances", static_cast<std::uint64_t>(log.wids().size()));
+    span.arg("records", static_cast<std::uint64_t>(log.size()));
+    span.arg("seed", static_cast<std::uint64_t>(options.seed));
+  }
+  return log;
 }
 
 }  // namespace wflog

@@ -1,0 +1,639 @@
+// Tests for the telemetry subsystem (src/obs/): registry merge semantics
+// across threads, histogram bucket boundaries, span nesting and ordering,
+// Chrome-trace JSON validity (round-trip parsed by a tiny JSON reader
+// below), and Prometheus text exposition grammar.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/error.h"
+#include "core/engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "workflow/workload.h"
+
+namespace wflog::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON reader (objects, arrays, strings, numbers, literals)
+// — just enough to round-trip-validate the exporters without a dependency.
+
+struct Json {
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v;
+
+  bool is_object() const { return std::holds_alternative<Object>(v); }
+  bool is_array() const { return std::holds_alternative<Array>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const Object& object() const { return std::get<Object>(v); }
+  const Array& array() const { return std::get<Array>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+
+  const Json& at(const std::string& key) const {
+    const auto it = object().find(key);
+    if (it == object().end()) throw std::runtime_error("no key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return is_object() && object().count(key) != 0;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (p_ != end_) throw std::runtime_error("trailing garbage");
+    return v;
+  }
+
+ private:
+  void ws() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) ++p_;
+  }
+  char peek() {
+    if (p_ == end_) throw std::runtime_error("unexpected end");
+    return *p_;
+  }
+  void expect(char c) {
+    if (p_ == end_ || *p_ != c) throw std::runtime_error(std::string("expected ") + c);
+    ++p_;
+  }
+  bool consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json{string()};
+      case 't': literal("true"); return Json{true};
+      case 'f': literal("false"); return Json{false};
+      case 'n': literal("null"); return Json{nullptr};
+      default: return Json{number()};
+    }
+  }
+
+  void literal(std::string_view lit) {
+    for (char c : lit) expect(c);
+  }
+
+  Json object() {
+    expect('{');
+    Json::Object out;
+    ws();
+    if (consume('}')) return Json{std::move(out)};
+    while (true) {
+      ws();
+      std::string key = string();
+      ws();
+      expect(':');
+      out.emplace(std::move(key), value());
+      ws();
+      if (consume('}')) return Json{std::move(out)};
+      expect(',');
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json::Array out;
+    ws();
+    if (consume(']')) return Json{std::move(out)};
+    while (true) {
+      out.push_back(value());
+      ws();
+      if (consume(']')) return Json{std::move(out)};
+      expect(',');
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (p_ == end_) throw std::runtime_error("unterminated string");
+      char c = *p_++;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw std::runtime_error("raw control char in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      c = *p_++;
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              throw std::runtime_error("bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(*p_))
+                           ? *p_ - '0'
+                           : std::tolower(static_cast<unsigned char>(*p_)) - 'a' + 10);
+            ++p_;
+          }
+          if (code > 0x7f) throw std::runtime_error("non-ascii \\u unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const char* start = p_;
+    if (consume('-')) {
+    }
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      ++p_;
+    }
+    if (p_ == start) throw std::runtime_error("bad number");
+    return std::stod(std::string(start, p_));
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CounterMergesAcrossThreads) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("test_total", "a test counter");
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c->inc();
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  // Tallies survive worker-thread exit: shards are registry-owned.
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("dup_total", "help");
+  Counter* b = registry.counter("dup_total");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.num_metrics(), 1u);
+}
+
+TEST(MetricsRegistryTest, KindClashAndBadNamesThrow) {
+  MetricsRegistry registry;
+  registry.counter("clash");
+  EXPECT_THROW(registry.gauge("clash"), Error);
+  EXPECT_THROW(registry.histogram("clash", {1.0}), Error);
+  EXPECT_THROW(registry.counter("9starts_with_digit"), Error);
+  EXPECT_THROW(registry.counter("has-dash"), Error);
+  EXPECT_THROW(registry.counter(""), Error);
+  registry.counter("ok:colons_and_123");  // legal per the grammar
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.gauge("depth");
+  g->set(4.0);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+  g->add(2.5);
+  g->add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 5.0);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundariesAreLeInclusive) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat", {1.0, 2.0});
+  h->observe(0.5);  // le=1
+  h->observe(1.0);  // le=1 (boundary is INCLUSIVE, Prometheus semantics)
+  h->observe(1.5);  // le=2
+  h->observe(2.0);  // le=2
+  h->observe(9.0);  // +Inf
+  const std::vector<std::uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + the implicit +Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 14.0);
+}
+
+TEST(MetricsRegistryTest, HistogramMergesAcrossThreads) {
+  MetricsRegistry registry;
+  Histogram* h = registry.histogram("lat", {0.5});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h->observe(t % 2 == 0 ? 0.25 : 0.75);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(h->count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const std::vector<std::uint64_t> buckets = h->bucket_counts();
+  EXPECT_EQ(buckets[0], 2000u);
+  EXPECT_EQ(buckets[1], 2000u);
+  EXPECT_DOUBLE_EQ(h->sum(), 2000 * 0.25 + 2000 * 0.75);
+}
+
+TEST(MetricsRegistryTest, BadHistogramBoundsThrow) {
+  MetricsRegistry registry;
+  EXPECT_THROW(registry.histogram("empty", {}), Error);
+  EXPECT_THROW(registry.histogram("descending", {2.0, 1.0}), Error);
+  EXPECT_THROW(registry.histogram("dup", {1.0, 1.0}), Error);
+}
+
+TEST(MetricsRegistryTest, SnapshotCarriesHelpAndValues) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "counts things")->add(7);
+  registry.gauge("g", "measures things")->set(2.5);
+  registry.histogram("h", {1.0}, "times things")->observe(0.5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "c_total");
+  EXPECT_EQ(snap.counters[0].help, "counts things");
+  EXPECT_EQ(snap.counters[0].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 2.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  ASSERT_EQ(snap.histograms[0].buckets.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].buckets[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(TracerTest, SpansNestPerThreadAndParentsPrecedeChildren) {
+  Tracer tracer;
+  {
+    Tracer::Span outer = tracer.span("outer");
+    {
+      Tracer::Span inner = tracer.span("inner");
+      inner.arg("n", std::uint64_t{3});
+    }
+    Tracer::Span sibling = tracer.span("sibling");
+  }
+  Tracer::Span after = tracer.span("after");
+  after.end();
+
+  const SpanSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.spans.size(), 4u);
+  std::map<std::string, std::size_t> by_name;
+  for (std::size_t i = 0; i < snap.spans.size(); ++i) {
+    by_name[snap.spans[i].name] = i;
+  }
+  const SpanRecord& outer = snap.spans[by_name.at("outer")];
+  const SpanRecord& inner = snap.spans[by_name.at("inner")];
+  const SpanRecord& sibling = snap.spans[by_name.at("sibling")];
+  const SpanRecord& after_rec = snap.spans[by_name.at("after")];
+
+  EXPECT_EQ(outer.parent, SpanRecord::kNoParent);
+  EXPECT_EQ(inner.parent, by_name.at("outer"));
+  EXPECT_EQ(sibling.parent, by_name.at("outer"));
+  EXPECT_EQ(after_rec.parent, SpanRecord::kNoParent);
+
+  // Ordered by start time within the lane; parents precede children.
+  EXPECT_LT(by_name.at("outer"), by_name.at("inner"));
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_LE(inner.start_ns, sibling.start_ns);
+  EXPECT_GE(outer.dur_ns, inner.dur_ns);
+
+  ASSERT_EQ(inner.args.size(), 1u);
+  EXPECT_EQ(inner.args[0].key, "n");
+  EXPECT_EQ(std::get<std::uint64_t>(inner.args[0].value), 3u);
+}
+
+TEST(TracerTest, ArgTypesRoundTrip) {
+  Tracer tracer;
+  {
+    Tracer::Span s = tracer.span("s");
+    s.arg("u", std::uint64_t{42});
+    s.arg("d", 2.5);
+    s.arg("str", std::string("hello"));
+  }
+  const SpanSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  const std::vector<SpanArg>& args = snap.spans[0].args;
+  ASSERT_EQ(args.size(), 3u);
+  EXPECT_EQ(std::get<std::uint64_t>(args[0].value), 42u);
+  EXPECT_DOUBLE_EQ(std::get<double>(args[1].value), 2.5);
+  EXPECT_EQ(std::get<std::string>(args[2].value), "hello");
+}
+
+TEST(TracerTest, InertSpanIsANoop) {
+  Tracer::Span span;
+  EXPECT_FALSE(span.active());
+  span.arg("k", std::uint64_t{1});
+  span.end();  // must not crash
+}
+
+TEST(TracerTest, MoveTransfersOwnership) {
+  Tracer tracer;
+  Tracer::Span a = tracer.span("moved");
+  Tracer::Span b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): deliberate
+  EXPECT_TRUE(b.active());
+  b.end();
+  EXPECT_EQ(tracer.num_spans(), 1u);
+}
+
+TEST(TracerTest, ThreadsGetSeparateLanes) {
+  Tracer tracer;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 2; ++t) {
+    pool.emplace_back([&tracer] {
+      Tracer::Span outer = tracer.span("work");
+      Tracer::Span inner = tracer.span("step");
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const SpanSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.spans.size(), 4u);
+  // Each lane holds its own parent chain: every "step" is nested under a
+  // "work" of the SAME tid.
+  for (const SpanRecord& s : snap.spans) {
+    if (s.name != "step") continue;
+    ASSERT_NE(s.parent, SpanRecord::kNoParent);
+    EXPECT_EQ(snap.spans[s.parent].name, "work");
+    EXPECT_EQ(snap.spans[s.parent].tid, s.tid);
+  }
+  std::set<std::uint32_t> tids;
+  for (const SpanRecord& s : snap.spans) tids.insert(s.tid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(TracerTest, ClearDropsRecordedSpans) {
+  Tracer tracer;
+  tracer.span("one").end();
+  EXPECT_EQ(tracer.num_spans(), 1u);
+  tracer.clear();
+  EXPECT_EQ(tracer.num_spans(), 0u);
+  tracer.span("two").end();
+  EXPECT_EQ(tracer.num_spans(), 1u);
+}
+
+TEST(TracerTest, SnapshotStampsStillOpenSpans) {
+  Tracer tracer;
+  Tracer::Span open = tracer.span("open");
+  const SpanSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "open");
+  open.end();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+MetricsRegistry& example_registry() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    r->counter("wflog_frobs_total", "how many frobs")->add(3);
+    r->gauge("wflog_depth", "current depth")->set(1.5);
+    Histogram* h = r->histogram("wflog_lat_seconds", {0.1, 1.0}, "latency");
+    h->observe(0.05);
+    h->observe(0.5);
+    h->observe(5.0);
+    return r;
+  }();
+  return *registry;
+}
+
+TEST(PrometheusExportTest, ExpositionGrammar) {
+  const std::string text = to_prometheus_text(example_registry().snapshot());
+  // Every line is a comment or `name{labels} value`, names legal.
+  const std::regex comment(R"(^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  const std::regex sample(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? ([0-9eE.+-]+|\+Inf|NaN)$)");
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    ++lines;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, comment)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample)) << line;
+    }
+  }
+  EXPECT_GT(lines, 10u);
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndConsistent) {
+  const std::string text = to_prometheus_text(example_registry().snapshot());
+  // wflog_lat_seconds: 3 observations, one per bucket → cumulative 1,2,3.
+  EXPECT_NE(text.find("# TYPE wflog_lat_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("wflog_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("wflog_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("wflog_lat_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("wflog_lat_seconds_count 3"), std::string::npos);
+  EXPECT_NE(text.find("wflog_frobs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("wflog_depth 1.5"), std::string::npos);
+}
+
+TEST(JsonExportTest, MetricsJsonRoundTrips) {
+  const std::string text = metrics_to_json(example_registry().snapshot());
+  const Json doc = JsonReader(text).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("counters").at("wflog_frobs_total").number(), 3.0);
+  EXPECT_EQ(doc.at("gauges").at("wflog_depth").number(), 1.5);
+  const Json& hist = doc.at("histograms").at("wflog_lat_seconds");
+  EXPECT_EQ(hist.at("count").number(), 3.0);
+  ASSERT_EQ(hist.at("buckets").array().size(), 3u);
+  EXPECT_EQ(hist.at("buckets").array()[0].at("count").number(), 1.0);
+}
+
+TEST(ChromeTraceExportTest, JsonRoundTripsWithNestingIntact) {
+  Tracer tracer;
+  {
+    Tracer::Span outer = tracer.span("query");
+    outer.arg("query", std::string("a \"quoted\" -> b\n"));
+    Tracer::Span inner = tracer.span("query.eval");
+    inner.arg("incidents", std::uint64_t{12});
+  }
+  const std::string text = to_chrome_trace_json(tracer.snapshot());
+  const Json doc = JsonReader(text).parse();
+  ASSERT_TRUE(doc.is_object());
+  const Json::Array& events = doc.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const Json& e : events) {
+    EXPECT_EQ(e.at("ph").str(), "X");
+    EXPECT_EQ(e.at("pid").number(), 1.0);
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("name").is_string());
+  }
+  // The escaped arg survives the round trip byte-for-byte.
+  bool found = false;
+  for (const Json& e : events) {
+    if (e.at("name").str() != "query") continue;
+    found = true;
+    EXPECT_EQ(e.at("args").at("query").str(), "a \"quoted\" -> b\n");
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TreeExportTest, IndentsChildrenUnderParents) {
+  Tracer tracer;
+  {
+    Tracer::Span outer = tracer.span("query");
+    Tracer::Span inner = tracer.span("query.eval");
+  }
+  const std::string tree = to_tree_string(tracer.snapshot());
+  EXPECT_NE(tree.find("query "), std::string::npos);
+  EXPECT_NE(tree.find("\n  query.eval "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry: the ambient instance + engine integration
+
+TEST(TelemetryTest, NoAmbientInstanceByDefault) {
+  EXPECT_EQ(telemetry(), nullptr);
+  WFLOG_SPAN(span, "nothing");
+  EXPECT_FALSE(span.active());
+  bool entered = false;
+  WFLOG_TELEMETRY(t) { entered = (t != nullptr); }
+  EXPECT_FALSE(entered);
+}
+
+// The ambient-instance tests only apply when instrumentation is compiled
+// in; with -DWFLOG_OBS=OFF install_telemetry() is a deliberate no-op.
+#if WFLOG_OBS_ENABLED
+
+TEST(TelemetryTest, ScopedInstallAndRestore) {
+  Telemetry outer_instance;
+  {
+    ScopedTelemetry outer(outer_instance);
+    EXPECT_EQ(telemetry(), &outer_instance);
+    Telemetry inner_instance;
+    {
+      ScopedTelemetry inner(inner_instance);
+      EXPECT_EQ(telemetry(), &inner_instance);
+    }
+    EXPECT_EQ(telemetry(), &outer_instance);
+  }
+  EXPECT_EQ(telemetry(), nullptr);
+}
+
+TEST(TelemetryTest, EngineRunRecordsSpansAndMetrics) {
+  const Log log = workload::clinic(10, 42);
+  Telemetry telemetry;
+  ScopedTelemetry installed(telemetry);
+
+  const QueryEngine engine(log);
+  const QueryResult r = engine.run("CheckIn -> SeeDoctor");
+  EXPECT_TRUE(r.any());
+
+  EXPECT_EQ(telemetry.queries_total->value(), 1u);
+  EXPECT_EQ(telemetry.query_eval_seconds->count(), 1u);
+  EXPECT_GT(telemetry.eval_operator_nodes_total->value(), 0u);
+  EXPECT_GT(telemetry.eval_incidents_emitted_total->value(), 0u);
+
+  std::map<std::string, const SpanRecord*> by_name;
+  const SpanSnapshot snap = telemetry.tracer.snapshot();
+  for (const SpanRecord& s : snap.spans) by_name[s.name] = &s;
+  ASSERT_TRUE(by_name.count("engine.index_build"));
+  ASSERT_TRUE(by_name.count("query"));
+  ASSERT_TRUE(by_name.count("query.parse"));
+  ASSERT_TRUE(by_name.count("query.optimize"));
+  ASSERT_TRUE(by_name.count("query.eval"));
+  // parse/optimize/eval are children of the "query" span.
+  const SpanRecord* eval = by_name.at("query.eval");
+  ASSERT_NE(eval->parent, SpanRecord::kNoParent);
+  EXPECT_EQ(snap.spans[eval->parent].name, "query");
+}
+
+TEST(TelemetryTest, TraceNodesEmitsPerOperatorSpans) {
+  const Log log = workload::clinic(5, 7);
+  Telemetry telemetry;
+  telemetry.trace_nodes = true;
+  ScopedTelemetry installed(telemetry);
+
+  const QueryEngine engine(log);
+  engine.run("CheckIn -> SeeDoctor");
+
+  std::size_t atom_spans = 0, op_spans = 0;
+  for (const SpanRecord& s : telemetry.tracer.snapshot().spans) {
+    if (s.name == "CheckIn" || s.name == "SeeDoctor") ++atom_spans;
+    if (s.name == "[->]") ++op_spans;
+  }
+  // One span per node per instance.
+  EXPECT_EQ(atom_spans, 2 * log.wids().size());
+  EXPECT_EQ(op_spans, log.wids().size());
+}
+
+TEST(TelemetryTest, BatchRunFoldsSharedPassFigures) {
+  const Log log = workload::clinic(8, 3);
+  Telemetry telemetry;
+  ScopedTelemetry installed(telemetry);
+
+  const QueryEngine engine(log);
+  const std::vector<std::string> texts = {"CheckIn -> SeeDoctor",
+                                          "GetRefer -> CheckIn"};
+  const BatchResult batch = engine.run_batch(texts);
+
+  EXPECT_EQ(telemetry.batches_total->value(), 1u);
+  EXPECT_EQ(telemetry.batch_queries_total->value(), 2u);
+  EXPECT_EQ(telemetry.batch_eval_seconds->count(), 1u);
+  // Documented attribution: every per-query eval_us reports the full
+  // shared pass (engine.h).
+  for (const QueryResult& r : batch.results) {
+    EXPECT_DOUBLE_EQ(r.eval_us, batch.eval_us);
+  }
+}
+
+#endif  // WFLOG_OBS_ENABLED
+
+}  // namespace
+}  // namespace wflog::obs

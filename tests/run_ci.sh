@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The tier-1 gate, as one command: configure + build + ctest in build/,
+# then the sanitized preset (tests/run_sanitized.sh). Any failure stops
+# the script with a nonzero exit.
+#
+# Usage: tests/run_ci.sh [ctest args...]   (extra args go to BOTH ctest runs)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+echo "== tier 1: build + ctest (build/) =="
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j "$(nproc)"
+ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)" "$@"
+
+echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
+"$repo/tests/run_sanitized.sh" "$@"
+
+echo "== CI green =="
