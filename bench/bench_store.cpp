@@ -1,0 +1,93 @@
+// E18 (EXPERIMENTS.md): the price of durability — LogStore append
+// throughput under the three fsync policies. kPerAppend buys "no
+// acknowledged record is ever lost" (README, Durability contract) at the
+// cost of one fsync per record; kInterval amortizes that over
+// fsync_interval_records; kOff leaves durability to the OS page cache.
+//
+// Each iteration appends one record to a store on the local filesystem
+// (temp dir), so absolute numbers track the machine's fsync latency; the
+// RATIO between policies is the result.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "log/store.h"
+
+namespace wflog {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path bench_dir(const char* name) {
+  return fs::temp_directory_path() /
+         (std::string("wflog-bench-store-") + name);
+}
+
+void run_append_bench(benchmark::State& state, FsyncPolicy policy,
+                      const char* name) {
+  const fs::path dir = bench_dir(name);
+  fs::remove_all(dir);
+  LogStore::Options options;
+  options.fsync_policy = policy;
+  options.fsync_interval_records = 256;
+  LogStore store = LogStore::create(dir, options);
+  const Wid w = store.begin_instance();
+  for (auto _ : state) {
+    store.record(w, "activity");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["records"] =
+      static_cast<double>(store.num_records());
+  fs::remove_all(dir);
+}
+
+void BM_StoreAppendPerAppendFsync(benchmark::State& state) {
+  run_append_bench(state, FsyncPolicy::kPerAppend, "per-append");
+}
+
+void BM_StoreAppendIntervalFsync(benchmark::State& state) {
+  run_append_bench(state, FsyncPolicy::kInterval, "interval");
+}
+
+void BM_StoreAppendNoFsync(benchmark::State& state) {
+  run_append_bench(state, FsyncPolicy::kOff, "off");
+}
+
+BENCHMARK(BM_StoreAppendPerAppendFsync)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StoreAppendIntervalFsync)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StoreAppendNoFsync)->Unit(benchmark::kMicrosecond);
+
+/// Reopen cost: recovery streams every segment (CRC-checking each line),
+/// so open() scales with store size.
+void BM_StoreRecoveryOpen(benchmark::State& state) {
+  const fs::path dir = bench_dir("recovery");
+  fs::remove_all(dir);
+  const std::size_t records = static_cast<std::size_t>(state.range(0));
+  {
+    LogStore::Options options;
+    options.fsync_policy = FsyncPolicy::kOff;  // build the fixture fast
+    LogStore store = LogStore::create(dir, options);
+    const Wid w = store.begin_instance();
+    for (std::size_t i = 2; i < records; ++i) store.record(w, "activity");
+    store.end_instance(w);
+    store.sync();
+  }
+  for (auto _ : state) {
+    LogStore store = LogStore::open(dir);
+    benchmark::DoNotOptimize(store.num_records());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  fs::remove_all(dir);
+}
+
+BENCHMARK(BM_StoreRecoveryOpen)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wflog

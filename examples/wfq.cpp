@@ -25,9 +25,17 @@
 //   --metrics              print Prometheus text exposition on exit
 //   --metrics-json <file>  write the metrics snapshot as JSON
 //
+// Resource-guard flags (query/batch, stripped before dispatch):
+//   --deadline-ms N        wall-clock budget per evaluation; on expiry the
+//                          incidents found so far are printed with a
+//                          "partial result" note (exit stays 0/1)
+//   --max-incidents N      stop after emitting ~N incidents (Theorem 1
+//                          memory guard); same partial-result semantics
+//
 // Pattern syntax: activity names; operators . (consecutive), -> (sequential),
 // | (choice), & (parallel); ! negation; [attr op value] predicates.
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -55,6 +63,25 @@ namespace {
 
 using namespace wflog;
 
+/// Guard limits from the global --deadline-ms / --max-incidents flags;
+/// folded into every QueryOptions the query/batch commands build.
+std::chrono::milliseconds g_deadline{0};
+std::size_t g_max_incidents = 0;
+
+QueryOptions guarded_options() {
+  QueryOptions opts;
+  opts.deadline = g_deadline;
+  opts.max_incidents = g_max_incidents;
+  return opts;
+}
+
+/// One-line note when an evaluation came back flagged partial.
+void report_partial(const QueryResult& r) {
+  if (r.complete() || !r.ok()) return;
+  std::cout << "note: PARTIAL result (" << stop_reason_name(r.stop_reason)
+            << " limit hit); incidents shown are a valid subset\n";
+}
+
 [[noreturn]] void usage() {
   std::cerr
       << "usage:\n"
@@ -73,7 +100,8 @@ using namespace wflog;
          "  wfq gen    clinic|procurement|random <instances> <seed> "
          "<out.{csv,jsonl,xes}>\n"
          "global flags (any command): --trace <out.json>  --metrics  "
-         "--metrics-json <file>\n";
+         "--metrics-json <file>\n"
+         "guard flags (query/batch):  --deadline-ms N  --max-incidents N\n";
   std::exit(2);
 }
 
@@ -114,7 +142,7 @@ int cmd_stats(const std::string& path) {
 int cmd_query(const std::string& path, const std::string& pattern,
               std::size_t limit, bool optimize) {
   const Log log = load_log(path);
-  QueryOptions opts;
+  QueryOptions opts = guarded_options();
   opts.optimize = optimize;
   QueryEngine engine(log, opts);
   const QueryResult r = engine.run(pattern);
@@ -127,6 +155,7 @@ int cmd_query(const std::string& path, const std::string& pattern,
   std::cout << "time: parse " << r.parse_us << " us, optimize "
             << r.optimize_us << " us, eval " << r.eval_us << " us\n"
             << render_incident_set(r.incidents, engine.index(), limit);
+  report_partial(r);
   return r.any() ? 0 : 1;
 }
 
@@ -143,12 +172,25 @@ int cmd_batch(const std::string& path, const std::string& queries_path,
   if (texts.empty()) throw IoError("no queries in '" + queries_path + "'");
 
   const Log log = load_log(path);
-  QueryEngine engine(log);
+  QueryEngine engine(log, guarded_options());
   const BatchResult batch = engine.run_batch(texts, threads, use_cache);
 
+  // Failure isolation: a malformed query is an error slot, the rest of the
+  // batch still ran. Report errors inline, count them for the exit code.
+  std::size_t failed = 0;
   for (std::size_t q = 0; q < texts.size(); ++q) {
-    std::cout << "[" << q << "] " << texts[q] << "\n      "
-              << batch.results[q].total() << " incidents\n";
+    const QueryResult& r = batch.results[q];
+    std::cout << "[" << q << "] " << texts[q] << "\n      ";
+    if (!r.ok()) {
+      ++failed;
+      std::cout << "error: " << r.error << "\n";
+    } else {
+      std::cout << r.total() << " incidents";
+      if (!r.complete()) {
+        std::cout << " (PARTIAL: " << stop_reason_name(r.stop_reason) << ")";
+      }
+      std::cout << "\n";
+    }
   }
   const BatchPlanStats& plan = batch.stats.plan;
   std::cout << "batch: " << plan.num_queries << " queries, "
@@ -165,6 +207,7 @@ int cmd_batch(const std::string& path, const std::string& queries_path,
     const auto t0 = std::chrono::steady_clock::now();
     bool identical = true;
     for (std::size_t q = 0; q < texts.size(); ++q) {
+      if (!batch.results[q].ok()) continue;  // error slots have no answer
       const QueryResult solo = engine.run(texts[q]);
       identical =
           identical && solo.incidents == batch.results[q].incidents;
@@ -178,7 +221,7 @@ int cmd_batch(const std::string& path, const std::string& queries_path,
               << (identical ? "identical" : "DIFFER!") << "\n";
     if (!identical) return 4;
   }
-  return 0;
+  return failed != 0 ? 5 : 0;
 }
 
 int cmd_exists(const std::string& path, const std::string& pattern) {
@@ -349,6 +392,15 @@ int dispatch(int argc, char** argv) {
                      static_cast<std::uint64_t>(std::atoll(argv[4])),
                      argv[5]);
     }
+  } catch (const ParseError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 3;
+  } catch (const QueryError& e) {
+    std::cerr << "query error: " << e.what() << "\n";
+    return 3;
+  } catch (const IoError& e) {
+    std::cerr << "io error: " << e.what() << "\n";
+    return 3;
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 3;
@@ -373,6 +425,10 @@ int main(int argc, char** argv) {
       metrics_json_path = argv[++i];
     } else if (flag == "--metrics") {
       metrics = true;
+    } else if (flag == "--deadline-ms" && i + 1 < argc) {
+      g_deadline = std::chrono::milliseconds{std::atoll(argv[++i])};
+    } else if (flag == "--max-incidents" && i + 1 < argc) {
+      g_max_incidents = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       args.push_back(argv[i]);
     }
@@ -391,7 +447,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  const int rc = dispatch(static_cast<int>(args.size()), args.data());
+  // Last-resort guard: nothing escapes as std::terminate — every failure
+  // becomes a one-line diagnostic and a nonzero exit.
+  int rc = 0;
+  try {
+    rc = dispatch(static_cast<int>(args.size()), args.data());
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    rc = 3;
+  }
 
   if (telemetry.has_value() && obs::telemetry() != nullptr) {
     if (!trace_path.empty()) {

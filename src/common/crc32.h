@@ -1,0 +1,43 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum the
+// durable store stamps on every record line so that bit rot, torn writes,
+// and partially-synced pages are detected on recovery instead of being
+// parsed as (wrong) data. Header-only; the table is built once per process.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wflog {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// CRC-32 of `data` (matching zlib's crc32 over the same bytes).
+inline std::uint32_t crc32(std::string_view data) noexcept {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace wflog

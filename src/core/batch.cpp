@@ -1,5 +1,7 @@
 #include "core/batch.h"
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -51,23 +53,47 @@ std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
   std::vector<std::vector<IncidentList>> per_wid(wids.size());
   std::vector<EvalCounters> per_wid_counters(wids.size());
 
+  // Per-query failure isolation, shared across workers: once a query
+  // throws anywhere, every worker skips it (its partial lists are
+  // discarded at assembly); the first error message wins.
+  std::vector<std::atomic<bool>> failed(num_queries);
+  std::vector<std::string> errors(num_queries);
+  std::mutex errors_mu;
+
   parallel_for_instances(
       wids.size(), threads, [&](std::size_t i) {
+        if (options.guard != nullptr && options.guard->stopped()) return;
         const Evaluator ev(index, options.eval);
         SubpatternMemo memo = plan.make_memo();
         SubpatternMemo* memo_ptr = options.use_cache ? &memo : nullptr;
         std::vector<IncidentList>& lists = per_wid[i];
         lists.resize(num_queries);
         for (std::size_t q = 0; q < num_queries; ++q) {
-          lists[q] = ev.evaluate_instance(*patterns[q], wids[i], memo_ptr);
+          if (patterns[q] == nullptr ||
+              failed[q].load(std::memory_order_relaxed)) {
+            continue;
+          }
+          try {
+            lists[q] = ev.evaluate_instance(*patterns[q], wids[i],
+                                            memo_ptr, nullptr,
+                                            options.guard);
+          } catch (const std::exception& e) {
+            if (!failed[q].exchange(true, std::memory_order_relaxed)) {
+              const std::lock_guard<std::mutex> lock(errors_mu);
+              errors[q] = e.what();
+            }
+            lists[q].clear();
+          }
         }
         per_wid_counters[i] = ev.counters();
       });
 
   // Assemble per query in ascending wid order — the exact shape
-  // Evaluator::evaluate produces (empty groups dropped).
+  // Evaluator::evaluate produces (empty groups dropped). Failed queries
+  // yield empty sets: a half-evaluated query would be misleading.
   std::vector<IncidentSet> results(num_queries);
   for (std::size_t q = 0; q < num_queries; ++q) {
+    if (failed[q].load(std::memory_order_relaxed)) continue;
     for (std::size_t i = 0; i < wids.size(); ++i) {
       if (!per_wid[i][q].empty()) {
         results[q].add_group(wids[i], std::move(per_wid[i][q]));
@@ -80,6 +106,7 @@ std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
     stats->plan = plan.stats();
     stats->threads_used = threads;
     for (const EvalCounters& c : per_wid_counters) stats->counters += c;
+    stats->query_errors = std::move(errors);
   }
   return results;
 }

@@ -40,6 +40,9 @@ struct BatchOptions {
   /// batch still runs in one pass but every query recomputes its tree.
   bool use_cache = true;
   EvalOptions eval;
+  /// Optional resource guard (core/guard.h) shared by the whole pass: a
+  /// trip stops every query, each returning its partial set. Borrowed.
+  const EvalGuard* guard = nullptr;
 };
 
 /// What the planner found to share.
@@ -82,12 +85,21 @@ struct BatchEvalStats {
   EvalCounters counters;  // summed across queries, instances, workers
   BatchPlanStats plan;
   std::size_t threads_used = 1;
+  /// Per-query failure isolation: query_errors[q] is empty when query q
+  /// evaluated cleanly, else the error that stopped it. A failed query
+  /// returns an empty set; the others are unaffected.
+  std::vector<std::string> query_errors;
 };
 
 /// Evaluates every pattern over the log in one shared pass. Element q of
 /// the result is bit-identical to Evaluator(index, options.eval)
 /// .evaluate(*patterns[q]). `stats`, when given, receives the cache and
 /// plan tallies.
+///
+/// Failure isolation: a null patterns[q] or a query whose evaluation
+/// throws yields an empty result set (and an entry in
+/// BatchEvalStats::query_errors) without disturbing the other queries —
+/// one bad query cannot take down the batch.
 std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
                                         const LogIndex& index,
                                         const BatchOptions& options = {},

@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
+#include "common/error.h"
 #include "core/printer.h"
 #include "obs/telemetry.h"
 
@@ -24,6 +26,36 @@ void fold_counters(obs::Telemetry* t, EvalCounters delta) {
   t->eval_cache_hits_total->add(delta.cache_hits);
   t->eval_cache_misses_total->add(delta.cache_misses);
   t->eval_cache_bytes_total->add(delta.cache_bytes);
+}
+
+/// Guard for one run()/run_batch() call, or nullopt when QueryOptions sets
+/// no limit (the zero-overhead common case). Built per call, not per
+/// engine: the deadline clock starts when evaluation does.
+std::optional<EvalGuard> make_guard(const QueryOptions& options) {
+  if (options.deadline.count() <= 0 && options.max_incidents == 0 &&
+      options.cancel == nullptr) {
+    return std::nullopt;
+  }
+  return std::optional<EvalGuard>(std::in_place, options.deadline,
+                                  options.max_incidents, options.cancel);
+}
+
+void count_stop(StopReason reason) {
+  WFLOG_TELEMETRY(t) {
+    switch (reason) {
+      case StopReason::kNone:
+        break;
+      case StopReason::kDeadline:
+        t->query_deadline_exceeded_total->inc();
+        break;
+      case StopReason::kCancelled:
+        t->query_cancelled_total->inc();
+        break;
+      case StopReason::kIncidentBudget:
+        t->query_truncated_total->inc();
+        break;
+    }
+  }
 }
 
 }  // namespace
@@ -93,20 +125,26 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
   const EvalCounters before =
       telemetry != nullptr ? evaluator_.counters() : EvalCounters{};
 
+  const std::optional<EvalGuard> guard = make_guard(options_);
+  const EvalGuard* guard_ptr = guard.has_value() ? &*guard : nullptr;
   const auto t1 = Clock::now();
   {
     WFLOG_SPAN(eval_span, "query.eval");
     if (telemetry != nullptr && telemetry->trace_nodes) {
       // explain()-grade detail: a span per operator node per instance.
       const NodeTracer node_trace(telemetry->tracer, *r.executed);
-      r.incidents = evaluator_.evaluate(*r.executed, &node_trace);
+      r.incidents = evaluator_.evaluate(*r.executed, &node_trace, guard_ptr);
     } else {
-      r.incidents = evaluator_.evaluate(*r.executed);
+      r.incidents = evaluator_.evaluate(*r.executed, nullptr, guard_ptr);
     }
     if (eval_span.active()) {
       eval_span.arg("incidents",
                     static_cast<std::uint64_t>(r.incidents.total()));
     }
+  }
+  if (guard_ptr != nullptr) {
+    r.stop_reason = guard_ptr->reason();
+    count_stop(r.stop_reason);
   }
   if (r.where != nullptr) {
     // Existential where semantics over assignments; derivation runs
@@ -153,6 +191,8 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
   // Per-query front end, identical to run(): cost estimate + optimize.
   // Sharing happens downstream on the EXECUTED trees, where canonical
   // keys absorb whatever commutations/rotations the optimizer chose.
+  // A query that fails here becomes an error slot (null executed tree);
+  // the rest of the batch is unaffected.
   std::vector<PatternPtr> executed;
   executed.reserve(queries.size());
   {
@@ -161,26 +201,38 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
       QueryResult& r = batch.results[q];
       r.parsed = queries[q].pattern;
       r.where = queries[q].where;
-      r.estimated_cost_before = cost_model_.cost(*r.parsed);
-      if (options_.optimize) {
-        const auto t0 = Clock::now();
-        OptimizeResult opt =
-            optimize(r.parsed, cost_model_, options_.optimizer);
-        r.optimize_us = us_since(t0);
-        r.executed = std::move(opt.pattern);
-        r.estimated_cost_after = opt.final_cost;
-      } else {
-        r.executed = r.parsed;
-        r.estimated_cost_after = r.estimated_cost_before;
+      if (r.parsed == nullptr) {
+        if (r.error.empty()) r.error = "empty query";
+        executed.push_back(nullptr);
+        continue;
+      }
+      try {
+        r.estimated_cost_before = cost_model_.cost(*r.parsed);
+        if (options_.optimize) {
+          const auto t0 = Clock::now();
+          OptimizeResult opt =
+              optimize(r.parsed, cost_model_, options_.optimizer);
+          r.optimize_us = us_since(t0);
+          r.executed = std::move(opt.pattern);
+          r.estimated_cost_after = opt.final_cost;
+        } else {
+          r.executed = r.parsed;
+          r.estimated_cost_after = r.estimated_cost_before;
+        }
+      } catch (const std::exception& e) {
+        r.error = e.what();
+        r.executed = nullptr;
       }
       executed.push_back(r.executed);
     }
   }
 
+  const std::optional<EvalGuard> guard = make_guard(options_);
   BatchOptions opts;
   opts.threads = threads;
   opts.use_cache = use_cache;
   opts.eval = options_.eval;
+  opts.guard = guard.has_value() ? &*guard : nullptr;
   const auto t1 = Clock::now();
   {
     WFLOG_SPAN(eval_span, "batch.eval");
@@ -193,11 +245,23 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
     }
     for (std::size_t q = 0; q < queries.size(); ++q) {
       QueryResult& r = batch.results[q];
+      if (r.error.empty() && !batch.stats.query_errors.empty()) {
+        r.error = batch.stats.query_errors[q];
+      }
+      if (!r.ok()) continue;  // error slot: no incidents
       r.incidents = std::move(sets[q]);
+      if (guard.has_value()) r.stop_reason = guard->reason();
       if (r.where != nullptr) {
-        r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+        try {
+          r.incidents =
+              filter_where(r.incidents, *r.parsed, *r.where, index_);
+        } catch (const std::exception& e) {
+          r.error = e.what();
+          r.incidents = IncidentSet{};
+        }
       }
     }
+    if (guard.has_value()) count_stop(guard->reason());
   }
   batch.eval_us = us_since(t1);
   // Deterministic, documented attribution (engine.h): the pass is shared,
@@ -219,12 +283,23 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
 BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
                                    std::size_t threads,
                                    bool use_cache) const {
-  std::vector<Query> queries;
-  queries.reserve(query_texts.size());
-  for (const std::string& text : query_texts) {
-    queries.push_back(Query::parse(text));
+  // Parse failures become error slots rather than aborting the batch.
+  std::vector<Query> queries(query_texts.size());
+  std::vector<std::string> parse_errors(query_texts.size());
+  for (std::size_t q = 0; q < query_texts.size(); ++q) {
+    try {
+      queries[q] = Query::parse(query_texts[q]);
+    } catch (const std::exception& e) {
+      parse_errors[q] = e.what();
+    }
   }
-  return run_batch(queries, threads, use_cache);
+  BatchResult batch = run_batch(queries, threads, use_cache);
+  for (std::size_t q = 0; q < query_texts.size(); ++q) {
+    if (!parse_errors[q].empty()) {
+      batch.results[q].error = std::move(parse_errors[q]);
+    }
+  }
+  return batch;
 }
 
 bool QueryEngine::exists(std::string_view query_text) const {

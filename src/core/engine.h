@@ -25,6 +25,18 @@ namespace wflog {
 struct QueryOptions {
   /// Rewrite the pattern with the cost-based optimizer before evaluating.
   bool optimize = true;
+  /// Wall-clock budget per run()/run_batch() evaluation; 0 = unlimited.
+  /// On expiry the query returns the incidents found so far with
+  /// stop_reason == kDeadline — never an exception.
+  std::chrono::milliseconds deadline{0};
+  /// Emitted-incident budget (Theorem 1 memory guard) per evaluation;
+  /// 0 = unlimited. Exceeding it yields a partial result flagged
+  /// kIncidentBudget.
+  std::size_t max_incidents = 0;
+  /// Cooperative cancellation (core/guard.h): set the token from any
+  /// thread and the running evaluation returns a kCancelled partial
+  /// result. Null = not cancellable.
+  CancelToken cancel;
   EvalOptions eval;
   OptimizerOptions optimizer;
 };
@@ -39,9 +51,24 @@ struct QueryResult {
   double eval_us = 0;
   double estimated_cost_before = 0;
   double estimated_cost_after = 0;
+  /// kNone when the evaluation ran to completion; otherwise the incidents
+  /// are a valid but PARTIAL subset (deadline / cancel / budget).
+  StopReason stop_reason = StopReason::kNone;
+  /// Batch isolation: why THIS query failed (parse/optimize/eval error)
+  /// while the rest of its batch completed. Empty on success; a failed
+  /// query carries no incidents.
+  std::string error;
 
   std::size_t total() const { return incidents.total(); }
   bool any() const { return !incidents.empty(); }
+  bool ok() const { return error.empty(); }
+  /// True iff the incident set is the full answer.
+  bool complete() const { return ok() && stop_reason == StopReason::kNone; }
+  bool timed_out() const { return stop_reason == StopReason::kDeadline; }
+  bool cancelled() const { return stop_reason == StopReason::kCancelled; }
+  bool truncated() const {
+    return stop_reason == StopReason::kIncidentBudget;
+  }
 };
 
 /// One query of a batch: a pattern with an optional where clause,
@@ -101,6 +128,11 @@ class QueryEngine {
   /// results[q] is bit-identical to run(queries[q]). `threads` partitions
   /// instances across workers (1 = serial, 0 = hardware concurrency);
   /// `use_cache` toggles the subpattern memo.
+  ///
+  /// Failure isolation: a query that fails to parse, optimize, or
+  /// evaluate becomes an error slot (results[q].error set, no incidents)
+  /// while every other query completes normally — run_batch itself only
+  /// throws for infrastructure failures, not per-query ones.
   BatchResult run_batch(std::span<const Query> queries,
                         std::size_t threads = 1,
                         bool use_cache = true) const;

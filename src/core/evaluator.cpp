@@ -102,7 +102,12 @@ std::uint64_t incident_bytes(const IncidentList& list) {
 
 IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
                                   SubpatternMemo* memo,
-                                  const NodeTracer* trace) const {
+                                  const NodeTracer* trace,
+                                  const EvalGuard* guard) const {
+  // A tripped guard collapses the whole subtree to an empty list — the
+  // cheapest sound partial answer (the caller flags the result).
+  if (guard != nullptr && guard->check()) return {};
+
   // Profiling span (inert unless a NodeTracer is threaded through): opened
   // before the memo check so cache hits are visible in traces too.
   obs::Tracer::Span span;
@@ -127,6 +132,7 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
 
   if (p.is_atom()) {
     IncidentList atoms = eval_atom(p, wid);
+    if (guard != nullptr) guard->add_incidents(atoms.size());
     if (slot != SubpatternMemo::kNoSlot) {
       ++counters_.cache_misses;
       counters_.cache_bytes += incident_bytes(atoms);
@@ -138,8 +144,8 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
     return atoms;
   }
 
-  const IncidentList left = eval_node(*p.left(), wid, memo, trace);
-  const IncidentList right = eval_node(*p.right(), wid, memo, trace);
+  const IncidentList left = eval_node(*p.left(), wid, memo, trace, guard);
+  const IncidentList right = eval_node(*p.right(), wid, memo, trace, guard);
   ++counters_.operator_nodes_evaluated;
 
   IncidentList out;
@@ -150,26 +156,26 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
       break;  // unreachable
     case PatternOp::kConsecutive:
       pairs = left.size() * right.size();
-      out = opt ? eval_consecutive_opt(left, right)
-                : eval_consecutive_naive(left, right);
+      out = opt ? eval_consecutive_opt(left, right, guard)
+                : eval_consecutive_naive(left, right, guard);
       break;
     case PatternOp::kSequential:
       pairs = left.size() * right.size();
-      out = opt ? eval_sequential_opt(left, right)
-                : eval_sequential_naive(left, right);
+      out = opt ? eval_sequential_opt(left, right, guard)
+                : eval_sequential_naive(left, right, guard);
       break;
     case PatternOp::kChoice: {
       const bool dedup = needs_choice_dedup(*p.left(), *p.right());
       pairs = dedup ? left.size() * right.size()
                     : left.size() + right.size();
-      out = opt ? eval_choice_opt(left, right, dedup)
-                : eval_choice_naive(left, right, dedup);
+      out = opt ? eval_choice_opt(left, right, dedup, guard)
+                : eval_choice_naive(left, right, dedup, guard);
       break;
     }
     case PatternOp::kParallel:
       pairs = left.size() * right.size();
-      out = opt ? eval_parallel_opt(left, right)
-                : eval_parallel_naive(left, right);
+      out = opt ? eval_parallel_opt(left, right, guard)
+                : eval_parallel_naive(left, right, guard);
       break;
   }
   counters_.pairs_examined += pairs;
@@ -180,7 +186,11 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
     });
   }
   counters_.incidents_emitted += out.size();
-  if (slot != SubpatternMemo::kNoSlot) {
+  if (guard != nullptr) guard->add_incidents(out.size());
+  if (slot != SubpatternMemo::kNoSlot &&
+      (guard == nullptr || !guard->stopped())) {
+    // A post-trip list may be partial; memoizing it would silently corrupt
+    // any query of the batch that shares the slot.
     ++counters_.cache_misses;
     counters_.cache_bytes += incident_bytes(out);
     memo->store(slot, out);
@@ -194,15 +204,17 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
 
 IncidentList Evaluator::evaluate_instance(const Pattern& p, Wid wid,
                                           SubpatternMemo* memo,
-                                          const NodeTracer* trace) const {
-  return eval_node(p, wid, memo, trace);
+                                          const NodeTracer* trace,
+                                          const EvalGuard* guard) const {
+  return eval_node(p, wid, memo, trace, guard);
 }
 
-IncidentSet Evaluator::evaluate(const Pattern& p,
-                                const NodeTracer* trace) const {
+IncidentSet Evaluator::evaluate(const Pattern& p, const NodeTracer* trace,
+                                const EvalGuard* guard) const {
   IncidentSet result;
   for (Wid wid : index_->wids()) {
-    IncidentList incidents = eval_node(p, wid, nullptr, trace);
+    if (guard != nullptr && guard->stopped()) break;
+    IncidentList incidents = eval_node(p, wid, nullptr, trace, guard);
     if (!incidents.empty()) result.add_group(wid, std::move(incidents));
   }
   return result;
@@ -215,7 +227,7 @@ bool Evaluator::exists(const Pattern& p) const {
     }
   }
   for (Wid wid : index_->wids()) {
-    if (!eval_node(p, wid, nullptr, nullptr).empty()) return true;
+    if (!eval_node(p, wid, nullptr, nullptr, nullptr).empty()) return true;
   }
   return false;
 }
@@ -228,7 +240,7 @@ std::size_t Evaluator::count(const Pattern& p) const {
   }
   std::size_t n = 0;
   for (Wid wid : index_->wids()) {
-    n += eval_node(p, wid, nullptr, nullptr).size();
+    n += eval_node(p, wid, nullptr, nullptr, nullptr).size();
   }
   return n;
 }

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/guard.h"
 #include "core/incident.h"
 #include "core/pattern.h"
 #include "log/index.h"
@@ -160,17 +161,22 @@ class Evaluator {
   explicit Evaluator(const LogIndex& index, EvalOptions opts = {});
 
   /// inc_L(p): all incidents of p in the log, grouped by instance. With a
-  /// NodeTracer, every node evaluation emits a profiling span.
-  IncidentSet evaluate(const Pattern& p,
-                       const NodeTracer* trace = nullptr) const;
+  /// NodeTracer, every node evaluation emits a profiling span. With an
+  /// EvalGuard (core/guard.h), the instance loop and every operator loop
+  /// poll it; once it trips, evaluation stops and the set computed so far
+  /// is returned — the caller reads guard->reason() to flag the result.
+  IncidentSet evaluate(const Pattern& p, const NodeTracer* trace = nullptr,
+                       const EvalGuard* guard = nullptr) const;
 
   /// Incidents of p within one workflow instance. With a memo, every node
   /// mapped by the memo's SlotMap is answered from / stored into the memo
   /// — the batch engine's sharing hook. The caller owns the memo's
-  /// lifecycle (reset between instances).
+  /// lifecycle (reset between instances). The guard works as in
+  /// evaluate(); partial (post-trip) lists are never stored in the memo.
   IncidentList evaluate_instance(const Pattern& p, Wid wid,
                                  SubpatternMemo* memo = nullptr,
-                                 const NodeTracer* trace = nullptr) const;
+                                 const NodeTracer* trace = nullptr,
+                                 const EvalGuard* guard = nullptr) const;
 
   /// True iff inc_L(p) is nonempty. Stops at the first instance with a
   /// match — the cheap mode for "are there any ...?" questions.
@@ -188,7 +194,8 @@ class Evaluator {
 
  private:
   IncidentList eval_node(const Pattern& p, Wid wid, SubpatternMemo* memo,
-                         const NodeTracer* trace) const;
+                         const NodeTracer* trace,
+                         const EvalGuard* guard) const;
   IncidentList eval_atom(const Pattern& p, Wid wid) const;
 
   const LogIndex* index_;

@@ -106,12 +106,15 @@ void LogMonitor::record(Wid wid, std::string_view activity,
                         const NamedAttrs& in, const NamedAttrs& out) {
   const auto open = next_is_lsn_.find(wid);
   if (open == next_is_lsn_.end() || open->second == 0) {
-    throw Error("LogMonitor: instance " + std::to_string(wid) +
-                " is not open");
+    note_bad_event(wid, activity,
+                   "instance " + std::to_string(wid) + " is not open");
+    return;
   }
   if (activity == kStartActivity || activity == kEndActivity) {
-    throw Error("LogMonitor: activity name '" + std::string(activity) +
-                "' is reserved");
+    note_bad_event(wid, activity,
+                   "activity name '" + std::string(activity) +
+                       "' is reserved");
+    return;
   }
   AttrMap in_map;
   for (const auto& [name, value] : in) {
@@ -128,8 +131,9 @@ void LogMonitor::record(Wid wid, std::string_view activity,
 void LogMonitor::end_instance(Wid wid) {
   auto it = next_is_lsn_.find(wid);
   if (it == next_is_lsn_.end() || it->second == 0) {
-    throw Error("LogMonitor: instance " + std::to_string(wid) +
-                " is not open");
+    note_bad_event(wid, kEndActivity,
+                   "instance " + std::to_string(wid) + " is not open");
+    return;
   }
   append_record(wid, end_sym_, {}, {});
   it->second = 0;  // completed
@@ -137,6 +141,23 @@ void LogMonitor::end_instance(Wid wid) {
   // A completed instance can produce no further matches: drop its state.
   for (auto& [query_id, per_wid] : state_) {
     per_wid.erase(wid);
+  }
+}
+
+void LogMonitor::note_bad_event(Wid wid, std::string_view activity,
+                                std::string reason) {
+  ++num_bad_events_;
+  WFLOG_TELEMETRY(t) { t->monitor_bad_events_total->inc(); }
+  BadEvent event{wid, std::string(activity), std::move(reason)};
+  if (options_.on_bad_event) options_.on_bad_event(event);
+  switch (options_.bad_event_policy) {
+    case BadEventPolicy::kReject:
+      throw Error("LogMonitor: " + event.reason);
+    case BadEventPolicy::kSkip:
+      break;
+    case BadEventPolicy::kQuarantine:
+      quarantined_.push_back(std::move(event));
+      break;
   }
 }
 

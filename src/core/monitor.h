@@ -37,12 +37,35 @@
 
 namespace wflog {
 
+/// What the monitor does with an event it cannot apply — an unknown or
+/// already-completed wid (out-of-order delivery, lost START) or a reserved
+/// activity name.
+enum class BadEventPolicy {
+  kReject,      // throw Error (the strict default)
+  kSkip,        // drop the event, count it, keep running
+  kQuarantine,  // drop it but retain it for inspection (quarantined())
+};
+
+/// One rejected/skipped/quarantined event.
+struct BadEvent {
+  Wid wid = 0;
+  std::string activity;
+  std::string reason;
+};
+
 struct MonitorOptions {
   /// Same semantics switches as batch evaluation.
   bool negation_matches_sentinels = true;
   /// Retain all observed records so snapshot() works. Disable for
   /// long-running monitors that only need matches.
   bool keep_records = true;
+  /// How to treat events that cannot be applied. Under kSkip/kQuarantine
+  /// the feed keeps running — one misbehaving producer cannot take down
+  /// the monitor.
+  BadEventPolicy bad_event_policy = BadEventPolicy::kReject;
+  /// Invoked for every bad event (all policies), before it is thrown,
+  /// dropped, or quarantined.
+  std::function<void(const BadEvent&)> on_bad_event;
 };
 
 class LogMonitor {
@@ -70,10 +93,13 @@ class LogMonitor {
   /// Starts a new workflow instance (emits its START record). Returns the
   /// fresh wid.
   Wid begin_instance();
-  /// Records one activity execution for an open instance.
+  /// Records one activity execution for an open instance. An event naming
+  /// an unknown/completed wid or a reserved activity is handled per
+  /// MonitorOptions::bad_event_policy (kReject throws Error).
   void record(Wid wid, std::string_view activity, const NamedAttrs& in = {},
               const NamedAttrs& out = {});
   /// Completes an instance (emits END) and releases its per-query state.
+  /// A wid that is not open follows the bad-event policy too.
   void end_instance(Wid wid);
 
   // ----- results -----------------------------------------------------------
@@ -86,6 +112,12 @@ class LogMonitor {
   Log snapshot() const;
 
   std::size_t num_records() const noexcept { return num_records_; }
+  /// Events retained under BadEventPolicy::kQuarantine, in arrival order.
+  const std::vector<BadEvent>& quarantined() const noexcept {
+    return quarantined_;
+  }
+  /// Bad events seen so far (rejected, skipped, and quarantined alike).
+  std::size_t num_bad_events() const noexcept { return num_bad_events_; }
 
  private:
   struct CompiledNode {
@@ -114,6 +146,10 @@ class LogMonitor {
   void feed(CompiledQuery& q, const LogRecord& l);
   void backfill(CompiledQuery& q);
   void append_record(Wid wid, Symbol activity, AttrMap in, AttrMap out);
+  /// Applies the bad-event policy: counts it, invokes the callback, then
+  /// throws (kReject), drops (kSkip), or retains (kQuarantine) the event.
+  void note_bad_event(Wid wid, std::string_view activity,
+                      std::string reason);
 
   MonitorOptions options_;
   Interner interner_;
@@ -124,6 +160,8 @@ class LogMonitor {
   std::unordered_map<QueryId, std::unordered_map<Wid, InstanceState>> state_;
   std::unordered_map<Wid, IsLsn> next_is_lsn_;  // open instances
   std::vector<LogRecord> records_;              // retained when keep_records
+  std::vector<BadEvent> quarantined_;
+  std::size_t num_bad_events_ = 0;
   std::vector<Match> matches_;
   std::unordered_map<QueryId, std::size_t> match_totals_;
   Wid next_wid_ = 1;

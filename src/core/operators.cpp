@@ -5,10 +5,16 @@
 namespace wflog {
 
 IncidentList eval_consecutive_naive(const IncidentList& inc1,
-                                    const IncidentList& inc2) {
+                                    const IncidentList& inc2,
+                                    const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     for (const Incident& o2 : inc2) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       if (o1.last() + 1 == o2.first()) {
         out.push_back(Incident::merged(o1, o2));
       }
@@ -19,10 +25,16 @@ IncidentList eval_consecutive_naive(const IncidentList& inc1,
 }
 
 IncidentList eval_sequential_naive(const IncidentList& inc1,
-                                   const IncidentList& inc2) {
+                                   const IncidentList& inc2,
+                                   const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     for (const Incident& o2 : inc2) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       if (o1.last() < o2.first()) {
         out.push_back(Incident::merged(o1, o2));
       }
@@ -33,7 +45,8 @@ IncidentList eval_sequential_naive(const IncidentList& inc1,
 }
 
 IncidentList eval_choice_naive(const IncidentList& inc1,
-                               const IncidentList& inc2, bool dedup) {
+                               const IncidentList& inc2, bool dedup,
+                               const EvalGuard* guard) {
   IncidentList out;
   out.reserve(inc1.size() + inc2.size());
   out.insert(out.end(), inc1.begin(), inc1.end());
@@ -48,7 +61,9 @@ IncidentList eval_choice_naive(const IncidentList& inc1,
     // Algorithm 1's pairwise duplicate scan: append o2 only when it equals
     // no incident of inc1 (element-by-element comparison, the min(k1,k2)
     // factor of Lemma 1).
+    GuardPoll poll{guard};
     for (const Incident& o2 : inc2) {
+      if (poll.should_stop()) break;
       bool duplicated = false;
       for (const Incident& o1 : inc1) {
         if (o1 == o2) {
@@ -64,10 +79,16 @@ IncidentList eval_choice_naive(const IncidentList& inc1,
 }
 
 IncidentList eval_parallel_naive(const IncidentList& inc1,
-                                 const IncidentList& inc2) {
+                                 const IncidentList& inc2,
+                                 const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     for (const Incident& o2 : inc2) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       if (Incident::disjoint(o1, o2)) {
         out.push_back(Incident::merged(o1, o2));
       }

@@ -18,26 +18,36 @@
 //                equal (dedup needed), O(n1+n2) otherwise
 //   parallel     O(n1·n2·(k1+k2))
 
+// Every function takes an optional EvalGuard (core/guard.h) and polls it
+// periodically inside its pair loops — the cooperative cancellation /
+// deadline hook. A tripped guard makes the function return the (canonical)
+// incidents produced so far; the evaluator flags the result partial.
+
+#include "core/guard.h"
 #include "core/incident.h"
 
 namespace wflog {
 
 /// p1 ⊙ p2: pairs with last(o1) + 1 = first(o2).
 IncidentList eval_consecutive_naive(const IncidentList& inc1,
-                                    const IncidentList& inc2);
+                                    const IncidentList& inc2,
+                                    const EvalGuard* guard = nullptr);
 
 /// p1 ≫ p2: pairs with last(o1) < first(o2).
 IncidentList eval_sequential_naive(const IncidentList& inc1,
-                                   const IncidentList& inc2);
+                                   const IncidentList& inc2,
+                                   const EvalGuard* guard = nullptr);
 
 /// p1 ⊗ p2: set union. `dedup` should be true iff the operands' activity
 /// multisets are equal (Lemma 1's refinement); when false the two lists are
 /// disjoint by construction and are simply merged.
 IncidentList eval_choice_naive(const IncidentList& inc1,
-                               const IncidentList& inc2, bool dedup);
+                               const IncidentList& inc2, bool dedup,
+                               const EvalGuard* guard = nullptr);
 
 /// p1 ⊕ p2: unions of record-disjoint pairs.
 IncidentList eval_parallel_naive(const IncidentList& inc1,
-                                 const IncidentList& inc2);
+                                 const IncidentList& inc2,
+                                 const EvalGuard* guard = nullptr);
 
 }  // namespace wflog

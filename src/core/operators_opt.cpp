@@ -24,12 +24,18 @@ struct IncidentHash {
 }  // namespace
 
 IncidentList eval_consecutive_opt(const IncidentList& inc1,
-                                  const IncidentList& inc2) {
+                                  const IncidentList& inc2,
+                                  const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     const IsLsn want = o1.last() + 1;
     for (auto it = lower_bound_first(inc2, want);
          it != inc2.end() && it->first() == want; ++it) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       out.push_back(Incident::merged(o1, *it));
     }
   }
@@ -38,11 +44,17 @@ IncidentList eval_consecutive_opt(const IncidentList& inc1,
 }
 
 IncidentList eval_sequential_opt(const IncidentList& inc1,
-                                 const IncidentList& inc2) {
+                                 const IncidentList& inc2,
+                                 const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     for (auto it = lower_bound_first(inc2, o1.last() + 1); it != inc2.end();
          ++it) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       out.push_back(Incident::merged(o1, *it));
     }
   }
@@ -51,7 +63,8 @@ IncidentList eval_sequential_opt(const IncidentList& inc1,
 }
 
 IncidentList eval_choice_opt(const IncidentList& inc1,
-                             const IncidentList& inc2, bool dedup) {
+                             const IncidentList& inc2, bool dedup,
+                             const EvalGuard* guard) {
   IncidentList out;
   out.reserve(inc1.size() + inc2.size());
   if (!dedup) {
@@ -62,7 +75,9 @@ IncidentList eval_choice_opt(const IncidentList& inc1,
   }
   std::unordered_set<Incident, IncidentHash> seen(inc1.begin(), inc1.end());
   out.insert(out.end(), inc1.begin(), inc1.end());
+  GuardPoll poll{guard};
   for (const Incident& o2 : inc2) {
+    if (poll.should_stop()) break;
     if (!seen.contains(o2)) out.push_back(o2);
   }
   canonicalize(out);
@@ -70,10 +85,16 @@ IncidentList eval_choice_opt(const IncidentList& inc1,
 }
 
 IncidentList eval_parallel_opt(const IncidentList& inc1,
-                               const IncidentList& inc2) {
+                               const IncidentList& inc2,
+                               const EvalGuard* guard) {
   IncidentList out;
+  GuardPoll poll{guard};
   for (const Incident& o1 : inc1) {
     for (const Incident& o2 : inc2) {
+      if (poll.should_stop()) {
+        canonicalize(out);
+        return out;
+      }
       // Incident::disjoint already performs the interval pre-filter before
       // the member scan; pairs with non-overlapping spans cost O(1).
       if (Incident::disjoint(o1, o2)) {

@@ -22,20 +22,28 @@
 // All functions require canonical inputs (sorted by positions, hence by
 // first()) and return canonical outputs.
 
+// As in core/operators.h, every function polls an optional EvalGuard
+// inside its loops and returns a canonical partial list once it trips.
+
+#include "core/guard.h"
 #include "core/incident.h"
 
 namespace wflog {
 
 IncidentList eval_consecutive_opt(const IncidentList& inc1,
-                                  const IncidentList& inc2);
+                                  const IncidentList& inc2,
+                                  const EvalGuard* guard = nullptr);
 
 IncidentList eval_sequential_opt(const IncidentList& inc1,
-                                 const IncidentList& inc2);
+                                 const IncidentList& inc2,
+                                 const EvalGuard* guard = nullptr);
 
 IncidentList eval_choice_opt(const IncidentList& inc1,
-                             const IncidentList& inc2, bool dedup);
+                             const IncidentList& inc2, bool dedup,
+                             const EvalGuard* guard = nullptr);
 
 IncidentList eval_parallel_opt(const IncidentList& inc1,
-                               const IncidentList& inc2);
+                               const IncidentList& inc2,
+                               const EvalGuard* guard = nullptr);
 
 }  // namespace wflog

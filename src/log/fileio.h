@@ -1,0 +1,139 @@
+#pragma once
+
+// The injectable file-IO seam under LogStore's write path.
+//
+// Every byte LogStore persists — record lines, manifest rewrites, tail
+// truncations — flows through a FileIo, so the crash-torture harness
+// (tests/store_torture_test.cpp) can substitute a FaultIo that fails,
+// short-writes, or "crashes" at the Nth operation and prove the recovery
+// path sound at every IO boundary. Production code uses real_file_io(),
+// a POSIX implementation whose sync() is a genuine fsync.
+//
+// The read path (recovery scans, load()) stays on plain ifstreams: faults
+// are injected on writes, and the crash model applies its data loss to the
+// real files, so readers observe it naturally.
+//
+// Durability model caveat: creating or renaming a file is treated as
+// durable once the call returns (no directory fsync). The torture harness
+// mirrors that assumption — see FaultIo::CrashLoss.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string_view>
+
+namespace wflog {
+
+/// A writable file handle. write() may be short (return < data.size())
+/// without error — callers loop; hard failures throw IoError. Destructors
+/// close best-effort and never throw.
+class WriteFile {
+ public:
+  virtual ~WriteFile() = default;
+
+  /// Appends at the current position; returns bytes accepted (possibly
+  /// fewer than data.size()). Throws IoError on hard failure.
+  virtual std::size_t write(std::string_view data) = 0;
+  /// Pushes user-space buffers to the OS. Throws IoError on failure.
+  virtual void flush() = 0;
+  /// Forces OS buffers to stable storage (fsync). Throws IoError.
+  virtual void sync() = 0;
+  /// Flushes and closes. Throws IoError; the destructor closes silently.
+  virtual void close() = 0;
+};
+
+using WriteFilePtr = std::unique_ptr<WriteFile>;
+
+/// The write-path operations LogStore needs from a filesystem.
+class FileIo {
+ public:
+  virtual ~FileIo() = default;
+
+  /// Opens `path` for appending, creating it if missing.
+  virtual WriteFilePtr open_append(const std::filesystem::path& path) = 0;
+  /// Opens `path` truncated to empty, creating it if missing.
+  virtual WriteFilePtr open_trunc(const std::filesystem::path& path) = 0;
+  /// Atomically replaces `to` with `from`.
+  virtual void rename(const std::filesystem::path& from,
+                      const std::filesystem::path& to) = 0;
+  /// Truncates `path` to `size` bytes.
+  virtual void truncate(const std::filesystem::path& path,
+                        std::uintmax_t size) = 0;
+  /// Deletes `path` (no error if absent).
+  virtual void remove(const std::filesystem::path& path) = 0;
+};
+
+/// The process-wide real (POSIX) implementation.
+std::shared_ptr<FileIo> real_file_io();
+
+/// A programmable fault-injecting FileIo for the robustness tests. Wraps a
+/// base FileIo (the real one by default), counts every operation — writes,
+/// flushes, syncs, opens, renames, truncates — and triggers the configured
+/// fault when the counter reaches Fault::at_op:
+///
+///   kError       ops [at_op, at_op + count) throw IoError, later ops
+///                succeed — a transient failure the store's bounded
+///                retry should absorb. count = kSticky models ENOSPC:
+///                every op from at_op on fails.
+///   kShortWrite  the at_op'th operation, if a write, accepts only half
+///                its bytes (no error) — exercises the continuation loop.
+///   kCrash       simulated power loss at the at_op'th boundary: the op
+///                does not happen, unsynced bytes are lost per CrashLoss,
+///                and every subsequent op throws — the harness then
+///                reopens the directory with real IO.
+///
+/// Not thread-safe; the store writes from one thread.
+class FaultIo : public FileIo {
+ public:
+  /// What survives of a file's un-fsynced suffix when a crash fires.
+  enum class CrashLoss {
+    kKeepAll,       // process crash: OS page cache survives
+    kDropUnsynced,  // power loss, worst case: only fsynced bytes survive
+    kTornHalf,      // power loss mid-flush: half the unsynced bytes, torn
+  };
+
+  struct Fault {
+    static constexpr std::uint64_t kSticky = ~std::uint64_t{0};
+
+    std::uint64_t at_op = 0;  // 1-based op index; 0 disables
+    enum class Kind { kError, kShortWrite, kCrash } kind = Kind::kError;
+    std::uint64_t count = 1;  // kError: consecutive failing ops (kSticky = forever)
+    CrashLoss loss = CrashLoss::kDropUnsynced;  // kCrash
+  };
+
+  explicit FaultIo(std::shared_ptr<FileIo> base = nullptr);
+
+  void set_fault(Fault fault) { fault_ = fault; }
+  /// Operations observed so far (a fault-free dry run measures a
+  /// workload's op count; the torture matrix then crashes at each index).
+  std::uint64_t ops() const noexcept { return ops_; }
+  bool crashed() const noexcept { return crashed_; }
+
+  WriteFilePtr open_append(const std::filesystem::path& path) override;
+  WriteFilePtr open_trunc(const std::filesystem::path& path) override;
+  void rename(const std::filesystem::path& from,
+              const std::filesystem::path& to) override;
+  void truncate(const std::filesystem::path& path,
+                std::uintmax_t size) override;
+  void remove(const std::filesystem::path& path) override;
+
+ private:
+  friend class FaultWriteFile;
+
+  /// Counts one op; throws per the configured fault. Returns true when the
+  /// op should short-write.
+  bool on_op(const char* what);
+  void apply_crash_loss();
+  void note_synced(const std::filesystem::path& path);
+
+  std::shared_ptr<FileIo> base_;
+  Fault fault_;
+  std::uint64_t ops_ = 0;
+  bool crashed_ = false;
+  // Durable (fsynced) size per path touched through this IO. Writes go
+  // straight to the real file; a crash truncates back to these marks.
+  std::map<std::filesystem::path, std::uintmax_t> durable_;
+};
+
+}  // namespace wflog

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/error.h"
 #include "common/text.h"
 
@@ -330,6 +331,43 @@ LogRecord parse_jsonl_record(std::string_view line, Interner& interner) {
   LogRecord l;
   JsonParser(line).parse_record(l, interner);
   return l;
+}
+
+namespace {
+
+constexpr std::size_t kCrcHexLen = 8;
+
+bool has_crc_prefix(std::string_view line) {
+  if (line.size() < kCrcHexLen + 2 || line[kCrcHexLen] != ' ') return false;
+  for (std::size_t i = 0; i < kCrcHexLen; ++i) {
+    if (std::isxdigit(static_cast<unsigned char>(line[i])) == 0) return false;
+  }
+  return line[kCrcHexLen + 1] == '{';
+}
+
+}  // namespace
+
+std::string to_store_line(const LogRecord& record, const Interner& interner) {
+  std::ostringstream body;
+  write_jsonl_record(body, record, interner);
+  std::string line = std::move(body).str();
+  line.pop_back();  // write_jsonl_record's trailing newline; re-added below
+  char prefix[kCrcHexLen + 2];
+  std::snprintf(prefix, sizeof prefix, "%08x ", crc32(line));
+  line.insert(0, prefix, kCrcHexLen + 1);
+  line += '\n';
+  return line;
+}
+
+LogRecord parse_store_line(std::string_view line, Interner& interner) {
+  if (!has_crc_prefix(line)) return parse_jsonl_record(line, interner);
+  const std::string_view body = line.substr(kCrcHexLen + 1);
+  std::uint32_t expected = 0;
+  std::from_chars(line.data(), line.data() + kCrcHexLen, expected, 16);
+  if (crc32(body) != expected) {
+    throw IoError("store record checksum mismatch");
+  }
+  return parse_jsonl_record(body, interner);
 }
 
 void write_jsonl(const Log& log, std::ostream& out) {

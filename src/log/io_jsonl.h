@@ -24,6 +24,15 @@ void write_jsonl_record(std::ostream& out, const LogRecord& record,
                         const Interner& interner);
 LogRecord parse_jsonl_record(std::string_view line, Interner& interner);
 
+/// Checksummed store framing: "crc32hex8 SP json-object LF". The CRC-32
+/// covers the JSON body, so recovery detects torn or bit-rotted lines
+/// instead of parsing garbage. parse_store_line accepts both framings
+/// (plain JSON lines predate checksumming) and throws IoError on a
+/// checksum mismatch or malformed body; the line must not include the
+/// trailing newline.
+std::string to_store_line(const LogRecord& record, const Interner& interner);
+LogRecord parse_store_line(std::string_view line, Interner& interner);
+
 /// Parses JSONL and validates the resulting log. Throws IoError /
 /// ValidationError.
 Log read_jsonl(std::istream& in);

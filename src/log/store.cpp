@@ -1,7 +1,11 @@
 #include "log/store.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "common/error.h"
 #include "common/text.h"
@@ -10,6 +14,8 @@
 
 namespace wflog {
 namespace {
+
+namespace fs = std::filesystem;
 
 constexpr std::string_view kManifestName = "MANIFEST";
 constexpr std::string_view kMagic = "wflog-store v1";
@@ -20,37 +26,134 @@ std::string segment_name(std::size_t index) {
   return buf;
 }
 
+std::string read_whole_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw IoError("LogStore: cannot read '" + path.string() + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Non-empty lines in a byte range — the best available estimate of how
+/// many records a quarantined region held (its bytes are, by definition,
+/// not reliably parseable).
+std::size_t count_record_lines(std::string_view data) {
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::size_t nl = data.find('\n', pos);
+    if (nl == std::string_view::npos) nl = data.size();
+    if (!trim(data.substr(pos, nl - pos)).empty()) ++n;
+    pos = nl + 1;
+  }
+  return n;
+}
+
 }  // namespace
 
 std::filesystem::path LogStore::segment_path(std::size_t index) const {
   return dir_ / segments_.at(index);
 }
 
-void LogStore::write_manifest() const {
-  // Write-then-rename keeps the manifest atomic against crashes.
-  const std::filesystem::path tmp = dir_ / "MANIFEST.tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      throw IoError("LogStore: cannot write manifest in " + dir_.string());
+template <typename Fn>
+void LogStore::with_retries(const char* what, Fn&& fn) {
+  std::chrono::milliseconds backoff = options_.retry_backoff;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const IoError& e) {
+      if (attempt >= options_.max_io_retries) {
+        throw IoError("LogStore: " + std::string(what) + " failed after " +
+                      std::to_string(attempt) + " retries: " + e.what());
+      }
+      WFLOG_TELEMETRY(t) { t->store_retries_total->inc(); }
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
     }
-    out << kMagic << "\n";
-    out << "records_per_segment=" << options_.records_per_segment << "\n";
-    for (const std::string& seg : segments_) out << seg << "\n";
   }
-  std::filesystem::rename(tmp, dir_ / kManifestName);
+}
+
+void LogStore::write_all(std::string_view data, std::size_t& off) {
+  std::size_t stalls = 0;
+  while (off < data.size()) {
+    const std::size_t n = tail_->write(data.substr(off));
+    off += n;
+    tail_bytes_ += n;
+    if (n == 0) {
+      if (++stalls > 8) {
+        throw IoError("LogStore: write made no progress");
+      }
+    } else {
+      stalls = 0;
+    }
+  }
+}
+
+void LogStore::write_manifest() {
+  const fs::path tmp = dir_ / "MANIFEST.tmp";
+  std::string text;
+  text.append(kMagic).append("\n");
+  text.append("records_per_segment=")
+      .append(std::to_string(options_.records_per_segment))
+      .append("\n");
+  for (const std::string& seg : segments_) text.append(seg).append("\n");
+
+  // Write-then-rename keeps the manifest atomic against crashes; the tmp
+  // file is fsynced before the rename regardless of the fsync policy (the
+  // manifest is tiny and rolls are rare).
+  with_retries("write manifest", [&] {
+    WriteFilePtr f = io_->open_trunc(tmp);
+    std::size_t off = 0;
+    std::size_t stalls = 0;
+    while (off < text.size()) {
+      const std::size_t n = f->write(std::string_view(text).substr(off));
+      off += n;
+      if (n == 0 && ++stalls > 8) {
+        throw IoError("LogStore: manifest write made no progress");
+      }
+    }
+    f->flush();
+    f->sync();
+    f->close();
+    io_->rename(tmp, dir_ / kManifestName);
+  });
 }
 
 void LogStore::roll_segment() {
   WFLOG_TELEMETRY(t) { t->store_segment_rolls_total->inc(); }
-  segments_.push_back(segment_name(segments_.size() + 1));
-  write_manifest();
-  tail_.close();
-  tail_.open(segment_path(segments_.size() - 1), std::ios::app);
-  if (!tail_) {
-    throw IoError("LogStore: cannot open segment " + segments_.back());
+  try {
+    // Finish the old tail durably before the manifest names a successor:
+    // segment k is fully on stable storage before any byte lands in k+1,
+    // so crash loss is always confined to the final segment's suffix.
+    if (tail_ != nullptr) {
+      with_retries("sync segment on roll", [&] {
+        tail_->flush();
+        tail_->sync();
+      });
+      with_retries("close segment on roll", [&] { tail_->close(); });
+      tail_.reset();
+    }
+    segments_.push_back(segment_name(segments_.size() + 1));
+    // New segments start truncated: a crash between this create and the
+    // manifest rename below leaves an orphan file the next roll reclaims.
+    with_retries("open segment", [&] {
+      tail_ = io_->open_trunc(segment_path(segments_.size() - 1));
+    });
+    tail_bytes_ = 0;
+    tail_records_ = 0;
+    records_since_sync_ = 0;
+    write_manifest();
+  } catch (...) {
+    // The manifest, the files, and the in-memory state may now disagree;
+    // refuse further appends rather than risk acknowledged-data loss.
+    poisoned_ = true;
+    throw;
   }
-  tail_records_ = 0;
 }
 
 LogStore LogStore::create(const std::filesystem::path& dir) {
@@ -66,106 +169,249 @@ LogStore LogStore::create(const std::filesystem::path& dir,
   LogStore store;
   store.dir_ = dir;
   store.options_ = options;
-  if (store.options_.records_per_segment == 0) {
-    store.options_.records_per_segment = 1;
-  }
+  store.options_.records_per_segment =
+      std::max<std::size_t>(store.options_.records_per_segment, 1);
+  store.options_.fsync_interval_records =
+      std::max<std::size_t>(store.options_.fsync_interval_records, 1);
+  store.io_ = options.io != nullptr ? options.io : real_file_io();
   store.roll_segment();
   return store;
 }
 
 LogStore LogStore::open(const std::filesystem::path& dir) {
+  return open(dir, Options{});
+}
+
+LogStore LogStore::open(const std::filesystem::path& dir, Options options,
+                        RecoveryReport* report) {
   WFLOG_SPAN(span, "store.open");
-  std::ifstream manifest(dir / kManifestName);
+  const fs::path manifest_path = dir / kManifestName;
+  std::ifstream manifest(manifest_path);
   if (!manifest) {
-    throw IoError("LogStore: no store in " + dir.string());
+    throw IoError("LogStore: no store in " + dir.string() + " (missing '" +
+                  manifest_path.string() + "')");
   }
   std::string line;
-  if (!std::getline(manifest, line) || trim(line) != kMagic) {
-    throw IoError("LogStore: bad manifest magic in " + dir.string());
+  if (!std::getline(manifest, line)) {
+    throw IoError("LogStore: empty MANIFEST '" + manifest_path.string() +
+                  "'");
+  }
+  if (trim(line) != kMagic) {
+    throw IoError("LogStore: bad manifest magic in '" +
+                  manifest_path.string() + "'");
   }
 
   LogStore store;
   store.dir_ = dir;
+  store.options_ = options;
+  store.io_ = options.io != nullptr ? options.io : real_file_io();
   if (!std::getline(manifest, line) ||
       !trim(line).starts_with("records_per_segment=")) {
-    throw IoError("LogStore: manifest missing records_per_segment");
+    throw IoError("LogStore: truncated MANIFEST '" + manifest_path.string() +
+                  "' (missing records_per_segment)");
   }
-  store.options_.records_per_segment = static_cast<std::size_t>(
-      std::stoull(std::string(trim(line).substr(20))));
+  {
+    const std::string_view value = trim(line).substr(20);
+    std::size_t parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || end != value.data() + value.size() ||
+        parsed == 0) {
+      throw IoError("LogStore: malformed records_per_segment '" +
+                    std::string(value) + "' in MANIFEST '" +
+                    manifest_path.string() + "'");
+    }
+    store.options_.records_per_segment = parsed;
+  }
+  store.options_.fsync_interval_records =
+      std::max<std::size_t>(store.options_.fsync_interval_records, 1);
   while (std::getline(manifest, line)) {
     const std::string name{trim(line)};
     if (!name.empty()) store.segments_.push_back(name);
   }
   if (store.segments_.empty()) {
-    throw IoError("LogStore: manifest lists no segments");
+    throw IoError("LogStore: MANIFEST '" + manifest_path.string() +
+                  "' lists no segments");
+  }
+  for (std::size_t s = 0; s < store.segments_.size(); ++s) {
+    if (!fs::exists(store.segment_path(s))) {
+      throw IoError("LogStore: segment '" + store.segment_path(s).string() +
+                    "' is listed in MANIFEST but missing");
+    }
   }
 
-  // Recover writer state by streaming every segment. A torn final line
-  // (crash mid-append) parses as an error and is dropped; torn lines can
-  // only be last in the final segment.
+  // Recover writer state by streaming every segment. Recovery stops at the
+  // first unreadable byte: a torn final line (crash mid-append) is
+  // truncated; anything else is corruption — a structured IoError, or,
+  // with quarantine_corruption, the corrupt suffix of the store is moved
+  // aside and the readable prefix kept.
+  RecoveryReport& rec = store.recovery_;
   Interner scratch;
-  std::size_t max_tail_records = 0;
-  bool torn_tail = false;
-  std::uintmax_t tail_good_bytes = 0;  // clean prefix of the final segment
-  for (std::size_t s = 0; s < store.segments_.size(); ++s) {
-    std::ifstream seg(store.segment_path(s));
-    if (!seg) {
-      throw IoError("LogStore: missing segment " + store.segments_[s]);
-    }
+  std::size_t corrupt_segment = 0;
+  std::size_t corrupt_offset = 0;
+  std::string corrupt_reason;
+  bool corrupt = false;
+  for (std::size_t s = 0; s < store.segments_.size() && !corrupt; ++s) {
+    const fs::path seg_path = store.segment_path(s);
+    const std::string data = read_whole_file(seg_path);
     const bool final_segment = s + 1 == store.segments_.size();
     std::size_t records_in_segment = 0;
-    std::uintmax_t good_bytes = 0;
-    while (std::getline(seg, line)) {
-      if (trim(line).empty()) {
-        good_bytes += line.size() + 1;
+    std::size_t good_bytes = 0;
+    std::size_t pos = 0;
+    std::size_t torn_at = std::string::npos;
+    while (pos < data.size()) {
+      const std::size_t nl = data.find('\n', pos);
+      const bool complete = nl != std::string::npos;
+      const std::string_view text{data.data() + pos,
+                                  (complete ? nl : data.size()) - pos};
+      const std::size_t line_end = complete ? nl + 1 : data.size();
+      if (!complete) {
+        // No newline: the line's write never finished (or its tail was
+        // lost); even a CRC-clean prefix is unacknowledged. Truncate so
+        // the next append starts on a clean line.
+        torn_at = pos;
+        break;
+      }
+      if (trim(text).empty()) {
+        good_bytes = line_end;
+        pos = line_end;
         continue;
       }
       LogRecord l;
       try {
-        l = parse_jsonl_record(line, scratch);
-      } catch (const IoError&) {
-        if (final_segment && seg.peek() == EOF) {
-          torn_tail = true;
-          break;  // torn tail line: drop
-        }
-        throw;
+        l = parse_store_line(trim(text), scratch);
+      } catch (const IoError& e) {
+        // A complete (newline-terminated) line that fails to parse or
+        // checksum is corruption, not tearing: a crash cut leaves either a
+        // clean line boundary or a line missing its newline.
+        corrupt = true;
+        corrupt_segment = s;
+        corrupt_offset = pos;
+        corrupt_reason = e.what();
+        break;
       }
-      good_bytes += line.size() + 1;
+      good_bytes = line_end;
+      pos = line_end;
       ++records_in_segment;
       ++store.num_records_;
       const bool ended = scratch.name(l.activity) == kEndActivity;
       store.next_is_lsn_[l.wid] = ended ? 0 : l.is_lsn + 1;
     }
-    max_tail_records = records_in_segment;
-    if (final_segment) tail_good_bytes = good_bytes;
-  }
-  store.tail_records_ = max_tail_records;
+    store.tail_records_ = records_in_segment;
 
-  // Physically drop the torn bytes so the next append starts on a clean
-  // line; without this the resumed record would glue onto the torn prefix
-  // and corrupt the segment for every future load.
-  if (torn_tail) {
-    const std::filesystem::path tail_path =
-        store.segment_path(store.segments_.size() - 1);
-    tail_good_bytes =
-        std::min(tail_good_bytes, std::filesystem::file_size(tail_path));
-    std::filesystem::resize_file(tail_path, tail_good_bytes);
-    WFLOG_TELEMETRY(t) { t->store_truncations_total->inc(); }
+    if (torn_at != std::string::npos) {
+      if (!final_segment && !corrupt) {
+        // A torn line before the final segment cannot come from a crash
+        // (rolls sync the old tail first): treat it as corruption.
+        corrupt = true;
+        corrupt_segment = s;
+        corrupt_offset = torn_at;
+        corrupt_reason = "torn line in non-final segment";
+      } else if (!corrupt) {
+        store.io_->truncate(seg_path, good_bytes);
+        rec.torn_tail_truncated = true;
+        rec.notes.push_back("truncated torn tail of '" + seg_path.string() +
+                            "' at byte " + std::to_string(good_bytes));
+        WFLOG_TELEMETRY(t) { t->store_truncations_total->inc(); }
+      }
+    }
   }
-  store.options_.records_per_segment =
-      std::max<std::size_t>(store.options_.records_per_segment, 1);
 
-  store.tail_.open(store.segment_path(store.segments_.size() - 1),
-                   std::ios::app);
-  if (!store.tail_) {
-    throw IoError("LogStore: cannot reopen tail segment");
+  if (corrupt) {
+    const fs::path seg_path = store.segment_path(corrupt_segment);
+    if (!store.options_.quarantine_corruption) {
+      throw IoError("LogStore: corrupt record in segment '" +
+                    seg_path.string() + "' at byte " +
+                    std::to_string(corrupt_offset) + " (" + corrupt_reason +
+                    "); reopen with quarantine_corruption to recover the "
+                    "readable prefix");
+    }
+    // Quarantine: move every byte from the corruption onward — the rest of
+    // this segment plus all later segments — into a QUARANTINE file, then
+    // truncate the store to its readable prefix.
+    fs::path qpath;
+    for (std::size_t i = 1;; ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "QUARANTINE-%06zu", i);
+      qpath = dir / buf;
+      if (!fs::exists(qpath)) break;
+    }
+    std::size_t dropped = 0;
+    std::uintmax_t qbytes = 0;
+    {
+      WriteFilePtr q = store.io_->open_trunc(qpath);
+      const auto quarantine_bytes = [&](std::string_view bytes) {
+        dropped += count_record_lines(bytes);
+        qbytes += bytes.size();
+        std::size_t off = 0;
+        while (off < bytes.size()) off += q->write(bytes.substr(off));
+      };
+      const std::string head = read_whole_file(seg_path);
+      quarantine_bytes(std::string_view(head).substr(corrupt_offset));
+      for (std::size_t s = corrupt_segment + 1; s < store.segments_.size();
+           ++s) {
+        quarantine_bytes(read_whole_file(store.segment_path(s)));
+      }
+      q->flush();
+      q->sync();
+      q->close();
+    }
+    rec.records_dropped = dropped;
+    rec.bytes_quarantined = qbytes;
+    rec.segments_quarantined = store.segments_.size() - corrupt_segment;
+    rec.notes.push_back("quarantined " + std::to_string(qbytes) +
+                        " corrupt bytes (" + std::to_string(dropped) +
+                        " record lines) from '" + seg_path.string() +
+                        "' byte " + std::to_string(corrupt_offset) +
+                        " onward into '" + qpath.string() + "': " +
+                        corrupt_reason);
+    store.io_->truncate(seg_path, corrupt_offset);
+    for (std::size_t s = store.segments_.size(); s-- > corrupt_segment + 1;) {
+      store.io_->remove(store.segment_path(s));
+    }
+    store.segments_.resize(corrupt_segment + 1);
+    store.write_manifest();
+    // Writer state was accumulated only over the readable prefix; recount
+    // the kept tail segment's records for the roll bookkeeping.
+    store.tail_records_ = 0;
+    {
+      const std::string kept = read_whole_file(seg_path);
+      store.tail_records_ = count_record_lines(kept);
+    }
+    WFLOG_TELEMETRY(t) { t->store_corrupt_records_total->add(dropped); }
   }
+
+  store.with_retries("open tail segment", [&] {
+    store.tail_ = store.io_->open_append(
+        store.segment_path(store.segments_.size() - 1));
+  });
+  {
+    std::error_code ec;
+    const std::uintmax_t size =
+        fs::file_size(store.segment_path(store.segments_.size() - 1), ec);
+    store.tail_bytes_ = ec ? 0 : size;
+  }
+  store.recovery_.records_recovered = store.num_records_;
+  if (report != nullptr) *report = store.recovery_;
   if (span.active()) {
     span.arg("segments", static_cast<std::uint64_t>(store.segments_.size()));
     span.arg("records", static_cast<std::uint64_t>(store.num_records_));
-    span.arg("torn_tail", static_cast<std::uint64_t>(torn_tail ? 1 : 0));
+    span.arg("torn_tail",
+             static_cast<std::uint64_t>(rec.torn_tail_truncated ? 1 : 0));
+    span.arg("dropped", static_cast<std::uint64_t>(rec.records_dropped));
   }
   return store;
+}
+
+LogStore::~LogStore() {
+  if (tail_ == nullptr) return;
+  // Best-effort durable shutdown; destructors must not throw.
+  try {
+    tail_->flush();
+    if (options_.fsync_policy != FsyncPolicy::kOff) tail_->sync();
+    tail_->close();
+  } catch (...) {
+  }
 }
 
 Wid LogStore::begin_instance() {
@@ -173,7 +419,12 @@ Wid LogStore::begin_instance() {
   const Wid wid = next_wid_;
   next_is_lsn_.emplace(wid, 1);
   Interner scratch;
-  append_record(wid, kStartActivity, {}, {}, scratch);
+  try {
+    append_record(wid, kStartActivity, {}, {}, scratch);
+  } catch (...) {
+    next_is_lsn_.erase(wid);  // the instance never existed
+    throw;
+  }
   return wid;
 }
 
@@ -211,6 +462,15 @@ void LogStore::end_instance(Wid wid) {
   next_is_lsn_[wid] = 0;
 }
 
+void LogStore::sync() {
+  if (tail_ == nullptr) return;
+  with_retries("fsync", [&] {
+    tail_->flush();
+    tail_->sync();
+  });
+  records_since_sync_ = 0;
+}
+
 void LogStore::append_record(Wid wid, std::string_view activity,
                              const AttrMap& in, const AttrMap& out,
                              Interner& interner) {
@@ -219,6 +479,11 @@ void LogStore::append_record(Wid wid, std::string_view activity,
                       ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point{};
 
+  if (poisoned_) {
+    throw IoError(
+        "LogStore: store failed after a structural write error; reopen '" +
+        dir_.string() + "' to recover");
+  }
   if (tail_records_ >= options_.records_per_segment) roll_segment();
 
   LogRecord l;
@@ -229,9 +494,32 @@ void LogStore::append_record(Wid wid, std::string_view activity,
   l.in = in;
   l.out = out;
 
-  write_jsonl_record(tail_, l, interner);
-  tail_.flush();
-  if (!tail_) throw IoError("LogStore: append failed (disk full?)");
+  const std::string line = to_store_line(l, interner);
+  const std::uintmax_t good = tail_bytes_;
+  const bool want_sync =
+      options_.fsync_policy == FsyncPolicy::kPerAppend ||
+      (options_.fsync_policy == FsyncPolicy::kInterval &&
+       records_since_sync_ + 1 >= options_.fsync_interval_records);
+  try {
+    // Short writes resume from the accepted offset; transient errors are
+    // retried in place, so a record is written at most once.
+    std::size_t off = 0;
+    with_retries("append record", [&] {
+      write_all(line, off);
+      tail_->flush();
+    });
+    if (want_sync) {
+      with_retries("fsync after append", [&] { tail_->sync(); });
+      records_since_sync_ = 0;
+    } else {
+      ++records_since_sync_;
+    }
+  } catch (const IoError&) {
+    // Leave no partial line behind: truncate the tail back to the last
+    // acknowledged record so in-process writing can continue cleanly.
+    recover_tail_to(good);
+    throw;
+  }
 
   ++next_is_lsn_.at(wid);
   ++tail_records_;
@@ -240,9 +528,27 @@ void LogStore::append_record(Wid wid, std::string_view activity,
   if (telemetry != nullptr) {
     telemetry->store_appends_total->inc();
     telemetry->store_flushes_total->inc();
+    if (want_sync) telemetry->store_syncs_total->inc();
     telemetry->store_append_seconds->observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count());
+  }
+}
+
+void LogStore::recover_tail_to(std::uintmax_t good_bytes) noexcept {
+  const fs::path path = segment_path(segments_.size() - 1);
+  try {
+    tail_->close();
+  } catch (...) {
+    // Close failure does not prevent the truncate below.
+  }
+  tail_.reset();
+  try {
+    io_->truncate(path, good_bytes);
+    tail_ = io_->open_append(path);
+    tail_bytes_ = good_bytes;
+  } catch (...) {
+    poisoned_ = true;
   }
 }
 
@@ -259,12 +565,13 @@ Log LogStore::load() const {
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     std::ifstream seg(segment_path(s));
     if (!seg) {
-      throw IoError("LogStore: missing segment " + segments_[s]);
+      throw IoError("LogStore: missing segment '" +
+                    segment_path(s).string() + "'");
     }
     while (std::getline(seg, line)) {
       if (trim(line).empty()) continue;
       try {
-        records.push_back(parse_jsonl_record(line, interner));
+        records.push_back(parse_store_line(trim(line), interner));
       } catch (const IoError&) {
         if (s + 1 == segments_.size() && seg.peek() == EOF) break;
         throw;

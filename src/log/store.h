@@ -5,34 +5,100 @@
 // the execution engine (writer) and the query engine (reader).
 //
 // Layout: a directory containing
-//   MANIFEST            first line "wflog-store v1", then one segment
-//                       file name per line, in order
-//   seg-000001.jsonl    JSONL records (log/io_jsonl.h framing), bounded
-//   seg-000002.jsonl    by Options::records_per_segment each
+//   MANIFEST            first line "wflog-store v1", then
+//                       records_per_segment=N, then one segment file name
+//                       per line, in order
+//   seg-000001.jsonl    checksummed JSONL records ("crc32hex json\n",
+//   seg-000002.jsonl    log/io_jsonl.h store framing), bounded by
+//                       Options::records_per_segment each
+//   QUARANTINE-000001   corrupt bytes set aside by a recovering open
 //
-// Writes append to the tail segment and are flushed per append (a store
-// survives process exit after any append; a torn final line left by a
-// crash is detected and dropped on open). Reopening recovers the per-
-// instance state (next is-lsn, completed set) by streaming the segments,
-// so writing can resume exactly where it stopped.
+// Durability contract (see README "Durability contract" for the prose
+// version). All writes flow through the injectable FileIo seam
+// (log/fileio.h); transient IO errors are retried with bounded backoff
+// before an IoError surfaces. What survives a crash depends on
+// Options::fsync_policy:
+//
+//   kPerAppend  every append is fsynced before it returns: an
+//               acknowledged record is never lost, even across power
+//               failure (the default).
+//   kInterval   fsync every fsync_interval_records appends and at every
+//               segment roll: power loss can drop up to the unsynced
+//               suffix of the final segment — always a clean log prefix.
+//   kOff        no fsync (OS page cache only): records survive process
+//               exit, power loss may drop any suffix of the final
+//               segment.
+//
+// Under every policy a finished segment is fsynced before the manifest
+// names its successor, so loss is confined to the tail segment. Reopening
+// recovers the per-instance state (next is-lsn, completed set) by
+// streaming the segments; a torn final line left by a crash is detected
+// (CRC + framing) and physically truncated so writing resumes exactly
+// where the durable prefix stopped. Corrupt bytes mid-store fail the open
+// with a structured IoError by default; with Options::quarantine_corruption
+// the readable prefix is recovered instead, the corrupt suffix is moved to
+// a QUARANTINE file, and the RecoveryReport says exactly what was dropped.
 //
 // The reader side materializes the whole validated Log — the store bounds
 // file sizes and gives durability, not out-of-core querying.
 
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "log/builder.h"
+#include "log/fileio.h"
 #include "log/log.h"
 
 namespace wflog {
+
+/// When appended records reach stable storage. See the durability
+/// contract above.
+enum class FsyncPolicy { kPerAppend, kInterval, kOff };
+
+/// What a recovering open() found and did. All-zero (clean()) for a store
+/// that was shut down properly.
+struct RecoveryReport {
+  std::size_t records_recovered = 0;
+  /// Corrupt (unparseable / checksum-mismatched) record lines dropped by
+  /// quarantine. Does not include the torn tail line, reported separately.
+  std::size_t records_dropped = 0;
+  /// Segments truncated or removed entirely by quarantine.
+  std::size_t segments_quarantined = 0;
+  std::uintmax_t bytes_quarantined = 0;
+  /// A partial final line (crash mid-append) was physically truncated.
+  bool torn_tail_truncated = false;
+  /// Human-readable one-liners for each recovery action taken.
+  std::vector<std::string> notes;
+
+  bool clean() const noexcept {
+    return records_dropped == 0 && segments_quarantined == 0 &&
+           !torn_tail_truncated;
+  }
+};
 
 class LogStore {
  public:
   struct Options {
     std::size_t records_per_segment = 10'000;
+    FsyncPolicy fsync_policy = FsyncPolicy::kPerAppend;
+    /// kInterval: fsync after this many appends (and at segment rolls).
+    std::size_t fsync_interval_records = 256;
+    /// Transient IO failures (append/flush/fsync/manifest) are retried
+    /// this many times, sleeping retry_backoff, doubling per attempt,
+    /// before the structured IoError surfaces.
+    std::size_t max_io_retries = 3;
+    std::chrono::milliseconds retry_backoff{1};
+    /// open(): recover the readable prefix past mid-store corruption,
+    /// quarantining the corrupt suffix, instead of throwing IoError.
+    bool quarantine_corruption = false;
+    /// Write-path IO seam; nullptr = the real filesystem. Tests inject a
+    /// FaultIo here.
+    std::shared_ptr<FileIo> io;
   };
 
   /// Creates a new store in `dir` (created if missing; must not already
@@ -41,16 +107,28 @@ class LogStore {
   static LogStore create(const std::filesystem::path& dir, Options options);
 
   /// Opens an existing store, recovering writer state from the segments.
+  /// records_per_segment comes from the MANIFEST; the other options apply
+  /// as given. Missing/empty/truncated manifests and listed-but-absent
+  /// segments raise IoError naming the offending path. `report`, when
+  /// non-null, receives what recovery found (also kept internally, see
+  /// recovery_report()).
   static LogStore open(const std::filesystem::path& dir);
+  static LogStore open(const std::filesystem::path& dir, Options options,
+                       RecoveryReport* report = nullptr);
 
   LogStore(LogStore&&) = default;
   LogStore& operator=(LogStore&&) = default;
+  ~LogStore();
 
   // ----- writing ---------------------------------------------------------
   Wid begin_instance();
   void record(Wid wid, std::string_view activity, const NamedAttrs& in = {},
               const NamedAttrs& out = {});
   void end_instance(Wid wid);
+
+  /// Forces everything appended so far to stable storage regardless of
+  /// the fsync policy. Throws IoError after exhausted retries.
+  void sync();
 
   // ----- reading ---------------------------------------------------------
   /// Materializes everything appended so far as a validated Log.
@@ -59,6 +137,11 @@ class LogStore {
   std::size_t num_records() const noexcept { return num_records_; }
   std::size_t num_segments() const noexcept { return segments_.size(); }
   const std::filesystem::path& directory() const noexcept { return dir_; }
+  /// What the open() that produced this store had to recover.
+  const RecoveryReport& recovery_report() const noexcept { return recovery_; }
+  /// True after a structural write failure (failed roll or unrecoverable
+  /// tail): every further append throws; reopen the directory to recover.
+  bool failed() const noexcept { return poisoned_; }
 
  private:
   LogStore() = default;
@@ -66,15 +149,26 @@ class LogStore {
   void append_record(Wid wid, std::string_view activity, const AttrMap& in,
                      const AttrMap& out, Interner& interner);
   void roll_segment();
-  void write_manifest() const;
+  void write_manifest();
+  void write_all(std::string_view data, std::size_t& off);
+  void recover_tail_to(std::uintmax_t good_bytes) noexcept;
+  /// Runs `fn`, retrying IoError up to max_io_retries times with
+  /// exponential backoff; rethrows a structured IoError on exhaustion.
+  template <typename Fn>
+  void with_retries(const char* what, Fn&& fn);
   std::filesystem::path segment_path(std::size_t index) const;
 
   std::filesystem::path dir_;
   Options options_;
+  std::shared_ptr<FileIo> io_;
   std::vector<std::string> segments_;  // file names, in MANIFEST order
-  std::ofstream tail_;
-  std::size_t tail_records_ = 0;  // records in the open tail segment
+  WriteFilePtr tail_;
+  std::uintmax_t tail_bytes_ = 0;  // bytes accepted into the tail segment
+  std::size_t tail_records_ = 0;   // records in the open tail segment
+  std::size_t records_since_sync_ = 0;
   std::size_t num_records_ = 0;
+  bool poisoned_ = false;
+  RecoveryReport recovery_;
   std::unordered_map<Wid, IsLsn> next_is_lsn_;  // 0 = completed
   Wid next_wid_ = 1;
 };

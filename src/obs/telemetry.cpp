@@ -25,6 +25,15 @@ Telemetry::Telemetry() {
   batch_eval_seconds = metrics.histogram(
       "wflog_batch_eval_seconds", lat(),
       "Shared-pass evaluation latency per run_batch call");
+  query_deadline_exceeded_total =
+      metrics.counter("wflog_query_deadline_exceeded_total",
+                      "Queries stopped early by a QueryOptions deadline");
+  query_cancelled_total =
+      metrics.counter("wflog_query_cancelled_total",
+                      "Queries stopped early by a cancellation token");
+  query_truncated_total =
+      metrics.counter("wflog_query_truncated_total",
+                      "Queries truncated by the max-incidents budget");
 
   eval_operator_nodes_total =
       metrics.counter("wflog_eval_operator_nodes_total",
@@ -58,6 +67,14 @@ Telemetry::Telemetry() {
   store_truncations_total =
       metrics.counter("wflog_store_truncations_total",
                       "Torn tail lines physically truncated on open");
+  store_syncs_total = metrics.counter(
+      "wflog_store_syncs_total", "fsyncs issued by the durable store");
+  store_retries_total =
+      metrics.counter("wflog_store_retries_total",
+                      "Transient store IO failures absorbed by retry");
+  store_corrupt_records_total =
+      metrics.counter("wflog_store_corrupt_records_total",
+                      "Corrupt record lines quarantined by a recovering open");
   store_append_seconds =
       metrics.histogram("wflog_store_append_seconds", lat(),
                         "Durable append latency (serialize + flush)");
@@ -66,6 +83,9 @@ Telemetry::Telemetry() {
       "wflog_monitor_records_total", "Events fed to the live monitor");
   monitor_matches_total = metrics.counter(
       "wflog_monitor_matches_total", "Incidents reported by the monitor");
+  monitor_bad_events_total = metrics.counter(
+      "wflog_monitor_bad_events_total",
+      "Events rejected, skipped, or quarantined by the bad-event policy");
   monitor_open_instances = metrics.gauge(
       "wflog_monitor_open_instances", "Workflow instances currently open");
   monitor_queries =

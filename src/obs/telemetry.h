@@ -48,6 +48,9 @@ struct Telemetry {
   Histogram* query_optimize_seconds;
   Histogram* query_eval_seconds;
   Histogram* batch_eval_seconds;
+  Counter* query_deadline_exceeded_total;
+  Counter* query_cancelled_total;
+  Counter* query_truncated_total;
 
   // ----- evaluator work tallies (EvalCounters folded on every run) --------
   Counter* eval_operator_nodes_total;
@@ -65,11 +68,15 @@ struct Telemetry {
   Counter* store_flushes_total;
   Counter* store_segment_rolls_total;
   Counter* store_truncations_total;
+  Counter* store_syncs_total;
+  Counter* store_retries_total;
+  Counter* store_corrupt_records_total;
   Histogram* store_append_seconds;
 
   // ----- live monitor -----------------------------------------------------
   Counter* monitor_records_total;
   Counter* monitor_matches_total;
+  Counter* monitor_bad_events_total;
   Gauge* monitor_open_instances;
   Gauge* monitor_queries;
 

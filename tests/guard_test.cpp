@@ -1,0 +1,214 @@
+// Resource-guarded, cancellable query execution (core/guard.h + engine).
+//
+// The adversarial input is Theorem 1's worst case: the pattern
+// "a -> a -> a" over a single instance of m identical 'a' records has
+// C(m, 3) = Θ(m³) incidents — large enough that a small deadline or
+// incident budget trips mid-evaluation. Guards must then return a FLAGGED
+// PARTIAL result (never throw), and generous limits must change nothing.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/guard.h"
+#include "test_util.h"
+
+namespace wflog {
+namespace {
+
+/// One instance of `m` consecutive 'a' activities.
+Log all_a_log(std::size_t m) {
+  std::string spec;
+  for (std::size_t i = 0; i < m; ++i) spec += "a ";
+  return testing::make_log(spec);
+}
+
+constexpr std::size_t kM = 200;
+constexpr const char* kWorstCase = "a -> a -> a";
+
+std::size_t full_count() {
+  // C(200, 3): every ascending triple of 'a' positions is an incident.
+  return kM * (kM - 1) * (kM - 2) / 6;
+}
+
+TEST(GuardTest, UnlimitedRunIsComplete) {
+  const Log log = all_a_log(kM);
+  const QueryEngine engine(log);
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.stop_reason, StopReason::kNone);
+  EXPECT_EQ(r.total(), full_count());
+}
+
+TEST(GuardTest, DeadlineReturnsFlaggedPartialResult) {
+  const Log log = all_a_log(kM);
+  QueryOptions options;
+  options.deadline = std::chrono::milliseconds{1};
+  const QueryEngine engine(log, options);
+  // Θ(m³) pair-joins take well over a millisecond; the run must come back
+  // anyway, flagged, with whatever it had — not throw, not block.
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.ok());
+  if (r.timed_out()) {
+    EXPECT_FALSE(r.complete());
+    EXPECT_LE(r.total(), full_count());
+  } else {
+    // A very fast machine may finish inside the deadline; then the result
+    // must be the full answer.
+    EXPECT_TRUE(r.complete());
+    EXPECT_EQ(r.total(), full_count());
+  }
+}
+
+TEST(GuardTest, TinyDeadlineOnHugeLogTimesOut) {
+  // Scale m up until even evaluation startup exceeds the deadline budget;
+  // 600 records → ~36M incidents, far beyond 1ms of work.
+  const Log log = all_a_log(600);
+  QueryOptions options;
+  options.deadline = std::chrono::milliseconds{1};
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.timed_out()) << "stop_reason="
+                             << stop_reason_name(r.stop_reason);
+  EXPECT_LT(r.total(), 600u * 599u * 598u / 6);
+}
+
+TEST(GuardTest, IncidentBudgetTruncates) {
+  const Log log = all_a_log(kM);
+  QueryOptions options;
+  options.max_incidents = 1000;
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.truncated());
+  EXPECT_FALSE(r.complete());
+  EXPECT_LT(r.total(), full_count());
+}
+
+TEST(GuardTest, GenerousBudgetLeavesResultIdentical) {
+  const Log log = all_a_log(40);  // C(40,3) = 9880
+  const QueryEngine unrestricted(log);
+  QueryOptions options;
+  options.deadline = std::chrono::minutes{10};
+  options.max_incidents = 10'000'000;
+  options.cancel = make_cancel_token();
+  const QueryEngine guarded(log, options);
+
+  const QueryResult full = unrestricted.run(kWorstCase);
+  const QueryResult r = guarded.run(kWorstCase);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.stop_reason, StopReason::kNone);
+  EXPECT_EQ(r.total(), full.total());
+  EXPECT_EQ(r.incidents.flatten(), full.incidents.flatten());
+}
+
+TEST(GuardTest, PreCancelledTokenStopsImmediately) {
+  const Log log = all_a_log(kM);
+  QueryOptions options;
+  options.cancel = make_cancel_token();
+  options.cancel->store(true);  // cancelled before the run starts
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.cancelled());
+  EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(GuardTest, FirstTripReasonWins) {
+  // Both a pre-set cancel token and a tiny incident budget: cancellation
+  // is checked first, so it must be the reported reason.
+  const Log log = all_a_log(kM);
+  QueryOptions options;
+  options.max_incidents = 1;
+  options.cancel = make_cancel_token();
+  options.cancel->store(true);
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run(kWorstCase);
+  EXPECT_TRUE(r.cancelled());
+}
+
+TEST(GuardTest, StopReasonNames) {
+  EXPECT_STREQ(stop_reason_name(StopReason::kNone), "none");
+  EXPECT_STREQ(stop_reason_name(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(stop_reason_name(StopReason::kCancelled), "cancelled");
+  EXPECT_STREQ(stop_reason_name(StopReason::kIncidentBudget),
+               "incident-budget");
+}
+
+// ----- batch failure isolation ---------------------------------------------
+
+TEST(GuardTest, BatchIsolatesParseFailure) {
+  const Log log = testing::make_log("a b c ; a c b ; b a c");
+  const QueryEngine engine(log);
+  const std::vector<std::string> texts = {"a -> b", "((( not a query",
+                                          "b -> c"};
+  const BatchResult batch = engine.run_batch(texts);
+  ASSERT_EQ(batch.results.size(), 3u);
+
+  EXPECT_TRUE(batch.results[0].ok());
+  EXPECT_FALSE(batch.results[1].ok());
+  EXPECT_FALSE(batch.results[1].error.empty());
+  EXPECT_EQ(batch.results[1].total(), 0u);
+  EXPECT_TRUE(batch.results[2].ok());
+
+  // Differential: the surviving queries' answers match standalone runs.
+  EXPECT_EQ(batch.results[0].incidents.flatten(),
+            engine.run(texts[0]).incidents.flatten());
+  EXPECT_EQ(batch.results[2].incidents.flatten(),
+            engine.run(texts[2]).incidents.flatten());
+}
+
+TEST(GuardTest, BatchIsolatesWhereFailure) {
+  const Log log = testing::make_log("a b ; b a");
+  const QueryEngine engine(log);
+  // A where clause naming a variable the pattern never binds throws
+  // QueryError; the other queries are untouched.
+  const std::vector<std::string> texts = {
+      "a -> b", "x:a -> b where nosuch.out.k = 1", "b"};
+  const BatchResult batch = engine.run_batch(texts);
+  ASSERT_EQ(batch.results.size(), 3u);
+  EXPECT_TRUE(batch.results[0].ok());
+  EXPECT_FALSE(batch.results[1].ok());
+  EXPECT_TRUE(batch.results[2].ok());
+  EXPECT_EQ(batch.results[0].incidents.flatten(),
+            engine.run(texts[0]).incidents.flatten());
+  EXPECT_EQ(batch.results[2].incidents.flatten(),
+            engine.run(texts[2]).incidents.flatten());
+}
+
+TEST(GuardTest, BatchAllGoodMatchesIndividualRuns) {
+  const Log log = testing::make_log("a b c d ; d c b a ; a c a c");
+  const QueryEngine engine(log);
+  const std::vector<std::string> texts = {"a -> b", "a . c", "(a | d) -> c",
+                                          "a & d"};
+  const BatchResult batch = engine.run_batch(texts, /*threads=*/2);
+  ASSERT_EQ(batch.results.size(), texts.size());
+  for (std::size_t q = 0; q < texts.size(); ++q) {
+    EXPECT_TRUE(batch.results[q].ok());
+    EXPECT_EQ(batch.results[q].incidents.flatten(),
+              engine.run(texts[q]).incidents.flatten())
+        << texts[q];
+  }
+}
+
+TEST(GuardTest, BatchHonoursIncidentBudget) {
+  const Log log = all_a_log(kM);
+  QueryOptions options;
+  options.max_incidents = 500;
+  const QueryEngine engine(log, options);
+  const std::vector<std::string> texts = {kWorstCase, "a -> a"};
+  const BatchResult batch = engine.run_batch(texts);
+  ASSERT_EQ(batch.results.size(), 2u);
+  // The shared pass tripped the budget: results are flagged partial.
+  for (const QueryResult& r : batch.results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.stop_reason, StopReason::kIncidentBudget);
+  }
+}
+
+}  // namespace
+}  // namespace wflog

@@ -245,5 +245,70 @@ TEST_P(MonitorBatchEquivalenceTest, MatchesBatchEvaluationExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorBatchEquivalenceTest,
                          ::testing::Range<std::uint64_t>(1, 16));
 
+// ----- bad-event policy ----------------------------------------------------
+
+TEST(MonitorTest, RejectPolicyThrowsOnUnknownInstance) {
+  LogMonitor m;  // kReject is the default
+  EXPECT_THROW(m.record(42, "a"), Error);
+  const Wid w = m.begin_instance();
+  m.end_instance(w);
+  EXPECT_THROW(m.record(w, "a"), Error);      // already completed
+  EXPECT_THROW(m.end_instance(w), Error);     // double end
+  EXPECT_EQ(m.num_bad_events(), 3u);
+}
+
+TEST(MonitorTest, SkipPolicyDropsBadEventsAndKeepsRunning) {
+  MonitorOptions options;
+  options.bad_event_policy = BadEventPolicy::kSkip;
+  LogMonitor m(options);
+  const auto q = m.add_query("a -> b");
+
+  m.record(42, "a");  // unknown wid: dropped, not thrown
+  const Wid w = m.begin_instance();
+  m.record(w, "a");
+  m.record(w, "START");  // reserved name: dropped
+  m.record(w, "b");
+  m.end_instance(w);
+  m.end_instance(w);  // double end: dropped
+
+  EXPECT_EQ(m.num_bad_events(), 3u);
+  EXPECT_TRUE(m.quarantined().empty());  // kSkip retains nothing
+  EXPECT_EQ(m.total_matches(q), 1u);     // the good events still matched
+  EXPECT_EQ(m.num_records(), 4u);        // START a b END
+}
+
+TEST(MonitorTest, QuarantinePolicyRetainsEventsAndInvokesCallback) {
+  MonitorOptions options;
+  options.bad_event_policy = BadEventPolicy::kQuarantine;
+  std::vector<BadEvent> seen;
+  options.on_bad_event = [&seen](const BadEvent& e) { seen.push_back(e); };
+  LogMonitor m(options);
+
+  m.record(7, "late-event");
+  const Wid w = m.begin_instance();
+  m.end_instance(w);
+  m.end_instance(w);
+
+  ASSERT_EQ(m.quarantined().size(), 2u);
+  EXPECT_EQ(m.quarantined()[0].wid, 7u);
+  EXPECT_EQ(m.quarantined()[0].activity, "late-event");
+  EXPECT_NE(m.quarantined()[0].reason.find("not open"), std::string::npos);
+  EXPECT_EQ(m.quarantined()[1].wid, w);
+  EXPECT_EQ(m.num_bad_events(), 2u);
+  // The callback saw the same events, in the same order.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].activity, "late-event");
+  EXPECT_EQ(seen[1].wid, w);
+}
+
+TEST(MonitorTest, CallbackFiresUnderRejectToo) {
+  MonitorOptions options;  // kReject
+  std::size_t calls = 0;
+  options.on_bad_event = [&calls](const BadEvent&) { ++calls; };
+  LogMonitor m(options);
+  EXPECT_THROW(m.record(1, "a"), Error);
+  EXPECT_EQ(calls, 1u);
+}
+
 }  // namespace
 }  // namespace wflog

@@ -8,12 +8,24 @@ set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
+# A hung recovery (torture harness, fault injection) must never wedge CI:
+# every ctest invocation gets a hard per-test timeout.
+timeout=300
+
 echo "== tier 1: build + ctest (build/) =="
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j "$(nproc)"
-ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)" "$@"
+ctest --test-dir "$repo/build" --output-on-failure -j "$(nproc)" \
+  --timeout "$timeout" "$@"
+
+echo "== tier 1b: robustness label (fault injection + crash torture) =="
+ctest --test-dir "$repo/build" --output-on-failure -L robustness \
+  --timeout "$timeout" "$@"
 
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
-"$repo/tests/run_sanitized.sh" "$@"
+"$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
+
+echo "== tier 2b: robustness label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L robustness --timeout "$timeout" "$@")
 
 echo "== CI green =="

@@ -4,6 +4,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <sstream>
 
 #include "common/error.h"
 #include "core/engine.h"
@@ -235,6 +237,221 @@ TEST_F(StoreTest, ManifestIsAtomicallyReplaced) {
   store.record(w, "b");
   EXPECT_FALSE(fs::exists(dir_ / "MANIFEST.tmp"));
   EXPECT_TRUE(fs::exists(dir_ / "MANIFEST"));
+}
+
+// ----- structured open() errors --------------------------------------------
+
+namespace {
+
+/// Runs `fn`, expecting an IoError whose message contains every needle.
+template <typename Fn>
+void expect_io_error(Fn&& fn, std::initializer_list<std::string> needles) {
+  try {
+    fn();
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    const std::string what = e.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message '" << what << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+}  // namespace
+
+TEST_F(StoreTest, OpenMissingManifestNamesThePath) {
+  fs::create_directories(dir_);  // a directory, but no store inside
+  expect_io_error([&] { LogStore::open(dir_); },
+                  {"missing", (dir_ / "MANIFEST").string()});
+}
+
+TEST_F(StoreTest, OpenEmptyManifestNamesThePath) {
+  { LogStore store = LogStore::create(dir_); }
+  std::ofstream(dir_ / "MANIFEST", std::ios::trunc);
+  expect_io_error([&] { LogStore::open(dir_); },
+                  {"empty MANIFEST", (dir_ / "MANIFEST").string()});
+}
+
+TEST_F(StoreTest, OpenTruncatedManifestNamesTheMissingField) {
+  { LogStore store = LogStore::create(dir_); }
+  std::ofstream(dir_ / "MANIFEST", std::ios::trunc) << "wflog-store v1\n";
+  expect_io_error([&] { LogStore::open(dir_); },
+                  {"records_per_segment", (dir_ / "MANIFEST").string()});
+}
+
+TEST_F(StoreTest, OpenMalformedRecordsPerSegmentRejected) {
+  { LogStore store = LogStore::create(dir_); }
+  std::ofstream(dir_ / "MANIFEST", std::ios::trunc)
+      << "wflog-store v1\nrecords_per_segment=abc\nseg-000001.jsonl\n";
+  // Must surface as a structured IoError, not std::invalid_argument.
+  expect_io_error([&] { LogStore::open(dir_); },
+                  {"malformed records_per_segment", "abc"});
+}
+
+TEST_F(StoreTest, OpenManifestListingNoSegmentsRejected) {
+  { LogStore store = LogStore::create(dir_); }
+  std::ofstream(dir_ / "MANIFEST", std::ios::trunc)
+      << "wflog-store v1\nrecords_per_segment=100\n";
+  expect_io_error([&] { LogStore::open(dir_); }, {"lists no segments"});
+}
+
+TEST_F(StoreTest, OpenMissingSegmentNamesThePath) {
+  {
+    LogStore store = LogStore::create(dir_);
+    const Wid w = store.begin_instance();
+    store.record(w, "a");
+    store.end_instance(w);
+  }
+  fs::remove(dir_ / "seg-000001.jsonl");
+  expect_io_error(
+      [&] { LogStore::open(dir_); },
+      {(dir_ / "seg-000001.jsonl").string(), "listed in MANIFEST but missing"});
+}
+
+// ----- fault injection: transient errors, ENOSPC, short writes -------------
+
+namespace {
+
+LogStore::Options fault_options(std::shared_ptr<FileIo> io) {
+  LogStore::Options options;
+  options.max_io_retries = 2;
+  options.retry_backoff = std::chrono::milliseconds{0};
+  options.io = std::move(io);
+  return options;
+}
+
+}  // namespace
+
+TEST_F(StoreTest, TransientWriteErrorIsRetried) {
+  auto io = std::make_shared<FaultIo>();
+  LogStore store = LogStore::create(dir_, fault_options(io));
+  const Wid w = store.begin_instance();
+  // The very next op (the record's write) fails once, then recovers; the
+  // bounded retry must absorb it without surfacing an error.
+  io->set_fault({io->ops() + 1, FaultIo::Fault::Kind::kError, 1});
+  store.record(w, "a");
+  store.end_instance(w);
+  EXPECT_EQ(store.load().size(), 3u);
+}
+
+TEST_F(StoreTest, StickyEnospcSurfacesStructuredErrorAndPoisons) {
+  auto io = std::make_shared<FaultIo>();
+  std::optional<LogStore> store(LogStore::create(dir_, fault_options(io)));
+  const Wid w = store->begin_instance();
+  store->record(w, "a");
+  // Disk full: every op from here on fails, forever.
+  io->set_fault(
+      {io->ops() + 1, FaultIo::Fault::Kind::kError, FaultIo::Fault::kSticky});
+  expect_io_error([&] { store->record(w, "b"); }, {"retries"});
+  // Tail recovery could not run either: the store is poisoned and says so.
+  EXPECT_TRUE(store->failed());
+  expect_io_error([&] { store->record(w, "c"); },
+                  {"structural write error", dir_.string()});
+  store.reset();  // destructor must swallow the sticky failure
+
+  // "Freeing space": reopen with the real filesystem. Everything that was
+  // acknowledged before the disk filled is still there.
+  LogStore reopened = LogStore::open(dir_);
+  const Log log = reopened.load();
+  ASSERT_EQ(log.size(), 2u);  // START + "a"
+  const Wid w2 = reopened.begin_instance();
+  reopened.record(w2, "after-enospc");
+  reopened.end_instance(w2);
+  EXPECT_EQ(reopened.load().size(), 5u);
+}
+
+TEST_F(StoreTest, ShortWriteIsContinuedToCompletion) {
+  auto io = std::make_shared<FaultIo>();
+  LogStore store = LogStore::create(dir_, fault_options(io));
+  const Wid w = store.begin_instance();
+  // The record's write accepts only half its bytes; write_all must loop.
+  io->set_fault({io->ops() + 1, FaultIo::Fault::Kind::kShortWrite});
+  store.record(w, "an-activity-name-long-enough-to-split");
+  store.end_instance(w);
+
+  const Log log = LogStore::open(dir_).load();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.activity_name(log.record(2).activity),
+            "an-activity-name-long-enough-to-split");
+}
+
+// ----- corruption: checksums + quarantine recovery -------------------------
+
+namespace {
+
+/// Flips one JSON character of the `line`-th line (0-based) of `path`,
+/// invalidating that record's CRC without touching the framing.
+void corrupt_line(const fs::path& path, std::size_t line) {
+  std::string data;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    data = ss.str();
+  }
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < line; ++i) pos = data.find('\n', pos) + 1;
+  const std::size_t colon = data.find("\"wid\"", pos);
+  ASSERT_NE(colon, std::string::npos);
+  data[colon + 1] = 'X';  // "wid" -> "Xid": parse/CRC must notice
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << data;
+}
+
+}  // namespace
+
+TEST_F(StoreTest, ChecksumDetectsBitFlipInCompleteRecord) {
+  {
+    LogStore store = LogStore::create(dir_);
+    const Wid w = store.begin_instance();
+    store.record(w, "a");
+    store.record(w, "b");
+    store.end_instance(w);
+  }
+  corrupt_line(dir_ / "seg-000001.jsonl", 1);  // a complete, non-final line
+  expect_io_error([&] { LogStore::open(dir_); },
+                  {"corrupt record", (dir_ / "seg-000001.jsonl").string(),
+                   "quarantine_corruption"});
+}
+
+TEST_F(StoreTest, QuarantineRecoversReadablePrefix) {
+  LogStore::Options options;
+  options.records_per_segment = 2;
+  {
+    LogStore store = LogStore::create(dir_, options);
+    const Wid w = store.begin_instance();
+    for (const char* a : {"a", "b", "c", "d"}) store.record(w, a);
+    store.end_instance(w);  // 6 records -> 3 segments
+  }
+  corrupt_line(dir_ / "seg-000002.jsonl", 0);  // mid-store corruption
+
+  LogStore::Options recover = options;
+  recover.quarantine_corruption = true;
+  RecoveryReport report;
+  {
+    LogStore store = LogStore::open(dir_, recover, &report);
+    // Readable prefix: START + "a" from segment 1; everything from the
+    // corrupt byte onward (4 record lines) was quarantined.
+    EXPECT_EQ(store.num_records(), 2u);
+    EXPECT_EQ(report.records_dropped, 4u);
+    EXPECT_EQ(report.segments_quarantined, 2u);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(fs::exists(dir_ / "QUARANTINE-000001"));
+    ASSERT_FALSE(report.notes.empty());
+
+    // The recovered store accepts appends again (instance 1 is open: its
+    // END record was quarantined with the suffix).
+    store.record(1, "replayed-b");
+    store.end_instance(1);
+  }
+
+  // The quarantined store is clean now: a strict reopen succeeds.
+  RecoveryReport second;
+  LogStore store = LogStore::open(dir_, options, &second);
+  EXPECT_TRUE(second.clean());
+  const Log log = store.load();
+  ASSERT_EQ(log.size(), 4u);  // START, a, replayed-b, END
+  EXPECT_EQ(log.activity_name(log.record(3).activity), "replayed-b");
 }
 
 }  // namespace
