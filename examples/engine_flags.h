@@ -1,0 +1,154 @@
+#pragma once
+
+// Shared CLI plumbing for wfq and wfqd — one place for the flags the two
+// binaries have in common, so "the same flag means the same thing" stays
+// true by construction:
+//
+//   --trace <out.json>     record spans, write Chrome trace_event JSON
+//   --metrics              print Prometheus text exposition on exit
+//   --metrics-json <file>  write the metrics snapshot as JSON
+//   --deadline-ms N        wall-clock budget per evaluation (wfq: every
+//                          query/batch run; wfqd: the per-request default)
+//   --max-incidents N      emitted-incident budget, same scoping
+//
+// strip_engine_flags() pulls these out of argv (position-independent) so
+// each binary's own argument parsing never sees them; TelemetryScope owns
+// the process-wide obs::Telemetry and writes the requested outputs when it
+// goes out of scope. load_log() is the by-extension reader both binaries
+// share.
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/engine.h"
+#include "log/io_csv.h"
+#include "log/io_jsonl.h"
+#include "log/io_xes.h"
+#include "obs/telemetry.h"
+
+namespace wflog::cli {
+
+struct EngineFlags {
+  std::string trace_path;
+  std::string metrics_json_path;
+  bool metrics = false;
+  std::chrono::milliseconds deadline{0};
+  std::size_t max_incidents = 0;
+
+  bool wants_telemetry() const {
+    return !trace_path.empty() || metrics || !metrics_json_path.empty();
+  }
+
+  /// QueryOptions with the guard flags folded in.
+  QueryOptions query_options() const {
+    QueryOptions opts;
+    opts.deadline = deadline;
+    opts.max_incidents = max_incidents;
+    return opts;
+  }
+};
+
+/// Strips the shared flags out of argv, appending everything else to
+/// `args` (argv[0] first). `args` stays alive as long as argv does — the
+/// pointers are borrowed.
+inline EngineFlags strip_engine_flags(int argc, char** argv,
+                                      std::vector<char*>& args) {
+  EngineFlags flags;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--trace" && i + 1 < argc) {
+      flags.trace_path = argv[++i];
+    } else if (flag == "--metrics-json" && i + 1 < argc) {
+      flags.metrics_json_path = argv[++i];
+    } else if (flag == "--metrics") {
+      flags.metrics = true;
+    } else if (flag == "--deadline-ms" && i + 1 < argc) {
+      flags.deadline = std::chrono::milliseconds{std::atoll(argv[++i])};
+    } else if (flag == "--max-incidents" && i + 1 < argc) {
+      flags.max_incidents = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  return flags;
+}
+
+/// Installs the process-wide Telemetry when any telemetry flag asked for
+/// it — or unconditionally with `force` (wfqd always installs one so
+/// GET /metrics has data) — and writes the requested outputs on
+/// destruction.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(EngineFlags flags, bool force = false)
+      : flags_(std::move(flags)) {
+    if (!flags_.wants_telemetry() && !force) return;
+    telemetry_.emplace();
+    // Traces get the explain()-grade detail: a span per operator node.
+    telemetry_->trace_nodes = !flags_.trace_path.empty();
+    installed_.emplace(*telemetry_);
+    if (flags_.wants_telemetry() && obs::telemetry() == nullptr) {
+      std::cerr << "note: telemetry flags ignored (built with "
+                   "-DWFLOG_OBS=OFF)\n";
+    }
+  }
+
+  ~TelemetryScope() {
+    if (!telemetry_.has_value() || obs::telemetry() == nullptr) return;
+    if (!flags_.trace_path.empty()) {
+      const obs::SpanSnapshot snap = telemetry_->tracer.snapshot();
+      std::ofstream out(flags_.trace_path);
+      if (!out) {
+        std::cerr << "error: cannot write trace to '" << flags_.trace_path
+                  << "'\n";
+      } else {
+        out << obs::to_chrome_trace_json(snap);
+        std::cerr << "trace: " << snap.spans.size() << " span(s) -> "
+                  << flags_.trace_path << " (load in chrome://tracing)\n";
+      }
+    }
+    if (flags_.metrics) {
+      std::cout << obs::to_prometheus_text(telemetry_->metrics.snapshot());
+    }
+    if (!flags_.metrics_json_path.empty()) {
+      std::ofstream out(flags_.metrics_json_path);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '"
+                  << flags_.metrics_json_path << "'\n";
+      } else {
+        out << obs::metrics_to_json(telemetry_->metrics.snapshot()) << "\n";
+      }
+    }
+  }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+ private:
+  EngineFlags flags_;
+  std::optional<obs::Telemetry> telemetry_;
+  std::optional<obs::ScopedTelemetry> installed_;
+};
+
+inline bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Reads a log by extension (.csv / .jsonl / .xes).
+inline Log load_log(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  if (has_suffix(path, ".jsonl")) return read_jsonl(in);
+  if (has_suffix(path, ".csv")) return read_csv(in);
+  if (has_suffix(path, ".xes")) return read_xes(in);
+  throw IoError("unknown log format (expect .csv/.jsonl/.xes): " + path);
+}
+
+}  // namespace wflog::cli

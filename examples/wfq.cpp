@@ -43,6 +43,8 @@
 #include <string>
 #include <vector>
 
+#include "engine_flags.h"
+
 #include "common/error.h"
 #include "common/text.h"
 #include "core/engine.h"
@@ -63,17 +65,12 @@ namespace {
 
 using namespace wflog;
 
-/// Guard limits from the global --deadline-ms / --max-incidents flags;
-/// folded into every QueryOptions the query/batch commands build.
-std::chrono::milliseconds g_deadline{0};
-std::size_t g_max_incidents = 0;
+/// The shared flags (engine_flags.h), stripped in main(); --deadline-ms /
+/// --max-incidents fold into every QueryOptions the query/batch commands
+/// build via guarded_options().
+cli::EngineFlags g_flags;
 
-QueryOptions guarded_options() {
-  QueryOptions opts;
-  opts.deadline = g_deadline;
-  opts.max_incidents = g_max_incidents;
-  return opts;
-}
+QueryOptions guarded_options() { return g_flags.query_options(); }
 
 /// One-line note when an evaluation came back flagged partial.
 void report_partial(const QueryResult& r) {
@@ -105,19 +102,8 @@ void report_partial(const QueryResult& r) {
   std::exit(2);
 }
 
-bool has_suffix(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-Log load_log(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw IoError("cannot open '" + path + "'");
-  if (has_suffix(path, ".jsonl")) return read_jsonl(in);
-  if (has_suffix(path, ".csv")) return read_csv(in);
-  if (has_suffix(path, ".xes")) return read_xes(in);
-  throw IoError("unknown log format (expect .csv/.jsonl/.xes): " + path);
-}
+using cli::has_suffix;
+using cli::load_log;
 
 void save_log(const Log& log, const std::string& path) {
   std::ofstream out(path);
@@ -411,77 +397,19 @@ int dispatch(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip the global telemetry flags (position-independent) so each
-  // subcommand's own argument parsing never sees them.
-  std::string trace_path, metrics_json_path;
-  bool metrics = false;
+  // Strip the shared flags (engine_flags.h, position-independent) so each
+  // subcommand's own argument parsing never sees them; the TelemetryScope
+  // writes the trace/metrics outputs when main returns.
   std::vector<char*> args;
-  args.push_back(argv[0]);
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view flag = argv[i];
-    if (flag == "--trace" && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (flag == "--metrics-json" && i + 1 < argc) {
-      metrics_json_path = argv[++i];
-    } else if (flag == "--metrics") {
-      metrics = true;
-    } else if (flag == "--deadline-ms" && i + 1 < argc) {
-      g_deadline = std::chrono::milliseconds{std::atoll(argv[++i])};
-    } else if (flag == "--max-incidents" && i + 1 < argc) {
-      g_max_incidents = static_cast<std::size_t>(std::atoll(argv[++i]));
-    } else {
-      args.push_back(argv[i]);
-    }
-  }
-
-  std::optional<obs::Telemetry> telemetry;
-  std::optional<obs::ScopedTelemetry> installed;
-  if (!trace_path.empty() || metrics || !metrics_json_path.empty()) {
-    telemetry.emplace();
-    // Traces get the explain()-grade detail: a span per operator node.
-    telemetry->trace_nodes = !trace_path.empty();
-    installed.emplace(*telemetry);
-    if (obs::telemetry() == nullptr) {
-      std::cerr << "note: telemetry flags ignored (built with "
-                   "-DWFLOG_OBS=OFF)\n";
-    }
-  }
+  g_flags = cli::strip_engine_flags(argc, argv, args);
+  cli::TelemetryScope telemetry(g_flags);
 
   // Last-resort guard: nothing escapes as std::terminate — every failure
   // becomes a one-line diagnostic and a nonzero exit.
-  int rc = 0;
   try {
-    rc = dispatch(static_cast<int>(args.size()), args.data());
+    return dispatch(static_cast<int>(args.size()), args.data());
   } catch (const std::exception& e) {
     std::cerr << "internal error: " << e.what() << "\n";
-    rc = 3;
+    return 3;
   }
-
-  if (telemetry.has_value() && obs::telemetry() != nullptr) {
-    if (!trace_path.empty()) {
-      const obs::SpanSnapshot snap = telemetry->tracer.snapshot();
-      std::ofstream out(trace_path);
-      if (!out) {
-        std::cerr << "error: cannot write trace to '" << trace_path
-                  << "'\n";
-      } else {
-        out << obs::to_chrome_trace_json(snap);
-        std::cerr << "trace: " << snap.spans.size() << " span(s) -> "
-                  << trace_path << " (load in chrome://tracing)\n";
-      }
-    }
-    if (metrics) {
-      std::cout << obs::to_prometheus_text(telemetry->metrics.snapshot());
-    }
-    if (!metrics_json_path.empty()) {
-      std::ofstream out(metrics_json_path);
-      if (!out) {
-        std::cerr << "error: cannot write metrics to '" << metrics_json_path
-                  << "'\n";
-      } else {
-        out << obs::metrics_to_json(telemetry->metrics.snapshot()) << "\n";
-      }
-    }
-  }
-  return rc;
 }

@@ -1,0 +1,186 @@
+// wfqd: the workflow-log query daemon — the engine behind an HTTP API
+// (src/server/). One process owns the log (optionally a durable LogStore)
+// and serves concurrent queries over it:
+//
+//   POST /query    {"query": "A -> B", "deadline_ms": 100, "limit": 50}
+//   POST /batch    {"queries": ["A -> B", "C . D"], "threads": 4}
+//   POST /ingest   {"events": [{"op": "begin"}, {"op": "record", ...}]}
+//   GET  /metrics  Prometheus text exposition
+//   GET  /stats    engine + store + server counters
+//   GET  /healthz  liveness
+//
+// Usage:
+//   wfqd --log <file.{csv,jsonl,xes}>   serve a read-only snapshot file
+//                                       (ingest extends it in memory only)
+//   wfqd --store <dir>                  open/create a durable LogStore;
+//                                       ingested events are fsynced there
+//   [--bind ADDR]        default 127.0.0.1
+//   [--port N]           default 8633; 0 = ephemeral, the chosen port is
+//                        printed on the "listening" line
+//   [--threads N]        worker pool size (default 4)
+//   [--queue N]          pending-connection bound before 503 (default 64)
+//   [--drain-ms N]       shutdown grace period for in-flight requests
+//   [--batch-threads N]  run_batch default when a request names none
+//   [--bad-events reject|skip|quarantine]   ingest policy (monitor.h)
+//   [--max-deadline-ms N]    cap on per-request deadlines (binds even
+//                            requests that ask for "unlimited")
+//   [--max-incidents-cap N]  cap on per-request incident budgets
+//
+// Shared flags (engine_flags.h): --trace/--metrics/--metrics-json write
+// telemetry on exit; --deadline-ms/--max-incidents set the PER-REQUEST
+// defaults (a request's own "deadline_ms"/"max_incidents" override them,
+// up to the caps).
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
+// finish (cooperatively cancelled after --drain-ms), then the process
+// exits 0.
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine_flags.h"
+
+#include "common/error.h"
+#include "server/handlers.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace wflog;
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: wfqd --log <file.{csv,jsonl,xes}> | --store <dir>\n"
+         "  [--bind ADDR] [--port N (0=ephemeral)] [--threads N] "
+         "[--queue N]\n"
+         "  [--drain-ms N] [--batch-threads N] "
+         "[--bad-events reject|skip|quarantine]\n"
+         "  [--max-deadline-ms N] [--max-incidents-cap N]\n"
+         "shared flags: --trace <out.json>  --metrics  --metrics-json "
+         "<file>\n"
+         "              --deadline-ms N  --max-incidents N  (per-request "
+         "defaults)\n";
+  std::exit(2);
+}
+
+server::HttpServer* g_server = nullptr;
+
+extern "C" void on_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  const cli::EngineFlags flags = cli::strip_engine_flags(argc, argv, args);
+
+  std::string log_path;
+  std::string store_dir;
+  server::ServerOptions sopts;
+  sopts.port = 8633;
+  server::ServiceOptions svc;
+  svc.engine = flags.query_options();
+  // The guard flags are per-REQUEST defaults here, not engine-wide ones:
+  // limits_from() starts from these and lets each request override within
+  // the caps.
+  svc.engine.deadline = std::chrono::milliseconds{0};
+  svc.engine.max_incidents = 0;
+  svc.default_deadline_ms = flags.deadline.count();
+  svc.default_max_incidents = flags.max_incidents;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string flag = args[i];
+    const bool has_value = i + 1 < args.size();
+    if (flag == "--log" && has_value) {
+      log_path = args[++i];
+    } else if (flag == "--store" && has_value) {
+      store_dir = args[++i];
+    } else if (flag == "--bind" && has_value) {
+      sopts.bind_address = args[++i];
+    } else if (flag == "--port" && has_value) {
+      sopts.port = static_cast<std::uint16_t>(std::atoi(args[++i]));
+    } else if (flag == "--threads" && has_value) {
+      sopts.threads = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--queue" && has_value) {
+      sopts.queue_capacity = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--drain-ms" && has_value) {
+      sopts.drain_timeout_ms = std::atoi(args[++i]);
+    } else if (flag == "--batch-threads" && has_value) {
+      svc.batch_threads = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--max-deadline-ms" && has_value) {
+      svc.max_deadline_ms = std::atoll(args[++i]);
+    } else if (flag == "--max-incidents-cap" && has_value) {
+      svc.max_incidents_cap = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--bad-events" && has_value) {
+      const std::string policy = args[++i];
+      if (policy == "reject") {
+        svc.bad_event_policy = BadEventPolicy::kReject;
+      } else if (policy == "skip") {
+        svc.bad_event_policy = BadEventPolicy::kSkip;
+      } else if (policy == "quarantine") {
+        svc.bad_event_policy = BadEventPolicy::kQuarantine;
+      } else {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+  if (log_path.empty() == store_dir.empty()) usage();  // exactly one source
+
+  // The daemon always runs with telemetry installed so GET /metrics has
+  // data even when no telemetry flag was given.
+  cli::TelemetryScope telemetry(flags, /*force=*/true);
+
+  try {
+    std::optional<Log> initial;
+    std::optional<LogStore> store;
+    if (!store_dir.empty()) {
+      const bool exists =
+          std::filesystem::exists(std::filesystem::path(store_dir) /
+                                  "MANIFEST");
+      store = exists ? LogStore::open(store_dir) : LogStore::create(store_dir);
+      if (store->num_records() > 0) initial = store->load();
+      const RecoveryReport& rec = store->recovery_report();
+      for (const std::string& note : rec.notes) {
+        std::cerr << "store recovery: " << note << "\n";
+      }
+    } else {
+      Log log = cli::load_log(log_path);
+      if (log.size() > 0) initial = std::move(log);
+    }
+
+    server::QueryService service(std::move(initial), svc,
+                                 sopts.drain_cancel, std::move(store));
+    server::Router router;
+    service.bind(router);
+
+    server::HttpServer http(std::move(router), std::move(sopts));
+    service.attach_server(&http);
+    g_server = &http;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    http.start();
+    std::cout << "wfqd listening on " << http.port() << " ("
+              << service.num_records() << " records)" << std::endl;
+    http.wait();
+    g_server = nullptr;
+
+    const server::ServerStats stats = http.stats();
+    std::cout << "wfqd drained: " << stats.served << " served, "
+              << stats.rejected << " rejected, " << stats.bad_requests
+              << " bad requests\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "wfqd: " << e.what() << "\n";
+    return 1;
+  }
+}

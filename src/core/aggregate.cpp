@@ -58,13 +58,15 @@ Value group_value(const LogIndex& index, Wid wid, const GroupKey& key,
 
 std::vector<GroupCount> group_by_attribute(const IncidentSet& set,
                                            const LogIndex& index,
-                                           const GroupKey& key) {
+                                           const GroupKey& key,
+                                           const EvalGuard* guard) {
   const Interner& interner = index.log().interner();
   const Symbol activity_sym = interner.find(key.activity);
   const Symbol attr_sym = interner.find(key.attr);
 
   std::vector<GroupCount> groups;
   for (const IncidentSet::Group& g : set.groups()) {
+    if (guard != nullptr && guard->check()) break;
     if (g.incidents.empty()) continue;
     const Value v = group_value(index, g.wid, key, activity_sym, attr_sym);
     auto it = std::find_if(

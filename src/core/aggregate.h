@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/guard.h"
 #include "core/incident.h"
 #include "core/predicate.h"
 #include "log/index.h"
@@ -42,9 +43,13 @@ struct GroupCount {
 
 /// Groups the matching instances of `set` by the key attribute, counting
 /// instances and incidents per distinct value. Sorted ascending by key.
+/// With a guard, the fold polls it per instance group and stops once it
+/// trips — the result then covers a prefix of the groups (partial, like a
+/// guarded evaluation; the caller learns why from the guard's reason()).
 std::vector<GroupCount> group_by_attribute(const IncidentSet& set,
                                            const LogIndex& index,
-                                           const GroupKey& key);
+                                           const GroupKey& key,
+                                           const EvalGuard* guard = nullptr);
 
 /// Renders a group-by result as an aligned two-column table.
 std::string render_groups(const std::vector<GroupCount>& groups);

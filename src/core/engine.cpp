@@ -28,16 +28,24 @@ void fold_counters(obs::Telemetry* t, EvalCounters delta) {
   t->eval_cache_bytes_total->add(delta.cache_bytes);
 }
 
-/// Guard for one run()/run_batch() call, or nullopt when QueryOptions sets
-/// no limit (the zero-overhead common case). Built per call, not per
-/// engine: the deadline clock starts when evaluation does.
-std::optional<EvalGuard> make_guard(const QueryOptions& options) {
-  if (options.deadline.count() <= 0 && options.max_incidents == 0 &&
-      options.cancel == nullptr) {
+/// Guard for one run()/run_batch() call, or nullopt when neither the
+/// engine-wide QueryOptions nor the per-call RunLimits set a limit (the
+/// zero-overhead common case). A set RunLimits field overrides its
+/// engine-wide counterpart. Built per call, not per engine: the deadline
+/// clock starts when evaluation does.
+std::optional<EvalGuard> make_guard(const QueryOptions& options,
+                                    const RunLimits& limits) {
+  const std::chrono::milliseconds deadline =
+      limits.deadline.count() > 0 ? limits.deadline : options.deadline;
+  const std::size_t max_incidents =
+      limits.max_incidents != 0 ? limits.max_incidents : options.max_incidents;
+  const CancelToken cancel =
+      limits.cancel != nullptr ? limits.cancel : options.cancel;
+  if (deadline.count() <= 0 && max_incidents == 0 && cancel == nullptr) {
     return std::nullopt;
   }
-  return std::optional<EvalGuard>(std::in_place, options.deadline,
-                                  options.max_incidents, options.cancel);
+  return std::optional<EvalGuard>(std::in_place, deadline, max_incidents,
+                                  cancel);
 }
 
 void count_stop(StopReason reason) {
@@ -82,6 +90,11 @@ QueryEngine::QueryEngine(const Log& log, QueryOptions options)
       evaluator_(index_, options.eval) {}
 
 QueryResult QueryEngine::run(std::string_view query_text) const {
+  return run(query_text, RunLimits{});
+}
+
+QueryResult QueryEngine::run(std::string_view query_text,
+                             const RunLimits& limits) const {
   WFLOG_SPAN(span, "query");
   if (span.active()) span.arg("query", std::string(query_text));
   const auto t0 = Clock::now();
@@ -91,7 +104,7 @@ QueryResult QueryEngine::run(std::string_view query_text) const {
     ParsedQuery parsed = parse_query(query_text);
     const double parse_us = us_since(t0);
     parse_span.end();
-    r = run(std::move(parsed.pattern), std::move(parsed.where));
+    r = run(std::move(parsed.pattern), std::move(parsed.where), limits);
     r.parse_us = parse_us;
   }
   WFLOG_TELEMETRY(t) { t->query_parse_seconds->observe(r.parse_us * 1e-6); }
@@ -99,6 +112,11 @@ QueryResult QueryEngine::run(std::string_view query_text) const {
 }
 
 QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
+  return run(std::move(pattern), std::move(where), RunLimits{});
+}
+
+QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where,
+                             const RunLimits& limits) const {
   QueryResult r;
   r.parsed = pattern;
   r.where = std::move(where);
@@ -125,7 +143,7 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
   const EvalCounters before =
       telemetry != nullptr ? evaluator_.counters() : EvalCounters{};
 
-  const std::optional<EvalGuard> guard = make_guard(options_);
+  const std::optional<EvalGuard> guard = make_guard(options_, limits);
   const EvalGuard* guard_ptr = guard.has_value() ? &*guard : nullptr;
   const auto t1 = Clock::now();
   {
@@ -142,16 +160,19 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where) const {
                     static_cast<std::uint64_t>(r.incidents.total()));
     }
   }
-  if (guard_ptr != nullptr) {
-    r.stop_reason = guard_ptr->reason();
-    count_stop(r.stop_reason);
-  }
   if (r.where != nullptr) {
     // Existential where semantics over assignments; derivation runs
     // against the PARSED pattern (its variables), not the optimized tree
-    // (rewrites preserve incidents but may reshape the atom layout).
+    // (rewrites preserve incidents but may reshape the atom layout). The
+    // guard keeps counting here: binding derivation over a large incident
+    // set can dominate the deadline.
     WFLOG_SPAN(where_span, "query.where");
-    r.incidents = filter_where(r.incidents, *r.parsed, *r.where, index_);
+    r.incidents =
+        filter_where(r.incidents, *r.parsed, *r.where, index_, guard_ptr);
+  }
+  if (guard_ptr != nullptr) {
+    r.stop_reason = guard_ptr->reason();
+    count_stop(r.stop_reason);
   }
   r.eval_us = us_since(t1);
 
@@ -180,6 +201,12 @@ std::size_t BatchResult::total() const {
 BatchResult QueryEngine::run_batch(std::span<const Query> queries,
                                    std::size_t threads,
                                    bool use_cache) const {
+  return run_batch(queries, threads, use_cache, RunLimits{});
+}
+
+BatchResult QueryEngine::run_batch(std::span<const Query> queries,
+                                   std::size_t threads, bool use_cache,
+                                   const RunLimits& limits) const {
   WFLOG_SPAN(span, "batch");
   if (span.active()) {
     span.arg("queries", static_cast<std::uint64_t>(queries.size()));
@@ -227,7 +254,7 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
     }
   }
 
-  const std::optional<EvalGuard> guard = make_guard(options_);
+  const std::optional<EvalGuard> guard = make_guard(options_, limits);
   BatchOptions opts;
   opts.threads = threads;
   opts.use_cache = use_cache;
@@ -250,16 +277,19 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
       }
       if (!r.ok()) continue;  // error slot: no incidents
       r.incidents = std::move(sets[q]);
-      if (guard.has_value()) r.stop_reason = guard->reason();
       if (r.where != nullptr) {
         try {
           r.incidents =
-              filter_where(r.incidents, *r.parsed, *r.where, index_);
+              filter_where(r.incidents, *r.parsed, *r.where, index_,
+                           guard.has_value() ? &*guard : nullptr);
         } catch (const std::exception& e) {
           r.error = e.what();
           r.incidents = IncidentSet{};
         }
       }
+      // Read AFTER the where pass: the shared guard may trip while
+      // filtering, and that slot's result is then partial too.
+      if (guard.has_value()) r.stop_reason = guard->reason();
     }
     if (guard.has_value()) count_stop(guard->reason());
   }
@@ -283,6 +313,12 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
 BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
                                    std::size_t threads,
                                    bool use_cache) const {
+  return run_batch(query_texts, threads, use_cache, RunLimits{});
+}
+
+BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
+                                   std::size_t threads, bool use_cache,
+                                   const RunLimits& limits) const {
   // Parse failures become error slots rather than aborting the batch.
   std::vector<Query> queries(query_texts.size());
   std::vector<std::string> parse_errors(query_texts.size());
@@ -293,7 +329,7 @@ BatchResult QueryEngine::run_batch(std::span<const std::string> query_texts,
       parse_errors[q] = e.what();
     }
   }
-  BatchResult batch = run_batch(queries, threads, use_cache);
+  BatchResult batch = run_batch(queries, threads, use_cache, limits);
   for (std::size_t q = 0; q < query_texts.size(); ++q) {
     if (!parse_errors[q].empty()) {
       batch.results[q].error = std::move(parse_errors[q]);

@@ -41,6 +41,16 @@ struct QueryOptions {
   OptimizerOptions optimizer;
 };
 
+/// Per-call resource limits layered over an engine's QueryOptions — the
+/// unit a server maps one request's budget onto without rebuilding the
+/// engine (the LogIndex is the expensive part). A zero/null field defers
+/// to the engine-wide default; a set field overrides it for this call.
+struct RunLimits {
+  std::chrono::milliseconds deadline{0};  // 0 = engine default
+  std::size_t max_incidents = 0;          // 0 = engine default
+  CancelToken cancel;                     // null = engine default
+};
+
 struct QueryResult {
   PatternPtr parsed;    // as written
   PatternPtr executed;  // after optimization (== parsed when disabled)
@@ -120,6 +130,12 @@ class QueryEngine {
   /// where clause are filtered out. Throws ParseError / QueryError.
   QueryResult run(std::string_view query_text) const;
   QueryResult run(PatternPtr pattern, JoinExprPtr where = nullptr) const;
+  /// run() with per-call limits overriding the engine-wide defaults
+  /// (deadline / incident budget / cancel) — one engine, many callers,
+  /// each with its own budget.
+  QueryResult run(std::string_view query_text, const RunLimits& limits) const;
+  QueryResult run(PatternPtr pattern, JoinExprPtr where,
+                  const RunLimits& limits) const;
 
   /// Evaluates N queries in ONE shared pass over the log (core/batch.h):
   /// each query is parsed/optimized exactly as run() would, then all
@@ -136,10 +152,15 @@ class QueryEngine {
   BatchResult run_batch(std::span<const Query> queries,
                         std::size_t threads = 1,
                         bool use_cache = true) const;
+  BatchResult run_batch(std::span<const Query> queries, std::size_t threads,
+                        bool use_cache, const RunLimits& limits) const;
   /// Convenience: parses each text with Query::parse first.
   BatchResult run_batch(std::span<const std::string> query_texts,
                         std::size_t threads = 1,
                         bool use_cache = true) const;
+  BatchResult run_batch(std::span<const std::string> query_texts,
+                        std::size_t threads, bool use_cache,
+                        const RunLimits& limits) const;
 
   /// Cheap existence / counting entry points ("are there any students
   /// who ...?"). exists() early-exits on the first matching instance;

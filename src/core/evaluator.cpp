@@ -57,7 +57,8 @@ obs::Tracer::Span NodeTracer::open(const Pattern& p) const {
 Evaluator::Evaluator(const LogIndex& index, EvalOptions opts)
     : index_(&index), opts_(opts) {}
 
-IncidentList Evaluator::eval_atom(const Pattern& p, Wid wid) const {
+IncidentList Evaluator::eval_atom(const Pattern& p, Wid wid,
+                                  const EvalGuard* guard) const {
   const Log& log = index_->log();
   const Symbol sym = log.activity_symbol(p.activity());
   IncidentList out;
@@ -68,16 +69,23 @@ IncidentList Evaluator::eval_atom(const Pattern& p, Wid wid) const {
     return l != nullptr && p.predicate()->eval(*l, log.interner());
   };
 
+  // Predicate evaluation per occurrence can be arbitrarily slow (string
+  // compares over long values); poll the guard so a deadline bounds the
+  // filtering too, not just the operator combination above it.
+  GuardPoll poll{guard};
+
   if (!p.negated()) {
     // An activity name never interned can't occur in the log.
     if (sym == kNoSymbol) return out;
     for (IsLsn n : index_->occurrences(wid, sym)) {
+      if (poll.should_stop()) break;
       if (matches_predicate(n)) out.push_back(Incident::singleton(wid, n));
     }
     return out;
   }
 
   for (IsLsn n : index_->non_occurrences(wid, sym)) {
+    if (poll.should_stop()) break;
     if (!opts_.negation_matches_sentinels) {
       const LogRecord* l = index_->find(wid, n);
       if (l->activity == log.start_symbol() ||
@@ -131,9 +139,12 @@ IncidentList Evaluator::eval_node(const Pattern& p, Wid wid,
   }
 
   if (p.is_atom()) {
-    IncidentList atoms = eval_atom(p, wid);
+    IncidentList atoms = eval_atom(p, wid, guard);
     if (guard != nullptr) guard->add_incidents(atoms.size());
-    if (slot != SubpatternMemo::kNoSlot) {
+    // Never memoize under a tripped guard: the list may be truncated, and
+    // a later lookup would mistake it for the complete occurrence list.
+    if (slot != SubpatternMemo::kNoSlot &&
+        (guard == nullptr || !guard->stopped())) {
       ++counters_.cache_misses;
       counters_.cache_bytes += incident_bytes(atoms);
       memo->store(slot, atoms);

@@ -196,7 +196,8 @@ class Evaluator {
   IncidentList eval_node(const Pattern& p, Wid wid, SubpatternMemo* memo,
                          const NodeTracer* trace,
                          const EvalGuard* guard) const;
-  IncidentList eval_atom(const Pattern& p, Wid wid) const;
+  IncidentList eval_atom(const Pattern& p, Wid wid,
+                         const EvalGuard* guard) const;
 
   const LogIndex* index_;
   EvalOptions opts_;

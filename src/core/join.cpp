@@ -417,11 +417,19 @@ ParsedQuery parse_query(std::string_view text) {
 }
 
 IncidentSet filter_where(const IncidentSet& incidents, const Pattern& p,
-                         const JoinExpr& expr, const LogIndex& index) {
+                         const JoinExpr& expr, const LogIndex& index,
+                         const EvalGuard* guard) {
   IncidentSet out;
   for (const IncidentSet::Group& g : incidents.groups()) {
     IncidentList kept;
     for (const Incident& o : g.incidents) {
+      // Binding derivation + expr evaluation per incident is the hot part
+      // of a where pass; poll the guard here so a deadline set on the run
+      // also bounds the filtering, not just the pattern evaluation.
+      if (guard != nullptr && guard->check()) {
+        if (!kept.empty()) out.add_group(g.wid, std::move(kept));
+        return out;
+      }
       const auto assignments = derive_all_bindings(p, o, index);
       const bool pass = std::any_of(
           assignments.begin(), assignments.end(),

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/bindings.h"
+#include "core/guard.h"
 #include "core/incident.h"
 #include "core/pattern.h"
 #include "core/predicate.h"  // CmpOp, MapSel
@@ -99,7 +100,11 @@ struct ParsedQuery {
 ParsedQuery parse_query(std::string_view text);
 
 /// Keeps the incidents with at least one assignment satisfying `expr`.
+/// With a guard, the pass polls it per incident and stops early once it
+/// trips (deadline / cancel) — the returned set is then a valid partial
+/// prefix, exactly like a guarded pattern evaluation.
 IncidentSet filter_where(const IncidentSet& incidents, const Pattern& p,
-                         const JoinExpr& expr, const LogIndex& index);
+                         const JoinExpr& expr, const LogIndex& index,
+                         const EvalGuard* guard = nullptr);
 
 }  // namespace wflog

@@ -5,6 +5,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <system_error>
 
 #include "common/error.h"
@@ -92,6 +94,18 @@ class RealFileIo final : public FileIo {
     }
   }
 
+  void sync_dir(const fs::path& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) throw_errno("cannot open directory", dir);
+    if (::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("fsync failed on directory", dir);
+    }
+    if (::close(fd) != 0) throw_errno("close failed on directory", dir);
+  }
+
  private:
   static WriteFilePtr open_with(const fs::path& path, int flags) {
     const int fd = ::open(path.c_str(), flags, 0644);
@@ -104,6 +118,20 @@ std::uintmax_t size_or_zero(const fs::path& path) {
   std::error_code ec;
   const std::uintmax_t n = fs::file_size(path, ec);
   return ec ? 0 : n;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("FaultIo: cannot read back '" + path.string() + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+void spill(const fs::path& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) throw IoError("FaultIo: cannot restore '" + path.string() + "'");
 }
 
 }  // namespace
@@ -165,6 +193,7 @@ bool FaultIo::on_op(const char* what) {
     throw IoError(std::string("FaultIo: ") + what + " after simulated crash");
   }
   ++ops_;
+  trace_.emplace_back(what);
   if (fault_.at_op == 0 || ops_ < fault_.at_op) return false;
   switch (fault_.kind) {
     case Fault::Kind::kError: {
@@ -207,6 +236,23 @@ void FaultIo::apply_crash_loss() {
     }
     base_->truncate(path, keep);
   }
+  // Directory entries: a rename whose parent directory was never fsynced
+  // may be undone by power loss — the on-disk directory still holds the
+  // pre-rename state. kKeepAll (process crash) keeps the kernel's view.
+  if (fault_.loss != CrashLoss::kKeepAll) {
+    for (auto it = pending_renames_.rbegin(); it != pending_renames_.rend();
+         ++it) {
+      if (fs::exists(it->to)) {
+        spill(it->from, slurp(it->to));
+      }
+      if (it->to_existed) {
+        spill(it->to, it->old_to_content);
+      } else {
+        base_->remove(it->to);
+      }
+    }
+  }
+  pending_renames_.clear();
 }
 
 void FaultIo::note_synced(const fs::path& path) {
@@ -231,7 +277,13 @@ WriteFilePtr FaultIo::open_trunc(const fs::path& path) {
 
 void FaultIo::rename(const fs::path& from, const fs::path& to) {
   on_op("rename");
+  PendingRename pending;
+  pending.from = from;
+  pending.to = to;
+  pending.to_existed = fs::exists(to);
+  if (pending.to_existed) pending.old_to_content = slurp(to);
   base_->rename(from, to);
+  pending_renames_.push_back(std::move(pending));
   const auto it = durable_.find(from);
   if (it != durable_.end()) {
     durable_[to] = it->second;
@@ -250,6 +302,14 @@ void FaultIo::remove(const fs::path& path) {
   on_op("remove");
   base_->remove(path);
   durable_.erase(path);
+}
+
+void FaultIo::sync_dir(const fs::path& dir) {
+  on_op("sync_dir");
+  base_->sync_dir(dir);
+  std::erase_if(pending_renames_, [&](const PendingRename& pending) {
+    return pending.to.parent_path() == dir;
+  });
 }
 
 }  // namespace wflog

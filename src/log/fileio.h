@@ -13,15 +13,21 @@
 // are injected on writes, and the crash model applies its data loss to the
 // real files, so readers observe it naturally.
 //
-// Durability model caveat: creating or renaming a file is treated as
-// durable once the call returns (no directory fsync). The torture harness
-// mirrors that assumption — see FaultIo::CrashLoss.
+// Durability model: file *contents* become durable on sync(); directory
+// *entries* (a freshly created file, a rename) become durable only once the
+// parent directory is fsynced via FileIo::sync_dir. FaultIo models the
+// rename half strictly — an un-dir-fsynced rename may be rolled back to the
+// pre-rename directory state by a crash (see CrashLoss) — which is exactly
+// the window LogStore closes by calling sync_dir after every manifest
+// rename and segment creation.
 
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace wflog {
 
@@ -62,6 +68,9 @@ class FileIo {
                         std::uintmax_t size) = 0;
   /// Deletes `path` (no error if absent).
   virtual void remove(const std::filesystem::path& path) = 0;
+  /// Fsyncs the directory itself, making the entries it holds — created
+  /// files, renames — durable. Throws IoError on failure.
+  virtual void sync_dir(const std::filesystem::path& dir) = 0;
 };
 
 /// The process-wide real (POSIX) implementation.
@@ -109,6 +118,10 @@ class FaultIo : public FileIo {
   /// workload's op count; the torture matrix then crashes at each index).
   std::uint64_t ops() const noexcept { return ops_; }
   bool crashed() const noexcept { return crashed_; }
+  /// Names of every op observed, in order; op N (1-based) is
+  /// op_trace()[N-1]. Lets tests aim a crash at a specific boundary, e.g.
+  /// the sync_dir immediately after a manifest rename.
+  const std::vector<std::string>& op_trace() const noexcept { return trace_; }
 
   WriteFilePtr open_append(const std::filesystem::path& path) override;
   WriteFilePtr open_trunc(const std::filesystem::path& path) override;
@@ -117,9 +130,21 @@ class FaultIo : public FileIo {
   void truncate(const std::filesystem::path& path,
                 std::uintmax_t size) override;
   void remove(const std::filesystem::path& path) override;
+  void sync_dir(const std::filesystem::path& dir) override;
 
  private:
   friend class FaultWriteFile;
+
+  /// A rename that has happened on the real filesystem but whose directory
+  /// entry is not yet durable (no sync_dir on the parent since). A crash
+  /// rolls it back: `to` regains its pre-rename content (or vanishes) and
+  /// `from` reappears with the renamed bytes.
+  struct PendingRename {
+    std::filesystem::path from;
+    std::filesystem::path to;
+    bool to_existed = false;
+    std::string old_to_content;  // valid when to_existed
+  };
 
   /// Counts one op; throws per the configured fault. Returns true when the
   /// op should short-write.
@@ -131,9 +156,12 @@ class FaultIo : public FileIo {
   Fault fault_;
   std::uint64_t ops_ = 0;
   bool crashed_ = false;
+  std::vector<std::string> trace_;
   // Durable (fsynced) size per path touched through this IO. Writes go
   // straight to the real file; a crash truncates back to these marks.
   std::map<std::filesystem::path, std::uintmax_t> durable_;
+  // Renames not yet committed by a parent-directory fsync, oldest first.
+  std::vector<PendingRename> pending_renames_;
 };
 
 }  // namespace wflog

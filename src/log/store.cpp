@@ -121,6 +121,10 @@ void LogStore::write_manifest() {
     f->sync();
     f->close();
     io_->rename(tmp, dir_ / kManifestName);
+    // The rename itself is just a directory-entry update; fsync the
+    // directory so a power loss cannot roll the manifest back to its
+    // previous version (strict POSIX crash semantics).
+    io_->sync_dir(dir_);
   });
 }
 
@@ -143,6 +147,10 @@ void LogStore::roll_segment() {
     // manifest rename below leaves an orphan file the next roll reclaims.
     with_retries("open segment", [&] {
       tail_ = io_->open_trunc(segment_path(segments_.size() - 1));
+      // Make the segment's directory entry durable before the manifest
+      // names it — a manifest must never point at a file a crash can
+      // un-create.
+      io_->sync_dir(dir_);
     });
     tail_bytes_ = 0;
     tail_records_ = 0;

@@ -1,0 +1,222 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace wflog::server {
+namespace {
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+const std::string* ClientResponse::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { disconnect(); }
+
+void HttpClient::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buf_.clear();
+}
+
+void HttpClient::connect_or_throw() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw IoError(std::string("client socket() failed: ") +
+                  std::strerror(errno));
+  }
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    disconnect();
+    throw IoError("client: invalid address '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    disconnect();
+    throw IoError("client: connect to " + host_ + ":" +
+                  std::to_string(port_) + " failed: " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+ClientResponse HttpClient::get(const std::string& target) {
+  return request("GET", target, "", "");
+}
+
+ClientResponse HttpClient::post(const std::string& target,
+                                const std::string& body,
+                                const std::string& content_type) {
+  return request("POST", target, body, content_type);
+}
+
+ClientResponse HttpClient::request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body,
+                                   const std::string& content_type) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    if (!content_type.empty()) {
+      wire += "content-type: " + content_type + "\r\n";
+    }
+    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  const bool fresh = fd_ < 0;
+  if (fresh) connect_or_throw();
+  if (std::optional<ClientResponse> r = try_once(wire, fresh)) return *r;
+  // The reused keep-alive connection was already dead (the server timed it
+  // out or drained). Nothing was received, so retrying on a fresh
+  // connection cannot double-apply the request.
+  connect_or_throw();
+  std::optional<ClientResponse> r = try_once(wire, /*fresh_connection=*/true);
+  if (!r.has_value()) {
+    disconnect();
+    throw IoError("client: connection closed before any response");
+  }
+  return *r;
+}
+
+ClientResponse HttpClient::raw(const std::string& bytes) {
+  if (fd_ < 0) connect_or_throw();
+  std::optional<ClientResponse> r = try_once(bytes, /*fresh_connection=*/true);
+  if (!r.has_value()) {
+    disconnect();
+    throw IoError("client: connection closed before any response");
+  }
+  return *r;
+}
+
+std::optional<ClientResponse> HttpClient::try_once(const std::string& wire,
+                                                   bool fresh_connection) {
+  if (!send_all(fd_, wire)) {
+    if (fresh_connection) {
+      disconnect();
+      throw IoError(std::string("client: send failed: ") +
+                    std::strerror(errno));
+    }
+    return std::nullopt;  // stale keep-alive — caller reconnects
+  }
+  try {
+    return read_response();
+  } catch (const IoError&) {
+    if (fresh_connection) throw;
+    // EOF with no bytes on a reused connection: the idle close race.
+    if (buf_.empty()) return std::nullopt;
+    throw;
+  }
+}
+
+ClientResponse HttpClient::read_response() {
+  // Accumulate until the header block is complete, then until the body
+  // (content-length) is in. The deadline covers the whole response.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms_);
+  auto fill = [&]() -> bool {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count();
+    if (left <= 0) throw IoError("client: response timed out");
+    const int r = poll_readable(fd_, static_cast<int>(left));
+    if (r <= 0) throw IoError("client: response timed out");
+    return recv_some(fd_, buf_) > 0;
+  };
+
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    if (!fill()) {
+      disconnect();
+      throw IoError("client: connection closed mid-response");
+    }
+  }
+
+  ClientResponse resp;
+  std::size_t line_start = 0;
+  std::size_t line_end = buf_.find("\r\n");
+  {
+    const std::string status_line = buf_.substr(0, line_end);
+    // "HTTP/1.1 200 OK"
+    const std::size_t sp = status_line.find(' ');
+    if (sp == std::string::npos) {
+      disconnect();
+      throw IoError("client: malformed status line: " + status_line);
+    }
+    resp.status = std::atoi(status_line.c_str() + sp + 1);
+  }
+  line_start = line_end + 2;
+  while (line_start < header_end) {
+    line_end = buf_.find("\r\n", line_start);
+    const std::string line = buf_.substr(line_start, line_end - line_start);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      resp.headers.emplace_back(to_lower(trim(line.substr(0, colon))),
+                                trim(line.substr(colon + 1)));
+    }
+    line_start = line_end + 2;
+  }
+
+  std::size_t content_length = 0;
+  if (const std::string* cl = resp.header("content-length")) {
+    content_length = static_cast<std::size_t>(std::atoll(cl->c_str()));
+  }
+  const std::size_t body_at = header_end + 4;
+  while (buf_.size() < body_at + content_length) {
+    if (!fill()) {
+      disconnect();
+      throw IoError("client: connection closed mid-body");
+    }
+  }
+  resp.body = buf_.substr(body_at, content_length);
+  buf_.erase(0, body_at + content_length);
+
+  if (const std::string* conn = resp.header("connection")) {
+    if (*conn == "close") disconnect();
+  }
+  return resp;
+}
+
+}  // namespace wflog::server

@@ -1,0 +1,70 @@
+#pragma once
+
+// A tiny blocking HTTP/1.1 client — just enough to exercise wfqd from
+// tests and bench/bench_server.cpp without pulling in a dependency.
+//
+// One HttpClient holds one keep-alive connection to one host:port and is
+// NOT thread-safe: concurrent load generators use one client per thread.
+// If the server closed the idle connection between requests (keep-alive
+// races are inherent to HTTP), the client transparently reconnects and
+// retries once — but only when the request had not been sent at all, so
+// non-idempotent requests are never silently replayed.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/http.h"
+
+namespace wflog::server {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased
+  std::string body;
+
+  /// First value of `name` (lowercase), or nullptr.
+  const std::string* header(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port, int timeout_ms = 10000);
+  ~HttpClient();
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  ClientResponse get(const std::string& target);
+  ClientResponse post(const std::string& target, const std::string& body,
+                      const std::string& content_type = "application/json");
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body,
+                         const std::string& content_type);
+
+  /// Sends raw bytes verbatim and reads one response — for feeding the
+  /// server deliberately malformed requests in tests. No retry.
+  ClientResponse raw(const std::string& bytes);
+
+  /// True while the keep-alive connection is up (observability for tests;
+  /// requests reconnect on demand).
+  bool connected() const noexcept { return fd_ >= 0; }
+  void disconnect() noexcept;
+
+ private:
+  void connect_or_throw();
+  /// Writes `wire` and parses one response. Returns nullopt when the
+  /// connection turned out to be dead before anything was received AND
+  /// nothing of the request had been acknowledged — the retry-once case.
+  std::optional<ClientResponse> try_once(const std::string& wire,
+                                         bool fresh_connection);
+  ClientResponse read_response();
+
+  std::string host_;
+  std::uint16_t port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::string buf_;  // bytes past the previous response (pipelining slack)
+};
+
+}  // namespace wflog::server

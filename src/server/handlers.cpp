@@ -1,0 +1,508 @@
+#include "server/handlers.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "core/printer.h"
+#include "obs/export.h"
+#include "obs/telemetry.h"
+#include "server/json.h"
+
+namespace wflog::server {
+namespace {
+
+/// JSON scalar -> attribute Value; arrays/objects are not attribute
+/// material and fail the request.
+Value to_attr_value(const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      return Value{};
+    case JsonValue::Kind::kBool:
+      return Value(v.as_bool());
+    case JsonValue::Kind::kInt:
+      return Value(v.as_int());
+    case JsonValue::Kind::kDouble:
+      return Value(v.as_double());
+    case JsonValue::Kind::kString:
+      return Value(v.as_string());
+    default:
+      throw Error("attribute values must be JSON scalars");
+  }
+}
+
+/// Borrow an object's members as NamedAttrs (string_views into `obj`,
+/// which must outlive the call they are passed to).
+NamedAttrs to_named_attrs(const JsonValue* obj) {
+  NamedAttrs attrs;
+  if (obj == nullptr || obj->is_null()) return attrs;
+  if (!obj->is_object()) throw Error("\"in\"/\"out\" must be objects");
+  for (const auto& [name, value] : obj->members()) {
+    attrs.emplace_back(name, to_attr_value(value));
+  }
+  return attrs;
+}
+
+/// Renders one QueryResult as the /query (and /batch slot) shape. `limit`
+/// caps rendered incidents (the response size), never the evaluation —
+/// "total" always reports the full count.
+JsonValue render_result(const QueryResult& r, std::size_t limit) {
+  JsonValue out;
+  if (!r.ok()) {
+    out.set("error", r.error);
+    return out;
+  }
+  out.set("pattern", r.parsed != nullptr ? to_text(*r.parsed) : "");
+  out.set("optimized", r.executed != nullptr ? to_text(*r.executed) : "");
+  out.set("instances", r.incidents.groups().size());
+  out.set("total", r.total());
+  out.set("complete", r.complete());
+  out.set("stop_reason", std::string(stop_reason_name(r.stop_reason)));
+
+  JsonArray groups;
+  std::size_t rendered = 0;
+  for (const IncidentSet::Group& g : r.incidents.groups()) {
+    if (rendered >= limit) break;
+    JsonArray incidents;
+    for (const Incident& o : g.incidents) {
+      if (rendered >= limit) break;
+      JsonArray positions;
+      for (const IsLsn n : o.positions()) {
+        positions.emplace_back(static_cast<std::int64_t>(n));
+      }
+      incidents.emplace_back(std::move(positions));
+      ++rendered;
+    }
+    JsonValue group;
+    group.set("wid", static_cast<std::int64_t>(g.wid));
+    group.set("incidents", std::move(incidents));
+    groups.emplace_back(std::move(group));
+  }
+  out.set("incidents", std::move(groups));
+  out.set("rendered", rendered);
+  out.set("render_truncated", rendered < r.total());
+
+  JsonValue timings;
+  timings.set("parse_us", r.parse_us);
+  timings.set("optimize_us", r.optimize_us);
+  timings.set("eval_us", r.eval_us);
+  out.set("timings", std::move(timings));
+  return out;
+}
+
+std::size_t read_size(const JsonValue& body, std::string_view key,
+                      std::size_t fallback) {
+  const JsonValue* v = body.find(key);
+  if (v == nullptr || v->is_null()) return fallback;
+  if (!v->is_number() || v->as_int() < 0) {
+    throw Error("\"" + std::string(key) + "\" must be a non-negative number");
+  }
+  return static_cast<std::size_t>(v->as_int());
+}
+
+}  // namespace
+
+QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
+                           CancelToken drain, std::optional<LogStore> store)
+    : options_(std::move(options)),
+      drain_(std::move(drain)),
+      monitor_([&] {
+        MonitorOptions mo;
+        mo.keep_records = true;  // snapshot() is the rebuild path
+        mo.bad_event_policy = options_.bad_event_policy;
+        mo.negation_matches_sentinels =
+            options_.engine.eval.negation_matches_sentinels;
+        mo.on_bad_event = [this](const BadEvent& e) {
+          last_bad_.push_back(e);
+        };
+        return mo;
+      }()),
+      store_(std::move(store)) {
+  // Replay the initial log into the monitor so ingest continues its wid
+  // sequence. The replay asserts wid identity: LogMonitor assigns wids
+  // sequentially, so a log whose wids are not 1..N cannot be extended
+  // in-place — queries still work, ingest reports 409.
+  if (initial.has_value() && initial->size() > 0) {
+    try {
+      const Log& log = *initial;
+      for (const LogRecord& l : log) {
+        const std::string_view name = log.activity_name(l.activity);
+        if (l.activity == log.start_symbol()) {
+          const Wid got = monitor_.begin_instance();
+          if (got != l.wid) {
+            throw Error("initial log wid " + std::to_string(l.wid) +
+                        " is not the monitor's next wid " +
+                        std::to_string(got));
+          }
+        } else if (l.activity == log.end_symbol()) {
+          monitor_.end_instance(l.wid);
+        } else {
+          NamedAttrs in;
+          NamedAttrs out;
+          for (const AttrEntry& e : l.in) {
+            in.emplace_back(log.interner().name(e.attr), e.value);
+          }
+          for (const AttrEntry& e : l.out) {
+            out.emplace_back(log.interner().name(e.attr), e.value);
+          }
+          monitor_.record(l.wid, name, in, out);
+        }
+      }
+    } catch (const std::exception& e) {
+      ingest_enabled_ = false;
+      ingest_disabled_reason_ =
+          std::string("initial log could not seed the monitor: ") + e.what();
+    }
+  }
+  last_bad_.clear();  // replay noise is not request-level bad events
+
+  // Initial snapshot straight from the given log (no revalidation).
+  auto state = std::make_shared<State>();
+  if (initial.has_value() && initial->size() > 0) {
+    state->log = std::move(initial);
+    state->engine =
+        std::make_unique<QueryEngine>(*state->log, options_.engine);
+  }
+  state_ = std::move(state);
+}
+
+std::shared_ptr<const QueryService::State> QueryService::state() const {
+  std::lock_guard lock(state_mu_);
+  return state_;
+}
+
+std::size_t QueryService::num_records() const {
+  const auto st = state();
+  return st->log.has_value() ? st->log->size() : 0;
+}
+
+void QueryService::rebuild_state() {
+  auto fresh = std::make_shared<State>();
+  if (monitor_.num_records() > 0) {
+    fresh->log = monitor_.snapshot();
+    fresh->engine =
+        std::make_unique<QueryEngine>(*fresh->log, options_.engine);
+  }
+  std::lock_guard lock(state_mu_);
+  state_ = std::move(fresh);
+}
+
+RunLimits QueryService::limits_from(const JsonValue& body) const {
+  RunLimits limits;
+  std::int64_t deadline_ms = options_.default_deadline_ms;
+  const JsonValue* d = body.find("deadline_ms");
+  if (d != nullptr && !d->is_null()) {
+    if (!d->is_number() || d->as_int() < 0) {
+      throw Error("\"deadline_ms\" must be a non-negative number");
+    }
+    deadline_ms = d->as_int();
+  }
+  // The cap binds even "unlimited" (0) requests: a server with a
+  // max_deadline_ms never runs an unbounded query.
+  if (options_.max_deadline_ms > 0 &&
+      (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  limits.deadline = std::chrono::milliseconds(deadline_ms);
+
+  std::size_t max_incidents =
+      read_size(body, "max_incidents", options_.default_max_incidents);
+  if (options_.max_incidents_cap > 0 &&
+      (max_incidents == 0 || max_incidents > options_.max_incidents_cap)) {
+    max_incidents = options_.max_incidents_cap;
+  }
+  limits.max_incidents = max_incidents;
+  limits.cancel = drain_;
+  return limits;
+}
+
+void QueryService::bind(Router& router, const HttpServer* server) {
+  server_ = server;
+  router.add("POST", "/query",
+             [this](const HttpRequest& req) { return handle_query(req); });
+  router.add("POST", "/batch",
+             [this](const HttpRequest& req) { return handle_batch(req); });
+  router.add("POST", "/ingest",
+             [this](const HttpRequest& req) { return handle_ingest(req); });
+  router.add("GET", "/metrics",
+             [this](const HttpRequest& req) { return handle_metrics(req); });
+  router.add("GET", "/stats",
+             [this](const HttpRequest& req) { return handle_stats(req); });
+  router.add("GET", "/healthz", [](const HttpRequest&) {
+    return HttpResponse::text(200, "ok\n");
+  });
+}
+
+HttpResponse QueryService::handle_query(const HttpRequest& req) {
+  JsonValue body;
+  std::string query_text;
+  RunLimits limits;
+  std::size_t render_limit = options_.default_render_limit;
+  try {
+    body = parse_json(req.body);
+    const JsonValue* q = body.find("query");
+    if (q == nullptr || !q->is_string()) {
+      throw Error("body must be an object with a string \"query\"");
+    }
+    query_text = q->as_string();
+    limits = limits_from(body);
+    render_limit = read_size(body, "limit", options_.default_render_limit);
+  } catch (const std::exception& e) {
+    return HttpResponse::error(400, e.what());
+  }
+
+  const auto st = state();
+  try {
+    if (st->engine == nullptr) {
+      // Empty log: still validate the query so clients get their 400s.
+      Query::parse(query_text);
+      JsonValue out;
+      out.set("query", query_text);
+      out.set("instances", 0);
+      out.set("total", 0);
+      out.set("complete", true);
+      out.set("stop_reason", std::string(stop_reason_name(StopReason::kNone)));
+      out.set("incidents", JsonArray{});
+      return HttpResponse::json(200, out.dump());
+    }
+    QueryResult r = st->engine->run(query_text, limits);
+    JsonValue out;
+    out.set("query", query_text);
+    JsonValue rendered = render_result(r, render_limit);
+    for (auto& [k, v] : rendered.members()) {
+      out.set(k, std::move(v));
+    }
+    return HttpResponse::json(200, out.dump());
+  } catch (const ParseError& e) {
+    return HttpResponse::error(400, e.what());
+  } catch (const QueryError& e) {
+    return HttpResponse::error(400, e.what());
+  }
+}
+
+HttpResponse QueryService::handle_batch(const HttpRequest& req) {
+  std::vector<std::string> texts;
+  RunLimits limits;
+  std::size_t threads = options_.batch_threads;
+  std::size_t render_limit = options_.default_render_limit;
+  try {
+    const JsonValue body = parse_json(req.body);
+    const JsonValue* queries = body.find("queries");
+    if (queries == nullptr || !queries->is_array() ||
+        queries->as_array().empty()) {
+      throw Error(
+          "body must be an object with a nonempty \"queries\" array");
+    }
+    for (const JsonValue& q : queries->as_array()) {
+      if (!q.is_string()) throw Error("\"queries\" must hold strings");
+      texts.push_back(q.as_string());
+    }
+    limits = limits_from(body);
+    threads = std::clamp<std::size_t>(
+        read_size(body, "threads", options_.batch_threads), 1, 64);
+    render_limit = read_size(body, "limit", options_.default_render_limit);
+  } catch (const std::exception& e) {
+    return HttpResponse::error(400, e.what());
+  }
+
+  const auto st = state();
+  JsonValue out;
+  JsonArray results;
+  if (st->engine == nullptr) {
+    // Empty log: every query parses (for its error slot) over no data.
+    for (const std::string& text : texts) {
+      JsonValue slot;
+      try {
+        Query::parse(text);
+        slot.set("total", 0);
+        slot.set("complete", true);
+        slot.set("incidents", JsonArray{});
+      } catch (const std::exception& e) {
+        slot.set("error", std::string(e.what()));
+      }
+      results.emplace_back(std::move(slot));
+    }
+    out.set("results", std::move(results));
+    return HttpResponse::json(200, out.dump());
+  }
+
+  const BatchResult batch =
+      st->engine->run_batch(texts, threads, /*use_cache=*/true, limits);
+  for (const QueryResult& r : batch.results) {
+    results.emplace_back(render_result(r, render_limit));
+  }
+  out.set("results", std::move(results));
+
+  JsonValue stats;
+  stats.set("queries", batch.stats.plan.num_queries);
+  stats.set("total_nodes", batch.stats.plan.total_nodes);
+  stats.set("distinct_slots", batch.stats.plan.distinct_slots);
+  stats.set("shared_nodes", batch.stats.plan.shared_nodes());
+  stats.set("cache_hits", static_cast<std::int64_t>(batch.cache_hits()));
+  stats.set("cache_misses", static_cast<std::int64_t>(batch.cache_misses()));
+  stats.set("threads_used", batch.stats.threads_used);
+  stats.set("eval_us", batch.eval_us);
+  out.set("stats", std::move(stats));
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
+  JsonValue body;
+  try {
+    body = parse_json(req.body);
+    const JsonValue* events = body.find("events");
+    if (events == nullptr || !events->is_array()) {
+      throw Error("body must be an object with an \"events\" array");
+    }
+  } catch (const std::exception& e) {
+    return HttpResponse::error(400, e.what());
+  }
+  const JsonArray& events = body.find("events")->as_array();
+
+  std::lock_guard lock(ingest_mu_);
+  if (!ingest_enabled_) {
+    return HttpResponse::error(409, "ingest disabled: " +
+                                        ingest_disabled_reason_);
+  }
+
+  last_bad_.clear();
+  std::size_t applied = 0;
+  JsonArray new_wids;
+  std::string abort_error;
+  int abort_status = 0;
+
+  for (const JsonValue& ev : events) {
+    try {
+      if (!ev.is_object()) throw Error("each event must be an object");
+      const JsonValue* op = ev.find("op");
+      if (op == nullptr || !op->is_string()) {
+        throw Error("each event needs a string \"op\"");
+      }
+      const std::string& kind = op->as_string();
+      const std::size_t bad_before = monitor_.num_bad_events();
+
+      if (kind == "begin") {
+        const Wid wid = monitor_.begin_instance();
+        if (store_.has_value()) {
+          const Wid store_wid = store_->begin_instance();
+          if (store_wid != wid) {
+            ingest_enabled_ = false;
+            ingest_disabled_reason_ =
+                "monitor/store wid divergence (" + std::to_string(wid) +
+                " vs " + std::to_string(store_wid) + ")";
+            throw Error(ingest_disabled_reason_);
+          }
+        }
+        new_wids.emplace_back(static_cast<std::int64_t>(wid));
+        ++applied;
+        continue;
+      }
+
+      const JsonValue* wid_v = ev.find("wid");
+      if (wid_v == nullptr || !wid_v->is_number() || wid_v->as_int() <= 0) {
+        throw Error("\"" + kind + "\" event needs a positive \"wid\"");
+      }
+      const Wid wid = static_cast<Wid>(wid_v->as_int());
+
+      if (kind == "record") {
+        const JsonValue* act = ev.find("activity");
+        if (act == nullptr || !act->is_string()) {
+          throw Error("\"record\" event needs a string \"activity\"");
+        }
+        const NamedAttrs in = to_named_attrs(ev.find("in"));
+        const NamedAttrs out = to_named_attrs(ev.find("out"));
+        monitor_.record(wid, act->as_string(), in, out);
+        if (monitor_.num_bad_events() == bad_before) {
+          if (store_.has_value()) store_->record(wid, act->as_string(), in, out);
+          ++applied;
+        }
+      } else if (kind == "end") {
+        monitor_.end_instance(wid);
+        if (monitor_.num_bad_events() == bad_before) {
+          if (store_.has_value()) store_->end_instance(wid);
+          ++applied;
+        }
+      } else {
+        throw Error("unknown event op \"" + kind + "\"");
+      }
+    } catch (const IoError& e) {
+      // The durable mirror failed: the monitor and the store no longer
+      // agree, so stop accepting writes rather than silently diverging.
+      ingest_enabled_ = false;
+      ingest_disabled_reason_ = std::string("store append failed: ") + e.what();
+      abort_error = e.what();
+      abort_status = 500;
+      break;
+    } catch (const std::exception& e) {
+      // Bad event under kReject, or a malformed event object: abort the
+      // rest of the request; prior events stay applied.
+      abort_error = e.what();
+      abort_status = 400;
+      break;
+    }
+  }
+
+  if (applied > 0) rebuild_state();
+
+  JsonValue out;
+  out.set("applied", applied);
+  out.set("wids", std::move(new_wids));
+  JsonArray bad;
+  for (const BadEvent& e : last_bad_) {
+    JsonValue b;
+    b.set("wid", static_cast<std::int64_t>(e.wid));
+    b.set("activity", e.activity);
+    b.set("reason", e.reason);
+    bad.emplace_back(std::move(b));
+  }
+  out.set("bad_events", std::move(bad));
+  out.set("records", monitor_.num_records());
+  if (abort_status != 0) {
+    out.set("error", abort_error);
+    return HttpResponse::json(abort_status, out.dump());
+  }
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse QueryService::handle_metrics(const HttpRequest&) const {
+  obs::Telemetry* t = obs::telemetry();
+  if (t == nullptr) {
+    return HttpResponse::error(503, "telemetry is not installed");
+  }
+  HttpResponse resp =
+      HttpResponse::text(200, to_prometheus_text(t->metrics.snapshot()));
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  return resp;
+}
+
+HttpResponse QueryService::handle_stats(const HttpRequest&) const {
+  JsonValue out;
+  const auto st = state();
+  out.set("records", st->log.has_value() ? st->log->size() : 0);
+  out.set("instances",
+          st->log.has_value() ? st->log->wids().size() : 0);
+  out.set("ingest_enabled", ingest_enabled_.load());
+  if (store_.has_value()) {
+    JsonValue s;
+    s.set("directory", store_->directory().string());
+    s.set("records", store_->num_records());
+    s.set("segments", store_->num_segments());
+    out.set("store", std::move(s));
+  } else {
+    out.set("store", JsonValue(nullptr));
+  }
+  if (server_ != nullptr) {
+    const ServerStats stats = server_->stats();
+    JsonValue s;
+    s.set("accepted", static_cast<std::int64_t>(stats.accepted));
+    s.set("served", static_cast<std::int64_t>(stats.served));
+    s.set("rejected", static_cast<std::int64_t>(stats.rejected));
+    s.set("bad_requests", static_cast<std::int64_t>(stats.bad_requests));
+    s.set("queue_depth", static_cast<std::int64_t>(stats.queue_depth));
+    s.set("draining", server_->draining());
+    out.set("server", std::move(s));
+  }
+  return HttpResponse::json(200, out.dump());
+}
+
+}  // namespace wflog::server

@@ -1,0 +1,120 @@
+#pragma once
+
+// QueryService — wfqd's application layer: owns the live log (a LogMonitor
+// fed by POST /ingest, optionally mirrored into a durable LogStore) and a
+// QueryEngine over the latest snapshot, and binds the HTTP endpoints:
+//
+//   POST /query    one pattern [+ where], per-request deadline/max-incidents
+//                  mapped onto EvalGuard via RunLimits
+//   POST /batch    N queries through run_batch (shared canonical subplans)
+//   POST /ingest   append begin/record/end events (monitor bad-event policy;
+//                  applied events are durably mirrored to the store)
+//   GET  /metrics  Prometheus text of the ambient MetricsRegistry
+//   GET  /stats    engine + store + server counters as JSON
+//   GET  /healthz  liveness
+//
+// Concurrency model: queries share an immutable snapshot (shared_ptr<const
+// State>) and run lock-free against it; ingest is serialized by a mutex,
+// appends through the monitor + store, then atomically publishes a fresh
+// snapshot. Readers in flight keep the old snapshot alive until they
+// finish — no reader/writer blocking, no dangling Log references.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/monitor.h"
+#include "log/store.h"
+#include "server/server.h"
+
+namespace wflog::server {
+
+struct ServiceOptions {
+  /// Engine-wide query options (optimize, eval semantics, ...). The
+  /// deadline/max_incidents inside are NOT used directly — the per-request
+  /// clamps below are.
+  QueryOptions engine;
+
+  /// Default and cap for per-request "deadline_ms". 0 default = no
+  /// deadline unless the client asks; the cap bounds what a client may
+  /// request (0 = uncapped).
+  std::int64_t default_deadline_ms = 0;
+  std::int64_t max_deadline_ms = 0;
+  /// Same for "max_incidents".
+  std::size_t default_max_incidents = 0;
+  std::size_t max_incidents_cap = 0;
+  /// Incident groups rendered per /query response unless the request sets
+  /// "limit" (bounds response size, not evaluation).
+  std::size_t default_render_limit = 1000;
+  /// Threads handed to run_batch for /batch requests.
+  std::size_t batch_threads = 1;
+  /// Ingest feed behavior (monitor.h). kReject turns a bad event into a
+  /// 400 aborting the rest of its request; kSkip/kQuarantine apply the
+  /// good events and report the bad ones in the response.
+  BadEventPolicy bad_event_policy = BadEventPolicy::kReject;
+};
+
+class QueryService {
+ public:
+  /// Serves `initial` (replayed into the monitor so ingest continues its
+  /// wid sequence). With a store, ingested events are mirrored durably;
+  /// the store's log must equal `initial` (wfqd opens the store and loads
+  /// it). `drain` comes from the HttpServer so in-flight evaluations stop
+  /// when the drain grace period expires.
+  QueryService(std::optional<Log> initial, ServiceOptions options,
+               CancelToken drain, std::optional<LogStore> store);
+
+  /// Registers every endpoint on the router.
+  void bind(Router& router, const HttpServer* server = nullptr);
+
+  /// Late-binds the server for /stats counters. The Router is moved INTO
+  /// HttpServer at construction, so bind() necessarily runs first; call
+  /// this after the server exists (and before start()).
+  void attach_server(const HttpServer* server) { server_ = server; }
+
+  std::size_t num_records() const;
+
+ private:
+  /// An immutable snapshot queries run against; replaced wholesale by
+  /// ingest. `log` is owned here so `engine` (which borrows it) can never
+  /// dangle while a request holds the shared_ptr.
+  struct State {
+    std::optional<Log> log;               // nullopt = empty log
+    std::unique_ptr<QueryEngine> engine;  // null iff log is empty
+  };
+
+  std::shared_ptr<const State> state() const;
+  void rebuild_state();
+  RunLimits limits_from(const class JsonValue& body) const;
+
+  HttpResponse handle_query(const HttpRequest& req);
+  HttpResponse handle_batch(const HttpRequest& req);
+  HttpResponse handle_ingest(const HttpRequest& req);
+  HttpResponse handle_metrics(const HttpRequest& req) const;
+  HttpResponse handle_stats(const HttpRequest& req) const;
+
+  ServiceOptions options_;
+  CancelToken drain_;
+  const HttpServer* server_ = nullptr;  // for /stats; borrowed
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+
+  std::mutex ingest_mu_;
+  LogMonitor monitor_;
+  std::optional<LogStore> store_;
+  std::vector<BadEvent> last_bad_;  // callback sink, under ingest_mu_
+  /// Atomic so /stats can read it without taking ingest_mu_ (which an
+  /// ingest holding the store open could pin for a while). Writes (and
+  /// the reason string) stay under ingest_mu_.
+  std::atomic<bool> ingest_enabled_{true};
+  std::string ingest_disabled_reason_;
+};
+
+}  // namespace wflog::server

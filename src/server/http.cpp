@@ -1,0 +1,246 @@
+#include "server/http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+
+#include "server/json.h"
+
+namespace wflog::server {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string connection = to_lower(header("connection"));
+  if (connection.find("close") != std::string::npos) return false;
+  if (version == "HTTP/1.0") {
+    return connection.find("keep-alive") != std::string::npos;
+  }
+  return true;  // HTTP/1.1 default
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::text(int status, std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.content_type = "text/plain; charset=utf-8";
+  r.body = std::move(body);
+  return r;
+}
+
+HttpResponse HttpResponse::error(int status, std::string_view message) {
+  std::string body = "{\"error\":";
+  json_append_quoted(body, message);
+  body += "}";
+  return json(status, std::move(body));
+}
+
+const char* status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+ParseState parse_request(std::string& buf, HttpRequest& out,
+                         const HttpLimits& limits, std::string& error) {
+  // Find the header/body boundary (tolerate LF-only clients).
+  std::size_t header_end = buf.find("\r\n\r\n");
+  std::size_t body_at = header_end + 4;
+  if (header_end == std::string::npos) {
+    header_end = buf.find("\n\n");
+    body_at = header_end + 2;
+  }
+  if (header_end == std::string::npos) {
+    if (buf.size() > limits.max_header_bytes) {
+      error = "request headers exceed " +
+              std::to_string(limits.max_header_bytes) + " bytes";
+      return ParseState::kHeaderTooLarge;
+    }
+    return ParseState::kNeedMore;
+  }
+  if (header_end > limits.max_header_bytes) {
+    error = "request headers exceed " +
+            std::to_string(limits.max_header_bytes) + " bytes";
+    return ParseState::kHeaderTooLarge;
+  }
+
+  HttpRequest req;
+
+  // Request line.
+  const std::string_view head(buf.data(), header_end);
+  std::size_t line_end = head.find('\n');
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view line = trim(head.substr(0, line_end));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    error = "malformed request line";
+    return ParseState::kBadRequest;
+  }
+  req.method = std::string(line.substr(0, sp1));
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(trim(line.substr(sp2 + 1)));
+  if (req.method.empty() || req.target.empty() ||
+      req.version.rfind("HTTP/", 0) != 0) {
+    error = "malformed request line";
+    return ParseState::kBadRequest;
+  }
+  // Ignore any query string: routing is path-only.
+  const std::size_t qs = req.target.find('?');
+  if (qs != std::string::npos) req.target.resize(qs);
+
+  // Header fields.
+  std::size_t pos = line_end == head.size() ? head.size() : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view raw = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (trim(raw).empty()) continue;
+    const std::size_t colon = raw.find(':');
+    if (colon == std::string_view::npos) {
+      error = "malformed header field";
+      return ParseState::kBadRequest;
+    }
+    std::string name = to_lower(trim(raw.substr(0, colon)));
+    if (name.empty()) {
+      error = "malformed header field";
+      return ParseState::kBadRequest;
+    }
+    req.headers.emplace_back(std::move(name),
+                             std::string(trim(raw.substr(colon + 1))));
+  }
+
+  // Body framing: Content-Length only.
+  if (!req.header("transfer-encoding").empty()) {
+    error = "chunked transfer encoding is not supported";
+    return ParseState::kBadRequest;
+  }
+  std::size_t content_length = 0;
+  const std::string_view cl = req.header("content-length");
+  if (!cl.empty()) {
+    const auto [ptr, ec] =
+        std::from_chars(cl.data(), cl.data() + cl.size(), content_length);
+    if (ec != std::errc{} || ptr != cl.data() + cl.size()) {
+      error = "invalid content-length";
+      return ParseState::kBadRequest;
+    }
+  }
+  if (content_length > limits.max_body_bytes) {
+    error = "request body of " + std::to_string(content_length) +
+            " bytes exceeds limit of " +
+            std::to_string(limits.max_body_bytes);
+    return ParseState::kBodyTooLarge;
+  }
+  if (buf.size() < body_at + content_length) return ParseState::kNeedMore;
+
+  req.body = buf.substr(body_at, content_length);
+  buf.erase(0, body_at + content_length);
+  out = std::move(req);
+  return ParseState::kDone;
+}
+
+std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_reason(resp.status) + "\r\n";
+  out += "content-type: " + resp.content_type + "\r\n";
+  out += "content-length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += keep_alive ? "connection: keep-alive\r\n" : "connection: close\r\n";
+  for (const auto& [k, v] : resp.extra_headers) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ::ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+long recv_some(int fd, std::string& buf, std::size_t max) {
+  char tmp[16 * 1024];
+  const std::size_t want = std::min(max, sizeof(tmp));
+  while (true) {
+    const ::ssize_t n = ::recv(fd, tmp, want, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    buf.append(tmp, static_cast<std::size_t>(n));
+    return static_cast<long>(n);
+  }
+}
+
+int poll_readable(int fd, int timeout_ms) {
+  ::pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) return -1;
+    if (r == 0) return 0;
+    return 1;
+  }
+}
+
+}  // namespace wflog::server

@@ -1,0 +1,88 @@
+#pragma once
+
+// Minimal HTTP/1.1 message layer for wfqd — no external dependencies, just
+// what a JSON query API needs:
+//
+//   * an INCREMENTAL request parser (parse_request) driven by the server's
+//     read loop: feed it the connection buffer, get kDone / kNeedMore or a
+//     typed error the caller maps to 400 / 413 / 431;
+//   * a response serializer with explicit keep-alive control;
+//   * tiny POSIX socket helpers (send_all / recv_some / poll_readable)
+//     shared by the server and the blocking test client.
+//
+// Scope: Content-Length bodies only (chunked uploads are rejected with
+// 411/400 — a query payload has a known size), no TLS, no compression.
+// Header names are lowercased at parse time so lookups are case-blind.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wflog::server {
+
+/// Caps a client can hit; both map to a 4xx, never to unbounded memory.
+struct HttpLimits {
+  std::size_t max_header_bytes = 16 * 1024;
+  std::size_t max_body_bytes = 8 * 1024 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "POST"
+  std::string target;   // request path, e.g. "/query"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowered
+  std::string body;
+
+  /// First header with `name` (lowercase), or empty.
+  std::string_view header(std::string_view name) const;
+  /// HTTP/1.1 default keep-alive, honoring "connection: close".
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+
+  static HttpResponse json(int status, std::string body);
+  static HttpResponse text(int status, std::string body);
+  /// {"error": message} with the given status.
+  static HttpResponse error(int status, std::string_view message);
+};
+
+const char* status_reason(int status) noexcept;
+
+enum class ParseState : std::uint8_t {
+  kDone,            // one full request extracted and consumed from `buf`
+  kNeedMore,        // valid prefix; read more bytes
+  kBadRequest,      // malformed request line / headers / length
+  kHeaderTooLarge,  // headers exceed limits.max_header_bytes (431)
+  kBodyTooLarge,    // declared body exceeds limits.max_body_bytes (413)
+};
+
+/// Attempts to extract one request from the front of `buf`. On kDone the
+/// request's bytes are REMOVED from `buf` (pipelined followers stay) and
+/// `out` is fully populated. On error, `error` explains for the response
+/// body. Tolerates bare-LF line endings.
+ParseState parse_request(std::string& buf, HttpRequest& out,
+                         const HttpLimits& limits, std::string& error);
+
+/// Serializes status line + headers + body, setting Content-Length and
+/// Connection per `keep_alive`.
+std::string serialize_response(const HttpResponse& resp, bool keep_alive);
+
+// ---- POSIX socket helpers (fd-based, used by server and client) ----------
+
+/// Writes everything (MSG_NOSIGNAL; EINTR retried). False on error/closed.
+bool send_all(int fd, std::string_view data);
+/// Reads once into `buf` (appending, up to `max`). Returns bytes read,
+/// 0 on orderly close, -1 on error.
+long recv_some(int fd, std::string& buf, std::size_t max = 64 * 1024);
+/// Waits until `fd` is readable. 1 = readable, 0 = timeout, -1 = error.
+int poll_readable(int fd, int timeout_ms);
+
+}  // namespace wflog::server

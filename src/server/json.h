@@ -1,0 +1,113 @@
+#pragma once
+
+// A small generic JSON layer for the query server (src/server/). The log
+// codecs (log/io_jsonl.cpp) carry their own record-shaped parser tuned for
+// the one line format they read; the server instead needs arbitrary
+// client-supplied documents — nested options objects, query arrays — so
+// this is a general recursive-descent parser over a tagged value tree.
+//
+// Design points:
+//   * JsonObject preserves insertion order (vector of pairs, not a map):
+//     responses render deterministically and small objects beat a map.
+//   * parse_json throws Error with a byte offset on malformed input; the
+//     HTTP layer maps that to a 400 with the message in the body.
+//   * dump() escapes per RFC 8259; non-finite doubles render as null
+//     (JSON has no NaN/Inf).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wflog::server {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+/// Insertion-ordered key/value object.
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;
+  JsonValue(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}  // NOLINT
+  JsonValue(std::int64_t i) : kind_(Kind::kInt), int_(i) {}  // NOLINT
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}  // NOLINT
+  JsonValue(std::size_t u)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kInt), int_(static_cast<std::int64_t>(u)) {}
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(s) {}
+  JsonValue(const char* s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kString), string_(s) {}
+  JsonValue(JsonArray a)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kArray), array_(std::move(a)) {}
+  JsonValue(JsonMembers m)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::kObject), members_(std::move(m)) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return kind_ == Kind::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  JsonArray& as_array() { return array_; }
+  const JsonMembers& members() const { return members_; }
+  JsonMembers& members() { return members_; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Appends a member (objects) — builder-style convenience.
+  void set(std::string key, JsonValue v);
+
+  /// Serializes compactly (no whitespace).
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  JsonArray array_;
+  JsonMembers members_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). Throws wflog::Error with a byte offset.
+JsonValue parse_json(std::string_view text);
+
+/// Appends `s` JSON-escaped, with surrounding quotes, to `out`.
+void json_append_quoted(std::string& out, std::string_view s);
+
+}  // namespace wflog::server

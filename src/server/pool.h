@@ -1,0 +1,80 @@
+#pragma once
+
+// A bounded MPMC queue — the admission-control heart of wfqd. The accept
+// loop try_push()es connections; when the queue is full the server answers
+// 503 + Retry-After instead of queuing unboundedly (load shedding at the
+// door, before any parsing or evaluation spends cycles on a request the
+// box cannot serve in time).
+//
+// close() wakes every blocked pop(); workers drain what was already queued
+// (those clients were admitted) and then see std::nullopt and exit.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace wflog::server {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when full or closed — the caller sheds the load.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed AND empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Drains everything queued right now (used at shutdown to close
+  /// never-started connections). Does not block.
+  std::deque<T> drain() {
+    std::lock_guard lock(mu_);
+    return std::exchange(items_, {});
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace wflog::server

@@ -1,0 +1,339 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "obs/telemetry.h"
+
+namespace wflog::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Closes a rejected/finished connection without racing the client: half-
+/// close our side, briefly drain whatever the client already sent (so the
+/// kernel does not RST our in-flight response away), then close.
+void close_gently(int fd) noexcept {
+  ::shutdown(fd, SHUT_WR);
+  std::string sink;
+  for (int i = 0; i < 5; ++i) {
+    if (poll_readable(fd, 10) != 1) break;
+    if (recv_some(fd, sink) <= 0) break;
+    if (sink.size() > 64 * 1024) break;  // don't sink forever
+    sink.clear();
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+// ----- Router --------------------------------------------------------------
+
+void Router::add(std::string method, std::string path, Handler handler) {
+  routes_.push_back(Route{std::move(method), std::move(path),
+                          std::move(handler)});
+}
+
+HttpResponse Router::dispatch(const HttpRequest& req) const {
+  bool path_seen = false;
+  for (const Route& r : routes_) {
+    if (r.path != req.target) continue;
+    path_seen = true;
+    if (r.method == req.method) return r.handler(req);
+  }
+  if (path_seen) {
+    return HttpResponse::error(405, "method " + req.method +
+                                        " not allowed on " + req.target);
+  }
+  return HttpResponse::error(404, "no such endpoint: " + req.target);
+}
+
+// ----- HttpServer ----------------------------------------------------------
+
+HttpServer::HttpServer(Router router, ServerOptions options)
+    : router_(std::move(router)), options_(std::move(options)) {
+  options_.threads = std::max<std::size_t>(options_.threads, 1);
+  options_.queue_capacity = std::max<std::size_t>(options_.queue_capacity, 1);
+  queue_ = std::make_unique<BoundedQueue<Conn>>(options_.queue_capacity);
+}
+
+HttpServer::~HttpServer() {
+  if (started_ && !joined_) {
+    request_shutdown();
+    wait();
+  }
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw IoError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    close_fd(listen_fd_);
+    throw IoError("invalid bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<::sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw IoError("bind to " + options_.bind_address + ":" +
+                  std::to_string(options_.port) + " failed: " + why);
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw IoError("listen failed: " + why);
+  }
+
+  // Resolve --port 0 (ephemeral) to the port the OS actually picked, so
+  // tests and scripts can always run collision-free.
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<::sockaddr*>(&addr),
+                    &len) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw IoError("getsockname failed: " + why);
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw IoError("pipe failed: " + why);
+  }
+
+  started_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.threads);
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void HttpServer::request_shutdown() noexcept {
+  // Signal-handler safe: one relaxed store + one pipe write, nothing else.
+  draining_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    [[maybe_unused]] const ::ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void HttpServer::wait() {
+  if (!started_ || joined_) return;
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  {
+    std::lock_guard lock(drain_mu_);
+    workers_done_ = true;
+  }
+  drain_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  joined_ = true;
+}
+
+void HttpServer::shutdown() {
+  request_shutdown();
+  wait();
+}
+
+ServerStats HttpServer::stats() const {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_->size();
+  return s;
+}
+
+void HttpServer::accept_loop() {
+  while (!draining()) {
+    ::pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown wake
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    Conn conn;
+    conn.fd = fd;
+    conn.last_active = Clock::now();
+    if (!queue_->try_push(std::move(conn))) {
+      // Admission control: shed at the door with an explicit retry hint
+      // rather than queuing unboundedly (the box is already saturated).
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      WFLOG_TELEMETRY(t) {
+        t->metrics
+            .counter("wflog_http_rejected_total",
+                     "Connections shed with 503 (request queue full)")
+            ->inc();
+      }
+      HttpResponse resp =
+          HttpResponse::error(503, "server overloaded, try again");
+      resp.extra_headers.emplace_back("retry-after", "1");
+      send_all(fd, serialize_response(resp, false));
+      close_gently(fd);
+    }
+  }
+
+  // Shutdown: refuse new connections, close what never got a worker, and
+  // give in-flight requests their grace period.
+  close_fd(listen_fd_);
+  queue_->close();
+  for (Conn& conn : queue_->drain()) ::close(conn.fd);
+
+  std::unique_lock lock(drain_mu_);
+  const bool drained = drain_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+      [&] { return workers_done_; });
+  if (!drained && options_.drain_cancel != nullptr) {
+    // Grace period expired: cooperatively cancel in-flight evaluations.
+    // Workers still write out the (partial) responses before exiting.
+    options_.drain_cancel->store(true);
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (std::optional<Conn> item = queue_->pop()) {
+    Conn conn = std::move(*item);
+    if (draining() && conn.buf.empty()) {
+      // Admitted but never started; during drain just let it go.
+      ::close(conn.fd);
+      continue;
+    }
+    if (serve_one(conn)) {
+      const int fd = conn.fd;
+      if (!queue_->try_push(std::move(conn))) ::close(fd);
+    } else {
+      close_gently(conn.fd);
+    }
+  }
+}
+
+bool HttpServer::serve_one(Conn& conn) {
+  // Nothing buffered: take one short slice to see if the client is
+  // talking. Idle keep-alive connections get re-queued (round-robin
+  // across workers) until idle_timeout_ms, not camped on.
+  if (conn.buf.empty()) {
+    const int r = poll_readable(conn.fd, draining() ? 0 : 20);
+    if (r < 0) return false;
+    if (r == 0) {
+      if (draining()) return false;
+      return Clock::now() - conn.last_active <
+             std::chrono::milliseconds(options_.idle_timeout_ms);
+    }
+    const long n = recv_some(conn.fd, conn.buf);
+    if (n <= 0) return false;  // orderly close or error
+  }
+  conn.last_active = Clock::now();
+
+  // One request is in flight: finish reading it within io_timeout_ms.
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  HttpRequest req;
+  std::string parse_error;
+  while (true) {
+    const ParseState state =
+        parse_request(conn.buf, req, options_.limits, parse_error);
+    if (state == ParseState::kDone) break;
+    if (state != ParseState::kNeedMore) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      const int status = state == ParseState::kBodyTooLarge  ? 413
+                         : state == ParseState::kHeaderTooLarge ? 431
+                                                                : 400;
+      if (send_all(conn.fd, serialize_response(
+                                HttpResponse::error(status, parse_error),
+                                false))) {
+        served_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) return false;  // client too slow; drop quietly
+    const int r = poll_readable(
+        conn.fd, static_cast<int>(std::min<long long>(left, 100)));
+    if (r < 0) return false;
+    if (r == 0) continue;
+    if (recv_some(conn.fd, conn.buf) <= 0) return false;
+  }
+
+  HttpResponse resp = dispatch_instrumented(req);
+  const bool keep = req.keep_alive() && !draining();
+  if (!send_all(conn.fd, serialize_response(resp, keep))) return false;
+  served_.fetch_add(1, std::memory_order_relaxed);
+  conn.last_active = Clock::now();
+  return keep;
+}
+
+HttpResponse HttpServer::dispatch_instrumented(const HttpRequest& req) {
+  WFLOG_SPAN(span, "http.request");
+  if (span.active()) {
+    span.arg("method", req.method);
+    span.arg("target", req.target);
+  }
+  const auto t0 = Clock::now();
+  HttpResponse resp;
+  try {
+    resp = router_.dispatch(req);
+  } catch (const std::exception& e) {
+    resp = HttpResponse::error(500, e.what());
+  }
+  WFLOG_TELEMETRY(t) {
+    t->metrics
+        .counter("wflog_http_requests_total", "HTTP requests dispatched")
+        ->inc();
+    t->metrics
+        .histogram("wflog_http_request_seconds",
+                   obs::default_latency_bounds(),
+                   "HTTP request handling latency")
+        ->observe(std::chrono::duration<double>(Clock::now() - t0).count());
+    if (resp.status >= 400) {
+      t->metrics
+          .counter("wflog_http_request_errors_total",
+                   "HTTP responses with status >= 400")
+          ->inc();
+    }
+  }
+  if (span.active()) {
+    span.arg("status", static_cast<std::uint64_t>(resp.status));
+  }
+  return resp;
+}
+
+}  // namespace wflog::server

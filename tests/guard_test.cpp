@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "core/aggregate.h"
 #include "core/engine.h"
 #include "core/guard.h"
+#include "core/join.h"
+#include "log/builder.h"
 #include "test_util.h"
 
 namespace wflog {
@@ -192,6 +195,187 @@ TEST(GuardTest, BatchAllGoodMatchesIndividualRuns) {
     EXPECT_EQ(batch.results[q].incidents.flatten(),
               engine.run(texts[q]).incidents.flatten())
         << texts[q];
+  }
+}
+
+// ----- guard coverage in the where / predicate / aggregation layers ------
+
+/// Three instances of a -> b where the attributes make the join succeed.
+Log attr_log() {
+  LogBuilder b;
+  for (int i = 0; i < 3; ++i) {
+    const Wid wid = b.begin_instance();
+    b.append(wid, "a", {}, {{"k", Value(std::int64_t{1})}});
+    b.append(wid, "b", {{"k", Value(std::int64_t{1})}}, {});
+    b.end_instance(wid);
+  }
+  return b.build();
+}
+
+TEST(GuardTest, WhereFilterStopsOnTrippedGuard) {
+  const Log log = attr_log();
+  const LogIndex index(log);
+  Evaluator ev(index);
+  const ParsedQuery q = parse_query("x:a -> y:b where x.out.k = y.in.k");
+  const IncidentSet all = ev.evaluate(*q.pattern);
+
+  const IncidentSet unguarded = filter_where(all, *q.pattern, *q.where, index);
+  EXPECT_EQ(unguarded.total(), 3u);
+
+  // A pre-cancelled guard must stop the where pass before the first
+  // incident is even examined — the filtered set is an (empty) prefix.
+  const CancelToken cancel = make_cancel_token();
+  cancel->store(true);
+  const EvalGuard guard(std::chrono::milliseconds{0}, 0, cancel);
+  const IncidentSet guarded =
+      filter_where(all, *q.pattern, *q.where, index, &guard);
+  EXPECT_EQ(guarded.total(), 0u);
+  EXPECT_EQ(guard.reason(), StopReason::kCancelled);
+}
+
+TEST(GuardTest, EngineRunFlagsWhereFilterTimeout) {
+  // Engine-level version: a cancel token set before the run means the
+  // guard trips during evaluation AND the subsequent where filtering —
+  // the result must still come back flagged, never throw.
+  const Log log = attr_log();
+  QueryOptions options;
+  options.cancel = make_cancel_token();
+  options.cancel->store(true);
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run("x:a -> y:b where x.out.k = y.in.k");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.cancelled());
+  EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(GuardTest, PredicateFilterPollsGuard) {
+  // A single-ATOM pattern with a predicate: evaluation is exactly
+  // eval_atom's occurrence scan, so a tripped guard must cut that scan
+  // short (this is the regression test for predicate filtering running
+  // unguarded — it used to scan all m records regardless).
+  constexpr std::size_t kRecords = 4096;
+  LogBuilder b;
+  const Wid wid = b.begin_instance();
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    b.append(wid, "a", {}, {{"k", Value(std::int64_t(i))}});
+  }
+  b.end_instance(wid);
+  const Log log = b.build();
+
+  QueryOptions options;
+  options.cancel = make_cancel_token();
+  options.cancel->store(true);
+  const QueryEngine engine(log, options);
+  const QueryResult r = engine.run("a[k >= 0]");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.cancelled());
+  // GuardPoll strides 256 iterations between checks, so a few incidents
+  // slip through before the first poll — but nowhere near all of them.
+  EXPECT_LT(r.total(), kRecords);
+}
+
+TEST(GuardTest, SlowPredicateRespectsDeadline) {
+  // The satellite's motivating case: predicate evaluation itself can be
+  // slow (string compares over long values), so the deadline must be
+  // polled inside the occurrence scan, not only between operators.
+  const std::string needle(64, 'x');
+  LogBuilder b;
+  const Wid wid = b.begin_instance();
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    b.append(wid, "a", {}, {{"tag", Value(std::string(needle))}});
+  }
+  b.end_instance(wid);
+  const Log log = b.build();
+
+  QueryOptions options;
+  options.deadline = std::chrono::milliseconds{1};
+  const QueryEngine engine(log, options);
+  const QueryResult r =
+      engine.run("a[tag = \"" + needle + "\"] -> a[tag = \"" + needle +
+                 "\"]");
+  EXPECT_TRUE(r.ok());
+  if (r.timed_out()) {
+    EXPECT_FALSE(r.complete());
+  } else {
+    // A machine fast enough to finish inside 1ms must return everything:
+    // C(50000, 2) pairs — in practice this branch never runs, but the
+    // guard contract (complete XOR flagged) is what we assert.
+    EXPECT_TRUE(r.complete());
+  }
+}
+
+TEST(GuardTest, GroupByStopsOnTrippedGuard) {
+  const Log log = attr_log();
+  const LogIndex index(log);
+  Evaluator ev(index);
+  const IncidentSet set = ev.evaluate(*parse_pattern("a -> b"));
+  const GroupKey key{"a", MapSel::kOut, "k"};
+
+  const std::vector<GroupCount> unguarded =
+      group_by_attribute(set, index, key);
+  ASSERT_EQ(unguarded.size(), 1u);
+  EXPECT_EQ(unguarded[0].instances, 3u);
+
+  const CancelToken cancel = make_cancel_token();
+  cancel->store(true);
+  const EvalGuard guard(std::chrono::milliseconds{0}, 0, cancel);
+  const std::vector<GroupCount> guarded =
+      group_by_attribute(set, index, key, &guard);
+  EXPECT_TRUE(guarded.empty());
+  EXPECT_EQ(guard.reason(), StopReason::kCancelled);
+}
+
+// ----- per-call RunLimits over engine-wide defaults ----------------------
+
+TEST(GuardTest, RunLimitsOverrideUnlimitedEngine) {
+  // The engine has no limits; a per-call deadline must still bound the run.
+  const Log log = all_a_log(600);
+  const QueryEngine engine(log);
+  RunLimits limits;
+  limits.deadline = std::chrono::milliseconds{1};
+  const QueryResult r = engine.run(kWorstCase, limits);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.timed_out());
+  EXPECT_LT(r.total(), 600u * 599u * 598u / 6);
+}
+
+TEST(GuardTest, RunLimitsLoosenTightEngineDefault) {
+  // Per-call limits REPLACE the engine default field-by-field, so one
+  // caller can run with a generous budget on an engine configured tight.
+  const Log log = all_a_log(40);
+  QueryOptions options;
+  options.deadline = std::chrono::milliseconds{1};
+  const QueryEngine engine(log, options);
+  RunLimits limits;
+  limits.deadline = std::chrono::minutes{10};
+  const QueryResult r = engine.run(kWorstCase, limits);
+  EXPECT_TRUE(r.complete());
+  EXPECT_EQ(r.total(), 40u * 39u * 38u / 6);
+}
+
+TEST(GuardTest, RunLimitsCancelToken) {
+  const Log log = all_a_log(kM);
+  const QueryEngine engine(log);
+  RunLimits limits;
+  limits.cancel = make_cancel_token();
+  limits.cancel->store(true);
+  const QueryResult r = engine.run(kWorstCase, limits);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.cancelled());
+}
+
+TEST(GuardTest, BatchRunLimitsApplyToEverySlot) {
+  const Log log = all_a_log(kM);
+  const QueryEngine engine(log);
+  RunLimits limits;
+  limits.max_incidents = 500;
+  const std::vector<std::string> texts = {kWorstCase, "a -> a"};
+  const BatchResult batch =
+      engine.run_batch(texts, /*threads=*/1, /*use_cache=*/true, limits);
+  ASSERT_EQ(batch.results.size(), 2u);
+  for (const QueryResult& r : batch.results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.stop_reason, StopReason::kIncidentBudget);
   }
 }
 

@@ -22,10 +22,17 @@ echo "== tier 1b: robustness label (fault injection + crash torture) =="
 ctest --test-dir "$repo/build" --output-on-failure -L robustness \
   --timeout "$timeout" "$@"
 
+echo "== tier 1c: server label (HTTP daemon over live sockets) =="
+ctest --test-dir "$repo/build" --output-on-failure -L server \
+  --timeout "$timeout" "$@"
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 
 echo "== tier 2b: robustness label under ASan/UBSan =="
 (cd "$repo" && ctest --preset asan-ubsan -L robustness --timeout "$timeout" "$@")
+
+echo "== tier 2c: server label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L server --timeout "$timeout" "$@")
 
 echo "== CI green =="

@@ -221,6 +221,49 @@ class StoreTortureTest : public ::testing::Test {
   fs::path dir_;
 };
 
+TEST_F(StoreTortureTest, CrashBetweenManifestRenameAndDirFsync) {
+  // Strict-POSIX durability: a rename is a directory-entry update, and
+  // directory entries are only durable after the PARENT DIRECTORY is
+  // fsynced. FaultIo models that window — a crash after the rename but
+  // before the dir fsync rolls the rename back. This test pins the store
+  // to the model: (a) every manifest swap is immediately followed by the
+  // parent-dir fsync, and (b) losing exactly that window still recovers
+  // to a correct store.
+  fs::remove_all(dir_);
+  auto dry = std::make_shared<FaultIo>();
+  {
+    std::vector<AckedEvent> acked;
+    LogStore store =
+        LogStore::create(dir_, torture_options(FsyncPolicy::kPerAppend, dry));
+    ASSERT_TRUE(run_workload(store, acked));
+  }
+  const std::vector<std::string> trace = dry->op_trace();
+  fs::remove_all(dir_);
+
+  // In a clean run every rename is the MANIFEST.tmp -> MANIFEST swap.
+  std::vector<std::uint64_t> dir_fsync_ops;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i] != "rename") continue;
+    ASSERT_LT(i + 1, trace.size());
+    EXPECT_EQ(trace[i + 1], "sync_dir")
+        << "manifest rename (op " << i + 1
+        << ") not followed by a parent-directory fsync";
+    dir_fsync_ops.push_back(i + 2);  // trace is 0-based, ops are 1-based
+  }
+  // create() plus two segment rolls = at least three manifest swaps.
+  ASSERT_GE(dir_fsync_ops.size(), 3u);
+
+  // Crash ON each dir fsync: the rename happened in the kernel but never
+  // became durable, so power loss (kDropUnsynced) undoes it. Recovery
+  // must still see a correct store — the PREVIOUS manifest governs, every
+  // acked record survives (they live in segment files named by it).
+  for (const std::uint64_t op : dir_fsync_ops) {
+    torture_once(FsyncPolicy::kPerAppend, op,
+                 FaultIo::CrashLoss::kDropUnsynced);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 TEST_F(StoreTortureTest, PerAppendNeverLosesAckedRecords) {
   run_matrix(FsyncPolicy::kPerAppend);
 }
