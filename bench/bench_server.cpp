@@ -14,6 +14,13 @@
 // Output, one line per worker count:
 //   workers=4 clients=8 requests=1600 errors=0 wall=1.23s
 //     throughput=1300 req/s p50=5.91ms p95=8.02ms p99=9.77ms
+//
+// Repeated-query mode (E20): the same small query set re-issued over and
+// over — the workload the cross-request result cache (server/cache.h)
+// exists for. Runs the identical closed loop twice, against a cache-off
+// and a cache-on server, and reports the p50/throughput ratio:
+//
+//   bench_server repeat [clients] [requests-per-client] [instances]
 
 #include <algorithm>
 #include <chrono>
@@ -23,6 +30,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,7 +58,8 @@ struct RunResult {
 };
 
 RunResult drive(std::uint16_t port, std::size_t clients,
-                std::size_t requests_per_client, const std::string& body) {
+                std::size_t requests_per_client,
+                const std::vector<std::string>& bodies) {
   std::vector<std::vector<double>> lat(clients);
   std::vector<std::size_t> errs(clients, 0);
   std::vector<std::thread> threads;
@@ -60,6 +69,7 @@ RunResult drive(std::uint16_t port, std::size_t clients,
       try {
         server::HttpClient client("127.0.0.1", port, /*timeout_ms=*/30000);
         for (std::size_t i = 0; i < requests_per_client; ++i) {
+          const std::string& body = bodies[i % bodies.size()];
           const auto start = Clock::now();
           const server::ClientResponse resp = client.post("/query", body);
           const auto end = Clock::now();
@@ -89,15 +99,91 @@ RunResult drive(std::uint16_t port, std::size_t clients,
   return out;
 }
 
+void print_run(const char* label, std::size_t workers, std::size_t clients,
+               std::size_t total_requests, RunResult& r) {
+  const double total = static_cast<double>(r.latencies_ms.size());
+  std::printf(
+      "%sworkers=%zu clients=%zu requests=%zu errors=%zu wall=%.2fs\n"
+      "  throughput=%.0f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+      label, workers, clients, total_requests, r.errors, r.wall_s,
+      r.wall_s > 0 ? total / r.wall_s : 0.0,
+      percentile(r.latencies_ms, 0.50), percentile(r.latencies_ms, 0.95),
+      percentile(r.latencies_ms, 0.99));
+}
+
+/// E20: the same small query set re-issued in a closed loop, measured
+/// against a cache-off and then a cache-on server (identical otherwise).
+int run_repeat_mode(std::size_t clients, std::size_t requests,
+                    std::size_t instances) {
+  // A mixed-but-small working set: repeats dominate, as in a dashboard
+  // or alerting workload re-evaluating fixed patterns.
+  const std::vector<std::string> bodies = {
+      R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})",
+      R"({"query": "CreatePO -> ReceiveGoods -> Pay", "limit": 0})",
+      R"({"query": "ApprovePO | Dispute", "limit": 0})",
+      R"({"query": "ReceiveGoods & ReceiveInvoice", "limit": 0})",
+  };
+  const std::size_t workers = 4;
+  std::printf("bench_server repeat: procurement(%zu) = %zu records, "
+              "%zu distinct queries\n",
+              instances, workload::procurement(instances).size(),
+              bodies.size());
+
+  std::vector<RunResult> runs;
+  for (const bool cache_on : {false, true}) {
+    server::ServiceOptions svc;
+    svc.cache_bytes = cache_on ? std::size_t{64} << 20 : 0;
+    server::ServerOptions opts;
+    opts.port = 0;
+    opts.threads = workers;
+    opts.queue_capacity = 256;
+    server::QueryService service(workload::procurement(instances), svc,
+                                 opts.drain_cancel, std::nullopt);
+    server::Router router;
+    service.bind(router);
+    server::HttpServer http(std::move(router), std::move(opts));
+    service.attach_server(&http);
+    http.start();
+
+    drive(http.port(), clients, 2, bodies);  // warm-up (and cache fill)
+    RunResult r = drive(http.port(), clients, requests, bodies);
+    http.shutdown();
+    print_run(cache_on ? "cache=on  " : "cache=off ", workers, clients,
+              clients * requests, r);
+    runs.push_back(std::move(r));
+  }
+
+  const double p50_off = percentile(runs[0].latencies_ms, 0.50);
+  const double p50_on = percentile(runs[1].latencies_ms, 0.50);
+  const double thr_off =
+      runs[0].wall_s > 0
+          ? static_cast<double>(runs[0].latencies_ms.size()) / runs[0].wall_s
+          : 0.0;
+  const double thr_on =
+      runs[1].wall_s > 0
+          ? static_cast<double>(runs[1].latencies_ms.size()) / runs[1].wall_s
+          : 0.0;
+  std::printf("cache speedup: p50 %.1fx, throughput %.1fx\n",
+              p50_on > 0 ? p50_off / p50_on : 0.0,
+              thr_off > 0 ? thr_on / thr_off : 0.0);
+  return (runs[0].errors + runs[1].errors) == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool repeat_mode = argc > 1 && std::string_view(argv[1]) == "repeat";
+  if (repeat_mode) {
+    --argc;
+    ++argv;
+  }
   const std::size_t clients =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 8;
   const std::size_t requests =
       argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 200;
   const std::size_t instances =
       argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 200;
+  if (repeat_mode) return run_repeat_mode(clients, requests, instances);
 
   const std::string body =
       R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})";
@@ -123,19 +209,11 @@ int main(int argc, char** argv) {
     http.start();
 
     // Warm up connections + engine caches outside the measured window.
-    drive(http.port(), clients, 2, body);
-    RunResult r = drive(http.port(), clients, requests, body);
+    drive(http.port(), clients, 2, {body});
+    RunResult r = drive(http.port(), clients, requests, {body});
     http.shutdown();
 
-    const double total =
-        static_cast<double>(r.latencies_ms.size());
-    std::printf(
-        "workers=%zu clients=%zu requests=%zu errors=%zu wall=%.2fs\n"
-        "  throughput=%.0f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
-        workers, clients, clients * requests, r.errors, r.wall_s,
-        r.wall_s > 0 ? total / r.wall_s : 0.0,
-        percentile(r.latencies_ms, 0.50), percentile(r.latencies_ms, 0.95),
-        percentile(r.latencies_ms, 0.99));
+    print_run("", workers, clients, clients * requests, r);
   }
   return 0;
 }

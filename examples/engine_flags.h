@@ -10,6 +10,10 @@
 //   --deadline-ms N        wall-clock budget per evaluation (wfq: every
 //                          query/batch run; wfqd: the per-request default)
 //   --max-incidents N      emitted-incident budget, same scoping
+//   --cache-mb N           result-cache byte budget in MiB (wfqd's
+//                          cross-request plan/result cache; default 64.
+//                          wfq runs one query and ignores it)
+//   --cache-off            disable the result cache entirely
 //
 // strip_engine_flags() pulls these out of argv (position-independent) so
 // each binary's own argument parsing never sees them; TelemetryScope owns
@@ -40,6 +44,15 @@ struct EngineFlags {
   bool metrics = false;
   std::chrono::milliseconds deadline{0};
   std::size_t max_incidents = 0;
+  /// Result-cache budget (wfqd; MiB). wfq accepts and ignores these so a
+  /// command line can move between the binaries unchanged.
+  std::size_t cache_mb = 64;
+  bool cache_off = false;
+
+  /// ServiceOptions::cache_bytes value the flags ask for.
+  std::size_t cache_bytes() const {
+    return cache_off ? 0 : cache_mb * std::size_t{1024} * 1024;
+  }
 
   bool wants_telemetry() const {
     return !trace_path.empty() || metrics || !metrics_json_path.empty();
@@ -73,6 +86,11 @@ inline EngineFlags strip_engine_flags(int argc, char** argv,
       flags.deadline = std::chrono::milliseconds{std::atoll(argv[++i])};
     } else if (flag == "--max-incidents" && i + 1 < argc) {
       flags.max_incidents = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (flag == "--cache-mb" && i + 1 < argc) {
+      flags.cache_mb = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (flags.cache_mb == 0) flags.cache_off = true;
+    } else if (flag == "--cache-off") {
+      flags.cache_off = true;
     } else {
       args.push_back(argv[i]);
     }

@@ -25,6 +25,12 @@
 //   [--max-deadline-ms N]    cap on per-request deadlines (binds even
 //                            requests that ask for "unlimited")
 //   [--max-incidents-cap N]  cap on per-request incident budgets
+//   [--cache-mb N]       cross-request result-cache budget in MiB
+//                        (default 64); [--cache-off] disables it. Cached
+//                        hits answer /query and /batch without touching
+//                        the evaluator; ingest invalidates by snapshot
+//                        version; "Cache-Control: no-cache" bypasses per
+//                        request; responses carry "X-Wfq-Cache: hit|miss".
 //
 // Shared flags (engine_flags.h): --trace/--metrics/--metrics-json write
 // telemetry on exit; --deadline-ms/--max-incidents set the PER-REQUEST
@@ -64,7 +70,8 @@ using namespace wflog;
          "shared flags: --trace <out.json>  --metrics  --metrics-json "
          "<file>\n"
          "              --deadline-ms N  --max-incidents N  (per-request "
-         "defaults)\n";
+         "defaults)\n"
+         "              --cache-mb N (default 64)  --cache-off\n";
   std::exit(2);
 }
 
@@ -93,6 +100,7 @@ int main(int argc, char** argv) {
   svc.engine.max_incidents = 0;
   svc.default_deadline_ms = flags.deadline.count();
   svc.default_max_incidents = flags.max_incidents;
+  svc.cache_bytes = flags.cache_bytes();
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string flag = args[i];

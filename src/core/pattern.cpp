@@ -141,11 +141,24 @@ void flatten_chain(const Pattern& p, PatternOp chain_op,
 
 void append_key(const Pattern& p, std::string& out) {
   if (p.is_atom()) {
+    // Free text (the activity name and the predicate's attribute / literal
+    // strings) is length-prefixed so no embedded operator or bracket glyph
+    // can make two structurally different patterns concatenate to the same
+    // key. Activity names are identifier-restricted today, but predicate
+    // attrs/literals are arbitrary bytes — without the prefix,
+    //   {a:t[exists x]|a:u[exists y]}
+    // is reachable both as a three-way choice and as ONE atom whose
+    // predicate attr literally contains "x]|a:u[exists y".
     out += p.negated() ? "n:" : "a:";
+    out += std::to_string(p.activity().size());
+    out += ':';
     out += p.activity();
     if (p.predicate() != nullptr) {
+      const std::string pred = p.predicate()->to_string();
       out += '[';
-      out += p.predicate()->to_string();
+      out += std::to_string(pred.size());
+      out += ':';
+      out += pred;
       out += ']';
     }
     return;

@@ -147,8 +147,11 @@ class Pattern {
 /// the batch engine (core/batch.h): subtrees with equal keys are computed
 /// once per instance and reused across every query of a batch.
 ///
-/// Grammar of the key (unambiguous by bracket kind):
-///   atom              a:NAME | n:NAME, then [pred-text] when present
+/// Grammar of the key (unambiguous by bracket kind; free text is
+/// length-prefixed so embedded operator/bracket bytes in names or
+/// predicate text can never collide with structure):
+///   atom              a:LEN:NAME | n:LEN:NAME,
+///                     then [LEN:pred-text] when a predicate is present
 ///   temporal chain    ( k1 op k2 op k3 ... )   op in { . , -> }
 ///   choice chain      { k1 | k2 | ... }        operands sorted
 ///   parallel chain    < k1 & k2 & ... >        operands sorted

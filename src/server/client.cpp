@@ -80,22 +80,28 @@ void HttpClient::connect_or_throw() {
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-ClientResponse HttpClient::get(const std::string& target) {
-  return request("GET", target, "", "");
+ClientResponse HttpClient::get(const std::string& target,
+                               const Headers& extra) {
+  return request("GET", target, "", "", extra);
 }
 
 ClientResponse HttpClient::post(const std::string& target,
                                 const std::string& body,
-                                const std::string& content_type) {
-  return request("POST", target, body, content_type);
+                                const std::string& content_type,
+                                const Headers& extra) {
+  return request("POST", target, body, content_type, extra);
 }
 
 ClientResponse HttpClient::request(const std::string& method,
                                    const std::string& target,
                                    const std::string& body,
-                                   const std::string& content_type) {
+                                   const std::string& content_type,
+                                   const Headers& extra) {
   std::string wire = method + " " + target + " HTTP/1.1\r\n";
   wire += "host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const auto& [name, value] : extra) {
+    wire += name + ": " + value + "\r\n";
+  }
   if (!body.empty() || method == "POST") {
     if (!content_type.empty()) {
       wire += "content-type: " + content_type + "\r\n";
@@ -105,14 +111,18 @@ ClientResponse HttpClient::request(const std::string& method,
   wire += "\r\n";
   wire += body;
 
+  // Retry across a dead keep-alive connection only when replaying cannot
+  // double-apply: GET/HEAD by HTTP semantics, anything else only if zero
+  // request bytes left this process (checked inside try_once).
+  const bool idempotent = method == "GET" || method == "HEAD";
   const bool fresh = fd_ < 0;
   if (fresh) connect_or_throw();
-  if (std::optional<ClientResponse> r = try_once(wire, fresh)) return *r;
-  // The reused keep-alive connection was already dead (the server timed it
-  // out or drained). Nothing was received, so retrying on a fresh
-  // connection cannot double-apply the request.
+  if (std::optional<ClientResponse> r = try_once(wire, fresh, idempotent)) {
+    return *r;
+  }
   connect_or_throw();
-  std::optional<ClientResponse> r = try_once(wire, /*fresh_connection=*/true);
+  std::optional<ClientResponse> r =
+      try_once(wire, /*fresh_connection=*/true, idempotent);
   if (!r.has_value()) {
     disconnect();
     throw IoError("client: connection closed before any response");
@@ -122,7 +132,8 @@ ClientResponse HttpClient::request(const std::string& method,
 
 ClientResponse HttpClient::raw(const std::string& bytes) {
   if (fd_ < 0) connect_or_throw();
-  std::optional<ClientResponse> r = try_once(bytes, /*fresh_connection=*/true);
+  std::optional<ClientResponse> r =
+      try_once(bytes, /*fresh_connection=*/true, /*idempotent=*/false);
   if (!r.has_value()) {
     disconnect();
     throw IoError("client: connection closed before any response");
@@ -131,21 +142,35 @@ ClientResponse HttpClient::raw(const std::string& bytes) {
 }
 
 std::optional<ClientResponse> HttpClient::try_once(const std::string& wire,
-                                                   bool fresh_connection) {
-  if (!send_all(fd_, wire)) {
+                                                   bool fresh_connection,
+                                                   bool idempotent) {
+  std::size_t written = 0;
+  if (!send_all(fd_, wire, &written)) {
     if (fresh_connection) {
       disconnect();
       throw IoError(std::string("client: send failed: ") +
                     std::strerror(errno));
     }
-    return std::nullopt;  // stale keep-alive — caller reconnects
+    if (!idempotent && written > 0) {
+      // Part of a non-idempotent request reached the wire before the
+      // connection died; the server may act on it. Replaying would risk a
+      // double-submit (e.g. duplicate /ingest records) — surface instead.
+      disconnect();
+      throw IoError(
+          "client: connection lost mid-request; not retried "
+          "(non-idempotent request was partially sent)");
+    }
+    return std::nullopt;  // stale keep-alive, nothing sent — reconnect
   }
   try {
     return read_response();
   } catch (const IoError&) {
     if (fresh_connection) throw;
-    // EOF with no bytes on a reused connection: the idle close race.
-    if (buf_.empty()) return std::nullopt;
+    // EOF before any response bytes on a reused connection. For GET/HEAD
+    // this is the classic idle-close race and a replay is safe. For POST
+    // the request was FULLY written — the server may have processed it and
+    // died before answering, so a silent replay could double-apply it.
+    if (buf_.empty() && idempotent) return std::nullopt;
     throw;
   }
 }

@@ -7,8 +7,11 @@
 // NOT thread-safe: concurrent load generators use one client per thread.
 // If the server closed the idle connection between requests (keep-alive
 // races are inherent to HTTP), the client transparently reconnects and
-// retries once — but only when the request had not been sent at all, so
-// non-idempotent requests are never silently replayed.
+// retries once — but only when that is provably safe: the method is
+// idempotent (GET/HEAD), or no byte of the request reached the socket.
+// A fully-written POST whose connection then dies is NOT replayed — the
+// server may already have applied it (e.g. /ingest), and a silent retry
+// would double-submit; the caller gets an IoError and decides.
 
 #include <cstdint>
 #include <optional>
@@ -35,12 +38,17 @@ class HttpClient {
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
-  ClientResponse get(const std::string& target);
+  /// Extra request headers, e.g. {{"cache-control", "no-cache"}}.
+  using Headers = std::vector<std::pair<std::string, std::string>>;
+
+  ClientResponse get(const std::string& target, const Headers& extra = {});
   ClientResponse post(const std::string& target, const std::string& body,
-                      const std::string& content_type = "application/json");
+                      const std::string& content_type = "application/json",
+                      const Headers& extra = {});
   ClientResponse request(const std::string& method, const std::string& target,
                          const std::string& body,
-                         const std::string& content_type);
+                         const std::string& content_type,
+                         const Headers& extra = {});
 
   /// Sends raw bytes verbatim and reads one response — for feeding the
   /// server deliberately malformed requests in tests. No retry.
@@ -54,10 +62,12 @@ class HttpClient {
  private:
   void connect_or_throw();
   /// Writes `wire` and parses one response. Returns nullopt when the
-  /// connection turned out to be dead before anything was received AND
-  /// nothing of the request had been acknowledged — the retry-once case.
+  /// connection turned out to be dead AND a retry is provably safe: the
+  /// method is idempotent, or zero request bytes reached the socket.
+  /// Unsafe-to-retry failures throw instead.
   std::optional<ClientResponse> try_once(const std::string& wire,
-                                         bool fresh_connection);
+                                         bool fresh_connection,
+                                         bool idempotent);
   ClientResponse read_response();
 
   std::string host_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "core/optimizer.h"
 #include "core/printer.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
@@ -100,6 +101,46 @@ std::size_t read_size(const JsonValue& body, std::string_view key,
   return static_cast<std::size_t>(v->as_int());
 }
 
+/// Per-request cache opt-out: "Cache-Control: no-cache" skips the lookup
+/// (the response is freshly evaluated) but the fresh result is still
+/// stored — standard HTTP revalidation semantics.
+bool no_cache_requested(const HttpRequest& req) {
+  return req.header("cache-control").find("no-cache") !=
+         std::string_view::npos;
+}
+
+void set_cache_header(HttpResponse& resp, bool hit) {
+  resp.extra_headers.emplace_back("x-wfq-cache", hit ? "hit" : "miss");
+}
+
+/// A cache hit may have been populated by a DIFFERENT (canonically equal)
+/// spelling of the pattern, whose stored trees would leak the populating
+/// query's text through the "pattern"/"optimized" echo fields. Re-derive
+/// both from the request's own parse — the optimizer is deterministic and
+/// runs without touching the log, so a hit stays byte-identical to what an
+/// uncached evaluation of THIS spelling would have returned.
+void reecho_pattern_texts(JsonValue& slot, const Query& q,
+                          const QueryEngine& engine,
+                          const QueryResult& cached) {
+  const std::string req_text = to_text(*q.pattern);
+  if (cached.parsed != nullptr && to_text(*cached.parsed) == req_text) {
+    return;  // the entry was populated by this very spelling
+  }
+  PatternPtr executed = q.pattern;
+  if (engine.options().optimize) {
+    executed =
+        optimize(q.pattern, engine.cost_model(), engine.options().optimizer)
+            .pattern;
+  }
+  for (auto& [k, v] : slot.members()) {
+    if (k == "pattern") {
+      v = JsonValue(req_text);
+    } else if (k == "optimized") {
+      v = JsonValue(to_text(*executed));
+    }
+  }
+}
+
 }  // namespace
 
 QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
@@ -118,6 +159,12 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
         return mo;
       }()),
       store_(std::move(store)) {
+  if (options_.cache_bytes > 0) {
+    CacheOptions co;
+    co.max_bytes = options_.cache_bytes;
+    co.shards = options_.cache_shards;
+    cache_ = std::make_unique<ResultCache>(co);
+  }
   // Replay the initial log into the monitor so ingest continues its wid
   // sequence. The replay asserts wid identity: LogMonitor assigns wids
   // sequentially, so a log whose wids are not 1..N cannot be extended
@@ -158,6 +205,7 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
 
   // Initial snapshot straight from the given log (no revalidation).
   auto state = std::make_shared<State>();
+  state->version = version_seq_;
   if (initial.has_value() && initial->size() > 0) {
     state->log = std::move(initial);
     state->engine =
@@ -178,6 +226,7 @@ std::size_t QueryService::num_records() const {
 
 void QueryService::rebuild_state() {
   auto fresh = std::make_shared<State>();
+  fresh->version = ++version_seq_;
   if (monitor_.num_records() > 0) {
     fresh->log = monitor_.snapshot();
     fresh->engine =
@@ -265,14 +314,42 @@ HttpResponse QueryService::handle_query(const HttpRequest& req) {
       out.set("incidents", JsonArray{});
       return HttpResponse::json(200, out.dump());
     }
-    QueryResult r = st->engine->run(query_text, limits);
+    const bool cache_on = cache_ != nullptr && cache_->enabled();
+    std::shared_ptr<const QueryResult> result;
+    std::optional<Query> parsed;
+    bool cache_hit = false;
+    if (cache_on) {
+      // Parse-first path: the cache key needs the Query, and
+      // run(pattern, where) produces the same result run(text) would
+      // (the text overload is parse + this call).
+      parsed = Query::parse(query_text);
+      const std::string key = ResultCache::key(*parsed, st->version);
+      if (!no_cache_requested(req)) {
+        result = cache_->lookup(key, limits);
+        cache_hit = result != nullptr;
+      }
+      if (result == nullptr) {
+        auto fresh = std::make_shared<QueryResult>(
+            st->engine->run(parsed->pattern, parsed->where, limits));
+        cache_->insert(key, fresh, limits);
+        result = std::move(fresh);
+      }
+    } else {
+      result = std::make_shared<QueryResult>(
+          st->engine->run(query_text, limits));
+    }
     JsonValue out;
     out.set("query", query_text);
-    JsonValue rendered = render_result(r, render_limit);
+    JsonValue rendered = render_result(*result, render_limit);
+    if (cache_hit) {
+      reecho_pattern_texts(rendered, *parsed, *st->engine, *result);
+    }
     for (auto& [k, v] : rendered.members()) {
       out.set(k, std::move(v));
     }
-    return HttpResponse::json(200, out.dump());
+    HttpResponse resp = HttpResponse::json(200, out.dump());
+    if (cache_on) set_cache_header(resp, cache_hit);
+    return resp;
   } catch (const ParseError& e) {
     return HttpResponse::error(400, e.what());
   } catch (const QueryError& e) {
@@ -326,10 +403,79 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
     return HttpResponse::json(200, out.dump());
   }
 
-  const BatchResult batch =
-      st->engine->run_batch(texts, threads, /*use_cache=*/true, limits);
-  for (const QueryResult& r : batch.results) {
-    results.emplace_back(render_result(r, render_limit));
+  const bool cache_on = cache_ != nullptr && cache_->enabled();
+  if (!cache_on) {
+    const BatchResult batch =
+        st->engine->run_batch(texts, threads, /*use_cache=*/true, limits);
+    for (const QueryResult& r : batch.results) {
+      results.emplace_back(render_result(r, render_limit));
+    }
+    out.set("results", std::move(results));
+
+    JsonValue stats;
+    stats.set("queries", batch.stats.plan.num_queries);
+    stats.set("total_nodes", batch.stats.plan.total_nodes);
+    stats.set("distinct_slots", batch.stats.plan.distinct_slots);
+    stats.set("shared_nodes", batch.stats.plan.shared_nodes());
+    stats.set("cache_hits", static_cast<std::int64_t>(batch.cache_hits()));
+    stats.set("cache_misses",
+              static_cast<std::int64_t>(batch.cache_misses()));
+    stats.set("threads_used", batch.stats.threads_used);
+    stats.set("eval_us", batch.eval_us);
+    out.set("stats", std::move(stats));
+    return HttpResponse::json(200, out.dump());
+  }
+
+  // Cached path: serve each slot from the cache when possible; the misses
+  // still go through ONE run_batch call so intra-batch canonical sharing
+  // is preserved among them. Slot rendering is identical to the uncached
+  // path (render_result), so answers are bit-identical either way; only
+  // the "stats" block shrinks to describe the pass that actually ran.
+  const bool bypass = no_cache_requested(req);
+  std::vector<std::shared_ptr<const QueryResult>> slots(texts.size());
+  std::vector<std::string> keys(texts.size());
+  std::vector<std::optional<Query>> hit_query(texts.size());
+  std::vector<Query> miss_queries;
+  std::vector<std::size_t> miss_index;
+  std::size_t served_hits = 0;
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    try {
+      Query q = Query::parse(texts[i]);
+      keys[i] = ResultCache::key(q, st->version);
+      if (!bypass) slots[i] = cache_->lookup(keys[i], limits);
+      if (slots[i] != nullptr) {
+        ++served_hits;
+        hit_query[i] = std::move(q);
+      } else {
+        miss_index.push_back(i);
+        miss_queries.push_back(std::move(q));
+      }
+    } catch (const std::exception& e) {
+      // Same error-slot isolation (and message) the text overload of
+      // run_batch produces; parse failures are never cached.
+      auto err = std::make_shared<QueryResult>();
+      err->error = e.what();
+      slots[i] = std::move(err);
+    }
+  }
+
+  BatchResult batch;
+  if (!miss_queries.empty()) {
+    batch = st->engine->run_batch(std::span<const Query>(miss_queries),
+                                  threads, /*use_cache=*/true, limits);
+    for (std::size_t j = 0; j < miss_index.size(); ++j) {
+      auto r = std::make_shared<QueryResult>(std::move(batch.results[j]));
+      cache_->insert(keys[miss_index[j]], r, limits);
+      slots[miss_index[j]] = std::move(r);
+    }
+  }
+
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    JsonValue rendered = render_result(*slots[i], render_limit);
+    if (hit_query[i].has_value()) {
+      reecho_pattern_texts(rendered, *hit_query[i], *st->engine, *slots[i]);
+    }
+    results.emplace_back(std::move(rendered));
   }
   out.set("results", std::move(results));
 
@@ -339,11 +485,16 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
   stats.set("distinct_slots", batch.stats.plan.distinct_slots);
   stats.set("shared_nodes", batch.stats.plan.shared_nodes());
   stats.set("cache_hits", static_cast<std::int64_t>(batch.cache_hits()));
-  stats.set("cache_misses", static_cast<std::int64_t>(batch.cache_misses()));
+  stats.set("cache_misses",
+            static_cast<std::int64_t>(batch.cache_misses()));
   stats.set("threads_used", batch.stats.threads_used);
   stats.set("eval_us", batch.eval_us);
+  stats.set("result_cache_hits", served_hits);
+  stats.set("result_cache_misses", miss_index.size());
   out.set("stats", std::move(stats));
-  return HttpResponse::json(200, out.dump());
+  HttpResponse resp = HttpResponse::json(200, out.dump());
+  set_cache_header(resp, served_hits == texts.size());
+  return resp;
 }
 
 HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
@@ -482,6 +633,23 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
   out.set("instances",
           st->log.has_value() ? st->log->wids().size() : 0);
   out.set("ingest_enabled", ingest_enabled_.load());
+  out.set("snapshot_version", static_cast<std::int64_t>(st->version));
+  if (cache_ != nullptr) {
+    const CacheStats cs = cache_->stats();
+    JsonValue c;
+    c.set("enabled", cache_->enabled());
+    c.set("hits", static_cast<std::int64_t>(cs.hits));
+    c.set("misses", static_cast<std::int64_t>(cs.misses));
+    c.set("insertions", static_cast<std::int64_t>(cs.insertions));
+    c.set("evictions", static_cast<std::int64_t>(cs.evictions));
+    c.set("limit_rejects", static_cast<std::int64_t>(cs.limit_rejects));
+    c.set("entries", cs.entries);
+    c.set("bytes", cs.bytes);
+    c.set("max_bytes", cs.max_bytes);
+    out.set("cache", std::move(c));
+  } else {
+    out.set("cache", JsonValue(nullptr));
+  }
   if (store_.has_value()) {
     JsonValue s;
     s.set("directory", store_->directory().string());

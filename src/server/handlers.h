@@ -31,6 +31,7 @@
 #include "core/engine.h"
 #include "core/monitor.h"
 #include "log/store.h"
+#include "server/cache.h"
 #include "server/server.h"
 
 namespace wflog::server {
@@ -58,6 +59,13 @@ struct ServiceOptions {
   /// 400 aborting the rest of its request; kSkip/kQuarantine apply the
   /// good events and report the bad ones in the response.
   BadEventPolicy bad_event_policy = BadEventPolicy::kReject;
+  /// Byte budget of the cross-request result cache (server/cache.h).
+  /// 0 = caching off: /query and /batch behave exactly as before and no
+  /// X-Wfq-Cache header is emitted. wfqd enables it by default
+  /// (--cache-mb / --cache-off).
+  std::size_t cache_bytes = 0;
+  /// Shards of the result cache (contention knob; clamped to >= 1).
+  std::size_t cache_shards = 8;
 };
 
 class QueryService {
@@ -87,6 +95,10 @@ class QueryService {
   struct State {
     std::optional<Log> log;               // nullopt = empty log
     std::unique_ptr<QueryEngine> engine;  // null iff log is empty
+    /// Monotonic snapshot version; part of every cache key, so an ingest
+    /// that publishes a new snapshot implicitly invalidates all cached
+    /// results (old-version entries age out of the LRU).
+    std::uint64_t version = 1;
   };
 
   std::shared_ptr<const State> state() const;
@@ -102,11 +114,16 @@ class QueryService {
   ServiceOptions options_;
   CancelToken drain_;
   const HttpServer* server_ = nullptr;  // for /stats; borrowed
+  /// Null when options_.cache_bytes == 0 (cache off).
+  std::unique_ptr<ResultCache> cache_;
 
   mutable std::mutex state_mu_;
   std::shared_ptr<const State> state_;
 
   std::mutex ingest_mu_;
+  /// Next snapshot version (mutated in rebuild_state, which runs from the
+  /// constructor and then only under ingest_mu_).
+  std::uint64_t version_seq_ = 1;
   LogMonitor monitor_;
   std::optional<LogStore> store_;
   std::vector<BadEvent> last_bad_;  // callback sink, under ingest_mu_

@@ -205,6 +205,11 @@ std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
 }
 
 bool send_all(int fd, std::string_view data) {
+  return send_all(fd, data, nullptr);
+}
+
+bool send_all(int fd, std::string_view data, std::size_t* written) {
+  if (written != nullptr) *written = 0;
   while (!data.empty()) {
     const ::ssize_t n =
         ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
@@ -213,6 +218,7 @@ bool send_all(int fd, std::string_view data) {
       return false;
     }
     if (n == 0) return false;
+    if (written != nullptr) *written += static_cast<std::size_t>(n);
     data.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;

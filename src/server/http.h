@@ -79,6 +79,10 @@ std::string serialize_response(const HttpResponse& resp, bool keep_alive);
 
 /// Writes everything (MSG_NOSIGNAL; EINTR retried). False on error/closed.
 bool send_all(int fd, std::string_view data);
+/// As above, reporting how many bytes actually reached the socket before
+/// success/failure — lets a client distinguish "nothing was sent" (safe to
+/// retry any request) from "the server may have seen part of it".
+bool send_all(int fd, std::string_view data, std::size_t* written);
 /// Reads once into `buf` (appending, up to `max`). Returns bytes read,
 /// 0 on orderly close, -1 on error.
 long recv_some(int fd, std::string& buf, std::size_t max = 64 * 1024);

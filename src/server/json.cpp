@@ -1,6 +1,7 @@
 #include "server/json.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,6 +13,46 @@ namespace {
 /// Nesting cap: client-supplied documents must not be able to overflow the
 /// parser's stack with ten thousand open brackets.
 constexpr int kMaxDepth = 64;
+
+/// Decodes one UTF-8 sequence starting at s[i]. On success returns its
+/// length (1-4) and sets `cp`; returns 0 on any malformation — truncated
+/// sequence, bad continuation byte, overlong encoding, surrogate code
+/// point, or a value past U+10FFFF (RFC 3629). ASCII is the 1-byte case.
+std::size_t decode_utf8(std::string_view s, std::size_t i,
+                        std::uint32_t& cp) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(s[k]));
+  };
+  const std::uint32_t b0 = byte(i);
+  if (b0 < 0x80) {
+    cp = b0;
+    return 1;
+  }
+  std::size_t len = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+  } else {
+    return 0;  // continuation byte or 0xF8+ lead
+  }
+  if (i + len > s.size()) return 0;  // truncated
+  for (std::size_t k = 1; k < len; ++k) {
+    const std::uint32_t b = byte(i + k);
+    if ((b & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  static constexpr std::uint32_t kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (cp < kMin[len]) return 0;                  // overlong
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;    // surrogate half
+  if (cp > 0x10FFFF) return 0;                   // past Unicode
+  return len;
+}
 
 class Parser {
  public:
@@ -128,7 +169,19 @@ class Parser {
         fail("raw control character in string");
       }
       if (c != '\\') {
-        out.push_back(c);
+        if (static_cast<unsigned char>(c) < 0x80) {
+          out.push_back(c);
+          continue;
+        }
+        // Non-ASCII: require a well-formed UTF-8 sequence. Accepting raw
+        // malformed bytes would store text the emitter cannot re-encode
+        // as valid JSON — reject rather than corrupt (RFC 8259 §8.1).
+        --pos_;
+        std::uint32_t cp = 0;
+        const std::size_t len = decode_utf8(text_, pos_, cp);
+        if (len == 0) fail("invalid UTF-8 in string");
+        out.append(text_.substr(pos_, len));
+        pos_ += len;
         continue;
       }
       if (pos_ >= text_.size()) fail("unterminated escape");
@@ -256,24 +309,45 @@ void JsonValue::set(std::string key, JsonValue v) {
 
 void json_append_quoted(std::string& out, std::string_view s) {
   out.push_back('"');
-  for (const char c : s) {
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 0x20) {
+      // Remaining control characters: \uXXXX per RFC 8259 §7.
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(u));
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (u < 0x80) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass well-formed UTF-8 through verbatim; each malformed
+    // byte becomes U+FFFD so the emitted document is always valid JSON
+    // (the parser refuses such bytes on ingest, but strings can also
+    // originate from CSV logs or stores the parser never saw).
+    std::uint32_t cp = 0;
+    const std::size_t len = decode_utf8(s, i, cp);
+    if (len == 0) {
+      out += "\xEF\xBF\xBD";
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
     }
   }
   out.push_back('"');

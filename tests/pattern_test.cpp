@@ -222,6 +222,45 @@ TEST(CanonicalKeyTest, InequivalentFixturesDoNotCollide) {
   }
 }
 
+TEST(CanonicalKeyTest, FreeTextCannotForgeStructure) {
+  // Regression: keys were built by raw concatenation, so predicate text
+  // containing key syntax could make ONE atom spell out the same bytes as
+  // a structurally different pattern. Under the old format,
+  //   s | (t[exists x] | u[exists y])   and
+  //   s | t[exists "x]|a:u[exists y"]
+  // both keyed as {a:s|a:t[exists x]|a:u[exists y]}. Length prefixes on
+  // the activity name and predicate text make the key injective.
+  const PatternPtr three_way =
+      A("s") |
+      (Pattern::atom("t", false, Predicate::exists(MapSel::kAny, "x")) |
+       Pattern::atom("u", false, Predicate::exists(MapSel::kAny, "y")));
+  // The attr that collided under the old concatenation format...
+  const PatternPtr forged_old =
+      A("s") | Pattern::atom("t", false,
+                             Predicate::exists(MapSel::kAny,
+                                               "x]|a:u[exists y"));
+  // ...and the best attempt against the length-prefixed format (it cannot
+  // work: the prefix pins the predicate's extent).
+  const PatternPtr forged_new =
+      A("s") | Pattern::atom("t", false,
+                             Predicate::exists(MapSel::kAny,
+                                               "x]|a:1:u[8:exists y"));
+  for (const PatternPtr& forged : {forged_old, forged_new}) {
+    EXPECT_NE(canonical_key(*three_way), canonical_key(*forged));
+    EXPECT_NE(canonical_hash(*three_way), canonical_hash(*forged));
+  }
+}
+
+TEST(CanonicalKeyTest, HashFollowsFixedKey) {
+  // canonical_hash must stay a pure function of canonical_key.
+  const PatternPtr p =
+      Pattern::atom("a", false, Predicate::exists(MapSel::kAny, "x"));
+  const PatternPtr q =
+      Pattern::atom("a", false, Predicate::exists(MapSel::kAny, "x"));
+  EXPECT_EQ(canonical_key(*p), canonical_key(*q));
+  EXPECT_EQ(canonical_hash(*p), canonical_hash(*q));
+}
+
 TEST(CanonicalKeyTest, BindingNamesAreIgnored) {
   // Bindings never affect incident semantics, so keys (the sharing unit)
   // must not see them.

@@ -26,6 +26,13 @@ echo "== tier 1c: server label (HTTP daemon over live sockets) =="
 ctest --test-dir "$repo/build" --output-on-failure -L server \
   --timeout "$timeout" "$@"
 
+echo "== tier 1d: cache label (cross-request result cache) =="
+ctest --test-dir "$repo/build" --output-on-failure -L cache \
+  --timeout "$timeout" "$@"
+
+echo "== tier 1e: bench_server repeated-query smoke (cache on vs off) =="
+"$repo/build/bench/bench_server" repeat 4 50 50
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 
@@ -34,5 +41,17 @@ echo "== tier 2b: robustness label under ASan/UBSan =="
 
 echo "== tier 2c: server label under ASan/UBSan =="
 (cd "$repo" && ctest --preset asan-ubsan -L server --timeout "$timeout" "$@")
+
+echo "== tier 2d: cache label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L cache --timeout "$timeout" "$@")
+
+echo "== tier 2e: bench_server repeated-query smoke under ASan/UBSan =="
+# The sanitize preset builds tests only; flip the bench tree on for the
+# one binary this smoke needs.
+cmake --preset asan-ubsan -S "$repo" -DWFLOG_BUILD_BENCH=ON
+cmake --build --preset asan-ubsan -j "$(nproc)" --target bench_server
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  "$repo/build-sanitize/bench/bench_server" repeat 2 20 20
 
 echo "== CI green =="
