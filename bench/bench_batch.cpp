@@ -155,6 +155,49 @@ void BM_ClinicBatch6NoCache(benchmark::State& state) {
             clinic_queries(), 1, false);
 }
 
+// E21: wid-sharded scatter/gather (core/shard.h). One heavy run() and the
+// shared batch, each swept over the engine's shard count — results are
+// byte-identical across the sweep (shard_test proves it); this measures
+// only the latency shape. Speedup is bounded by physical cores.
+void run_sharded(benchmark::State& state, const Log& log,
+                 std::size_t shards) {
+  QueryOptions options = bench_options();
+  options.shards = shards;
+  const QueryEngine engine(log, options);
+  for (auto _ : state) {
+    const QueryResult r =
+        engine.run("GetRefer -> SeeDoctor -> GetReimburse");
+    benchmark::DoNotOptimize(r);
+    state.counters["incidents"] = static_cast<double>(r.total());
+  }
+  state.counters["shards"] = static_cast<double>(engine.shards());
+}
+
+void BM_ClinicRunSharded(benchmark::State& state) {
+  run_sharded(state, clinic_sized(static_cast<std::size_t>(state.range(0))),
+              static_cast<std::size_t>(state.range(1)));
+}
+
+void BM_ClinicBatch6Sharded(benchmark::State& state) {
+  const Log& log = clinic_sized(static_cast<std::size_t>(state.range(0)));
+  QueryOptions options = bench_options();
+  options.shards = static_cast<std::size_t>(state.range(1));
+  const QueryEngine engine(log, options);
+  for (auto _ : state) {
+    const BatchResult r = engine.run_batch(clinic_queries(), 1, true);
+    benchmark::DoNotOptimize(r);
+  }
+  report(state, engine, clinic_queries(), true);
+}
+
+void shard_sweep(benchmark::internal::Benchmark* b) {
+  for (int n : {1000, 10000}) {
+    for (int k : {1, 2, 4, 8}) {
+      b->Args({n, k});
+    }
+  }
+}
+
 void instance_sweep(benchmark::internal::Benchmark* b) {
   for (int n : {100, 1000, 10000}) {
     b->Arg(n);
@@ -168,5 +211,7 @@ BENCHMARK(BM_ProcurementBatch8Threads4)->Apply(instance_sweep);
 BENCHMARK(BM_ClinicSequential6)->Apply(instance_sweep);
 BENCHMARK(BM_ClinicBatch6)->Apply(instance_sweep);
 BENCHMARK(BM_ClinicBatch6NoCache)->Apply(instance_sweep);
+BENCHMARK(BM_ClinicRunSharded)->Apply(shard_sweep);
+BENCHMARK(BM_ClinicBatch6Sharded)->Apply(shard_sweep);
 
 }  // namespace

@@ -21,6 +21,14 @@
 // and a cache-on server, and reports the p50/throughput ratio:
 //
 //   bench_server repeat [clients] [requests-per-client] [instances]
+//
+// Shard-sweep mode (E21): one heavy query, fixed worker pool, sweeping
+// the engine's wid-shard count {1, 2, 4, 8} — how scatter/gather
+// evaluation (core/shard.h) changes per-request latency behind the
+// server. Results are byte-identical across the sweep by construction;
+// only the timing moves:
+//
+//   bench_server shards [clients] [requests-per-client] [instances]
 
 #include <algorithm>
 #include <chrono>
@@ -169,11 +177,52 @@ int run_repeat_mode(std::size_t clients, std::size_t requests,
   return (runs[0].errors + runs[1].errors) == 0 ? 0 : 1;
 }
 
+/// E21: sweep the engine's wid-shard count under a fixed HTTP worker
+/// pool. The per-request win is bounded by the machine's cores — on a
+/// single-core host the sweep measures scatter overhead, not speedup.
+int run_shards_mode(std::size_t clients, std::size_t requests,
+                    std::size_t instances) {
+  const std::string body =
+      R"({"query": "GetRefer -> SeeDoctor -> GetReimburse", "limit": 0})";
+  const std::size_t workers = 4;
+  std::printf("bench_server shards: clinic(%zu) = %zu records, query %s\n",
+              instances, workload::clinic(instances).size(), body.c_str());
+
+  std::size_t errors = 0;
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    server::ServiceOptions svc;
+    svc.engine.shards = shards;
+    server::ServerOptions opts;
+    opts.port = 0;
+    opts.threads = workers;
+    opts.queue_capacity = 256;
+    server::QueryService service(workload::clinic(instances), svc,
+                                 opts.drain_cancel, std::nullopt);
+    server::Router router;
+    service.bind(router);
+    server::HttpServer http(std::move(router), std::move(opts));
+    service.attach_server(&http);
+    http.start();
+
+    drive(http.port(), clients, 2, {body});  // warm-up
+    RunResult r = drive(http.port(), clients, requests, {body});
+    http.shutdown();
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "shards=%zu ", shards);
+    print_run(label, workers, clients, clients * requests, r);
+    errors += r.errors;
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool repeat_mode = argc > 1 && std::string_view(argv[1]) == "repeat";
-  if (repeat_mode) {
+  const bool shards_mode = argc > 1 && std::string_view(argv[1]) == "shards";
+  if (repeat_mode || shards_mode) {
     --argc;
     ++argv;
   }
@@ -184,6 +233,7 @@ int main(int argc, char** argv) {
   const std::size_t instances =
       argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 200;
   if (repeat_mode) return run_repeat_mode(clients, requests, instances);
+  if (shards_mode) return run_shards_mode(clients, requests, instances);
 
   const std::string body =
       R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})";

@@ -14,6 +14,9 @@
 //                          cross-request plan/result cache; default 64.
 //                          wfq runs one query and ignores it)
 //   --cache-off            disable the result cache entirely
+//   --shards N             wid-shards per evaluation (core/shard.h);
+//                          default 0 = hardware concurrency, 1 = serial.
+//                          Results are byte-identical for every N.
 //
 // strip_engine_flags() pulls these out of argv (position-independent) so
 // each binary's own argument parsing never sees them; TelemetryScope owns
@@ -48,6 +51,10 @@ struct EngineFlags {
   /// command line can move between the binaries unchanged.
   std::size_t cache_mb = 64;
   bool cache_off = false;
+  /// Wid-shards per evaluation: 0 = hardware concurrency (the CLI
+  /// default — the paper-faithful serial engine stays the LIBRARY
+  /// default), 1 = serial, K = scatter/gather over K shards.
+  std::size_t shards = 0;
 
   /// ServiceOptions::cache_bytes value the flags ask for.
   std::size_t cache_bytes() const {
@@ -58,11 +65,12 @@ struct EngineFlags {
     return !trace_path.empty() || metrics || !metrics_json_path.empty();
   }
 
-  /// QueryOptions with the guard flags folded in.
+  /// QueryOptions with the guard and shard flags folded in.
   QueryOptions query_options() const {
     QueryOptions opts;
     opts.deadline = deadline;
     opts.max_incidents = max_incidents;
+    opts.shards = shards;
     return opts;
   }
 };
@@ -91,6 +99,8 @@ inline EngineFlags strip_engine_flags(int argc, char** argv,
       if (flags.cache_mb == 0) flags.cache_off = true;
     } else if (flag == "--cache-off") {
       flags.cache_off = true;
+    } else if (flag == "--shards" && i + 1 < argc) {
+      flags.shards = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       args.push_back(argv[i]);
     }

@@ -32,6 +32,11 @@
 //   --max-incidents N      stop after emitting ~N incidents (Theorem 1
 //                          memory guard); same partial-result semantics
 //
+// Sharding flag (query/batch/exists/count/repl, stripped before dispatch):
+//   --shards N             evaluate over N wid-disjoint shards on a worker
+//                          pool (core/shard.h); 0 = hardware concurrency
+//                          (default), 1 = serial. Byte-identical results.
+//
 // Pattern syntax: activity names; operators . (consecutive), -> (sequential),
 // | (choice), & (parallel); ! negation; [attr op value] predicates.
 
@@ -98,7 +103,9 @@ void report_partial(const QueryResult& r) {
          "<out.{csv,jsonl,xes}>\n"
          "global flags (any command): --trace <out.json>  --metrics  "
          "--metrics-json <file>\n"
-         "guard flags (query/batch):  --deadline-ms N  --max-incidents N\n";
+         "guard flags (query/batch):  --deadline-ms N  --max-incidents N\n"
+         "shard flag (evaluating commands): --shards N (0 = hw "
+         "concurrency, 1 = serial)\n";
   std::exit(2);
 }
 
@@ -212,7 +219,7 @@ int cmd_batch(const std::string& path, const std::string& queries_path,
 
 int cmd_exists(const std::string& path, const std::string& pattern) {
   const Log log = load_log(path);
-  QueryEngine engine(log);
+  QueryEngine engine(log, guarded_options());
   const bool found = engine.exists(pattern);
   std::cout << (found ? "yes" : "no") << "\n";
   return found ? 0 : 1;
@@ -220,7 +227,7 @@ int cmd_exists(const std::string& path, const std::string& pattern) {
 
 int cmd_count(const std::string& path, const std::string& pattern) {
   const Log log = load_log(path);
-  QueryEngine engine(log);
+  QueryEngine engine(log, guarded_options());
   std::cout << engine.count(pattern) << "\n";
   return 0;
 }
@@ -280,7 +287,7 @@ int cmd_audit(const std::string& path) {
 
 int cmd_repl(const std::string& path) {
   const Log log = load_log(path);
-  QueryEngine engine(log);
+  QueryEngine engine(log, guarded_options());
   std::cout << "loaded " << log.size() << " records, "
             << log.wids().size()
             << " instances. Enter patterns (:q quits, :stats, :explain "

@@ -31,6 +31,11 @@
 //                        the evaluator; ingest invalidates by snapshot
 //                        version; "Cache-Control: no-cache" bypasses per
 //                        request; responses carry "X-Wfq-Cache: hit|miss".
+//   [--shards N]         wid-shards per evaluation (core/shard.h): every
+//                        request's queries scatter over N shard workers
+//                        and gather byte-identical answers. 0 = hardware
+//                        concurrency (default), 1 = serial. Cache keys are
+//                        shard-count-independent.
 //
 // Shared flags (engine_flags.h): --trace/--metrics/--metrics-json write
 // telemetry on exit; --deadline-ms/--max-incidents set the PER-REQUEST
@@ -71,7 +76,8 @@ using namespace wflog;
          "<file>\n"
          "              --deadline-ms N  --max-incidents N  (per-request "
          "defaults)\n"
-         "              --cache-mb N (default 64)  --cache-off\n";
+         "              --cache-mb N (default 64)  --cache-off\n"
+         "              --shards N (0 = hw concurrency, 1 = serial)\n";
   std::exit(2);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/shard.h"
+
 namespace wflog {
 
 std::vector<InstanceCount> incidents_per_instance(const IncidentSet& set) {
@@ -84,6 +86,56 @@ std::vector<GroupCount> group_by_attribute(const IncidentSet& set,
               return a.key.compare(b.key) < 0;
             });
   return groups;
+}
+
+std::vector<GroupCount> combine_groups(
+    std::vector<std::vector<GroupCount>> partials) {
+  std::vector<GroupCount> merged;
+  for (std::vector<GroupCount>& partial : partials) {
+    for (GroupCount& g : partial) {
+      auto it = std::find_if(
+          merged.begin(), merged.end(),
+          [&g](const GroupCount& m) { return m.key == g.key; });
+      if (it == merged.end()) {
+        merged.push_back(std::move(g));
+      } else {
+        it->instances += g.instances;
+        it->incidents += g.incidents;
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const GroupCount& a, const GroupCount& b) {
+              return a.key.compare(b.key) < 0;
+            });
+  return merged;
+}
+
+std::vector<GroupCount> group_by_attribute_sharded(const IncidentSet& set,
+                                                   const LogIndex& index,
+                                                   const GroupKey& key,
+                                                   std::size_t num_shards,
+                                                   ShardPool* pool) {
+  // Scatter: each shard folds the groups whose wid hashes to it. The
+  // incident-set groups are wid-disjoint, so the slices partition `set`
+  // and the combine below is exact, not approximate.
+  const std::size_t k = std::max<std::size_t>(1, num_shards);
+  std::vector<std::vector<GroupCount>> partials(k);
+  const auto fold_shard = [&](std::size_t s) {
+    IncidentSet slice;
+    for (const IncidentSet::Group& g : set.groups()) {
+      if (shard_of_wid(g.wid, k) == s && !g.incidents.empty()) {
+        slice.add_group(g.wid, g.incidents);
+      }
+    }
+    partials[s] = group_by_attribute(slice, index, key);
+  };
+  if (pool != nullptr) {
+    pool->run(k, fold_shard);
+  } else {
+    for (std::size_t s = 0; s < k; ++s) fold_shard(s);
+  }
+  return combine_groups(std::move(partials));
 }
 
 std::string render_groups(const std::vector<GroupCount>& groups) {

@@ -54,4 +54,25 @@ std::vector<GroupCount> group_by_attribute(const IncidentSet& set,
 /// Renders a group-by result as an aligned two-column table.
 std::string render_groups(const std::vector<GroupCount>& groups);
 
+class ShardPool;
+
+/// Combine semantics for scatter/gather aggregation: merges per-shard
+/// partial group-bys into one result — groups with equal keys sum their
+/// instance/incident tallies, output sorted ascending by key. Because
+/// group-by counts are commutative monoids over wid-disjoint inputs,
+/// combine(partials over a wid-partition of S) == group_by_attribute(S).
+std::vector<GroupCount> combine_groups(
+    std::vector<std::vector<GroupCount>> partials);
+
+/// Sharded group-by: folds each wid-shard's slice of `set` independently
+/// (scattered on `pool` when given, serial otherwise) and combines.
+/// Bit-identical to group_by_attribute(set, index, key) for every
+/// num_shards. No guard: the caller guards the evaluation that produced
+/// `set`; the fold itself is linear in the group count.
+std::vector<GroupCount> group_by_attribute_sharded(const IncidentSet& set,
+                                                   const LogIndex& index,
+                                                   const GroupKey& key,
+                                                   std::size_t num_shards,
+                                                   ShardPool* pool = nullptr);
+
 }  // namespace wflog

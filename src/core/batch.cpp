@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "core/parallel_eval.h"
+#include "core/shard.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 
@@ -45,13 +47,19 @@ std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
   const std::vector<Wid>& wids = index.wids();
   const std::size_t threads =
       resolve_worker_count(options.threads, wids.size());
+  const ShardPlan* splan =
+      options.shard_plan != nullptr && options.shard_plan->num_shards() > 1
+          ? options.shard_plan
+          : nullptr;
 
   const BatchPlan plan(patterns);
 
   // per_wid[i][q] = incidents of query q in instance wids[i]. Workers
   // write disjoint i's, so no synchronization is needed beyond the join.
   std::vector<std::vector<IncidentList>> per_wid(wids.size());
-  std::vector<EvalCounters> per_wid_counters(wids.size());
+  // One slot per outer work unit (shard or instance).
+  std::vector<EvalCounters> unit_counters(
+      splan != nullptr ? splan->num_shards() : wids.size());
 
   // Per-query failure isolation, shared across workers: once a query
   // throws anywhere, every worker skips it (its partial lists are
@@ -60,33 +68,70 @@ std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
   std::vector<std::string> errors(num_queries);
   std::mutex errors_mu;
 
-  parallel_for_instances(
-      wids.size(), threads, [&](std::size_t i) {
-        if (options.guard != nullptr && options.guard->stopped()) return;
-        const Evaluator ev(index, options.eval);
-        SubpatternMemo memo = plan.make_memo();
-        SubpatternMemo* memo_ptr = options.use_cache ? &memo : nullptr;
-        std::vector<IncidentList>& lists = per_wid[i];
-        lists.resize(num_queries);
-        for (std::size_t q = 0; q < num_queries; ++q) {
-          if (patterns[q] == nullptr ||
-              failed[q].load(std::memory_order_relaxed)) {
-            continue;
-          }
-          try {
-            lists[q] = ev.evaluate_instance(*patterns[q], wids[i],
-                                            memo_ptr, nullptr,
-                                            options.guard);
-          } catch (const std::exception& e) {
-            if (!failed[q].exchange(true, std::memory_order_relaxed)) {
-              const std::lock_guard<std::mutex> lock(errors_mu);
-              errors[q] = e.what();
-            }
-            lists[q].clear();
-          }
+  // The whole batch for ONE instance, with whatever evaluator/memo the
+  // outer scheduler hands in. Identical between the instance-unit and
+  // shard-unit paths, so results cannot depend on the scheduler.
+  const auto eval_instance = [&](const Evaluator& ev, SubpatternMemo* memo,
+                                 std::size_t i) {
+    std::vector<IncidentList>& lists = per_wid[i];
+    lists.resize(num_queries);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      if (patterns[q] == nullptr ||
+          failed[q].load(std::memory_order_relaxed)) {
+        continue;
+      }
+      try {
+        lists[q] = ev.evaluate_instance(*patterns[q], wids[i], memo,
+                                        nullptr, options.guard);
+      } catch (const std::exception& e) {
+        if (!failed[q].exchange(true, std::memory_order_relaxed)) {
+          const std::lock_guard<std::mutex> lock(errors_mu);
+          errors[q] = e.what();
         }
-        per_wid_counters[i] = ev.counters();
-      });
+        lists[q].clear();
+      }
+    }
+  };
+
+  if (splan != nullptr) {
+    WFLOG_TELEMETRY(t) {
+      t->shard_evals_total->inc();
+      t->shard_tasks_total->add(splan->num_shards());
+    }
+    const auto shard_task = [&](std::size_t s) {
+      WFLOG_SPAN(span, "shard.task");
+      const ShardPlan::Shard& shard = splan->shard(s);
+      const Evaluator ev(index, options.eval);
+      SubpatternMemo memo = plan.make_memo();
+      SubpatternMemo* memo_ptr = options.use_cache ? &memo : nullptr;
+      for (std::size_t j = 0; j < shard.wids.size(); ++j) {
+        if (options.guard != nullptr && options.guard->stopped()) {
+          WFLOG_TELEMETRY(t) { t->shard_cancelled_total->inc(); }
+          break;
+        }
+        if (memo_ptr != nullptr) memo_ptr->reset();
+        eval_instance(ev, memo_ptr, shard.global[j]);
+      }
+      unit_counters[s] = ev.counters();
+      if (span.active()) {
+        span.arg("shard", static_cast<std::uint64_t>(s));
+        span.arg("instances", static_cast<std::uint64_t>(shard.wids.size()));
+      }
+    };
+    if (options.shard_pool != nullptr) {
+      options.shard_pool->run(splan->num_shards(), shard_task);
+    } else {
+      for (std::size_t s = 0; s < splan->num_shards(); ++s) shard_task(s);
+    }
+  } else {
+    parallel_for_instances(wids.size(), threads, [&](std::size_t i) {
+      if (options.guard != nullptr && options.guard->stopped()) return;
+      const Evaluator ev(index, options.eval);
+      SubpatternMemo memo = plan.make_memo();
+      eval_instance(ev, options.use_cache ? &memo : nullptr, i);
+      unit_counters[i] = ev.counters();
+    });
+  }
 
   // Assemble per query in ascending wid order — the exact shape
   // Evaluator::evaluate produces (empty groups dropped). Failed queries
@@ -104,8 +149,8 @@ std::vector<IncidentSet> evaluate_batch(std::span<const PatternPtr> patterns,
   if (stats != nullptr) {
     *stats = BatchEvalStats{};
     stats->plan = plan.stats();
-    stats->threads_used = threads;
-    for (const EvalCounters& c : per_wid_counters) stats->counters += c;
+    stats->threads_used = splan != nullptr ? splan->num_shards() : threads;
+    for (const EvalCounters& c : unit_counters) stats->counters += c;
     stats->query_errors = std::move(errors);
   }
   return results;

@@ -32,6 +32,9 @@
 
 namespace wflog {
 
+class ShardPlan;
+class ShardPool;
+
 struct BatchOptions {
   /// Workers partitioning the instances; 1 = serial on the caller's
   /// thread, 0 = std::thread::hardware_concurrency().
@@ -43,6 +46,13 @@ struct BatchOptions {
   /// Optional resource guard (core/guard.h) shared by the whole pass: a
   /// trip stops every query, each returning its partial set. Borrowed.
   const EvalGuard* guard = nullptr;
+  /// Sharded scheduling (core/shard.h): when set (and it has > 1 shard),
+  /// the outer work unit becomes a whole wid-shard — one evaluator + one
+  /// memo per shard, scattered on `shard_pool` (serial when null) — and
+  /// `threads` is ignored. Results stay bit-identical: assembly is by
+  /// global instance position either way. Both borrowed.
+  const ShardPlan* shard_plan = nullptr;
+  ShardPool* shard_pool = nullptr;
 };
 
 /// What the planner found to share.

@@ -87,7 +87,13 @@ QueryEngine::QueryEngine(const Log& log, QueryOptions options)
       options_(options),
       index_(build_index_instrumented(log)),
       cost_model_(index_),
-      evaluator_(index_, options.eval) {}
+      shard_plan_(log.wids(), options.shards) {
+  if (shard_plan_.num_shards() > 1) {
+    // The calling thread participates in every scatter, so the pool only
+    // needs shards-1 workers to keep all K shards in flight at once.
+    shard_pool_ = std::make_unique<ShardPool>(shard_plan_.num_shards() - 1);
+  }
+}
 
 QueryResult QueryEngine::run(std::string_view query_text) const {
   return run(query_text, RunLimits{});
@@ -140,24 +146,44 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where,
   }
 
   obs::Telemetry* telemetry = obs::telemetry();
-  const EvalCounters before =
-      telemetry != nullptr ? evaluator_.counters() : EvalCounters{};
+
+  // Serial evaluation gets a per-run Evaluator (construction just borrows
+  // the index): its work counters mutate on const calls, so a shared
+  // long-lived evaluator races when concurrent callers share the engine —
+  // the same reason every shard task builds its own.
+  const Evaluator ev(index_, options_.eval);
 
   const std::optional<EvalGuard> guard = make_guard(options_, limits);
   const EvalGuard* guard_ptr = guard.has_value() ? &*guard : nullptr;
+  // Node-traced runs stay serial: per-node spans interleaved across shard
+  // workers would scramble the explain() tree.
+  const bool trace_nodes = telemetry != nullptr && telemetry->trace_nodes;
+  const bool sharded = shard_plan_.num_shards() > 1 && !trace_nodes;
+  EvalCounters shard_counters;
   const auto t1 = Clock::now();
   {
     WFLOG_SPAN(eval_span, "query.eval");
-    if (telemetry != nullptr && telemetry->trace_nodes) {
+    if (trace_nodes) {
       // explain()-grade detail: a span per operator node per instance.
       const NodeTracer node_trace(telemetry->tracer, *r.executed);
-      r.incidents = evaluator_.evaluate(*r.executed, &node_trace, guard_ptr);
+      r.incidents = ev.evaluate(*r.executed, &node_trace, guard_ptr);
+    } else if (sharded) {
+      ShardEvalOptions sopts;
+      sopts.eval = options_.eval;
+      sopts.guard = guard_ptr;
+      sopts.pool = shard_pool_.get();
+      sopts.counters = telemetry != nullptr ? &shard_counters : nullptr;
+      r.incidents = evaluate_sharded(*r.executed, index_, shard_plan_, sopts);
     } else {
-      r.incidents = evaluator_.evaluate(*r.executed, nullptr, guard_ptr);
+      r.incidents = ev.evaluate(*r.executed, nullptr, guard_ptr);
     }
     if (eval_span.active()) {
       eval_span.arg("incidents",
                     static_cast<std::uint64_t>(r.incidents.total()));
+      if (sharded) {
+        eval_span.arg("shards",
+                      static_cast<std::uint64_t>(shard_plan_.num_shards()));
+      }
     }
   }
   if (r.where != nullptr) {
@@ -180,8 +206,12 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where,
     telemetry->queries_total->inc();
     telemetry->query_optimize_seconds->observe(r.optimize_us * 1e-6);
     telemetry->query_eval_seconds->observe(r.eval_us * 1e-6);
-    EvalCounters delta = evaluator_.counters();
-    delta -= before;
+    if (sharded) telemetry->shard_eval_seconds->observe(r.eval_us * 1e-6);
+    // Serial runs accumulate in the per-run evaluator; sharded runs in
+    // the per-shard evaluators (folded into shard_counters). Exactly one
+    // of the two is nonzero.
+    EvalCounters delta = ev.counters();
+    delta += shard_counters;
     fold_counters(telemetry, delta);
   }
   return r;
@@ -260,6 +290,12 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
   opts.use_cache = use_cache;
   opts.eval = options_.eval;
   opts.guard = guard.has_value() ? &*guard : nullptr;
+  if (shard_plan_.num_shards() > 1) {
+    // Sharded engine: the batch pass scatters whole shards (one memo per
+    // shard) on the engine's pool instead of spawning per-call workers.
+    opts.shard_plan = &shard_plan_;
+    opts.shard_pool = shard_pool_.get();
+  }
   const auto t1 = Clock::now();
   {
     WFLOG_SPAN(eval_span, "batch.eval");
@@ -343,7 +379,13 @@ bool QueryEngine::exists(std::string_view query_text) const {
   ParsedQuery parsed = parse_query(query_text);
   if (parsed.where == nullptr) {
     WFLOG_TELEMETRY(t) { t->queries_total->inc(); }
-    return evaluator_.exists(*parsed.pattern);
+    if (shard_plan_.num_shards() > 1) {
+      ShardEvalOptions sopts;
+      sopts.eval = options_.eval;
+      sopts.pool = shard_pool_.get();
+      return exists_sharded(*parsed.pattern, index_, shard_plan_, sopts);
+    }
+    return Evaluator(index_, options_.eval).exists(*parsed.pattern);
   }
   // where clauses need materialized incidents + binding derivation.
   return run(std::move(parsed.pattern), std::move(parsed.where)).any();
@@ -354,7 +396,13 @@ std::size_t QueryEngine::count(std::string_view query_text) const {
   ParsedQuery parsed = parse_query(query_text);
   if (parsed.where == nullptr) {
     WFLOG_TELEMETRY(t) { t->queries_total->inc(); }
-    return evaluator_.count(*parsed.pattern);
+    if (shard_plan_.num_shards() > 1) {
+      ShardEvalOptions sopts;
+      sopts.eval = options_.eval;
+      sopts.pool = shard_pool_.get();
+      return count_sharded(*parsed.pattern, index_, shard_plan_, sopts);
+    }
+    return Evaluator(index_, options_.eval).count(*parsed.pattern);
   }
   return run(std::move(parsed.pattern), std::move(parsed.where)).total();
 }

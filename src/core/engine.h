@@ -14,11 +14,14 @@
 #include <span>
 #include <string>
 
+#include <memory>
+
 #include "core/batch.h"
 #include "core/evaluator.h"
 #include "core/join.h"
 #include "core/optimizer.h"
 #include "core/parser.h"
+#include "core/shard.h"
 
 namespace wflog {
 
@@ -37,6 +40,12 @@ struct QueryOptions {
   /// thread and the running evaluation returns a kCancelled partial
   /// result. Null = not cancellable.
   CancelToken cancel;
+  /// Wid-shards per evaluation (core/shard.h): 1 = unsharded (the
+  /// default), 0 = hardware concurrency, K = scatter the instance set
+  /// over K wid-disjoint shards evaluated on an engine-owned worker pool
+  /// reused across queries. Results are byte-identical for every value —
+  /// sharding changes latency, never answers.
+  std::size_t shards = 1;
   EvalOptions eval;
   OptimizerOptions optimizer;
 };
@@ -170,16 +179,29 @@ class QueryEngine {
 
   const Log& log() const noexcept { return *log_; }
   const LogIndex& index() const noexcept { return index_; }
-  const Evaluator& evaluator() const noexcept { return evaluator_; }
   const CostModel& cost_model() const noexcept { return cost_model_; }
   const QueryOptions& options() const noexcept { return options_; }
+
+  /// Effective shard count (QueryOptions::shards resolved against the
+  /// log's instance count); 1 = the serial evaluator.
+  std::size_t shards() const noexcept { return shard_plan_.num_shards(); }
+  const ShardPlan& shard_plan() const noexcept { return shard_plan_; }
+  /// The engine's persistent shard pool, or null when unsharded.
+  ShardPool* shard_pool() const noexcept { return shard_pool_.get(); }
 
  private:
   const Log* log_;
   QueryOptions options_;
   LogIndex index_;
   CostModel cost_model_;
-  Evaluator evaluator_;
+  // Each run() / exists() / count() evaluates with a per-call Evaluator
+  // (cheap: it only borrows index_) so concurrent callers never share its
+  // mutable work counters. A long-lived member here is a data race.
+  // Scatter/gather state, built once per engine: the wid partition of
+  // this log and the worker pool every sharded query reuses (one thread
+  // fewer than shards — the calling thread participates).
+  ShardPlan shard_plan_;
+  std::unique_ptr<ShardPool> shard_pool_;
 };
 
 }  // namespace wflog

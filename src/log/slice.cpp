@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/shard.h"  // shard_of_wid (inline — no core link dependency)
 
 namespace wflog {
 namespace {
@@ -72,6 +73,16 @@ Log filter_by_length(const Log& log, std::size_t min_len,
   return filter_instances(log, [&lengths, min_len, max_len](Wid wid) {
     const std::size_t len = lengths.at(wid);
     return len >= min_len && len <= max_len;
+  });
+}
+
+Log shard_instances(const Log& log, std::size_t shard,
+                    std::size_t num_shards) {
+  if (num_shards == 0 || shard >= num_shards) {
+    throw ValidationError("shard_instances: need shard < num_shards");
+  }
+  return filter_instances(log, [shard, num_shards](Wid wid) {
+    return shard_of_wid(wid, num_shards) == shard;
   });
 }
 

@@ -40,4 +40,12 @@ Log truncate_at(const Log& log, Lsn max_lsn);
 Log filter_by_length(const Log& log, std::size_t min_len,
                      std::size_t max_len);
 
+/// Sub-log of shard `shard` out of `num_shards` under the stable wid hash
+/// (core/shard.h's shard_of_wid — the same assignment the scatter/gather
+/// engine uses, so a materialized shard log answers exactly that shard's
+/// slice of any query). Preconditions: shard < num_shards, num_shards >= 1.
+/// Throws ValidationError if the shard is empty (logs are nonempty).
+Log shard_instances(const Log& log, std::size_t shard,
+                    std::size_t num_shards);
+
 }  // namespace wflog

@@ -58,6 +58,18 @@ Telemetry::Telemetry() {
       metrics.counter("wflog_parallel_workers_total",
                       "Worker threads spawned by the instance scheduler");
 
+  shard_evals_total =
+      metrics.counter("wflog_shard_evals_total",
+                      "Sharded scatter/gather evaluations executed");
+  shard_tasks_total = metrics.counter(
+      "wflog_shard_tasks_total", "Shard tasks scattered across the pool");
+  shard_cancelled_total =
+      metrics.counter("wflog_shard_cancelled_total",
+                      "Shard tasks early-cancelled by a tripped guard");
+  shard_eval_seconds =
+      metrics.histogram("wflog_shard_eval_seconds", lat(),
+                        "Wall time of one sharded scatter/gather pass");
+
   store_appends_total = metrics.counter(
       "wflog_store_appends_total", "Records appended to the durable store");
   store_flushes_total = metrics.counter(

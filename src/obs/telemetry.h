@@ -63,6 +63,12 @@ struct Telemetry {
   // ----- parallel scheduler ----------------------------------------------
   Counter* parallel_workers_total;
 
+  // ----- sharded scatter/gather -------------------------------------------
+  Counter* shard_evals_total;      // sharded evaluations (scatter/gather runs)
+  Counter* shard_tasks_total;      // shard tasks scattered
+  Counter* shard_cancelled_total;  // shard tasks early-cancelled by a guard
+  Histogram* shard_eval_seconds;   // wall time of one scatter/gather pass
+
   // ----- durable store ----------------------------------------------------
   Counter* store_appends_total;
   Counter* store_flushes_total;

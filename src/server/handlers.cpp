@@ -634,6 +634,28 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
           st->log.has_value() ? st->log->wids().size() : 0);
   out.set("ingest_enabled", ingest_enabled_.load());
   out.set("snapshot_version", static_cast<std::int64_t>(st->version));
+  {
+    // Sharded evaluation: the configured request (0 = hw concurrency),
+    // what it resolved to against this snapshot, and the scatter tallies.
+    JsonValue sh;
+    sh.set("configured",
+           static_cast<std::int64_t>(options_.engine.shards));
+    sh.set("effective",
+           static_cast<std::int64_t>(
+               st->engine != nullptr ? st->engine->shards() : 0));
+    sh.set("pool_workers",
+           static_cast<std::int64_t>(
+               st->engine != nullptr && st->engine->shard_pool() != nullptr
+                   ? st->engine->shard_pool()->workers()
+                   : 0));
+    WFLOG_TELEMETRY(t) {
+      sh.set("evals", static_cast<std::int64_t>(t->shard_evals_total->value()));
+      sh.set("tasks", static_cast<std::int64_t>(t->shard_tasks_total->value()));
+      sh.set("cancelled",
+             static_cast<std::int64_t>(t->shard_cancelled_total->value()));
+    }
+    out.set("shards", std::move(sh));
+  }
   if (cache_ != nullptr) {
     const CacheStats cs = cache_->stats();
     JsonValue c;

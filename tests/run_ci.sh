@@ -33,6 +33,10 @@ ctest --test-dir "$repo/build" --output-on-failure -L cache \
 echo "== tier 1e: bench_server repeated-query smoke (cache on vs off) =="
 "$repo/build/bench/bench_server" repeat 4 50 50
 
+echo "== tier 1f: shard label (scatter/gather differential harness) =="
+ctest --test-dir "$repo/build" --output-on-failure -L shard \
+  --timeout "$timeout" "$@"
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 
@@ -53,5 +57,12 @@ cmake --build --preset asan-ubsan -j "$(nproc)" --target bench_server
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   "$repo/build-sanitize/bench/bench_server" repeat 2 20 20
+
+echo "== tier 2f: shard label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L shard --timeout "$timeout" "$@")
+
+echo "== tier 3: ThreadSanitizer — shard pool, parallel scheduler, server =="
+"$repo/tests/run_sanitized.sh" thread -L 'shard|parallel|server' \
+  --timeout "$timeout" "$@"
 
 echo "== CI green =="

@@ -36,6 +36,7 @@
 #include "server/pool.h"
 #include "server/server.h"
 #include "test_util.h"
+#include "workflow/workload.h"
 
 namespace wflog {
 namespace {
@@ -854,6 +855,157 @@ TEST(ClientRetryTest, DroppedGetIsRetriedTransparently) {
   EXPECT_EQ(second.status, 200);
   srv.thread.join();
   EXPECT_EQ(srv.seen(), 3u);  // initial + dropped + successful retry
+}
+
+// ----- sharded evaluation over the server ---------------------------------
+
+server::ServiceOptions sharded_svc(std::size_t shards) {
+  server::ServiceOptions svc;
+  svc.engine.shards = shards;
+  return svc;
+}
+
+/// The answer fields of a /query response — everything except "timings",
+/// which is per-request wall clock and legitimately varies.
+std::string answer_fields(const std::string& response_body) {
+  const server::JsonValue v = server::parse_json(response_body);
+  const server::JsonValue* reason = v.find("stop_reason");
+  return v.find("incidents")->dump() + "|" +
+         std::to_string(v.find("total")->as_int()) + "|" +
+         (v.find("complete")->as_bool() ? "1" : "0") + "|" +
+         (reason != nullptr ? reason->as_string() : "");
+}
+
+TEST(ShardedServerTest, EightConcurrentClientsMatchUnshardedByteIdentical) {
+  // Two servers over the same log, --shards 4 vs --shards 1: every field
+  // of every answer must be byte-identical, including under 8 concurrent
+  // clients hammering the sharded one (the engine's shard pool is shared
+  // by all request workers).
+  // Log is move-only; the deterministic generator is the copy constructor.
+  TestServer serial(workload::clinic(40, 11), sharded_svc(1));
+  TestServer sharded(workload::clinic(40, 11), sharded_svc(4));
+
+  const std::string queries[] = {
+      R"({"query": "GetRefer -> SeeDoctor", "limit": 100000})",
+      R"({"query": "g:GetRefer -> s:SeeDoctor where g.out.hospital = s.in.hospital", "limit": 100000})",
+      R"({"query": "!UpdateRefer . GetReimburse", "limit": 100000})",
+  };
+  std::vector<std::string> reference;
+  for (const std::string& q : queries) {
+    server::HttpClient a = serial.client();
+    server::HttpClient b = sharded.client();
+    const server::ClientResponse ra = a.post("/query", q);
+    const server::ClientResponse rb = b.post("/query", q);
+    ASSERT_EQ(ra.status, 200) << ra.body;
+    ASSERT_EQ(rb.status, 200) << rb.body;
+    EXPECT_EQ(answer_fields(rb.body), answer_fields(ra.body)) << q;
+    reference.push_back(answer_fields(ra.body));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequests = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      server::HttpClient c = sharded.client();
+      for (int i = 0; i < kRequests; ++i) {
+        const std::size_t q = (t + i) % std::size(queries);
+        try {
+          const server::ClientResponse resp = c.post("/query", queries[q]);
+          if (resp.status != 200 ||
+              answer_fields(resp.body) != reference[q]) {
+            mismatches.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ShardedServerTest, CacheHitMissPatternUnchangedAcrossShardCounts) {
+  // The result cache keys on (pattern, where, snapshot version) — never on
+  // the shard count — so the miss-then-hit sequence and the served bytes
+  // must be identical for --shards 1 and --shards 4.
+  const std::string body = R"({"query": "GetRefer -> SeeDoctor"})";
+  std::vector<std::string> answers;
+  for (const std::size_t shards : {1, 4}) {
+    server::ServiceOptions svc = sharded_svc(shards);
+    svc.cache_bytes = 1 << 20;
+    TestServer ts(workload::clinic(25, 3), std::move(svc));
+    server::HttpClient c = ts.client();
+
+    const server::ClientResponse first = c.post("/query", body);
+    ASSERT_EQ(first.status, 200) << first.body;
+    ASSERT_NE(first.header("x-wfq-cache"), nullptr);
+    EXPECT_EQ(*first.header("x-wfq-cache"), "miss") << "shards=" << shards;
+
+    const server::ClientResponse second = c.post("/query", body);
+    ASSERT_EQ(second.status, 200);
+    ASSERT_NE(second.header("x-wfq-cache"), nullptr);
+    EXPECT_EQ(*second.header("x-wfq-cache"), "hit") << "shards=" << shards;
+
+    EXPECT_EQ(answer_fields(second.body), answer_fields(first.body));
+    answers.push_back(answer_fields(first.body));
+  }
+  EXPECT_EQ(answers[0], answers[1])
+      << "cached answers differ between shard counts";
+}
+
+TEST(ShardedServerTest, StatsReportShardConfiguration) {
+  TestServer ts(workload::clinic(10, 1), sharded_svc(4));
+  server::HttpClient c = ts.client();
+  const server::ClientResponse resp = c.get("/stats");
+  ASSERT_EQ(resp.status, 200);
+  const server::JsonValue v = server::parse_json(resp.body);
+  const server::JsonValue* sh = v.find("shards");
+  ASSERT_NE(sh, nullptr);
+  EXPECT_EQ(sh->find("configured")->as_int(), 4);
+  EXPECT_EQ(sh->find("effective")->as_int(), 4);
+  EXPECT_EQ(sh->find("pool_workers")->as_int(), 3);
+}
+
+TEST(ShardedServerTest, GracefulDrainCancelsShardedEvaluation) {
+  // The drain regression under sharded load: the drain token must reach
+  // the shared EvalGuard of an in-flight SHARDED evaluation, stopping
+  // every shard task — not just the request thread — within the grace
+  // period, then the server must come down cleanly (a leaked shard task
+  // would wedge http->wait() or crash the pool teardown).
+  std::string spec;
+  for (int inst = 0; inst < 4; ++inst) {
+    for (int i = 0; i < 300; ++i) spec += "a ";
+    spec += ";";
+  }
+  server::ServerOptions opts;
+  opts.drain_timeout_ms = 100;
+  TestServer ts(testing::make_log(spec), sharded_svc(4), std::move(opts));
+  const std::uint16_t port = ts.http->port();
+
+  std::string body;
+  int status = 0;
+  std::thread slow([&] {
+    server::HttpClient c("127.0.0.1", port);
+    const server::ClientResponse resp = c.post(
+        "/query", R"({"query": "a -> a -> a", "limit": 0})");
+    status = resp.status;
+    body = resp.body;
+  });
+  std::this_thread::sleep_for(300ms);  // the shard tasks are now running
+  ts.http->request_shutdown();
+  slow.join();
+
+  ASSERT_EQ(status, 200) << body;
+  const server::JsonValue v = server::parse_json(body);
+  if (!v.find("complete")->as_bool()) {
+    EXPECT_EQ(v.find("stop_reason")->as_string(), "cancelled");
+  }
+  ts.http->wait();
+  EXPECT_THROW(server::HttpClient("127.0.0.1", port).get("/healthz"),
+               IoError);
 }
 
 TEST(ServerTest, MetricsEndpointServesPrometheusText) {
