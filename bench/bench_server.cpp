@@ -29,6 +29,14 @@
 // only the timing moves:
 //
 //   bench_server shards [clients] [requests-per-client] [instances]
+//
+// Observability-overhead mode (E22): the same closed loop against three
+// otherwise-identical servers — no request observer, observer with the
+// access log off (wfqd's default), and observer writing a JSON access
+// line per request — reporting the throughput/p50 cost of each step.
+// The PR 7 contract is <2% with the access log off:
+//
+//   bench_server obs [clients] [requests-per-client] [instances]
 
 #include <algorithm>
 #include <chrono>
@@ -217,12 +225,81 @@ int run_shards_mode(std::size_t clients, std::size_t requests,
   return errors == 0 ? 0 : 1;
 }
 
+/// E22: the request-observability overhead. Three servers, identical but
+/// for the observer: absent, attached with the access log off (the wfqd
+/// default), and attached with a JSON access line per request. The
+/// contract from the PR that added the observer is <2% throughput cost
+/// with the access log off.
+int run_obs_mode(std::size_t clients, std::size_t requests,
+                 std::size_t instances) {
+  const std::vector<std::string> bodies = {
+      R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})",
+      R"({"query": "ApprovePO | Dispute", "limit": 0})",
+  };
+  const std::size_t workers = 4;
+  std::printf("bench_server obs: procurement(%zu) = %zu records\n",
+              instances, workload::procurement(instances).size());
+
+  struct Config {
+    const char* label;
+    bool observer;
+    bool access_log;
+  };
+  const Config configs[] = {
+      {"observer=off          ", false, false},
+      {"observer=on log=off   ", true, false},
+      {"observer=on log=file  ", true, true},
+  };
+
+  std::size_t errors = 0;
+  std::vector<double> throughput;
+  for (const Config& cfg : configs) {
+    server::ObserverOptions oopts;
+    if (cfg.access_log) oopts.access_log_path = "/dev/null";
+    std::optional<server::RequestObserver> observer;
+    if (cfg.observer) observer.emplace(oopts);
+
+    server::ServiceOptions svc;
+    server::ServerOptions opts;
+    opts.port = 0;
+    opts.threads = workers;
+    opts.queue_capacity = 256;
+    if (observer.has_value()) opts.observer = &*observer;
+    server::QueryService service(workload::procurement(instances), svc,
+                                 opts.drain_cancel, std::nullopt);
+    server::Router router;
+    service.bind(router);
+    if (observer.has_value()) service.attach_observer(&*observer);
+    server::HttpServer http(std::move(router), std::move(opts));
+    service.attach_server(&http);
+    http.start();
+
+    drive(http.port(), clients, 2, bodies);  // warm-up
+    RunResult r = drive(http.port(), clients, requests, bodies);
+    http.shutdown();
+    print_run(cfg.label, workers, clients, clients * requests, r);
+    errors += r.errors;
+    throughput.push_back(
+        r.wall_s > 0
+            ? static_cast<double>(r.latencies_ms.size()) / r.wall_s
+            : 0.0);
+  }
+  if (throughput[0] > 0) {
+    std::printf("overhead vs observer=off: log=off %+.1f%%, log=file "
+                "%+.1f%%\n",
+                (throughput[1] / throughput[0] - 1.0) * 100.0,
+                (throughput[2] / throughput[0] - 1.0) * 100.0);
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool repeat_mode = argc > 1 && std::string_view(argv[1]) == "repeat";
   const bool shards_mode = argc > 1 && std::string_view(argv[1]) == "shards";
-  if (repeat_mode || shards_mode) {
+  const bool obs_mode = argc > 1 && std::string_view(argv[1]) == "obs";
+  if (repeat_mode || shards_mode || obs_mode) {
     --argc;
     ++argv;
   }
@@ -234,6 +311,7 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 200;
   if (repeat_mode) return run_repeat_mode(clients, requests, instances);
   if (shards_mode) return run_shards_mode(clients, requests, instances);
+  if (obs_mode) return run_obs_mode(clients, requests, instances);
 
   const std::string body =
       R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})";

@@ -5,9 +5,14 @@
 //   POST /query    {"query": "A -> B", "deadline_ms": 100, "limit": 50}
 //   POST /batch    {"queries": ["A -> B", "C . D"], "threads": 4}
 //   POST /ingest   {"events": [{"op": "begin"}, {"op": "record", ...}]}
-//   GET  /metrics  Prometheus text exposition
+//   GET  /metrics  Prometheus text exposition (+ per-endpoint and
+//                  per-canonical-key latency histograms)
 //   GET  /stats    engine + store + server counters
-//   GET  /healthz  liveness
+//   GET  /healthz  liveness (JSON readiness detail with
+//                  "Accept: application/json")
+//   GET  /version  build info
+//   GET  /debug/requests   ring of the last N request summaries
+//   GET  /debug/slow       captured slow queries (plan + span summary)
 //
 // Usage:
 //   wfqd --log <file.{csv,jsonl,xes}>   serve a read-only snapshot file
@@ -36,6 +41,20 @@
 //                        and gather byte-identical answers. 0 = hardware
 //                        concurrency (default), 1 = serial. Cache keys are
 //                        shard-count-independent.
+//   [--access-log PATH|-]  structured access log: one JSON line per
+//                        request (id, verb, path, canonical pattern key,
+//                        status, bytes, latency breakdown, stop_reason).
+//                        "-" logs to stdout. Off by default.
+//   [--slow-ms N]        capture requests slower than N ms (wall) into
+//                        the /debug/slow ring with their optimized plan
+//                        and per-operator span summary. Default 1000;
+//                        0 captures everything; -1 disables capture.
+//   [--debug-requests N] /debug/requests ring capacity (default 256)
+//   [--debug-slow N]     /debug/slow ring capacity (default 32)
+//
+// Every request carries a request id: the client's X-Request-Id header
+// (sanitized) or a generated "wfq-<seq>", echoed back in the response's
+// X-Request-Id header and used across the access log and /debug rings.
 //
 // Shared flags (engine_flags.h): --trace/--metrics/--metrics-json write
 // telemetry on exit; --deadline-ms/--max-incidents set the PER-REQUEST
@@ -77,7 +96,11 @@ using namespace wflog;
          "              --deadline-ms N  --max-incidents N  (per-request "
          "defaults)\n"
          "              --cache-mb N (default 64)  --cache-off\n"
-         "              --shards N (0 = hw concurrency, 1 = serial)\n";
+         "              --shards N (0 = hw concurrency, 1 = serial)\n"
+         "observability: --access-log PATH|-  --slow-ms N (default 1000, "
+         "-1=off)\n"
+         "              --debug-requests N (default 256)  --debug-slow N "
+         "(default 32)\n";
   std::exit(2);
 }
 
@@ -107,6 +130,8 @@ int main(int argc, char** argv) {
   svc.default_deadline_ms = flags.deadline.count();
   svc.default_max_incidents = flags.max_incidents;
   svc.cache_bytes = flags.cache_bytes();
+  server::ObserverOptions obs_opts;
+  obs_opts.slow_us = 1000 * 1000;  // --slow-ms default: 1000
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string flag = args[i];
@@ -131,6 +156,16 @@ int main(int argc, char** argv) {
       svc.max_deadline_ms = std::atoll(args[++i]);
     } else if (flag == "--max-incidents-cap" && has_value) {
       svc.max_incidents_cap = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--access-log" && has_value) {
+      obs_opts.access_log_path = args[++i];
+    } else if (flag == "--slow-ms" && has_value) {
+      const long long ms = std::atoll(args[++i]);
+      obs_opts.slow_us = ms < 0 ? -1 : ms * 1000;
+    } else if (flag == "--debug-requests" && has_value) {
+      obs_opts.requests_capacity =
+          static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--debug-slow" && has_value) {
+      obs_opts.slow_capacity = static_cast<std::size_t>(std::atoll(args[++i]));
     } else if (flag == "--bad-events" && has_value) {
       const std::string policy = args[++i];
       if (policy == "reject") {
@@ -152,6 +187,15 @@ int main(int argc, char** argv) {
   // data even when no telemetry flag was given.
   cli::TelemetryScope telemetry(flags, /*force=*/true);
 
+  // Without a --trace sink nothing ever drains the tracer's per-thread
+  // span buffers, so a long-running daemon would grow them forever. Cap
+  // them: slow-query capture only summarizes the current request's spans,
+  // so dropping new spans once a thread hits the cap costs detail in
+  // /debug/slow, not correctness.
+  if (flags.trace_path.empty()) {
+    WFLOG_TELEMETRY(t) { t->tracer.set_thread_span_limit(1u << 18); }
+  }
+
   try {
     std::optional<Log> initial;
     std::optional<LogStore> store;
@@ -170,10 +214,16 @@ int main(int argc, char** argv) {
       if (log.size() > 0) initial = std::move(log);
     }
 
+    // The daemon always keeps the request observer on (the /debug rings
+    // are cheap); the access log and slow capture follow their flags.
+    server::RequestObserver observer(obs_opts);
+    sopts.observer = &observer;
+
     server::QueryService service(std::move(initial), svc,
                                  sopts.drain_cancel, std::move(store));
     server::Router router;
     service.bind(router);
+    service.attach_observer(&observer);
 
     server::HttpServer http(std::move(router), std::move(sopts));
     service.attach_server(&http);

@@ -159,6 +159,7 @@ QueryResult QueryEngine::run(PatternPtr pattern, JoinExprPtr where,
   // workers would scramble the explain() tree.
   const bool trace_nodes = telemetry != nullptr && telemetry->trace_nodes;
   const bool sharded = shard_plan_.num_shards() > 1 && !trace_nodes;
+  r.shards_used = sharded ? shard_plan_.num_shards() : 1;
   EvalCounters shard_counters;
   const auto t1 = Clock::now();
   {
@@ -312,6 +313,7 @@ BatchResult QueryEngine::run_batch(std::span<const Query> queries,
         r.error = batch.stats.query_errors[q];
       }
       if (!r.ok()) continue;  // error slot: no incidents
+      r.shards_used = opts.shard_plan != nullptr ? shard_plan_.num_shards() : 1;
       r.incidents = std::move(sets[q]);
       if (r.where != nullptr) {
         try {

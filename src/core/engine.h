@@ -70,6 +70,11 @@ struct QueryResult {
   double eval_us = 0;
   double estimated_cost_before = 0;
   double estimated_cost_after = 0;
+  /// Wid-shards the evaluation actually scattered over: 1 = serial, K > 1
+  /// = scatter/gather on the engine's shard pool, 0 = no evaluation ran
+  /// (error slot). Request observability (server/observer.h) attributes
+  /// per-request eval time to this.
+  std::size_t shards_used = 0;
   /// kNone when the evaluation ran to completion; otherwise the incidents
   /// are a valid but PARTIAL subset (deadline / cancel / budget).
   StopReason stop_reason = StopReason::kNone;

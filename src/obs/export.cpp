@@ -76,6 +76,20 @@ void json_arg_value(std::ostringstream& os, const SpanArg& arg) {
 
 }  // namespace
 
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus_text(const MetricsSnapshot& snap) {
   std::ostringstream os;
   auto header = [&os](const std::string& name, const std::string& help,

@@ -13,11 +13,19 @@
 //                         durations and args
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace wflog::obs {
+
+/// Escapes a Prometheus label VALUE per the exposition format: backslash
+/// -> \\, double-quote -> \", newline -> \n. Use for every value placed
+/// inside {label="..."} — label values are the one position where
+/// arbitrary request-derived text (canonical pattern keys, endpoint
+/// paths) reaches the scrape output.
+std::string escape_label_value(std::string_view value);
 
 std::string to_prometheus_text(const MetricsSnapshot& snap);
 std::string metrics_to_json(const MetricsSnapshot& snap);

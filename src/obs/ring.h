@@ -1,0 +1,77 @@
+#pragma once
+
+// BoundedRing — a tiny thread-safe fixed-capacity ring of records.
+//
+// The request observability layer (server/observer.h) keeps the last N
+// request summaries and the last N slow-query captures in memory so the
+// /debug endpoints can serve them without any persistence. Writers
+// overwrite the oldest entry once full; snapshot() returns oldest-first.
+// A coarse mutex is fine here: pushes are one move + index bump and the
+// ring is far off the request hot path's critical section.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace wflog::obs {
+
+template <typename T>
+class BoundedRing {
+ public:
+  explicit BoundedRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    items_.reserve(capacity_);
+  }
+
+  void push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;
+      ++evicted_;
+    }
+  }
+
+  /// Copies the current contents, oldest entry first.
+  std::vector<T> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out.push_back(items_[(head_ + i) % items_.size()]);
+    }
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Number of entries overwritten because the ring was full.
+  std::uint64_t evicted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+  std::size_t head_ = 0;      // oldest entry, once full
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace wflog::obs

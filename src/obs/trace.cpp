@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 
@@ -48,6 +49,11 @@ Tracer::ThreadBuf* Tracer::local_buf() {
 Tracer::Span Tracer::span(std::string_view name) {
   ThreadBuf* buf = local_buf();
   std::lock_guard<std::mutex> lock(buf->mu);
+  const std::size_t limit = span_limit_.load(std::memory_order_relaxed);
+  if (limit != 0 && buf->spans.size() >= limit) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Span();  // inert: ends/args are no-ops, nesting stack untouched
+  }
   SpanRecord rec;
   rec.name = std::string(name);
   rec.start_ns = now_ns() - epoch_ns_;
@@ -142,6 +148,49 @@ std::size_t Tracer::num_spans() const {
     n += buf->spans.size();
   }
   return n;
+}
+
+std::size_t Tracer::thread_mark() {
+  ThreadBuf* buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  return buf->spans.size();
+}
+
+std::vector<SpanSummary> Tracer::summarize_thread_since(std::size_t mark) {
+  ThreadBuf* buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  std::vector<SpanSummary> out;
+  for (std::size_t i = mark; i < buf->spans.size(); ++i) {
+    const SpanRecord& rec = buf->spans[i];
+    if (rec.dur_ns == 0) continue;  // still open (or rounded to nothing)
+    SpanSummary* entry = nullptr;
+    for (SpanSummary& s : out) {
+      if (s.name == rec.name) {
+        entry = &s;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      out.push_back(SpanSummary{rec.name, 0, 0, 0});
+      entry = &out.back();
+    }
+    ++entry->count;
+    entry->total_ns += rec.dur_ns;
+    entry->max_ns = std::max(entry->max_ns, rec.dur_ns);
+  }
+  return out;
+}
+
+void Tracer::set_thread_span_limit(std::size_t limit) noexcept {
+  span_limit_.store(limit, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::thread_span_limit() const noexcept {
+  return span_limit_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::num_dropped() const noexcept {
+  return dropped_.load(std::memory_order_relaxed);
 }
 
 void Tracer::clear() {

@@ -15,6 +15,8 @@
 // in chrome://tracing or https://ui.perfetto.dev) and an indented
 // human-readable tree.
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -47,6 +49,16 @@ struct SpanRecord {
 /// `spans` (parents always precede children within a lane).
 struct SpanSnapshot {
   std::vector<SpanRecord> spans;
+};
+
+/// Per-name aggregate of a contiguous run of one thread's spans — the
+/// "per-operator summary" a slow-query capture stores instead of the raw
+/// span stream (bounded size, no parent indices to keep alive).
+struct SpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
 };
 
 class Tracer {
@@ -94,12 +106,36 @@ class Tracer {
   /// Drops every recorded span (open spans keep working).
   void clear();
 
+  /// Opaque position in the calling thread's span buffer. Take a mark
+  /// before a unit of work, then summarize_thread_since(mark) after it to
+  /// aggregate exactly the spans that work recorded — valid only on the
+  /// same thread, which is how wfqd attributes operator spans to one
+  /// request (a worker thread runs a request start to finish).
+  std::size_t thread_mark();
+  /// Aggregates the calling thread's CLOSED spans recorded at or after
+  /// `mark`, grouped by name in first-seen order. Spans still open (or so
+  /// short they round to 0ns) are skipped.
+  std::vector<SpanSummary> summarize_thread_since(std::size_t mark);
+
+  /// Caps each thread's buffer: once a thread holds `limit` spans, new
+  /// spans on it are dropped (counted, inert handles returned). 0 = no
+  /// cap (the default). A long-lived daemon that installs telemetry for
+  /// metrics but never exports traces sets a cap so span memory cannot
+  /// grow without bound. clear() resets every buffer, re-arming capped
+  /// threads.
+  void set_thread_span_limit(std::size_t limit) noexcept;
+  std::size_t thread_span_limit() const noexcept;
+  /// Spans dropped by the cap since construction.
+  std::uint64_t num_dropped() const noexcept;
+
  private:
   struct ThreadBuf;
   ThreadBuf* local_buf();
 
   const std::uint64_t id_;  // process-unique, keys the thread-local cache
   std::uint64_t epoch_ns_;  // steady-clock origin for start_ns
+  std::atomic<std::size_t> span_limit_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mu_;   // guards bufs_
   std::vector<std::unique_ptr<ThreadBuf>> bufs_;
 };

@@ -1,17 +1,40 @@
 #include "server/handlers.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
 #include "core/optimizer.h"
+#include "core/pattern.h"
 #include "core/printer.h"
 #include "obs/export.h"
 #include "obs/telemetry.h"
 #include "server/json.h"
 
+// Stamped by the build (src/CMakeLists.txt) for GET /version.
+#ifndef WFLOG_VERSION_STRING
+#define WFLOG_VERSION_STRING "0.0.0"
+#endif
+
 namespace wflog::server {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Marks the tracer position at handler entry so a slow capture can
+/// summarize exactly this request's spans (observer.h).
+void mark_spans(RequestContext& ctx) {
+  WFLOG_TELEMETRY(t) {
+    ctx.span_mark = t->tracer.thread_mark();
+    ctx.has_span_mark = true;
+  }
+}
 
 /// JSON scalar -> attribute Value; arrays/objects are not attribute
 /// material and fail the request.
@@ -268,21 +291,47 @@ RunLimits QueryService::limits_from(const JsonValue& body) const {
 void QueryService::bind(Router& router, const HttpServer* server) {
   server_ = server;
   router.add("POST", "/query",
-             [this](const HttpRequest& req) { return handle_query(req); });
+             [this](const HttpRequest& req, RequestContext& ctx) {
+               return handle_query(req, ctx);
+             });
   router.add("POST", "/batch",
-             [this](const HttpRequest& req) { return handle_batch(req); });
+             [this](const HttpRequest& req, RequestContext& ctx) {
+               return handle_batch(req, ctx);
+             });
   router.add("POST", "/ingest",
-             [this](const HttpRequest& req) { return handle_ingest(req); });
+             [this](const HttpRequest& req, RequestContext& ctx) {
+               return handle_ingest(req, ctx);
+             });
   router.add("GET", "/metrics",
-             [this](const HttpRequest& req) { return handle_metrics(req); });
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_metrics(req);
+             });
   router.add("GET", "/stats",
-             [this](const HttpRequest& req) { return handle_stats(req); });
-  router.add("GET", "/healthz", [](const HttpRequest&) {
-    return HttpResponse::text(200, "ok\n");
-  });
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_stats(req);
+             });
+  router.add("GET", "/healthz",
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_healthz(req);
+             });
+  router.add("GET", "/version",
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_version(req);
+             });
+  router.add("GET", "/debug/requests",
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_debug_requests(req);
+             });
+  router.add("GET", "/debug/slow",
+             [this](const HttpRequest& req, RequestContext&) {
+               return handle_debug_slow(req);
+             });
 }
 
-HttpResponse QueryService::handle_query(const HttpRequest& req) {
+HttpResponse QueryService::handle_query(const HttpRequest& req,
+                                        RequestContext& ctx) {
+  const auto t0 = Clock::now();
+  mark_spans(ctx);
   JsonValue body;
   std::string query_text;
   RunLimits limits;
@@ -297,14 +346,25 @@ HttpResponse QueryService::handle_query(const HttpRequest& req) {
     limits = limits_from(body);
     render_limit = read_size(body, "limit", options_.default_render_limit);
   } catch (const std::exception& e) {
+    ctx.parse_us = us_since(t0);
     return HttpResponse::error(400, e.what());
   }
 
   const auto st = state();
   try {
+    // Parse-first, on both the cached and uncached path: the observability
+    // layer attributes the request to its canonical pattern key, and
+    // run(pattern, where) produces the same result run(text) would (the
+    // text overload is parse + this call).
+    const auto tq0 = Clock::now();
+    Query parsed = Query::parse(query_text);
+    const double query_parse_us = us_since(tq0);
+    ctx.query = query_text;
+    ctx.canonical_key = canonical_key(*parsed.pattern);
+    ctx.parse_us = us_since(t0);
+
     if (st->engine == nullptr) {
-      // Empty log: still validate the query so clients get their 400s.
-      Query::parse(query_text);
+      // Empty log: the query was already validated above.
       JsonValue out;
       out.set("query", query_text);
       out.set("instances", 0);
@@ -312,43 +372,69 @@ HttpResponse QueryService::handle_query(const HttpRequest& req) {
       out.set("complete", true);
       out.set("stop_reason", std::string(stop_reason_name(StopReason::kNone)));
       out.set("incidents", JsonArray{});
-      return HttpResponse::json(200, out.dump());
+      ctx.stop_reason = stop_reason_name(StopReason::kNone);
+      const auto ts0 = Clock::now();
+      HttpResponse resp = HttpResponse::json(200, out.dump());
+      ctx.serialize_us = us_since(ts0);
+      return resp;
     }
     const bool cache_on = cache_ != nullptr && cache_->enabled();
     std::shared_ptr<const QueryResult> result;
-    std::optional<Query> parsed;
     bool cache_hit = false;
     if (cache_on) {
-      // Parse-first path: the cache key needs the Query, and
-      // run(pattern, where) produces the same result run(text) would
-      // (the text overload is parse + this call).
-      parsed = Query::parse(query_text);
-      const std::string key = ResultCache::key(*parsed, st->version);
+      const auto tc0 = Clock::now();
+      const std::string key = ResultCache::key(parsed, st->version);
       if (!no_cache_requested(req)) {
         result = cache_->lookup(key, limits);
         cache_hit = result != nullptr;
       }
+      ctx.cache_us += us_since(tc0);
       if (result == nullptr) {
+        const auto te0 = Clock::now();
         auto fresh = std::make_shared<QueryResult>(
-            st->engine->run(parsed->pattern, parsed->where, limits));
+            st->engine->run(parsed.pattern, parsed.where, limits));
+        ctx.eval_us = us_since(te0);
+        ctx.shards = fresh->shards_used;
+        fresh->parse_us = query_parse_us;
+        const auto ti0 = Clock::now();
         cache_->insert(key, fresh, limits);
+        ctx.cache_us += us_since(ti0);
         result = std::move(fresh);
       }
+      ctx.cache = cache_hit ? 1 : 0;
     } else {
-      result = std::make_shared<QueryResult>(
-          st->engine->run(query_text, limits));
+      const auto te0 = Clock::now();
+      auto fresh = std::make_shared<QueryResult>(
+          st->engine->run(parsed.pattern, parsed.where, limits));
+      ctx.eval_us = us_since(te0);
+      ctx.shards = fresh->shards_used;
+      fresh->parse_us = query_parse_us;
+      result = std::move(fresh);
     }
-    JsonValue out;
-    out.set("query", query_text);
-    JsonValue rendered = render_result(*result, render_limit);
-    if (cache_hit) {
-      reecho_pattern_texts(rendered, *parsed, *st->engine, *result);
+    // Plan rendering for the slow capture counts as serialization work,
+    // and so does tearing down the rendered JSON tree and (when the
+    // cache didn't take ownership) the result itself — both scale with
+    // the response and would otherwise be an untimed gap in the
+    // breakdown.
+    const auto ts0 = Clock::now();
+    ctx.stop_reason = stop_reason_name(result->stop_reason);
+    ctx.plan = result->executed != nullptr ? to_text(*result->executed) : "";
+    HttpResponse resp;
+    {
+      JsonValue out;
+      out.set("query", query_text);
+      JsonValue rendered = render_result(*result, render_limit);
+      if (cache_hit) {
+        reecho_pattern_texts(rendered, parsed, *st->engine, *result);
+      }
+      for (auto& [k, v] : rendered.members()) {
+        out.set(k, std::move(v));
+      }
+      resp = HttpResponse::json(200, out.dump());
     }
-    for (auto& [k, v] : rendered.members()) {
-      out.set(k, std::move(v));
-    }
-    HttpResponse resp = HttpResponse::json(200, out.dump());
+    result.reset();
     if (cache_on) set_cache_header(resp, cache_hit);
+    ctx.serialize_us = us_since(ts0);
     return resp;
   } catch (const ParseError& e) {
     return HttpResponse::error(400, e.what());
@@ -357,7 +443,41 @@ HttpResponse QueryService::handle_query(const HttpRequest& req) {
   }
 }
 
-HttpResponse QueryService::handle_batch(const HttpRequest& req) {
+namespace {
+
+/// Batch requests land in the access log under a synthetic "query" field:
+/// the first texts joined, capped so a 1000-query batch cannot bloat the
+/// slow-capture ring.
+std::string batch_query_label(const std::vector<std::string>& texts) {
+  std::string label;
+  for (const std::string& t : texts) {
+    if (!label.empty()) label += " ; ";
+    if (label.size() + t.size() > 256) {
+      label += "... (+" + std::to_string(texts.size()) + " queries)";
+      break;
+    }
+    label += t;
+  }
+  return label;
+}
+
+/// First non-clean stop reason across the batch (the shared guard trips
+/// for every slot at once, so "first" is representative).
+const char* batch_stop_reason(const std::vector<QueryResult>& results) {
+  for (const QueryResult& r : results) {
+    if (r.ok() && r.stop_reason != StopReason::kNone) {
+      return stop_reason_name(r.stop_reason);
+    }
+  }
+  return stop_reason_name(StopReason::kNone);
+}
+
+}  // namespace
+
+HttpResponse QueryService::handle_batch(const HttpRequest& req,
+                                        RequestContext& ctx) {
+  const auto t0 = Clock::now();
+  mark_spans(ctx);
   std::vector<std::string> texts;
   RunLimits limits;
   std::size_t threads = options_.batch_threads;
@@ -379,8 +499,11 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
         read_size(body, "threads", options_.batch_threads), 1, 64);
     render_limit = read_size(body, "limit", options_.default_render_limit);
   } catch (const std::exception& e) {
+    ctx.parse_us = us_since(t0);
     return HttpResponse::error(400, e.what());
   }
+  ctx.parse_us = us_since(t0);
+  ctx.query = batch_query_label(texts);
 
   const auto st = state();
   JsonValue out;
@@ -405,8 +528,13 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
 
   const bool cache_on = cache_ != nullptr && cache_->enabled();
   if (!cache_on) {
+    const auto te0 = Clock::now();
     const BatchResult batch =
         st->engine->run_batch(texts, threads, /*use_cache=*/true, limits);
+    ctx.eval_us = us_since(te0);
+    ctx.shards = st->engine->shards();
+    ctx.stop_reason = batch_stop_reason(batch.results);
+    const auto ts0 = Clock::now();
     for (const QueryResult& r : batch.results) {
       results.emplace_back(render_result(r, render_limit));
     }
@@ -423,7 +551,9 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
     stats.set("threads_used", batch.stats.threads_used);
     stats.set("eval_us", batch.eval_us);
     out.set("stats", std::move(stats));
-    return HttpResponse::json(200, out.dump());
+    HttpResponse resp = HttpResponse::json(200, out.dump());
+    ctx.serialize_us = us_since(ts0);
+    return resp;
   }
 
   // Cached path: serve each slot from the cache when possible; the misses
@@ -438,6 +568,7 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
   std::vector<Query> miss_queries;
   std::vector<std::size_t> miss_index;
   std::size_t served_hits = 0;
+  const auto tc0 = Clock::now();
   for (std::size_t i = 0; i < texts.size(); ++i) {
     try {
       Query q = Query::parse(texts[i]);
@@ -458,18 +589,36 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
       slots[i] = std::move(err);
     }
   }
+  ctx.cache_us += us_since(tc0);
 
   BatchResult batch;
   if (!miss_queries.empty()) {
+    const auto te0 = Clock::now();
     batch = st->engine->run_batch(std::span<const Query>(miss_queries),
                                   threads, /*use_cache=*/true, limits);
+    ctx.eval_us = us_since(te0);
+    ctx.shards = st->engine->shards();
+    const auto ti0 = Clock::now();
     for (std::size_t j = 0; j < miss_index.size(); ++j) {
       auto r = std::make_shared<QueryResult>(std::move(batch.results[j]));
       cache_->insert(keys[miss_index[j]], r, limits);
       slots[miss_index[j]] = std::move(r);
     }
+    ctx.cache_us += us_since(ti0);
+  }
+  ctx.cache = served_hits == texts.size() ? 1 : 0;
+  for (const auto& slot : slots) {
+    if (slot != nullptr && slot->ok() &&
+        slot->stop_reason != StopReason::kNone) {
+      ctx.stop_reason = stop_reason_name(slot->stop_reason);
+      break;
+    }
+  }
+  if (ctx.stop_reason.empty()) {
+    ctx.stop_reason = stop_reason_name(StopReason::kNone);
   }
 
+  const auto ts0 = Clock::now();
   for (std::size_t i = 0; i < slots.size(); ++i) {
     JsonValue rendered = render_result(*slots[i], render_limit);
     if (hit_query[i].has_value()) {
@@ -494,10 +643,14 @@ HttpResponse QueryService::handle_batch(const HttpRequest& req) {
   out.set("stats", std::move(stats));
   HttpResponse resp = HttpResponse::json(200, out.dump());
   set_cache_header(resp, served_hits == texts.size());
+  ctx.serialize_us = us_since(ts0);
   return resp;
 }
 
-HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
+HttpResponse QueryService::handle_ingest(const HttpRequest& req,
+                                         RequestContext& ctx) {
+  const auto t0 = Clock::now();
+  mark_spans(ctx);
   JsonValue body;
   try {
     body = parse_json(req.body);
@@ -506,9 +659,12 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
       throw Error("body must be an object with an \"events\" array");
     }
   } catch (const std::exception& e) {
+    ctx.parse_us = us_since(t0);
     return HttpResponse::error(400, e.what());
   }
+  ctx.parse_us = us_since(t0);
   const JsonArray& events = body.find("events")->as_array();
+  const auto te0 = Clock::now();
 
   std::lock_guard lock(ingest_mu_);
   if (!ingest_enabled_) {
@@ -594,7 +750,9 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
   }
 
   if (applied > 0) rebuild_state();
+  ctx.eval_us = us_since(te0);  // monitor+store appends + snapshot rebuild
 
+  const auto ts0 = Clock::now();
   JsonValue out;
   out.set("applied", applied);
   out.set("wids", std::move(new_wids));
@@ -610,9 +768,13 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req) {
   out.set("records", monitor_.num_records());
   if (abort_status != 0) {
     out.set("error", abort_error);
-    return HttpResponse::json(abort_status, out.dump());
+    HttpResponse resp = HttpResponse::json(abort_status, out.dump());
+    ctx.serialize_us = us_since(ts0);
+    return resp;
   }
-  return HttpResponse::json(200, out.dump());
+  HttpResponse resp = HttpResponse::json(200, out.dump());
+  ctx.serialize_us = us_since(ts0);
+  return resp;
 }
 
 HttpResponse QueryService::handle_metrics(const HttpRequest&) const {
@@ -620,8 +782,13 @@ HttpResponse QueryService::handle_metrics(const HttpRequest&) const {
   if (t == nullptr) {
     return HttpResponse::error(503, "telemetry is not installed");
   }
-  HttpResponse resp =
-      HttpResponse::text(200, to_prometheus_text(t->metrics.snapshot()));
+  std::string text = to_prometheus_text(t->metrics.snapshot());
+  if (observer_ != nullptr) {
+    // Fold in the request observer's labeled per-endpoint and
+    // per-canonical-key latency histograms.
+    text += observer_->prometheus_text();
+  }
+  HttpResponse resp = HttpResponse::text(200, std::move(text));
   resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
   return resp;
 }
@@ -688,11 +855,70 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
     s.set("served", static_cast<std::int64_t>(stats.served));
     s.set("rejected", static_cast<std::int64_t>(stats.rejected));
     s.set("bad_requests", static_cast<std::int64_t>(stats.bad_requests));
+    s.set("dropped_responses",
+          static_cast<std::int64_t>(stats.dropped_responses));
     s.set("queue_depth", static_cast<std::int64_t>(stats.queue_depth));
     s.set("draining", server_->draining());
     out.set("server", std::move(s));
   }
+  out.set("observability",
+          observer_ != nullptr ? observer_->stats_json() : JsonValue(nullptr));
   return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse QueryService::handle_healthz(const HttpRequest& req) const {
+  // Plain fast path for load-balancer probes: constant 200, no JSON, no
+  // snapshot work. Readiness detail is opt-in via the Accept header.
+  if (req.header("accept").find("application/json") == std::string_view::npos) {
+    return HttpResponse::text(200, "ok\n");
+  }
+  const auto st = state();
+  const bool draining = server_ != nullptr && server_->draining();
+  JsonValue out;
+  out.set("status", "ok");
+  out.set("ready", !draining);
+  out.set("draining", draining);
+  out.set("snapshot_version", static_cast<std::int64_t>(st->version));
+  out.set("records", st->log.has_value() ? st->log->size() : 0);
+  out.set("queue_depth",
+          server_ != nullptr
+              ? JsonValue(static_cast<std::int64_t>(
+                    server_->stats().queue_depth))
+              : JsonValue(nullptr));
+  out.set("ingest_enabled", ingest_enabled_.load());
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse QueryService::handle_version(const HttpRequest&) const {
+  JsonValue out;
+  out.set("server", "wfqd");
+  out.set("version", WFLOG_VERSION_STRING);
+  out.set("obs_enabled", WFLOG_OBS_ENABLED != 0);
+#if defined(__clang__)
+  out.set("compiler", "clang " __clang_version__);
+#elif defined(__GNUC__)
+  out.set("compiler", "gcc " __VERSION__);
+#else
+  out.set("compiler", "unknown");
+#endif
+  out.set("cxx_standard", static_cast<std::int64_t>(__cplusplus));
+  return HttpResponse::json(200, out.dump());
+}
+
+HttpResponse QueryService::handle_debug_requests(const HttpRequest&) const {
+  if (observer_ == nullptr) {
+    return HttpResponse::error(
+        404, "request observability is not enabled on this server");
+  }
+  return HttpResponse::json(200, observer_->requests_json().dump());
+}
+
+HttpResponse QueryService::handle_debug_slow(const HttpRequest&) const {
+  if (observer_ == nullptr) {
+    return HttpResponse::error(
+        404, "request observability is not enabled on this server");
+  }
+  return HttpResponse::json(200, observer_->slow_json().dump());
 }
 
 }  // namespace wflog::server

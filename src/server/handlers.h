@@ -9,9 +9,14 @@
 //   POST /batch    N queries through run_batch (shared canonical subplans)
 //   POST /ingest   append begin/record/end events (monitor bad-event policy;
 //                  applied events are durably mirrored to the store)
-//   GET  /metrics  Prometheus text of the ambient MetricsRegistry
+//   GET  /metrics  Prometheus text of the ambient MetricsRegistry, plus the
+//                  request observer's per-endpoint/per-pattern histograms
 //   GET  /stats    engine + store + server counters as JSON
-//   GET  /healthz  liveness
+//   GET  /healthz  liveness ("ok", plain fast path) — readiness detail as
+//                  JSON when the client sends Accept: application/json
+//   GET  /version  build info (version, obs support, compiler)
+//   GET  /debug/requests  last-N request summaries (request observer ring)
+//   GET  /debug/slow      captured slow queries with plans + span summaries
 //
 // Concurrency model: queries share an immutable snapshot (shared_ptr<const
 // State>) and run lock-free against it; ingest is serialized by a mutex,
@@ -86,6 +91,14 @@ class QueryService {
   /// this after the server exists (and before start()).
   void attach_server(const HttpServer* server) { server_ = server; }
 
+  /// Borrowed request observer backing /debug/requests, /debug/slow and
+  /// the observability blocks of /metrics and /stats. Null (the default)
+  /// turns the debug endpoints into 404s. Usually the same observer given
+  /// to ServerOptions::observer; must outlive the service.
+  void attach_observer(const RequestObserver* observer) {
+    observer_ = observer;
+  }
+
   std::size_t num_records() const;
 
  private:
@@ -105,15 +118,20 @@ class QueryService {
   void rebuild_state();
   RunLimits limits_from(const class JsonValue& body) const;
 
-  HttpResponse handle_query(const HttpRequest& req);
-  HttpResponse handle_batch(const HttpRequest& req);
-  HttpResponse handle_ingest(const HttpRequest& req);
+  HttpResponse handle_query(const HttpRequest& req, RequestContext& ctx);
+  HttpResponse handle_batch(const HttpRequest& req, RequestContext& ctx);
+  HttpResponse handle_ingest(const HttpRequest& req, RequestContext& ctx);
   HttpResponse handle_metrics(const HttpRequest& req) const;
   HttpResponse handle_stats(const HttpRequest& req) const;
+  HttpResponse handle_healthz(const HttpRequest& req) const;
+  HttpResponse handle_version(const HttpRequest& req) const;
+  HttpResponse handle_debug_requests(const HttpRequest& req) const;
+  HttpResponse handle_debug_slow(const HttpRequest& req) const;
 
   ServiceOptions options_;
   CancelToken drain_;
   const HttpServer* server_ = nullptr;  // for /stats; borrowed
+  const RequestObserver* observer_ = nullptr;  // for /debug/*; borrowed
   /// Null when options_.cache_bytes == 0 (cache off).
   std::unique_ptr<ResultCache> cache_;
 

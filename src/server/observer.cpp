@@ -1,0 +1,260 @@
+#include "server/observer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace wflog::server {
+namespace {
+
+const char* cache_name(int cache) {
+  return cache == 1 ? "hit" : "miss";  // only called when cache >= 0
+}
+
+/// Shared breakdown object for ring entries and access-log lines.
+JsonValue breakdown_json(const RequestRecord& rec) {
+  JsonValue b{JsonMembers{}};
+  b.set("queue_us", rec.queue_us);
+  b.set("parse_us", rec.parse_us);
+  b.set("cache_us", rec.cache_us);
+  b.set("eval_us", rec.eval_us);
+  b.set("serialize_us", rec.serialize_us);
+  b.set("wall_us", rec.wall_us);
+  return b;
+}
+
+JsonValue record_json(const RequestRecord& rec) {
+  JsonValue v{JsonMembers{}};
+  v.set("seq", rec.seq);
+  v.set("id", rec.id);
+  v.set("ts_ms", static_cast<std::int64_t>(rec.ts_ms));
+  v.set("method", rec.method);
+  v.set("path", rec.target);
+  v.set("key", rec.canonical_key);
+  v.set("status", rec.status);
+  v.set("bytes", rec.bytes);
+  v.set("dropped", rec.dropped);
+  v.set("cache", rec.cache < 0 ? JsonValue(nullptr)
+                               : JsonValue(cache_name(rec.cache)));
+  v.set("shards", rec.shards);
+  v.set("stop_reason", rec.stop_reason);
+  v.set("breakdown", breakdown_json(rec));
+  return v;
+}
+
+std::uint64_t unix_ms_now() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RequestObserver::RequestObserver(ObserverOptions options)
+    : options_(std::move(options)),
+      bounds_(obs::default_latency_bounds()),
+      requests_(options_.requests_capacity),
+      slow_(options_.slow_capacity) {
+  if (options_.access_log_path.empty()) return;
+  if (options_.access_log_path == "-") {
+    log_ = &std::cout;
+    return;
+  }
+  log_file_ = std::make_unique<std::ofstream>(options_.access_log_path,
+                                              std::ios::app);
+  if (!log_file_->is_open()) {
+    throw Error("cannot open access log: " + options_.access_log_path);
+  }
+  log_ = log_file_.get();
+}
+
+RequestObserver::~RequestObserver() = default;
+
+void RequestObserver::observe_labeled(std::map<std::string, Hist>& family,
+                                      const std::string& key,
+                                      std::size_t max_keys, double seconds) {
+  // Bounded label cardinality: past max_keys distinct labels, everything
+  // folds into "_other" — a scrape must not grow with the query stream.
+  auto it = family.find(key);
+  if (it == family.end()) {
+    if (family.size() >= max_keys) {
+      it = family.try_emplace("_other").first;
+    } else {
+      it = family.try_emplace(key).first;
+    }
+  }
+  Hist& h = it->second;
+  if (h.buckets.empty()) h.buckets.assign(bounds_.size() + 1, 0);
+  std::size_t b = 0;
+  while (b < bounds_.size() && seconds > bounds_[b]) ++b;
+  ++h.buckets[b];
+  h.sum += seconds;
+  ++h.count;
+}
+
+void RequestObserver::write_access_line(const RequestRecord& rec, bool slow) {
+  JsonValue line = record_json(rec);
+  line.set("slow", slow);
+  const std::string text = line.dump();
+  std::lock_guard<std::mutex> lock(log_mu_);
+  (*log_) << text << '\n';
+  log_->flush();  // one request = one durable line; tailing must see it
+  access_lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestObserver::record(RequestRecord rec, const RequestContext& ctx) {
+  if (rec.ts_ms == 0) rec.ts_ms = unix_ms_now();
+  requests_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (rec.dropped) dropped_seen_.fetch_add(1, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    observe_labeled(by_endpoint_, rec.target, /*max_keys=*/32,
+                    rec.wall_us * 1e-6);
+    if (!rec.canonical_key.empty()) {
+      observe_labeled(by_key_, rec.canonical_key, /*max_keys=*/64,
+                      rec.wall_us * 1e-6);
+    }
+  }
+
+  const bool slow = options_.slow_us >= 0 &&
+                    rec.wall_us >= static_cast<double>(options_.slow_us);
+  if (slow) {
+    SlowCapture cap;
+    cap.query = ctx.query;
+    cap.plan = ctx.plan;
+    JsonArray spans;
+    if (ctx.has_span_mark) {
+      // Same worker thread that ran the handler: the thread buffer delta
+      // since the handler's mark is exactly this request's span stream.
+      WFLOG_TELEMETRY(t) {
+        for (const obs::SpanSummary& s :
+             t->tracer.summarize_thread_since(ctx.span_mark)) {
+          JsonValue span{JsonMembers{}};
+          span.set("span", s.name);
+          span.set("count", s.count);
+          span.set("total_us", static_cast<double>(s.total_ns) / 1000.0);
+          span.set("max_us", static_cast<double>(s.max_ns) / 1000.0);
+          spans.push_back(std::move(span));
+        }
+      }
+    }
+    cap.spans = JsonValue(std::move(spans));
+    cap.rec = rec;
+    slow_.push(std::move(cap));
+    slow_captured_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (log_ != nullptr) write_access_line(rec, slow);
+  requests_.push(std::move(rec));
+}
+
+JsonValue RequestObserver::requests_json() const {
+  JsonArray items;
+  for (const RequestRecord& rec : requests_.snapshot()) {
+    items.push_back(record_json(rec));
+  }
+  JsonValue out{JsonMembers{}};
+  out.set("requests", JsonValue(std::move(items)));
+  out.set("capacity", requests_.capacity());
+  out.set("evicted", static_cast<std::int64_t>(requests_.evicted()));
+  return out;
+}
+
+JsonValue RequestObserver::slow_json() const {
+  JsonArray items;
+  for (const SlowCapture& cap : slow_.snapshot()) {
+    JsonValue v = record_json(cap.rec);
+    v.set("query", cap.query);
+    v.set("plan", cap.plan);
+    v.set("spans", cap.spans);
+    items.push_back(std::move(v));
+  }
+  JsonValue out{JsonMembers{}};
+  out.set("slow", JsonValue(std::move(items)));
+  out.set("threshold_ms",
+          options_.slow_us < 0
+              ? JsonValue(nullptr)
+              : JsonValue(static_cast<double>(options_.slow_us) / 1000.0));
+  out.set("capacity", slow_.capacity());
+  out.set("evicted", static_cast<std::int64_t>(slow_.evicted()));
+  return out;
+}
+
+JsonValue RequestObserver::stats_json() const {
+  JsonValue out{JsonMembers{}};
+  out.set("requests",
+          static_cast<std::int64_t>(
+              requests_seen_.load(std::memory_order_relaxed)));
+  out.set("dropped_responses",
+          static_cast<std::int64_t>(
+              dropped_seen_.load(std::memory_order_relaxed)));
+  out.set("slow_captured",
+          static_cast<std::int64_t>(
+              slow_captured_.load(std::memory_order_relaxed)));
+  out.set("slow_threshold_ms",
+          options_.slow_us < 0
+              ? JsonValue(nullptr)
+              : JsonValue(static_cast<double>(options_.slow_us) / 1000.0));
+  out.set("access_log", log_ != nullptr);
+  out.set("access_log_lines",
+          static_cast<std::int64_t>(
+              access_lines_.load(std::memory_order_relaxed)));
+  JsonValue endpoints{JsonMembers{}};
+  {
+    std::lock_guard<std::mutex> lock(hist_mu_);
+    for (const auto& [endpoint, h] : by_endpoint_) {
+      JsonValue e{JsonMembers{}};
+      e.set("count", static_cast<std::int64_t>(h.count));
+      e.set("total_seconds", h.sum);
+      endpoints.set(endpoint, std::move(e));
+    }
+  }
+  out.set("endpoints", std::move(endpoints));
+  return out;
+}
+
+std::string RequestObserver::prometheus_text() const {
+  std::ostringstream os;
+  const auto emit_family = [&](const char* name, const char* label,
+                               const char* help,
+                               const std::map<std::string, Hist>& family) {
+    if (family.empty()) return;
+    os << "# HELP " << name << ' ' << help << '\n';
+    os << "# TYPE " << name << " histogram\n";
+    for (const auto& [key, h] : family) {
+      const std::string esc = obs::escape_label_value(key);
+      std::uint64_t cumulative = 0;
+      char buf[64];
+      for (std::size_t b = 0; b < bounds_.size(); ++b) {
+        cumulative += h.buckets[b];
+        std::snprintf(buf, sizeof buf, "%g", bounds_[b]);
+        os << name << "_bucket{" << label << "=\"" << esc << "\",le=\"" << buf
+           << "\"} " << cumulative << '\n';
+      }
+      cumulative += h.buckets.back();
+      os << name << "_bucket{" << label << "=\"" << esc << "\",le=\"+Inf\"} "
+         << cumulative << '\n';
+      std::snprintf(buf, sizeof buf, "%.9g", h.sum);
+      os << name << "_sum{" << label << "=\"" << esc << "\"} " << buf << '\n';
+      os << name << "_count{" << label << "=\"" << esc << "\"} " << h.count
+         << '\n';
+    }
+  };
+  std::lock_guard<std::mutex> lock(hist_mu_);
+  emit_family("wflog_server_endpoint_seconds", "endpoint",
+              "Request wall time by endpoint.", by_endpoint_);
+  emit_family("wflog_server_pattern_seconds", "pattern_key",
+              "Request wall time by canonical pattern key.", by_key_);
+  return os.str();
+}
+
+}  // namespace wflog::server

@@ -1,0 +1,166 @@
+#pragma once
+
+// Request-scoped observability for wfqd (ISSUE 7).
+//
+// A RequestContext rides along with one HTTP request from the accept
+// loop through the worker pool, cache, engine, and shard pool. The
+// server fills in transport-level facts (request id, queue wait, wall
+// time, bytes, status); the handlers fill in pipeline facts (parse /
+// cache / eval / serialize split, cache hit or miss, shard count,
+// canonical pattern key, stop reason). When the request finishes — or
+// is dropped because the client was too slow — the worker thread hands
+// the completed record to the RequestObserver, which:
+//
+//   * keeps the last N summaries in a BoundedRing  -> GET /debug/requests
+//   * captures requests slower than `slow_us` with their optimized plan
+//     and a per-operator span summary (the PR 2 span stream that powers
+//     explain())                                   -> GET /debug/slow
+//   * folds per-endpoint and per-canonical-key latency histograms into
+//     /metrics (Prometheus labels) and /stats
+//   * appends one JSON line per request to the access log (opt-in via
+//     wfqd --access-log PATH|-)
+//
+// The observer is borrowed by both HttpServer (which produces records)
+// and QueryService (which serves the debug endpoints); the caller —
+// wfqd's main, or a test — owns it and keeps it alive across both.
+// record() is thread-safe; the span summary is aggregated on the
+// calling worker thread, which is the thread that ran the request, so
+// the summary covers exactly that request's spans.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/ring.h"
+#include "server/json.h"
+
+namespace wflog::server {
+
+/// Mutable per-request scratchpad threaded through Router handlers.
+/// Microsecond fields are wall-clock slices of one request; the server
+/// guarantees queue_us/wall_us, handlers fill the pipeline split.
+struct RequestContext {
+  std::uint64_t seq = 0;   // monotonic per-server request number
+  std::string id;          // client's X-Request-Id or generated "wfq-<seq>"
+  double queue_us = 0;     // accept/keep-alive queue -> worker pickup
+  double parse_us = 0;     // body + query parse
+  double cache_us = 0;     // result-cache lookup + insert
+  double eval_us = 0;      // engine evaluation (0 on a cache hit)
+  double serialize_us = 0; // response rendering + wire serialization
+  double wall_us = 0;      // dispatch + serialization wall (server-set)
+  int cache = -1;          // -1 = not applicable, 0 = miss, 1 = hit
+  std::size_t shards = 0;  // shards the evaluation scattered over; 0 = none
+  std::string canonical_key;  // canonical pattern key (core/pattern.h)
+  std::string stop_reason;    // "none" | "deadline" | "cancelled" | ...
+  std::string query;          // query text, for slow capture
+  std::string plan;           // optimized pattern text, for slow capture
+  std::size_t span_mark = 0;  // tracer position at handler entry
+  bool has_span_mark = false;
+};
+
+/// Immutable summary of one finished (or dropped) request.
+struct RequestRecord {
+  std::uint64_t seq = 0;
+  std::string id;
+  std::uint64_t ts_ms = 0;  // unix wall-clock completion time
+  std::string method;
+  std::string target;
+  int status = 0;           // 408 = read timeout, 499 = send failed
+  std::size_t bytes = 0;    // response body bytes
+  bool dropped = false;     // response never reached the client
+  double queue_us = 0;
+  double parse_us = 0;
+  double cache_us = 0;
+  double eval_us = 0;
+  double serialize_us = 0;
+  double wall_us = 0;
+  int cache = -1;
+  std::size_t shards = 0;
+  std::string canonical_key;
+  std::string stop_reason;
+};
+
+struct ObserverOptions {
+  std::size_t requests_capacity = 256;  // /debug/requests ring
+  std::size_t slow_capacity = 32;       // /debug/slow ring
+  /// Slow-capture threshold on wall_us: < 0 disables capture, 0 captures
+  /// every request (CI's forced slow path), N captures wall_us >= N.
+  std::int64_t slow_us = -1;
+  /// "" = no access log, "-" = stdout, else a file path (appended).
+  std::string access_log_path;
+};
+
+class RequestObserver {
+ public:
+  /// Opens the access log eagerly; throws wflog::Error when the path
+  /// cannot be opened (fail at startup, not on the first request).
+  explicit RequestObserver(ObserverOptions options);
+  ~RequestObserver();
+  RequestObserver(const RequestObserver&) = delete;
+  RequestObserver& operator=(const RequestObserver&) = delete;
+
+  /// Folds one finished request in: rings, histograms, access log, slow
+  /// capture. MUST run on the worker thread that served the request so
+  /// the span summary (tracer thread buffer) attributes correctly.
+  void record(RequestRecord rec, const RequestContext& ctx);
+
+  /// {"requests": [oldest..newest], "capacity": N, "evicted": N}
+  JsonValue requests_json() const;
+  /// {"slow": [oldest..newest], "threshold_ms": .., "evicted": N}
+  JsonValue slow_json() const;
+  /// Aggregate block for /stats.
+  JsonValue stats_json() const;
+  /// Per-endpoint + per-canonical-key latency histograms in Prometheus
+  /// text exposition format, appended to the registry scrape by /metrics.
+  std::string prometheus_text() const;
+
+  bool access_log_enabled() const noexcept { return log_ != nullptr; }
+  std::int64_t slow_us() const noexcept { return options_.slow_us; }
+  std::uint64_t requests_seen() const noexcept {
+    return requests_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Hist {
+    std::vector<std::uint64_t> buckets;  // bounds_.size() + 1 (+Inf)
+    double sum = 0;
+    std::uint64_t count = 0;
+  };
+  struct SlowCapture {
+    RequestRecord rec;
+    std::string query;
+    std::string plan;
+    JsonValue spans;  // [{"span":..,"count":..,"total_us":..,"max_us":..}]
+  };
+
+  void observe_labeled(std::map<std::string, Hist>& family,
+                       const std::string& key, std::size_t max_keys,
+                       double seconds);
+  void write_access_line(const RequestRecord& rec, bool slow);
+
+  const ObserverOptions options_;
+  const std::vector<double> bounds_;
+  obs::BoundedRing<RequestRecord> requests_;
+  obs::BoundedRing<SlowCapture> slow_;
+
+  mutable std::mutex hist_mu_;
+  std::map<std::string, Hist> by_endpoint_;
+  std::map<std::string, Hist> by_key_;
+
+  std::mutex log_mu_;
+  std::unique_ptr<std::ofstream> log_file_;  // null when stdout or disabled
+  std::ostream* log_ = nullptr;              // non-null = access log on
+
+  std::atomic<std::uint64_t> requests_seen_{0};
+  std::atomic<std::uint64_t> dropped_seen_{0};
+  std::atomic<std::uint64_t> slow_captured_{0};
+  std::atomic<std::uint64_t> access_lines_{0};
+};
+
+}  // namespace wflog::server

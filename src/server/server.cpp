@@ -40,6 +40,44 @@ void close_gently(int fd) noexcept {
   ::close(fd);
 }
 
+/// Client-supplied X-Request-Id values reach the access log and the
+/// /debug endpoints verbatim, so constrain them: printable ASCII minus
+/// space, capped at 64 chars (no log injection, no unbounded ids).
+std::string sanitize_request_id(std::string_view v) {
+  std::string out;
+  for (char c : v) {
+    if (out.size() >= 64) break;
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u > 0x20 && u < 0x7f) out += c;
+  }
+  return out;
+}
+
+RequestRecord make_record(const RequestContext& ctx, const HttpRequest* req,
+                          int status, std::size_t bytes, bool dropped) {
+  RequestRecord rec;
+  rec.seq = ctx.seq;
+  rec.id = ctx.id;
+  if (req != nullptr) {
+    rec.method = req->method;
+    rec.target = req->target;
+  }
+  rec.status = status;
+  rec.bytes = bytes;
+  rec.dropped = dropped;
+  rec.queue_us = ctx.queue_us;
+  rec.parse_us = ctx.parse_us;
+  rec.cache_us = ctx.cache_us;
+  rec.eval_us = ctx.eval_us;
+  rec.serialize_us = ctx.serialize_us;
+  rec.wall_us = ctx.wall_us;
+  rec.cache = ctx.cache;
+  rec.shards = ctx.shards;
+  rec.canonical_key = ctx.canonical_key;
+  rec.stop_reason = ctx.stop_reason;
+  return rec;
+}
+
 }  // namespace
 
 // ----- Router --------------------------------------------------------------
@@ -49,12 +87,13 @@ void Router::add(std::string method, std::string path, Handler handler) {
                           std::move(handler)});
 }
 
-HttpResponse Router::dispatch(const HttpRequest& req) const {
+HttpResponse Router::dispatch(const HttpRequest& req,
+                              RequestContext& ctx) const {
   bool path_seen = false;
   for (const Route& r : routes_) {
     if (r.path != req.target) continue;
     path_seen = true;
-    if (r.method == req.method) return r.handler(req);
+    if (r.method == req.method) return r.handler(req, ctx);
   }
   if (path_seen) {
     return HttpResponse::error(405, "method " + req.method +
@@ -170,6 +209,7 @@ ServerStats HttpServer::stats() const {
   s.served = served_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.dropped_responses = dropped_.load(std::memory_order_relaxed);
   s.queue_depth = queue_->size();
   return s;
 }
@@ -192,6 +232,7 @@ void HttpServer::accept_loop() {
     Conn conn;
     conn.fd = fd;
     conn.last_active = Clock::now();
+    conn.enqueued = conn.last_active;
     if (!queue_->try_push(std::move(conn))) {
       // Admission control: shed at the door with an explicit retry hint
       // rather than queuing unboundedly (the box is already saturated).
@@ -230,13 +271,18 @@ void HttpServer::accept_loop() {
 void HttpServer::worker_loop() {
   while (std::optional<Conn> item = queue_->pop()) {
     Conn conn = std::move(*item);
+    const double queue_us =
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  conn.enqueued)
+            .count();
     if (draining() && conn.buf.empty()) {
       // Admitted but never started; during drain just let it go.
       ::close(conn.fd);
       continue;
     }
-    if (serve_one(conn)) {
+    if (serve_one(conn, queue_us)) {
       const int fd = conn.fd;
+      conn.enqueued = Clock::now();
       if (!queue_->try_push(std::move(conn))) ::close(fd);
     } else {
       close_gently(conn.fd);
@@ -244,7 +290,7 @@ void HttpServer::worker_loop() {
   }
 }
 
-bool HttpServer::serve_one(Conn& conn) {
+bool HttpServer::serve_one(Conn& conn, double queue_us) {
   // Nothing buffered: take one short slice to see if the client is
   // talking. Idle keep-alive connections get re-queued (round-robin
   // across workers) until idle_timeout_ms, not camped on.
@@ -260,6 +306,9 @@ bool HttpServer::serve_one(Conn& conn) {
     if (n <= 0) return false;  // orderly close or error
   }
   conn.last_active = Clock::now();
+
+  RequestContext ctx;
+  ctx.queue_us = queue_us;
 
   // One request is in flight: finish reading it within io_timeout_ms.
   const auto deadline =
@@ -285,7 +334,13 @@ bool HttpServer::serve_one(Conn& conn) {
     const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
                           deadline - Clock::now())
                           .count();
-    if (left <= 0) return false;  // client too slow; drop quietly
+    if (left <= 0) {
+      // Client too slow: the request never completed, no response will be
+      // written. Count it and give the access log a distinct status (408)
+      // instead of dropping it invisibly.
+      count_dropped(&req, nullptr, ctx, 408);
+      return false;
+    }
     const int r = poll_readable(
         conn.fd, static_cast<int>(std::min<long long>(left, 100)));
     if (r < 0) return false;
@@ -293,27 +348,77 @@ bool HttpServer::serve_one(Conn& conn) {
     if (recv_some(conn.fd, conn.buf) <= 0) return false;
   }
 
-  HttpResponse resp = dispatch_instrumented(req);
+  // Request identity: honor the client's X-Request-Id (sanitized) so a
+  // caller can correlate its own logs with ours; otherwise mint one.
+  ctx.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  ctx.id = sanitize_request_id(req.header("x-request-id"));
+  if (ctx.id.empty()) ctx.id = "wfq-" + std::to_string(ctx.seq);
+
+  HttpResponse resp = dispatch_instrumented(req, ctx);
+  resp.extra_headers.emplace_back("x-request-id", ctx.id);
   const bool keep = req.keep_alive() && !draining();
-  if (!send_all(conn.fd, serialize_response(resp, keep))) return false;
+  const auto ser0 = Clock::now();
+  const std::string wire = serialize_response(resp, keep);
+  const double wire_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - ser0).count();
+  ctx.serialize_us += wire_us;
+  ctx.wall_us += wire_us;
+  if (!send_all(conn.fd, wire)) {
+    // The handler ran but the response never reached the client — a
+    // distinct failure from the 408 read timeout (status 499 in the log).
+    count_dropped(&req, &resp, ctx, 499);
+    return false;
+  }
+  if (options_.observer != nullptr) {
+    options_.observer->record(
+        make_record(ctx, &req, resp.status, resp.body.size(),
+                    /*dropped=*/false),
+        ctx);
+  }
   served_.fetch_add(1, std::memory_order_relaxed);
   conn.last_active = Clock::now();
   return keep;
 }
 
-HttpResponse HttpServer::dispatch_instrumented(const HttpRequest& req) {
+void HttpServer::count_dropped(const HttpRequest* req,
+                               const HttpResponse* resp, RequestContext& ctx,
+                               int status) {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  WFLOG_TELEMETRY(t) {
+    t->metrics
+        .counter("wflog_server_dropped_responses_total",
+                 "Requests whose response was never delivered (slow-client "
+                 "read timeout or failed write)")
+        ->inc();
+  }
+  if (options_.observer == nullptr) return;
+  if (ctx.id.empty()) {
+    ctx.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    ctx.id = "wfq-" + std::to_string(ctx.seq);
+  }
+  options_.observer->record(
+      make_record(ctx, req, status, resp != nullptr ? resp->body.size() : 0,
+                  /*dropped=*/true),
+      ctx);
+}
+
+HttpResponse HttpServer::dispatch_instrumented(const HttpRequest& req,
+                                               RequestContext& ctx) {
   WFLOG_SPAN(span, "http.request");
   if (span.active()) {
     span.arg("method", req.method);
     span.arg("target", req.target);
+    span.arg("request_id", ctx.id);
   }
   const auto t0 = Clock::now();
   HttpResponse resp;
   try {
-    resp = router_.dispatch(req);
+    resp = router_.dispatch(req, ctx);
   } catch (const std::exception& e) {
     resp = HttpResponse::error(500, e.what());
   }
+  ctx.wall_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
   WFLOG_TELEMETRY(t) {
     t->metrics
         .counter("wflog_http_requests_total", "HTTP requests dispatched")

@@ -34,18 +34,22 @@
 
 #include "core/guard.h"
 #include "server/http.h"
+#include "server/observer.h"
 #include "server/pool.h"
 
 namespace wflog::server {
 
-using Handler = std::function<HttpResponse(const HttpRequest&)>;
+/// Handlers receive the request plus its RequestContext (observer.h) and
+/// fill in the pipeline slice of the latency breakdown; transport-only
+/// handlers can ignore the context.
+using Handler = std::function<HttpResponse(const HttpRequest&, RequestContext&)>;
 
 /// Exact-match method+path routing; unknown path → 404, known path with
 /// the wrong method → 405.
 class Router {
  public:
   void add(std::string method, std::string path, Handler handler);
-  HttpResponse dispatch(const HttpRequest& req) const;
+  HttpResponse dispatch(const HttpRequest& req, RequestContext& ctx) const;
 
  private:
   struct Route {
@@ -68,6 +72,9 @@ struct ServerOptions {
   /// Tripped when the drain grace period expires; handlers thread it into
   /// RunLimits so in-flight evaluations stop cooperatively.
   CancelToken drain_cancel = make_cancel_token();
+  /// Borrowed request observer (rings, histograms, access log); null =
+  /// request observability off. Must outlive the server.
+  RequestObserver* observer = nullptr;
 };
 
 struct ServerStats {
@@ -75,6 +82,8 @@ struct ServerStats {
   std::uint64_t served = 0;        // responses written (any status)
   std::uint64_t rejected = 0;      // 503s shed at the door
   std::uint64_t bad_requests = 0;  // parse-level 4xx
+  std::uint64_t dropped_responses = 0;  // slow-client read timeouts +
+                                        // failed response writes
   std::uint64_t queue_depth = 0;   // connections waiting right now
 };
 
@@ -114,13 +123,20 @@ class HttpServer {
     int fd = -1;
     std::string buf;
     std::chrono::steady_clock::time_point last_active;
+    /// When this connection last entered the queue — pop-minus-enqueued
+    /// is the request's queue-wait slice of the latency breakdown.
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   void accept_loop();
   void worker_loop();
   /// Serves at most one request; true to re-queue (keep-alive).
-  bool serve_one(Conn& conn);
-  HttpResponse dispatch_instrumented(const HttpRequest& req);
+  /// `queue_us` is how long the connection waited for this worker.
+  bool serve_one(Conn& conn, double queue_us);
+  HttpResponse dispatch_instrumented(const HttpRequest& req,
+                                     RequestContext& ctx);
+  void count_dropped(const HttpRequest* req, const HttpResponse* resp,
+                     RequestContext& ctx, int status);
 
   Router router_;
   ServerOptions options_;
@@ -145,6 +161,8 @@ class HttpServer {
   mutable std::atomic<std::uint64_t> served_{0};
   mutable std::atomic<std::uint64_t> rejected_{0};
   mutable std::atomic<std::uint64_t> bad_requests_{0};
+  mutable std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> next_seq_{1};  // request ids: "wfq-<seq>"
 };
 
 }  // namespace wflog::server

@@ -20,6 +20,7 @@
 #include "core/engine.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/ring.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "workflow/workload.h"
@@ -428,6 +429,52 @@ TEST(TracerTest, SnapshotStampsStillOpenSpans) {
   open.end();
 }
 
+TEST(TracerTest, ThreadMarkSummarizesOnlyNewerClosedSpans) {
+  Tracer tracer;
+  tracer.span("before").end();  // older than the mark: excluded
+
+  const std::size_t mark = tracer.thread_mark();
+  tracer.span("eval").end();
+  tracer.span("eval").end();
+  tracer.span("render").end();
+  Tracer::Span open = tracer.span("open");  // not closed: excluded
+
+  const std::vector<SpanSummary> sum = tracer.summarize_thread_since(mark);
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_EQ(sum[0].name, "eval");  // first-seen order
+  EXPECT_EQ(sum[0].count, 2u);
+  EXPECT_GE(sum[0].total_ns, sum[0].max_ns);
+  EXPECT_EQ(sum[1].name, "render");
+  EXPECT_EQ(sum[1].count, 1u);
+  open.end();
+}
+
+TEST(TracerTest, ThreadMarkIsPerThread) {
+  Tracer tracer;
+  const std::size_t mark = tracer.thread_mark();
+  std::thread([&tracer] { tracer.span("elsewhere").end(); }).join();
+  // Another thread's spans land in its own lane: this thread still sees
+  // nothing past its mark.
+  EXPECT_TRUE(tracer.summarize_thread_since(mark).empty());
+}
+
+TEST(TracerTest, SpanLimitDropsAndCounts) {
+  Tracer tracer;
+  tracer.set_thread_span_limit(2);
+  EXPECT_EQ(tracer.thread_span_limit(), 2u);
+  tracer.span("a").end();
+  tracer.span("b").end();
+  Tracer::Span dropped = tracer.span("c");
+  EXPECT_FALSE(dropped.active());  // inert: over the cap
+  EXPECT_EQ(tracer.num_spans(), 2u);
+  EXPECT_EQ(tracer.num_dropped(), 1u);
+
+  tracer.set_thread_span_limit(0);  // uncapped again
+  tracer.span("d").end();
+  EXPECT_EQ(tracer.num_spans(), 3u);
+  EXPECT_EQ(tracer.num_dropped(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Exporters
 
@@ -464,6 +511,39 @@ TEST(PrometheusExportTest, ExpositionGrammar) {
     }
   }
   EXPECT_GT(lines, 10u);
+}
+
+TEST(PrometheusExportTest, EscapeLabelValue) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(escape_label_value(""), "");
+}
+
+// The exposition convention: counters (and only counters) end in _total.
+// Guards the ambient Telemetry registry against drift as metrics get
+// added — a counter named like a gauge breaks dashboards silently.
+TEST(PrometheusExportTest, CounterNamesCarryTotalSuffix) {
+  Telemetry telemetry;  // registers the full engine/server metric set
+  const auto ends_with_total = [](const std::string& name) {
+    static const std::string suffix = "_total";
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  const MetricsSnapshot snap = telemetry.metrics.snapshot();
+  EXPECT_FALSE(snap.counters.empty());
+  for (const MetricsSnapshot::CounterSample& c : snap.counters) {
+    EXPECT_TRUE(ends_with_total(c.name)) << c.name;
+  }
+  for (const MetricsSnapshot::GaugeSample& g : snap.gauges) {
+    EXPECT_FALSE(ends_with_total(g.name)) << g.name;
+  }
+  for (const MetricsSnapshot::HistogramSample& h : snap.histograms) {
+    EXPECT_FALSE(ends_with_total(h.name)) << h.name;
+  }
 }
 
 TEST(PrometheusExportTest, HistogramBucketsAreCumulativeAndConsistent) {
@@ -533,6 +613,63 @@ TEST(TreeExportTest, IndentsChildrenUnderParents) {
   const std::string tree = to_tree_string(tracer.snapshot());
   EXPECT_NE(tree.find("query "), std::string::npos);
   EXPECT_NE(tree.find("\n  query.eval "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedRing: the /debug ring-buffer primitive
+
+TEST(BoundedRingTest, FillsThenOverwritesOldestFirst) {
+  BoundedRing<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 3u);
+  EXPECT_TRUE(ring.snapshot().empty());
+
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(ring.evicted(), 0u);
+
+  ring.push(3);
+  ring.push(4);  // evicts 1
+  ring.push(5);  // evicts 2
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(ring.evicted(), 2u);
+}
+
+TEST(BoundedRingTest, ClearResetsContentsButNotEvictionCount) {
+  BoundedRing<std::string> ring(2);
+  ring.push("a");
+  ring.push("b");
+  ring.push("c");
+  EXPECT_EQ(ring.evicted(), 1u);
+  ring.clear();
+  EXPECT_TRUE(ring.snapshot().empty());
+  EXPECT_EQ(ring.evicted(), 1u);  // lifetime counter survives clear()
+  ring.push("d");
+  EXPECT_EQ(ring.snapshot(), (std::vector<std::string>{"d"}));
+}
+
+TEST(BoundedRingTest, ZeroCapacityClampsToOne) {
+  BoundedRing<int> ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.push(7);
+  ring.push(8);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{8}));
+}
+
+TEST(BoundedRingTest, ConcurrentPushesKeepAllSlotsValid) {
+  BoundedRing<int> ring(16);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&ring, t] {
+      for (int i = 0; i < 500; ++i) ring.push(t * 1000 + i);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  const std::vector<int> snap = ring.snapshot();
+  EXPECT_EQ(snap.size(), 16u);
+  EXPECT_EQ(ring.evicted(), 4u * 500u - 16u);
+  for (const int v : snap) EXPECT_GE(v, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,6 +37,9 @@ echo "== tier 1f: shard label (scatter/gather differential harness) =="
 ctest --test-dir "$repo/build" --output-on-failure -L shard \
   --timeout "$timeout" "$@"
 
+echo "== tier 1g: observability smoke (wfqd + access log + /debug/slow) =="
+"$repo/tests/smoke_observability.sh" "$repo/build/examples/wfqd"
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 

@@ -18,8 +18,10 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <regex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -164,17 +166,19 @@ TEST(BoundedQueueTest, ShedsWhenFullDrainsWhenClosed) {
 
 TEST(RouterTest, ExactMatch404And405) {
   server::Router router;
-  router.add("GET", "/x", [](const server::HttpRequest&) {
-    return server::HttpResponse::text(200, "hit");
-  });
+  router.add("GET", "/x",
+             [](const server::HttpRequest&, server::RequestContext&) {
+               return server::HttpResponse::text(200, "hit");
+             });
   server::HttpRequest req;
+  server::RequestContext ctx;
   req.method = "GET";
   req.target = "/x";
-  EXPECT_EQ(router.dispatch(req).status, 200);
+  EXPECT_EQ(router.dispatch(req, ctx).status, 200);
   req.method = "POST";
-  EXPECT_EQ(router.dispatch(req).status, 405);
+  EXPECT_EQ(router.dispatch(req, ctx).status, 405);
   req.target = "/nope";
-  EXPECT_EQ(router.dispatch(req).status, 404);
+  EXPECT_EQ(router.dispatch(req, ctx).status, 404);
 }
 
 // ----- live-server fixture ------------------------------------------------
@@ -187,12 +191,15 @@ struct TestServer {
   explicit TestServer(std::optional<Log> log,
                       server::ServiceOptions svc = {},
                       server::ServerOptions opts = {},
-                      std::optional<LogStore> store = std::nullopt) {
+                      std::optional<LogStore> store = std::nullopt,
+                      server::RequestObserver* observer = nullptr) {
     opts.port = 0;
+    opts.observer = observer;
     service = std::make_unique<server::QueryService>(
         std::move(log), std::move(svc), opts.drain_cancel, std::move(store));
     server::Router router;
     service->bind(router);
+    if (observer != nullptr) service->attach_observer(observer);
     http = std::make_unique<server::HttpServer>(std::move(router),
                                                 std::move(opts));
     service->attach_server(http.get());
@@ -439,6 +446,423 @@ TEST(ServerTest, EmptyLogStillAnswersAndValidates) {
   EXPECT_EQ(c.post("/query", R"({"query": "((broken"})").status, 400);
 }
 
+// ----- request observability ----------------------------------------------
+
+const server::JsonValue* find_record(const server::JsonArray& records,
+                                     const std::string& id) {
+  for (const server::JsonValue& r : records) {
+    if (r.find("id") != nullptr && r.find("id")->as_string() == id) return &r;
+  }
+  return nullptr;
+}
+
+TEST(ObservabilityTest, RequestIdEchoedGeneratedAndSanitized) {
+  server::RequestObserver observer({});
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+  const std::string body = R"({"query": "a -> b"})";
+
+  const server::ClientResponse echoed = c.post(
+      "/query", body, "application/json", {{"x-request-id", "abc-123"}});
+  ASSERT_EQ(echoed.status, 200);
+  ASSERT_NE(echoed.header("x-request-id"), nullptr);
+  EXPECT_EQ(*echoed.header("x-request-id"), "abc-123");
+
+  const server::ClientResponse generated = c.post("/query", body);
+  ASSERT_NE(generated.header("x-request-id"), nullptr);
+  EXPECT_EQ(generated.header("x-request-id")->substr(0, 4), "wfq-");
+
+  // Whitespace is stripped out of a client id before it is echoed or
+  // logged (no header/log-injection via the id).
+  const server::ClientResponse weird = c.post(
+      "/query", body, "application/json", {{"x-request-id", "a b\tc"}});
+  ASSERT_NE(weird.header("x-request-id"), nullptr);
+  EXPECT_EQ(*weird.header("x-request-id"), "abc");
+
+  // The ids land in /debug/requests along with errors (a bad query is
+  // still a request).
+  const server::ClientResponse bad = c.post(
+      "/query", "{}", "application/json", {{"x-request-id", "bad-req"}});
+  EXPECT_EQ(bad.status, 400);
+  const server::ClientResponse dbg = c.get("/debug/requests");
+  ASSERT_EQ(dbg.status, 200);
+  const server::JsonValue v = server::parse_json(dbg.body);
+  const server::JsonArray& records = v.find("requests")->as_array();
+  ASSERT_NE(find_record(records, "abc-123"), nullptr);
+  const server::JsonValue* bad_rec = find_record(records, "bad-req");
+  ASSERT_NE(bad_rec, nullptr);
+  EXPECT_EQ(bad_rec->find("status")->as_int(), 400);
+}
+
+TEST(ObservabilityTest, BreakdownComponentsSumToWall) {
+  server::RequestObserver observer({});
+  TestServer ts(workload::procurement(400), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+
+  const server::ClientResponse resp = c.post(
+      "/query",
+      R"({"query": "CreatePO -> ReceiveGoods -> Pay", "limit": 100000})",
+      "application/json", {{"x-request-id", "breakdown-probe"}});
+  ASSERT_EQ(resp.status, 200) << resp.body;
+
+  const server::ClientResponse dbg = c.get("/debug/requests");
+  ASSERT_EQ(dbg.status, 200);
+  const server::JsonValue v = server::parse_json(dbg.body);
+  const server::JsonValue* probe =
+      find_record(v.find("requests")->as_array(), "breakdown-probe");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->find("method")->as_string(), "POST");
+  EXPECT_EQ(probe->find("path")->as_string(), "/query");
+  EXPECT_EQ(probe->find("status")->as_int(), 200);
+  EXPECT_GT(probe->find("bytes")->as_int(), 0);
+  EXPECT_FALSE(probe->find("key")->as_string().empty());
+  EXPECT_FALSE(probe->find("stop_reason")->as_string().empty());
+
+  // The acceptance bar: the pipeline slices account for the request's
+  // wall time to within 5% (queue wait is measured before the wall clock
+  // starts, so it is not part of the sum).
+  const server::JsonValue* b = probe->find("breakdown");
+  ASSERT_NE(b, nullptr);
+  const double wall = b->find("wall_us")->as_double();
+  const double sum =
+      b->find("parse_us")->as_double() + b->find("cache_us")->as_double() +
+      b->find("eval_us")->as_double() + b->find("serialize_us")->as_double();
+  EXPECT_GT(wall, 0.0);
+  EXPECT_GT(b->find("eval_us")->as_double(), 0.0);
+  EXPECT_GE(b->find("queue_us")->as_double(), 0.0);
+  EXPECT_LE(sum, wall * 1.05) << "slices exceed the wall clock";
+  EXPECT_GE(sum, wall * 0.95) << "untimed gap > 5%: wall=" << wall
+                              << " sum=" << sum;
+}
+
+TEST(ObservabilityTest, CacheAttributionInRecords) {
+  server::RequestObserver observer({});
+  server::ServiceOptions svc;
+  svc.cache_bytes = 1 << 20;
+  TestServer ts(small_log(), std::move(svc), {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+  const std::string body = R"({"query": "a -> c"})";
+
+  ASSERT_EQ(c.post("/query", body, "application/json",
+                   {{"x-request-id", "первый"}})
+                .status,
+            200);  // non-ASCII id: fully stripped, so generated
+  ASSERT_EQ(c.post("/query", body, "application/json",
+                   {{"x-request-id", "warm"}})
+                .status,
+            200);
+  ASSERT_EQ(c.post("/query", body, "application/json",
+                   {{"x-request-id", "served"}})
+                .status,
+            200);
+
+  const server::JsonValue v =
+      server::parse_json(c.get("/debug/requests").body);
+  const server::JsonArray& records = v.find("requests")->as_array();
+  const server::JsonValue* warm = find_record(records, "warm");
+  const server::JsonValue* served = find_record(records, "served");
+  ASSERT_NE(warm, nullptr);
+  ASSERT_NE(served, nullptr);
+  EXPECT_EQ(served->find("cache")->as_string(), "hit");
+  EXPECT_DOUBLE_EQ(
+      served->find("breakdown")->find("eval_us")->as_double(), 0.0);
+  // "warm" ran after the generated-id request primed the cache, so it is
+  // a hit too; the very first request was the miss.
+  EXPECT_EQ(warm->find("cache")->as_string(), "hit");
+  EXPECT_EQ(find_record(records, "первый"), nullptr);  // id was stripped
+}
+
+TEST(ObservabilityTest, SlowRingCapturesPlanAndEvicts) {
+  server::ObserverOptions oopts;
+  oopts.slow_us = 0;  // capture every request
+  oopts.slow_capacity = 2;
+  server::RequestObserver observer(oopts);
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+
+  for (const char* q : {"a -> b", "b -> c", "a -> c"}) {
+    server::JsonValue body;
+    body.set("query", q);
+    ASSERT_EQ(c.post("/query", body.dump()).status, 200);
+  }
+
+  const server::ClientResponse dbg = c.get("/debug/slow");
+  ASSERT_EQ(dbg.status, 200);
+  const server::JsonValue v = server::parse_json(dbg.body);
+  EXPECT_DOUBLE_EQ(v.find("threshold_ms")->as_double(), 0.0);
+  EXPECT_GE(v.find("evicted")->as_int(), 1);
+  const server::JsonArray& slow = v.find("slow")->as_array();
+  ASSERT_EQ(slow.size(), 2u);  // capacity bound held
+  // Oldest-first: the first query fell off the ring.
+  EXPECT_EQ(slow[0].find("query")->as_string(), "b -> c");
+  EXPECT_EQ(slow[1].find("query")->as_string(), "a -> c");
+  for (const server::JsonValue& cap : slow) {
+    EXPECT_FALSE(cap.find("plan")->as_string().empty());
+    EXPECT_TRUE(cap.find("spans")->is_array());
+    EXPECT_GT(cap.find("breakdown")->find("wall_us")->as_double(), 0.0);
+  }
+}
+
+#if WFLOG_OBS_ENABLED
+TEST(ObservabilityTest, SlowCaptureSummarizesRequestSpans) {
+  // With an ambient Telemetry installed (as wfqd always does), a slow
+  // capture carries the per-operator span summary of exactly its own
+  // request.
+  obs::Telemetry telemetry;
+  obs::ScopedTelemetry installed(telemetry);
+  server::ObserverOptions oopts;
+  oopts.slow_us = 0;
+  server::RequestObserver observer(oopts);
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+  ASSERT_EQ(c.post("/query", R"({"query": "a -> b"})").status, 200);
+
+  const server::JsonValue v =
+      server::parse_json(c.get("/debug/slow").body);
+  const server::JsonArray& slow = v.find("slow")->as_array();
+  ASSERT_EQ(slow.size(), 1u);
+  const server::JsonArray& spans = slow[0].find("spans")->as_array();
+  ASSERT_FALSE(spans.empty());
+  bool saw_eval = false;
+  for (const server::JsonValue& s : spans) {
+    EXPECT_GE(s.find("count")->as_int(), 1);
+    EXPECT_GE(s.find("total_us")->as_double(),
+              s.find("max_us")->as_double());
+    if (s.find("span")->as_string() == "query.eval") saw_eval = true;
+  }
+  EXPECT_TRUE(saw_eval) << c.get("/debug/slow").body;
+}
+#endif  // WFLOG_OBS_ENABLED
+
+TEST(ObservabilityTest, DebugEndpointsAre404WithoutObserver) {
+  TestServer ts(small_log());
+  server::HttpClient c = ts.client();
+  EXPECT_EQ(c.get("/debug/requests").status, 404);
+  EXPECT_EQ(c.get("/debug/slow").status, 404);
+}
+
+TEST(ObservabilityTest, AccessLogWritesOneJsonLinePerRequest) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("wflog-access-log-" + std::to_string(::getpid()) + ".jsonl");
+  fs::remove(path);
+  {
+    server::ObserverOptions oopts;
+    oopts.access_log_path = path.string();
+    server::RequestObserver observer(oopts);
+    ASSERT_TRUE(observer.access_log_enabled());
+    TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+    server::HttpClient c = ts.client();
+    ASSERT_EQ(c.post("/query", R"({"query": "a -> b"})", "application/json",
+                     {{"x-request-id", "logged-1"}})
+                  .status,
+              200);
+    // record() runs on the worker thread just after the response bytes go
+    // out; wait for it before reading the file.
+    for (int i = 0; i < 200 && observer.requests_seen() < 1; ++i) {
+      std::this_thread::sleep_for(5ms);
+    }
+    ASSERT_GE(observer.requests_seen(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const server::JsonValue entry = server::parse_json(line);
+  EXPECT_EQ(entry.find("id")->as_string(), "logged-1");
+  EXPECT_EQ(entry.find("path")->as_string(), "/query");
+  EXPECT_EQ(entry.find("status")->as_int(), 200);
+  EXPECT_FALSE(entry.find("dropped")->as_bool());
+  ASSERT_NE(entry.find("breakdown"), nullptr);
+  EXPECT_GT(entry.find("breakdown")->find("wall_us")->as_double(), 0.0);
+  fs::remove(path);
+}
+
+TEST(ObservabilityTest, UnopenableAccessLogFailsAtStartup) {
+  server::ObserverOptions oopts;
+  oopts.access_log_path = "/nonexistent-dir/access.jsonl";
+  EXPECT_THROW(server::RequestObserver observer(std::move(oopts)), Error);
+}
+
+#if WFLOG_OBS_ENABLED
+TEST(ObservabilityTest, MetricsScrapeMatchesExpositionGrammar) {
+  obs::Telemetry telemetry;  // /metrics needs the ambient registry
+  obs::ScopedTelemetry installed(telemetry);
+  server::RequestObserver observer({});
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+  ASSERT_EQ(c.post("/query", R"({"query": "a -> b"})").status, 200);
+  ASSERT_EQ(c.post("/query", R"({"query": "b -> c"})").status, 200);
+
+  const server::ClientResponse scrape = c.get("/metrics");
+  ASSERT_EQ(scrape.status, 200);
+  // Full exposition grammar including label sets: every non-comment line
+  // is `name{label="value",...} value` with escaped label values.
+  const std::regex comment(R"(^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  const std::regex sample(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")"
+      R"((,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? )"
+      R"(([0-9eE.+-]+|\+Inf|NaN)$)");
+  std::istringstream in(scrape.body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, comment)) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample)) << line;
+    }
+  }
+  // The observer's labeled families made it into the scrape.
+  EXPECT_NE(scrape.body.find(
+                "wflog_server_endpoint_seconds_bucket{endpoint=\"/query\""),
+            std::string::npos);
+  EXPECT_NE(scrape.body.find("wflog_server_pattern_seconds_count"),
+            std::string::npos);
+}
+#endif  // WFLOG_OBS_ENABLED
+
+TEST(ObservabilityTest, StatsCarriesObservabilityBlock) {
+  server::RequestObserver observer({});
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+  server::HttpClient c = ts.client();
+  ASSERT_EQ(c.post("/query", R"({"query": "a -> b"})").status, 200);
+  ASSERT_EQ(c.post("/query", R"({"query": "b -> c"})").status, 200);
+
+  const server::JsonValue stats =
+      server::parse_json(c.get("/stats").body);
+  const server::JsonValue* obs_block = stats.find("observability");
+  ASSERT_NE(obs_block, nullptr);
+  EXPECT_GE(obs_block->find("requests")->as_int(), 2);
+  EXPECT_FALSE(obs_block->find("access_log")->as_bool());
+  EXPECT_EQ(obs_block->find("dropped_responses")->as_int(), 0);
+  ASSERT_NE(obs_block->find("endpoints")->find("/query"), nullptr);
+  EXPECT_GE(
+      obs_block->find("endpoints")->find("/query")->find("count")->as_int(),
+      2);
+}
+
+TEST(ObservabilityTest, SlowClientReadTimeoutCountedAndRecorded) {
+  server::RequestObserver observer({});
+  server::ServerOptions opts;
+  opts.io_timeout_ms = 100;
+  TestServer ts(small_log(), {}, std::move(opts), std::nullopt, &observer);
+
+  // A half request that never completes: the read times out, the server
+  // hangs up without a response — that MUST NOT vanish silently.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ts.http->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string partial =
+      "POST /query HTTP/1.1\r\ncontent-length: 64\r\n\r\n{\"que";
+  ASSERT_EQ(::send(fd, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+
+  for (int i = 0; i < 400 && observer.requests_seen() < 1; ++i) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ::close(fd);
+  ASSERT_GE(observer.requests_seen(), 1u);
+
+  server::HttpClient c = ts.client();
+  const server::JsonValue stats = server::parse_json(c.get("/stats").body);
+  EXPECT_GE(stats.find("server")->find("dropped_responses")->as_int(), 1);
+  EXPECT_GE(
+      stats.find("observability")->find("dropped_responses")->as_int(), 1);
+
+  const server::JsonValue v =
+      server::parse_json(c.get("/debug/requests").body);
+  bool found = false;
+  for (const server::JsonValue& r : v.find("requests")->as_array()) {
+    if (r.find("status")->as_int() != 408) continue;
+    found = true;
+    EXPECT_TRUE(r.find("dropped")->as_bool());
+    EXPECT_FALSE(r.find("id")->as_string().empty());
+  }
+  EXPECT_TRUE(found) << "no 408 dropped-response record";
+}
+
+TEST(ObservabilityTest, DebugEndpointsUnderEightConcurrentClients) {
+  server::ObserverOptions oopts;
+  oopts.slow_us = 0;
+  oopts.requests_capacity = 64;
+  oopts.slow_capacity = 16;
+  server::RequestObserver observer(oopts);
+  TestServer ts(small_log(), {}, {}, std::nullopt, &observer);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&ts, &failures] {
+      try {
+        server::HttpClient c = ts.client();
+        for (int i = 0; i < kRounds; ++i) {
+          if (c.post("/query", R"({"query": "a -> b"})").status != 200 ||
+              c.get("/debug/requests").status != 200 ||
+              c.get("/debug/slow").status != 200 ||
+              c.get("/stats").status != 200) {
+            failures.fetch_add(1);
+            continue;
+          }
+          // Every /debug payload must be valid JSON mid-churn.
+          server::parse_json(c.get("/debug/requests").body);
+          server::parse_json(c.get("/debug/slow").body);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(observer.requests_seen(),
+            static_cast<std::uint64_t>(kClients * kRounds));
+}
+
+TEST(ObservabilityTest, HealthzJsonReadinessDetail) {
+  TestServer ts(small_log());
+  server::HttpClient c = ts.client();
+
+  // The plain fast path is untouched.
+  EXPECT_EQ(c.get("/healthz").body, "ok\n");
+
+  const server::ClientResponse resp =
+      c.get("/healthz", {{"accept", "application/json"}});
+  ASSERT_EQ(resp.status, 200);
+  const server::JsonValue v = server::parse_json(resp.body);
+  EXPECT_EQ(v.find("status")->as_string(), "ok");
+  EXPECT_TRUE(v.find("ready")->as_bool());
+  EXPECT_FALSE(v.find("draining")->as_bool());
+  EXPECT_GE(v.find("snapshot_version")->as_int(), 1);
+  EXPECT_EQ(v.find("records")->as_int(), 15);
+  EXPECT_TRUE(v.find("ingest_enabled")->as_bool());
+  ASSERT_NE(v.find("queue_depth"), nullptr);
+}
+
+TEST(ObservabilityTest, VersionReportsBuildInfo) {
+  TestServer ts(small_log());
+  server::HttpClient c = ts.client();
+  const server::ClientResponse resp = c.get("/version");
+  ASSERT_EQ(resp.status, 200);
+  const server::JsonValue v = server::parse_json(resp.body);
+  EXPECT_EQ(v.find("server")->as_string(), "wfqd");
+  EXPECT_FALSE(v.find("version")->as_string().empty());
+  ASSERT_NE(v.find("obs_enabled"), nullptr);
+#if WFLOG_OBS_ENABLED
+  EXPECT_TRUE(v.find("obs_enabled")->as_bool());
+#else
+  EXPECT_FALSE(v.find("obs_enabled")->as_bool());
+#endif
+  EXPECT_FALSE(v.find("compiler")->as_string().empty());
+  EXPECT_GE(v.find("cxx_standard")->as_int(), 202002);
+}
+
 // ----- overload + drain ---------------------------------------------------
 
 /// A transport-only server (no engine) whose one route blocks until
@@ -449,10 +873,11 @@ struct SlowServer {
 
   SlowServer() {
     server::Router router;
-    router.add("GET", "/slow", [this](const server::HttpRequest&) {
-      while (!release.load()) std::this_thread::sleep_for(1ms);
-      return server::HttpResponse::text(200, "done");
-    });
+    router.add("GET", "/slow",
+               [this](const server::HttpRequest&, server::RequestContext&) {
+                 while (!release.load()) std::this_thread::sleep_for(1ms);
+                 return server::HttpResponse::text(200, "done");
+               });
     server::ServerOptions opts;
     opts.port = 0;
     opts.threads = 1;
