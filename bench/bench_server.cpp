@@ -83,7 +83,12 @@ RunResult drive(std::uint16_t port, std::size_t clients,
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       try {
-        server::HttpClient client("127.0.0.1", port, /*timeout_ms=*/30000);
+        // No client-side retries: a shed or failed request must count as
+        // an error, not be resent and skew the latency distribution.
+        server::ClientOptions copts;
+        copts.timeout_ms = 30000;
+        copts.backoff.max_retries = 0;
+        server::HttpClient client("127.0.0.1", port, copts);
         for (std::size_t i = 0; i < requests_per_client; ++i) {
           const std::string& body = bodies[i % bodies.size()];
           const auto start = Clock::now();

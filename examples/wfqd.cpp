@@ -51,6 +51,12 @@
 //                        0 captures everything; -1 disables capture.
 //   [--debug-requests N] /debug/requests ring capacity (default 256)
 //   [--debug-slow N]     /debug/slow ring capacity (default 32)
+//   [--recovery-backoff-ms N]   first recovery-probe delay after a store
+//                        write failure degrades the daemon to read-only
+//                        (default 100; doubles per failed probe up to 50x)
+//   [--max-recovery-attempts N] failed probes before recovery gives up
+//                        and stays degraded for an operator (default 0 =
+//                        retry forever)
 //
 // Every request carries a request id: the client's X-Request-Id header
 // (sanitized) or a generated "wfq-<seq>", echoed back in the response's
@@ -63,7 +69,15 @@
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight requests
 // finish (cooperatively cancelled after --drain-ms), then the process
-// exits 0.
+// exits 0. SIGHUP reopens the --access-log file so logrotate can move it
+// aside without restarting the daemon.
+//
+// Degraded mode: when a durable append to --store fails, the daemon stays
+// up read-only — /query and /batch keep serving the last good snapshot,
+// /ingest answers 503 with Retry-After — while a background recovery loop
+// reopens the store under capped exponential backoff (see --recovery-*
+// above). Transitions are logged to the access log and exported as
+// wflog_server_health_* metrics; /healthz reports the current state.
 
 #include <csignal>
 #include <cstdlib>
@@ -77,6 +91,7 @@
 
 #include "common/error.h"
 #include "server/handlers.h"
+#include "server/json.h"
 #include "server/server.h"
 
 namespace {
@@ -100,14 +115,22 @@ using namespace wflog;
          "observability: --access-log PATH|-  --slow-ms N (default 1000, "
          "-1=off)\n"
          "              --debug-requests N (default 256)  --debug-slow N "
-         "(default 32)\n";
+         "(default 32)\n"
+         "degraded mode: --recovery-backoff-ms N (default 100)\n"
+         "              --max-recovery-attempts N (default 0 = forever)\n";
   std::exit(2);
 }
 
 server::HttpServer* g_server = nullptr;
+server::RequestObserver* g_observer = nullptr;
 
 extern "C" void on_signal(int) {
   if (g_server != nullptr) g_server->request_shutdown();
+}
+
+extern "C" void on_sighup(int) {
+  // request_access_log_reopen is one relaxed atomic store — safe here.
+  if (g_observer != nullptr) g_observer->request_access_log_reopen();
 }
 
 }  // namespace
@@ -166,6 +189,13 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoll(args[++i]));
     } else if (flag == "--debug-slow" && has_value) {
       obs_opts.slow_capacity = static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--recovery-backoff-ms" && has_value) {
+      svc.recovery_backoff_ms = std::atoll(args[++i]);
+      svc.recovery_backoff_cap_ms =
+          std::max<std::int64_t>(svc.recovery_backoff_ms * 50,
+                                 svc.recovery_backoff_cap_ms);
+    } else if (flag == "--max-recovery-attempts" && has_value) {
+      svc.max_recovery_attempts = std::atoi(args[++i]);
     } else if (flag == "--bad-events" && has_value) {
       const std::string policy = args[++i];
       if (policy == "reject") {
@@ -219,6 +249,21 @@ int main(int argc, char** argv) {
     server::RequestObserver observer(obs_opts);
     sopts.observer = &observer;
 
+    // Health transitions (healthy -> degraded -> recovering -> ...) land
+    // in the access log next to the requests they explain, and on stderr
+    // for an operator tailing the daemon.
+    svc.on_health_transition = [&observer](server::HealthState from,
+                                           server::HealthState to,
+                                           const std::string& detail) {
+      std::cerr << "wfqd health: " << server::to_string(from) << " -> "
+                << server::to_string(to) << " (" << detail << ")\n";
+      server::JsonValue fields{server::JsonMembers{}};
+      fields.set("from", server::to_string(from));
+      fields.set("to", server::to_string(to));
+      fields.set("detail", detail);
+      observer.log_event("health", std::move(fields));
+    };
+
     server::QueryService service(std::move(initial), svc,
                                  sopts.drain_cancel, std::move(store));
     server::Router router;
@@ -228,8 +273,10 @@ int main(int argc, char** argv) {
     server::HttpServer http(std::move(router), std::move(sopts));
     service.attach_server(&http);
     g_server = &http;
+    g_observer = &observer;
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
+    std::signal(SIGHUP, on_sighup);
     std::signal(SIGPIPE, SIG_IGN);
 
     http.start();
@@ -237,6 +284,7 @@ int main(int argc, char** argv) {
               << service.num_records() << " records)" << std::endl;
     http.wait();
     g_server = nullptr;
+    g_observer = nullptr;
 
     const server::ServerStats stats = http.stats();
     std::cout << "wfqd drained: " << stats.served << " served, "

@@ -189,6 +189,7 @@ FaultIo::FaultIo(std::shared_ptr<FileIo> base)
     : base_(base != nullptr ? std::move(base) : real_file_io()) {}
 
 bool FaultIo::on_op(const char* what) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) {
     throw IoError(std::string("FaultIo: ") + what + " after simulated crash");
   }
@@ -256,6 +257,7 @@ void FaultIo::apply_crash_loss() {
 }
 
 void FaultIo::note_synced(const fs::path& path) {
+  const std::lock_guard<std::mutex> lock(mu_);
   durable_[path] = size_or_zero(path);
 }
 
@@ -264,14 +266,20 @@ WriteFilePtr FaultIo::open_append(const fs::path& path) {
   WriteFilePtr base = base_->open_append(path);
   // A freshly tracked file's durable prefix is whatever already exists
   // (created by a previous, synced life of the store).
-  durable_.try_emplace(path, size_or_zero(path));
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    durable_.try_emplace(path, size_or_zero(path));
+  }
   return std::make_unique<FaultWriteFile>(this, std::move(base), path);
 }
 
 WriteFilePtr FaultIo::open_trunc(const fs::path& path) {
   on_op("open");
   WriteFilePtr base = base_->open_trunc(path);
-  durable_[path] = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    durable_[path] = 0;
+  }
   return std::make_unique<FaultWriteFile>(this, std::move(base), path);
 }
 
@@ -283,6 +291,7 @@ void FaultIo::rename(const fs::path& from, const fs::path& to) {
   pending.to_existed = fs::exists(to);
   if (pending.to_existed) pending.old_to_content = slurp(to);
   base_->rename(from, to);
+  const std::lock_guard<std::mutex> lock(mu_);
   pending_renames_.push_back(std::move(pending));
   const auto it = durable_.find(from);
   if (it != durable_.end()) {
@@ -294,6 +303,7 @@ void FaultIo::rename(const fs::path& from, const fs::path& to) {
 void FaultIo::truncate(const fs::path& path, std::uintmax_t size) {
   on_op("truncate");
   base_->truncate(path, size);
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = durable_.find(path);
   if (it != durable_.end() && it->second > size) it->second = size;
 }
@@ -301,12 +311,14 @@ void FaultIo::truncate(const fs::path& path, std::uintmax_t size) {
 void FaultIo::remove(const fs::path& path) {
   on_op("remove");
   base_->remove(path);
+  const std::lock_guard<std::mutex> lock(mu_);
   durable_.erase(path);
 }
 
 void FaultIo::sync_dir(const fs::path& dir) {
   on_op("sync_dir");
   base_->sync_dir(dir);
+  const std::lock_guard<std::mutex> lock(mu_);
   std::erase_if(pending_renames_, [&](const PendingRename& pending) {
     return pending.to.parent_path() == dir;
   });

@@ -25,6 +25,7 @@
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -90,9 +91,14 @@ std::shared_ptr<FileIo> real_file_io();
 ///   kCrash       simulated power loss at the at_op'th boundary: the op
 ///                does not happen, unsynced bytes are lost per CrashLoss,
 ///                and every subsequent op throws — the harness then
-///                reopens the directory with real IO.
+///                reopens the directory with real IO (or calls
+///                clear_fault() to "restore power" and reopen in place).
 ///
-/// Not thread-safe; the store writes from one thread.
+/// Thread-safe: the store serializes its own writes, but the server
+/// torture harness arms/clears faults and reads counters from the test
+/// thread while wfqd's ingest path is writing — all state is mutex-
+/// guarded (the wrapped real IO runs outside any interesting window; it
+/// is only ever driven by one store operation at a time).
 class FaultIo : public FileIo {
  public:
   /// What survives of a file's un-fsynced suffix when a crash fires.
@@ -113,15 +119,36 @@ class FaultIo : public FileIo {
 
   explicit FaultIo(std::shared_ptr<FileIo> base = nullptr);
 
-  void set_fault(Fault fault) { fault_ = fault; }
+  void set_fault(Fault fault) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fault_ = fault;
+  }
+  /// Disarms the fault and clears the crashed latch — "the disk came
+  /// back / power was restored". Durable high-water marks survive (the
+  /// crash already applied its loss to the real files); the op counter
+  /// keeps running. The next store reopen through this IO then succeeds.
+  void clear_fault() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    fault_ = Fault{};
+    crashed_ = false;
+  }
   /// Operations observed so far (a fault-free dry run measures a
   /// workload's op count; the torture matrix then crashes at each index).
-  std::uint64_t ops() const noexcept { return ops_; }
-  bool crashed() const noexcept { return crashed_; }
+  std::uint64_t ops() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return ops_;
+  }
+  bool crashed() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
   /// Names of every op observed, in order; op N (1-based) is
   /// op_trace()[N-1]. Lets tests aim a crash at a specific boundary, e.g.
   /// the sync_dir immediately after a manifest rename.
-  const std::vector<std::string>& op_trace() const noexcept { return trace_; }
+  std::vector<std::string> op_trace() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
 
   WriteFilePtr open_append(const std::filesystem::path& path) override;
   WriteFilePtr open_trunc(const std::filesystem::path& path) override;
@@ -153,6 +180,7 @@ class FaultIo : public FileIo {
   void note_synced(const std::filesystem::path& path);
 
   std::shared_ptr<FileIo> base_;
+  mutable std::mutex mu_;  // guards everything below
   Fault fault_;
   std::uint64_t ops_ = 0;
   bool crashed_ = false;

@@ -190,6 +190,19 @@ LogStore LogStore::open(const std::filesystem::path& dir) {
   return open(dir, Options{});
 }
 
+RecoveryReport LogStore::reopen_in_place() {
+  Options retry = options_;
+  retry.io = io_;  // keep the injected seam (tests heal the fault first)
+  retry.quarantine_corruption = true;
+  RecoveryReport report;
+  // open() throws when the directory is still unreadable; *this (and its
+  // poisoned flag) survives untouched for the next attempt. On success
+  // move-assignment drops the old tail handle and adopts the fresh state.
+  LogStore reopened = open(dir_, retry, &report);
+  *this = std::move(reopened);
+  return report;
+}
+
 LogStore LogStore::open(const std::filesystem::path& dir, Options options,
                         RecoveryReport* report) {
   WFLOG_SPAN(span, "store.open");

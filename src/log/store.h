@@ -143,6 +143,18 @@ class LogStore {
   /// tail): every further append throws; reopen the directory to recover.
   bool failed() const noexcept { return poisoned_; }
 
+  /// Recovers a poisoned (or healthy) store by re-running open() on its
+  /// own directory — same options and IO seam, but with quarantine
+  /// recovery forced on so a corrupt suffix is set aside instead of
+  /// re-poisoning — and replacing *this with the result. On success the
+  /// store is un-poisoned, writer state is rebuilt from what is durably
+  /// on disk, and the returned report says what recovery found. Throws
+  /// IoError (leaving *this untouched) when the directory is still
+  /// unreadable — the caller retries later. This is wfqd's degraded-mode
+  /// healing path: acked records are durable before they are acked, so
+  /// reopening loses nothing a client was told was applied.
+  RecoveryReport reopen_in_place();
+
  private:
   LogStore() = default;
 

@@ -6,14 +6,57 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "common/error.h"
 
 namespace wflog::server {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+BackoffSchedule::BackoffSchedule(const ClientBackoff& options)
+    : options_(options), rng_(options.jitter_seed) {
+  options_.initial = std::max(options_.initial, std::chrono::milliseconds(1));
+  options_.cap = std::max(options_.cap, options_.initial);
+}
+
+std::optional<std::chrono::milliseconds> BackoffSchedule::next() {
+  if (attempt_ >= options_.max_retries) return std::nullopt;
+  const std::chrono::milliseconds remaining = options_.budget - slept_;
+  if (remaining <= std::chrono::milliseconds(0)) return std::nullopt;
+  ++attempt_;
+  // base = min(cap, initial * 2^(attempt-1)), computed without overflow.
+  std::chrono::milliseconds base = options_.initial;
+  for (int i = 1; i < attempt_ && base < options_.cap; ++i) base *= 2;
+  base = std::min(base, options_.cap);
+  // Jitter into [base/2, base] so a retrying fleet decorrelates; the
+  // stream is a pure function of the seed, so tests can predict it.
+  const auto half = base.count() / 2;
+  const auto span = base.count() - half;
+  std::chrono::milliseconds delay(
+      half + (span > 0
+                  ? static_cast<long long>(splitmix64(rng_) %
+                                           static_cast<std::uint64_t>(span + 1))
+                  : 0));
+  delay = std::min(delay, remaining);  // never sleep past the budget
+  slept_ += delay;
+  return delay;
+}
+
 namespace {
 
 std::string to_lower(std::string s) {
@@ -43,19 +86,38 @@ const std::string* ClientResponse::header(std::string_view name) const {
 }
 
 HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
-    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+    : HttpClient(std::move(host), port, [&] {
+        ClientOptions o;
+        o.timeout_ms = timeout_ms;
+        return o;
+      }()) {}
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       ClientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      timeout_ms_(options_.timeout_ms) {}
 
 HttpClient::~HttpClient() { disconnect(); }
 
 void HttpClient::disconnect() noexcept {
   if (fd_ >= 0) {
-    ::close(fd_);
+    io().close(fd_);
     fd_ = -1;
   }
   buf_.clear();
 }
 
-void HttpClient::connect_or_throw() {
+void HttpClient::sleep_for(std::chrono::milliseconds delay) {
+  if (options_.sleep_fn != nullptr) {
+    options_.sleep_fn(delay);
+  } else {
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+void HttpClient::connect_once() {
   disconnect();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
@@ -69,8 +131,8 @@ void HttpClient::connect_or_throw() {
     disconnect();
     throw IoError("client: invalid address '" + host_ + "'");
   }
-  if (::connect(fd_, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (io().connect(fd_, reinterpret_cast<::sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
     disconnect();
     throw IoError("client: connect to " + host_ + ":" +
@@ -78,6 +140,22 @@ void HttpClient::connect_or_throw() {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void HttpClient::connect_or_throw() {
+  // Connecting leaves no state on the server, so every connect failure is
+  // safely retryable under the backoff schedule.
+  BackoffSchedule schedule(options_.backoff);
+  while (true) {
+    try {
+      connect_once();
+      return;
+    } catch (const IoError&) {
+      const std::optional<std::chrono::milliseconds> delay = schedule.next();
+      if (!delay.has_value()) throw;
+      sleep_for(*delay);
+    }
+  }
 }
 
 ClientResponse HttpClient::get(const std::string& target,
@@ -120,14 +198,37 @@ ClientResponse HttpClient::request(const std::string& method,
   if (std::optional<ClientResponse> r = try_once(wire, fresh, idempotent)) {
     return *r;
   }
+  // The keep-alive connection was stale and nothing reached the server —
+  // one immediate replay over a fresh connection is safe for any method
+  // (this is the classic idle-close race).
   connect_or_throw();
-  std::optional<ClientResponse> r =
-      try_once(wire, /*fresh_connection=*/true, idempotent);
-  if (!r.has_value()) {
-    disconnect();
-    throw IoError("client: connection closed before any response");
+  if (!idempotent) {
+    std::optional<ClientResponse> r =
+        try_once(wire, /*fresh_connection=*/true, idempotent);
+    if (!r.has_value()) {
+      disconnect();
+      throw IoError("client: connection closed before any response");
+    }
+    return *r;
   }
-  return *r;
+  // Idempotent requests can never double-apply, so transport failures keep
+  // retrying under one bounded schedule (connect failures inside the loop
+  // consult the same schedule — one cap on attempts AND total sleep).
+  BackoffSchedule schedule(options_.backoff);
+  while (true) {
+    try {
+      if (fd_ < 0) connect_once();
+      std::optional<ClientResponse> r =
+          try_once(wire, /*fresh_connection=*/true, idempotent);
+      if (r.has_value()) return *r;
+      throw IoError("client: connection closed before any response");
+    } catch (const IoError&) {
+      disconnect();
+      const std::optional<std::chrono::milliseconds> delay = schedule.next();
+      if (!delay.has_value()) throw;
+      sleep_for(*delay);
+    }
+  }
 }
 
 ClientResponse HttpClient::raw(const std::string& bytes) {
@@ -145,7 +246,7 @@ std::optional<ClientResponse> HttpClient::try_once(const std::string& wire,
                                                    bool fresh_connection,
                                                    bool idempotent) {
   std::size_t written = 0;
-  if (!send_all(fd_, wire, &written)) {
+  if (!send_all(io(), fd_, wire, &written)) {
     if (fresh_connection) {
       disconnect();
       throw IoError(std::string("client: send failed: ") +
@@ -186,9 +287,9 @@ ClientResponse HttpClient::read_response() {
             deadline - std::chrono::steady_clock::now())
             .count();
     if (left <= 0) throw IoError("client: response timed out");
-    const int r = poll_readable(fd_, static_cast<int>(left));
+    const int r = poll_readable(io(), fd_, static_cast<int>(left));
     if (r <= 0) throw IoError("client: response timed out");
-    return recv_some(fd_, buf_) > 0;
+    return recv_some(io(), fd_, buf_) > 0;
   };
 
   std::size_t header_end = std::string::npos;

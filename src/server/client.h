@@ -7,20 +7,75 @@
 // NOT thread-safe: concurrent load generators use one client per thread.
 // If the server closed the idle connection between requests (keep-alive
 // races are inherent to HTTP), the client transparently reconnects and
-// retries once — but only when that is provably safe: the method is
+// retries — but only when that is provably safe: the method is
 // idempotent (GET/HEAD), or no byte of the request reached the socket.
 // A fully-written POST whose connection then dies is NOT replayed — the
 // server may already have applied it (e.g. /ingest), and a silent retry
 // would double-submit; the caller gets an IoError and decides.
+//
+// Connect failures and safe retries follow a bounded exponential-backoff
+// schedule with deterministic jitter (ClientBackoff): attempts are capped,
+// total sleep is capped by a wall-time budget, and the sleep itself is
+// injectable so tests verify the schedule with a fake clock.
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "server/http.h"
+#include "server/sockio.h"
 
 namespace wflog::server {
+
+/// Retry pacing for connect failures and provably-safe request retries.
+struct ClientBackoff {
+  /// Retries after the first attempt; 0 restores fail-fast.
+  int max_retries = 3;
+  /// First delay; doubles per retry up to `cap`.
+  std::chrono::milliseconds initial{50};
+  std::chrono::milliseconds cap{2000};
+  /// Ceiling on the SUM of all delays one request may sleep — the
+  /// "total wall time" bound (the last delay is clamped to what is
+  /// left; a spent budget ends the schedule).
+  std::chrono::milliseconds budget{5000};
+  /// Seed of the deterministic jitter stream (splitmix64); same seed,
+  /// same schedule.
+  std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// The delay sequence one retried operation walks: attempt k sleeps a
+/// jittered value in [base/2, base] where base = min(cap, initial·2^(k-1)).
+/// Pure and deterministic given the options — unit-testable without
+/// sleeping (tests drive next() and inspect the values).
+class BackoffSchedule {
+ public:
+  explicit BackoffSchedule(const ClientBackoff& options);
+
+  /// Delay to sleep before the next retry, or nullopt when attempts or
+  /// budget are exhausted (caller gives up and surfaces the error).
+  std::optional<std::chrono::milliseconds> next();
+
+  int attempts_made() const noexcept { return attempt_; }
+  std::chrono::milliseconds total_slept() const noexcept { return slept_; }
+
+ private:
+  ClientBackoff options_;
+  int attempt_ = 0;
+  std::chrono::milliseconds slept_{0};
+  std::uint64_t rng_;
+};
+
+struct ClientOptions {
+  int timeout_ms = 10000;
+  ClientBackoff backoff;
+  /// Injected sleep (tests pass a recorder; null = real sleep_for).
+  std::function<void(std::chrono::milliseconds)> sleep_fn;
+  /// Borrowed socket seam; null = real syscalls. Must outlive the client.
+  SocketIo* io = nullptr;
+};
 
 struct ClientResponse {
   int status = 0;
@@ -34,6 +89,7 @@ struct ClientResponse {
 class HttpClient {
  public:
   HttpClient(std::string host, std::uint16_t port, int timeout_ms = 10000);
+  HttpClient(std::string host, std::uint16_t port, ClientOptions options);
   ~HttpClient();
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
@@ -60,6 +116,14 @@ class HttpClient {
   void disconnect() noexcept;
 
  private:
+  SocketIo& io() const noexcept {
+    return options_.io != nullptr ? *options_.io : real_socket_io();
+  }
+  void sleep_for(std::chrono::milliseconds delay);
+  /// One raw socket+connect; throws IoError on failure.
+  void connect_once();
+  /// connect_once under the backoff schedule; throws the final error once
+  /// attempts/budget run out.
   void connect_or_throw();
   /// Writes `wire` and parses one response. Returns nullopt when the
   /// connection turned out to be dead AND a retry is provably safe: the
@@ -72,7 +136,8 @@ class HttpClient {
 
   std::string host_;
   std::uint16_t port_;
-  int timeout_ms_;
+  ClientOptions options_;
+  int timeout_ms_;  // == options_.timeout_ms (kept for brevity)
   int fd_ = -1;
   std::string buf_;  // bytes past the previous response (pipelining slack)
 };

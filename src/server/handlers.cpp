@@ -170,17 +170,7 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
                            CancelToken drain, std::optional<LogStore> store)
     : options_(std::move(options)),
       drain_(std::move(drain)),
-      monitor_([&] {
-        MonitorOptions mo;
-        mo.keep_records = true;  // snapshot() is the rebuild path
-        mo.bad_event_policy = options_.bad_event_policy;
-        mo.negation_matches_sentinels =
-            options_.engine.eval.negation_matches_sentinels;
-        mo.on_bad_event = [this](const BadEvent& e) {
-          last_bad_.push_back(e);
-        };
-        return mo;
-      }()),
+      monitor_(monitor_options()),
       store_(std::move(store)) {
   if (options_.cache_bytes > 0) {
     CacheOptions co;
@@ -194,30 +184,7 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
   // in-place — queries still work, ingest reports 409.
   if (initial.has_value() && initial->size() > 0) {
     try {
-      const Log& log = *initial;
-      for (const LogRecord& l : log) {
-        const std::string_view name = log.activity_name(l.activity);
-        if (l.activity == log.start_symbol()) {
-          const Wid got = monitor_.begin_instance();
-          if (got != l.wid) {
-            throw Error("initial log wid " + std::to_string(l.wid) +
-                        " is not the monitor's next wid " +
-                        std::to_string(got));
-          }
-        } else if (l.activity == log.end_symbol()) {
-          monitor_.end_instance(l.wid);
-        } else {
-          NamedAttrs in;
-          NamedAttrs out;
-          for (const AttrEntry& e : l.in) {
-            in.emplace_back(log.interner().name(e.attr), e.value);
-          }
-          for (const AttrEntry& e : l.out) {
-            out.emplace_back(log.interner().name(e.attr), e.value);
-          }
-          monitor_.record(l.wid, name, in, out);
-        }
-      }
+      replay_into_monitor(*initial);
     } catch (const std::exception& e) {
       ingest_enabled_ = false;
       ingest_disabled_reason_ =
@@ -225,6 +192,20 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
     }
   }
   last_bad_.clear();  // replay noise is not request-level bad events
+
+  // Only a durable mirror can fail structurally mid-flight; a store-less
+  // service has no degraded mode (its only failure is the 409 above).
+  if (store_.has_value()) {
+    HealthOptions ho;
+    ho.backoff_initial = std::chrono::milliseconds(
+        std::max<std::int64_t>(1, options_.recovery_backoff_ms));
+    ho.backoff_cap = std::chrono::milliseconds(
+        std::max<std::int64_t>(1, options_.recovery_backoff_cap_ms));
+    ho.max_attempts = options_.max_recovery_attempts;
+    health_ = std::make_unique<HealthMonitor>(
+        ho, [this](std::string* error) { return recover_store(error); },
+        options_.on_health_transition);
+  }
 
   // Initial snapshot straight from the given log (no revalidation).
   auto state = std::make_shared<State>();
@@ -235,6 +216,70 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
         std::make_unique<QueryEngine>(*state->log, options_.engine);
   }
   state_ = std::move(state);
+}
+
+MonitorOptions QueryService::monitor_options() {
+  MonitorOptions mo;
+  mo.keep_records = true;  // snapshot() is the rebuild path
+  mo.bad_event_policy = options_.bad_event_policy;
+  mo.negation_matches_sentinels =
+      options_.engine.eval.negation_matches_sentinels;
+  mo.on_bad_event = [this](const BadEvent& e) { last_bad_.push_back(e); };
+  return mo;
+}
+
+void QueryService::replay_into_monitor(const Log& log) {
+  for (const LogRecord& l : log) {
+    const std::string_view name = log.activity_name(l.activity);
+    if (l.activity == log.start_symbol()) {
+      const Wid got = monitor_.begin_instance();
+      if (got != l.wid) {
+        throw Error("initial log wid " + std::to_string(l.wid) +
+                    " is not the monitor's next wid " + std::to_string(got));
+      }
+    } else if (l.activity == log.end_symbol()) {
+      monitor_.end_instance(l.wid);
+    } else {
+      NamedAttrs in;
+      NamedAttrs out;
+      for (const AttrEntry& e : l.in) {
+        in.emplace_back(log.interner().name(e.attr), e.value);
+      }
+      for (const AttrEntry& e : l.out) {
+        out.emplace_back(log.interner().name(e.attr), e.value);
+      }
+      monitor_.record(l.wid, name, in, out);
+    }
+  }
+}
+
+bool QueryService::recover_store(std::string* error) {
+  std::lock_guard lock(ingest_mu_);
+  if (!store_.has_value()) {
+    if (error != nullptr) *error = "no store to recover";
+    return false;
+  }
+  try {
+    // Reopen from what is durably on disk (quarantining any corrupt
+    // suffix), then rebuild the monitor to match it exactly: acked
+    // records were fsynced before they were acked, so they all survive;
+    // at most the one unacked event that triggered the degrade (applied
+    // to the monitor but never to the store, never reported "applied")
+    // is dropped — which also heals any monitor/store divergence.
+    const RecoveryReport report = store_->reopen_in_place();
+    (void)report;
+    const Log durable = store_->load();
+    monitor_ = LogMonitor(monitor_options());
+    if (durable.size() > 0) replay_into_monitor(durable);
+    last_bad_.clear();
+    rebuild_state();  // strictly newer snapshot version
+    ingest_enabled_ = true;
+    ingest_disabled_reason_.clear();
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
 }
 
 std::shared_ptr<const QueryService::State> QueryService::state() const {
@@ -667,6 +712,17 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
   const auto te0 = Clock::now();
 
   std::lock_guard lock(ingest_mu_);
+  if (health_ != nullptr && !health_->writable()) {
+    // Degraded mode: reads keep serving the last good snapshot; writes
+    // wait for the background recovery to reopen the store.
+    const HealthStats hs = health_->stats();
+    HttpResponse resp = HttpResponse::error(
+        503, "ingest unavailable: store " + std::string(to_string(hs.state)) +
+                 (hs.last_error.empty() ? "" : " (" + hs.last_error + ")"));
+    resp.extra_headers.emplace_back(
+        "retry-after", std::to_string(health_->retry_after_seconds()));
+    return resp;
+  }
   if (!ingest_enabled_) {
     return HttpResponse::error(409, "ingest disabled: " +
                                         ingest_disabled_reason_);
@@ -693,11 +749,11 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
         if (store_.has_value()) {
           const Wid store_wid = store_->begin_instance();
           if (store_wid != wid) {
-            ingest_enabled_ = false;
-            ingest_disabled_reason_ =
-                "monitor/store wid divergence (" + std::to_string(wid) +
-                " vs " + std::to_string(store_wid) + ")";
-            throw Error(ingest_disabled_reason_);
+            // Recoverable: rebuilding the monitor from the store during
+            // recovery realigns the wid sequences.
+            throw IoError("monitor/store wid divergence (" +
+                          std::to_string(wid) + " vs " +
+                          std::to_string(store_wid) + ")");
           }
         }
         new_wids.emplace_back(static_cast<std::int64_t>(wid));
@@ -735,10 +791,20 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
     } catch (const IoError& e) {
       // The durable mirror failed: the monitor and the store no longer
       // agree, so stop accepting writes rather than silently diverging.
-      ingest_enabled_ = false;
-      ingest_disabled_reason_ = std::string("store append failed: ") + e.what();
+      // With a health monitor this is the degraded-mode trigger — reads
+      // keep working, recovery probes start, and the client gets a
+      // retryable 503; without one (store-less constructor failure modes)
+      // it stays the permanent 500 it always was.
       abort_error = e.what();
-      abort_status = 500;
+      if (health_ != nullptr) {
+        health_->degrade(std::string("store append failed: ") + e.what());
+        abort_status = 503;
+      } else {
+        ingest_enabled_ = false;
+        ingest_disabled_reason_ =
+            std::string("store append failed: ") + e.what();
+        abort_status = 500;
+      }
       break;
     } catch (const std::exception& e) {
       // Bad event under kReject, or a malformed event object: abort the
@@ -769,6 +835,10 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
   if (abort_status != 0) {
     out.set("error", abort_error);
     HttpResponse resp = HttpResponse::json(abort_status, out.dump());
+    if (abort_status == 503 && health_ != nullptr) {
+      resp.extra_headers.emplace_back(
+          "retry-after", std::to_string(health_->retry_after_seconds()));
+    }
     ctx.serialize_us = us_since(ts0);
     return resp;
   }
@@ -848,6 +918,21 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
   } else {
     out.set("store", JsonValue(nullptr));
   }
+  if (health_ != nullptr) {
+    const HealthStats hs = health_->stats();
+    JsonValue h;
+    h.set("state", to_string(hs.state));
+    h.set("writable", health_->writable());
+    h.set("transitions", static_cast<std::int64_t>(hs.transitions));
+    h.set("degradations", static_cast<std::int64_t>(hs.degradations));
+    h.set("recovery_attempts", static_cast<std::int64_t>(hs.attempts));
+    h.set("recoveries", static_cast<std::int64_t>(hs.recoveries));
+    h.set("gave_up", hs.gave_up);
+    h.set("last_error", hs.last_error);
+    out.set("health", std::move(h));
+  } else {
+    out.set("health", JsonValue(nullptr));
+  }
   if (server_ != nullptr) {
     const ServerStats stats = server_->stats();
     JsonValue s;
@@ -858,6 +943,7 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
     s.set("dropped_responses",
           static_cast<std::int64_t>(stats.dropped_responses));
     s.set("queue_depth", static_cast<std::int64_t>(stats.queue_depth));
+    s.set("lane_served", static_cast<std::int64_t>(stats.lane_served));
     s.set("draining", server_->draining());
     out.set("server", std::move(s));
   }
@@ -867,15 +953,21 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
 }
 
 HttpResponse QueryService::handle_healthz(const HttpRequest& req) const {
-  // Plain fast path for load-balancer probes: constant 200, no JSON, no
-  // snapshot work. Readiness detail is opt-in via the Accept header.
+  const HealthState hstate =
+      health_ != nullptr ? health_->state() : HealthState::kHealthy;
+  // Plain fast path for load-balancer probes: always 200 (the process is
+  // alive and still answering reads), body names the state so a plain
+  // probe sees degradation too. Readiness detail is opt-in via Accept.
   if (req.header("accept").find("application/json") == std::string_view::npos) {
-    return HttpResponse::text(200, "ok\n");
+    return HttpResponse::text(200, hstate == HealthState::kHealthy
+                                       ? "ok\n"
+                                       : std::string(to_string(hstate)) + "\n");
   }
   const auto st = state();
   const bool draining = server_ != nullptr && server_->draining();
   JsonValue out;
-  out.set("status", "ok");
+  out.set("status", hstate == HealthState::kHealthy ? "ok"
+                                                    : to_string(hstate));
   out.set("ready", !draining);
   out.set("draining", draining);
   out.set("snapshot_version", static_cast<std::int64_t>(st->version));
@@ -886,6 +978,23 @@ HttpResponse QueryService::handle_healthz(const HttpRequest& req) const {
                     server_->stats().queue_depth))
               : JsonValue(nullptr));
   out.set("ingest_enabled", ingest_enabled_.load());
+  if (health_ != nullptr) {
+    const HealthStats hs = health_->stats();
+    JsonValue h;
+    h.set("state", to_string(hs.state));
+    h.set("writable", health_->writable());
+    h.set("transitions", static_cast<std::int64_t>(hs.transitions));
+    h.set("degradations", static_cast<std::int64_t>(hs.degradations));
+    h.set("recovery_attempts", static_cast<std::int64_t>(hs.attempts));
+    h.set("recoveries", static_cast<std::int64_t>(hs.recoveries));
+    h.set("gave_up", hs.gave_up);
+    h.set("last_error", hs.last_error);
+    h.set("next_backoff_ms",
+          static_cast<std::int64_t>(hs.next_backoff.count()));
+    out.set("health", std::move(h));
+  } else {
+    out.set("health", JsonValue(nullptr));
+  }
   return HttpResponse::json(200, out.dump());
 }
 

@@ -37,6 +37,7 @@
 #include "core/monitor.h"
 #include "log/store.h"
 #include "server/cache.h"
+#include "server/health.h"
 #include "server/server.h"
 
 namespace wflog::server {
@@ -71,6 +72,22 @@ struct ServiceOptions {
   std::size_t cache_bytes = 0;
   /// Shards of the result cache (contention knob; clamped to >= 1).
   std::size_t cache_shards = 8;
+
+  // ---- store-failure degraded mode (health.h) ----------------------------
+  /// First recovery-probe delay after a store write failure degrades the
+  /// server; doubles per failed probe up to the cap (wfqd:
+  /// --recovery-backoff-ms).
+  std::int64_t recovery_backoff_ms = 100;
+  std::int64_t recovery_backoff_cap_ms = 5000;
+  /// Consecutive failed probes before recovery gives up and the server
+  /// stays degraded for an operator; 0 = retry forever (wfqd:
+  /// --max-recovery-attempts).
+  int max_recovery_attempts = 0;
+  /// Observes every health transition (wfqd logs them to the access log);
+  /// called off the request path, may be null.
+  std::function<void(HealthState from, HealthState to,
+                     const std::string& detail)>
+      on_health_transition;
 };
 
 class QueryService {
@@ -101,6 +118,12 @@ class QueryService {
 
   std::size_t num_records() const;
 
+  /// The degraded-mode state machine; null when the service has no store
+  /// (nothing durable can fail structurally). Exposed for tests and for
+  /// wfqd's shutdown path (monitor.stop() before the store dies).
+  HealthMonitor* health() noexcept { return health_.get(); }
+  const HealthMonitor* health() const noexcept { return health_.get(); }
+
  private:
   /// An immutable snapshot queries run against; replaced wholesale by
   /// ingest. `log` is owned here so `engine` (which borrows it) can never
@@ -117,6 +140,15 @@ class QueryService {
   std::shared_ptr<const State> state() const;
   void rebuild_state();
   RunLimits limits_from(const class JsonValue& body) const;
+  MonitorOptions monitor_options();
+  /// Feeds `log` through the monitor event-by-event, asserting wid
+  /// identity (LogMonitor assigns wids sequentially). Throws on mismatch.
+  void replay_into_monitor(const Log& log);
+  /// HealthMonitor's RecoverFn: under ingest_mu_, reopens the store in
+  /// place (quarantine recovery), rebuilds the monitor from the durable
+  /// log, and republishes the snapshot. False + *error when the store is
+  /// still unreadable.
+  bool recover_store(std::string* error);
 
   HttpResponse handle_query(const HttpRequest& req, RequestContext& ctx);
   HttpResponse handle_batch(const HttpRequest& req, RequestContext& ctx);
@@ -144,6 +176,10 @@ class QueryService {
   std::uint64_t version_seq_ = 1;
   LogMonitor monitor_;
   std::optional<LogStore> store_;
+  /// Degraded-mode machine (see health.h); created iff store_ is set.
+  /// Declared after store_ so its recovery thread is stopped (by the
+  /// destructor, reverse member order) before the store goes away.
+  std::unique_ptr<HealthMonitor> health_;
   std::vector<BadEvent> last_bad_;  // callback sink, under ingest_mu_
   /// Atomic so /stats can read it without taking ingest_mu_ (which an
   /// ingest holding the store open could pin for a while). Writes (and

@@ -1,0 +1,196 @@
+#include "server/health.h"
+
+#include <algorithm>
+
+#include "obs/telemetry.h"
+
+namespace wflog::server {
+
+namespace {
+
+void export_state_metrics(HealthState to) {
+  WFLOG_TELEMETRY(t) {
+    t->metrics
+        .gauge("wflog_server_health_state",
+               "Server health: 0 = healthy, 1 = degraded, 2 = recovering")
+        ->set(static_cast<double>(static_cast<int>(to)));
+    t->metrics
+        .counter("wflog_server_health_transitions_total",
+                 "Health state machine transitions")
+        ->inc();
+  }
+}
+
+}  // namespace
+
+const char* to_string(HealthState state) noexcept {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kRecovering: return "recovering";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(HealthOptions options, RecoverFn recover,
+                             TransitionFn on_transition)
+    : options_(options),
+      recover_(std::move(recover)),
+      on_transition_(std::move(on_transition)) {
+  options_.backoff_initial = std::max(options_.backoff_initial,
+                                      std::chrono::milliseconds(1));
+  options_.backoff_cap =
+      std::max(options_.backoff_cap, options_.backoff_initial);
+  backoff_ = options_.backoff_initial;
+  // Publish the gauge at 0 from boot: "alert on state != 0" must not
+  // confuse a server that never degraded with one that never scraped.
+  WFLOG_TELEMETRY(t) {
+    t->metrics
+        .gauge("wflog_server_health_state",
+               "Server health: 0 = healthy, 1 = degraded, 2 = recovering")
+        ->set(0.0);
+  }
+  if (recover_ != nullptr) {
+    thread_ = std::thread([this] { recovery_loop(); });
+  }
+}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HealthMonitor::degrade(std::string reason) {
+  std::unique_lock<std::mutex> lock(mu_);
+  last_error_ = reason;
+  if (state() != HealthState::kHealthy) return;  // already being handled
+  ++degradations_;
+  gave_up_ = false;
+  attempts_this_outage_ = 0;
+  backoff_ = options_.backoff_initial;
+  WFLOG_TELEMETRY(t) {
+    t->metrics
+        .counter("wflog_server_health_degradations_total",
+                 "Entries into degraded (read-only) mode")
+        ->inc();
+  }
+  transition_locked(lock, HealthState::kDegraded, reason);
+  cv_.notify_all();
+}
+
+HealthStats HealthMonitor::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  HealthStats s;
+  s.state = state();
+  s.transitions = transitions_;
+  s.degradations = degradations_;
+  s.attempts = attempts_;
+  s.recoveries = recoveries_;
+  s.gave_up = gave_up_;
+  s.last_error = last_error_;
+  s.next_backoff = backoff_;
+  return s;
+}
+
+int HealthMonitor::retry_after_seconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto ms = backoff_.count();
+  return static_cast<int>(std::max<long long>(1, (ms + 999) / 1000));
+}
+
+void HealthMonitor::transition_locked(std::unique_lock<std::mutex>& lock,
+                                      HealthState to,
+                                      const std::string& detail) {
+  const HealthState from = state();
+  if (from == to) return;
+  state_.store(to, std::memory_order_release);
+  ++transitions_;
+  export_state_metrics(to);
+  if (on_transition_ != nullptr) {
+    // Copy what the callback needs, then run it unlocked: it may log,
+    // scrape stats, or otherwise re-enter the monitor.
+    const TransitionFn cb = on_transition_;
+    const std::string what = detail;
+    lock.unlock();
+    cb(from, to, what);
+    lock.lock();
+  }
+}
+
+void HealthMonitor::recovery_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (state() != HealthState::kDegraded || gave_up_) {
+      cv_.wait(lock, [&] {
+        return stopping_ ||
+               (state() == HealthState::kDegraded && !gave_up_);
+      });
+      continue;
+    }
+
+    // Degraded: hold off for the current backoff (interruptible so stop()
+    // never waits out a capped 5s sleep).
+    if (cv_.wait_for(lock, backoff_, [&] { return stopping_; })) break;
+    if (state() != HealthState::kDegraded || gave_up_) continue;
+
+    ++attempts_;
+    ++attempts_this_outage_;
+    WFLOG_TELEMETRY(t) {
+      t->metrics
+          .counter("wflog_server_health_recovery_attempts_total",
+                   "Store recovery probes launched while degraded")
+          ->inc();
+    }
+    transition_locked(lock, HealthState::kRecovering,
+                      "recovery attempt " +
+                          std::to_string(attempts_this_outage_));
+
+    std::string error;
+    bool ok = false;
+    lock.unlock();
+    try {
+      ok = recover_(&error);
+    } catch (const std::exception& e) {
+      ok = false;
+      error = e.what();
+    }
+    lock.lock();
+    if (stopping_) break;
+
+    if (ok) {
+      ++recoveries_;
+      attempts_this_outage_ = 0;
+      backoff_ = options_.backoff_initial;
+      WFLOG_TELEMETRY(t) {
+        t->metrics
+            .counter("wflog_server_health_recoveries_total",
+                     "Successful store recoveries (degraded -> healthy)")
+            ->inc();
+      }
+      transition_locked(lock, HealthState::kHealthy, "store recovered");
+    } else {
+      if (!error.empty()) last_error_ = error;
+      backoff_ = std::min(options_.backoff_cap, backoff_ * 2);
+      if (options_.max_attempts > 0 &&
+          attempts_this_outage_ >= options_.max_attempts) {
+        gave_up_ = true;
+        transition_locked(lock, HealthState::kDegraded,
+                          "giving up after " +
+                              std::to_string(attempts_this_outage_) +
+                              " attempts: " + error);
+      } else {
+        transition_locked(lock, HealthState::kDegraded,
+                          error.empty() ? "recovery failed" : error);
+      }
+    }
+  }
+}
+
+}  // namespace wflog::server

@@ -1,0 +1,126 @@
+#pragma once
+
+// HealthMonitor — wfqd's degraded-mode state machine.
+//
+//     healthy ──store failure──▶ degraded ──backoff elapsed──▶ recovering
+//        ▲                          ▲                              │
+//        │                          └──────recovery failed─────────┤
+//        └───────────────────────recovery succeeded────────────────┘
+//
+// The daemon starts healthy. When a store write fails structurally (the
+// LogStore poisons itself), the ingest path calls degrade(): reads keep
+// serving the last published snapshot, /ingest answers 503 + Retry-After,
+// and this monitor's background thread starts probing recovery — calling
+// the injected RecoverFn (which reopens the store through quarantine
+// recovery and republishes the snapshot) under capped exponential backoff.
+// Success returns the daemon to healthy and resets the backoff; failure
+// doubles it up to `backoff_cap`. After `max_attempts` consecutive
+// failures (0 = never) the monitor gives up and stays degraded — reads
+// still work, an operator gets paged.
+//
+// Every transition fires the TransitionFn (wfqd logs it to the access log)
+// and updates the wflog_server_health_* metrics. state() is cheap and
+// lock-free — the ingest hot path checks it per request.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace wflog::server {
+
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kRecovering = 2,
+};
+
+const char* to_string(HealthState state) noexcept;
+
+struct HealthOptions {
+  /// First retry delay after entering degraded; doubles per failure.
+  std::chrono::milliseconds backoff_initial{100};
+  /// Backoff ceiling.
+  std::chrono::milliseconds backoff_cap{5000};
+  /// Consecutive failed recoveries before giving up; 0 = retry forever.
+  int max_attempts = 0;
+};
+
+struct HealthStats {
+  HealthState state = HealthState::kHealthy;
+  std::uint64_t transitions = 0;    // state changes since startup
+  std::uint64_t degradations = 0;   // entries into degraded
+  std::uint64_t attempts = 0;       // recovery probes launched
+  std::uint64_t recoveries = 0;     // probes that succeeded
+  bool gave_up = false;             // max_attempts exhausted
+  std::string last_error;           // most recent degrade/probe failure
+  /// Delay before the next probe — doubles as the Retry-After hint.
+  std::chrono::milliseconds next_backoff{0};
+};
+
+class HealthMonitor {
+ public:
+  /// Attempts recovery; true on success, else false with *error filled.
+  /// Runs on the monitor's background thread with no monitor lock held,
+  /// so it may take as long as a store reopen takes.
+  using RecoverFn = std::function<bool(std::string* error)>;
+  /// Observes every state change (also lock-free of the monitor).
+  using TransitionFn = std::function<void(HealthState from, HealthState to,
+                                          const std::string& detail)>;
+
+  HealthMonitor(HealthOptions options, RecoverFn recover,
+                TransitionFn on_transition = nullptr);
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// healthy → degraded; wakes the recovery thread. Idempotent: while
+  /// already degraded/recovering only last_error is refreshed.
+  void degrade(std::string reason);
+
+  HealthState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// True iff writes may proceed (state == healthy).
+  bool writable() const noexcept { return state() == HealthState::kHealthy; }
+
+  HealthStats stats() const;
+
+  /// Seconds (>= 1) a client should wait before retrying /ingest.
+  int retry_after_seconds() const;
+
+  /// Stops the recovery thread (joins; further degrade() calls still
+  /// flip the state but nothing probes). Called by the destructor.
+  void stop();
+
+ private:
+  void recovery_loop();
+  /// Sets state + fires callback/metrics. `lock` must be held; it is
+  /// released while the callback runs and re-acquired after.
+  void transition_locked(std::unique_lock<std::mutex>& lock, HealthState to,
+                         const std::string& detail);
+
+  HealthOptions options_;
+  RecoverFn recover_;
+  TransitionFn on_transition_;
+
+  std::atomic<HealthState> state_{HealthState::kHealthy};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool gave_up_ = false;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t degradations_ = 0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t recoveries_ = 0;
+  int attempts_this_outage_ = 0;
+  std::string last_error_;
+  std::chrono::milliseconds backoff_{0};
+  std::thread thread_;
+};
+
+}  // namespace wflog::server

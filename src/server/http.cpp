@@ -1,14 +1,12 @@
 #include "server/http.h"
 
-#include <poll.h>
-#include <sys/socket.h>
-
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <charconv>
 
 #include "server/json.h"
+#include "server/sockio.h"
 
 namespace wflog::server {
 namespace {
@@ -204,49 +202,72 @@ std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
   return out;
 }
 
-bool send_all(int fd, std::string_view data) {
-  return send_all(fd, data, nullptr);
+namespace {
+
+// Consecutive EINTR/EAGAIN results tolerated on one logical operation.
+// Real signals never approach this; an injected sticky storm hits the cap
+// and surfaces as a normal IO failure instead of hanging a worker.
+constexpr int kMaxTransientRetries = 1024;
+
+bool transient(int err) { return err == EINTR || err == EAGAIN; }
+
+}  // namespace
+
+bool send_all(SocketIo& io, int fd, std::string_view data) {
+  return send_all(io, fd, data, nullptr);
 }
 
-bool send_all(int fd, std::string_view data, std::size_t* written) {
+bool send_all(SocketIo& io, int fd, std::string_view data,
+              std::size_t* written) {
   if (written != nullptr) *written = 0;
+  int retries = 0;
   while (!data.empty()) {
-    const ::ssize_t n =
-        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    const long n = io.send(fd, data.data(), data.size());
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (transient(errno) && ++retries < kMaxTransientRetries) continue;
       return false;
     }
     if (n == 0) return false;
+    retries = 0;
     if (written != nullptr) *written += static_cast<std::size_t>(n);
     data.remove_prefix(static_cast<std::size_t>(n));
   }
   return true;
 }
 
-long recv_some(int fd, std::string& buf, std::size_t max) {
+long recv_some(SocketIo& io, int fd, std::string& buf, std::size_t max) {
   char tmp[16 * 1024];
   const std::size_t want = std::min(max, sizeof(tmp));
+  int retries = 0;
   while (true) {
-    const ::ssize_t n = ::recv(fd, tmp, want, 0);
+    const long n = io.recv(fd, tmp, want);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (transient(errno) && ++retries < kMaxTransientRetries) continue;
       return -1;
     }
     buf.append(tmp, static_cast<std::size_t>(n));
-    return static_cast<long>(n);
+    return n;
   }
 }
 
+int poll_readable(SocketIo& io, int fd, int timeout_ms) {
+  return io.poll_in(fd, timeout_ms);
+}
+
+bool send_all(int fd, std::string_view data) {
+  return send_all(real_socket_io(), fd, data, nullptr);
+}
+
+bool send_all(int fd, std::string_view data, std::size_t* written) {
+  return send_all(real_socket_io(), fd, data, written);
+}
+
+long recv_some(int fd, std::string& buf, std::size_t max) {
+  return recv_some(real_socket_io(), fd, buf, max);
+}
+
 int poll_readable(int fd, int timeout_ms) {
-  ::pollfd pfd{fd, POLLIN, 0};
-  while (true) {
-    const int r = ::poll(&pfd, 1, timeout_ms);
-    if (r < 0 && errno == EINTR) continue;
-    if (r < 0) return -1;
-    if (r == 0) return 0;
-    return 1;
-  }
+  return poll_readable(real_socket_io(), fd, timeout_ms);
 }
 
 }  // namespace wflog::server

@@ -76,17 +76,33 @@ ParseState parse_request(std::string& buf, HttpRequest& out,
 std::string serialize_response(const HttpResponse& resp, bool keep_alive);
 
 // ---- POSIX socket helpers (fd-based, used by server and client) ----------
+//
+// Each helper has two forms: one taking an explicit SocketIo seam (what the
+// server and client use, so FaultSocketIo can script failures underneath),
+// and the historical fd-only form that runs against real_socket_io().
+// EINTR and EAGAIN are retried inside the helpers — but only a bounded
+// number of consecutive times, so an injected sticky storm degrades to a
+// clean failure instead of a spin.
 
-/// Writes everything (MSG_NOSIGNAL; EINTR retried). False on error/closed.
+class SocketIo;
+
+/// Writes everything (MSG_NOSIGNAL; EINTR/EAGAIN retried, short writes
+/// resumed). False on error/closed.
+bool send_all(SocketIo& io, int fd, std::string_view data);
 bool send_all(int fd, std::string_view data);
 /// As above, reporting how many bytes actually reached the socket before
 /// success/failure — lets a client distinguish "nothing was sent" (safe to
 /// retry any request) from "the server may have seen part of it".
+bool send_all(SocketIo& io, int fd, std::string_view data,
+              std::size_t* written);
 bool send_all(int fd, std::string_view data, std::size_t* written);
 /// Reads once into `buf` (appending, up to `max`). Returns bytes read,
 /// 0 on orderly close, -1 on error.
+long recv_some(SocketIo& io, int fd, std::string& buf,
+               std::size_t max = 64 * 1024);
 long recv_some(int fd, std::string& buf, std::size_t max = 64 * 1024);
 /// Waits until `fd` is readable. 1 = readable, 0 = timeout, -1 = error.
+int poll_readable(SocketIo& io, int fd, int timeout_ms);
 int poll_readable(int fd, int timeout_ms);
 
 }  // namespace wflog::server

@@ -100,14 +100,35 @@ void RequestObserver::observe_labeled(std::map<std::string, Hist>& family,
   ++h.count;
 }
 
-void RequestObserver::write_access_line(const RequestRecord& rec, bool slow) {
-  JsonValue line = record_json(rec);
-  line.set("slow", slow);
-  const std::string text = line.dump();
+void RequestObserver::maybe_reopen_locked() {
+  if (!reopen_requested_.exchange(false, std::memory_order_relaxed)) return;
+  if (log_file_ == nullptr) return;  // stdout needs no rotation
+  // Reuse the same ofstream object so log_ keeps pointing at it; append
+  // mode recreates the path logrotate moved away.
+  log_file_->close();
+  log_file_->clear();
+  log_file_->open(options_.access_log_path, std::ios::app);
+}
+
+void RequestObserver::write_line(const std::string& text) {
   std::lock_guard<std::mutex> lock(log_mu_);
+  maybe_reopen_locked();
   (*log_) << text << '\n';
   log_->flush();  // one request = one durable line; tailing must see it
   access_lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestObserver::write_access_line(const RequestRecord& rec, bool slow) {
+  JsonValue line = record_json(rec);
+  line.set("slow", slow);
+  write_line(line.dump());
+}
+
+void RequestObserver::log_event(const std::string& kind, JsonValue fields) {
+  if (log_ == nullptr) return;
+  fields.set("event", kind);
+  fields.set("ts_ms", static_cast<std::int64_t>(unix_ms_now()));
+  write_line(fields.dump());
 }
 
 void RequestObserver::record(RequestRecord rec, const RequestContext& ctx) {

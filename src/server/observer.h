@@ -26,6 +26,11 @@
 // record() is thread-safe; the span summary is aggregated on the
 // calling worker thread, which is the thread that ran the request, so
 // the summary covers exactly that request's spans.
+//
+// logrotate support: request_access_log_reopen() is async-signal-safe
+// (one relaxed atomic store) — wfqd's SIGHUP handler calls it, and the
+// next access-log line closes and reopens the file at the same path,
+// landing in the fresh file the rotator left behind.
 
 #include <atomic>
 #include <cstddef>
@@ -110,6 +115,18 @@ class RequestObserver {
   /// the span summary (tracer thread buffer) attributes correctly.
   void record(RequestRecord rec, const RequestContext& ctx);
 
+  /// Appends one {"event": kind, "ts_ms": .., ...fields} line to the
+  /// access log (no-op when the log is off). Off the request path — used
+  /// for server lifecycle lines such as health transitions.
+  void log_event(const std::string& kind, JsonValue fields);
+
+  /// Marks the file-backed access log for close-and-reopen before the
+  /// next line — async-signal-safe, so a SIGHUP handler may call it
+  /// directly (logrotate's moved the file; we reopen the path).
+  void request_access_log_reopen() noexcept {
+    reopen_requested_.store(true, std::memory_order_relaxed);
+  }
+
   /// {"requests": [oldest..newest], "capacity": N, "evicted": N}
   JsonValue requests_json() const;
   /// {"slow": [oldest..newest], "threshold_ms": .., "evicted": N}
@@ -143,6 +160,9 @@ class RequestObserver {
                        const std::string& key, std::size_t max_keys,
                        double seconds);
   void write_access_line(const RequestRecord& rec, bool slow);
+  /// Writes one line under log_mu_, honoring a pending reopen request.
+  void write_line(const std::string& text);
+  void maybe_reopen_locked();
 
   const ObserverOptions options_;
   const std::vector<double> bounds_;
@@ -156,6 +176,7 @@ class RequestObserver {
   std::mutex log_mu_;
   std::unique_ptr<std::ofstream> log_file_;  // null when stdout or disabled
   std::ostream* log_ = nullptr;              // non-null = access log on
+  std::atomic<bool> reopen_requested_{false};
 
   std::atomic<std::uint64_t> requests_seen_{0};
   std::atomic<std::uint64_t> dropped_seen_{0};

@@ -28,16 +28,16 @@ void close_fd(int& fd) noexcept {
 /// Closes a rejected/finished connection without racing the client: half-
 /// close our side, briefly drain whatever the client already sent (so the
 /// kernel does not RST our in-flight response away), then close.
-void close_gently(int fd) noexcept {
-  ::shutdown(fd, SHUT_WR);
+void close_gently(SocketIo& io, int fd) noexcept {
+  io.shutdown(fd, SHUT_WR);
   std::string sink;
   for (int i = 0; i < 5; ++i) {
-    if (poll_readable(fd, 10) != 1) break;
-    if (recv_some(fd, sink) <= 0) break;
+    if (poll_readable(io, fd, 10) != 1) break;
+    if (recv_some(io, fd, sink) <= 0) break;
     if (sink.size() > 64 * 1024) break;  // don't sink forever
     sink.clear();
   }
-  ::close(fd);
+  io.close(fd);
 }
 
 /// Client-supplied X-Request-Id values reach the access log and the
@@ -109,6 +109,9 @@ HttpServer::HttpServer(Router router, ServerOptions options)
   options_.threads = std::max<std::size_t>(options_.threads, 1);
   options_.queue_capacity = std::max<std::size_t>(options_.queue_capacity, 1);
   queue_ = std::make_unique<BoundedQueue<Conn>>(options_.queue_capacity);
+  if (options_.lane_capacity > 0) {
+    lane_queue_ = std::make_unique<BoundedQueue<Conn>>(options_.lane_capacity);
+  }
 }
 
 HttpServer::~HttpServer() {
@@ -169,6 +172,9 @@ void HttpServer::start() {
 
   started_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
+  if (lane_queue_ != nullptr) {
+    lane_thread_ = std::thread([this] { lane_loop(); });
+  }
   workers_.reserve(options_.threads);
   for (std::size_t i = 0; i < options_.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -189,6 +195,7 @@ void HttpServer::wait() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  if (lane_thread_.joinable()) lane_thread_.join();
   {
     std::lock_guard lock(drain_mu_);
     workers_done_ = true;
@@ -211,6 +218,7 @@ ServerStats HttpServer::stats() const {
   s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
   s.dropped_responses = dropped_.load(std::memory_order_relaxed);
   s.queue_depth = queue_->size();
+  s.lane_served = lane_served_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -225,37 +233,54 @@ void HttpServer::accept_loop() {
     if ((fds[1].revents & POLLIN) != 0) break;  // shutdown wake
     if ((fds[0].revents & POLLIN) == 0) continue;
 
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    const int fd = io().accept(listen_fd_);
+    if (fd < 0) continue;  // transient (EINTR/EMFILE/injected): keep serving
     accepted_.fetch_add(1, std::memory_order_relaxed);
 
     Conn conn;
     conn.fd = fd;
     conn.last_active = Clock::now();
     conn.enqueued = conn.last_active;
-    if (!queue_->try_push(std::move(conn))) {
-      // Admission control: shed at the door with an explicit retry hint
-      // rather than queuing unboundedly (the box is already saturated).
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      WFLOG_TELEMETRY(t) {
-        t->metrics
-            .counter("wflog_http_rejected_total",
-                     "Connections shed with 503 (request queue full)")
-            ->inc();
-      }
-      HttpResponse resp =
-          HttpResponse::error(503, "server overloaded, try again");
-      resp.extra_headers.emplace_back("retry-after", "1");
-      send_all(fd, serialize_response(resp, false));
-      close_gently(fd);
+    if (queue_->try_push(std::move(conn))) continue;
+
+    // Main queue full. Liveness probes and metric scrapes must still
+    // answer, so overflow connections fall to the reserved lane — its
+    // worker serves only /healthz and /metrics and answers everything
+    // else with the 503 the connection would have gotten here.
+    Conn overflow;
+    overflow.fd = fd;
+    overflow.last_active = Clock::now();
+    overflow.enqueued = overflow.last_active;
+    overflow.lane = true;
+    if (lane_queue_ != nullptr && lane_queue_->try_push(std::move(overflow))) {
+      continue;
     }
+
+    // Lane full too (or disabled): shed at the door with an explicit
+    // retry hint rather than queuing unboundedly.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    WFLOG_TELEMETRY(t) {
+      t->metrics
+          .counter("wflog_http_rejected_total",
+                   "Connections shed with 503 (request queue full)")
+          ->inc();
+    }
+    HttpResponse resp =
+        HttpResponse::error(503, "server overloaded, try again");
+    resp.extra_headers.emplace_back("retry-after", "1");
+    send_all(io(), fd, serialize_response(resp, false));
+    close_gently(io(), fd);
   }
 
   // Shutdown: refuse new connections, close what never got a worker, and
   // give in-flight requests their grace period.
   close_fd(listen_fd_);
   queue_->close();
-  for (Conn& conn : queue_->drain()) ::close(conn.fd);
+  for (Conn& conn : queue_->drain()) io().close(conn.fd);
+  if (lane_queue_ != nullptr) {
+    lane_queue_->close();
+    for (Conn& conn : lane_queue_->drain()) io().close(conn.fd);
+  }
 
   std::unique_lock lock(drain_mu_);
   const bool drained = drain_cv_.wait_for(
@@ -277,16 +302,34 @@ void HttpServer::worker_loop() {
             .count();
     if (draining() && conn.buf.empty()) {
       // Admitted but never started; during drain just let it go.
-      ::close(conn.fd);
+      io().close(conn.fd);
       continue;
     }
     if (serve_one(conn, queue_us)) {
       const int fd = conn.fd;
       conn.enqueued = Clock::now();
-      if (!queue_->try_push(std::move(conn))) ::close(fd);
+      if (!queue_->try_push(std::move(conn))) io().close(fd);
     } else {
-      close_gently(conn.fd);
+      close_gently(io(), conn.fd);
     }
+  }
+}
+
+void HttpServer::lane_loop() {
+  // The reserved lane: one dedicated worker, one request per connection,
+  // never re-queued — a full worker pool can't starve liveness probes.
+  while (std::optional<Conn> item = lane_queue_->pop()) {
+    Conn conn = std::move(*item);
+    const double queue_us =
+        std::chrono::duration<double, std::micro>(Clock::now() -
+                                                  conn.enqueued)
+            .count();
+    if (draining() && conn.buf.empty()) {
+      io().close(conn.fd);
+      continue;
+    }
+    serve_one(conn, queue_us);  // lane connections never keep-alive
+    close_gently(io(), conn.fd);
   }
 }
 
@@ -295,14 +338,22 @@ bool HttpServer::serve_one(Conn& conn, double queue_us) {
   // talking. Idle keep-alive connections get re-queued (round-robin
   // across workers) until idle_timeout_ms, not camped on.
   if (conn.buf.empty()) {
-    const int r = poll_readable(conn.fd, draining() ? 0 : 20);
+    const int r = poll_readable(io(), conn.fd, draining() ? 0 : 20);
     if (r < 0) return false;
     if (r == 0) {
       if (draining()) return false;
-      return Clock::now() - conn.last_active <
-             std::chrono::milliseconds(options_.idle_timeout_ms);
+      if (conn.lane) {
+        // A lane probe that has not spoken yet gets one io_timeout wait
+        // (it is not re-queued, so idling here would close it instantly).
+        if (poll_readable(io(), conn.fd, options_.io_timeout_ms) != 1) {
+          return false;
+        }
+      } else {
+        return Clock::now() - conn.last_active <
+               std::chrono::milliseconds(options_.idle_timeout_ms);
+      }
     }
-    const long n = recv_some(conn.fd, conn.buf);
+    const long n = recv_some(io(), conn.fd, conn.buf);
     if (n <= 0) return false;  // orderly close or error
   }
   conn.last_active = Clock::now();
@@ -324,9 +375,9 @@ bool HttpServer::serve_one(Conn& conn, double queue_us) {
       const int status = state == ParseState::kBodyTooLarge  ? 413
                          : state == ParseState::kHeaderTooLarge ? 431
                                                                 : 400;
-      if (send_all(conn.fd, serialize_response(
-                                HttpResponse::error(status, parse_error),
-                                false))) {
+      if (send_all(io(), conn.fd,
+                   serialize_response(
+                       HttpResponse::error(status, parse_error), false))) {
         served_.fetch_add(1, std::memory_order_relaxed);
       }
       return false;
@@ -342,10 +393,10 @@ bool HttpServer::serve_one(Conn& conn, double queue_us) {
       return false;
     }
     const int r = poll_readable(
-        conn.fd, static_cast<int>(std::min<long long>(left, 100)));
+        io(), conn.fd, static_cast<int>(std::min<long long>(left, 100)));
     if (r < 0) return false;
     if (r == 0) continue;
-    if (recv_some(conn.fd, conn.buf) <= 0) return false;
+    if (recv_some(io(), conn.fd, conn.buf) <= 0) return false;
   }
 
   // Request identity: honor the client's X-Request-Id (sanitized) so a
@@ -354,16 +405,35 @@ bool HttpServer::serve_one(Conn& conn, double queue_us) {
   ctx.id = sanitize_request_id(req.header("x-request-id"));
   if (ctx.id.empty()) ctx.id = "wfq-" + std::to_string(ctx.seq);
 
-  HttpResponse resp = dispatch_instrumented(req, ctx);
+  HttpResponse resp;
+  if (conn.lane && req.target != "/healthz" && req.target != "/metrics") {
+    // The lane exists for liveness, not for jumping the admission queue:
+    // a /query that lands here gets the same 503 the full queue implies.
+    resp = HttpResponse::error(503, "server overloaded, try again");
+    resp.extra_headers.emplace_back("retry-after", "1");
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    resp = dispatch_instrumented(req, ctx);
+    if (conn.lane) {
+      lane_served_.fetch_add(1, std::memory_order_relaxed);
+      WFLOG_TELEMETRY(t) {
+        t->metrics
+            .counter("wflog_server_lane_served_total",
+                     "Liveness responses served via the reserved lane "
+                     "while the main queue was full")
+            ->inc();
+      }
+    }
+  }
   resp.extra_headers.emplace_back("x-request-id", ctx.id);
-  const bool keep = req.keep_alive() && !draining();
+  const bool keep = req.keep_alive() && !draining() && !conn.lane;
   const auto ser0 = Clock::now();
   const std::string wire = serialize_response(resp, keep);
   const double wire_us =
       std::chrono::duration<double, std::micro>(Clock::now() - ser0).count();
   ctx.serialize_us += wire_us;
   ctx.wall_us += wire_us;
-  if (!send_all(conn.fd, wire)) {
+  if (!send_all(io(), conn.fd, wire)) {
     // The handler ran but the response never reached the client — a
     // distinct failure from the 408 read timeout (status 499 in the log).
     count_dropped(&req, &resp, ctx, 499);

@@ -36,6 +36,7 @@
 #include "server/http.h"
 #include "server/observer.h"
 #include "server/pool.h"
+#include "server/sockio.h"
 
 namespace wflog::server {
 
@@ -75,6 +76,14 @@ struct ServerOptions {
   /// Borrowed request observer (rings, histograms, access log); null =
   /// request observability off. Must outlive the server.
   RequestObserver* observer = nullptr;
+  /// Borrowed socket seam; null = real syscalls. Tests inject a
+  /// FaultSocketIo here to script network failures. Must outlive the
+  /// server.
+  SocketIo* io = nullptr;
+  /// Reserved-lane depth for liveness traffic (/healthz, /metrics) when
+  /// the main queue is full; 0 disables the lane (full queue = plain 503
+  /// for everyone, the pre-lane behavior).
+  std::size_t lane_capacity = 16;
 };
 
 struct ServerStats {
@@ -85,6 +94,8 @@ struct ServerStats {
   std::uint64_t dropped_responses = 0;  // slow-client read timeouts +
                                         // failed response writes
   std::uint64_t queue_depth = 0;   // connections waiting right now
+  std::uint64_t lane_served = 0;   // liveness responses via the reserved
+                                   // lane while the main queue was full
 };
 
 class HttpServer {
@@ -126,10 +137,20 @@ class HttpServer {
     /// When this connection last entered the queue — pop-minus-enqueued
     /// is the request's queue-wait slice of the latency breakdown.
     std::chrono::steady_clock::time_point enqueued;
+    /// Riding the reserved liveness lane: only /healthz and /metrics are
+    /// served (anything else gets the 503 it would have gotten at the
+    /// door), and the connection closes after one response so the lane
+    /// stays free for the next probe.
+    bool lane = false;
   };
+
+  SocketIo& io() const noexcept {
+    return options_.io != nullptr ? *options_.io : real_socket_io();
+  }
 
   void accept_loop();
   void worker_loop();
+  void lane_loop();
   /// Serves at most one request; true to re-queue (keep-alive).
   /// `queue_us` is how long the connection waited for this worker.
   bool serve_one(Conn& conn, double queue_us);
@@ -145,7 +166,9 @@ class HttpServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> draining_{false};
   std::unique_ptr<BoundedQueue<Conn>> queue_;
+  std::unique_ptr<BoundedQueue<Conn>> lane_queue_;  // null when lane off
   std::thread accept_thread_;
+  std::thread lane_thread_;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool joined_ = false;
@@ -162,6 +185,7 @@ class HttpServer {
   mutable std::atomic<std::uint64_t> rejected_{0};
   mutable std::atomic<std::uint64_t> bad_requests_{0};
   mutable std::atomic<std::uint64_t> dropped_{0};
+  mutable std::atomic<std::uint64_t> lane_served_{0};
   std::atomic<std::uint64_t> next_seq_{1};  // request ids: "wfq-<seq>"
 };
 

@@ -1,0 +1,185 @@
+#include "server/sockio.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace wflog::server {
+
+SocketIo& real_socket_io() {
+  static RealSocketIo io;
+  return io;
+}
+
+int RealSocketIo::accept(int listen_fd) {
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+long RealSocketIo::recv(int fd, char* buf, std::size_t len) {
+  return static_cast<long>(::recv(fd, buf, len, 0));
+}
+
+long RealSocketIo::send(int fd, const char* data, std::size_t len) {
+  return static_cast<long>(::send(fd, data, len, MSG_NOSIGNAL));
+}
+
+int RealSocketIo::connect(int fd, const sockaddr* addr, socklen_t len) {
+  return ::connect(fd, addr, len);
+}
+
+int RealSocketIo::poll_in(int fd, int timeout_ms) {
+  ::pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) return -1;
+    return r == 0 ? 0 : 1;
+  }
+}
+
+int RealSocketIo::close(int fd) { return ::close(fd); }
+
+int RealSocketIo::shutdown(int fd, int how) { return ::shutdown(fd, how); }
+
+// ---- FaultSocketIo -------------------------------------------------------
+
+FaultSocketIo::FaultSocketIo(SocketIo* base)
+    : base_(base != nullptr ? base : &real_socket_io()) {}
+
+void FaultSocketIo::add_fault(SocketFault fault) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back(Armed{fault, 0});
+}
+
+void FaultSocketIo::clear_faults() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+}
+
+FaultSocketIo::Stats FaultSocketIo::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FaultSocketIo::Decision FaultSocketIo::decide(SocketFault::Op op) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.ops;
+  for (Armed& armed : faults_) {
+    const SocketFault& f = armed.fault;
+    if (f.op != SocketFault::Op::kAny && f.op != op) continue;
+    const std::size_t index = ++armed.seen;  // 1-based among matching ops
+    if (index < f.at_op) continue;
+    if (f.count != kStickySocket && index >= f.at_op + f.count) continue;
+    ++stats_.injected;
+    return Decision{true, f.kind, f.max_bytes, f.delay_ms};
+  }
+  return Decision{};
+}
+
+namespace {
+
+/// Applies an error-kind fault by setting errno; true when it consumed the
+/// op (i.e. the caller should return failure without touching the socket).
+bool fail_with(SocketFault::Kind kind, SocketFault::Op op) {
+  switch (kind) {
+    case SocketFault::Kind::kEintr:
+      errno = EINTR;
+      return true;
+    case SocketFault::Kind::kEagain:
+      errno = EAGAIN;
+      return true;
+    case SocketFault::Kind::kConnReset:
+      errno = ECONNRESET;
+      return true;
+    case SocketFault::Kind::kAcceptFail:
+      // EMFILE on a non-accept op still reads as a transient local failure.
+      errno = op == SocketFault::Op::kAccept ? EMFILE : EIO;
+      return true;
+    case SocketFault::Kind::kConnectFail:
+      errno = ECONNREFUSED;
+      return true;
+    case SocketFault::Kind::kShortRead:
+    case SocketFault::Kind::kShortWrite:
+    case SocketFault::Kind::kDelay:
+      return false;  // not an error fault; handled by the caller
+  }
+  return false;
+}
+
+void nap(int delay_ms) {
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+}
+
+}  // namespace
+
+int FaultSocketIo::accept(int listen_fd) {
+  const Decision d = decide(SocketFault::Op::kAccept);
+  if (d.inject) {
+    if (d.kind == SocketFault::Kind::kDelay) {
+      nap(d.delay_ms);
+    } else if (fail_with(d.kind, SocketFault::Op::kAccept)) {
+      return -1;
+    }
+  }
+  return base_->accept(listen_fd);
+}
+
+long FaultSocketIo::recv(int fd, char* buf, std::size_t len) {
+  const Decision d = decide(SocketFault::Op::kRecv);
+  if (d.inject) {
+    if (d.kind == SocketFault::Kind::kDelay) {
+      nap(d.delay_ms);
+    } else if (d.kind == SocketFault::Kind::kShortRead) {
+      len = std::max<std::size_t>(1, std::min(len, d.max_bytes));
+    } else if (fail_with(d.kind, SocketFault::Op::kRecv)) {
+      return -1;
+    }
+  }
+  return base_->recv(fd, buf, len);
+}
+
+long FaultSocketIo::send(int fd, const char* data, std::size_t len) {
+  const Decision d = decide(SocketFault::Op::kSend);
+  if (d.inject) {
+    if (d.kind == SocketFault::Kind::kDelay) {
+      nap(d.delay_ms);
+    } else if (d.kind == SocketFault::Kind::kShortWrite) {
+      len = std::max<std::size_t>(1, std::min(len, d.max_bytes));
+    } else if (fail_with(d.kind, SocketFault::Op::kSend)) {
+      return -1;
+    }
+  }
+  return base_->send(fd, data, len);
+}
+
+int FaultSocketIo::connect(int fd, const sockaddr* addr, socklen_t len) {
+  const Decision d = decide(SocketFault::Op::kConnect);
+  if (d.inject) {
+    if (d.kind == SocketFault::Kind::kDelay) {
+      nap(d.delay_ms);
+    } else if (fail_with(d.kind, SocketFault::Op::kConnect)) {
+      return -1;
+    }
+  }
+  return base_->connect(fd, addr, len);
+}
+
+int FaultSocketIo::poll_in(int fd, int timeout_ms) {
+  // Readiness polling is not a faultable op: every interesting failure
+  // shows up on the recv/send that follows, and faulting poll would only
+  // skew the op indices tests script against.
+  return base_->poll_in(fd, timeout_ms);
+}
+
+int FaultSocketIo::close(int fd) { return base_->close(fd); }
+
+int FaultSocketIo::shutdown(int fd, int how) { return base_->shutdown(fd, how); }
+
+}  // namespace wflog::server

@@ -1,0 +1,142 @@
+#pragma once
+
+// SocketIo — the injectable seam between wfqd and the POSIX socket layer,
+// mirroring what FileIo (src/log/fileio.h) does for durability: every
+// accept/recv/send/connect the server or client performs goes through this
+// interface, so tests can script the failures production networks produce
+// (short reads/writes, EINTR/EAGAIN storms, ECONNRESET mid-request, accept
+// failures, per-op delays for slow-loris) deterministically and without
+// root, tc, or iptables.
+//
+//   * RealSocketIo forwards straight to the syscalls (the default; the
+//     process-wide instance is `real_socket_io()`).
+//   * FaultSocketIo wraps another SocketIo and injects scripted faults by
+//     op-count. Unlike FaultIo it IS thread-safe: the worker pool does
+//     socket IO from many threads at once, so fault matching is guarded by
+//     a mutex (the wrapped syscall itself runs outside the lock).
+//
+// Faults address ops by a 1-based index counted per fault, over the ops
+// matching that fault's filter: {op = kRecv, at_op = 3, kind = kConnReset}
+// means "the third recv() anywhere on the server dies with ECONNRESET".
+// `count` widens the window to consecutive matching ops; kStickySocket
+// makes it permanent until clear_faults().
+
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wflog::server {
+
+class SocketIo {
+ public:
+  virtual ~SocketIo() = default;
+
+  /// ::accept(listen_fd) — new connection fd, or -1 with errno set.
+  virtual int accept(int listen_fd) = 0;
+  /// ::recv — bytes read, 0 on orderly close, -1 with errno set.
+  virtual long recv(int fd, char* buf, std::size_t len) = 0;
+  /// ::send with MSG_NOSIGNAL — bytes written (possibly short), -1 on error.
+  virtual long send(int fd, const char* data, std::size_t len) = 0;
+  /// ::connect — 0 on success, -1 with errno set.
+  virtual int connect(int fd, const sockaddr* addr, socklen_t len) = 0;
+  /// Readability wait: 1 = readable, 0 = timeout, -1 = error. EINTR is the
+  /// implementation's problem, not the caller's.
+  virtual int poll_in(int fd, int timeout_ms) = 0;
+  virtual int close(int fd) = 0;
+  virtual int shutdown(int fd, int how) = 0;
+};
+
+/// Process-wide passthrough instance; the default when no seam is injected.
+SocketIo& real_socket_io();
+
+class RealSocketIo final : public SocketIo {
+ public:
+  int accept(int listen_fd) override;
+  long recv(int fd, char* buf, std::size_t len) override;
+  long send(int fd, const char* data, std::size_t len) override;
+  int connect(int fd, const sockaddr* addr, socklen_t len) override;
+  int poll_in(int fd, int timeout_ms) override;
+  int close(int fd) override;
+  int shutdown(int fd, int how) override;
+};
+
+/// `count` value meaning "every matching op from at_op onward, forever".
+inline constexpr std::size_t kStickySocket =
+    std::numeric_limits<std::size_t>::max();
+
+struct SocketFault {
+  enum class Op : std::uint8_t { kAny, kAccept, kRecv, kSend, kConnect };
+  enum class Kind : std::uint8_t {
+    kEintr,        // op fails with EINTR (callers are expected to retry)
+    kEagain,       // op fails with EAGAIN (spurious readiness)
+    kConnReset,    // op fails with ECONNRESET (peer vanished mid-request)
+    kShortRead,    // recv is clamped to max_bytes (trickled request)
+    kShortWrite,   // send is clamped to max_bytes (congested peer)
+    kAcceptFail,   // accept fails with EMFILE (fd exhaustion)
+    kConnectFail,  // connect fails with ECONNREFUSED
+    kDelay,        // op sleeps delay_ms first, then runs for real (slow-loris)
+  };
+
+  Op op = Op::kAny;
+  Kind kind = Kind::kEintr;
+  std::size_t at_op = 1;      // 1-based index among ops matching `op`
+  std::size_t count = 1;      // consecutive matching ops affected
+  std::size_t max_bytes = 1;  // clamp for kShortRead / kShortWrite
+  int delay_ms = 0;           // sleep for kDelay
+};
+
+/// Thread-safe fault-injecting wrapper. Faults are matched in the order
+/// they were added; the first match decides the op's fate. Each fault
+/// keeps its own per-filter op counter, so two faults with different
+/// filters trigger independently.
+class FaultSocketIo final : public SocketIo {
+ public:
+  /// Wraps `base` (must outlive this object); real_socket_io() by default.
+  explicit FaultSocketIo(SocketIo* base = nullptr);
+
+  void add_fault(SocketFault fault);
+  /// Drops every fault and resets all op counters ("the network heals").
+  void clear_faults();
+
+  struct Stats {
+    std::uint64_t ops = 0;       // ops that went through the seam
+    std::uint64_t injected = 0;  // ops a fault fired on (incl. delays)
+  };
+  Stats stats() const;
+
+  int accept(int listen_fd) override;
+  long recv(int fd, char* buf, std::size_t len) override;
+  long send(int fd, const char* data, std::size_t len) override;
+  int connect(int fd, const sockaddr* addr, socklen_t len) override;
+  int poll_in(int fd, int timeout_ms) override;
+  int close(int fd) override;
+  int shutdown(int fd, int how) override;
+
+ private:
+  struct Armed {
+    SocketFault fault;
+    std::size_t seen = 0;  // matching ops observed so far
+  };
+  struct Decision {
+    bool inject = false;
+    SocketFault::Kind kind = SocketFault::Kind::kEintr;
+    std::size_t max_bytes = 0;
+    int delay_ms = 0;
+  };
+
+  /// Counts the op and picks the first matching armed fault (under lock);
+  /// the caller applies the decision outside the lock.
+  Decision decide(SocketFault::Op op);
+
+  SocketIo* base_;
+  mutable std::mutex mu_;
+  std::vector<Armed> faults_;
+  Stats stats_;
+};
+
+}  // namespace wflog::server

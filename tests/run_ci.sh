@@ -40,6 +40,10 @@ ctest --test-dir "$repo/build" --output-on-failure -L shard \
 echo "== tier 1g: observability smoke (wfqd + access log + /debug/slow) =="
 "$repo/tests/smoke_observability.sh" "$repo/build/examples/wfqd"
 
+echo "== tier 1h: torture label (socket + store chaos harness) =="
+ctest --test-dir "$repo/build" --output-on-failure -L torture \
+  --timeout "$timeout" "$@"
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 
@@ -67,5 +71,8 @@ echo "== tier 2f: shard label under ASan/UBSan =="
 echo "== tier 3: ThreadSanitizer — shard pool, parallel scheduler, server =="
 "$repo/tests/run_sanitized.sh" thread -L 'shard|parallel|server' \
   --timeout "$timeout" "$@"
+
+echo "== tier 3b: ThreadSanitizer — chaos torture harness =="
+"$repo/tests/run_sanitized.sh" thread -L torture --timeout "$timeout" "$@"
 
 echo "== CI green =="

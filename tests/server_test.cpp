@@ -1282,6 +1282,193 @@ TEST(ClientRetryTest, DroppedGetIsRetriedTransparently) {
   EXPECT_EQ(srv.seen(), 3u);  // initial + dropped + successful retry
 }
 
+// ----- client backoff schedule --------------------------------------------
+
+TEST(BackoffScheduleTest, BoundedJitteredAndDeterministic) {
+  server::ClientBackoff opts;
+  opts.max_retries = 4;
+  opts.initial = std::chrono::milliseconds(50);
+  opts.cap = std::chrono::milliseconds(300);
+  opts.budget = std::chrono::milliseconds(100000);  // not the binding cap
+
+  const auto walk = [&] {
+    server::BackoffSchedule s(opts);
+    std::vector<std::chrono::milliseconds> delays;
+    while (const auto d = s.next()) delays.push_back(*d);
+    return delays;
+  };
+  const auto delays = walk();
+  ASSERT_EQ(delays.size(), 4u);  // attempts capped
+  // Attempt k's delay is jittered into [base/2, base],
+  // base = min(cap, 50 * 2^(k-1)): 50, 100, 200, 300.
+  const long long bases[] = {50, 100, 200, 300};
+  for (std::size_t k = 0; k < delays.size(); ++k) {
+    EXPECT_GE(delays[k].count(), bases[k] / 2) << "attempt " << k + 1;
+    EXPECT_LE(delays[k].count(), bases[k]) << "attempt " << k + 1;
+  }
+  // Same seed, same schedule — tests can predict the exact delays.
+  EXPECT_EQ(walk(), delays);
+  // A different seed moves the jitter (with overwhelming probability).
+  opts.jitter_seed = 12345;
+  EXPECT_NE(walk(), delays);
+}
+
+TEST(BackoffScheduleTest, BudgetCapsTotalSleep) {
+  server::ClientBackoff opts;
+  opts.max_retries = 100;
+  opts.initial = std::chrono::milliseconds(64);
+  opts.cap = std::chrono::milliseconds(1024);
+  opts.budget = std::chrono::milliseconds(200);
+
+  server::BackoffSchedule s(opts);
+  std::chrono::milliseconds total{0};
+  while (const auto d = s.next()) total += *d;
+  EXPECT_LE(total.count(), 200);          // never sleeps past the budget
+  EXPECT_EQ(total, s.total_slept());
+  EXPECT_LT(s.attempts_made(), 100);      // the budget ended it, not the cap
+}
+
+TEST(ClientBackoffTest, ConnectFailuresRetryThenSurface) {
+  // Nothing listens on this port: grab an ephemeral port and release it.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  ::sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<::sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  // Injected sleep: the schedule is exercised without real wall time.
+  std::vector<std::chrono::milliseconds> slept;
+  server::ClientOptions copts;
+  copts.backoff.max_retries = 3;
+  copts.backoff.initial = std::chrono::milliseconds(10);
+  copts.sleep_fn = [&slept](std::chrono::milliseconds d) {
+    slept.push_back(d);
+  };
+  server::HttpClient c("127.0.0.1", dead_port, copts);
+  EXPECT_THROW(c.get("/healthz"), IoError);
+  // 1 initial attempt + 3 retries, with a backoff sleep before each retry.
+  ASSERT_EQ(slept.size(), 3u);
+  for (const auto d : slept) EXPECT_GE(d.count(), 5);
+}
+
+TEST(ClientBackoffTest, ZeroRetriesRestoresFailFast) {
+  server::ClientOptions copts;
+  copts.backoff.max_retries = 0;
+  std::size_t sleeps = 0;
+  copts.sleep_fn = [&sleeps](std::chrono::milliseconds) { ++sleeps; };
+  server::HttpClient c("127.0.0.1", 1, copts);  // port 1: nothing listens
+  EXPECT_THROW(c.get("/healthz"), IoError);
+  EXPECT_EQ(sleeps, 0u);
+}
+
+// ----- reserved liveness lane ---------------------------------------------
+
+TEST(ServerTest, HealthzServedThroughReservedLaneUnderSaturation) {
+  // A 1-worker/1-slot server whose only worker is wedged: normal traffic
+  // is shed 503, but /healthz must keep answering through the reserved
+  // lane so probes and scrapes see a saturated server, not a dead one.
+  std::atomic<bool> release{false};
+  server::Router router;
+  router.add("GET", "/slow",
+             [&release](const server::HttpRequest&, server::RequestContext&) {
+               while (!release.load()) std::this_thread::sleep_for(1ms);
+               return server::HttpResponse::text(200, "done");
+             });
+  router.add("GET", "/healthz",
+             [](const server::HttpRequest&, server::RequestContext&) {
+               return server::HttpResponse::text(200, "ok\n");
+             });
+  server::ServerOptions opts;
+  opts.port = 0;
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  opts.lane_capacity = 4;
+  server::HttpServer http(std::move(router), std::move(opts));
+  http.start();
+  const std::uint16_t port = http.port();
+
+  std::thread first([&] {
+    server::HttpClient c("127.0.0.1", port);
+    EXPECT_EQ(c.get("/slow").status, 200);
+  });
+  std::this_thread::sleep_for(200ms);  // worker busy, queue empty
+  std::thread second([&] {
+    server::HttpClient c("127.0.0.1", port);
+    EXPECT_EQ(c.get("/slow").status, 200);
+  });
+  std::this_thread::sleep_for(200ms);  // queue full
+
+  // Liveness keeps answering while the pool is saturated...
+  for (int i = 0; i < 3; ++i) {
+    server::HttpClient probe("127.0.0.1", port);
+    const server::ClientResponse health = probe.get("/healthz");
+    EXPECT_EQ(health.status, 200) << health.body;
+    EXPECT_EQ(health.body, "ok\n");
+  }
+  // ...but the lane is liveness-only: everything else is still shed.
+  server::HttpClient c("127.0.0.1", port);
+  const server::ClientResponse shed = c.get("/slow");
+  EXPECT_EQ(shed.status, 503);
+  ASSERT_NE(shed.header("retry-after"), nullptr);
+
+  release.store(true);
+  first.join();
+  second.join();
+  const server::ServerStats stats = http.stats();
+  EXPECT_GE(stats.lane_served, 3u);
+  EXPECT_GE(stats.rejected, 1u);
+  http.shutdown();
+}
+
+TEST(ServerTest, LaneDisabledFallsBackToPlain503) {
+  std::atomic<bool> release{false};
+  server::Router router;
+  router.add("GET", "/slow",
+             [&release](const server::HttpRequest&, server::RequestContext&) {
+               while (!release.load()) std::this_thread::sleep_for(1ms);
+               return server::HttpResponse::text(200, "done");
+             });
+  router.add("GET", "/healthz",
+             [](const server::HttpRequest&, server::RequestContext&) {
+               return server::HttpResponse::text(200, "ok\n");
+             });
+  server::ServerOptions opts;
+  opts.port = 0;
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  opts.lane_capacity = 0;  // pre-lane behavior
+  server::HttpServer http(std::move(router), std::move(opts));
+  http.start();
+  const std::uint16_t port = http.port();
+
+  std::thread first([&] {
+    server::HttpClient c("127.0.0.1", port);
+    EXPECT_EQ(c.get("/slow").status, 200);
+  });
+  std::this_thread::sleep_for(200ms);
+  std::thread second([&] {
+    server::HttpClient c("127.0.0.1", port);
+    EXPECT_EQ(c.get("/slow").status, 200);
+  });
+  std::this_thread::sleep_for(200ms);
+
+  server::HttpClient probe("127.0.0.1", port);
+  EXPECT_EQ(probe.get("/healthz").status, 503);  // no lane, shed like anyone
+
+  release.store(true);
+  first.join();
+  second.join();
+  EXPECT_EQ(http.stats().lane_served, 0u);
+  http.shutdown();
+}
+
 // ----- sharded evaluation over the server ---------------------------------
 
 server::ServiceOptions sharded_svc(std::size_t shards) {

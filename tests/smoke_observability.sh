@@ -101,6 +101,27 @@ curl -fsS "$base/metrics" |
   grep -q '^wflog_server_endpoint_seconds_bucket{endpoint="/query"' ||
   fail "/metrics misses the per-endpoint histogram"
 
+# SIGHUP reopens the access log (logrotate contract): move the live log
+# aside, signal, and the next request must land in a fresh file at the
+# original path while the rotated file keeps the old lines.
+mv "$tmp/access.jsonl" "$tmp/access.jsonl.1"
+kill -HUP "$pid"
+curl -fsS -H 'X-Request-Id: smoke-after-rotate' "$base/healthz" >/dev/null ||
+  fail "/healthz after SIGHUP"
+i=0
+while [ "$i" -lt 50 ]; do
+  [ -f "$tmp/access.jsonl" ] &&
+    grep -q '"smoke-after-rotate"' "$tmp/access.jsonl" && break
+  sleep 0.1
+  i=$((i + 1))
+done
+grep -q '"smoke-after-rotate"' "$tmp/access.jsonl" ||
+  fail "post-rotate request missing from the reopened access log"
+grep -q '"smoke-probe-1"' "$tmp/access.jsonl.1" ||
+  fail "rotated access log lost the pre-rotate lines"
+grep -q '"smoke-after-rotate"' "$tmp/access.jsonl.1" &&
+  fail "post-rotate request leaked into the rotated file"
+
 # Graceful TERM: drains and exits 0.
 kill "$pid"
 rc=0
