@@ -7,13 +7,21 @@
 // Each iteration appends one record to a store on the local filesystem
 // (temp dir), so absolute numbers track the machine's fsync latency; the
 // RATIO between policies is the result.
+//
+// E24: the v1-vs-v2 segment format comparison — bytes on disk after
+// writing clinic(n) in each format (`disk_bytes` counter), full-load scan
+// throughput, and the zone-map-pruned scan of a selective pattern
+// (TerminateRefer, ~10% of instances) against the full-load baseline.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <map>
 #include <string>
 
 #include "log/store.h"
+#include "workflow/clinic.h"
 
 namespace wflog {
 namespace {
@@ -23,6 +31,76 @@ namespace fs = std::filesystem;
 fs::path bench_dir(const char* name) {
   return fs::temp_directory_path() /
          (std::string("wflog-bench-store-") + name);
+}
+
+void replay_record(const Log& log, const LogRecord& l, LogStore& store,
+                   std::map<Wid, Wid>& wid_map) {
+  const std::string_view activity = log.activity_name(l.activity);
+  if (activity == kStartActivity) {
+    wid_map[l.wid] = store.begin_instance();
+    return;
+  }
+  const Wid w = wid_map.at(l.wid);
+  if (activity == kEndActivity) {
+    store.end_instance(w);
+    return;
+  }
+  NamedAttrs in, out;
+  for (const AttrEntry& e : l.in) {
+    in.emplace_back(log.interner().name(e.attr), e.value);
+  }
+  for (const AttrEntry& e : l.out) {
+    out.emplace_back(log.interner().name(e.attr), e.value);
+  }
+  store.record(w, activity, in, out);
+}
+
+/// Replays `log` through the store's append API. In-order replay keeps the
+/// simulator's interleaving (the live-ingest layout); clustered replay
+/// groups each instance's records together (the layout of a bulk load of
+/// completed instances), which gives blocks narrow wid ranges — the case
+/// zone-map pruning is built for.
+void replay_into_store(const Log& log, LogStore& store,
+                       bool clustered = false) {
+  std::map<Wid, Wid> wid_map;  // log wid -> store wid
+  if (!clustered) {
+    for (const LogRecord& l : log) replay_record(log, l, store, wid_map);
+    return;
+  }
+  std::map<Wid, std::vector<const LogRecord*>> by_wid;
+  for (const LogRecord& l : log) by_wid[l.wid].push_back(&l);
+  for (const auto& [wid, recs] : by_wid) {
+    for (const LogRecord* l : recs) replay_record(log, *l, store, wid_map);
+  }
+}
+
+std::uintmax_t dir_bytes(const fs::path& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+/// A clinic(n) store fixture in the given format. block_target_bytes == 0
+/// keeps the 64 KiB default (best compression; what the shrink numbers
+/// report); the pruning benches pass kPruneBlockTarget so zone maps have
+/// instance-level decisions to make on a mid-size fixture.
+fs::path build_clinic_store(const char* name, std::size_t instances,
+                            SegmentFormat format,
+                            std::size_t block_target_bytes = 0,
+                            bool clustered = false) {
+  const fs::path dir = bench_dir(name);
+  fs::remove_all(dir);
+  LogStore::Options options;
+  options.fsync_policy = FsyncPolicy::kOff;
+  options.records_per_segment = 4096;
+  options.segment_format = format;
+  if (block_target_bytes != 0) options.block_target_bytes = block_target_bytes;
+  LogStore store = LogStore::create(dir, options);
+  replay_into_store(clinic_log(instances, 0xE24), store, clustered);
+  store.sync();
+  return dir;
 }
 
 void run_append_bench(benchmark::State& state, FsyncPolicy policy,
@@ -59,15 +137,19 @@ BENCHMARK(BM_StoreAppendPerAppendFsync)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StoreAppendIntervalFsync)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_StoreAppendNoFsync)->Unit(benchmark::kMicrosecond);
 
-/// Reopen cost: recovery streams every segment (CRC-checking each line),
-/// so open() scales with store size.
-void BM_StoreRecoveryOpen(benchmark::State& state) {
-  const fs::path dir = bench_dir("recovery");
+/// Reopen cost. v1 recovery streams every segment (CRC-checking each
+/// line), so open() scales with store size; a sealed v2 segment is
+/// admitted from its footer without inflating a block, so open() scales
+/// with the number of segments instead.
+void run_recovery_bench(benchmark::State& state, SegmentFormat format,
+                        const char* name) {
+  const fs::path dir = bench_dir(name);
   fs::remove_all(dir);
   const std::size_t records = static_cast<std::size_t>(state.range(0));
   {
     LogStore::Options options;
     options.fsync_policy = FsyncPolicy::kOff;  // build the fixture fast
+    options.segment_format = format;
     LogStore store = LogStore::create(dir, options);
     const Wid w = store.begin_instance();
     for (std::size_t i = 2; i < records; ++i) store.record(w, "activity");
@@ -83,10 +165,133 @@ void BM_StoreRecoveryOpen(benchmark::State& state) {
   fs::remove_all(dir);
 }
 
-BENCHMARK(BM_StoreRecoveryOpen)
+void BM_StoreRecoveryOpenV1(benchmark::State& state) {
+  run_recovery_bench(state, SegmentFormat::kV1Jsonl, "recovery-v1");
+}
+
+void BM_StoreRecoveryOpenV2(benchmark::State& state) {
+  run_recovery_bench(state, SegmentFormat::kV2Blocks, "recovery-v2");
+}
+
+BENCHMARK(BM_StoreRecoveryOpenV1)
     ->Arg(1000)
     ->Arg(10000)
     ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreRecoveryOpenV2)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+// ----- E24: v1 vs v2 on clinic(n) ------------------------------------------
+
+/// The pruning benches use fine-grained 2 KiB blocks (~2 instances per
+/// block) so zone maps decide at instance granularity; the full-load
+/// benches keep the 64 KiB default, which is what the shrink factor is
+/// reported at.
+constexpr std::size_t kPruneBlockTarget = 2 * 1024;
+
+/// Full-scan load() throughput per format; `disk_bytes` reports the store
+/// footprint, so one run yields both the shrink factor and the scan rate.
+void run_clinic_load_bench(benchmark::State& state, SegmentFormat format,
+                           const char* name,
+                           std::size_t block_target_bytes = 0,
+                           bool clustered = false) {
+  const std::size_t instances = static_cast<std::size_t>(state.range(0));
+  const fs::path dir = build_clinic_store(name, instances, format,
+                                          block_target_bytes, clustered);
+  std::size_t records = 0;
+  {
+    LogStore store = LogStore::open(dir);
+    records = store.num_records();
+    for (auto _ : state) {
+      const Log log = store.load();
+      benchmark::DoNotOptimize(log.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  state.counters["disk_bytes"] = static_cast<double>(dir_bytes(dir));
+  state.counters["records"] = static_cast<double>(records);
+  fs::remove_all(dir);
+}
+
+void BM_StoreClinicLoadV1(benchmark::State& state) {
+  run_clinic_load_bench(state, SegmentFormat::kV1Jsonl, "clinic-v1");
+}
+
+void BM_StoreClinicLoadV2(benchmark::State& state) {
+  run_clinic_load_bench(state, SegmentFormat::kV2Blocks, "clinic-v2");
+}
+
+/// Full-load baseline on the SAME fixture the pruned benches use (2 KiB
+/// blocks, clustered layout) — the apples-to-apples denominator for the
+/// pruned-scan speedup.
+void BM_StoreClinicLoadV2Fine(benchmark::State& state) {
+  run_clinic_load_bench(state, SegmentFormat::kV2Blocks, "clinic-v2-fine",
+                        kPruneBlockTarget, /*clustered=*/true);
+}
+
+/// The zone-map payoff: load only what a selective pattern needs.
+/// TerminateRefer ends ~10% of clinic referrals. Pruning is instance-
+/// granular (wid intervals), so it is layout-sensitive: the interleaved
+/// live-ingest layout gives every block a wide wid range and prunes
+/// little, while the clustered bulk-load layout gives narrow ranges and
+/// skips most blocks. Both layouts run; compare each against
+/// BM_StoreClinicLoadV2 at the same arg for the speedup.
+void run_clinic_pruned_bench(benchmark::State& state, bool clustered,
+                             const char* name) {
+  const std::size_t instances = static_cast<std::size_t>(state.range(0));
+  const fs::path dir = build_clinic_store(
+      name, instances, SegmentFormat::kV2Blocks, kPruneBlockTarget, clustered);
+  std::size_t kept = 0, blocks_read = 0, blocks_skipped = 0;
+  {
+    LogStore store = LogStore::open(dir);
+    for (auto _ : state) {
+      const LogStore::PrunedLoad pruned =
+          store.load_pruned({"TerminateRefer"});
+      kept = pruned.records_kept;
+      blocks_read = pruned.blocks_read;
+      blocks_skipped = pruned.blocks_skipped;
+      benchmark::DoNotOptimize(pruned.log.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(store.num_records()));
+  }
+  state.counters["records_kept"] = static_cast<double>(kept);
+  state.counters["blocks_read"] = static_cast<double>(blocks_read);
+  state.counters["blocks_skipped"] = static_cast<double>(blocks_skipped);
+  fs::remove_all(dir);
+}
+
+void BM_StoreClinicPrunedLoadV2(benchmark::State& state) {
+  run_clinic_pruned_bench(state, /*clustered=*/false, "clinic-pruned");
+}
+
+void BM_StoreClinicPrunedLoadV2Clustered(benchmark::State& state) {
+  run_clinic_pruned_bench(state, /*clustered=*/true, "clinic-pruned-cl");
+}
+
+BENCHMARK(BM_StoreClinicLoadV1)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreClinicLoadV2)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreClinicLoadV2Fine)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreClinicPrunedLoadV2)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StoreClinicPrunedLoadV2Clustered)
+    ->Arg(1000)
+    ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

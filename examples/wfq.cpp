@@ -14,9 +14,17 @@
 //   wfq footprint <log>                  direct-succession matrix
 //   wfq discover  <log> [out.dot]        mine a model, print/export DOT
 //   wfq audit     <log>                  built-in clinic compliance rules
+//   wfq compact   <store-dir>            rewrite a LogStore into sealed v2
+//                                        segments (log/store.h compaction)
+//   wfq inspect-segment <seg-file>       JSON dump of one segment file:
+//                                        blocks, zone maps, CRCs, ratios
 //   wfq gen    clinic|procurement|random <instances> <seed> <out.{csv,jsonl,xes}>
 //
-// Logs may be .csv, .jsonl, or .xes (IEEE 1849) — format by extension.
+// Logs may be .csv, .jsonl, or .xes (IEEE 1849) — format by extension — or
+// a LogStore directory (contains MANIFEST). Store-directory queries go
+// through the zone-map-pruned load: blocks whose zone maps rule out every
+// instance that could satisfy the pattern's required activities are never
+// inflated (identical incident sets either way).
 //
 // Global telemetry flags (any command, stripped before dispatch):
 //   --trace <out.json>     record spans, write Chrome trace_event JSON
@@ -42,6 +50,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -59,7 +68,9 @@
 #include "log/io_csv.h"
 #include "log/io_jsonl.h"
 #include "log/io_xes.h"
+#include "log/segfmt.h"
 #include "log/stats.h"
+#include "log/store.h"
 #include "obs/telemetry.h"
 #include "workflow/discovery.h"
 #include "workflow/dot.h"
@@ -98,6 +109,8 @@ void report_partial(const QueryResult& r) {
          "  wfq footprint <log>\n"
          "  wfq discover  <log> [out.dot]\n"
          "  wfq audit     <log>\n"
+         "  wfq compact   <store-dir>\n"
+         "  wfq inspect-segment <seg-file>\n"
          "  wfq repl      <log>\n"
          "  wfq gen    clinic|procurement|random <instances> <seed> "
          "<out.{csv,jsonl,xes}>\n"
@@ -110,7 +123,36 @@ void report_partial(const QueryResult& r) {
 }
 
 using cli::has_suffix;
-using cli::load_log;
+
+/// A LogStore directory is recognized by its MANIFEST; file paths go
+/// through the by-extension readers.
+bool is_store_dir(const std::string& path) {
+  namespace fs = std::filesystem;
+  return fs::is_directory(path) && fs::exists(fs::path(path) / "MANIFEST");
+}
+
+Log load_log(const std::string& path) {
+  if (is_store_dir(path)) return LogStore::open(path).load();
+  return cli::load_log(path);
+}
+
+/// Load for one pattern: a store directory goes through the zone-map-pruned
+/// path (only instances that could satisfy the pattern's required-activity
+/// set are materialized; blocks ruled out by zone maps are never inflated).
+Log load_log_for(const std::string& path, const std::string& pattern_text) {
+  if (!is_store_dir(path)) return cli::load_log(path);
+  const PatternPtr parsed = parse_pattern(pattern_text);
+  const LogStore store = LogStore::open(path);
+  LogStore::PrunedLoad pruned =
+      store.load_pruned(required_activities(*parsed));
+  if (pruned.pruned) {
+    std::cout << "store: kept " << pruned.records_kept << "/"
+              << store.num_records() << " records; blocks read "
+              << pruned.blocks_read << ", skipped " << pruned.blocks_skipped
+              << " of " << pruned.blocks_total << " zone-mapped\n";
+  }
+  return std::move(pruned.log);
+}
 
 void save_log(const Log& log, const std::string& path) {
   std::ofstream out(path);
@@ -134,7 +176,7 @@ int cmd_stats(const std::string& path) {
 
 int cmd_query(const std::string& path, const std::string& pattern,
               std::size_t limit, bool optimize) {
-  const Log log = load_log(path);
+  const Log log = load_log_for(path, pattern);
   QueryOptions opts = guarded_options();
   opts.optimize = optimize;
   QueryEngine engine(log, opts);
@@ -218,7 +260,7 @@ int cmd_batch(const std::string& path, const std::string& queries_path,
 }
 
 int cmd_exists(const std::string& path, const std::string& pattern) {
-  const Log log = load_log(path);
+  const Log log = load_log_for(path, pattern);
   QueryEngine engine(log, guarded_options());
   const bool found = engine.exists(pattern);
   std::cout << (found ? "yes" : "no") << "\n";
@@ -226,7 +268,7 @@ int cmd_exists(const std::string& path, const std::string& pattern) {
 }
 
 int cmd_count(const std::string& path, const std::string& pattern) {
-  const Log log = load_log(path);
+  const Log log = load_log_for(path, pattern);
   QueryEngine engine(log, guarded_options());
   std::cout << engine.count(pattern) << "\n";
   return 0;
@@ -318,6 +360,130 @@ int cmd_repl(const std::string& path) {
   return 0;
 }
 
+int cmd_compact(const std::string& dir) {
+  const LogStore::CompactionReport r = LogStore::compact(dir);
+  std::cout << "compacted " << r.records << " records: " << r.segments_before
+            << " segment(s), " << r.bytes_before << " bytes -> "
+            << r.segments_after << " segment(s), " << r.bytes_after
+            << " bytes (" << r.blocks_written << " blocks)";
+  if (r.bytes_after > 0 && r.bytes_before >= r.bytes_after) {
+    std::printf(", %.2fx smaller",
+                static_cast<double>(r.bytes_before) /
+                    static_cast<double>(r.bytes_after));
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+void json_escape_to(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out << buf;
+    } else {
+      out << c;
+    }
+  }
+}
+
+/// Machine-readable dump of one segment file: header facts, per-block zone
+/// maps, CRCs, compression ratios. v2 segments are read via the footer
+/// when sealed, by block scan otherwise; v1 segments report line counts.
+int cmd_inspect_segment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string data = std::move(buf).str();
+
+  std::ostream& out = std::cout;
+  out << "{\n  \"path\": \"";
+  json_escape_to(out, path);
+  out << "\",\n  \"bytes\": " << data.size();
+
+  if (!data.starts_with(kSegV2FileMagic)) {
+    // v1 JSONL (or foreign) segment: count checksummed record lines.
+    std::size_t records = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      std::size_t nl = data.find('\n', pos);
+      if (nl == std::string::npos) nl = data.size();
+      if (!trim(std::string_view(data).substr(pos, nl - pos)).empty()) {
+        ++records;
+      }
+      pos = nl + 1;
+    }
+    out << ",\n  \"format\": \"v1-jsonl\",\n  \"records\": " << records
+        << "\n}\n";
+    return 0;
+  }
+
+  const std::optional<FooterRead> footer = try_read_v2_footer(data);
+  std::vector<BlockZone> zones;
+  std::size_t record_count = 0;
+  bool torn = false;
+  std::string corrupt;
+  if (footer.has_value()) {
+    zones = footer->footer.blocks;
+    record_count = footer->footer.record_count;
+  } else {
+    const BlockScan scan = scan_v2_blocks(data);
+    zones = scan.zones;
+    torn = scan.torn;
+    corrupt = scan.corrupt_reason;
+    for (const BlockZone& z : zones) record_count += z.record_count;
+  }
+  out << ",\n  \"format\": \"v2-blocks\""
+      << ",\n  \"sealed\": " << (footer.has_value() ? "true" : "false")
+      << ",\n  \"torn\": " << (torn ? "true" : "false");
+  if (!corrupt.empty()) {
+    out << ",\n  \"corrupt\": \"";
+    json_escape_to(out, corrupt);
+    out << "\"";
+  }
+  out << ",\n  \"records\": " << record_count
+      << ",\n  \"blocks\": [";
+  std::uint64_t comp_total = 0;
+  std::uint64_t uncomp_total = 0;
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    const BlockZone& z = zones[i];
+    comp_total += z.compressed_size;
+    uncomp_total += z.uncompressed_size;
+    out << (i == 0 ? "" : ",") << "\n    {\"offset\": " << z.file_offset
+        << ", \"codec\": \""
+        << (z.codec == static_cast<std::uint32_t>(BlockCodec::kDeflate)
+                ? "deflate"
+                : "raw")
+        << "\", \"compressed_size\": " << z.compressed_size
+        << ", \"uncompressed_size\": " << z.uncompressed_size
+        << ", \"records\": " << z.record_count << ", \"wid_min\": "
+        << z.wid_min << ", \"wid_max\": " << z.wid_max << ", \"lsn_min\": "
+        << z.lsn_min << ", \"lsn_max\": " << z.lsn_max
+        << ", \"payload_crc\": " << z.payload_crc
+        << ", \"bloom_bits\": " << z.bloom.num_bits() << "}";
+  }
+  out << (zones.empty() ? "]" : "\n  ]")
+      << ",\n  \"compressed_payload_bytes\": " << comp_total
+      << ",\n  \"uncompressed_payload_bytes\": " << uncomp_total;
+  if (comp_total > 0) {
+    char ratio[32];
+    std::snprintf(ratio, sizeof ratio, "%.3f",
+                  static_cast<double>(uncomp_total) /
+                      static_cast<double>(comp_total));
+    out << ",\n  \"compression_ratio\": " << ratio;
+  }
+  if (footer.has_value()) {
+    out << ",\n  \"footer_offset\": " << footer->footer_start
+        << ",\n  \"watermarked_instances\": "
+        << footer->footer.next_is_lsn.size();
+  }
+  out << "\n}\n";
+  return !corrupt.empty() ? 1 : 0;
+}
+
 int cmd_gen(const std::string& kind, std::size_t instances,
             std::uint64_t seed, const std::string& out) {
   Log log =
@@ -378,6 +544,10 @@ int dispatch(int argc, char** argv) {
       return cmd_discover(argv[2], argc == 4 ? argv[3] : "");
     }
     if (cmd == "audit" && argc == 3) return cmd_audit(argv[2]);
+    if (cmd == "compact" && argc == 3) return cmd_compact(argv[2]);
+    if (cmd == "inspect-segment" && argc == 3) {
+      return cmd_inspect_segment(argv[2]);
+    }
     if (cmd == "repl" && argc == 3) return cmd_repl(argv[2]);
     if (cmd == "gen" && argc == 6) {
       return cmd_gen(argv[2],

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <iterator>
+#include <set>
 
 #include "common/error.h"
 #include "common/text.h"
@@ -237,6 +239,39 @@ std::vector<std::string> Pattern::activity_multiset() const {
   walk(*this);
   std::sort(names.begin(), names.end());
   return names;
+}
+
+namespace {
+
+std::set<std::string> required_set(const Pattern& p) {
+  if (p.is_atom()) {
+    // A positive atom's incident IS a record with that activity, so the
+    // owning instance must contain it — predicate or not. A negated atom
+    // matches any record whose activity differs; it requires nothing.
+    if (p.negated()) return {};
+    return {p.activity()};
+  }
+  std::set<std::string> left = required_set(*p.left());
+  std::set<std::string> right = required_set(*p.right());
+  if (p.op() == PatternOp::kChoice) {
+    // Either branch alone can supply the incident: only activities both
+    // branches demand are demanded by the choice.
+    std::set<std::string> both;
+    std::set_intersection(left.begin(), left.end(), right.begin(),
+                          right.end(), std::inserter(both, both.begin()));
+    return both;
+  }
+  // ⊙ / ≫ / ⊕: an incident embeds one incident of EACH operand, so the
+  // instance must satisfy both requirement sets.
+  left.insert(right.begin(), right.end());
+  return left;
+}
+
+}  // namespace
+
+std::vector<std::string> required_activities(const Pattern& p) {
+  const std::set<std::string> req = required_set(p);
+  return {req.begin(), req.end()};
 }
 
 bool Pattern::structurally_equal(const Pattern& other) const {

@@ -161,6 +161,16 @@ std::string canonical_key(const Pattern& p);
 /// want Theorem-2/3/4-invariant pattern identity.
 std::size_t canonical_hash(const Pattern& p);
 
+/// Activities that every workflow instance contributing an incident to
+/// `p` must contain, sorted and deduplicated. A positive atom requires
+/// its activity (with or without a predicate — the incident record still
+/// carries the activity); a negated atom requires nothing; ⊙/≫/⊕ union
+/// their operands' requirements (an incident embeds one of each); ⊗
+/// intersects them (either branch alone suffices). Storage-level block
+/// pruning (log/store.h load_pruned) is sound against exactly this set:
+/// an instance missing any required activity cannot produce an incident.
+std::vector<std::string> required_activities(const Pattern& p);
+
 /// Whether evaluating `p1 ⊗ p2` requires duplicate elimination.
 ///
 /// Lemma 1's refinement — dedup only when the operands' activity multisets

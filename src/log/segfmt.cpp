@@ -1,0 +1,352 @@
+#include "log/segfmt.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/error.h"
+#include "common/text.h"
+#include "log/compress.h"
+#include "log/io_jsonl.h"
+#include "log/wire.h"
+
+namespace wflog {
+namespace {
+
+struct BlockHeader {
+  std::uint32_t codec = 0;
+  std::uint32_t compressed_size = 0;
+  std::uint32_t uncompressed_size = 0;
+  std::uint32_t record_count = 0;
+  std::uint64_t first_lsn = 0;
+  std::uint32_t payload_crc = 0;
+};
+
+std::string encode_block_header(const BlockHeader& h) {
+  std::string out;
+  out.reserve(kSegV2BlockHeaderSize);
+  wire::put_u32(out, kSegV2BlockMagic);
+  wire::put_u32(out, h.codec);
+  wire::put_u32(out, h.compressed_size);
+  wire::put_u32(out, h.uncompressed_size);
+  wire::put_u32(out, h.record_count);
+  wire::put_u64(out, h.first_lsn);
+  wire::put_u32(out, h.payload_crc);
+  wire::put_u32(out, crc32(out));  // header_crc over the 32 bytes above
+  return out;
+}
+
+/// Parses a block header (>= 36 bytes available). Returns nullopt when the
+/// magic or header CRC does not check out.
+std::optional<BlockHeader> decode_block_header(std::string_view bytes) {
+  wire::Reader r(bytes.substr(0, kSegV2BlockHeaderSize));
+  const std::uint32_t magic = r.u32();
+  BlockHeader h;
+  h.codec = r.u32();
+  h.compressed_size = r.u32();
+  h.uncompressed_size = r.u32();
+  h.record_count = r.u32();
+  h.first_lsn = r.u64();
+  h.payload_crc = r.u32();
+  const std::uint32_t header_crc = r.u32();
+  if (magic != kSegV2BlockMagic ||
+      header_crc != crc32(bytes.substr(0, kSegV2BlockHeaderSize - 4))) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+std::string decode_payload(std::string_view compressed, std::uint32_t codec,
+                           std::uint32_t uncompressed_size) {
+  switch (static_cast<BlockCodec>(codec)) {
+    case BlockCodec::kRaw:
+      if (compressed.size() != uncompressed_size) {
+        throw IoError("segfmt: raw block size mismatch");
+      }
+      return std::string(compressed);
+    case BlockCodec::kDeflate:
+      return deflate_decompress(compressed, uncompressed_size);
+  }
+  throw IoError("segfmt: unknown block codec " + std::to_string(codec));
+}
+
+}  // namespace
+
+// ----- BlockBuilder ---------------------------------------------------------
+
+void BlockBuilder::add(const LogRecord& record, std::string_view activity_name,
+                       std::string_view line) {
+  PendingRecord meta;
+  meta.wid = record.wid;
+  meta.lsn = record.lsn;
+  meta.activity = std::string(activity_name);
+  meta.line_bytes = static_cast<std::uint32_t>(line.size() + 1);
+  payload_.append(line);
+  payload_.push_back('\n');
+  records_.push_back(std::move(meta));
+}
+
+void BlockBuilder::remove_last() {
+  if (records_.empty()) return;
+  payload_.resize(payload_.size() - records_.back().line_bytes);
+  records_.pop_back();
+}
+
+void BlockBuilder::clear() {
+  payload_.clear();
+  records_.clear();
+}
+
+EncodedBlock BlockBuilder::encode(std::uint64_t file_offset) const {
+  EncodedBlock out;
+  BlockZone& z = out.zone;
+  z.file_offset = file_offset;
+  z.uncompressed_size = static_cast<std::uint32_t>(payload_.size());
+  z.record_count = static_cast<std::uint32_t>(records_.size());
+  z.wid_min = UINT64_MAX;
+  z.lsn_min = UINT64_MAX;
+  std::set<std::string_view> distinct;
+  for (const PendingRecord& r : records_) {
+    z.wid_min = std::min(z.wid_min, r.wid);
+    z.wid_max = std::max(z.wid_max, r.wid);
+    z.lsn_min = std::min(z.lsn_min, r.lsn);
+    z.lsn_max = std::max(z.lsn_max, r.lsn);
+    distinct.insert(r.activity);
+  }
+  z.bloom = ActivityBloom::sized_for(distinct.size());
+  for (const std::string_view a : distinct) z.bloom.add(a);
+
+  std::string compressed = deflate_compress(payload_);
+  if (compressed.size() >= payload_.size()) {
+    z.codec = static_cast<std::uint32_t>(BlockCodec::kRaw);
+    compressed = payload_;
+  } else {
+    z.codec = static_cast<std::uint32_t>(BlockCodec::kDeflate);
+  }
+  z.compressed_size = static_cast<std::uint32_t>(compressed.size());
+  z.payload_crc = crc32(compressed);
+
+  BlockHeader h;
+  h.codec = z.codec;
+  h.compressed_size = z.compressed_size;
+  h.uncompressed_size = z.uncompressed_size;
+  h.record_count = z.record_count;
+  h.first_lsn = records_.front().lsn;
+  h.payload_crc = z.payload_crc;
+  out.bytes = encode_block_header(h);
+  out.bytes += compressed;
+  return out;
+}
+
+// ----- scanning -------------------------------------------------------------
+
+BlockScan scan_v2_blocks(std::string_view file) {
+  BlockScan scan;
+  // The file magic itself can be torn by a crash between segment creation
+  // and the first durable byte.
+  if (file.size() < kSegV2FileMagic.size()) {
+    if (std::string_view(kSegV2FileMagic)
+            .substr(0, file.size()) == file) {
+      scan.torn = file.size() > 0;
+      return scan;
+    }
+    scan.corrupt_reason = "bad v2 segment file magic";
+    return scan;
+  }
+  if (file.substr(0, kSegV2FileMagic.size()) != kSegV2FileMagic) {
+    scan.corrupt_reason = "bad v2 segment file magic";
+    return scan;
+  }
+  std::size_t off = kSegV2FileMagic.size();
+  scan.good_bytes = off;
+  std::uint64_t records_so_far = 0;
+
+  // Distinguishes an interrupted seal from corruption: block writes land
+  // as byte prefixes, so any crash residue of >= header size parses as a
+  // valid block header — EXCEPT the bytes of a partially written footer.
+  // A footer body opens with this segment's total record count (u64) and
+  // block count (u32); if the unparseable region fingerprints as exactly
+  // that, it is a torn footer (truncate, recover block-by-block).
+  // Anything else complete-but-invalid is corruption, as in v1 where a
+  // newline-terminated line with a bad CRC is corruption, not tearing.
+  const auto is_torn_footer = [&](std::string_view region) {
+    if (region.size() < 12) return true;  // too short to judge: lenient
+    wire::Reader r(region.substr(0, 12));
+    return r.u64() == records_so_far &&
+           r.u32() == static_cast<std::uint32_t>(scan.zones.size());
+  };
+
+  Interner scratch;
+  while (off < file.size()) {
+    const std::string_view rest = file.substr(off);
+    if (rest.size() < kSegV2BlockHeaderSize) {
+      // Too short to even hold a header: could be a partial block header
+      // OR a partial footer — both are tears; neither can be judged.
+      scan.torn = true;
+      return scan;
+    }
+    const std::optional<BlockHeader> h = decode_block_header(rest);
+    if (!h.has_value()) {
+      if (is_torn_footer(rest)) {
+        scan.torn = true;
+      } else {
+        scan.corrupt_reason = "invalid block header at byte " +
+                              std::to_string(off);
+      }
+      return scan;
+    }
+    if (rest.size() - kSegV2BlockHeaderSize < h->compressed_size) {
+      scan.torn = true;  // payload cut short
+      return scan;
+    }
+    const std::string_view payload_bytes =
+        rest.substr(kSegV2BlockHeaderSize, h->compressed_size);
+    if (crc32(payload_bytes) != h->payload_crc) {
+      scan.corrupt_reason = "block payload CRC mismatch at byte " +
+                            std::to_string(off + kSegV2BlockHeaderSize);
+      return scan;
+    }
+    std::string payload;
+    try {
+      payload = decode_payload(payload_bytes, h->codec, h->uncompressed_size);
+    } catch (const IoError& e) {
+      scan.corrupt_reason = "block at byte " + std::to_string(off) +
+                            " does not decode: " + e.what();
+      return scan;
+    }
+
+    // Rebuild the zone (wid/lsn bounds + bloom) from the decoded records.
+    BlockBuilder rebuild;
+    std::size_t pos = 0;
+    bool parsed = true;
+    std::size_t parsed_records = 0;
+    while (pos < payload.size()) {
+      std::size_t nl = payload.find('\n', pos);
+      if (nl == std::string::npos) nl = payload.size();
+      const std::string_view line = trim(
+          std::string_view(payload).substr(pos, nl - pos));
+      pos = nl + 1;
+      if (line.empty()) continue;
+      try {
+        const LogRecord rec = parse_store_line(line, scratch);
+        rebuild.add(rec, scratch.name(rec.activity), line);
+        ++parsed_records;
+      } catch (const IoError& e) {
+        scan.corrupt_reason = "record in block at byte " +
+                              std::to_string(off) +
+                              " does not parse: " + e.what();
+        parsed = false;
+        break;
+      }
+    }
+    if (!parsed) return scan;
+    if (parsed_records != h->record_count) {
+      scan.corrupt_reason =
+          "block at byte " + std::to_string(off) + " declares " +
+          std::to_string(h->record_count) + " records but holds " +
+          std::to_string(parsed_records);
+      return scan;
+    }
+
+    EncodedBlock encoded = rebuild.encode(off);
+    // Keep the on-disk framing facts (codec/crc/sizes) rather than the
+    // rebuilt ones — re-compression is not guaranteed byte-stable across
+    // versions; the zone must describe the file as it is.
+    encoded.zone.codec = h->codec;
+    encoded.zone.compressed_size = h->compressed_size;
+    encoded.zone.uncompressed_size = h->uncompressed_size;
+    encoded.zone.payload_crc = h->payload_crc;
+    scan.zones.push_back(std::move(encoded.zone));
+    scan.payloads.push_back(std::move(payload));
+    records_so_far += h->record_count;
+    off += kSegV2BlockHeaderSize + h->compressed_size;
+    scan.good_bytes = off;
+  }
+  return scan;
+}
+
+// ----- footer ---------------------------------------------------------------
+
+std::string encode_v2_footer(const SegmentFooter& footer) {
+  std::string body = footer.encode();
+  std::string out;
+  out.reserve(body.size() + kSegV2TrailerSize);
+  const std::uint32_t body_crc = crc32(body);
+  out += body;
+  wire::put_u32(out, body_crc);
+  wire::put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out += kSegV2FooterMagic;
+  return out;
+}
+
+std::optional<FooterRead> try_read_v2_footer(std::string_view file) {
+  if (file.size() < kSegV2FileMagic.size() + kSegV2TrailerSize) {
+    return std::nullopt;
+  }
+  if (file.substr(file.size() - kSegV2FooterMagic.size()) !=
+      kSegV2FooterMagic) {
+    return std::nullopt;
+  }
+  wire::Reader trailer(
+      file.substr(file.size() - kSegV2TrailerSize, 8));
+  const std::uint32_t body_crc = trailer.u32();
+  const std::uint32_t body_len = trailer.u32();
+  const std::size_t trailer_start = file.size() - kSegV2TrailerSize;
+  if (body_len > trailer_start - kSegV2FileMagic.size()) {
+    return std::nullopt;
+  }
+  const std::size_t body_start = trailer_start - body_len;
+  const std::string_view body = file.substr(body_start, body_len);
+  if (crc32(body) != body_crc) return std::nullopt;
+  FooterRead out;
+  try {
+    out.footer = SegmentFooter::decode(body);
+  } catch (const IoError&) {
+    return std::nullopt;
+  }
+  out.footer_start = body_start;
+
+  // The zone table must exactly tile the block region: contiguous blocks
+  // from the file magic to the footer body. A footer that disagrees with
+  // the file it sits in is not trusted.
+  std::size_t expect = kSegV2FileMagic.size();
+  for (const BlockZone& z : out.footer.blocks) {
+    if (z.file_offset != expect) return std::nullopt;
+    expect += kSegV2BlockHeaderSize + z.compressed_size;
+  }
+  if (expect != body_start) return std::nullopt;
+  return out;
+}
+
+std::string read_v2_block_payload(std::string_view file,
+                                  const BlockZone& zone) {
+  if (zone.file_offset > file.size() ||
+      file.size() - zone.file_offset <
+          kSegV2BlockHeaderSize + zone.compressed_size) {
+    throw IoError("segfmt: block at byte " +
+                  std::to_string(zone.file_offset) +
+                  " extends past end of segment");
+  }
+  const std::string_view at = file.substr(zone.file_offset);
+  const std::optional<BlockHeader> h = decode_block_header(at);
+  if (!h.has_value()) {
+    throw IoError("segfmt: bad block header at byte " +
+                  std::to_string(zone.file_offset));
+  }
+  if (h->codec != zone.codec || h->compressed_size != zone.compressed_size ||
+      h->uncompressed_size != zone.uncompressed_size ||
+      h->payload_crc != zone.payload_crc) {
+    throw IoError("segfmt: block header at byte " +
+                  std::to_string(zone.file_offset) +
+                  " disagrees with its zone map entry");
+  }
+  const std::string_view payload_bytes =
+      at.substr(kSegV2BlockHeaderSize, h->compressed_size);
+  if (crc32(payload_bytes) != h->payload_crc) {
+    throw IoError("segfmt: block payload CRC mismatch at byte " +
+                  std::to_string(zone.file_offset));
+  }
+  return decode_payload(payload_bytes, h->codec, h->uncompressed_size);
+}
+
+}  // namespace wflog

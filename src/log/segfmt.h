@@ -1,0 +1,153 @@
+#pragma once
+
+// The v2 ("wfseg") block-compressed segment format of LogStore.
+//
+// On-disk layout of a v2 segment:
+//
+//   +--------------------------------------------------------------+
+//   | file magic "wfsegv2\n"                              8 bytes  |
+//   +--------------------------------------------------------------+
+//   | block 0: header (36 B) + compressed payload                  |
+//   | block 1: header (36 B) + compressed payload                  |
+//   | ...                                                          |
+//   +---------------- sealed segments only ------------------------+
+//   | footer body: zone table + per-wid is-lsn watermark           |
+//   | trailer: [u32 footer crc] [u32 footer len] ["wfsegftr"]      |
+//   +--------------------------------------------------------------+
+//
+// Block header (little-endian):
+//   u32 magic  u32 codec  u32 compressed_size  u32 uncompressed_size
+//   u32 record_count  u64 first_lsn  u32 payload_crc  u32 header_crc
+// header_crc covers the preceding 32 bytes, payload_crc the compressed
+// payload. The payload is the store's newline-terminated record lines
+// (log/io_jsonl.h), compressed with log/compress.h (codec 1) or stored
+// raw (codec 0) when compression does not shrink it.
+//
+// The footer (log/zonemap.h) is written once, when the segment is sealed
+// at roll time, after every block is durable. Its own CRC makes reopen
+// O(footer): a sealed segment with a valid footer needs no block re-scan.
+// A torn footer — crash mid-seal — is recovered by scanning blocks
+// individually against their per-block CRCs and truncating the partial
+// footer bytes; nothing acknowledged is lost because block writes are
+// fsynced (per the store's policy) before the seal begins.
+//
+// Tearing vs corruption. A crash leaves a byte-prefix of the intended
+// file, so the scanner classifies the first unreadable position:
+//   * fewer than a full header's bytes remain, or the header is valid but
+//     its payload is incomplete  -> torn (truncate and resume);
+//   * a complete header that fails magic/CRC, or a complete payload that
+//     fails CRC or does not inflate  -> corruption (error / quarantine).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "log/record.h"
+#include "log/zonemap.h"
+
+namespace wflog {
+
+inline constexpr std::string_view kSegV2FileMagic = "wfsegv2\n";
+inline constexpr std::string_view kSegV2FooterMagic = "wfsegftr";
+inline constexpr std::uint32_t kSegV2BlockMagic = 0x326B6C62;  // "blk2"
+inline constexpr std::size_t kSegV2BlockHeaderSize = 36;
+inline constexpr std::size_t kSegV2TrailerSize = 16;  // crc + len + magic
+
+/// Block payload encodings. kDeflate is the default; kRaw is the fallback
+/// when compression does not shrink the payload (already-compressed or
+/// tiny blocks).
+enum class BlockCodec : std::uint32_t { kRaw = 0, kDeflate = 1 };
+
+/// A framed block ready to append, plus the zone describing it.
+struct EncodedBlock {
+  std::string bytes;
+  BlockZone zone;
+};
+
+/// Accumulates record lines for the next block of a live tail segment.
+/// add() is paired with remove_last() so the store can un-buffer a record
+/// whose block write failed without copying the builder.
+class BlockBuilder {
+ public:
+  /// Appends `line` (a store line WITHOUT trailing newline) and the
+  /// record's zone-relevant metadata.
+  void add(const LogRecord& record, std::string_view activity_name,
+           std::string_view line);
+
+  /// Removes the most recently added record. Precondition: !empty().
+  void remove_last();
+
+  void clear();
+
+  bool empty() const noexcept { return records_.empty(); }
+  std::size_t record_count() const noexcept { return records_.size(); }
+  std::size_t payload_bytes() const noexcept { return payload_.size(); }
+
+  /// The raw (uncompressed) newline-terminated lines buffered so far —
+  /// load() reads acknowledged-but-unflushed records from here.
+  std::string_view payload() const noexcept { return payload_; }
+
+  /// Compresses and frames the buffered records into a block positioned
+  /// at `file_offset`. Does not reset the builder (call clear() once the
+  /// bytes are durably written). Precondition: !empty().
+  EncodedBlock encode(std::uint64_t file_offset) const;
+
+ private:
+  struct PendingRecord {
+    std::uint64_t wid = 0;
+    std::uint64_t lsn = 0;
+    std::string activity;
+    std::uint32_t line_bytes = 0;  // including the newline
+  };
+
+  std::string payload_;
+  std::vector<PendingRecord> records_;
+};
+
+/// Result of scanning a v2 segment's blocks front-to-back.
+struct BlockScan {
+  /// Zones of every clean block, in file order, fully populated (wid/lsn
+  /// bounds and activity blooms are recomputed from the decoded payloads).
+  std::vector<BlockZone> zones;
+  /// Uncompressed payloads, parallel to `zones`.
+  std::vector<std::string> payloads;
+  /// Bytes covered by the file magic plus the clean blocks.
+  std::size_t good_bytes = 0;
+  /// Trailing bytes at good_bytes look like an interrupted append
+  /// (truncate to good_bytes and resume).
+  bool torn = false;
+  /// Non-empty: structurally complete but CRC-bad / undecodable data at
+  /// good_bytes — corruption, not tearing.
+  std::string corrupt_reason;
+};
+
+/// Scans `file` (the whole segment's bytes) block by block, classifying
+/// the first unreadable position as torn or corrupt. Payload CRCs are
+/// verified and payloads inflated; zones are rebuilt from the decoded
+/// records. Call only when the footer fast path does not apply (unsealed
+/// or torn-footer segments) — this is the recovery path.
+BlockScan scan_v2_blocks(std::string_view file);
+
+/// A parsed footer plus where its body begins in the file.
+struct FooterRead {
+  SegmentFooter footer;
+  std::size_t footer_start = 0;  // byte offset of the footer body
+};
+
+/// Reads the sealed-segment footer from the end of `file`. Returns
+/// nullopt when there is no structurally valid, CRC-clean footer whose
+/// zone table exactly tiles the bytes between file magic and footer —
+/// callers then fall back to scan_v2_blocks().
+std::optional<FooterRead> try_read_v2_footer(std::string_view file);
+
+/// Serializes `footer` (body + trailer) for appending to a segment.
+std::string encode_v2_footer(const SegmentFooter& footer);
+
+/// Extracts and decompresses one block's payload, validating the header
+/// against `zone` and the payload CRC. Throws IoError on any mismatch.
+std::string read_v2_block_payload(std::string_view file,
+                                  const BlockZone& zone);
+
+}  // namespace wflog

@@ -20,10 +20,29 @@ namespace fs = std::filesystem;
 constexpr std::string_view kManifestName = "MANIFEST";
 constexpr std::string_view kMagic = "wflog-store v1";
 
-std::string segment_name(std::size_t index) {
+std::string segment_name(std::size_t id, SegmentFormat format) {
   char buf[32];
-  std::snprintf(buf, sizeof buf, "seg-%06zu.jsonl", index);
+  std::snprintf(buf, sizeof buf,
+                format == SegmentFormat::kV2Blocks ? "seg-%06zu.wfseg"
+                                                   : "seg-%06zu.jsonl",
+                id);
   return buf;
+}
+
+SegmentFormat format_of(std::string_view name) {
+  return name.ends_with(".wfseg") ? SegmentFormat::kV2Blocks
+                                  : SegmentFormat::kV1Jsonl;
+}
+
+/// Numeric id embedded in a segment file name ("seg-000042.wfseg" -> 42);
+/// 0 when the name does not follow the scheme.
+std::size_t parse_segment_id(std::string_view name) {
+  if (!name.starts_with("seg-")) return 0;
+  const std::string_view digits = name.substr(4);
+  std::size_t id = 0;
+  const auto [end, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), id);
+  return ec == std::errc{} ? id : 0;
 }
 
 std::string read_whole_file(const fs::path& path) {
@@ -37,8 +56,8 @@ std::string read_whole_file(const fs::path& path) {
 }
 
 /// Non-empty lines in a byte range — the best available estimate of how
-/// many records a quarantined region held (its bytes are, by definition,
-/// not reliably parseable).
+/// many records a quarantined v1 region held (its bytes are, by
+/// definition, not reliably parseable).
 std::size_t count_record_lines(std::string_view data) {
   std::size_t n = 0;
   std::size_t pos = 0;
@@ -51,10 +70,78 @@ std::size_t count_record_lines(std::string_view data) {
   return n;
 }
 
+/// Records a quarantined v2 byte range held, as far as its structure
+/// still tells: a valid footer is exact, otherwise a block scan counts
+/// the decodable prefix, otherwise zero.
+std::size_t count_v2_records(std::string_view data) {
+  if (const auto footer = try_read_v2_footer(data)) {
+    return footer->footer.record_count;
+  }
+  std::size_t n = 0;
+  for (const BlockZone& z : scan_v2_blocks(data).zones) n += z.record_count;
+  return n;
+}
+
+/// Invokes `fn(record, line)` for every store line in an uncompressed
+/// block payload. Throws IoError on an unparseable line.
+template <typename Fn>
+void for_each_payload_record(std::string_view payload, Interner& interner,
+                             Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t nl = payload.find('\n', pos);
+    if (nl == std::string_view::npos) nl = payload.size();
+    const std::string_view line = trim(payload.substr(pos, nl - pos));
+    pos = nl + 1;
+    if (line.empty()) continue;
+    fn(parse_store_line(line, interner), line);
+  }
+}
+
+std::string manifest_text(std::size_t records_per_segment,
+                          const std::vector<std::string>& segments) {
+  std::string text;
+  text.append(kMagic).append("\n");
+  text.append("records_per_segment=")
+      .append(std::to_string(records_per_segment))
+      .append("\n");
+  for (const std::string& seg : segments) text.append(seg).append("\n");
+  return text;
+}
+
+/// Atomic manifest replacement: write tmp, fsync, rename, fsync the
+/// directory (a rename is only durable once its directory entry is).
+void write_manifest_file(FileIo& io, const fs::path& dir, std::string text) {
+  const fs::path tmp = dir / "MANIFEST.tmp";
+  WriteFilePtr f = io.open_trunc(tmp);
+  std::size_t off = 0;
+  std::size_t stalls = 0;
+  while (off < text.size()) {
+    const std::size_t n = f->write(std::string_view(text).substr(off));
+    off += n;
+    if (n == 0 && ++stalls > 8) {
+      throw IoError("LogStore: manifest write made no progress");
+    }
+  }
+  f->flush();
+  f->sync();
+  f->close();
+  io.rename(tmp, dir / kManifestName);
+  io.sync_dir(dir);
+}
+
 }  // namespace
 
 std::filesystem::path LogStore::segment_path(std::size_t index) const {
   return dir_ / segments_.at(index);
+}
+
+std::size_t LogStore::next_segment_id() const {
+  std::size_t max_id = 0;
+  for (const std::string& name : segments_) {
+    max_id = std::max(max_id, parse_segment_id(name));
+  }
+  return max_id + 1;
 }
 
 template <typename Fn>
@@ -95,37 +182,62 @@ void LogStore::write_all(std::string_view data, std::size_t& off) {
 }
 
 void LogStore::write_manifest() {
-  const fs::path tmp = dir_ / "MANIFEST.tmp";
-  std::string text;
-  text.append(kMagic).append("\n");
-  text.append("records_per_segment=")
-      .append(std::to_string(options_.records_per_segment))
-      .append("\n");
-  for (const std::string& seg : segments_) text.append(seg).append("\n");
-
   // Write-then-rename keeps the manifest atomic against crashes; the tmp
   // file is fsynced before the rename regardless of the fsync policy (the
   // manifest is tiny and rolls are rare).
   with_retries("write manifest", [&] {
-    WriteFilePtr f = io_->open_trunc(tmp);
-    std::size_t off = 0;
-    std::size_t stalls = 0;
-    while (off < text.size()) {
-      const std::size_t n = f->write(std::string_view(text).substr(off));
-      off += n;
-      if (n == 0 && ++stalls > 8) {
-        throw IoError("LogStore: manifest write made no progress");
-      }
-    }
-    f->flush();
-    f->sync();
-    f->close();
-    io_->rename(tmp, dir_ / kManifestName);
-    // The rename itself is just a directory-entry update; fsync the
-    // directory so a power loss cannot roll the manifest back to its
-    // previous version (strict POSIX crash semantics).
-    io_->sync_dir(dir_);
+    write_manifest_file(*io_, dir_,
+                        manifest_text(options_.records_per_segment,
+                                      segments_));
   });
+}
+
+void LogStore::flush_pending_block(bool sync_after) {
+  if (pending_.empty()) return;
+  const EncodedBlock block = pending_.encode(tail_bytes_);
+  const std::uintmax_t good = block.zone.file_offset;
+  try {
+    std::size_t off = 0;
+    with_retries("write block", [&] {
+      write_all(block.bytes, off);
+      tail_->flush();
+    });
+    if (sync_after) {
+      with_retries("fsync after block", [&] { tail_->sync(); });
+    }
+  } catch (const IoError&) {
+    // Drop the partial (or written-but-not-durable) block from the file;
+    // its records — acknowledged ones and (if the caller is mid-append)
+    // the current one — stay buffered in pending_ for the next flush
+    // attempt, so load() keeps seeing every acknowledged record.
+    recover_tail_to(good);
+    throw;
+  }
+  tail_zones_.push_back(block.zone);
+  pending_.clear();
+  WFLOG_TELEMETRY(t) {
+    t->store_blocks_written_total->inc();
+    t->store_compressed_bytes_total->add(block.zone.compressed_size);
+    t->store_uncompressed_bytes_total->add(block.zone.uncompressed_size);
+  }
+}
+
+void LogStore::seal_tail() {
+  SegmentFooter footer;
+  footer.blocks = tail_zones_;
+  footer.record_count = tail_records_;
+  footer.next_is_lsn.reserve(tail_watermark_.size());
+  for (const auto& [wid, next] : tail_watermark_) {
+    footer.next_is_lsn.emplace_back(wid, next);
+  }
+  const std::string bytes = encode_v2_footer(footer);
+  std::size_t off = 0;
+  with_retries("seal segment", [&] {
+    write_all(bytes, off);
+    tail_->flush();
+  });
+  footers_[segments_.size() - 1] = std::move(footer);
+  tail_sealed_ = true;
 }
 
 void LogStore::roll_segment() {
@@ -135,6 +247,10 @@ void LogStore::roll_segment() {
     // segment k is fully on stable storage before any byte lands in k+1,
     // so crash loss is always confined to the final segment's suffix.
     if (tail_ != nullptr) {
+      if (tail_format_ == SegmentFormat::kV2Blocks && !tail_sealed_) {
+        flush_pending_block();
+        seal_tail();
+      }
       with_retries("sync segment on roll", [&] {
         tail_->flush();
         tail_->sync();
@@ -142,9 +258,10 @@ void LogStore::roll_segment() {
       with_retries("close segment on roll", [&] { tail_->close(); });
       tail_.reset();
     }
-    segments_.push_back(segment_name(segments_.size() + 1));
+    segments_.push_back(
+        segment_name(next_segment_id(), options_.segment_format));
     // New segments start truncated: a crash between this create and the
-    // manifest rename below leaves an orphan file the next roll reclaims.
+    // manifest rename below leaves an orphan file compaction reclaims.
     with_retries("open segment", [&] {
       tail_ = io_->open_trunc(segment_path(segments_.size() - 1));
       // Make the segment's directory entry durable before the manifest
@@ -155,6 +272,18 @@ void LogStore::roll_segment() {
     tail_bytes_ = 0;
     tail_records_ = 0;
     records_since_sync_ = 0;
+    tail_format_ = options_.segment_format;
+    tail_sealed_ = false;
+    tail_zones_.clear();
+    tail_watermark_.clear();
+    pending_.clear();
+    if (tail_format_ == SegmentFormat::kV2Blocks) {
+      std::size_t off = 0;
+      with_retries("write segment magic", [&] {
+        write_all(kSegV2FileMagic, off);
+        tail_->flush();
+      });
+    }
     write_manifest();
   } catch (...) {
     // The manifest, the files, and the in-memory state may now disagree;
@@ -181,6 +310,8 @@ LogStore LogStore::create(const std::filesystem::path& dir,
       std::max<std::size_t>(store.options_.records_per_segment, 1);
   store.options_.fsync_interval_records =
       std::max<std::size_t>(store.options_.fsync_interval_records, 1);
+  store.options_.block_target_bytes =
+      std::max<std::size_t>(store.options_.block_target_bytes, 1);
   store.io_ = options.io != nullptr ? options.io : real_file_io();
   store.roll_segment();
   return store;
@@ -246,6 +377,8 @@ LogStore LogStore::open(const std::filesystem::path& dir, Options options,
   }
   store.options_.fsync_interval_records =
       std::max<std::size_t>(store.options_.fsync_interval_records, 1);
+  store.options_.block_target_bytes =
+      std::max<std::size_t>(store.options_.block_target_bytes, 1);
   while (std::getline(manifest, line)) {
     const std::string name{trim(line)};
     if (!name.empty()) store.segments_.push_back(name);
@@ -261,9 +394,13 @@ LogStore LogStore::open(const std::filesystem::path& dir, Options options,
     }
   }
 
-  // Recover writer state by streaming every segment. Recovery stops at the
-  // first unreadable byte: a torn final line (crash mid-append) is
-  // truncated; anything else is corruption — a structured IoError, or,
+  // Recover writer state by streaming every segment. Sealed v2 segments
+  // take the footer fast path: the footer's own CRC vouches for the zone
+  // table, so neither blocks nor records are re-read (per-block payload
+  // CRCs still guard every later read). Everything else — v1 segments,
+  // the unsealed v2 tail — is scanned record by record. Recovery stops at
+  // the first unreadable byte: a torn tail (crash mid-append or mid-seal)
+  // is truncated; anything else is corruption — a structured IoError, or,
   // with quarantine_corruption, the corrupt suffix of the store is moved
   // aside and the readable prefix kept.
   RecoveryReport& rec = store.recovery_;
@@ -272,10 +409,103 @@ LogStore LogStore::open(const std::filesystem::path& dir, Options options,
   std::size_t corrupt_offset = 0;
   std::string corrupt_reason;
   bool corrupt = false;
+  // v2 tail scan state of the most recently scanned segment, kept so the
+  // survivor of a quarantine truncation has zones/watermark to continue
+  // with.
+  std::vector<BlockZone> last_zones;
+  std::map<Wid, IsLsn> last_watermark;
+
   for (std::size_t s = 0; s < store.segments_.size() && !corrupt; ++s) {
     const fs::path seg_path = store.segment_path(s);
-    const std::string data = read_whole_file(seg_path);
     const bool final_segment = s + 1 == store.segments_.size();
+    last_zones.clear();
+    last_watermark.clear();
+
+    if (format_of(store.segments_[s]) == SegmentFormat::kV2Blocks) {
+      const std::string data = read_whole_file(seg_path);
+
+      if (auto footer = try_read_v2_footer(data)) {
+        // Sealed fast path: no block re-scan on reopen.
+        store.num_records_ += footer->footer.record_count;
+        store.tail_records_ = footer->footer.record_count;
+        for (const auto& [wid, next] : footer->footer.next_is_lsn) {
+          store.next_is_lsn_[wid] = static_cast<IsLsn>(next);
+        }
+        store.footers_[s] = std::move(footer->footer);
+        if (final_segment) store.tail_sealed_ = true;
+        WFLOG_TELEMETRY(t) { t->store_sealed_reopen_skips_total->inc(); }
+        continue;
+      }
+
+      BlockScan scan = scan_v2_blocks(data);
+      std::size_t records_in_segment = 0;
+      // scan_v2_blocks already parsed these payloads (to rebuild zones);
+      // a second pass over the in-memory strings cannot fail.
+      for (const std::string& payload : scan.payloads) {
+        for_each_payload_record(
+            payload, scratch, [&](const LogRecord& l, std::string_view) {
+              ++records_in_segment;
+              ++store.num_records_;
+              const bool ended = scratch.name(l.activity) == kEndActivity;
+              const IsLsn next = ended ? 0 : l.is_lsn + 1;
+              store.next_is_lsn_[l.wid] = next;
+              last_watermark[l.wid] = next;
+            });
+      }
+      store.tail_records_ = records_in_segment;
+      last_zones = scan.zones;
+
+      if (!scan.corrupt_reason.empty()) {
+        corrupt = true;
+        corrupt_segment = s;
+        corrupt_offset = scan.good_bytes;
+        corrupt_reason = scan.corrupt_reason;
+      } else if (scan.torn) {
+        if (!final_segment) {
+          // Rolls seal and sync a segment before its successor exists, so
+          // torn data mid-store cannot come from a crash.
+          corrupt = true;
+          corrupt_segment = s;
+          corrupt_offset = scan.good_bytes;
+          corrupt_reason = "torn data in non-final segment";
+        } else {
+          store.io_->truncate(seg_path, scan.good_bytes);
+          rec.torn_tail_truncated = true;
+          rec.notes.push_back("truncated torn tail of '" + seg_path.string() +
+                              "' at byte " +
+                              std::to_string(scan.good_bytes));
+          WFLOG_TELEMETRY(t) {
+            t->store_truncations_total->inc();
+            t->store_footer_recoveries_total->inc();
+          }
+        }
+      }
+      if (!corrupt) {
+        if (final_segment) {
+          store.tail_zones_ = std::move(scan.zones);
+          store.tail_watermark_ = last_watermark;
+        } else {
+          // A clean, unsealed segment mid-store: its footer was lost
+          // (e.g. the store was truncated here by an earlier quarantine).
+          // Synthesize the zone table in memory from the scan — reads and
+          // pruning work; the next compaction rewrites it sealed.
+          SegmentFooter synth;
+          synth.blocks = std::move(scan.zones);
+          synth.record_count = records_in_segment;
+          for (const auto& [wid, next] : last_watermark) {
+            synth.next_is_lsn.emplace_back(wid, next);
+          }
+          store.footers_[s] = std::move(synth);
+          rec.notes.push_back("rebuilt zone maps of unsealed segment '" +
+                              seg_path.string() + "' by block scan");
+          WFLOG_TELEMETRY(t) { t->store_footer_recoveries_total->inc(); }
+        }
+      }
+      continue;
+    }
+
+    // ----- v1 JSONL segment ------------------------------------------------
+    const std::string data = read_whole_file(seg_path);
     std::size_t records_in_segment = 0;
     std::size_t good_bytes = 0;
     std::size_t pos = 0;
@@ -361,17 +591,29 @@ LogStore LogStore::open(const std::filesystem::path& dir, Options options,
     std::uintmax_t qbytes = 0;
     {
       WriteFilePtr q = store.io_->open_trunc(qpath);
-      const auto quarantine_bytes = [&](std::string_view bytes) {
-        dropped += count_record_lines(bytes);
+      const auto quarantine_bytes = [&](std::string_view bytes,
+                                        SegmentFormat format,
+                                        bool whole_file) {
+        if (format == SegmentFormat::kV1Jsonl) {
+          dropped += count_record_lines(bytes);
+        } else if (whole_file) {
+          dropped += count_v2_records(bytes);
+        }
+        // A v2 suffix cut mid-file has no parseable structure to count;
+        // the byte tally still records exactly what was set aside.
         qbytes += bytes.size();
         std::size_t off = 0;
         while (off < bytes.size()) off += q->write(bytes.substr(off));
       };
       const std::string head = read_whole_file(seg_path);
-      quarantine_bytes(std::string_view(head).substr(corrupt_offset));
+      quarantine_bytes(std::string_view(head).substr(corrupt_offset),
+                       format_of(store.segments_[corrupt_segment]),
+                       corrupt_offset == 0);
       for (std::size_t s = corrupt_segment + 1; s < store.segments_.size();
            ++s) {
-        quarantine_bytes(read_whole_file(store.segment_path(s)));
+        quarantine_bytes(read_whole_file(store.segment_path(s)),
+                         format_of(store.segments_[s]),
+                         /*whole_file=*/true);
       }
       q->flush();
       q->sync();
@@ -391,26 +633,56 @@ LogStore LogStore::open(const std::filesystem::path& dir, Options options,
       store.io_->remove(store.segment_path(s));
     }
     store.segments_.resize(corrupt_segment + 1);
+    store.footers_.erase(store.footers_.lower_bound(corrupt_segment),
+                         store.footers_.end());
     store.write_manifest();
     // Writer state was accumulated only over the readable prefix; recount
     // the kept tail segment's records for the roll bookkeeping.
-    store.tail_records_ = 0;
-    {
+    store.tail_sealed_ = false;
+    if (format_of(store.segments_.back()) == SegmentFormat::kV2Blocks) {
+      store.tail_records_ = 0;
+      for (const BlockZone& z : last_zones) store.tail_records_ += z.record_count;
+      store.tail_zones_ = std::move(last_zones);
+      store.tail_watermark_ = std::move(last_watermark);
+    } else {
       const std::string kept = read_whole_file(seg_path);
       store.tail_records_ = count_record_lines(kept);
     }
     WFLOG_TELEMETRY(t) { t->store_corrupt_records_total->add(dropped); }
   }
 
-  store.with_retries("open tail segment", [&] {
-    store.tail_ = store.io_->open_append(
-        store.segment_path(store.segments_.size() - 1));
-  });
+  // Open the tail for appending. A sealed v2 tail (crash between seal and
+  // successor creation) stays closed: the next append rolls first.
+  store.tail_format_ = format_of(store.segments_.back());
   {
     std::error_code ec;
     const std::uintmax_t size =
         fs::file_size(store.segment_path(store.segments_.size() - 1), ec);
     store.tail_bytes_ = ec ? 0 : size;
+  }
+  if (!(store.tail_format_ == SegmentFormat::kV2Blocks &&
+        store.tail_sealed_)) {
+    store.with_retries("open tail segment", [&] {
+      store.tail_ = store.io_->open_append(
+          store.segment_path(store.segments_.size() - 1));
+    });
+    if (store.tail_format_ == SegmentFormat::kV2Blocks &&
+        store.tail_bytes_ < kSegV2FileMagic.size()) {
+      // The tail was created but its magic never became durable (crash
+      // right after the roll): rewrite it so appends land in a valid file.
+      store.with_retries("rewrite tail segment magic", [&] {
+        store.tail_->close();
+        store.tail_ = store.io_->open_trunc(
+            store.segment_path(store.segments_.size() - 1));
+        store.tail_bytes_ = 0;
+        std::size_t off = 0;
+        store.write_all(kSegV2FileMagic, off);
+        store.tail_->flush();
+      });
+      store.tail_records_ = 0;
+      store.tail_zones_.clear();
+      store.tail_watermark_.clear();
+    }
   }
   store.recovery_.records_recovered = store.num_records_;
   if (report != nullptr) *report = store.recovery_;
@@ -428,6 +700,10 @@ LogStore::~LogStore() {
   if (tail_ == nullptr) return;
   // Best-effort durable shutdown; destructors must not throw.
   try {
+    if (tail_format_ == SegmentFormat::kV2Blocks && !pending_.empty() &&
+        !poisoned_) {
+      flush_pending_block();
+    }
     tail_->flush();
     if (options_.fsync_policy != FsyncPolicy::kOff) tail_->sync();
     tail_->close();
@@ -485,6 +761,7 @@ void LogStore::end_instance(Wid wid) {
 
 void LogStore::sync() {
   if (tail_ == nullptr) return;
+  if (tail_format_ == SegmentFormat::kV2Blocks) flush_pending_block();
   with_retries("fsync", [&] {
     tail_->flush();
     tail_->sync();
@@ -505,7 +782,10 @@ void LogStore::append_record(Wid wid, std::string_view activity,
         "LogStore: store failed after a structural write error; reopen '" +
         dir_.string() + "' to recover");
   }
-  if (tail_records_ >= options_.records_per_segment) roll_segment();
+  if (tail_records_ >= options_.records_per_segment || tail_sealed_ ||
+      tail_ == nullptr) {
+    roll_segment();
+  }
 
   LogRecord l;
   l.lsn = static_cast<Lsn>(num_records_ + 1);
@@ -516,35 +796,64 @@ void LogStore::append_record(Wid wid, std::string_view activity,
   l.out = out;
 
   const std::string line = to_store_line(l, interner);
-  const std::uintmax_t good = tail_bytes_;
   const bool want_sync =
       options_.fsync_policy == FsyncPolicy::kPerAppend ||
       (options_.fsync_policy == FsyncPolicy::kInterval &&
        records_since_sync_ + 1 >= options_.fsync_interval_records);
-  try {
-    // Short writes resume from the accepted offset; transient errors are
-    // retried in place, so a record is written at most once.
-    std::size_t off = 0;
-    with_retries("append record", [&] {
-      write_all(line, off);
-      tail_->flush();
-    });
+
+  if (tail_format_ == SegmentFormat::kV2Blocks) {
+    // BlockBuilder frames lines itself; hand it the line sans newline.
+    pending_.add(l, activity,
+                 std::string_view(line).substr(0, line.size() - 1));
+    const bool flush =
+        want_sync || pending_.payload_bytes() >= options_.block_target_bytes;
+    try {
+      // The fsync rides inside flush_pending_block's guarded scope: if it
+      // fails after the block hit the file, the block is truncated away
+      // again, so the builder below is never empty when we unwind.
+      if (flush) flush_pending_block(want_sync);
+    } catch (const IoError&) {
+      // The failed block's records stay buffered; only the current —
+      // unacknowledged — record must leave the buffer.
+      pending_.remove_last();
+      throw;
+    }
     if (want_sync) {
-      with_retries("fsync after append", [&] { tail_->sync(); });
       records_since_sync_ = 0;
     } else {
       ++records_since_sync_;
     }
-  } catch (const IoError&) {
-    // Leave no partial line behind: truncate the tail back to the last
-    // acknowledged record so in-process writing can continue cleanly.
-    recover_tail_to(good);
-    throw;
+  } else {
+    const std::uintmax_t good = tail_bytes_;
+    try {
+      // Short writes resume from the accepted offset; transient errors are
+      // retried in place, so a record is written at most once.
+      std::size_t off = 0;
+      with_retries("append record", [&] {
+        write_all(line, off);
+        tail_->flush();
+      });
+      if (want_sync) {
+        with_retries("fsync after append", [&] { tail_->sync(); });
+        records_since_sync_ = 0;
+      } else {
+        ++records_since_sync_;
+      }
+    } catch (const IoError&) {
+      // Leave no partial line behind: truncate the tail back to the last
+      // acknowledged record so in-process writing can continue cleanly.
+      recover_tail_to(good);
+      throw;
+    }
   }
 
   ++next_is_lsn_.at(wid);
   ++tail_records_;
   ++num_records_;
+  if (tail_format_ == SegmentFormat::kV2Blocks) {
+    const bool ended = activity == kEndActivity;
+    tail_watermark_[wid] = ended ? 0 : next_is_lsn_.at(wid);
+  }
 
   if (telemetry != nullptr) {
     telemetry->store_appends_total->inc();
@@ -582,13 +891,41 @@ Log LogStore::load() const {
   Interner interner;
   std::vector<LogRecord> records;
   records.reserve(num_records_);
-  std::string line;
+  const auto take = [&records](const LogRecord& l, std::string_view) {
+    records.push_back(l);
+  };
   for (std::size_t s = 0; s < segments_.size(); ++s) {
+    if (format_of(segments_[s]) == SegmentFormat::kV2Blocks) {
+      const std::string data = read_whole_file(segment_path(s));
+      if (const auto it = footers_.find(s); it != footers_.end()) {
+        for (const BlockZone& zone : it->second.blocks) {
+          for_each_payload_record(read_v2_block_payload(data, zone),
+                                  interner, take);
+          ++blocks_read_;
+          WFLOG_TELEMETRY(t) { t->store_blocks_read_total->inc(); }
+        }
+      } else {
+        const BlockScan scan = scan_v2_blocks(data);
+        if (!scan.corrupt_reason.empty()) {
+          throw IoError("LogStore: segment '" + segment_path(s).string() +
+                        "' is corrupt: " + scan.corrupt_reason);
+        }
+        // A torn tail mid-session (in-process write failure) is benign —
+        // exactly like v1's tolerated unterminated final line.
+        for (const std::string& payload : scan.payloads) {
+          for_each_payload_record(payload, interner, take);
+          ++blocks_read_;
+          WFLOG_TELEMETRY(t) { t->store_blocks_read_total->inc(); }
+        }
+      }
+      continue;
+    }
     std::ifstream seg(segment_path(s));
     if (!seg) {
       throw IoError("LogStore: missing segment '" +
                     segment_path(s).string() + "'");
     }
+    std::string line;
     while (std::getline(seg, line)) {
       if (trim(line).empty()) continue;
       try {
@@ -599,7 +936,318 @@ Log LogStore::load() const {
       }
     }
   }
+  // Acknowledged records still buffered for the next block live only in
+  // memory; a load() must see them (read-your-writes).
+  for_each_payload_record(pending_.payload(), interner, take);
   return Log::from_records(std::move(records), std::move(interner));
+}
+
+LogStore::PrunedLoad LogStore::load_pruned(
+    const std::vector<std::string>& required) const {
+  WFLOG_SPAN(span, "store.load_pruned");
+  PrunedLoad out;
+  for (const auto& [s, footer] : footers_) {
+    out.blocks_total += footer.blocks.size();
+  }
+  if (required.empty()) {
+    // Nothing to prune against: every block is relevant.
+    out.log = load();
+    out.records_kept = out.log.size();
+    out.blocks_read = out.blocks_total;
+    return out;
+  }
+  out.pruned = true;
+
+  Interner interner;
+  // Per-segment record buckets keep global order without a sort; slot
+  // segments_.size() holds the in-memory pending records.
+  std::vector<std::vector<LogRecord>> buckets(segments_.size() + 1);
+
+  // Pass 1: regions without zone maps — v1 segments, the unsealed v2
+  // tail, the pending buffer — are read in full; their instances are
+  // "opaque": candidates no zone map can rule out.
+  WidIntervals opaque;
+  const auto take_opaque = [&](std::size_t slot) {
+    return [&, slot](const LogRecord& l, std::string_view) {
+      opaque.add(l.wid, l.wid);
+      buckets[slot].push_back(l);
+    };
+  };
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    if (format_of(segments_[s]) == SegmentFormat::kV2Blocks) {
+      if (footers_.contains(s)) continue;  // zone-mapped: pass 3
+      const BlockScan scan = scan_v2_blocks(read_whole_file(segment_path(s)));
+      if (!scan.corrupt_reason.empty()) {
+        throw IoError("LogStore: segment '" + segment_path(s).string() +
+                      "' is corrupt: " + scan.corrupt_reason);
+      }
+      for (const std::string& payload : scan.payloads) {
+        for_each_payload_record(payload, interner, take_opaque(s));
+        ++blocks_read_;
+        WFLOG_TELEMETRY(t) { t->store_blocks_read_total->inc(); }
+      }
+    } else {
+      std::ifstream seg(segment_path(s));
+      if (!seg) {
+        throw IoError("LogStore: missing segment '" +
+                      segment_path(s).string() + "'");
+      }
+      std::string line;
+      while (std::getline(seg, line)) {
+        if (trim(line).empty()) continue;
+        try {
+          take_opaque(s)(parse_store_line(trim(line), interner), line);
+        } catch (const IoError&) {
+          if (s + 1 == segments_.size() && seg.peek() == EOF) break;
+          throw;
+        }
+      }
+    }
+  }
+  for_each_payload_record(pending_.payload(), interner,
+                          take_opaque(segments_.size()));
+  opaque.normalize();
+
+  // Pass 2: candidate instances. For each required activity, the
+  // instances that could contain it are bounded by the wid ranges of the
+  // zone-mapped blocks whose bloom admits it, plus every opaque instance.
+  // An incident needs ALL required activities: intersect.
+  WidIntervals candidates;
+  bool first = true;
+  for (const std::string& activity : required) {
+    WidIntervals admits;
+    for (const auto& [s, footer] : footers_) {
+      for (const BlockZone& zone : footer.blocks) {
+        if (zone.record_count == 0) continue;
+        if (zone.bloom.may_contain(activity)) {
+          admits.add(zone.wid_min, zone.wid_max);
+        }
+      }
+    }
+    admits.normalize();
+    WidIntervals could = WidIntervals::unite(admits, opaque);
+    candidates = first ? std::move(could)
+                       : WidIntervals::intersect(candidates, could);
+    first = false;
+    if (candidates.empty()) break;
+  }
+
+  // Pass 3: read only the zone-mapped blocks whose wid range overlaps a
+  // candidate; keep whole candidate instances.
+  for (const auto& [s, footer] : footers_) {
+    std::string data;
+    bool loaded = false;
+    for (const BlockZone& zone : footer.blocks) {
+      if (zone.record_count != 0 &&
+          candidates.overlaps(zone.wid_min, zone.wid_max)) {
+        if (!loaded) {
+          data = read_whole_file(segment_path(s));
+          loaded = true;
+        }
+        for_each_payload_record(
+            read_v2_block_payload(data, zone), interner,
+            [&](const LogRecord& l, std::string_view) {
+              if (candidates.contains(l.wid)) buckets[s].push_back(l);
+            });
+        ++out.blocks_read;
+        ++blocks_read_;
+        WFLOG_TELEMETRY(t) { t->store_blocks_read_total->inc(); }
+      } else {
+        ++out.blocks_skipped;
+        ++blocks_skipped_;
+        WFLOG_TELEMETRY(t) { t->store_blocks_skipped_total->inc(); }
+      }
+    }
+  }
+
+  // Assemble in global order; drop non-candidate opaque records; renumber
+  // lsns so the result is a valid Log. Instance-local coordinates (wid,
+  // is-lsn) — what incidents are made of — are untouched.
+  std::vector<LogRecord> records;
+  Lsn next_lsn = 1;
+  for (std::vector<LogRecord>& bucket : buckets) {
+    for (LogRecord& l : bucket) {
+      if (!candidates.contains(l.wid)) continue;
+      l.lsn = next_lsn++;
+      records.push_back(std::move(l));
+    }
+  }
+  out.records_kept = records.size();
+  out.log = records.empty()
+                ? Log::from_records_unchecked({}, std::move(interner))
+                : Log::from_records(std::move(records), std::move(interner));
+  if (span.active()) {
+    span.arg("blocks_read", static_cast<std::uint64_t>(out.blocks_read));
+    span.arg("blocks_skipped",
+             static_cast<std::uint64_t>(out.blocks_skipped));
+    span.arg("records_kept", static_cast<std::uint64_t>(out.records_kept));
+  }
+  return out;
+}
+
+LogStore::StorageStats LogStore::storage_stats() const {
+  StorageStats stats;
+  for (const std::string& name : segments_) {
+    if (format_of(name) == SegmentFormat::kV2Blocks) {
+      ++stats.segments_v2;
+    } else {
+      ++stats.segments_v1;
+    }
+  }
+  for (const auto& [s, footer] : footers_) {
+    stats.sealed_blocks += footer.blocks.size();
+    for (const BlockZone& zone : footer.blocks) {
+      stats.compressed_payload_bytes += zone.compressed_size;
+      stats.uncompressed_payload_bytes += zone.uncompressed_size;
+    }
+  }
+  for (const BlockZone& zone : tail_zones_) {
+    stats.compressed_payload_bytes += zone.compressed_size;
+    stats.uncompressed_payload_bytes += zone.uncompressed_size;
+  }
+  stats.blocks_read = blocks_read_;
+  stats.blocks_skipped = blocks_skipped_;
+  return stats;
+}
+
+LogStore::CompactionReport LogStore::compact(
+    const std::filesystem::path& dir) {
+  return compact(dir, Options{});
+}
+
+LogStore::CompactionReport LogStore::compact(
+    const std::filesystem::path& dir, Options options) {
+  WFLOG_SPAN(span, "store.compact");
+  CompactionReport report;
+  std::shared_ptr<FileIo> io =
+      options.io != nullptr ? options.io : real_file_io();
+  options.io = io;
+
+  std::vector<std::string> old_names;
+  std::size_t records_per_segment = 0;
+  std::size_t base_id = 0;
+  std::size_t block_target = 0;
+  Log log = Log::from_records_unchecked({}, {});
+  {
+    LogStore store = open(dir, options);
+    old_names = store.segments_;
+    records_per_segment = store.options_.records_per_segment;
+    block_target = store.options_.block_target_bytes;
+    base_id = store.next_segment_id();
+    report.segments_before = old_names.size();
+    for (const std::string& name : old_names) {
+      std::error_code ec;
+      const std::uintmax_t size = fs::file_size(dir / name, ec);
+      if (!ec) report.bytes_before += size;
+    }
+    if (store.num_records() == 0) {
+      // Nothing to rewrite; leave the (empty) store untouched.
+      report.segments_after = report.segments_before;
+      report.bytes_after = report.bytes_before;
+      return report;
+    }
+    log = store.load();
+  }  // close the store before files move underneath it
+  report.records = log.size();
+
+  // Vacuum orphan segment files left by crashed rolls or compactions: any
+  // seg-* file the manifest does not name is invisible to every reader.
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("seg-")) continue;
+    if (std::find(old_names.begin(), old_names.end(), name) !=
+        old_names.end()) {
+      continue;
+    }
+    io->remove(entry.path());
+  }
+
+  // Write the replacement segments: full blocks, sealed footers, fully
+  // fsynced before the manifest swap makes any of them visible.
+  std::vector<std::string> new_names;
+  std::size_t next = 0;  // record index into the log
+  while (next < log.size()) {
+    const std::string name = segment_name(base_id + new_names.size(),
+                                          SegmentFormat::kV2Blocks);
+    std::string file{kSegV2FileMagic};
+    SegmentFooter footer;
+    std::map<Wid, IsLsn> watermark;
+    BlockBuilder builder;
+    std::size_t in_segment = 0;
+    const auto cut_block = [&] {
+      if (builder.empty()) return;
+      EncodedBlock block = builder.encode(file.size());
+      file += block.bytes;
+      footer.blocks.push_back(std::move(block.zone));
+      builder.clear();
+      ++report.blocks_written;
+      WFLOG_TELEMETRY(t) {
+        t->store_blocks_written_total->inc();
+        t->store_compressed_bytes_total->add(
+            footer.blocks.back().compressed_size);
+        t->store_uncompressed_bytes_total->add(
+            footer.blocks.back().uncompressed_size);
+      }
+    };
+    while (next < log.size() && in_segment < records_per_segment) {
+      const LogRecord& l = log.record(static_cast<Lsn>(next + 1));
+      const std::string_view activity = log.activity_name(l.activity);
+      const std::string line = to_store_line(l, log.interner());
+      builder.add(l, activity,
+                  std::string_view(line).substr(0, line.size() - 1));
+      watermark[l.wid] =
+          activity == kEndActivity ? 0 : static_cast<IsLsn>(l.is_lsn + 1);
+      ++in_segment;
+      ++next;
+      if (builder.payload_bytes() >= block_target) cut_block();
+    }
+    cut_block();
+    footer.record_count = in_segment;
+    for (const auto& [wid, next_is] : watermark) {
+      footer.next_is_lsn.emplace_back(wid, next_is);
+    }
+    file += encode_v2_footer(footer);
+
+    WriteFilePtr f = io->open_trunc(dir / name);
+    std::size_t off = 0;
+    std::size_t stalls = 0;
+    while (off < file.size()) {
+      const std::size_t n = f->write(std::string_view(file).substr(off));
+      off += n;
+      if (n == 0 && ++stalls > 8) {
+        throw IoError("LogStore: compaction write made no progress");
+      }
+    }
+    f->flush();
+    f->sync();
+    f->close();
+    new_names.push_back(name);
+  }
+  io->sync_dir(dir);
+
+  // The swap: after this rename + dir fsync, readers see only the new
+  // segments; before it, only the old. Never a mix.
+  write_manifest_file(*io, dir,
+                      manifest_text(records_per_segment, new_names));
+
+  for (const std::string& name : old_names) {
+    io->remove(dir / name);
+  }
+  io->sync_dir(dir);
+
+  report.segments_after = new_names.size();
+  for (const std::string& name : new_names) {
+    std::error_code ec;
+    const std::uintmax_t size = fs::file_size(dir / name, ec);
+    if (!ec) report.bytes_after += size;
+  }
+  if (span.active()) {
+    span.arg("records", static_cast<std::uint64_t>(report.records));
+    span.arg("bytes_before",
+             static_cast<std::uint64_t>(report.bytes_before));
+    span.arg("bytes_after", static_cast<std::uint64_t>(report.bytes_after));
+  }
+  return report;
 }
 
 }  // namespace wflog

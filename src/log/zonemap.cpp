@@ -1,0 +1,226 @@
+#include "log/zonemap.h"
+
+#include <algorithm>
+
+#include "log/wire.h"
+
+namespace wflog {
+namespace {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ----- ActivityBloom --------------------------------------------------------
+
+ActivityBloom::ActivityBloom(std::size_t num_words)
+    : words_(num_words, 0), bit_mask_(num_words * 64 - 1) {}
+
+ActivityBloom ActivityBloom::sized_for(std::size_t distinct) {
+  const std::size_t bits = next_pow2(std::max<std::size_t>(64, distinct * 16));
+  return ActivityBloom(bits / 64);
+}
+
+ActivityBloom ActivityBloom::from_words(std::vector<std::uint64_t> words) {
+  if (words.empty() || (words.size() & (words.size() - 1)) != 0) {
+    throw IoError("zonemap: bloom word count must be a nonzero power of two");
+  }
+  ActivityBloom b(words.size());
+  b.words_ = std::move(words);
+  return b;
+}
+
+void ActivityBloom::add(std::string_view activity) {
+  const std::uint64_t h1 = fnv1a64(activity);
+  const std::uint64_t h2 = splitmix64(h1) | 1;  // odd: full-period stride
+  for (unsigned i = 0; i < kHashes; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) & bit_mask_;
+    words_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+}
+
+bool ActivityBloom::may_contain(std::string_view activity) const {
+  const std::uint64_t h1 = fnv1a64(activity);
+  const std::uint64_t h2 = splitmix64(h1) | 1;
+  for (unsigned i = 0; i < kHashes; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) & bit_mask_;
+    if ((words_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ----- SegmentFooter --------------------------------------------------------
+
+std::string SegmentFooter::encode() const {
+  std::string out;
+  wire::put_u64(out, record_count);
+  wire::put_u32(out, static_cast<std::uint32_t>(blocks.size()));
+  for (const BlockZone& z : blocks) {
+    wire::put_u64(out, z.file_offset);
+    wire::put_u32(out, z.compressed_size);
+    wire::put_u32(out, z.uncompressed_size);
+    wire::put_u32(out, z.codec);
+    wire::put_u32(out, z.record_count);
+    wire::put_u64(out, z.wid_min);
+    wire::put_u64(out, z.wid_max);
+    wire::put_u64(out, z.lsn_min);
+    wire::put_u64(out, z.lsn_max);
+    wire::put_u32(out, z.payload_crc);
+    const auto& words = z.bloom.words();
+    wire::put_u32(out, static_cast<std::uint32_t>(words.size()));
+    for (const std::uint64_t w : words) wire::put_u64(out, w);
+  }
+  wire::put_u32(out, static_cast<std::uint32_t>(next_is_lsn.size()));
+  for (const auto& [wid, next] : next_is_lsn) {
+    wire::put_u64(out, wid);
+    wire::put_u64(out, next);
+  }
+  return out;
+}
+
+SegmentFooter SegmentFooter::decode(std::string_view body) {
+  wire::Reader r(body);
+  SegmentFooter f;
+  f.record_count = r.u64();
+  const std::uint32_t num_blocks = r.u32();
+  // Each block entry is at least 60 bytes; reject counts the body cannot
+  // possibly hold before reserving memory for them.
+  if (num_blocks > body.size() / 60) {
+    throw IoError("zonemap: footer block count " + std::to_string(num_blocks) +
+                  " exceeds body capacity");
+  }
+  f.blocks.reserve(num_blocks);
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    BlockZone z;
+    z.file_offset = r.u64();
+    z.compressed_size = r.u32();
+    z.uncompressed_size = r.u32();
+    z.codec = r.u32();
+    z.record_count = r.u32();
+    z.wid_min = r.u64();
+    z.wid_max = r.u64();
+    z.lsn_min = r.u64();
+    z.lsn_max = r.u64();
+    z.payload_crc = r.u32();
+    const std::uint32_t num_words = r.u32();
+    if (num_words > r.remaining() / 8) {
+      throw IoError("zonemap: bloom word count exceeds footer body");
+    }
+    std::vector<std::uint64_t> words;
+    words.reserve(num_words);
+    for (std::uint32_t w = 0; w < num_words; ++w) words.push_back(r.u64());
+    z.bloom = ActivityBloom::from_words(std::move(words));
+    f.blocks.push_back(std::move(z));
+  }
+  const std::uint32_t num_watermarks = r.u32();
+  if (num_watermarks > r.remaining() / 16) {
+    throw IoError("zonemap: watermark count exceeds footer body");
+  }
+  f.next_is_lsn.reserve(num_watermarks);
+  for (std::uint32_t i = 0; i < num_watermarks; ++i) {
+    const std::uint64_t wid = r.u64();
+    const std::uint64_t next = r.u64();
+    f.next_is_lsn.emplace_back(wid, next);
+  }
+  if (!r.done()) {
+    throw IoError("zonemap: trailing bytes after footer body");
+  }
+  return f;
+}
+
+// ----- WidIntervals ---------------------------------------------------------
+
+void WidIntervals::add(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) return;
+  iv_.emplace_back(lo, hi);
+}
+
+void WidIntervals::normalize() {
+  if (iv_.empty()) return;
+  std::sort(iv_.begin(), iv_.end());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  merged.push_back(iv_.front());
+  for (std::size_t i = 1; i < iv_.size(); ++i) {
+    auto& [lo, hi] = iv_[i];
+    auto& last = merged.back();
+    // Merge overlapping or adjacent (hi + 1 == lo) intervals; the +1 is
+    // guarded against wrap at UINT64_MAX.
+    if (lo <= last.second || (last.second != UINT64_MAX && lo == last.second + 1)) {
+      last.second = std::max(last.second, hi);
+    } else {
+      merged.emplace_back(lo, hi);
+    }
+  }
+  iv_ = std::move(merged);
+}
+
+bool WidIntervals::contains(std::uint64_t wid) const {
+  // First interval with lo > wid; the one before (if any) must cover wid.
+  auto it = std::upper_bound(
+      iv_.begin(), iv_.end(), wid,
+      [](std::uint64_t w, const auto& p) { return w < p.first; });
+  if (it == iv_.begin()) return false;
+  --it;
+  return wid <= it->second;
+}
+
+bool WidIntervals::overlaps(std::uint64_t lo, std::uint64_t hi) const {
+  auto it = std::upper_bound(
+      iv_.begin(), iv_.end(), hi,
+      [](std::uint64_t w, const auto& p) { return w < p.first; });
+  if (it == iv_.begin()) return false;
+  --it;
+  return it->second >= lo;
+}
+
+WidIntervals WidIntervals::intersect(const WidIntervals& a,
+                                     const WidIntervals& b) {
+  WidIntervals out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.iv_.size() && j < b.iv_.size()) {
+    const auto& [alo, ahi] = a.iv_[i];
+    const auto& [blo, bhi] = b.iv_[j];
+    const std::uint64_t lo = std::max(alo, blo);
+    const std::uint64_t hi = std::min(ahi, bhi);
+    if (lo <= hi) out.iv_.emplace_back(lo, hi);
+    if (ahi < bhi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+WidIntervals WidIntervals::unite(const WidIntervals& a, const WidIntervals& b) {
+  WidIntervals out;
+  out.iv_ = a.iv_;
+  out.iv_.insert(out.iv_.end(), b.iv_.begin(), b.iv_.end());
+  out.normalize();
+  return out;
+}
+
+}  // namespace wflog

@@ -1,0 +1,119 @@
+#pragma once
+
+// Zone maps for the v2 segment format (log/segfmt.h).
+//
+// Each compressed block in a sealed v2 segment is summarized by a
+// BlockZone: wid and lsn min/max, record/byte counts, and an
+// activity-presence bloom filter. The zones live in the segment footer, so
+// a reader can decide which blocks could possibly contain records relevant
+// to a query — and skip inflating the rest — without touching the block
+// payloads at all.
+//
+// The pruning contract is one-sided: a zone map may claim a block is
+// relevant when it is not (bloom false positive, wid range overlap), but
+// it must never hide a relevant block. The pruner in log/segfmt.h builds
+// on that: for every activity a query *requires*, the set of workflow
+// instances that could match is bounded by the blocks whose bloom admits
+// that activity; instances outside the intersection of those bounds cannot
+// produce incidents.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wflog {
+
+/// Activity-presence bloom filter. Fixed k = 4 probes via double hashing
+/// (FNV-1a 64 + splitmix64 remix); sized at build time from the number of
+/// distinct activities in the block, minimum 64 bits, power-of-two bits so
+/// probe reduction is a mask.
+class ActivityBloom {
+ public:
+  static constexpr unsigned kHashes = 4;
+
+  /// Filter sized for ~`distinct` distinct keys (16 bits per key, floor 64
+  /// bits → false-positive rate well under 1% at k = 4).
+  static ActivityBloom sized_for(std::size_t distinct);
+
+  /// Reconstructs a filter from serialized words (must be a power of two).
+  static ActivityBloom from_words(std::vector<std::uint64_t> words);
+
+  void add(std::string_view activity);
+
+  /// False ⇒ the activity is definitely absent from the block.
+  bool may_contain(std::string_view activity) const;
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  std::size_t num_bits() const noexcept { return words_.size() * 64; }
+
+ private:
+  explicit ActivityBloom(std::size_t num_words);
+
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bit_mask_ = 0;  // total bits - 1
+};
+
+/// Summary of one compressed block, stored in the segment footer.
+struct BlockZone {
+  std::uint64_t file_offset = 0;      ///< block header start in the file
+  std::uint32_t compressed_size = 0;  ///< payload bytes on disk
+  std::uint32_t uncompressed_size = 0;
+  std::uint32_t codec = 0;  ///< segfmt codec id (raw / deflate)
+  std::uint32_t record_count = 0;
+  std::uint64_t wid_min = 0;
+  std::uint64_t wid_max = 0;
+  std::uint64_t lsn_min = 0;  ///< store lsn (logical, monotone) bounds
+  std::uint64_t lsn_max = 0;
+  std::uint32_t payload_crc = 0;  ///< CRC-32 of the compressed payload
+  ActivityBloom bloom = ActivityBloom::sized_for(0);
+};
+
+/// Sealed-segment footer: the block zone table plus the per-wid
+/// next-is_lsn watermark so reopen can restore instance-local sequence
+/// counters without inflating a single block.
+struct SegmentFooter {
+  std::vector<BlockZone> blocks;
+  /// (wid, next is_lsn) pairs as of the end of this segment, ascending wid.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> next_is_lsn;
+  std::uint64_t record_count = 0;
+
+  /// Serializes the footer body (excludes the fixed trailer that frames it
+  /// in the file; see log/segfmt.h).
+  std::string encode() const;
+
+  /// Parses a footer body. Throws IoError on any structural problem.
+  static SegmentFooter decode(std::string_view body);
+};
+
+/// Sorted, disjoint, inclusive wid intervals — the currency of block
+/// pruning. Built from zone wid ranges, then intersected across required
+/// activities.
+class WidIntervals {
+ public:
+  /// Adds [lo, hi]; intervals are merged lazily on normalize().
+  void add(std::uint64_t lo, std::uint64_t hi);
+
+  /// Sorts and coalesces overlapping/adjacent intervals.
+  void normalize();
+
+  bool contains(std::uint64_t wid) const;
+  bool empty() const noexcept { return iv_.empty(); }
+  bool overlaps(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Set intersection of two normalized interval lists.
+  static WidIntervals intersect(const WidIntervals& a, const WidIntervals& b);
+
+  /// Set union of two normalized interval lists.
+  static WidIntervals unite(const WidIntervals& a, const WidIntervals& b);
+
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& intervals()
+      const noexcept {
+    return iv_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> iv_;
+};
+
+}  // namespace wflog

@@ -87,6 +87,27 @@ Telemetry::Telemetry() {
   store_corrupt_records_total =
       metrics.counter("wflog_store_corrupt_records_total",
                       "Corrupt record lines quarantined by a recovering open");
+  store_blocks_written_total =
+      metrics.counter("wflog_store_blocks_written_total",
+                      "Compressed blocks written to v2 segments");
+  store_blocks_read_total =
+      metrics.counter("wflog_store_blocks_read_total",
+                      "v2 segment blocks inflated by reads");
+  store_blocks_skipped_total = metrics.counter(
+      "wflog_store_blocks_skipped_total",
+      "v2 segment blocks skipped by zone-map pruning without inflation");
+  store_compressed_bytes_total =
+      metrics.counter("wflog_store_compressed_bytes_total",
+                      "Compressed payload bytes written to v2 blocks");
+  store_uncompressed_bytes_total =
+      metrics.counter("wflog_store_uncompressed_bytes_total",
+                      "Uncompressed payload bytes framed into v2 blocks");
+  store_footer_recoveries_total = metrics.counter(
+      "wflog_store_footer_recoveries_total",
+      "v2 segments recovered block-by-block after a missing/torn footer");
+  store_sealed_reopen_skips_total = metrics.counter(
+      "wflog_store_sealed_reopen_skips_total",
+      "Sealed v2 segments reopened via footer fast path (no block re-scan)");
   store_append_seconds =
       metrics.histogram("wflog_store_append_seconds", lat(),
                         "Durable append latency (serialize + flush)");

@@ -77,6 +77,13 @@ struct Telemetry {
   Counter* store_syncs_total;
   Counter* store_retries_total;
   Counter* store_corrupt_records_total;
+  Counter* store_blocks_written_total;
+  Counter* store_blocks_read_total;
+  Counter* store_blocks_skipped_total;
+  Counter* store_compressed_bytes_total;
+  Counter* store_uncompressed_bytes_total;
+  Counter* store_footer_recoveries_total;
+  Counter* store_sealed_reopen_skips_total;
   Histogram* store_append_seconds;
 
   // ----- live monitor -----------------------------------------------------

@@ -914,6 +914,20 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
     s.set("directory", store_->directory().string());
     s.set("records", store_->num_records());
     s.set("segments", store_->num_segments());
+    const LogStore::StorageStats ss = store_->storage_stats();
+    JsonValue storage;
+    storage.set("segments_v1", static_cast<std::int64_t>(ss.segments_v1));
+    storage.set("segments_v2", static_cast<std::int64_t>(ss.segments_v2));
+    storage.set("sealed_blocks",
+                static_cast<std::int64_t>(ss.sealed_blocks));
+    storage.set("compressed_payload_bytes",
+                static_cast<std::int64_t>(ss.compressed_payload_bytes));
+    storage.set("uncompressed_payload_bytes",
+                static_cast<std::int64_t>(ss.uncompressed_payload_bytes));
+    storage.set("blocks_read", static_cast<std::int64_t>(ss.blocks_read));
+    storage.set("blocks_skipped",
+                static_cast<std::int64_t>(ss.blocks_skipped));
+    s.set("storage", std::move(storage));
     out.set("store", std::move(s));
   } else {
     out.set("store", JsonValue(nullptr));

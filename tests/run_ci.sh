@@ -44,6 +44,15 @@ echo "== tier 1h: torture label (socket + store chaos harness) =="
 ctest --test-dir "$repo/build" --output-on-failure -L torture \
   --timeout "$timeout" "$@"
 
+echo "== tier 1i: segfmt label (v2 segments, zone maps, compaction) =="
+ctest --test-dir "$repo/build" --output-on-failure -L segfmt \
+  --timeout "$timeout" "$@"
+
+echo "== tier 1j: bench_store v1-vs-v2 smoke (compression + pruned scan) =="
+"$repo/build/bench/bench_store" \
+  --benchmark_filter='BM_StoreClinic.*/1000$' \
+  --benchmark_min_time=0.01
+
 echo "== tier 2: AddressSanitizer + UBSan (build-sanitize/) =="
 "$repo/tests/run_sanitized.sh" --timeout "$timeout" "$@"
 
@@ -68,11 +77,17 @@ UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
 echo "== tier 2f: shard label under ASan/UBSan =="
 (cd "$repo" && ctest --preset asan-ubsan -L shard --timeout "$timeout" "$@")
 
+echo "== tier 2g: segfmt label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L segfmt --timeout "$timeout" "$@")
+
 echo "== tier 3: ThreadSanitizer — shard pool, parallel scheduler, server =="
 "$repo/tests/run_sanitized.sh" thread -L 'shard|parallel|server' \
   --timeout "$timeout" "$@"
 
 echo "== tier 3b: ThreadSanitizer — chaos torture harness =="
 "$repo/tests/run_sanitized.sh" thread -L torture --timeout "$timeout" "$@"
+
+echo "== tier 3c: ThreadSanitizer — segfmt (store counters under readers) =="
+"$repo/tests/run_sanitized.sh" thread -L segfmt --timeout "$timeout" "$@"
 
 echo "== CI green =="

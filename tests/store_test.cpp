@@ -31,6 +31,15 @@ class StoreTest : public ::testing::Test {
 
   void TearDown() override { fs::remove_all(dir_); }
 
+  /// Options pinning the v1 JSONL segment format — for the tests below
+  /// that poke v1 file internals (line framing, .jsonl names). The v2
+  /// format's own internals tests live in segfmt_test.cpp.
+  static LogStore::Options v1_options() {
+    LogStore::Options options;
+    options.segment_format = SegmentFormat::kV1Jsonl;
+    return options;
+  }
+
   fs::path dir_;
 };
 
@@ -99,7 +108,7 @@ TEST_F(StoreTest, ReopenRejectsWritesToEndedInstances) {
 }
 
 TEST_F(StoreTest, SegmentsRollAtCapacity) {
-  LogStore::Options options;
+  LogStore::Options options = v1_options();
   options.records_per_segment = 5;
   LogStore store = LogStore::create(dir_, options);
   const Wid w = store.begin_instance();
@@ -133,7 +142,7 @@ TEST_F(StoreTest, CapacityPersistsAcrossReopen) {
 TEST_F(StoreTest, TornTailLineDroppedOnOpen) {
   fs::path tail;
   {
-    LogStore store = LogStore::create(dir_);
+    LogStore store = LogStore::create(dir_, v1_options());
     const Wid w = store.begin_instance();
     store.record(w, "a");
     tail = dir_ / "seg-000001.jsonl";
@@ -159,7 +168,7 @@ TEST_F(StoreTest, TornTailTruncatedMidRecordResumesAtCorrectIsLsn) {
   fs::path tail;
   std::uintmax_t full_size = 0;
   {
-    LogStore::Options options;
+    LogStore::Options options = v1_options();
     options.records_per_segment = 3;  // the torn segment is not the first
     LogStore store = LogStore::create(dir_, options);
     w = store.begin_instance();
@@ -195,7 +204,7 @@ TEST_F(StoreTest, TornTailTruncatedMidRecordResumesAtCorrectIsLsn) {
 
 TEST_F(StoreTest, CorruptMiddleSegmentRejected) {
   {
-    LogStore::Options options;
+    LogStore::Options options = v1_options();
     options.records_per_segment = 2;
     LogStore store = LogStore::create(dir_, options);
     const Wid w = store.begin_instance();
@@ -298,7 +307,7 @@ TEST_F(StoreTest, OpenManifestListingNoSegmentsRejected) {
 
 TEST_F(StoreTest, OpenMissingSegmentNamesThePath) {
   {
-    LogStore store = LogStore::create(dir_);
+    LogStore store = LogStore::create(dir_, v1_options());
     const Wid w = store.begin_instance();
     store.record(w, "a");
     store.end_instance(w);
@@ -402,7 +411,7 @@ void corrupt_line(const fs::path& path, std::size_t line) {
 
 TEST_F(StoreTest, ChecksumDetectsBitFlipInCompleteRecord) {
   {
-    LogStore store = LogStore::create(dir_);
+    LogStore store = LogStore::create(dir_, v1_options());
     const Wid w = store.begin_instance();
     store.record(w, "a");
     store.record(w, "b");
@@ -415,7 +424,7 @@ TEST_F(StoreTest, ChecksumDetectsBitFlipInCompleteRecord) {
 }
 
 TEST_F(StoreTest, QuarantineRecoversReadablePrefix) {
-  LogStore::Options options;
+  LogStore::Options options = v1_options();
   options.records_per_segment = 2;
   {
     LogStore store = LogStore::create(dir_, options);

@@ -12,6 +12,12 @@
 //     call that returned) survives — zero acked-record loss, even in the
 //     kDropUnsynced power-loss model;
 //   * the reopened store accepts new appends and load()s cleanly.
+//
+// The matrix is parameterized by segment format: the v2 block format runs
+// under all three fsync policies (crash indices land on block writes and
+// the footer write that seals a rolled segment, so torn blocks and torn
+// footers are both in the matrix), and the v1 JSONL format keeps a
+// per-append matrix as a legacy-regression guard.
 
 #include <gtest/gtest.h>
 
@@ -25,6 +31,7 @@
 #include "common/error.h"
 #include "log/fileio.h"
 #include "log/store.h"
+#include "obs/telemetry.h"
 
 namespace wflog {
 namespace {
@@ -73,7 +80,8 @@ const std::map<Wid, std::vector<std::string>>& attempted_sequences() {
 }
 
 LogStore::Options torture_options(FsyncPolicy policy,
-                                  std::shared_ptr<FileIo> io) {
+                                  std::shared_ptr<FileIo> io,
+                                  SegmentFormat format) {
   LogStore::Options options;
   options.records_per_segment = 3;
   options.fsync_policy = policy;
@@ -81,6 +89,7 @@ LogStore::Options torture_options(FsyncPolicy policy,
   options.max_io_retries = 0;  // a crash is not transient; retries just stall
   options.retry_backoff = std::chrono::milliseconds{0};
   options.io = std::move(io);
+  options.segment_format = format;
   return options;
 }
 
@@ -110,12 +119,13 @@ class StoreTortureTest : public ::testing::Test {
 
   /// Fault-free dry run measuring how many IO ops the workload needs
   /// under `policy` (the torture matrix then crashes at every index).
-  std::uint64_t measure_ops(FsyncPolicy policy) {
+  std::uint64_t measure_ops(FsyncPolicy policy, SegmentFormat format) {
     fs::remove_all(dir_);
     auto io = std::make_shared<FaultIo>();
     std::vector<AckedEvent> acked;
     {
-      LogStore store = LogStore::create(dir_, torture_options(policy, io));
+      LogStore store =
+          LogStore::create(dir_, torture_options(policy, io, format));
       EXPECT_TRUE(run_workload(store, acked));
     }
     fs::remove_all(dir_);
@@ -125,10 +135,11 @@ class StoreTortureTest : public ::testing::Test {
   /// One cell of the matrix: crash at op `crash_at` under `loss`, then
   /// recover with the real filesystem and check the contract.
   void torture_once(FsyncPolicy policy, std::uint64_t crash_at,
-                    FaultIo::CrashLoss loss) {
+                    FaultIo::CrashLoss loss, SegmentFormat format) {
     SCOPED_TRACE("crash_at=" + std::to_string(crash_at) +
                  " loss=" + std::to_string(static_cast<int>(loss)) +
-                 " policy=" + std::to_string(static_cast<int>(policy)));
+                 " policy=" + std::to_string(static_cast<int>(policy)) +
+                 " format=" + std::to_string(static_cast<int>(format)));
     fs::remove_all(dir_);
     auto io = std::make_shared<FaultIo>();
     io->set_fault({crash_at, FaultIo::Fault::Kind::kCrash, 1, loss});
@@ -136,7 +147,8 @@ class StoreTortureTest : public ::testing::Test {
     std::vector<AckedEvent> acked;
     bool created = false;
     try {
-      LogStore store = LogStore::create(dir_, torture_options(policy, io));
+      LogStore store =
+          LogStore::create(dir_, torture_options(policy, io, format));
       created = true;
       run_workload(store, acked);
     } catch (const IoError&) {
@@ -202,8 +214,8 @@ class StoreTortureTest : public ::testing::Test {
     EXPECT_EQ(store.load().size(), before + 3);
   }
 
-  void run_matrix(FsyncPolicy policy) {
-    const std::uint64_t total_ops = measure_ops(policy);
+  void run_matrix(FsyncPolicy policy, SegmentFormat format) {
+    const std::uint64_t total_ops = measure_ops(policy, format);
     ASSERT_GT(total_ops, 0u);
     std::cout << "torture matrix: " << total_ops
               << " IO-op boundaries x 3 crash-loss models = "
@@ -212,7 +224,7 @@ class StoreTortureTest : public ::testing::Test {
          {FaultIo::CrashLoss::kDropUnsynced, FaultIo::CrashLoss::kTornHalf,
           FaultIo::CrashLoss::kKeepAll}) {
       for (std::uint64_t n = 1; n <= total_ops; ++n) {
-        torture_once(policy, n, loss);
+        torture_once(policy, n, loss, format);
         if (::testing::Test::HasFatalFailure()) return;
       }
     }
@@ -233,8 +245,9 @@ TEST_F(StoreTortureTest, CrashBetweenManifestRenameAndDirFsync) {
   auto dry = std::make_shared<FaultIo>();
   {
     std::vector<AckedEvent> acked;
-    LogStore store =
-        LogStore::create(dir_, torture_options(FsyncPolicy::kPerAppend, dry));
+    LogStore store = LogStore::create(
+        dir_, torture_options(FsyncPolicy::kPerAppend, dry,
+                              SegmentFormat::kV2Blocks));
     ASSERT_TRUE(run_workload(store, acked));
   }
   const std::vector<std::string> trace = dry->op_trace();
@@ -259,21 +272,58 @@ TEST_F(StoreTortureTest, CrashBetweenManifestRenameAndDirFsync) {
   // acked record survives (they live in segment files named by it).
   for (const std::uint64_t op : dir_fsync_ops) {
     torture_once(FsyncPolicy::kPerAppend, op,
-                 FaultIo::CrashLoss::kDropUnsynced);
+                 FaultIo::CrashLoss::kDropUnsynced,
+                 SegmentFormat::kV2Blocks);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
 TEST_F(StoreTortureTest, PerAppendNeverLosesAckedRecords) {
-  run_matrix(FsyncPolicy::kPerAppend);
+  run_matrix(FsyncPolicy::kPerAppend, SegmentFormat::kV2Blocks);
 }
 
 TEST_F(StoreTortureTest, IntervalFsyncRecoversAPrefix) {
-  run_matrix(FsyncPolicy::kInterval);
+  run_matrix(FsyncPolicy::kInterval, SegmentFormat::kV2Blocks);
 }
 
 TEST_F(StoreTortureTest, NoFsyncStillRecoversAPrefix) {
-  run_matrix(FsyncPolicy::kOff);
+  run_matrix(FsyncPolicy::kOff, SegmentFormat::kV2Blocks);
+}
+
+TEST_F(StoreTortureTest, V1PerAppendNeverLosesAckedRecords) {
+  // Legacy-format regression guard: the JSONL write path keeps the same
+  // zero-acked-loss contract it shipped with.
+  run_matrix(FsyncPolicy::kPerAppend, SegmentFormat::kV1Jsonl);
+}
+
+TEST_F(StoreTortureTest, SealedSegmentsReopenWithoutBlockRescan) {
+  // Reopen latency on a big sealed store must be O(footers), not
+  // O(blocks): a sealed v2 segment with a valid footer is admitted
+  // without inflating a single block. The telemetry counters make the
+  // "no rescan" claim checkable without wall-clock flakiness: every
+  // non-tail segment takes the fast path and zero blocks are read.
+  fs::remove_all(dir_);
+  LogStore::Options options;
+  options.records_per_segment = 8;
+  options.fsync_policy = FsyncPolicy::kOff;
+  {
+    LogStore store = LogStore::create(dir_, options);
+    for (int i = 0; i < 12; ++i) {
+      const Wid w = store.begin_instance();
+      store.record(w, "work");
+      store.end_instance(w);
+    }
+  }
+  obs::Telemetry t;
+  obs::ScopedTelemetry scope(t);
+  LogStore store = LogStore::open(dir_);
+  EXPECT_EQ(t.store_sealed_reopen_skips_total->value(),
+            store.num_segments() - 1)
+      << "a sealed segment fell off the footer fast path at reopen";
+  EXPECT_EQ(t.store_blocks_read_total->value(), 0u)
+      << "reopen inflated block payloads it did not need";
+  EXPECT_EQ(store.num_records(), 36u);
+  EXPECT_EQ(store.load().size(), 36u);  // payload CRCs still checked on read
 }
 
 }  // namespace
