@@ -37,9 +37,21 @@
 // The PR 7 contract is <2% with the access log off:
 //
 //   bench_server obs [clients] [requests-per-client] [instances]
+//
+// Standing-query mode (E25): C subscribers hold /subscribe long-polls
+// while a producer ingests R matching instances; each incident is pushed
+// incrementally to every subscriber. The same fan-out served naively —
+// every subscriber re-running the full batch /query per update — is
+// measured against the identical final log, and the ratio reported. The
+// incremental path does O(delta) work per update; the naive path
+// re-evaluates the whole log every time:
+//
+//   bench_server subscribe [subscribers] [updates] [instances]
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -52,6 +64,7 @@
 
 #include "server/client.h"
 #include "server/handlers.h"
+#include "server/json.h"
 #include "server/server.h"
 #include "workflow/workload.h"
 
@@ -298,13 +311,134 @@ int run_obs_mode(std::size_t clients, std::size_t requests,
   return errors == 0 ? 0 : 1;
 }
 
+/// E25: incremental push vs naive re-query for a standing-query fan-out.
+/// `requests` is the number of ingested updates; every update delivers
+/// one incident to each of `clients` subscribers.
+int run_subscribe_mode(std::size_t clients, std::size_t requests,
+                       std::size_t instances) {
+  server::ServiceOptions svc;
+  svc.subscribe.max_subscriptions = clients + 4;
+  svc.subscribe.pending_cap = requests + 16;
+  server::ServerOptions opts;
+  opts.port = 0;
+  // A long-poll occupies a worker for its whole wait — the pool must be
+  // sized above the concurrent subscriber count or the producer starves
+  // behind parked polls (the same guidance wfqd's --threads docs give).
+  opts.threads = clients + 4;
+  opts.queue_capacity = 256;
+  server::QueryService service(std::nullopt, svc, opts.drain_cancel,
+                               std::nullopt);
+  server::Router router;
+  service.bind(router);
+  server::HttpServer http(std::move(router), std::move(opts));
+  service.attach_server(&http);
+  http.start();
+  const std::uint16_t port = http.port();
+
+  const auto ingest_one = [&](server::HttpClient& c) {
+    const server::ClientResponse r = c.post("/ingest", R"({"events": [
+      {"op": "begin"}]})");
+    const std::int64_t wid =
+        server::parse_json(r.body).find("wids")->as_array()[0].as_int();
+    c.post("/ingest",
+           R"({"events": [{"op": "record", "wid": )" + std::to_string(wid) +
+               R"(, "activity": "a"}, {"op": "record", "wid": )" +
+               std::to_string(wid) +
+               R"(, "activity": "b"}, {"op": "end", "wid": )" +
+               std::to_string(wid) + "}]}");
+  };
+
+  // Pre-seeded history: the baseline /query has to chew through this on
+  // every refresh; the incremental path paid for it once at registration.
+  server::HttpClient seed("127.0.0.1", port);
+  for (std::size_t i = 0; i < instances; ++i) ingest_one(seed);
+  std::printf("bench_server subscribe: history=%zu instances, "
+              "subscribers=%zu updates=%zu\n",
+              instances, clients, requests);
+
+  // Register every subscriber and ack its replayed history.
+  std::vector<std::string> subs(clients);
+  std::vector<std::uint64_t> cursors(clients, 0);
+  for (std::size_t c = 0; c < clients; ++c) {
+    const server::ClientResponse r =
+        seed.post("/subscribe", R"({"query": "a -> b"})");
+    if (r.status != 201) {
+      std::fprintf(stderr, "subscribe failed: %s\n", r.body.c_str());
+      return 1;
+    }
+    subs[c] = server::parse_json(r.body).find("id")->as_string();
+    server::HttpClient pc("127.0.0.1", port);
+    for (;;) {
+      const server::ClientResponse p = pc.get(
+          "/subscribe/" + subs[c] + "?after=" + std::to_string(cursors[c]));
+      const server::JsonValue v = server::parse_json(p.body);
+      cursors[c] = static_cast<std::uint64_t>(
+          v.find("next_after")->as_int());
+      if (v.find("events")->as_array().empty()) break;
+    }
+  }
+
+  // Incremental: producer ingests updates while every subscriber drains
+  // its push queue via acked long-polls.
+  std::atomic<std::size_t> errors{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < clients; ++c) {
+    consumers.emplace_back([&, c] {
+      try {
+        server::HttpClient pc("127.0.0.1", port);
+        std::size_t got = 0;
+        while (got < requests) {
+          const server::ClientResponse p =
+              pc.get("/subscribe/" + subs[c] +
+                     "?after=" + std::to_string(cursors[c]) +
+                     "&wait_ms=2000");
+          const server::JsonValue v = server::parse_json(p.body);
+          got += v.find("events")->as_array().size();
+          cursors[c] = static_cast<std::uint64_t>(
+              v.find("next_after")->as_int());
+        }
+      } catch (const std::exception&) {
+        errors.fetch_add(1);
+      }
+    });
+  }
+  {
+    server::HttpClient producer("127.0.0.1", port);
+    for (std::size_t i = 0; i < requests; ++i) ingest_one(producer);
+  }
+  for (std::thread& t : consumers) t.join();
+  const double push_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const double events =
+      static_cast<double>(clients) * static_cast<double>(requests);
+  std::printf("incremental: events=%.0f wall=%.2fs delivery=%.0f ev/s "
+              "errors=%zu\n",
+              events, push_s, push_s > 0 ? events / push_s : 0.0,
+              errors.load());
+
+  // Naive: the same fan-out as full re-evaluations of the final log —
+  // each subscriber re-runs batch /query once per update.
+  RunResult naive =
+      drive(port, clients, requests, {R"({"query": "a -> b"})"});
+  http.shutdown();
+  print_run("naive req ", 4, clients, clients * requests, naive);
+  const double naive_s = naive.wall_s;
+  if (push_s > 0 && naive_s > 0) {
+    std::printf("incremental speedup: %.1fx\n", naive_s / push_s);
+  }
+  return errors.load() + naive.errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool repeat_mode = argc > 1 && std::string_view(argv[1]) == "repeat";
   const bool shards_mode = argc > 1 && std::string_view(argv[1]) == "shards";
   const bool obs_mode = argc > 1 && std::string_view(argv[1]) == "obs";
-  if (repeat_mode || shards_mode || obs_mode) {
+  const bool subscribe_mode =
+      argc > 1 && std::string_view(argv[1]) == "subscribe";
+  if (repeat_mode || shards_mode || obs_mode || subscribe_mode) {
     --argc;
     ++argv;
   }
@@ -317,6 +451,7 @@ int main(int argc, char** argv) {
   if (repeat_mode) return run_repeat_mode(clients, requests, instances);
   if (shards_mode) return run_shards_mode(clients, requests, instances);
   if (obs_mode) return run_obs_mode(clients, requests, instances);
+  if (subscribe_mode) return run_subscribe_mode(clients, requests, instances);
 
   const std::string body =
       R"({"query": "CreatePO -> MatchThreeWay", "limit": 0})";

@@ -72,6 +72,8 @@
 #include "log/stats.h"
 #include "log/store.h"
 #include "obs/telemetry.h"
+#include "server/client.h"
+#include "server/json.h"
 #include "workflow/discovery.h"
 #include "workflow/dot.h"
 #include "workflow/clinic.h"
@@ -112,6 +114,8 @@ void report_partial(const QueryResult& r) {
          "  wfq compact   <store-dir>\n"
          "  wfq inspect-segment <seg-file>\n"
          "  wfq repl      <log>\n"
+         "  wfq subscribe <host:port> '<pattern>' [--stream] [--wait-ms N] "
+         "[--max N]\n"
          "  wfq gen    clinic|procurement|random <instances> <seed> "
          "<out.{csv,jsonl,xes}>\n"
          "global flags (any command): --trace <out.json>  --metrics  "
@@ -497,6 +501,106 @@ int cmd_gen(const std::string& kind, std::size_t instances,
   return 0;
 }
 
+/// Standing query against a running wfqd: register via POST /subscribe,
+/// then either consume the chunked stream (--stream) or long-poll with
+/// per-round acknowledgements. One JSON object per stdout line; status
+/// chatter goes to stderr so the output pipes cleanly into jq.
+int cmd_subscribe(const std::string& endpoint, const std::string& pattern,
+                  bool stream, std::int64_t wait_ms,
+                  std::size_t max_events) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    throw IoError("endpoint must be host:port, got '" + endpoint + "'");
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    throw IoError("bad port in '" + endpoint + "'");
+  }
+  server::HttpClient client(host.empty() ? std::string("127.0.0.1") : host,
+                            static_cast<std::uint16_t>(port),
+                            /*timeout_ms=*/30000);
+
+  server::JsonValue req;
+  req.set("query", pattern);
+  const server::ClientResponse created =
+      client.post("/subscribe", req.dump());
+  if (created.status != 201) {
+    std::cerr << "subscribe failed (" << created.status
+              << "): " << created.body << "\n";
+    return 1;
+  }
+  const server::JsonValue meta = server::parse_json(created.body);
+  const std::string id = meta.find("id")->as_string();
+  std::cerr << "subscribed as " << id << " ("
+            << meta.find("matched")->as_int()
+            << " historical incidents queued)\n";
+
+  std::size_t seen = 0;
+  if (stream) {
+    // Each chunk is one JSON object: incident, heartbeat, or the terminal
+    // end marker. Heartbeats stay off stdout.
+    const server::ClientResponse r = client.stream(
+        "GET", "/subscribe/" + id + "?stream=1", "",
+        [&](std::string_view chunk) {
+          std::string line(chunk);
+          while (!line.empty() && line.back() == '\n') line.pop_back();
+          if (line.find("\"type\":\"heartbeat\"") != std::string::npos) {
+            return true;
+          }
+          std::cout << line << "\n" << std::flush;
+          if (line.find("\"type\":\"incident\"") != std::string::npos) {
+            ++seen;
+            if (max_events > 0 && seen >= max_events) return false;
+          }
+          return true;
+        });
+    if (r.status != 200) {
+      std::cerr << "stream failed (" << r.status << "): " << r.body << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Long-poll: ?after= acknowledges the previous round, so each incident
+  // is delivered exactly once even across reconnects.
+  std::uint64_t after = 0;
+  while (true) {
+    const server::ClientResponse r = client.get(
+        "/subscribe/" + id + "?wait_ms=" + std::to_string(wait_ms) +
+        "&after=" + std::to_string(after));
+    if (r.status == 404) {
+      std::cerr << "subscription is gone\n";
+      return 1;
+    }
+    if (r.status != 200) {
+      std::cerr << "poll failed (" << r.status << "): " << r.body << "\n";
+      return 1;
+    }
+    const server::JsonValue body = server::parse_json(r.body);
+    for (const server::JsonValue& e : body.find("events")->as_array()) {
+      std::cout << e.dump() << "\n";
+      ++seen;
+      if (max_events > 0 && seen >= max_events) {
+        std::cout << std::flush;
+        return 0;
+      }
+    }
+    std::cout << std::flush;
+    after = static_cast<std::uint64_t>(body.find("next_after")->as_int());
+    const server::JsonValue* closed = body.find("closed");
+    if (closed != nullptr && closed->is_bool() && closed->as_bool()) {
+      const server::JsonValue* reason = body.find("reason");
+      std::cerr << "subscription closed ("
+                << (reason != nullptr && reason->is_string()
+                        ? reason->as_string()
+                        : std::string("closed"))
+                << ")\n";
+      return 0;
+    }
+  }
+}
+
 int dispatch(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
@@ -549,6 +653,24 @@ int dispatch(int argc, char** argv) {
       return cmd_inspect_segment(argv[2]);
     }
     if (cmd == "repl" && argc == 3) return cmd_repl(argv[2]);
+    if (cmd == "subscribe" && argc >= 4) {
+      bool stream = false;
+      std::int64_t wait_ms = 10000;
+      std::size_t max_events = 0;
+      for (int i = 4; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--stream") {
+          stream = true;
+        } else if (flag == "--wait-ms" && i + 1 < argc) {
+          wait_ms = std::atoll(argv[++i]);
+        } else if (flag == "--max" && i + 1 < argc) {
+          max_events = static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else {
+          usage();
+        }
+      }
+      return cmd_subscribe(argv[2], argv[3], stream, wait_ms, max_events);
+    }
     if (cmd == "gen" && argc == 6) {
       return cmd_gen(argv[2],
                      static_cast<std::size_t>(std::atoll(argv[3])),

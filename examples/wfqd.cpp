@@ -57,6 +57,16 @@
 //   [--max-recovery-attempts N] failed probes before recovery gives up
 //                        and stays degraded for an operator (default 0 =
 //                        retry forever)
+//   [--max-subscriptions N]      standing-query capacity (default 64)
+//   [--max-streams N]            concurrent ?stream=1 consumers; each one
+//                        occupies a worker thread (default 2)
+//   [--subscribe-pending-cap N]  unacknowledged events retained per
+//                        subscription before the slow-consumer policy
+//                        drops it (default 4096)
+//   [--subscribe-heartbeat-ms N] idle-stream keep-alive cadence (5000)
+//   [--subscribe-wait-cap-ms N]  longest ?wait_ms= long-poll (30000)
+//   [--quarantine-capacity N]    bad-event ring under
+//                        --bad-events quarantine (default 1024)
 //
 // Every request carries a request id: the client's X-Request-Id header
 // (sanitized) or a generated "wfq-<seq>", echoed back in the response's
@@ -117,7 +127,13 @@ using namespace wflog;
          "              --debug-requests N (default 256)  --debug-slow N "
          "(default 32)\n"
          "degraded mode: --recovery-backoff-ms N (default 100)\n"
-         "              --max-recovery-attempts N (default 0 = forever)\n";
+         "              --max-recovery-attempts N (default 0 = forever)\n"
+         "standing queries: --max-subscriptions N (default 64)  "
+         "--max-streams N (default 2)\n"
+         "              --subscribe-pending-cap N (default 4096)  "
+         "--subscribe-heartbeat-ms N (default 5000)\n"
+         "              --subscribe-wait-cap-ms N (default 30000)  "
+         "--quarantine-capacity N (default 1024)\n";
   std::exit(2);
 }
 
@@ -196,6 +212,22 @@ int main(int argc, char** argv) {
                                  svc.recovery_backoff_cap_ms);
     } else if (flag == "--max-recovery-attempts" && has_value) {
       svc.max_recovery_attempts = std::atoi(args[++i]);
+    } else if (flag == "--max-subscriptions" && has_value) {
+      svc.subscribe.max_subscriptions =
+          static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--max-streams" && has_value) {
+      svc.subscribe.max_streams =
+          static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--subscribe-pending-cap" && has_value) {
+      svc.subscribe.pending_cap =
+          static_cast<std::size_t>(std::atoll(args[++i]));
+    } else if (flag == "--subscribe-heartbeat-ms" && has_value) {
+      svc.subscribe_heartbeat_ms = std::atoll(args[++i]);
+    } else if (flag == "--subscribe-wait-cap-ms" && has_value) {
+      svc.subscribe_wait_cap_ms = std::atoll(args[++i]);
+    } else if (flag == "--quarantine-capacity" && has_value) {
+      svc.quarantine_capacity =
+          static_cast<std::size_t>(std::atoll(args[++i]));
     } else if (flag == "--bad-events" && has_value) {
       const std::string policy = args[++i];
       if (policy == "reject") {

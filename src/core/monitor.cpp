@@ -39,26 +39,34 @@ std::size_t LogMonitor::compile_node(const Pattern& p, CompiledQuery& q) {
   return q.nodes.size() - 1;
 }
 
-LogMonitor::QueryId LogMonitor::add_query(std::string_view pattern_text) {
-  return add_query(parse_pattern(pattern_text));
+LogMonitor::QueryId LogMonitor::add_query(std::string_view pattern_text,
+                                          const EvalGuard* guard) {
+  return add_query(parse_pattern(pattern_text), guard);
 }
 
-LogMonitor::QueryId LogMonitor::add_query(PatternPtr pattern) {
+LogMonitor::QueryId LogMonitor::add_query(PatternPtr pattern,
+                                          const EvalGuard* guard) {
   WFLOG_SPAN(span, "monitor.add_query");
   CompiledQuery q;
   q.id = next_query_id_++;
   q.pattern = std::move(pattern);
   compile_node(*q.pattern, q);
   queries_.push_back(std::move(q));
-  match_totals_.emplace(queries_.back().id, 0);
-  backfill(queries_.back());
+  const QueryId id = queries_.back().id;
+  match_totals_.emplace(id, 0);
+  try {
+    backfill(queries_.back(), guard);
+  } catch (...) {
+    remove_query(id);  // leave the monitor exactly as before the call
+    throw;
+  }
   WFLOG_TELEMETRY(t) {
     t->monitor_queries->set(static_cast<double>(queries_.size()));
   }
   if (span.active()) {
     span.arg("backfilled", static_cast<std::uint64_t>(num_records_));
   }
-  return queries_.back().id;
+  return id;
 }
 
 void LogMonitor::remove_query(QueryId id) {
@@ -68,12 +76,19 @@ void LogMonitor::remove_query(QueryId id) {
                                 }),
                  queries_.end());
   state_.erase(id);
+  match_totals_.erase(id);
+  // Undelivered matches must not surface for an id that no longer exists.
+  matches_.erase(std::remove_if(matches_.begin(), matches_.end(),
+                                [id](const Match& m) {
+                                  return m.query == id;
+                                }),
+                 matches_.end());
   WFLOG_TELEMETRY(t) {
     t->monitor_queries->set(static_cast<double>(queries_.size()));
   }
 }
 
-void LogMonitor::backfill(CompiledQuery& q) {
+void LogMonitor::backfill(CompiledQuery& q, const EvalGuard* guard) {
   if (num_records_ == 0) return;
   if (!options_.keep_records) {
     throw Error(
@@ -82,7 +97,17 @@ void LogMonitor::backfill(CompiledQuery& q) {
   // Replay retained history so the new query's results are indistinguishable
   // from having been registered up front (its historical matches are
   // reported now, in log order).
-  for (const LogRecord& l : records_) feed(q, l);
+  for (const LogRecord& l : records_) {
+    if (guard != nullptr && guard->check()) {
+      throw Error(std::string("LogMonitor: backfill stopped (") +
+                  stop_reason_name(guard->reason()) + ")");
+    }
+    const std::size_t before = matches_.size();
+    feed(q, l);
+    if (guard != nullptr && matches_.size() > before) {
+      guard->add_incidents(matches_.size() - before);
+    }
+  }
   // Completed instances produce no further matches; drop their state.
   auto& per_wid = state_[q.id];
   for (auto it = per_wid.begin(); it != per_wid.end();) {
@@ -156,6 +181,16 @@ void LogMonitor::note_bad_event(Wid wid, std::string_view activity,
     case BadEventPolicy::kSkip:
       break;
     case BadEventPolicy::kQuarantine:
+      // Bounded ring: retain only the newest quarantine_capacity events so
+      // a misbehaving producer cannot grow this without bound.
+      if (options_.quarantine_capacity == 0) {
+        ++num_quarantine_dropped_;
+        break;
+      }
+      while (quarantined_.size() >= options_.quarantine_capacity) {
+        quarantined_.pop_front();
+        ++num_quarantine_dropped_;
+      }
       quarantined_.push_back(std::move(event));
       break;
   }
@@ -275,6 +310,28 @@ std::vector<LogMonitor::Match> LogMonitor::drain() {
   std::vector<Match> out;
   out.swap(matches_);
   return out;
+}
+
+std::vector<LogMonitor::Match> LogMonitor::drain(QueryId id) {
+  std::vector<Match> out;
+  std::vector<Match> rest;
+  rest.reserve(matches_.size());
+  for (Match& m : matches_) {
+    (m.query == id ? out : rest).push_back(std::move(m));
+  }
+  matches_ = std::move(rest);
+  return out;
+}
+
+LogMonitor::MemoryStats LogMonitor::memory_stats() const noexcept {
+  MemoryStats s;
+  s.state_queries = state_.size();
+  for (const auto& [id, per_wid] : state_) {
+    s.state_instances += per_wid.size();
+  }
+  s.tracked_totals = match_totals_.size();
+  s.pending_matches = matches_.size();
+  return s;
 }
 
 std::size_t LogMonitor::total_matches(QueryId id) const {

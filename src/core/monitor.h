@@ -25,12 +25,14 @@
 // a whole log equals one batch evaluation (amortized); the win is latency —
 // matches surface immediately — plus exactly-once delivery.
 
+#include <deque>
 #include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/evaluator.h"
+#include "core/guard.h"
 #include "core/incident.h"
 #include "core/pattern.h"
 #include "log/builder.h"
@@ -66,6 +68,9 @@ struct MonitorOptions {
   /// Invoked for every bad event (all policies), before it is thrown,
   /// dropped, or quarantined.
   std::function<void(const BadEvent&)> on_bad_event;
+  /// Most recent quarantined events retained under kQuarantine; older ones
+  /// are dropped (counted by num_quarantine_dropped()). 0 retains nothing.
+  std::size_t quarantine_capacity = 1024;
 };
 
 class LogMonitor {
@@ -84,8 +89,17 @@ class LogMonitor {
   /// keep_records when events were already fed), so results are identical
   /// to having registered the query before the first event; historical
   /// matches are reported immediately, in log order.
-  QueryId add_query(std::string_view pattern_text);
-  QueryId add_query(PatternPtr pattern);
+  ///
+  /// A non-null `guard` bounds the backfill replay (deadline / incident
+  /// budget / cancellation). When the guard trips, the half-registered
+  /// query is rolled back completely and Error is thrown naming the stop
+  /// reason — the monitor is left exactly as before the call.
+  QueryId add_query(std::string_view pattern_text,
+                    const EvalGuard* guard = nullptr);
+  QueryId add_query(PatternPtr pattern, const EvalGuard* guard = nullptr);
+  /// Unregisters a query and releases everything it owned: per-instance
+  /// node state, the match-total entry, and any of its matches still
+  /// queued for drain(). After removal the id never surfaces again.
   void remove_query(QueryId id);
   std::size_t num_queries() const noexcept { return queries_.size(); }
 
@@ -106,18 +120,36 @@ class LogMonitor {
   /// Matches accumulated since the last drain(), in arrival order.
   const std::vector<Match>& matches() const noexcept { return matches_; }
   std::vector<Match> drain();
+  /// Extracts only one query's pending matches, preserving arrival order;
+  /// other queries' matches stay queued.
+  std::vector<Match> drain(QueryId id);
   std::size_t total_matches(QueryId id) const;
 
   /// Everything observed so far, as a validated Log (keep_records only).
   Log snapshot() const;
 
   std::size_t num_records() const noexcept { return num_records_; }
-  /// Events retained under BadEventPolicy::kQuarantine, in arrival order.
-  const std::vector<BadEvent>& quarantined() const noexcept {
+  /// Events retained under BadEventPolicy::kQuarantine, in arrival order
+  /// (at most MonitorOptions::quarantine_capacity; oldest dropped first).
+  const std::deque<BadEvent>& quarantined() const noexcept {
     return quarantined_;
+  }
+  /// Quarantined events evicted to honor quarantine_capacity.
+  std::size_t num_quarantine_dropped() const noexcept {
+    return num_quarantine_dropped_;
   }
   /// Bad events seen so far (rejected, skipped, and quarantined alike).
   std::size_t num_bad_events() const noexcept { return num_bad_events_; }
+
+  /// Internal bookkeeping sizes, exposed so tests (and leak audits) can
+  /// assert that removing a query releases everything it owned.
+  struct MemoryStats {
+    std::size_t state_queries = 0;    // query ids with per-instance state
+    std::size_t state_instances = 0;  // (query, instance) state pairs
+    std::size_t tracked_totals = 0;   // match_totals_ entries
+    std::size_t pending_matches = 0;  // matches_ rows awaiting drain()
+  };
+  MemoryStats memory_stats() const noexcept;
 
  private:
   struct CompiledNode {
@@ -144,7 +176,7 @@ class LogMonitor {
 
   std::size_t compile_node(const Pattern& p, CompiledQuery& q);
   void feed(CompiledQuery& q, const LogRecord& l);
-  void backfill(CompiledQuery& q);
+  void backfill(CompiledQuery& q, const EvalGuard* guard);
   void append_record(Wid wid, Symbol activity, AttrMap in, AttrMap out);
   /// Applies the bad-event policy: counts it, invokes the callback, then
   /// throws (kReject), drops (kSkip), or retains (kQuarantine) the event.
@@ -160,7 +192,8 @@ class LogMonitor {
   std::unordered_map<QueryId, std::unordered_map<Wid, InstanceState>> state_;
   std::unordered_map<Wid, IsLsn> next_is_lsn_;  // open instances
   std::vector<LogRecord> records_;              // retained when keep_records
-  std::vector<BadEvent> quarantined_;
+  std::deque<BadEvent> quarantined_;            // ring: capacity-capped
+  std::size_t num_quarantine_dropped_ = 0;
   std::size_t num_bad_events_ = 0;
   std::vector<Match> matches_;
   std::unordered_map<QueryId, std::size_t> match_totals_;

@@ -143,6 +143,21 @@ std::shared_ptr<const QueryResult> ResultCache::lookup(
   return hit;
 }
 
+std::shared_ptr<const QueryResult> ResultCache::peek(
+    const std::string& key, RunLimits* producing_limits) {
+  if (!enabled()) return nullptr;
+  Shard& s = shard_for(key);
+  std::lock_guard lock(s.mu);
+  const auto it = s.map.find(std::string_view(key));
+  if (it == s.map.end()) return nullptr;
+  if (producing_limits != nullptr) {
+    producing_limits->deadline =
+        std::chrono::milliseconds(it->second->deadline_ms);
+    producing_limits->max_incidents = it->second->max_incidents;
+  }
+  return it->second->result;
+}
+
 void ResultCache::insert(const std::string& key,
                          std::shared_ptr<const QueryResult> result,
                          const RunLimits& limits) {

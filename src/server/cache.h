@@ -98,6 +98,13 @@ class ResultCache {
               std::shared_ptr<const QueryResult> result,
               const RunLimits& limits);
 
+  /// Non-serving probe for incremental repair: returns the entry's result
+  /// (and, when `producing_limits` is non-null, the limits it was produced
+  /// under) WITHOUT touching the LRU order or the hit/miss counters, so a
+  /// repair scan does not distort cache statistics. Nullptr when absent.
+  std::shared_ptr<const QueryResult> peek(const std::string& key,
+                                          RunLimits* producing_limits);
+
   CacheStats stats() const;
 
   /// Approximate retained bytes of one result (used for the budget).

@@ -242,6 +242,137 @@ ClientResponse HttpClient::raw(const std::string& bytes) {
   return *r;
 }
 
+ClientResponse HttpClient::stream(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::function<bool(std::string_view)>& on_chunk,
+    const Headers& extra) {
+  // Always a fresh connection: the stream monopolizes it (the server
+  // closes afterwards), and replaying a partially consumed stream would
+  // re-deliver events.
+  disconnect();
+  connect_or_throw();
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  for (const auto& [name, value] : extra) {
+    wire += name + ": " + value + "\r\n";
+  }
+  if (!body.empty() || method == "POST") {
+    wire += "content-type: application/json\r\n";
+    wire += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  if (!send_all(io(), fd_, wire)) {
+    disconnect();
+    throw IoError(std::string("client: send failed: ") +
+                  std::strerror(errno));
+  }
+
+  // Per-READ timeout: a stream may legitimately live for hours, but each
+  // quiet gap is bounded (server heartbeats are well inside timeout_ms_).
+  auto fill = [&]() -> bool {
+    const int r = poll_readable(io(), fd_, timeout_ms_);
+    if (r <= 0) throw IoError("client: stream read timed out");
+    return recv_some(io(), fd_, buf_) > 0;
+  };
+  auto fill_or_throw = [&](const char* what) {
+    if (!fill()) {
+      disconnect();
+      throw IoError(std::string("client: connection closed ") + what);
+    }
+  };
+
+  std::size_t header_end = std::string::npos;
+  while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    fill_or_throw("mid-response");
+  }
+
+  ClientResponse resp;
+  {
+    std::size_t line_end = buf_.find("\r\n");
+    const std::string status_line = buf_.substr(0, line_end);
+    const std::size_t sp = status_line.find(' ');
+    if (sp == std::string::npos) {
+      disconnect();
+      throw IoError("client: malformed status line: " + status_line);
+    }
+    resp.status = std::atoi(status_line.c_str() + sp + 1);
+    std::size_t line_start = line_end + 2;
+    while (line_start < header_end) {
+      line_end = buf_.find("\r\n", line_start);
+      const std::string line =
+          buf_.substr(line_start, line_end - line_start);
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        resp.headers.emplace_back(to_lower(trim(line.substr(0, colon))),
+                                  trim(line.substr(colon + 1)));
+      }
+      line_start = line_end + 2;
+    }
+  }
+  const std::size_t body_at = header_end + 4;
+
+  const std::string* te = resp.header("transfer-encoding");
+  if (te == nullptr || te->find("chunked") == std::string::npos) {
+    // Plain response (typically an error status): read it whole.
+    std::size_t content_length = 0;
+    if (const std::string* cl = resp.header("content-length")) {
+      content_length = static_cast<std::size_t>(std::atoll(cl->c_str()));
+    }
+    while (buf_.size() < body_at + content_length) {
+      fill_or_throw("mid-body");
+    }
+    resp.body = buf_.substr(body_at, content_length);
+    disconnect();
+    return resp;
+  }
+  buf_.erase(0, body_at);
+
+  while (true) {
+    std::size_t line_end = std::string::npos;
+    while ((line_end = buf_.find("\r\n")) == std::string::npos) {
+      fill_or_throw("mid-stream (no terminal chunk)");
+    }
+    std::size_t size = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < line_end; ++i) {
+      const char c = buf_[i];
+      if (c == ';') break;  // chunk extensions: ignored
+      int v = -1;
+      if (c >= '0' && c <= '9') v = c - '0';
+      else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+      if (v < 0) {
+        disconnect();
+        throw IoError("client: malformed chunk size: " +
+                      buf_.substr(0, line_end));
+      }
+      size = size * 16 + static_cast<std::size_t>(v);
+      any = true;
+    }
+    if (!any) {
+      disconnect();
+      throw IoError("client: empty chunk size line");
+    }
+    buf_.erase(0, line_end + 2);
+    if (size == 0) {
+      // Terminal chunk: the stream completed cleanly.
+      disconnect();
+      return resp;
+    }
+    while (buf_.size() < size + 2) {
+      fill_or_throw("mid-chunk");
+    }
+    const bool keep = on_chunk(std::string_view(buf_).substr(0, size));
+    buf_.erase(0, size + 2);
+    if (!keep) {
+      disconnect();
+      return resp;
+    }
+  }
+}
+
 std::optional<ClientResponse> HttpClient::try_once(const std::string& wire,
                                                    bool fresh_connection,
                                                    bool idempotent) {

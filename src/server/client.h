@@ -23,6 +23,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "server/http.h"
@@ -109,6 +110,22 @@ class HttpClient {
   /// Sends raw bytes verbatim and reads one response — for feeding the
   /// server deliberately malformed requests in tests. No retry.
   ClientResponse raw(const std::string& bytes);
+
+  /// Sends one request over a FRESH connection and consumes a chunked
+  /// (streamed) response incrementally: `on_chunk` receives each chunk's
+  /// payload as it arrives and may return false to stop (the connection is
+  /// dropped — the server sees the client go away). Returns status +
+  /// headers with an empty body for chunked responses; a non-chunked
+  /// response (e.g. a 4xx error) is read whole into `body` without calling
+  /// `on_chunk`. Never retried: a partially consumed stream must not be
+  /// replayed. EOF before the terminal 0-chunk throws IoError — that is
+  /// the truncation signal for a stream the server aborted mid-produce.
+  /// The timeout applies per read, not to the whole stream (heartbeats
+  /// keep an idle stream alive).
+  ClientResponse stream(const std::string& method, const std::string& target,
+                        const std::string& body,
+                        const std::function<bool(std::string_view)>& on_chunk,
+                        const Headers& extra = {});
 
   /// True while the keep-alive connection is up (observability for tests;
   /// requests reconnect on demand).

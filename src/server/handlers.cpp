@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "core/join.h"
 #include "core/optimizer.h"
 #include "core/pattern.h"
 #include "core/printer.h"
@@ -171,7 +174,8 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
     : options_(std::move(options)),
       drain_(std::move(drain)),
       monitor_(monitor_options()),
-      store_(std::move(store)) {
+      store_(std::move(store)),
+      subs_(options_.subscribe) {
   if (options_.cache_bytes > 0) {
     CacheOptions co;
     co.max_bytes = options_.cache_bytes;
@@ -186,12 +190,12 @@ QueryService::QueryService(std::optional<Log> initial, ServiceOptions options,
     try {
       replay_into_monitor(*initial);
     } catch (const std::exception& e) {
-      ingest_enabled_ = false;
-      ingest_disabled_reason_ =
-          std::string("initial log could not seed the monitor: ") + e.what();
+      set_ingest_disabled(
+          std::string("initial log could not seed the monitor: ") + e.what());
     }
   }
   last_bad_.clear();  // replay noise is not request-level bad events
+  last_bad_dropped_ = 0;
 
   // Only a durable mirror can fail structurally mid-flight; a store-less
   // service has no degraded mode (its only failure is the 409 above).
@@ -222,10 +226,35 @@ MonitorOptions QueryService::monitor_options() {
   MonitorOptions mo;
   mo.keep_records = true;  // snapshot() is the rebuild path
   mo.bad_event_policy = options_.bad_event_policy;
+  mo.quarantine_capacity = options_.quarantine_capacity;
   mo.negation_matches_sentinels =
       options_.engine.eval.negation_matches_sentinels;
-  mo.on_bad_event = [this](const BadEvent& e) { last_bad_.push_back(e); };
+  mo.on_bad_event = [this](const BadEvent& e) {
+    // The per-request sink is capped like the monitor's quarantine ring: a
+    // hostile ingest full of bad events must not grow memory unboundedly.
+    if (last_bad_.size() >= options_.last_bad_cap) {
+      ++last_bad_dropped_;
+      return;
+    }
+    last_bad_.push_back(e);
+  };
   return mo;
+}
+
+void QueryService::set_ingest_disabled(std::string reason) {
+  ingest_enabled_ = false;
+  std::lock_guard lock(ingest_reason_mu_);
+  ingest_disabled_reason_ = std::move(reason);
+}
+
+std::string QueryService::ingest_disabled_reason() const {
+  std::lock_guard lock(ingest_reason_mu_);
+  return ingest_disabled_reason_;
+}
+
+bool QueryService::delivery_interrupted() const {
+  return (server_ != nullptr && server_->draining()) ||
+         (drain_ && drain_->load());
 }
 
 void QueryService::replay_into_monitor(const Log& log) {
@@ -272,13 +301,166 @@ bool QueryService::recover_store(std::string* error) {
     monitor_ = LogMonitor(monitor_options());
     if (durable.size() > 0) replay_into_monitor(durable);
     last_bad_.clear();
+    last_bad_dropped_ = 0;
     rebuild_state();  // strictly newer snapshot version
+    // Rebuilding the monitor dropped every standing query with it:
+    // re-register them against the durable replay and reconcile delivery
+    // (fed_raw skips the already-routed prefix), then resume.
+    reattach_subscriptions();
+    subs_.set_paused(false);
     ingest_enabled_ = true;
-    ingest_disabled_reason_.clear();
+    {
+      std::lock_guard reason_lock(ingest_reason_mu_);
+      ingest_disabled_reason_.clear();
+    }
     return true;
   } catch (const std::exception& e) {
     if (error != nullptr) *error = e.what();
     return false;
+  }
+}
+
+namespace {
+
+/// Sorted-unique insert preserving the IncidentList canonical invariant.
+void insert_incident(IncidentList& list, const Incident& o) {
+  const auto it = std::lower_bound(list.begin(), list.end(), o);
+  if (it != list.end() && *it == o) return;
+  list.insert(it, o);
+}
+
+}  // namespace
+
+std::string QueryService::render_sub_event(const Query& parsed,
+                                           const Incident& incident,
+                                           const LogIndex& index) {
+  if (parsed.where != nullptr) {
+    // Filter with the UNOPTIMIZED pattern, exactly like the engine
+    // (bindings live on the parsed tree): streamed events and a batch
+    // /query of the same text must agree on every incident. The where
+    // verdict depends only on records at the incident's own positions,
+    // which are immutable once appended — so filtering against the
+    // newest snapshot is sound for incidents matched at any version.
+    IncidentSet one;
+    one.add_group(incident.wid(), IncidentList{incident});
+    const IncidentSet kept =
+        filter_where(one, *parsed.pattern, *parsed.where, index, nullptr);
+    if (kept.empty()) return {};
+  }
+  std::string json =
+      "\"wid\":" + std::to_string(incident.wid()) + ",\"positions\":[";
+  bool first = true;
+  for (const IsLsn n : incident.positions()) {
+    if (!first) json += ',';
+    first = false;
+    json += std::to_string(n);
+  }
+  json += ']';
+  return json;
+}
+
+void QueryService::route_matches(const std::vector<LogMonitor::Match>& raw,
+                                 const std::shared_ptr<const State>& st,
+                                 std::uint64_t old_version) {
+  const auto subs = subs_.live();
+  if (subs.empty()) return;
+
+  std::unordered_map<std::size_t, std::vector<const Incident*>> by_query;
+  for (const LogMonitor::Match& m : raw) {
+    by_query[m.query].push_back(&m.incident);
+  }
+
+  for (const auto& sub : subs) {
+    std::vector<std::string> events;
+    std::vector<const Incident*> delta;  // where-passing, for cache repair
+    std::uint64_t raw_count = 0;
+    if (const auto it = by_query.find(sub->monitor_id);
+        it != by_query.end() && st->engine != nullptr) {
+      raw_count = it->second.size();
+      events.reserve(it->second.size());
+      for (const Incident* o : it->second) {
+        std::string json =
+            render_sub_event(sub->parsed, *o, st->engine->index());
+        if (!json.empty()) {
+          events.push_back(std::move(json));
+          delta.push_back(o);
+        }
+      }
+    }
+    if (!subs_.enqueue(*sub, std::move(events), raw_count)) {
+      // Slow-consumer overflow: the registry already closed it; release
+      // the monitor query so its per-instance state stops growing.
+      monitor_.remove_query(sub->monitor_id);
+      continue;
+    }
+
+    // Incremental cache repair: a complete cached result for this exact
+    // query at the pre-ingest version plus the monitor's delta IS the
+    // result at the new version (incremental == batch) — re-insert it
+    // under the new key instead of letting the ingest invalidate it.
+    if (cache_ == nullptr || !cache_->enabled()) continue;
+    RunLimits produced;
+    const auto old =
+        cache_->peek(ResultCache::key(sub->parsed, old_version), &produced);
+    if (old == nullptr || !old->ok() || !old->complete()) continue;
+    auto repaired = std::make_shared<QueryResult>();
+    repaired->parsed = old->parsed;
+    repaired->executed = old->executed;
+    repaired->where = old->where;
+    repaired->parse_us = old->parse_us;
+    repaired->optimize_us = old->optimize_us;
+    repaired->eval_us = old->eval_us;
+    repaired->estimated_cost_before = old->estimated_cost_before;
+    repaired->estimated_cost_after = old->estimated_cost_after;
+    repaired->shards_used = old->shards_used;
+    repaired->stop_reason = old->stop_reason;
+    std::map<Wid, IncidentList> merged;
+    for (const IncidentSet::Group& g : old->incidents.groups()) {
+      merged.emplace(g.wid, g.incidents);
+    }
+    for (const Incident* o : delta) {
+      insert_incident(merged[o->wid()], *o);
+    }
+    for (auto& [wid, incidents] : merged) {
+      repaired->incidents.add_group(wid, std::move(incidents));
+    }
+    cache_->insert(ResultCache::key(sub->parsed, st->version),
+                   std::move(repaired), produced);
+    ++cache_repairs_;
+  }
+}
+
+void QueryService::reattach_subscriptions() {
+  const auto subs = subs_.live();
+  if (subs.empty()) return;
+  const auto st = state();
+  for (const auto& sub : subs) {
+    // Re-register on the fresh monitor; backfill replays the durable log
+    // deterministically, reproducing the exact raw match sequence the
+    // subscription already consumed — plus anything that became durable
+    // without having been routed yet. No guard: this history was already
+    // admitted once.
+    const std::size_t qid = monitor_.add_query(sub->parsed.pattern);
+    std::vector<LogMonitor::Match> raw = monitor_.drain(qid);
+    sub->monitor_id = qid;
+    const std::uint64_t seen = sub->fed_raw;
+    if (raw.size() < seen) {
+      // Defensive: the durable log replays FEWER matches than were routed
+      // — only possible if un-fsynced data was lost beyond the single
+      // in-flight event recovery guarantees. Realign and carry on.
+      sub->fed_raw = raw.size();
+      continue;
+    }
+    std::vector<std::string> events;
+    for (std::size_t i = seen; i < raw.size(); ++i) {
+      if (st->engine == nullptr) break;
+      std::string json = render_sub_event(sub->parsed, raw[i].incident,
+                                          st->engine->index());
+      if (!json.empty()) events.push_back(std::move(json));
+    }
+    if (!subs_.enqueue(*sub, std::move(events), raw.size() - seen)) {
+      monitor_.remove_query(qid);
+    }
   }
 }
 
@@ -347,6 +529,18 @@ void QueryService::bind(Router& router, const HttpServer* server) {
              [this](const HttpRequest& req, RequestContext& ctx) {
                return handle_ingest(req, ctx);
              });
+  router.add("POST", "/subscribe",
+             [this](const HttpRequest& req, RequestContext& ctx) {
+               return handle_subscribe(req, ctx);
+             });
+  router.add_prefix("GET", "/subscribe/",
+                    [this](const HttpRequest& req, RequestContext& ctx) {
+                      return handle_subscription(req, ctx);
+                    });
+  router.add_prefix("DELETE", "/subscribe/",
+                    [this](const HttpRequest& req, RequestContext& ctx) {
+                      return handle_subscription(req, ctx);
+                    });
   router.add("GET", "/metrics",
              [this](const HttpRequest& req, RequestContext&) {
                return handle_metrics(req);
@@ -381,6 +575,7 @@ HttpResponse QueryService::handle_query(const HttpRequest& req,
   std::string query_text;
   RunLimits limits;
   std::size_t render_limit = options_.default_render_limit;
+  bool stream_requested = false;
   try {
     body = parse_json(req.body);
     const JsonValue* q = body.find("query");
@@ -390,6 +585,11 @@ HttpResponse QueryService::handle_query(const HttpRequest& req,
     query_text = q->as_string();
     limits = limits_from(body);
     render_limit = read_size(body, "limit", options_.default_render_limit);
+    const JsonValue* sv = body.find("stream");
+    if (sv != nullptr && !sv->is_null()) {
+      if (!sv->is_bool()) throw Error("\"stream\" must be a boolean");
+      stream_requested = sv->as_bool();
+    }
   } catch (const std::exception& e) {
     ctx.parse_us = us_since(t0);
     return HttpResponse::error(400, e.what());
@@ -419,6 +619,16 @@ HttpResponse QueryService::handle_query(const HttpRequest& req,
       out.set("incidents", JsonArray{});
       ctx.stop_reason = stop_reason_name(StopReason::kNone);
       const auto ts0 = Clock::now();
+      if (stream_requested) {
+        HttpResponse resp;
+        resp.content_type = "application/x-ndjson";
+        std::string line = out.dump() + "\n";
+        resp.streamer = [line = std::move(line)](ChunkedWriter& w) {
+          w.write_chunk(line);
+        };
+        ctx.serialize_us = us_since(ts0);
+        return resp;
+      }
       HttpResponse resp = HttpResponse::json(200, out.dump());
       ctx.serialize_us = us_since(ts0);
       return resp;
@@ -455,6 +665,74 @@ HttpResponse QueryService::handle_query(const HttpRequest& req,
       ctx.shards = fresh->shards_used;
       fresh->parse_us = query_parse_us;
       result = std::move(fresh);
+    }
+    if (stream_requested && result->ok()) {
+      const auto ts0 = Clock::now();
+      ctx.stop_reason = stop_reason_name(result->stop_reason);
+      ctx.plan =
+          result->executed != nullptr ? to_text(*result->executed) : "";
+      // Same spelling guarantee reecho_pattern_texts gives the buffered
+      // path: echo THIS request's text, not the cache populator's.
+      std::string pattern_text =
+          result->parsed != nullptr ? to_text(*result->parsed) : "";
+      std::string optimized_text = ctx.plan;
+      if (cache_hit && pattern_text != to_text(*parsed.pattern)) {
+        pattern_text = to_text(*parsed.pattern);
+        PatternPtr executed = parsed.pattern;
+        if (st->engine->options().optimize) {
+          executed = optimize(parsed.pattern, st->engine->cost_model(),
+                              st->engine->options().optimizer)
+                         .pattern;
+        }
+        optimized_text = to_text(*executed);
+      }
+      HttpResponse resp;
+      resp.content_type = "application/x-ndjson";
+      if (cache_on) set_cache_header(resp, cache_hit);
+      resp.streamer = [result, query_text, pattern_text, optimized_text,
+                       render_limit](ChunkedWriter& w) {
+        // One chunk for the header, one per instance group, one summary —
+        // a huge incident set never materializes as a single buffer.
+        JsonValue head;
+        head.set("query", query_text);
+        head.set("pattern", pattern_text);
+        head.set("optimized", optimized_text);
+        head.set("instances", result->incidents.groups().size());
+        head.set("total", result->total());
+        head.set("complete", result->complete());
+        head.set("stop_reason",
+                 std::string(stop_reason_name(result->stop_reason)));
+        if (!w.write_chunk(head.dump() + "\n")) return;
+        std::size_t rendered = 0;
+        for (const IncidentSet::Group& g : result->incidents.groups()) {
+          if (rendered >= render_limit || w.failed()) break;
+          JsonArray incidents;
+          for (const Incident& o : g.incidents) {
+            if (rendered >= render_limit) break;
+            JsonArray positions;
+            for (const IsLsn n : o.positions()) {
+              positions.emplace_back(static_cast<std::int64_t>(n));
+            }
+            incidents.emplace_back(std::move(positions));
+            ++rendered;
+          }
+          JsonValue group;
+          group.set("wid", static_cast<std::int64_t>(g.wid));
+          group.set("incidents", std::move(incidents));
+          if (!w.write_chunk(group.dump() + "\n")) return;
+        }
+        JsonValue tail;
+        tail.set("rendered", rendered);
+        tail.set("render_truncated", rendered < result->total());
+        JsonValue timings;
+        timings.set("parse_us", result->parse_us);
+        timings.set("optimize_us", result->optimize_us);
+        timings.set("eval_us", result->eval_us);
+        tail.set("timings", std::move(timings));
+        w.write_chunk(tail.dump() + "\n");
+      };
+      ctx.serialize_us = us_since(ts0);
+      return resp;
     }
     // Plan rendering for the slow capture counts as serialization work,
     // and so does tearing down the rendered JSON tree and (when the
@@ -724,15 +1002,27 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
     return resp;
   }
   if (!ingest_enabled_) {
-    return HttpResponse::error(409, "ingest disabled: " +
-                                        ingest_disabled_reason_);
+    return HttpResponse::error(409,
+                               "ingest disabled: " + ingest_disabled_reason());
   }
 
   last_bad_.clear();
+  last_bad_dropped_ = 0;
   std::size_t applied = 0;
   JsonArray new_wids;
   std::string abort_error;
   int abort_status = 0;
+  // Matches drained after each DURABLY applied event; routed to standing
+  // subscriptions once the new snapshot is published. Matches of an event
+  // whose store mirror failed are deliberately left queued — the degraded
+  // gate blocks ingest until recovery rebuilds the monitor (wiping them),
+  // so a non-durable incident can never be delivered.
+  std::vector<LogMonitor::Match> routed;
+  const auto collect = [&] {
+    std::vector<LogMonitor::Match> batch = monitor_.drain();
+    routed.insert(routed.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  };
 
   for (const JsonValue& ev : events) {
     try {
@@ -758,6 +1048,7 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
         }
         new_wids.emplace_back(static_cast<std::int64_t>(wid));
         ++applied;
+        collect();
         continue;
       }
 
@@ -778,12 +1069,14 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
         if (monitor_.num_bad_events() == bad_before) {
           if (store_.has_value()) store_->record(wid, act->as_string(), in, out);
           ++applied;
+          collect();
         }
       } else if (kind == "end") {
         monitor_.end_instance(wid);
         if (monitor_.num_bad_events() == bad_before) {
           if (store_.has_value()) store_->end_instance(wid);
           ++applied;
+          collect();
         }
       } else {
         throw Error("unknown event op \"" + kind + "\"");
@@ -798,11 +1091,12 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
       abort_error = e.what();
       if (health_ != nullptr) {
         health_->degrade(std::string("store append failed: ") + e.what());
+        // Pause standing-query delivery (events stay queued and acked
+        // cursors stay put); recovery reattaches and resumes.
+        subs_.set_paused(true);
         abort_status = 503;
       } else {
-        ingest_enabled_ = false;
-        ingest_disabled_reason_ =
-            std::string("store append failed: ") + e.what();
+        set_ingest_disabled(std::string("store append failed: ") + e.what());
         abort_status = 500;
       }
       break;
@@ -815,7 +1109,11 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
     }
   }
 
-  if (applied > 0) rebuild_state();
+  if (applied > 0) {
+    const std::uint64_t old_version = version_seq_;
+    rebuild_state();
+    route_matches(routed, state(), old_version);
+  }
   ctx.eval_us = us_since(te0);  // monitor+store appends + snapshot rebuild
 
   const auto ts0 = Clock::now();
@@ -831,6 +1129,7 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
     bad.emplace_back(std::move(b));
   }
   out.set("bad_events", std::move(bad));
+  out.set("bad_events_dropped", last_bad_dropped_);
   out.set("records", monitor_.num_records());
   if (abort_status != 0) {
     out.set("error", abort_error);
@@ -843,6 +1142,245 @@ HttpResponse QueryService::handle_ingest(const HttpRequest& req,
     return resp;
   }
   HttpResponse resp = HttpResponse::json(200, out.dump());
+  ctx.serialize_us = us_since(ts0);
+  return resp;
+}
+
+HttpResponse QueryService::handle_subscribe(const HttpRequest& req,
+                                            RequestContext& ctx) {
+  const auto t0 = Clock::now();
+  mark_spans(ctx);
+  std::string query_text;
+  RunLimits limits;
+  try {
+    const JsonValue body = parse_json(req.body);
+    const JsonValue* q = body.find("query");
+    if (q == nullptr || !q->is_string()) {
+      throw Error("body must be an object with a string \"query\"");
+    }
+    query_text = q->as_string();
+    limits = limits_from(body);
+  } catch (const std::exception& e) {
+    ctx.parse_us = us_since(t0);
+    return HttpResponse::error(400, e.what());
+  }
+  Query parsed;
+  try {
+    parsed = Query::parse(query_text);
+  } catch (const std::exception& e) {
+    ctx.parse_us = us_since(t0);
+    return HttpResponse::error(400, e.what());
+  }
+  ctx.query = query_text;
+  ctx.canonical_key = canonical_key(*parsed.pattern);
+  ctx.parse_us = us_since(t0);
+
+  std::lock_guard lock(ingest_mu_);
+  if (health_ != nullptr && !health_->writable()) {
+    // Degraded: the monitor may hold the one event whose durable mirror
+    // failed. Backfilling from it would misalign fed_raw against the
+    // durable replay recovery performs — register after recovery.
+    HttpResponse resp = HttpResponse::error(
+        503, "subscribe unavailable: store is not writable");
+    resp.extra_headers.emplace_back(
+        "retry-after", std::to_string(health_->retry_after_seconds()));
+    return resp;
+  }
+  if (!ingest_enabled_) {
+    return HttpResponse::error(
+        409, "subscribe disabled: " + ingest_disabled_reason());
+  }
+  if (subs_.size() >= subs_.options().max_subscriptions) {
+    return HttpResponse::error(503, "subscription capacity reached");
+  }
+
+  // Registration replays retained history through the fresh query under
+  // the request's own budget — a standing query starts with the exact
+  // match set a batch /query would report right now.
+  const auto te0 = Clock::now();
+  EvalGuard guard(limits.deadline, limits.max_incidents, limits.cancel);
+  std::size_t qid = 0;
+  try {
+    qid = monitor_.add_query(parsed.pattern, &guard);
+  } catch (const Error& e) {
+    // Backfill tripped the budget; the monitor rolled the query back.
+    return HttpResponse::error(503, e.what());
+  }
+  std::vector<LogMonitor::Match> raw = monitor_.drain(qid);
+  ctx.eval_us = us_since(te0);
+
+  const auto st = state();
+  std::vector<std::string> events;
+  events.reserve(raw.size());
+  if (st->engine != nullptr) {
+    for (const LogMonitor::Match& m : raw) {
+      std::string json =
+          render_sub_event(parsed, m.incident, st->engine->index());
+      if (!json.empty()) events.push_back(std::move(json));
+    }
+  }
+  const std::size_t matched = events.size();
+  auto sub =
+      subs_.create(query_text, parsed, canonical_key(*parsed.pattern), qid,
+                   raw.size(), std::move(events));
+  if (sub == nullptr) {
+    monitor_.remove_query(qid);
+    return HttpResponse::error(503, "subscription capacity reached");
+  }
+
+  const auto ts0 = Clock::now();
+  JsonValue out;
+  out.set("id", sub->id);
+  out.set("query", query_text);
+  out.set("matched", matched);
+  out.set("next_after", 0);
+  HttpResponse resp = HttpResponse::json(201, out.dump());
+  ctx.serialize_us = us_since(ts0);
+  return resp;
+}
+
+namespace {
+
+/// Strict non-negative decimal; false on junk or overflow.
+bool parse_nonneg(const std::string& s, std::int64_t& out) {
+  if (s.empty()) return false;
+  std::int64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (INT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+HttpResponse QueryService::handle_subscription(const HttpRequest& req,
+                                               RequestContext& ctx) {
+  const auto t0 = Clock::now();
+  mark_spans(ctx);
+  constexpr std::string_view kPrefix = "/subscribe/";
+  const std::string id = req.target.substr(kPrefix.size());
+  if (id.empty() || id.find('/') != std::string::npos) {
+    ctx.parse_us = us_since(t0);
+    return HttpResponse::error(404, "no such subscription");
+  }
+
+  if (req.method == "DELETE") {
+    ctx.parse_us = us_since(t0);
+    std::lock_guard lock(ingest_mu_);
+    const auto sub = subs_.find(id);
+    if (sub == nullptr) {
+      return HttpResponse::error(404, "no such subscription: " + id);
+    }
+    monitor_.remove_query(sub->monitor_id);
+    subs_.close(id, "unsubscribed");
+    JsonValue out;
+    out.set("id", id);
+    out.set("closed", true);
+    return HttpResponse::json(200, out.dump());
+  }
+
+  // GET: long-poll by default, chunked stream with ?stream=1. ?after=N
+  // acknowledges (releases) events with seq <= N first — the consumer's
+  // exactly-once cursor.
+  std::uint64_t after = 0;
+  std::int64_t wait_ms = 0;
+  std::size_t max_events = 0;
+  bool stream = false;
+  std::int64_t heartbeat_ms = options_.subscribe_heartbeat_ms;
+  {
+    std::int64_t v = 0;
+    if (const auto p = req.query_param("after")) {
+      if (!parse_nonneg(*p, v)) {
+        return HttpResponse::error(400, "\"after\" must be a non-negative "
+                                        "integer");
+      }
+      after = static_cast<std::uint64_t>(v);
+    }
+    if (const auto p = req.query_param("wait_ms")) {
+      if (!parse_nonneg(*p, v)) {
+        return HttpResponse::error(400, "\"wait_ms\" must be a non-negative "
+                                        "integer");
+      }
+      wait_ms = v;
+    }
+    if (const auto p = req.query_param("max")) {
+      if (!parse_nonneg(*p, v)) {
+        return HttpResponse::error(400,
+                                   "\"max\" must be a non-negative integer");
+      }
+      max_events = static_cast<std::size_t>(v);
+    }
+    if (const auto p = req.query_param("heartbeat_ms")) {
+      if (!parse_nonneg(*p, v)) {
+        return HttpResponse::error(400, "\"heartbeat_ms\" must be a "
+                                        "non-negative integer");
+      }
+      heartbeat_ms = v;
+    }
+    if (const auto p = req.query_param("stream")) {
+      stream = *p != "0" && *p != "false";
+    }
+  }
+  wait_ms = std::clamp<std::int64_t>(wait_ms, 0,
+                                     options_.subscribe_wait_cap_ms);
+  ctx.parse_us = us_since(t0);
+
+  if (stream) {
+    if (subs_.find(id) == nullptr) {
+      return HttpResponse::error(404, "no such subscription: " + id);
+    }
+    HttpResponse resp;
+    resp.status = 200;
+    resp.content_type = "application/x-ndjson";
+    const std::int64_t beat = heartbeat_ms;
+    resp.streamer = [this, id, after, beat](ChunkedWriter& w) {
+      const auto on_event = [&](const SubEvent& e) {
+        return w.write_chunk("{\"type\":\"incident\",\"seq\":" +
+                             std::to_string(e.seq) + "," + e.json + "}\n");
+      };
+      const auto on_heartbeat = [&] {
+        return w.write_chunk("{\"type\":\"heartbeat\"}\n");
+      };
+      const auto interrupted = [&] {
+        return delivery_interrupted() || w.failed();
+      };
+      const std::string reason =
+          subs_.stream(id, after, beat, on_event, on_heartbeat, interrupted);
+      w.write_chunk("{\"type\":\"end\",\"reason\":\"" + reason + "\"}\n");
+    };
+    return resp;
+  }
+
+  const SubPollResult res =
+      subs_.poll(id, after, wait_ms, max_events,
+                 [this] { return delivery_interrupted(); });
+  if (!res.found) {
+    return HttpResponse::error(404, "no such subscription: " + id);
+  }
+  const auto ts0 = Clock::now();
+  // Events carry pre-rendered JSON bodies; assemble the response directly.
+  std::string body = "{\"id\":\"" + id + "\",\"events\":[";
+  bool first = true;
+  for (const SubEvent& e : res.events) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"seq\":" + std::to_string(e.seq) + "," + e.json + "}";
+  }
+  body += "],\"next_after\":" + std::to_string(res.next_after);
+  body += ",\"pending\":" + std::to_string(res.pending_left);
+  body += std::string(",\"paused\":") + (res.paused ? "true" : "false");
+  body += std::string(",\"closed\":") + (res.closed ? "true" : "false");
+  if (res.closed) {
+    body += ",\"reason\":\"" +
+            (res.close_reason.empty() ? std::string("closed")
+                                      : res.close_reason) +
+            "\"";
+  }
+  body += "}";
+  HttpResponse resp = HttpResponse::json(200, std::move(body));
   ctx.serialize_us = us_since(ts0);
   return resp;
 }
@@ -870,7 +1408,25 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
   out.set("instances",
           st->log.has_value() ? st->log->wids().size() : 0);
   out.set("ingest_enabled", ingest_enabled_.load());
+  out.set("ingest_disabled_reason", ingest_disabled_reason());
   out.set("snapshot_version", static_cast<std::int64_t>(st->version));
+  {
+    const SubscribeStats ss = subs_.stats();
+    JsonValue s;
+    s.set("active", ss.active);
+    s.set("streams", ss.streams);
+    s.set("pending_events", ss.pending);
+    s.set("paused", ss.paused);
+    s.set("created", static_cast<std::int64_t>(ss.created_total));
+    s.set("delivered", static_cast<std::int64_t>(ss.delivered_total));
+    s.set("acked", static_cast<std::int64_t>(ss.acked_total));
+    s.set("heartbeats", static_cast<std::int64_t>(ss.heartbeats_total));
+    s.set("overflow_dropped",
+          static_cast<std::int64_t>(ss.overflow_dropped));
+    s.set("cache_repairs",
+          static_cast<std::int64_t>(cache_repairs_.load()));
+    out.set("subscriptions", std::move(s));
+  }
   {
     // Sharded evaluation: the configured request (0 = hw concurrency),
     // what it resolved to against this snapshot, and the scatter tallies.
@@ -910,6 +1466,11 @@ HttpResponse QueryService::handle_stats(const HttpRequest&) const {
     out.set("cache", JsonValue(nullptr));
   }
   if (store_.has_value()) {
+    // The store's segment list and zone maps grow during ingest; reading
+    // them unlocked races with flush_pending_block's push_backs, so the
+    // whole store snapshot sits under ingest_mu_. A stats call may wait
+    // behind an in-flight batch, never behind an idle server.
+    std::lock_guard lock(ingest_mu_);
     JsonValue s;
     s.set("directory", store_->directory().string());
     s.set("records", store_->num_records());

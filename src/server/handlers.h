@@ -39,6 +39,7 @@
 #include "server/cache.h"
 #include "server/health.h"
 #include "server/server.h"
+#include "server/subscribe.h"
 
 namespace wflog::server {
 
@@ -72,6 +73,19 @@ struct ServiceOptions {
   std::size_t cache_bytes = 0;
   /// Shards of the result cache (contention knob; clamped to >= 1).
   std::size_t cache_shards = 8;
+
+  // ---- standing queries (server/subscribe.h) -----------------------------
+  /// Subscription capacity / stream concurrency / retained-backlog caps.
+  SubscribeOptions subscribe;
+  /// Heartbeat cadence on idle subscribe streams (clamped to >= 100ms).
+  std::int64_t subscribe_heartbeat_ms = 5000;
+  /// Longest ?wait_ms= a long-poll may request.
+  std::int64_t subscribe_wait_cap_ms = 30000;
+  /// Bad events retained per ingest request for the response's
+  /// "bad_events" array; excess is counted in "bad_events_dropped".
+  std::size_t last_bad_cap = 1024;
+  /// LogMonitor quarantine ring capacity (kQuarantine policy only).
+  std::size_t quarantine_capacity = 1024;
 
   // ---- store-failure degraded mode (health.h) ----------------------------
   /// First recovery-probe delay after a store write failure degrades the
@@ -153,12 +167,36 @@ class QueryService {
   HttpResponse handle_query(const HttpRequest& req, RequestContext& ctx);
   HttpResponse handle_batch(const HttpRequest& req, RequestContext& ctx);
   HttpResponse handle_ingest(const HttpRequest& req, RequestContext& ctx);
+  HttpResponse handle_subscribe(const HttpRequest& req, RequestContext& ctx);
+  /// GET (poll or ?stream=1) and DELETE on /subscribe/{id}.
+  HttpResponse handle_subscription(const HttpRequest& req,
+                                   RequestContext& ctx);
   HttpResponse handle_metrics(const HttpRequest& req) const;
   HttpResponse handle_stats(const HttpRequest& req) const;
   HttpResponse handle_healthz(const HttpRequest& req) const;
   HttpResponse handle_version(const HttpRequest& req) const;
   HttpResponse handle_debug_requests(const HttpRequest& req) const;
   HttpResponse handle_debug_slow(const HttpRequest& req) const;
+
+  /// Renders a raw monitor match into the subscribe event JSON, or empty
+  /// when the subscription's where clause rejects it. `index` must belong
+  /// to a snapshot containing the incident's positions.
+  static std::string render_sub_event(const Query& parsed,
+                                      const Incident& incident,
+                                      const LogIndex& index);
+  /// Routes freshly drained monitor matches to their subscriptions
+  /// (where-filtering against `st`) and repairs cached entries for the
+  /// subscribed queries from old_version to st->version. Caller holds
+  /// ingest_mu_; `st` is the snapshot just published.
+  void route_matches(const std::vector<LogMonitor::Match>& raw,
+                     const std::shared_ptr<const State>& st,
+                     std::uint64_t old_version);
+  /// Re-registers every live subscription on the freshly rebuilt monitor
+  /// (recovery path) and reconciles delivery via Subscription::fed_raw.
+  /// Caller holds ingest_mu_.
+  void reattach_subscriptions();
+  /// True while a streaming/long-polling consumer should stop waiting.
+  bool delivery_interrupted() const;
 
   ServiceOptions options_;
   CancelToken drain_;
@@ -170,7 +208,9 @@ class QueryService {
   mutable std::mutex state_mu_;
   std::shared_ptr<const State> state_;
 
-  std::mutex ingest_mu_;
+  /// Mutable: handle_stats (const) must hold it while reading the store's
+  /// segment/zone vectors, which ingest grows concurrently.
+  mutable std::mutex ingest_mu_;
   /// Next snapshot version (mutated in rebuild_state, which runs from the
   /// constructor and then only under ingest_mu_).
   std::uint64_t version_seq_ = 1;
@@ -181,11 +221,25 @@ class QueryService {
   /// destructor, reverse member order) before the store goes away.
   std::unique_ptr<HealthMonitor> health_;
   std::vector<BadEvent> last_bad_;  // callback sink, under ingest_mu_
+  std::size_t last_bad_dropped_ = 0;  // beyond last_bad_cap, under ingest_mu_
   /// Atomic so /stats can read it without taking ingest_mu_ (which an
-  /// ingest holding the store open could pin for a while). Writes (and
-  /// the reason string) stay under ingest_mu_.
+  /// ingest holding the store open could pin for a while). Writes stay
+  /// under ingest_mu_.
   std::atomic<bool> ingest_enabled_{true};
+  /// The human-readable reason behind ingest_enabled_ == false. Guarded by
+  /// its own leaf mutex (NOT ingest_mu_) so /stats can snapshot it without
+  /// waiting behind a long ingest — writers hold ingest_mu_ AND take this.
+  mutable std::mutex ingest_reason_mu_;
   std::string ingest_disabled_reason_;
+
+  /// Standing queries (server/subscribe.h). The registry has its own
+  /// mutex; monitor-coupled mutations stay under ingest_mu_.
+  SubscriptionRegistry subs_;
+  /// Cache entries repaired in place on ingest (subscribed queries only).
+  std::atomic<std::uint64_t> cache_repairs_{0};
+
+  void set_ingest_disabled(std::string reason);  // under ingest_mu_
+  std::string ingest_disabled_reason() const;
 };
 
 }  // namespace wflog::server

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cerrno>
 #include <charconv>
+#include <cstdio>
 
 #include "server/json.h"
 #include "server/sockio.h"
@@ -37,6 +38,25 @@ std::string_view HttpRequest::header(std::string_view name) const {
     if (k == name) return v;
   }
   return {};
+}
+
+std::optional<std::string> HttpRequest::query_param(
+    std::string_view name) const {
+  std::string_view rest = query_string;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (key != name) continue;
+    return eq == std::string_view::npos ? std::string()
+                                        : std::string(pair.substr(eq + 1));
+  }
+  return std::nullopt;
 }
 
 bool HttpRequest::keep_alive() const {
@@ -133,9 +153,13 @@ ParseState parse_request(std::string& buf, HttpRequest& out,
     error = "malformed request line";
     return ParseState::kBadRequest;
   }
-  // Ignore any query string: routing is path-only.
+  // Split off the query string: routing is path-only, but handlers may
+  // consume parameters via query_param().
   const std::size_t qs = req.target.find('?');
-  if (qs != std::string::npos) req.target.resize(qs);
+  if (qs != std::string::npos) {
+    req.query_string = req.target.substr(qs + 1);
+    req.target.resize(qs);
+  }
 
   // Header fields.
   std::size_t pos = line_end == head.size() ? head.size() : line_end + 1;
@@ -200,6 +224,49 @@ std::string serialize_response(const HttpResponse& resp, bool keep_alive) {
   out += "\r\n";
   out += resp.body;
   return out;
+}
+
+std::string serialize_stream_head(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    status_reason(resp.status) + "\r\n";
+  out += "content-type: " + resp.content_type + "\r\n";
+  out += "transfer-encoding: chunked\r\n";
+  out += "connection: close\r\n";
+  for (const auto& [k, v] : resp.extra_headers) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  return out;
+}
+
+bool ChunkedWriter::write_chunk(std::string_view payload) {
+  if (failed_ || finished_) return false;
+  if (payload.empty()) return true;  // a 0-chunk would end the stream
+  char size_line[32];
+  const int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                              payload.size());
+  std::string frame;
+  frame.reserve(static_cast<std::size_t>(n) + payload.size() + 2);
+  frame.append(size_line, static_cast<std::size_t>(n));
+  frame.append(payload);
+  frame.append("\r\n");
+  if (!send_all(*io_, fd_, frame)) {
+    failed_ = true;
+    return false;
+  }
+  bytes_ += payload.size();
+  ++chunks_;
+  return true;
+}
+
+bool ChunkedWriter::finish() {
+  if (failed_ || finished_) return false;
+  finished_ = true;
+  if (!send_all(*io_, fd_, "0\r\n\r\n")) {
+    failed_ = true;
+    return false;
+  }
+  return true;
 }
 
 namespace {

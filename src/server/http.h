@@ -10,18 +10,25 @@
 //   * tiny POSIX socket helpers (send_all / recv_some / poll_readable)
 //     shared by the server and the blocking test client.
 //
-// Scope: Content-Length bodies only (chunked uploads are rejected with
-// 411/400 — a query payload has a known size), no TLS, no compression.
-// Header names are lowercased at parse time so lookups are case-blind.
+// Scope: Content-Length bodies only for *requests* (chunked uploads are
+// rejected with 411/400 — a query payload has a known size); *responses*
+// may stream with Transfer-Encoding: chunked via ChunkedWriter (standing
+// queries, huge incident sets). No TLS, no compression. Header names are
+// lowercased at parse time so lookups are case-blind.
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace wflog::server {
+
+class SocketIo;
+class ChunkedWriter;
 
 /// Caps a client can hit; both map to a 4xx, never to unbounded memory.
 struct HttpLimits {
@@ -31,13 +38,18 @@ struct HttpLimits {
 
 struct HttpRequest {
   std::string method;   // uppercase, e.g. "POST"
-  std::string target;   // request path, e.g. "/query"
+  std::string target;   // request path (query string stripped), "/query"
+  std::string query_string;  // raw text after '?', without the '?'
   std::string version;  // "HTTP/1.1"
   std::vector<std::pair<std::string, std::string>> headers;  // names lowered
   std::string body;
 
   /// First header with `name` (lowercase), or empty.
   std::string_view header(std::string_view name) const;
+  /// Value of `name` in the query string ("a=1&b=2"); nullopt when absent,
+  /// "" for a bare flag ("?stream"). No percent-decoding — wfqd's params
+  /// are plain identifiers and integers.
+  std::optional<std::string> query_param(std::string_view name) const;
   /// HTTP/1.1 default keep-alive, honoring "connection: close".
   bool keep_alive() const;
 };
@@ -47,6 +59,12 @@ struct HttpResponse {
   std::string content_type = "application/json";
   std::vector<std::pair<std::string, std::string>> extra_headers;
   std::string body;
+  /// When set, the response streams: the server writes the head with
+  /// Transfer-Encoding: chunked (ignoring `body`), hands the streamer a
+  /// ChunkedWriter bound to the connection, and closes it afterwards —
+  /// streamed responses never keep-alive. The streamer should stop writing
+  /// once the writer reports failed() (client gone).
+  std::function<void(ChunkedWriter&)> streamer;
 
   static HttpResponse json(int status, std::string body);
   static HttpResponse text(int status, std::string body);
@@ -74,6 +92,41 @@ ParseState parse_request(std::string& buf, HttpRequest& out,
 /// Serializes status line + headers + body, setting Content-Length and
 /// Connection per `keep_alive`.
 std::string serialize_response(const HttpResponse& resp, bool keep_alive);
+
+/// Serializes only the head of a streamed response: status line + headers
+/// with Transfer-Encoding: chunked and Connection: close, no body.
+std::string serialize_stream_head(const HttpResponse& resp);
+
+/// Emits HTTP/1.1 chunked transfer coding onto one connection: each
+/// write_chunk() is one size-prefixed chunk (so one JSON object per chunk
+/// is a natural framing for consumers), finish() writes the terminal
+/// 0-chunk. Sticky on failure: the first failed send latches failed() and
+/// every later call becomes a cheap no-op, so producers can keep a simple
+/// loop and poll failed() to learn the client is gone.
+class ChunkedWriter {
+ public:
+  ChunkedWriter(SocketIo& io, int fd) : io_(&io), fd_(fd) {}
+
+  /// Writes one chunk; empty payloads are skipped (an empty chunk would
+  /// terminate the stream). False once the connection has failed.
+  bool write_chunk(std::string_view payload);
+  /// Writes the terminal chunk. False if the connection already failed.
+  bool finish();
+
+  bool failed() const noexcept { return failed_; }
+  bool finished() const noexcept { return finished_; }
+  /// Payload bytes accepted so far (excludes chunk framing).
+  std::size_t bytes_written() const noexcept { return bytes_; }
+  std::size_t chunks_written() const noexcept { return chunks_; }
+
+ private:
+  SocketIo* io_;
+  int fd_;
+  bool failed_ = false;
+  bool finished_ = false;
+  std::size_t bytes_ = 0;
+  std::size_t chunks_ = 0;
+};
 
 // ---- POSIX socket helpers (fd-based, used by server and client) ----------
 //

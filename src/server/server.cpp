@@ -84,14 +84,25 @@ RequestRecord make_record(const RequestContext& ctx, const HttpRequest* req,
 
 void Router::add(std::string method, std::string path, Handler handler) {
   routes_.push_back(Route{std::move(method), std::move(path),
-                          std::move(handler)});
+                          std::move(handler), /*prefix=*/false});
+}
+
+void Router::add_prefix(std::string method, std::string prefix,
+                        Handler handler) {
+  routes_.push_back(Route{std::move(method), std::move(prefix),
+                          std::move(handler), /*prefix=*/true});
 }
 
 HttpResponse Router::dispatch(const HttpRequest& req,
                               RequestContext& ctx) const {
   bool path_seen = false;
   for (const Route& r : routes_) {
-    if (r.path != req.target) continue;
+    if (r.prefix || r.path != req.target) continue;
+    path_seen = true;
+    if (r.method == req.method) return r.handler(req, ctx);
+  }
+  for (const Route& r : routes_) {
+    if (!r.prefix || req.target.rfind(r.path, 0) != 0) continue;
     path_seen = true;
     if (r.method == req.method) return r.handler(req, ctx);
   }
@@ -426,6 +437,37 @@ bool HttpServer::serve_one(Conn& conn, double queue_us) {
     }
   }
   resp.extra_headers.emplace_back("x-request-id", ctx.id);
+  if (resp.streamer) {
+    // Streamed response: write the chunked head, hand the connection to
+    // the producer, then close — streams never keep-alive. A producer
+    // exception or send failure drops the connection; the missing terminal
+    // 0-chunk tells the client the stream was truncated.
+    ChunkedWriter writer(io(), conn.fd);
+    const bool head_ok =
+        send_all(io(), conn.fd, serialize_stream_head(resp));
+    bool producer_ok = false;
+    if (head_ok) {
+      try {
+        resp.streamer(writer);
+        producer_ok = true;
+      } catch (...) {
+        // close without the terminal chunk: the client sees truncation
+      }
+      if (producer_ok && !writer.failed()) writer.finish();
+    }
+    if (!head_ok || !producer_ok || writer.failed()) {
+      count_dropped(&req, &resp, ctx, 499);
+      return false;
+    }
+    if (options_.observer != nullptr) {
+      options_.observer->record(
+          make_record(ctx, &req, resp.status, writer.bytes_written(),
+                      /*dropped=*/false),
+          ctx);
+    }
+    served_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   const bool keep = req.keep_alive() && !draining() && !conn.lane;
   const auto ser0 = Clock::now();
   const std::string wire = serialize_response(resp, keep);

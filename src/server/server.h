@@ -46,10 +46,14 @@ namespace wflog::server {
 using Handler = std::function<HttpResponse(const HttpRequest&, RequestContext&)>;
 
 /// Exact-match method+path routing; unknown path → 404, known path with
-/// the wrong method → 405.
+/// the wrong method → 405. Prefix routes (add_prefix) serve paths with a
+/// trailing id segment like "/subscribe/{id}"; exact routes win first.
 class Router {
  public:
   void add(std::string method, std::string path, Handler handler);
+  /// Matches any target that starts with `prefix` (the handler reads the
+  /// remainder from req.target). Checked after all exact routes.
+  void add_prefix(std::string method, std::string prefix, Handler handler);
   HttpResponse dispatch(const HttpRequest& req, RequestContext& ctx) const;
 
  private:
@@ -57,6 +61,7 @@ class Router {
     std::string method;
     std::string path;
     Handler handler;
+    bool prefix = false;
   };
   std::vector<Route> routes_;
 };

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "core/guard.h"
 #include "core/parser.h"
 #include "log/validate.h"
 #include "test_util.h"
@@ -174,8 +175,78 @@ TEST(MonitorTest, RemoveQueryStopsReporting) {
   mon.record(w, "a");
   mon.remove_query(q);
   mon.record(w, "a");
-  EXPECT_EQ(mon.total_matches(q), 1u);
+  // Removal releases EVERYTHING the query owned, its match tally
+  // included — the id never surfaces again.
+  EXPECT_EQ(mon.total_matches(q), 0u);
   EXPECT_EQ(mon.num_queries(), 0u);
+}
+
+TEST(MonitorTest, RemoveQueryLeavesNoStateBehind) {
+  // Regression: remove_query used to leave state_, match_totals_, and queued
+  // matches_ rows behind, so a long-lived monitor with query churn leaked.
+  LogMonitor mon;
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "b");
+  for (int round = 0; round < 10; ++round) {
+    const auto q = mon.add_query("a -> b");
+    mon.record(w, "b");  // fresh match each round, left undrained
+    EXPECT_GT(mon.total_matches(q), 0u);
+    mon.remove_query(q);
+    const LogMonitor::MemoryStats stats = mon.memory_stats();
+    EXPECT_EQ(stats.state_queries, 0u);
+    EXPECT_EQ(stats.state_instances, 0u);
+    EXPECT_EQ(stats.tracked_totals, 0u);
+    EXPECT_EQ(stats.pending_matches, 0u);
+    EXPECT_EQ(mon.total_matches(q), 0u);
+  }
+  // drain() never yields a removed id, even for matches queued pre-removal.
+  const auto q1 = mon.add_query("a");
+  const auto q2 = mon.add_query("b");
+  mon.record(w, "a");  // queues a q1 match
+  mon.remove_query(q1);
+  for (const auto& m : mon.drain()) EXPECT_EQ(m.query, q2);
+}
+
+TEST(MonitorTest, DrainPerQueryIsSelective) {
+  LogMonitor mon;
+  const auto qa = mon.add_query("a");
+  const auto qb = mon.add_query("b");
+  const Wid w = mon.begin_instance();
+  mon.record(w, "a");
+  mon.record(w, "b");
+  mon.record(w, "a");
+  const auto only_a = mon.drain(qa);
+  ASSERT_EQ(only_a.size(), 2u);
+  for (const auto& m : only_a) EXPECT_EQ(m.query, qa);
+  // qb's match is still queued, in arrival order.
+  const auto rest = mon.drain();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].query, qb);
+  // Totals are untouched by either drain flavor.
+  EXPECT_EQ(mon.total_matches(qa), 2u);
+  EXPECT_EQ(mon.total_matches(qb), 1u);
+}
+
+TEST(MonitorTest, BackfillGuardStopsAndRollsBack) {
+  // A late query replays history under the caller's guard; when the budget
+  // trips mid-backfill the monitor must be left exactly as before the call.
+  LogMonitor mon;
+  const Wid w = mon.begin_instance();
+  for (int i = 0; i < 8; ++i) mon.record(w, "a");
+  const EvalGuard guard(std::chrono::milliseconds{0}, /*max_incidents=*/3,
+                        nullptr);
+  EXPECT_THROW(mon.add_query("a", &guard), Error);
+  EXPECT_EQ(mon.num_queries(), 0u);
+  const LogMonitor::MemoryStats stats = mon.memory_stats();
+  EXPECT_EQ(stats.state_queries, 0u);
+  EXPECT_EQ(stats.tracked_totals, 0u);
+  EXPECT_EQ(stats.pending_matches, 0u);
+  EXPECT_TRUE(mon.matches().empty());
+  // A roomier guard succeeds and replays the full history.
+  const EvalGuard roomy(std::chrono::milliseconds{0}, 100, nullptr);
+  const auto q = mon.add_query("a", &roomy);
+  EXPECT_EQ(mon.total_matches(q), 8u);
 }
 
 TEST(MonitorTest, ReservedActivityNamesRejected) {
@@ -299,6 +370,36 @@ TEST(MonitorTest, QuarantinePolicyRetainsEventsAndInvokesCallback) {
   ASSERT_EQ(seen.size(), 2u);
   EXPECT_EQ(seen[0].activity, "late-event");
   EXPECT_EQ(seen[1].wid, w);
+}
+
+TEST(MonitorTest, QuarantineRingIsCapped) {
+  // Regression: quarantined_ grew without bound under kQuarantine, so a
+  // misbehaving producer could exhaust memory on a long-lived monitor.
+  MonitorOptions options;
+  options.bad_event_policy = BadEventPolicy::kQuarantine;
+  options.quarantine_capacity = 4;
+  LogMonitor m(options);
+  for (Wid w = 100; w < 110; ++w) {
+    m.record(w, "stray");  // unknown instance: quarantined
+  }
+  EXPECT_EQ(m.num_bad_events(), 10u);
+  ASSERT_EQ(m.quarantined().size(), 4u);
+  EXPECT_EQ(m.num_quarantine_dropped(), 6u);
+  // The ring keeps the most recent events, oldest evicted first.
+  EXPECT_EQ(m.quarantined().front().wid, 106u);
+  EXPECT_EQ(m.quarantined().back().wid, 109u);
+}
+
+TEST(MonitorTest, QuarantineCapacityZeroRetainsNothing) {
+  MonitorOptions options;
+  options.bad_event_policy = BadEventPolicy::kQuarantine;
+  options.quarantine_capacity = 0;
+  LogMonitor m(options);
+  m.record(7, "stray");
+  m.record(8, "stray");
+  EXPECT_TRUE(m.quarantined().empty());
+  EXPECT_EQ(m.num_quarantine_dropped(), 2u);
+  EXPECT_EQ(m.num_bad_events(), 2u);
 }
 
 TEST(MonitorTest, CallbackFiresUnderRejectToo) {

@@ -33,6 +33,16 @@ ctest --test-dir "$repo/build" --output-on-failure -L cache \
 echo "== tier 1e: bench_server repeated-query smoke (cache on vs off) =="
 "$repo/build/bench/bench_server" repeat 4 50 50
 
+echo "== tier 1e2: subscribe label (standing-query differential suite) =="
+ctest --test-dir "$repo/build" --output-on-failure -L subscribe \
+  --timeout "$timeout" "$@"
+
+echo "== tier 1e3: standing-query smoke (wfqd + /subscribe over HTTP) =="
+"$repo/tests/smoke_subscribe.sh" "$repo/build/examples/wfqd"
+
+echo "== tier 1e4: bench_server standing-query smoke (push vs re-query) =="
+"$repo/build/bench/bench_server" subscribe 4 20 50
+
 echo "== tier 1f: shard label (scatter/gather differential harness) =="
 ctest --test-dir "$repo/build" --output-on-failure -L shard \
   --timeout "$timeout" "$@"
@@ -74,6 +84,9 @@ ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
   "$repo/build-sanitize/bench/bench_server" repeat 2 20 20
 
+echo "== tier 2e2: subscribe label under ASan/UBSan =="
+(cd "$repo" && ctest --preset asan-ubsan -L subscribe --timeout "$timeout" "$@")
+
 echo "== tier 2f: shard label under ASan/UBSan =="
 (cd "$repo" && ctest --preset asan-ubsan -L shard --timeout "$timeout" "$@")
 
@@ -83,6 +96,9 @@ echo "== tier 2g: segfmt label under ASan/UBSan =="
 echo "== tier 3: ThreadSanitizer — shard pool, parallel scheduler, server =="
 "$repo/tests/run_sanitized.sh" thread -L 'shard|parallel|server' \
   --timeout "$timeout" "$@"
+
+echo "== tier 3a2: ThreadSanitizer — subscribe (standing-query delivery) =="
+"$repo/tests/run_sanitized.sh" thread -L subscribe --timeout "$timeout" "$@"
 
 echo "== tier 3b: ThreadSanitizer — chaos torture harness =="
 "$repo/tests/run_sanitized.sh" thread -L torture --timeout "$timeout" "$@"
